@@ -1,0 +1,45 @@
+//! Channel-kind throughput microbenchmarks (E1 ablation): wall cost of
+//! simulating sustained transfers through each Connections channel
+//! implementation of Fig. 2.
+
+use craft_connections::{channel, ChannelKind};
+use craft_sim::{ClockSpec, Picoseconds, Simulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn pump(kind: ChannelKind, transfers: u64) -> u64 {
+    let mut sim = Simulator::new();
+    let clk = sim.add_clock(ClockSpec::new("c", Picoseconds::new(909)));
+    let (mut tx, mut rx, h) = channel::<u64>("c", kind);
+    sim.add_sequential(clk, h.sequential());
+    let mut sent = 0u64;
+    let mut got = 0u64;
+    while got < transfers {
+        if sent < transfers && tx.push_nb(sent).is_ok() {
+            sent += 1;
+        }
+        if rx.pop_nb().is_some() {
+            got += 1;
+        }
+        sim.run_cycles(clk, 1);
+    }
+    sim.cycles(clk)
+}
+
+fn bench_channels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("channel_throughput");
+    g.sample_size(20);
+    for (name, kind) in [
+        ("combinational", ChannelKind::Combinational),
+        ("bypass", ChannelKind::Bypass),
+        ("pipeline", ChannelKind::Pipeline),
+        ("buffer4", ChannelKind::Buffer(4)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &kind, |b, &kind| {
+            b.iter(|| pump(kind, 2_000));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_channels);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Adaptive-vs-fixed clock ablation (DESIGN.md §5.3, paper cite [7]):
+//! minimum safe timing margin under supply noise. Prints the margin
+//! numbers; Criterion tracks the sweep cost.
+
+use craft_gals::{margin_experiment, ClockStyle};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_margin(c: &mut Criterion) {
+    let fixed = margin_experiment(ClockStyle::Fixed, 909, 0.95, 20_000, 42);
+    let adaptive = margin_experiment(ClockStyle::Adaptive { residue: 0.2 }, 909, 0.95, 20_000, 42);
+    println!(
+        "margin under supply noise: fixed {:.1}%, adaptive {:.1}%",
+        fixed.min_safe_margin * 100.0,
+        adaptive.min_safe_margin * 100.0
+    );
+    assert!(adaptive.min_safe_margin < fixed.min_safe_margin);
+
+    let mut g = c.benchmark_group("clock_margin_sweep");
+    g.sample_size(10);
+    g.bench_function("fixed", |b| {
+        b.iter(|| margin_experiment(ClockStyle::Fixed, 909, 0.95, 5_000, 42))
+    });
+    g.bench_function("adaptive", |b| {
+        b.iter(|| margin_experiment(ClockStyle::Adaptive { residue: 0.2 }, 909, 0.95, 5_000, 42))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_margin);
+criterion_main!(benches);

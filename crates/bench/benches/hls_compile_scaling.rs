@@ -1,0 +1,26 @@
+//! HLS compile-time scaling (§2.4): src-loop vs dst-loop crossbar
+//! compilation cost vs lane count — "significantly shorter compilation
+//! times and better scalability to larger N" for the dst-loop form.
+
+use craft_hls::{compile, kernels, Constraints};
+use craft_tech::TechLibrary;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_compile(c: &mut Criterion) {
+    let lib = TechLibrary::n16();
+    let mut g = c.benchmark_group("hls_compile");
+    g.sample_size(10);
+    for lanes in [8usize, 16, 32] {
+        let cons = Constraints::at_clock(1100.0).with_mem_ports(lanes as u32 * 2);
+        g.bench_with_input(BenchmarkId::new("src_loop", lanes), &lanes, |b, &l| {
+            b.iter(|| compile(kernels::crossbar_src_loop(l, 32), &lib, &cons))
+        });
+        g.bench_with_input(BenchmarkId::new("dst_loop", lanes), &lanes, |b, &l| {
+            b.iter(|| compile(kernels::crossbar_dst_loop(l, 32), &lib, &cons))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

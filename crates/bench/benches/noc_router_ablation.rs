@@ -1,0 +1,97 @@
+//! Router ablation (DESIGN.md §5.5): wormhole-VC vs store-and-forward
+//! packet latency as packet length grows. The cycle numbers (printed
+//! once) show SF latency scaling ~2x flits while wormhole stays
+//! ~flits + constant; Criterion tracks the simulation wall cost.
+
+use craft_connections::{channel, ChannelKind, In, Out};
+use craft_matchlib::router::{make_packet, NocFlit, SfRouter, WhvcConfig, WhvcRouter};
+use craft_sim::{ClockSpec, Picoseconds, Simulator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+struct Bench {
+    sim: Simulator,
+    clk: craft_sim::ClockId,
+    inject: Out<NocFlit>,
+    drain: In<NocFlit>,
+}
+
+fn router_bench(wormhole: bool) -> Bench {
+    let mut sim = Simulator::new();
+    let clk = sim.add_clock(ClockSpec::new("c", Picoseconds::new(909)));
+    let mut rin = Vec::new();
+    let mut rout = Vec::new();
+    let mut inject = None;
+    let mut drain = None;
+    for p in 0..2 {
+        let (tx, rx, h) = channel::<NocFlit>(format!("in{p}"), ChannelKind::Buffer(2));
+        sim.add_sequential(clk, h.sequential());
+        if p == 0 {
+            inject = Some(tx);
+        }
+        rin.push(rx);
+        let (tx2, rx2, h2) = channel::<NocFlit>(format!("out{p}"), ChannelKind::Buffer(2));
+        sim.add_sequential(clk, h2.sequential());
+        rout.push(tx2);
+        if p == 1 {
+            drain = Some(rx2);
+        }
+    }
+    if wormhole {
+        sim.add_component(
+            clk,
+            WhvcRouter::new("w", rin, rout, WhvcConfig::default(), |d| d as usize),
+        );
+    } else {
+        sim.add_component(clk, SfRouter::new("s", rin, rout, 2, |d| d as usize));
+    }
+    Bench {
+        sim,
+        clk,
+        inject: inject.expect("port 0"),
+        drain: drain.expect("port 1"),
+    }
+}
+
+fn packet_latency(b: &mut Bench, flits: usize) -> u64 {
+    let pkt = make_packet(1, 0, 0, &vec![7u64; flits]);
+    let mut idx = 0;
+    let mut got = 0;
+    let start = b.sim.cycles(b.clk);
+    while got < flits {
+        if idx < pkt.len() && b.inject.push_nb(pkt[idx]).is_ok() {
+            idx += 1;
+        }
+        b.sim.run_cycles(b.clk, 1);
+        while b.drain.pop_nb().is_some() {
+            got += 1;
+        }
+        assert!(b.sim.cycles(b.clk) - start < 10_000, "packet lost");
+    }
+    b.sim.cycles(b.clk) - start
+}
+
+fn bench_routers(c: &mut Criterion) {
+    // Print the latency comparison once (the ablation data).
+    println!("router ablation (cycles per packet):");
+    println!("{:>8} {:>10} {:>16}", "flits", "wormhole", "store-and-fwd");
+    for flits in [2usize, 8, 32] {
+        let wh = packet_latency(&mut router_bench(true), flits);
+        let sf = packet_latency(&mut router_bench(false), flits);
+        println!("{flits:>8} {wh:>10} {sf:>16}");
+    }
+
+    let mut g = c.benchmark_group("router_sim_cost");
+    g.sample_size(20);
+    for flits in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("wormhole", flits), &flits, |bch, &f| {
+            bch.iter(|| packet_latency(&mut router_bench(true), f));
+        });
+        g.bench_with_input(BenchmarkId::new("store_forward", flits), &flits, |bch, &f| {
+            bch.iter(|| packet_latency(&mut router_bench(false), f));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_routers);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Full-SoC simulation cost: one Fig. 6 workload in each fidelity.
+//! The RTL/sim-accurate wall ratio here is the Fig. 6 speedup.
+
+use craft_soc::pe::Fidelity;
+use craft_soc::workloads::{run_workload, vec_mul};
+use craft_soc::SocConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_soc(c: &mut Criterion) {
+    let wl = vec_mul();
+    let mut g = c.benchmark_group("soc_vec_mul");
+    g.sample_size(10);
+    g.bench_function("sim_accurate", |b| {
+        b.iter(|| {
+            let (r, ok) = run_workload(SocConfig::default(), &wl, 8_000_000);
+            assert!(ok && r.completed);
+            r.cycles
+        })
+    });
+    g.bench_function("rtl", |b| {
+        b.iter(|| {
+            let cfg = SocConfig {
+                fidelity: Fidelity::Rtl,
+                ..SocConfig::default()
+            };
+            let (r, ok) = run_workload(cfg, &wl, 8_000_000);
+            assert!(ok && r.completed);
+            r.cycles
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_soc);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Regenerates **Fig. 6**: performance accuracy of the sim-accurate
+//! SystemC-style model against the RTL-equivalent model over six
+//! SoC-level tests.
+//!
+//! Paper: "We observed a 20-30x wall run time reduction when using the
+//! SystemC-based performance model with performance inaccuracy below
+//! 3%. We attribute the inaccuracies to unit pipeline latencies not
+//! included in the SystemC models."
+//!
+//! Run with `--release`; the wall-clock axis is meaningless in debug
+//! builds.
+
+use craft_soc::pe::Fidelity;
+use craft_soc::workloads::{run_workload, six_soc_tests};
+use craft_soc::SocConfig;
+
+fn main() {
+    println!("Fig. 6 — sim-accurate vs RTL over six SoC-level tests");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>11} {:>12} {:>12}",
+        "test", "sim cyc", "rtl cyc", "err %", "speedup x", "sim wall ms", "rtl wall ms"
+    );
+    let mut speedups = Vec::new();
+    let mut errors = Vec::new();
+    for wl in six_soc_tests() {
+        let (sim, ok1) = run_workload(SocConfig::default(), &wl, 8_000_000);
+        let rtl_cfg = SocConfig {
+            fidelity: Fidelity::Rtl,
+            ..SocConfig::default()
+        };
+        let (rtl, ok2) = run_workload(rtl_cfg, &wl, 8_000_000);
+        assert!(ok1 && ok2, "{}: functional mismatch", wl.name);
+        let err = (rtl.cycles as f64 - sim.cycles as f64) / rtl.cycles as f64 * 100.0;
+        let speedup = rtl.wall.as_secs_f64() / sim.wall.as_secs_f64();
+        speedups.push(speedup);
+        errors.push(err);
+        println!(
+            "{:<14} {:>10} {:>10} {:>10.2} {:>11.1} {:>12.2} {:>12.2}",
+            wl.name,
+            sim.cycles,
+            rtl.cycles,
+            err,
+            speedup,
+            sim.wall.as_secs_f64() * 1e3,
+            rtl.wall.as_secs_f64() * 1e3
+        );
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!();
+    println!(
+        "mean speedup {:.1}x (paper band 20-30x); mean |error| {:.2}% / max {:.2}% (paper: <3%)",
+        mean(&speedups),
+        mean(&errors),
+        errors.iter().cloned().fold(0.0, f64::max)
+    );
+}

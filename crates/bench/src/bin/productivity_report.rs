@@ -1,0 +1,88 @@
+//! Regenerates the **§4 productivity estimate**: "a productivity of
+//! between 2K-20K gates (NAND2 equivalents) per engineer-day on unique
+//! unit-level designs".
+//!
+//! Gate counts come from running the actual flow (`craftflow-core`)
+//! over the prototype SoC's unique units; effort figures are the
+//! modeled engineer-days a small OOHLS team would book per unit
+//! (design + verification, with MatchLib components pre-verified).
+
+use craft_hls::{kernels, Constraints, KernelBuilder};
+use craft_tech::TechLibrary;
+use craftflow_core::{
+    run_flow, Clocking, FlowSpec, ProductivityLedger, UnitEffort, UnitSpec,
+    MANUAL_RTL_GATES_PER_DAY,
+};
+
+fn pe_datapath_kernel() -> craft_hls::Kernel {
+    // 4-lane MAC datapath with reduction — the PE vector unit core.
+    let mut b = KernelBuilder::new("pe_datapath", 32);
+    let mut partials = Vec::new();
+    for i in 0..4 {
+        let x = b.input(2 * i);
+        let y = b.input(2 * i + 1);
+        partials.push(b.mul(x, y));
+    }
+    let s01 = b.add(partials[0], partials[1]);
+    let s23 = b.add(partials[2], partials[3]);
+    let sum = b.add(s01, s23);
+    b.output(0, sum);
+    for (i, &p) in partials.iter().enumerate() {
+        b.output(1 + i, p);
+    }
+    b.finish()
+}
+
+fn main() {
+    let lib = TechLibrary::n16();
+    // The prototype SoC's unique unit-level designs, compiled through
+    // the flow for real gate counts.
+    let spec = FlowSpec {
+        name: "rc17-proto".into(),
+        units: vec![
+            UnitSpec {
+                name: "pe_datapath".into(),
+                kernel: pe_datapath_kernel(),
+                constraints: Constraints::at_clock(909.0),
+                replicas: 15,
+            },
+            UnitSpec {
+                name: "gmem_xbar".into(),
+                kernel: kernels::crossbar_dst_loop(8, 32),
+                constraints: Constraints::at_clock(909.0).with_mem_ports(16),
+                replicas: 2,
+            },
+            UnitSpec {
+                name: "router_core".into(),
+                kernel: kernels::crossbar_dst_loop(16, 32),
+                constraints: Constraints::at_clock(909.0).with_mem_ports(32),
+                replicas: 16,
+            },
+        ],
+        partitions: 19,
+        clocking: Clocking::FineGrainedGals {
+            interfaces_per_partition: 4,
+            fifo_depth: 8,
+            fifo_width: 64,
+        },
+    };
+    let report = run_flow(&spec, &lib);
+    println!("{}", report.summary());
+
+    // Modeled effort per unique unit (design + integration verification;
+    // MatchLib components arrive pre-verified).
+    let days = [4.0, 2.0, 5.0];
+    let mut ledger = ProductivityLedger::new();
+    for (u, &d) in report.units.iter().zip(&days) {
+        ledger.record(UnitEffort {
+            name: u.name.clone(),
+            gates: u.instance_gates,
+            engineer_days: d,
+        });
+    }
+    println!("§4 productivity (gates are per unique unit instance):");
+    print!("{}", ledger.table());
+    println!(
+        "paper band: 2K-20K GE/engineer-day; manual-RTL baseline {MANUAL_RTL_GATES_PER_DAY:.0} GE/day"
+    );
+}

@@ -1,0 +1,143 @@
+//! Regenerates **Table 2** (the MatchLib component inventory) with a
+//! synthesized-gate-count column from the `craft-tech` cost models —
+//! every component of the paper's table exists in `craft-matchlib`
+//! and is exercised by its test suite.
+
+use craft_tech::{ops, Netlist, SramMacro, TechLibrary};
+
+fn ge(lib: &TechLibrary, n: &Netlist) -> f64 {
+    n.nand2_equiv(lib)
+}
+
+fn main() {
+    let lib = TechLibrary::n16();
+    println!("Table 2 — MatchLib components (with representative gate counts)");
+    println!("{:<24} {:<16} {:<42} {:>10}", "component", "class", "module", "GE (repr.)");
+
+    let rows: Vec<(&str, &str, &str, f64)> = vec![
+        (
+            "Float (mul/add/fma)",
+            "C++ function",
+            "craft_matchlib::float",
+            ge(&lib, &(ops::multiplier(24) + ops::adder(48))), // FP32 datapath core
+        ),
+        (
+            "Crossbar",
+            "C++ function",
+            "craft_matchlib::crossbar",
+            ge(&lib, &ops::mux(32, 8).replicated(8)),
+        ),
+        (
+            "Encoder/Decoder",
+            "C++ function",
+            "craft_matchlib::onehot",
+            ge(&lib, &(ops::decoder(5) + ops::priority_encoder(32))),
+        ),
+        (
+            "FIFO",
+            "C++ class",
+            "craft_matchlib::Fifo",
+            ge(&lib, &(ops::register(32).replicated(8) + ops::arbiter(2))),
+        ),
+        (
+            "Arbiter",
+            "C++ class",
+            "craft_matchlib::Arbiter",
+            ge(&lib, &ops::arbiter(16)),
+        ),
+        (
+            "Mem_array",
+            "C++ class",
+            "craft_matchlib::MemArray",
+            SramMacro::new(1024, 64).area_um2(&lib) / lib.nand2_area(),
+        ),
+        (
+            "Vector",
+            "C++ class",
+            "craft_matchlib::Vector",
+            ge(&lib, &(ops::multiplier(32) + ops::adder(32)).replicated(4)),
+        ),
+        (
+            "Connections",
+            "C++ class",
+            "craft_connections",
+            ge(&lib, &(ops::register(66) + ops::mux(64, 2))),
+        ),
+        (
+            "Arbitrated Crossbar",
+            "C++ class",
+            "craft_matchlib::ArbitratedCrossbar{Rtl,Tlm}",
+            ge(
+                &lib,
+                &(ops::mux(32, 8).replicated(8)
+                    + ops::arbiter(8).replicated(8)
+                    + ops::register(32).replicated(16)),
+            ),
+        ),
+        (
+            "Arbitrated Scratchpad",
+            "C++ class",
+            "craft_matchlib::ArbitratedScratchpad",
+            SramMacro::new(1024, 64).area_um2(&lib) / lib.nand2_area()
+                + ge(&lib, &ops::arbiter(4).replicated(4)),
+        ),
+        (
+            "Reorder Buffer",
+            "C++ class",
+            "craft_matchlib::ReorderBuffer",
+            ge(&lib, &(ops::register(64).replicated(16) + ops::comparator(6).replicated(16))),
+        ),
+        (
+            "Serializer/Deserializer",
+            "SystemC module",
+            "craft_matchlib::serdes",
+            ge(&lib, &(ops::register(64).replicated(2) + ops::mux(16, 4))),
+        ),
+        (
+            "Cache",
+            "SystemC module",
+            "craft_matchlib::Cache",
+            SramMacro::new(4096, 64).area_um2(&lib) / lib.nand2_area()
+                + ge(&lib, &ops::comparator(20).replicated(4)),
+        ),
+        (
+            "Scratchpad",
+            "SystemC module",
+            "craft_matchlib::Scratchpad",
+            SramMacro::new(1024, 64).area_um2(&lib) / lib.nand2_area() * 4.0,
+        ),
+        (
+            "SFRouter",
+            "SystemC module",
+            "craft_matchlib::router::SfRouter",
+            ge(
+                &lib,
+                &(ops::register(64).replicated(5 * 8) + ops::arbiter(5).replicated(5)),
+            ),
+        ),
+        (
+            "WHVCRouter",
+            "SystemC module",
+            "craft_matchlib::router::WhvcRouter",
+            ge(
+                &lib,
+                &(ops::register(64).replicated(5 * 2 * 4)
+                    + ops::arbiter(10).replicated(5)
+                    + ops::mux(64, 5).replicated(5)),
+            ),
+        ),
+        (
+            "AXI Components",
+            "SystemC module",
+            "craft_matchlib::axi",
+            ge(&lib, &(ops::register(64).replicated(10) + ops::comparator(32).replicated(2))),
+        ),
+    ];
+
+    for (name, class, module, gates) in rows {
+        println!("{name:<24} {class:<16} {module:<42} {gates:>10.0}");
+    }
+    println!();
+    println!("all 17 Table-2 entries implemented; gate counts are synthesized");
+    println!("estimates from the synthetic 16nm library (craft-tech).");
+}

@@ -1,0 +1,454 @@
+//! Latency-insensitive channel implementations (paper Fig. 2, Table 1).
+//!
+//! A channel is a single-producer single-consumer handshake queue that
+//! participates in the kernel's commit phase. The four point-to-point
+//! kinds differ in two combinational properties and their capacity:
+//!
+//! | Kind            | flow-through (DEQ sees same-cycle ENQ) | enq-when-full (ENQ allowed if DEQ staged) | capacity |
+//! |-----------------|---------------------------------------|-------------------------------------------|----------|
+//! | `Combinational` | yes                                   | yes                                       | 1        |
+//! | `Bypass`        | yes ("enables DEQ when empty")        | no                                        | 1        |
+//! | `Pipeline`      | no                                    | yes ("enables ENQ when full")             | 1        |
+//! | `Buffer(n)`     | no                                    | no                                        | n        |
+//!
+//! Combinational properties follow hardware evaluation order: a
+//! flow-through pop only observes a push staged *earlier in the same
+//! evaluate phase*, so the producer must be registered before the
+//! consumer for the zero-latency path to be exercised — exactly the
+//! acyclicity requirement real combinational paths impose.
+
+use crate::stall::StallInjector;
+use craft_sim::Sequential;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+/// The kind of point-to-point LI channel (paper Table 1).
+///
+/// `Packetizer`/`DePacketizer` from Table 1 are adapters over channels
+/// rather than channels themselves; see [`crate::Packetizer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// Pure-wire connection: zero-latency, combinational in both the
+    /// data and backpressure directions.
+    Combinational,
+    /// Registered backpressure, combinational data: an arriving message
+    /// can be dequeued the same cycle when the channel is empty.
+    Bypass,
+    /// Registered data, combinational backpressure: a new message can
+    /// be enqueued in the cycle the old one leaves.
+    Pipeline,
+    /// Fully registered FIFO of the given capacity.
+    Buffer(usize),
+}
+
+impl ChannelKind {
+    fn capacity(self) -> usize {
+        match self {
+            ChannelKind::Combinational | ChannelKind::Bypass | ChannelKind::Pipeline => 1,
+            ChannelKind::Buffer(n) => n,
+        }
+    }
+
+    fn flow_through(self) -> bool {
+        matches!(self, ChannelKind::Combinational | ChannelKind::Bypass)
+    }
+
+    fn enq_when_full(self) -> bool {
+        matches!(self, ChannelKind::Combinational | ChannelKind::Pipeline)
+    }
+}
+
+impl fmt::Display for ChannelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelKind::Combinational => write!(f, "Combinational"),
+            ChannelKind::Bypass => write!(f, "Bypass"),
+            ChannelKind::Pipeline => write!(f, "Pipeline"),
+            ChannelKind::Buffer(n) => write!(f, "Buffer({n})"),
+        }
+    }
+}
+
+/// Aggregate statistics for one channel.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChannelStats {
+    /// Messages successfully transferred (counted at pop).
+    pub transfers: u64,
+    /// Failed non-blocking pushes (backpressure observed by producer).
+    pub push_backpressure: u64,
+    /// Failed non-blocking pops (consumer found channel empty/stalled).
+    pub pop_empty: u64,
+    /// Cycles the channel spent with an injected stall active.
+    pub stall_cycles: u64,
+    /// Commit phases observed (channel-domain cycles).
+    pub cycles: u64,
+    /// Sum of committed occupancy over cycles (for mean occupancy).
+    pub occupancy_sum: u64,
+}
+
+impl ChannelStats {
+    /// Mean committed occupancy in messages.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+}
+
+pub(crate) struct ChannelCore<T> {
+    pub(crate) name: String,
+    kind: ChannelKind,
+    queue: VecDeque<T>,
+    /// At most one push staged per cycle.
+    staged_push: Option<T>,
+    /// A push was issued this cycle (guards one push per cycle even if
+    /// the staged value was consumed by a flow-through pop).
+    pushed_this_cycle: bool,
+    /// A pop (queue or flow-through) already happened this cycle.
+    popped_this_cycle: bool,
+    /// The pop this cycle removed a *committed* entry (frees a slot for
+    /// enq-when-full kinds; also restores occupancy-as-of-last-commit
+    /// for registered-backpressure accounting).
+    popped_committed: bool,
+    pub(crate) stall: Option<StallInjector>,
+    stalled_now: bool,
+    pub(crate) stats: ChannelStats,
+}
+
+impl<T> ChannelCore<T> {
+    fn new(name: String, kind: ChannelKind) -> Self {
+        assert!(kind.capacity() > 0, "channel capacity must be nonzero");
+        ChannelCore {
+            name,
+            kind,
+            queue: VecDeque::with_capacity(kind.capacity()),
+            staged_push: None,
+            pushed_this_cycle: false,
+            popped_this_cycle: false,
+            popped_committed: false,
+            stall: None,
+            stalled_now: false,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Occupancy as committed at the last commit phase (pops this cycle
+    /// do not free registered slots until commit).
+    fn committed_len(&self) -> usize {
+        self.queue.len() + usize::from(self.popped_committed)
+    }
+
+    pub(crate) fn can_push(&self) -> bool {
+        if self.pushed_this_cycle {
+            return false; // one push per cycle
+        }
+        if self.committed_len() < self.kind.capacity() {
+            return true;
+        }
+        self.kind.enq_when_full() && self.popped_committed
+    }
+
+    pub(crate) fn push_nb(&mut self, v: T) -> Result<(), T> {
+        if self.can_push() {
+            self.staged_push = Some(v);
+            self.pushed_this_cycle = true;
+            Ok(())
+        } else {
+            self.stats.push_backpressure += 1;
+            Err(v)
+        }
+    }
+
+    pub(crate) fn can_pop(&self) -> bool {
+        if self.stalled_now || self.popped_this_cycle {
+            return false;
+        }
+        if !self.queue.is_empty() {
+            return true;
+        }
+        self.kind.flow_through() && self.staged_push.is_some()
+    }
+
+    pub(crate) fn pop_nb(&mut self) -> Option<T> {
+        if self.stalled_now || self.popped_this_cycle {
+            self.stats.pop_empty += 1;
+            return None;
+        }
+        if let Some(v) = self.queue.pop_front() {
+            self.popped_this_cycle = true;
+            self.popped_committed = true;
+            self.stats.transfers += 1;
+            return Some(v);
+        }
+        if self.kind.flow_through() {
+            if let Some(v) = self.staged_push.take() {
+                self.popped_this_cycle = true;
+                self.stats.transfers += 1;
+                return Some(v);
+            }
+        }
+        self.stats.pop_empty += 1;
+        None
+    }
+
+    pub(crate) fn peek_ref(&self) -> Option<&T> {
+        if self.stalled_now || self.popped_this_cycle {
+            return None;
+        }
+        if let Some(front) = self.queue.front() {
+            return Some(front);
+        }
+        if self.kind.flow_through() {
+            return self.staged_push.as_ref();
+        }
+        None
+    }
+
+    fn do_commit(&mut self) {
+        self.popped_this_cycle = false;
+        self.popped_committed = false;
+        self.pushed_this_cycle = false;
+        if let Some(v) = self.staged_push.take() {
+            debug_assert!(
+                self.queue.len() < self.kind.capacity(),
+                "channel `{}` overflow at commit",
+                self.name
+            );
+            self.queue.push_back(v);
+        }
+        self.stats.cycles += 1;
+        self.stats.occupancy_sum += self.queue.len() as u64;
+        // Decide whether the *next* cycle is stalled.
+        self.stalled_now = match &mut self.stall {
+            Some(s) => s.roll(),
+            None => false,
+        };
+        if self.stalled_now {
+            self.stats.stall_cycles += 1;
+        }
+    }
+}
+
+impl<T> Sequential for ChannelCore<T> {
+    fn commit(&mut self) {
+        self.do_commit();
+    }
+}
+
+/// Owner-side handle to a channel: registration, stall injection and
+/// statistics. Returned by [`channel`] together with the two ports.
+pub struct ChannelHandle<T> {
+    pub(crate) core: Rc<RefCell<ChannelCore<T>>>,
+}
+
+impl<T: 'static> ChannelHandle<T> {
+    /// The commit-phase hook to register with
+    /// [`craft_sim::Simulator::add_sequential`] on the channel's clock
+    /// domain.
+    pub fn sequential(&self) -> Rc<RefCell<dyn Sequential>> {
+        Rc::<RefCell<ChannelCore<T>>>::clone(&self.core) as Rc<RefCell<dyn Sequential>>
+    }
+
+    /// Enables random stall injection (§2.3: withholding `valid` to
+    /// perturb timing without touching design or testbench code).
+    pub fn inject_stalls(&self, injector: StallInjector) {
+        self.core.borrow_mut().stall = Some(injector);
+    }
+
+    /// Disables stall injection.
+    pub fn clear_stalls(&self) {
+        let mut core = self.core.borrow_mut();
+        core.stall = None;
+        core.stalled_now = false;
+    }
+
+    /// Snapshot of the channel statistics.
+    pub fn stats(&self) -> ChannelStats {
+        self.core.borrow().stats.clone()
+    }
+
+    /// Channel name given at construction.
+    pub fn name(&self) -> String {
+        self.core.borrow().name.clone()
+    }
+
+    /// Committed occupancy right now.
+    pub fn occupancy(&self) -> usize {
+        self.core.borrow().committed_len()
+    }
+}
+
+impl<T> fmt::Debug for ChannelHandle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let core = self.core.borrow();
+        f.debug_struct("ChannelHandle")
+            .field("name", &core.name)
+            .field("kind", &core.kind)
+            .field("occupancy", &core.queue.len())
+            .finish()
+    }
+}
+
+/// Creates a named channel of the given kind, returning the producer
+/// port, consumer port and owner handle.
+///
+/// The ports are *polymorphic*: component code is written against
+/// [`crate::In`]/[`crate::Out`] and is oblivious to which kind was
+/// chosen here — the paper's central API property (§2.3).
+///
+/// # Panics
+/// Panics if `kind` is `Buffer(0)`.
+///
+/// ```
+/// use craft_connections::{channel, ChannelKind};
+/// let (mut tx, mut rx, _h) = channel::<u32>("dut.in", ChannelKind::Buffer(2));
+/// assert!(tx.push_nb(7).is_ok());
+/// // Fully registered buffer: the message is visible after commit only.
+/// assert_eq!(rx.pop_nb(), None);
+/// ```
+pub fn channel<T>(name: impl Into<String>, kind: ChannelKind) -> (crate::Out<T>, crate::In<T>, ChannelHandle<T>) {
+    let core = Rc::new(RefCell::new(ChannelCore::new(name.into(), kind)));
+    (
+        crate::Out::new(Rc::clone(&core)),
+        crate::In::new(Rc::clone(&core)),
+        ChannelHandle { core },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stall::StallInjector;
+
+    fn mk(kind: ChannelKind) -> Rc<RefCell<ChannelCore<u32>>> {
+        Rc::new(RefCell::new(ChannelCore::new("t".into(), kind)))
+    }
+
+    #[test]
+    fn buffer_is_fully_registered() {
+        let c = mk(ChannelKind::Buffer(2));
+        assert!(c.borrow_mut().push_nb(1).is_ok());
+        // Not visible before commit.
+        assert!(!c.borrow().can_pop());
+        c.borrow_mut().do_commit();
+        assert!(c.borrow().can_pop());
+        assert_eq!(c.borrow_mut().pop_nb(), Some(1));
+    }
+
+    #[test]
+    fn buffer_full_blocks_push() {
+        let c = mk(ChannelKind::Buffer(1));
+        assert!(c.borrow_mut().push_nb(1).is_ok());
+        c.borrow_mut().do_commit();
+        // Full; no enq-when-full for Buffer even with a staged pop.
+        assert_eq!(c.borrow_mut().pop_nb(), Some(1));
+        assert_eq!(c.borrow_mut().push_nb(2), Err(2));
+        c.borrow_mut().do_commit();
+        assert!(c.borrow_mut().push_nb(2).is_ok());
+    }
+
+    #[test]
+    fn pipeline_enq_when_full() {
+        let c = mk(ChannelKind::Pipeline);
+        assert!(c.borrow_mut().push_nb(1).is_ok());
+        c.borrow_mut().do_commit();
+        // Consumer pops, then producer may enq in the same cycle.
+        assert_eq!(c.borrow_mut().pop_nb(), Some(1));
+        assert!(c.borrow().can_push());
+        assert!(c.borrow_mut().push_nb(2).is_ok());
+        c.borrow_mut().do_commit();
+        assert_eq!(c.borrow_mut().pop_nb(), Some(2));
+    }
+
+    #[test]
+    fn pipeline_is_not_flow_through() {
+        let c = mk(ChannelKind::Pipeline);
+        assert!(c.borrow_mut().push_nb(1).is_ok());
+        // Same-cycle pop must fail: data is registered.
+        assert_eq!(c.borrow_mut().pop_nb(), None);
+    }
+
+    #[test]
+    fn bypass_deq_when_empty() {
+        let c = mk(ChannelKind::Bypass);
+        // Producer stages a push; consumer (evaluated later) pops it
+        // within the same cycle because the channel is empty.
+        assert!(c.borrow_mut().push_nb(7).is_ok());
+        assert!(c.borrow().can_pop());
+        assert_eq!(c.borrow_mut().pop_nb(), Some(7));
+        c.borrow_mut().do_commit();
+        assert!(!c.borrow().can_pop());
+    }
+
+    #[test]
+    fn bypass_no_enq_when_full() {
+        let c = mk(ChannelKind::Bypass);
+        assert!(c.borrow_mut().push_nb(1).is_ok());
+        c.borrow_mut().do_commit();
+        assert_eq!(c.borrow_mut().pop_nb(), Some(1));
+        // Registered backpressure: cannot refill until commit.
+        assert_eq!(c.borrow_mut().push_nb(2), Err(2));
+    }
+
+    #[test]
+    fn combinational_same_cycle_round_trip() {
+        let c = mk(ChannelKind::Combinational);
+        for cycle in 0..4u32 {
+            assert!(c.borrow_mut().push_nb(cycle).is_ok());
+            assert_eq!(c.borrow_mut().pop_nb(), Some(cycle));
+            c.borrow_mut().do_commit();
+        }
+        let stats = c.borrow().stats.clone();
+        assert_eq!(stats.transfers, 4);
+        assert_eq!(stats.push_backpressure, 0);
+    }
+
+    #[test]
+    fn one_push_per_cycle() {
+        let c = mk(ChannelKind::Buffer(8));
+        assert!(c.borrow_mut().push_nb(1).is_ok());
+        assert_eq!(c.borrow_mut().push_nb(2), Err(2));
+        c.borrow_mut().do_commit();
+        assert!(c.borrow_mut().push_nb(2).is_ok());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let c = mk(ChannelKind::Buffer(2));
+        assert!(c.borrow_mut().push_nb(5).is_ok());
+        c.borrow_mut().do_commit();
+        assert_eq!(c.borrow().peek_ref(), Some(&5));
+        assert_eq!(c.borrow().peek_ref(), Some(&5));
+        assert_eq!(c.borrow_mut().pop_nb(), Some(5));
+    }
+
+    #[test]
+    fn stall_withholds_valid() {
+        let c = mk(ChannelKind::Buffer(4));
+        c.borrow_mut().stall = Some(StallInjector::always());
+        assert!(c.borrow_mut().push_nb(1).is_ok());
+        c.borrow_mut().do_commit(); // stall decided for next cycle
+        assert!(!c.borrow().can_pop());
+        assert_eq!(c.borrow_mut().pop_nb(), None);
+        // Producer side unaffected by stalls.
+        assert!(c.borrow().can_push());
+        let stats = c.borrow().stats.clone();
+        assert!(stats.stall_cycles >= 1);
+    }
+
+    #[test]
+    fn stats_mean_occupancy() {
+        let c = mk(ChannelKind::Buffer(4));
+        assert!(c.borrow_mut().push_nb(1).is_ok());
+        c.borrow_mut().do_commit(); // occ 1
+        assert!(c.borrow_mut().push_nb(2).is_ok());
+        c.borrow_mut().do_commit(); // occ 2
+        let stats = c.borrow().stats.clone();
+        assert_eq!(stats.cycles, 2);
+        assert!((stats.mean_occupancy() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! Timing models for transaction-level components (§2.3, Fig. 3).
+//!
+//! The paper contrasts two SystemC simulation models of the handshake
+//! routines:
+//!
+//! * **signal-accurate** — each port routine contains a `wait()` to
+//!   separate the set and delayed clear of `valid`/`ready`. A SystemC
+//!   simulator executes these waits *sequentially* in the issuing
+//!   process, so a loop touching many ports accumulates one extra cycle
+//!   per port operation — elapsed-cycle error grows with port count.
+//! * **sim-accurate** — handshake completion is moved to helper
+//!   threads draining per-port buffers, so the main process pays no
+//!   extra cycles and elapsed cycles match HLS-generated RTL.
+//!
+//! [`Transactor`] reproduces exactly this cost model: in
+//! [`TimingModel::SignalAccurate`] every port operation issued through
+//! it charges one debt cycle, which the owning component must burn
+//! before doing further work; in [`TimingModel::SimAccurate`] all
+//! operations are free.
+
+use crate::{In, Out};
+use std::fmt;
+
+/// Which SystemC simulation semantics a transaction-level component
+/// emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimingModel {
+    /// Helper-thread buffered handshakes: cycle counts match RTL.
+    SimAccurate,
+    /// In-thread `wait()` per port routine: cycle counts inflate with
+    /// the number of port operations per loop iteration.
+    SignalAccurate,
+}
+
+impl fmt::Display for TimingModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingModel::SimAccurate => write!(f, "sim-accurate"),
+            TimingModel::SignalAccurate => write!(f, "signal-accurate"),
+        }
+    }
+}
+
+/// Port-operation facade that accounts handshake cycles according to a
+/// [`TimingModel`].
+///
+/// A transaction-level component owns one `Transactor` and funnels all
+/// its port operations through it. At the top of every tick it calls
+/// [`Transactor::busy`]; when that returns `true` the cycle is consumed
+/// by a pending handshake `wait()` and the component must return
+/// immediately.
+///
+/// ```
+/// use craft_connections::{channel, ChannelKind, TimingModel, Transactor};
+/// let (mut tx, _rx, _h) = channel::<u8>("c", ChannelKind::Buffer(4));
+/// let mut t = Transactor::new(TimingModel::SignalAccurate);
+/// assert!(!t.busy());
+/// let _ = t.push_nb(&mut tx, 5);
+/// assert!(t.busy()); // the wait() cycle after the push
+/// assert!(!t.busy());
+/// ```
+#[derive(Debug)]
+pub struct Transactor {
+    model: TimingModel,
+    debt: u64,
+    /// Total port operations issued (for diagnostics).
+    ops: u64,
+}
+
+impl Transactor {
+    /// Creates a transactor with the given timing model.
+    pub fn new(model: TimingModel) -> Self {
+        Transactor {
+            model,
+            debt: 0,
+            ops: 0,
+        }
+    }
+
+    /// The timing model in force.
+    pub fn model(&self) -> TimingModel {
+        self.model
+    }
+
+    /// Consumes one pending handshake-wait cycle if any. Components
+    /// call this first in `tick` and skip all work when it returns
+    /// `true`.
+    pub fn busy(&mut self) -> bool {
+        if self.debt > 0 {
+            self.debt -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pending wait cycles.
+    pub fn debt(&self) -> u64 {
+        self.debt
+    }
+
+    /// Total port operations issued through this transactor.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn charge(&mut self) {
+        self.ops += 1;
+        if self.model == TimingModel::SignalAccurate {
+            self.debt += 1;
+        }
+    }
+
+    /// Non-blocking pop through the cost model. Failed attempts charge
+    /// too: the port routine runs its `wait()` regardless of `valid`.
+    pub fn pop_nb<T>(&mut self, port: &mut In<T>) -> Option<T> {
+        let r = port.pop_nb();
+        self.charge();
+        r
+    }
+
+    /// Non-blocking push through the cost model.
+    ///
+    /// # Errors
+    /// Propagates the channel's backpressure, returning the message.
+    pub fn push_nb<T>(&mut self, port: &mut Out<T>, v: T) -> Result<(), T> {
+        let r = port.push_nb(v);
+        self.charge();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{channel, ChannelKind};
+
+    #[test]
+    fn sim_accurate_is_free() {
+        let (mut tx, mut rx, h) = channel::<u32>("c", ChannelKind::Buffer(4));
+        let mut t = Transactor::new(TimingModel::SimAccurate);
+        for i in 0..4 {
+            assert!(!t.busy());
+            let _ = t.push_nb(&mut tx, i);
+        }
+        h.sequential().borrow_mut().commit();
+        assert!(!t.busy());
+        assert_eq!(t.pop_nb(&mut rx), Some(0));
+        assert_eq!(t.debt(), 0);
+        assert_eq!(t.ops(), 5);
+    }
+
+    #[test]
+    fn signal_accurate_charges_every_op() {
+        let (mut tx, mut rx, _h) = channel::<u32>("c", ChannelKind::Buffer(1));
+        let mut t = Transactor::new(TimingModel::SignalAccurate);
+        let _ = t.push_nb(&mut tx, 1);
+        // A failed pop on the (still registered-empty) channel charges too.
+        assert_eq!(t.pop_nb(&mut rx), None);
+        assert_eq!(t.debt(), 2);
+        assert!(t.busy());
+        assert!(t.busy());
+        assert!(!t.busy());
+    }
+}

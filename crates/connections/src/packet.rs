@@ -1,0 +1,234 @@
+//! `Packetizer`/`DePacketizer` network channel adapters (Fig. 2e).
+//!
+//! These components bridge a message channel and a flit channel so a
+//! producer/consumer pair can communicate across a NoC without either
+//! side changing: the producer pushes `T`s, the packetizer serializes
+//! them into [`Flit`]s, the network moves flits, and the depacketizer
+//! reassembles `T`s for the consumer.
+
+use crate::{In, Out};
+use craft_sim::{Component, TickCtx};
+use std::collections::VecDeque;
+
+/// A message that can be serialized into 64-bit words for network
+/// transport.
+pub trait Payload: Clone + 'static {
+    /// Serializes the message. Must return at least one word and the
+    /// same count for every value of the type.
+    fn to_words(&self) -> Vec<u64>;
+
+    /// Reassembles a message from exactly the words produced by
+    /// [`to_words`](Self::to_words).
+    ///
+    /// # Panics
+    /// Implementations may panic if `words` has the wrong length.
+    fn from_words(words: &[u64]) -> Self;
+}
+
+macro_rules! impl_payload_prim {
+    ($($t:ty),*) => {$(
+        impl Payload for $t {
+            fn to_words(&self) -> Vec<u64> {
+                vec![u64::from(*self)]
+            }
+            fn from_words(words: &[u64]) -> Self {
+                assert_eq!(words.len(), 1, "expected 1 word");
+                words[0] as $t
+            }
+        }
+    )*};
+}
+impl_payload_prim!(u8, u16, u32);
+
+impl Payload for u64 {
+    fn to_words(&self) -> Vec<u64> {
+        vec![*self]
+    }
+    fn from_words(words: &[u64]) -> Self {
+        assert_eq!(words.len(), 1, "expected 1 word");
+        words[0]
+    }
+}
+
+impl<const N: usize> Payload for [u64; N] {
+    fn to_words(&self) -> Vec<u64> {
+        assert!(N > 0, "payload must have at least one word");
+        self.to_vec()
+    }
+    fn from_words(words: &[u64]) -> Self {
+        let mut out = [0u64; N];
+        assert_eq!(words.len(), N, "expected {N} words");
+        out.copy_from_slice(words);
+        out
+    }
+}
+
+/// One network flit: a data word plus an end-of-packet marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Flit {
+    /// Payload word.
+    pub data: u64,
+    /// True on the final flit of a packet.
+    pub last: bool,
+}
+
+/// Serializes messages into flits, one flit per cycle.
+#[derive(Debug)]
+pub struct Packetizer<T: Payload> {
+    name: String,
+    input: In<T>,
+    output: Out<Flit>,
+    pending: VecDeque<Flit>,
+}
+
+impl<T: Payload> Packetizer<T> {
+    /// Wires a packetizer between a message input and a flit output.
+    pub fn new(name: impl Into<String>, input: In<T>, output: Out<Flit>) -> Self {
+        Packetizer {
+            name: name.into(),
+            input,
+            output,
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+impl<T: Payload> Component for Packetizer<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        if self.pending.is_empty() {
+            if let Some(msg) = self.input.pop_nb() {
+                let words = msg.to_words();
+                let n = words.len();
+                assert!(n > 0, "payload serialized to zero words");
+                for (i, w) in words.into_iter().enumerate() {
+                    self.pending.push_back(Flit {
+                        data: w,
+                        last: i + 1 == n,
+                    });
+                }
+            }
+        }
+        if let Some(&flit) = self.pending.front() {
+            if self.output.push_nb(flit).is_ok() {
+                self.pending.pop_front();
+            }
+        }
+    }
+}
+
+/// Reassembles flits into messages.
+#[derive(Debug)]
+pub struct DePacketizer<T: Payload> {
+    name: String,
+    input: In<Flit>,
+    output: Out<T>,
+    accum: Vec<u64>,
+    ready_msg: Option<T>,
+}
+
+impl<T: Payload> DePacketizer<T> {
+    /// Wires a depacketizer between a flit input and a message output.
+    pub fn new(name: impl Into<String>, input: In<Flit>, output: Out<T>) -> Self {
+        DePacketizer {
+            name: name.into(),
+            input,
+            output,
+            accum: Vec::new(),
+            ready_msg: None,
+        }
+    }
+}
+
+impl<T: Payload> Component for DePacketizer<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        if self.ready_msg.is_none() {
+            if let Some(flit) = self.input.pop_nb() {
+                self.accum.push(flit.data);
+                if flit.last {
+                    let msg = T::from_words(&self.accum);
+                    self.accum.clear();
+                    self.ready_msg = Some(msg);
+                }
+            }
+        }
+        if let Some(msg) = self.ready_msg.take() {
+            if let Err(back) = self.output.push_nb(msg) {
+                self.ready_msg = Some(back);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{channel, ChannelKind};
+    use craft_sim::{ClockSpec, Picoseconds, Simulator};
+
+    /// Round-trips messages through packetizer -> flit buffer ->
+    /// depacketizer and checks content and ordering.
+    fn round_trip<T: Payload + PartialEq + std::fmt::Debug>(msgs: Vec<T>) -> Vec<T> {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(1000)));
+
+        let (mut msg_tx, msg_rx, h1) = channel::<T>("msgs", ChannelKind::Buffer(8));
+        let (flit_tx, flit_rx, h2) = channel::<Flit>("flits", ChannelKind::Buffer(2));
+        let (out_tx, mut out_rx, h3) = channel::<T>("out", ChannelKind::Buffer(8));
+
+        for h in [h1.sequential(), h2.sequential(), h3.sequential()] {
+            sim.add_sequential(clk, h);
+        }
+        sim.add_component(clk, Packetizer::new("pkt", msg_rx, flit_tx));
+        sim.add_component(clk, DePacketizer::new("depkt", flit_rx, out_tx));
+
+        let mut to_send: VecDeque<T> = msgs.into();
+        let mut got = Vec::new();
+        for _ in 0..400 {
+            if let Some(m) = to_send.front() {
+                if msg_tx.push_nb(m.clone()).is_ok() {
+                    to_send.pop_front();
+                }
+            }
+            sim.run_cycles(clk, 1);
+            if let Some(m) = out_rx.pop_nb() {
+                got.push(m);
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn single_word_messages_round_trip() {
+        let sent: Vec<u32> = (0..10).collect();
+        assert_eq!(round_trip(sent.clone()), sent);
+    }
+
+    #[test]
+    fn multi_word_messages_round_trip_in_order() {
+        let sent: Vec<[u64; 3]> = (0..5).map(|i| [i, i * 10, i * 100]).collect();
+        assert_eq!(round_trip(sent.clone()), sent);
+    }
+
+    #[test]
+    fn flit_last_marks_packet_boundary() {
+        let msg = [1u64, 2, 3];
+        let words = msg.to_words();
+        assert_eq!(words.len(), 3);
+        let rebuilt = <[u64; 3]>::from_words(&words);
+        assert_eq!(rebuilt, msg);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 1 word")]
+    fn wrong_word_count_panics() {
+        let _ = u32::from_words(&[1, 2]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Unified endpoint objects (paper Table 1: `In<T>`, `Out<T>`).
+//!
+//! Ports are decoupled from channels: a component owns `In`/`Out`
+//! terminals and is oblivious to whether they were wired to a
+//! `Combinational`, `Bypass`, `Pipeline` or `Buffer` channel — the key
+//! modularity property of the Connections API (§2.3). "Blocking"
+//! `Pop`/`Push` from the paper map onto the FSM convention of retrying
+//! `pop_nb`/`push_nb` each cycle until they succeed.
+
+use crate::channel::ChannelCore;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Producer terminal of an LI channel (`Out<T>` in the paper).
+pub struct Out<T> {
+    core: Rc<RefCell<ChannelCore<T>>>,
+}
+
+impl<T> Out<T> {
+    pub(crate) fn new(core: Rc<RefCell<ChannelCore<T>>>) -> Self {
+        Out { core }
+    }
+
+    /// True if a non-blocking push would succeed this cycle (the
+    /// channel's `ready` as seen by the producer).
+    pub fn can_push(&self) -> bool {
+        self.core.borrow().can_push()
+    }
+
+    /// Non-blocking push (`PushNB`): stages `v` for transfer.
+    ///
+    /// # Errors
+    /// Returns `Err(v)` (handing the message back, [C-INTERMEDIATE])
+    /// when the channel is exerting backpressure or a push was already
+    /// issued this cycle.
+    pub fn push_nb(&mut self, v: T) -> Result<(), T> {
+        self.core.borrow_mut().push_nb(v)
+    }
+
+    /// Name of the connected channel.
+    pub fn channel_name(&self) -> String {
+        self.core.borrow().name.clone()
+    }
+}
+
+impl<T> fmt::Debug for Out<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Out({})", self.core.borrow().name)
+    }
+}
+
+/// Consumer terminal of an LI channel (`In<T>` in the paper).
+pub struct In<T> {
+    core: Rc<RefCell<ChannelCore<T>>>,
+}
+
+impl<T> In<T> {
+    pub(crate) fn new(core: Rc<RefCell<ChannelCore<T>>>) -> Self {
+        In { core }
+    }
+
+    /// True if a non-blocking pop would succeed this cycle (the
+    /// channel's `valid` as seen by the consumer, after stall
+    /// injection).
+    pub fn can_pop(&self) -> bool {
+        self.core.borrow().can_pop()
+    }
+
+    /// Non-blocking pop (`PopNB`): takes the head message if one is
+    /// available this cycle.
+    pub fn pop_nb(&mut self) -> Option<T> {
+        self.core.borrow_mut().pop_nb()
+    }
+
+    /// Observes the head message without consuming it.
+    pub fn peek(&self) -> Option<T>
+    where
+        T: Clone,
+    {
+        self.core.borrow().peek_ref().cloned()
+    }
+
+    /// Name of the connected channel.
+    pub fn channel_name(&self) -> String {
+        self.core.borrow().name.clone()
+    }
+}
+
+impl<T> fmt::Debug for In<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "In({})", self.core.borrow().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{channel, ChannelKind};
+
+    #[test]
+    fn ports_share_one_channel() {
+        let (mut tx, mut rx, h) = channel::<u8>("c", ChannelKind::Buffer(2));
+        assert!(tx.push_nb(1).is_ok());
+        assert_eq!(rx.pop_nb(), None); // registered
+        h.sequential().borrow_mut().commit();
+        assert_eq!(rx.peek(), Some(1));
+        assert_eq!(rx.pop_nb(), Some(1));
+        assert_eq!(h.stats().transfers, 1);
+    }
+
+    #[test]
+    fn debug_formats_mention_channel_name() {
+        let (tx, rx, _h) = channel::<u8>("noc.east", ChannelKind::Pipeline);
+        assert_eq!(format!("{tx:?}"), "Out(noc.east)");
+        assert_eq!(format!("{rx:?}"), "In(noc.east)");
+    }
+
+    #[test]
+    fn polymorphic_ports_same_code_all_kinds() {
+        // The same driver code runs against every channel kind: the
+        // paper's central API property.
+        for kind in [
+            ChannelKind::Combinational,
+            ChannelKind::Bypass,
+            ChannelKind::Pipeline,
+            ChannelKind::Buffer(3),
+        ] {
+            let (mut tx, mut rx, h) = channel::<u32>("k", kind);
+            let mut sent = 0u32;
+            let mut got = Vec::new();
+            for _cycle in 0..20 {
+                if sent < 5 && tx.push_nb(sent).is_ok() {
+                    sent += 1;
+                }
+                if let Some(v) = rx.pop_nb() {
+                    got.push(v);
+                }
+                h.sequential().borrow_mut().commit();
+            }
+            assert_eq!(got, vec![0, 1, 2, 3, 4], "kind {kind}");
+        }
+    }
+}

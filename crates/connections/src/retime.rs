@@ -1,0 +1,161 @@
+//! Retiming stages (§2.3): "LI channels also provide the extensibility
+//! of adding retiming registers on inter-unit interfaces to ease
+//! timing pressure or aid floorplanning."
+//!
+//! A [`Retimer`] sits between two channels and adds a configurable
+//! number of register stages. Because the interface is latency
+//! insensitive, inserting one changes cycle timing but can never
+//! change function — exactly why the back end is free to sprinkle them
+//! along long top-level routes.
+
+use crate::{In, Out};
+use craft_sim::{Component, TickCtx};
+
+/// An `n`-stage retiming pipeline between two LI channels.
+pub struct Retimer<T> {
+    name: String,
+    input: In<T>,
+    output: Out<T>,
+    /// Each slot is one register stage; a message advances one stage
+    /// per cycle when the stage ahead is free.
+    stages: Vec<Option<T>>,
+}
+
+impl<T: 'static> Retimer<T> {
+    /// Builds an `stages`-deep retimer (1..=64).
+    ///
+    /// # Panics
+    /// Panics if `stages` is outside 1..=64.
+    pub fn new(name: impl Into<String>, input: In<T>, output: Out<T>, stages: usize) -> Self {
+        assert!((1..=64).contains(&stages), "stages must be 1..=64");
+        Retimer {
+            name: name.into(),
+            input,
+            output,
+            stages: (0..stages).map(|_| None).collect(),
+        }
+    }
+
+    /// Messages currently held in the pipeline.
+    pub fn occupancy(&self) -> usize {
+        self.stages.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+impl<T: 'static> Component for Retimer<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        // Drain the last stage into the output channel.
+        let last = self.stages.len() - 1;
+        if let Some(v) = self.stages[last].take() {
+            if let Err(v) = self.output.push_nb(v) {
+                self.stages[last] = Some(v);
+            }
+        }
+        // Shift interior stages toward the output.
+        for i in (0..last).rev() {
+            if self.stages[i + 1].is_none() {
+                self.stages[i + 1] = self.stages[i].take();
+            }
+        }
+        // Accept a new message into stage 0.
+        if self.stages[0].is_none() {
+            self.stages[0] = self.input.pop_nb();
+        }
+    }
+}
+
+/// Pure retiming helper for tests and models: the cycle cost a
+/// `stages`-deep retimer adds to an uncontended transfer.
+pub fn retiming_latency(stages: usize) -> u64 {
+    stages as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{channel, ChannelKind};
+    use craft_sim::{ClockSpec, Picoseconds, Simulator};
+    use std::collections::VecDeque;
+
+    fn pipe(stages: usize, n: u32) -> (Vec<u32>, u64, VecDeque<u64>) {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds::new(909)));
+        let (mut tx, mid_rx, h1) = channel::<u32>("a", ChannelKind::Buffer(2));
+        let (mid_tx, mut rx, h2) = channel::<u32>("b", ChannelKind::Buffer(2));
+        sim.add_sequential(clk, h1.sequential());
+        sim.add_sequential(clk, h2.sequential());
+        sim.add_component(clk, Retimer::new("rt", mid_rx, mid_tx, stages));
+        let mut sent = 0u32;
+        let mut got = Vec::new();
+        let mut arrival_cycles = VecDeque::new();
+        for _ in 0..(n as usize * 4 + stages * 4 + 40) {
+            if sent < n && tx.push_nb(sent).is_ok() {
+                sent += 1;
+            }
+            sim.run_cycles(clk, 1);
+            while let Some(v) = rx.pop_nb() {
+                got.push(v);
+                arrival_cycles.push_back(sim.cycles(clk));
+            }
+            if got.len() as u32 == n {
+                break;
+            }
+        }
+        (got, sim.cycles(clk), arrival_cycles)
+    }
+
+    #[test]
+    fn function_preserved_any_depth() {
+        for stages in [1usize, 3, 8, 20] {
+            let (got, _, _) = pipe(stages, 30);
+            assert_eq!(got, (0..30).collect::<Vec<_>>(), "stages {stages}");
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_stages_throughput_does_not() {
+        let (_, _, arr1) = pipe(1, 40);
+        let (_, _, arr8) = pipe(8, 40);
+        // First arrival later with more stages.
+        assert!(arr8[0] > arr1[0], "{} vs {}", arr8[0], arr1[0]);
+        // Sustained rate: one message per cycle in both (inter-arrival
+        // gap of 1 once the pipe is full).
+        let gap = |a: &VecDeque<u64>| a[a.len() - 1] - a[a.len() - 2];
+        assert_eq!(gap(&arr1), 1);
+        assert_eq!(gap(&arr8), 1);
+    }
+
+    #[test]
+    fn backpressure_propagates_through_stages() {
+        // Nobody drains the output: the retimer fills, then the input
+        // channel fills; nothing is lost.
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds::new(909)));
+        let (mut tx, mid_rx, h1) = channel::<u32>("a", ChannelKind::Buffer(2));
+        let (mid_tx, mut rx, h2) = channel::<u32>("b", ChannelKind::Buffer(2));
+        sim.add_sequential(clk, h1.sequential());
+        sim.add_sequential(clk, h2.sequential());
+        sim.add_component(clk, Retimer::new("rt", mid_rx, mid_tx, 4));
+        let mut sent = 0u32;
+        for _ in 0..60 {
+            if tx.push_nb(sent).is_ok() {
+                sent += 1;
+            }
+            sim.run_cycles(clk, 1);
+        }
+        // Capacity: 2 + 4 + 2 = 8 (+1 in flight).
+        assert!(sent <= 9, "backpressure failed: {sent} accepted");
+        let mut got = Vec::new();
+        for _ in 0..60 {
+            if let Some(v) = rx.pop_nb() {
+                got.push(v);
+            }
+            sim.run_cycles(clk, 1);
+        }
+        assert_eq!(got, (0..sent).collect::<Vec<_>>());
+    }
+}

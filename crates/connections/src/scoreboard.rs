@@ -1,0 +1,145 @@
+//! Reusable verification scoreboard — the "verification testbenches"
+//! box of Fig. 1 as a library component.
+//!
+//! A [`Scoreboard`] taps a DUT's output channel and compares it against
+//! an expected stream, recording mismatches instead of panicking so a
+//! campaign can run to completion and report everything at once (the
+//! way the paper's testbenches accumulate coverage/failures).
+
+use crate::In;
+use craft_sim::{Component, TickCtx};
+use std::cell::RefCell;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// What the scoreboard observed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScoreboardResult<T> {
+    /// Messages that matched expectations.
+    pub matched: u64,
+    /// (index, expected, actual) triples for mismatches.
+    pub mismatches: Vec<(u64, T, T)>,
+    /// Messages that arrived beyond the expected stream.
+    pub unexpected: u64,
+}
+
+impl<T> ScoreboardResult<T> {
+    /// True when everything expected arrived, in order, with nothing
+    /// extra.
+    pub fn passed(&self, expected_len: usize) -> bool {
+        self.mismatches.is_empty() && self.unexpected == 0 && self.matched == expected_len as u64
+    }
+}
+
+/// Shared handle for reading a scoreboard after the run.
+pub type ScoreboardHandle<T> = Rc<RefCell<ScoreboardResult<T>>>;
+
+/// Stream-comparing checker component.
+pub struct Scoreboard<T> {
+    name: String,
+    input: In<T>,
+    expected: Vec<T>,
+    cursor: usize,
+    result: ScoreboardHandle<T>,
+}
+
+impl<T: Clone + PartialEq + Debug + 'static> Scoreboard<T> {
+    /// Builds a scoreboard expecting exactly `expected`, in order.
+    pub fn new(name: impl Into<String>, input: In<T>, expected: Vec<T>) -> Self {
+        Scoreboard {
+            name: name.into(),
+            input,
+            expected,
+            cursor: 0,
+            result: Rc::new(RefCell::new(ScoreboardResult {
+                matched: 0,
+                mismatches: Vec::new(),
+                unexpected: 0,
+            })),
+        }
+    }
+
+    /// Handle to read the verdict after simulation.
+    pub fn handle(&self) -> ScoreboardHandle<T> {
+        Rc::clone(&self.result)
+    }
+}
+
+impl<T: Clone + PartialEq + Debug + 'static> Component for Scoreboard<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        while let Some(actual) = self.input.pop_nb() {
+            let mut r = self.result.borrow_mut();
+            match self.expected.get(self.cursor) {
+                Some(exp) if *exp == actual => r.matched += 1,
+                Some(exp) => r
+                    .mismatches
+                    .push((self.cursor as u64, exp.clone(), actual)),
+                None => r.unexpected += 1,
+            }
+            self.cursor += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{channel, ChannelKind, StallInjector};
+    use craft_sim::{ClockSpec, Picoseconds, Simulator};
+
+    fn run_stream(send: Vec<u32>, expect: Vec<u32>, stall: bool) -> ScoreboardResult<u32> {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds::new(909)));
+        let (mut tx, rx, h) = channel::<u32>("dut", ChannelKind::Buffer(2));
+        sim.add_sequential(clk, h.sequential());
+        if stall {
+            h.inject_stalls(StallInjector::bernoulli(0.4, 7));
+        }
+        let expected_len = expect.len();
+        let sb = Scoreboard::new("sb", rx, expect);
+        let handle = sb.handle();
+        sim.add_component(clk, sb);
+        let mut i = 0;
+        for _ in 0..send.len() * 8 + 50 {
+            if i < send.len() && tx.push_nb(send[i]).is_ok() {
+                i += 1;
+            }
+            sim.run_cycles(clk, 1);
+        }
+        let _ = expected_len;
+        let out = handle.borrow().clone();
+        out
+    }
+
+    #[test]
+    fn clean_stream_passes() {
+        let r = run_stream(vec![1, 2, 3, 4], vec![1, 2, 3, 4], false);
+        assert!(r.passed(4));
+    }
+
+    #[test]
+    fn corruption_is_pinpointed() {
+        let r = run_stream(vec![1, 99, 3], vec![1, 2, 3], false);
+        assert_eq!(r.matched, 2);
+        assert_eq!(r.mismatches, vec![(1, 2, 99)]);
+        assert!(!r.passed(3));
+    }
+
+    #[test]
+    fn extra_messages_flagged() {
+        let r = run_stream(vec![1, 2, 3, 4, 5], vec![1, 2, 3], false);
+        assert_eq!(r.unexpected, 2);
+        assert!(!r.passed(3));
+    }
+
+    #[test]
+    fn stalls_do_not_cause_false_failures() {
+        let data: Vec<u32> = (0..40).collect();
+        let r = run_stream(data.clone(), data, true);
+        assert!(r.passed(40), "{r:?}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Random stall injection (§2.3).
+//!
+//! Leveraging latency-insensitivity, any channel can randomly withhold
+//! `valid` to perturb inter-unit timing without changing design or
+//! testbench code. This quickly covers timing-interaction corner cases
+//! that would otherwise need dedicated directed tests — see the
+//! `stall_injection` integration test for a seeded bug the technique
+//! finds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+// One injector per channel; the RNG-bearing variant's size is fine.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum Mode {
+    /// Stall every cycle (for unit tests / worst-case checks).
+    Always,
+    /// Stall each cycle independently with probability `p`.
+    Bernoulli { p: f64, rng: StdRng },
+    /// Alternate deterministic run/stall bursts.
+    Burst {
+        run: u32,
+        stall: u32,
+        phase: u32,
+    },
+}
+
+/// A per-channel source of stall decisions, rolled once per cycle at
+/// commit time.
+///
+/// ```
+/// use craft_connections::StallInjector;
+/// let mut s = StallInjector::bernoulli(0.5, 42);
+/// let stalls: usize = (0..1000).filter(|_| s.roll()).count();
+/// assert!((300..700).contains(&stalls)); // roughly half
+/// ```
+#[derive(Debug, Clone)]
+pub struct StallInjector {
+    mode: Mode,
+}
+
+impl StallInjector {
+    /// Stalls every cycle.
+    pub fn always() -> Self {
+        StallInjector { mode: Mode::Always }
+    }
+
+    /// Stalls each cycle independently with probability `p`, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn bernoulli(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "stall probability must be in [0,1]");
+        StallInjector {
+            mode: Mode::Bernoulli {
+                p,
+                rng: StdRng::seed_from_u64(seed),
+            },
+        }
+    }
+
+    /// Deterministically alternates `run` un-stalled cycles with
+    /// `stall` stalled cycles.
+    ///
+    /// # Panics
+    /// Panics if `run + stall` is zero.
+    pub fn burst(run: u32, stall: u32) -> Self {
+        assert!(run + stall > 0, "burst period must be nonzero");
+        StallInjector {
+            mode: Mode::Burst {
+                run,
+                stall,
+                phase: 0,
+            },
+        }
+    }
+
+    /// Draws the stall decision for the next cycle.
+    pub fn roll(&mut self) -> bool {
+        match &mut self.mode {
+            Mode::Always => true,
+            Mode::Bernoulli { p, rng } => rng.gen::<f64>() < *p,
+            Mode::Burst { run, stall, phase } => {
+                let period = *run + *stall;
+                let stalled = *phase >= *run;
+                *phase = (*phase + 1) % period;
+                stalled
+            }
+        }
+    }
+}
+
+impl fmt::Display for StallInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.mode {
+            Mode::Always => write!(f, "always"),
+            Mode::Bernoulli { p, .. } => write!(f, "bernoulli(p={p})"),
+            Mode::Burst { run, stall, .. } => write!(f, "burst({run} run / {stall} stall)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_always_stalls() {
+        let mut s = StallInjector::always();
+        assert!((0..10).all(|_| s.roll()));
+    }
+
+    #[test]
+    fn bernoulli_is_seed_reproducible() {
+        let mut a = StallInjector::bernoulli(0.3, 7);
+        let mut b = StallInjector::bernoulli(0.3, 7);
+        let va: Vec<bool> = (0..100).map(|_| a.roll()).collect();
+        let vb: Vec<bool> = (0..100).map(|_| b.roll()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn bernoulli_zero_and_one() {
+        let mut z = StallInjector::bernoulli(0.0, 1);
+        assert!((0..50).all(|_| !z.roll()));
+        let mut o = StallInjector::bernoulli(1.0, 1);
+        assert!((0..50).all(|_| o.roll()));
+    }
+
+    #[test]
+    fn burst_pattern() {
+        let mut s = StallInjector::burst(2, 1);
+        let v: Vec<bool> = (0..6).map(|_| s.roll()).collect();
+        assert_eq!(v, vec![false, false, true, false, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stall probability must be in [0,1]")]
+    fn bad_probability_panics() {
+        let _ = StallInjector::bernoulli(1.5, 0);
+    }
+}

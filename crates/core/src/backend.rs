@@ -1,0 +1,223 @@
+//! Back-end closure models (§3, §4): top-level static timing analysis
+//! of inter-partition interfaces under synchronous vs GALS clocking,
+//! and the P&R turnaround-time model behind the paper's "12-hour
+//! RTL-to-layout turnaround ... dozens of daily iterations".
+
+use crate::floorplan::Floorplan;
+use craft_tech::{TechLibrary, OCV_FRACTION};
+
+/// Timing verdict for one inter-partition interface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceTiming {
+    /// Source partition index.
+    pub from: usize,
+    /// Destination partition index.
+    pub to: usize,
+    /// Wire flight time in ps.
+    pub wire_ps: f64,
+    /// Slack in ps under the chosen clocking (negative = violation).
+    pub slack_ps: f64,
+}
+
+/// Top-level STA report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaReport {
+    /// Per-interface results.
+    pub interfaces: Vec<InterfaceTiming>,
+    /// Interfaces with negative slack.
+    pub violations: usize,
+    /// Worst slack in ps.
+    pub worst_slack_ps: f64,
+}
+
+fn wire_delay_ps(lib: &TechLibrary, length_um: f64) -> f64 {
+    // Repeatered top-level route: optimal buffering makes delay linear
+    // in length. The per-µm constant comes from the library's RC with
+    // 500 µm repeater segments plus one buffer delay per segment.
+    let seg = 500.0;
+    let rc_seg = 0.5 * lib.wire_res_ohm_per_um * lib.wire_cap_ff_per_um * seg * seg / 1000.0;
+    let buf = lib.cell(craft_tech::CellKind::ClkBuf).delay_ps;
+    (length_um / seg) * (rc_seg + buf)
+}
+
+/// Synchronous top-level STA: every inter-partition path must fit in
+/// one clock period after subtracting launch/capture margins and the
+/// global tree's OCV-derived skew (the "challenge in the presence of
+/// on-chip variation" of §1).
+///
+/// # Panics
+/// Panics if a net references a partition the floorplan lacks.
+pub fn sta_synchronous(
+    lib: &TechLibrary,
+    fp: &Floorplan,
+    nets: &[(usize, usize, u32)],
+    clock_ps: f64,
+    skew_ps: f64,
+) -> StaReport {
+    let flop_margin = 80.0; // clk->q + setup of the endpoint flops
+    let mut interfaces = Vec::new();
+    let mut violations = 0;
+    let mut worst: f64 = f64::INFINITY;
+    for &(a, b, _) in nets {
+        assert!(
+            a < fp.positions.len() && b < fp.positions.len(),
+            "net references partition outside the floorplan"
+        );
+        let wire_ps = wire_delay_ps(lib, fp.distance(a, b));
+        // OCV derating on the data path plus the distribution skew.
+        let slack = clock_ps - flop_margin - wire_ps * (1.0 + OCV_FRACTION) - skew_ps;
+        if slack < 0.0 {
+            violations += 1;
+        }
+        worst = worst.min(slack);
+        interfaces.push(InterfaceTiming {
+            from: a,
+            to: b,
+            wire_ps,
+            slack_ps: slack,
+        });
+    }
+    StaReport {
+        violations,
+        worst_slack_ps: if interfaces.is_empty() { 0.0 } else { worst },
+        interfaces,
+    }
+}
+
+/// GALS top-level STA: inter-partition interfaces are asynchronous
+/// handshakes through pausible FIFOs — there is no setup race to
+/// close, so every interface reports the full period as slack
+/// ("correct-by-construction top-level timing", §3.1). Wire flight
+/// time still matters for *latency*, so it is reported.
+pub fn sta_gals(lib: &TechLibrary, fp: &Floorplan, nets: &[(usize, usize, u32)], clock_ps: f64) -> StaReport {
+    let interfaces: Vec<InterfaceTiming> = nets
+        .iter()
+        .map(|&(a, b, _)| InterfaceTiming {
+            from: a,
+            to: b,
+            wire_ps: wire_delay_ps(lib, fp.distance(a, b)),
+            slack_ps: clock_ps,
+        })
+        .collect();
+    StaReport {
+        violations: 0,
+        worst_slack_ps: if interfaces.is_empty() { 0.0 } else { clock_ps },
+        interfaces,
+    }
+}
+
+/// P&R runtime model: place-and-route effort grows superlinearly with
+/// instance count (classic ~n^1.3 behaviour of commercial routers).
+/// Returns hours for one run over `gates` NAND2-equivalents.
+pub fn pnr_hours(gates: f64) -> f64 {
+    assert!(gates >= 0.0, "gate count must be non-negative");
+    // Calibrated so ~1.1M gates (a testchip partition) takes ~8-12 h.
+    0.8 + (gates / 1.0e6).powf(1.3) * 8.5
+}
+
+/// Turnaround comparison: one monolithic P&R of the whole design vs
+/// partitioned P&R where partitions run in parallel (per the paper,
+/// partitioning "can make back-end tool flows manageable, reduce
+/// runtime ... and allow design teams to parallelize").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TurnaroundReport {
+    /// Hours for a single flat run.
+    pub monolithic_hours: f64,
+    /// Hours for the slowest partition (all run in parallel).
+    pub partitioned_hours: f64,
+    /// Daily iterations achievable at the partitioned turnaround
+    /// (the paper sustained "dozens" at a 12-hour turnaround; an
+    /// iteration here is one P&R attempt of the partition being
+    /// tweaked).
+    pub daily_iterations: f64,
+}
+
+/// Computes the report for partitions of the given gate counts.
+///
+/// # Panics
+/// Panics if `partition_gates` is empty.
+pub fn turnaround(partition_gates: &[f64]) -> TurnaroundReport {
+    assert!(!partition_gates.is_empty(), "need at least one partition");
+    let total: f64 = partition_gates.iter().sum();
+    let monolithic = pnr_hours(total);
+    let partitioned = partition_gates
+        .iter()
+        .map(|&g| pnr_hours(g))
+        .fold(0.0, f64::max);
+    TurnaroundReport {
+        monolithic_hours: monolithic,
+        partitioned_hours: partitioned,
+        daily_iterations: 24.0 / partitioned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floorplan::{floorplan, Block};
+
+    fn testchip() -> (Vec<Block>, Vec<(usize, usize, u32)>) {
+        // 19 partitions, mesh-ish connectivity.
+        let blocks: Vec<Block> = (0..19)
+            .map(|i| Block {
+                name: format!("p{i}"),
+                area_um2: 250_000.0,
+            })
+            .collect();
+        let nets: Vec<(usize, usize, u32)> = (0..18).map(|i| (i, i + 1, 64)).collect();
+        (blocks, nets)
+    }
+
+    #[test]
+    fn gals_always_closes_where_synchronous_may_not() {
+        let lib = TechLibrary::n16();
+        let (blocks, nets) = testchip();
+        let fp = floorplan(&blocks, &nets, 11);
+        // A tight clock with realistic global skew.
+        let tree = craft_tech::clock_tree(&lib, 4_000_000, fp.die_span_um);
+        let sync = sta_synchronous(&lib, &fp, &nets, 909.0, tree.skew_ps);
+        let gals = sta_gals(&lib, &fp, &nets, 909.0);
+        assert_eq!(gals.violations, 0);
+        assert!(gals.worst_slack_ps > sync.worst_slack_ps);
+        // Same wires, same flight times.
+        for (a, b) in sync.interfaces.iter().zip(&gals.interfaces) {
+            assert!((a.wire_ps - b.wire_ps).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn synchronous_violates_on_a_huge_die() {
+        let lib = TechLibrary::n16();
+        // Two partitions artificially far apart: stretch the placement.
+        let fp = Floorplan {
+            positions: vec![(0.0, 0.0), (9_000.0, 9_000.0)],
+            die_span_um: 10_000.0,
+            wirelength_um: 18_000.0,
+        };
+        let nets = vec![(0usize, 1usize, 8u32)];
+        let sync = sta_synchronous(&lib, &fp, &nets, 909.0, 120.0);
+        assert!(sync.violations > 0, "cross-die sync path must fail at 1.1 GHz");
+        let gals = sta_gals(&lib, &fp, &nets, 909.0);
+        assert_eq!(gals.violations, 0);
+    }
+
+    #[test]
+    fn partitioning_slashes_turnaround() {
+        // 19 partitions x 1.1M gates vs one 21M-gate flat run.
+        let gates: Vec<f64> = vec![1_100_000.0; 19];
+        let t = turnaround(&gates);
+        assert!(t.partitioned_hours < 24.0, "paper's 12-hour band: {t:?}");
+        assert!(
+            t.monolithic_hours > 5.0 * t.partitioned_hours,
+            "flat must be far slower: {t:?}"
+        );
+        assert!(t.daily_iterations >= 2.0);
+    }
+
+    #[test]
+    fn pnr_model_is_superlinear() {
+        let one = pnr_hours(1.0e6);
+        let ten = pnr_hours(10.0e6);
+        assert!(ten > 10.0 * one * 0.9, "{one} vs {ten}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Design-space exploration: sweeping HLS constraints without touching
+//! kernel source — the decoupling the paper credits OOHLS with
+//! ("enables design space exploration without changing source code",
+//! §2.2).
+
+use craft_hls::{compile, Constraints, Kernel};
+use craft_tech::TechLibrary;
+
+/// One explored design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Constraints that produced the point.
+    pub constraints: Constraints,
+    /// Area in µm².
+    pub area_um2: f64,
+    /// Latency in cycles.
+    pub latency: u32,
+    /// Initiation interval.
+    pub ii: u32,
+    /// Critical combinational path in ps.
+    pub crit_path_ps: f64,
+    /// Power at 20% activity, mW.
+    pub power_mw: f64,
+}
+
+impl DesignPoint {
+    /// True if `self` dominates `other` (no worse in area, latency and
+    /// II; strictly better in at least one).
+    pub fn dominates(&self, other: &DesignPoint) -> bool {
+        let no_worse = self.area_um2 <= other.area_um2
+            && self.latency <= other.latency
+            && self.ii <= other.ii;
+        let better = self.area_um2 < other.area_um2
+            || self.latency < other.latency
+            || self.ii < other.ii;
+        no_worse && better
+    }
+}
+
+/// Sweeps `kernel` across every combination of the given clocks and
+/// multiplier budgets, returning all evaluated points.
+///
+/// # Panics
+/// Panics if either sweep list is empty.
+pub fn sweep(
+    kernel: &Kernel,
+    lib: &TechLibrary,
+    clocks_ps: &[f64],
+    multiplier_budgets: &[Option<u32>],
+) -> Vec<DesignPoint> {
+    assert!(!clocks_ps.is_empty(), "need at least one clock point");
+    assert!(
+        !multiplier_budgets.is_empty(),
+        "need at least one resource point"
+    );
+    let mut points = Vec::new();
+    for &clock in clocks_ps {
+        for &muls in multiplier_budgets {
+            let mut c = Constraints::at_clock(clock).with_mem_ports(16);
+            if let Some(m) = muls {
+                c = c.with_multipliers(m);
+            }
+            let out = compile(kernel.clone(), lib, &c);
+            points.push(DesignPoint {
+                constraints: c,
+                area_um2: out.module.area_um2(lib),
+                latency: out.module.latency,
+                ii: out.module.ii,
+                crit_path_ps: out.module.crit_path_ps,
+                power_mw: out.module.power(lib, 0.2).total_mw(),
+            });
+        }
+    }
+    points
+}
+
+/// Filters `points` down to the Pareto-optimal front (area, latency,
+/// II).
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    points
+        .iter()
+        .filter(|p| !points.iter().any(|q| q.dominates(p)))
+        .cloned()
+        .collect()
+}
+
+/// Picks the smallest-area point meeting a latency bound, if any.
+pub fn best_under_latency(points: &[DesignPoint], max_latency: u32) -> Option<DesignPoint> {
+    points
+        .iter()
+        .filter(|p| p.latency <= max_latency)
+        .min_by(|a, b| a.area_um2.total_cmp(&b.area_um2))
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craft_hls::KernelBuilder;
+
+    fn dot8() -> Kernel {
+        let mut b = KernelBuilder::new("dot8", 32);
+        let mut acc = b.constant(0);
+        for i in 0..8 {
+            let x = b.input(2 * i);
+            let y = b.input(2 * i + 1);
+            let p = b.mul(x, y);
+            acc = b.add(acc, p);
+        }
+        b.output(0, acc);
+        b.finish()
+    }
+
+    #[test]
+    fn sweep_trades_area_for_latency() {
+        let lib = TechLibrary::n16();
+        let pts = sweep(&dot8(), &lib, &[1200.0], &[None, Some(2), Some(1)]);
+        assert_eq!(pts.len(), 3);
+        let unconstrained = &pts[0];
+        let one_mul = &pts[2];
+        assert!(one_mul.area_um2 < unconstrained.area_um2);
+        assert!(one_mul.latency > unconstrained.latency);
+    }
+
+    #[test]
+    fn pareto_front_removes_dominated() {
+        let lib = TechLibrary::n16();
+        let pts = sweep(&dot8(), &lib, &[1000.0, 1400.0], &[None, Some(4), Some(1)]);
+        let front = pareto_front(&pts);
+        assert!(!front.is_empty());
+        assert!(front.len() <= pts.len());
+        for p in &front {
+            assert!(!pts.iter().any(|q| q.dominates(p)));
+        }
+    }
+
+    #[test]
+    fn best_under_latency_respects_bound() {
+        let lib = TechLibrary::n16();
+        let pts = sweep(&dot8(), &lib, &[1200.0], &[None, Some(1)]);
+        let fastest = pts.iter().map(|p| p.latency).min().expect("points");
+        let best = best_under_latency(&pts, fastest).expect("feasible");
+        assert!(best.latency <= fastest);
+        assert!(best_under_latency(&pts, 0).is_none());
+    }
+}

@@ -1,0 +1,215 @@
+//! Partition floorplanning (the back-end stage of §3): place the
+//! design's partitions on a die, minimizing the wirelength of the
+//! inter-partition connectivity — the loop the paper's team iterated
+//! "dozens of times daily" during march-to-tapeout.
+//!
+//! The model is deliberately simple but real: partitions are soft
+//! rectangles of fixed area placed on a slot grid; a deterministic
+//! seeded annealer swaps slots to minimize total Manhattan wirelength
+//! weighted by connection count. Outputs feed the clock-tree span
+//! (synchronous baseline) and the GALS link-length energy model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A partition to place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Partition name.
+    pub name: String,
+    /// Placed area in µm² (drives slot size).
+    pub area_um2: f64,
+}
+
+/// An inter-partition connection: (block a, block b, wires).
+pub type Net = (usize, usize, u32);
+
+/// A completed floorplan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    /// Block index -> (x, y) center in µm.
+    pub positions: Vec<(f64, f64)>,
+    /// Die edge in µm (square die of uniform slots).
+    pub die_span_um: f64,
+    /// Total weighted Manhattan wirelength in µm.
+    pub wirelength_um: f64,
+}
+
+impl Floorplan {
+    /// Manhattan distance between two placed blocks.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        let (ax, ay) = self.positions[a];
+        let (bx, by) = self.positions[b];
+        (ax - bx).abs() + (ay - by).abs()
+    }
+}
+
+fn wirelength(positions: &[(f64, f64)], nets: &[Net]) -> f64 {
+    nets.iter()
+        .map(|&(a, b, w)| {
+            let (ax, ay) = positions[a];
+            let (bx, by) = positions[b];
+            ((ax - bx).abs() + (ay - by).abs()) * f64::from(w)
+        })
+        .sum()
+}
+
+/// Places `blocks` on a square slot grid and anneals slot swaps to
+/// minimize weighted wirelength. Deterministic for a given `seed`.
+///
+/// # Panics
+/// Panics if `blocks` is empty or a net references a missing block.
+pub fn floorplan(blocks: &[Block], nets: &[Net], seed: u64) -> Floorplan {
+    assert!(!blocks.is_empty(), "floorplan needs at least one block");
+    for &(a, b, _) in nets {
+        assert!(a < blocks.len() && b < blocks.len(), "net references missing block");
+    }
+    let n = blocks.len();
+    let grid = (n as f64).sqrt().ceil() as usize;
+    // Slot pitch: large enough for the biggest block plus routing halo.
+    let max_area = blocks.iter().map(|b| b.area_um2).fold(0.0, f64::max);
+    let pitch = (max_area.sqrt() * 1.15).max(10.0);
+    let die_span = pitch * grid as f64;
+
+    // slot_of[block] = slot index; initial placement in block order.
+    let mut slot_of: Vec<usize> = (0..n).collect();
+    let pos = |slot: usize| -> (f64, f64) {
+        let (x, y) = (slot % grid, slot / grid);
+        (
+            (x as f64 + 0.5) * pitch,
+            (y as f64 + 0.5) * pitch,
+        )
+    };
+    let positions_of = |slot_of: &[usize]| -> Vec<(f64, f64)> {
+        slot_of.iter().map(|&s| pos(s)).collect()
+    };
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best = slot_of.clone();
+    let mut best_cost = wirelength(&positions_of(&slot_of), nets);
+    let mut cost = best_cost;
+    let sweeps = 400 * n;
+    let mut temperature = pitch * 4.0;
+    for step in 0..sweeps {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        slot_of.swap(i, j);
+        let new_cost = wirelength(&positions_of(&slot_of), nets);
+        let accept = new_cost <= cost || {
+            let delta = new_cost - cost;
+            rng.gen::<f64>() < (-delta / temperature.max(1e-9)).exp()
+        };
+        if accept {
+            cost = new_cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best.copy_from_slice(&slot_of);
+            }
+        } else {
+            slot_of.swap(i, j);
+        }
+        // Geometric cooling.
+        if step % n.max(1) == 0 {
+            temperature *= 0.97;
+        }
+    }
+
+    Floorplan {
+        positions: positions_of(&best),
+        die_span_um: die_span,
+        wirelength_um: best_cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks(n: usize) -> Vec<Block> {
+        (0..n)
+            .map(|i| Block {
+                name: format!("p{i}"),
+                area_um2: 200_000.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn annealing_beats_initial_placement() {
+        // A ring of heavily connected neighbors placed adversarially.
+        let n = 9;
+        let b = blocks(n);
+        // Connect i <-> (i+1) % n strongly.
+        let nets: Vec<Net> = (0..n).map(|i| (i, (i + 1) % n, 10)).collect();
+        let fp = floorplan(&b, &nets, 1);
+        // Identity placement wirelength for comparison.
+        let identity = floorplan(&b, &nets, 1).positions.len(); // count only
+        let _ = identity;
+        let init_positions: Vec<(f64, f64)> = {
+            let grid = (n as f64).sqrt().ceil() as usize;
+            let pitch = (200_000.0f64.sqrt() * 1.15).max(10.0);
+            (0..n)
+                .map(|s| {
+                    (
+                        ((s % grid) as f64 + 0.5) * pitch,
+                        ((s / grid) as f64 + 0.5) * pitch,
+                    )
+                })
+                .collect()
+        };
+        let init_cost = wirelength(&init_positions, &nets);
+        assert!(
+            fp.wirelength_um <= init_cost,
+            "annealer must not be worse than the seed placement: {} vs {}",
+            fp.wirelength_um,
+            init_cost
+        );
+    }
+
+    #[test]
+    fn hot_pairs_end_up_adjacent() {
+        // Two blocks with overwhelming connectivity must be neighbors.
+        let b = blocks(16);
+        let mut nets: Vec<Net> = vec![(0, 15, 1000)];
+        // Light background connectivity.
+        for i in 0..15 {
+            nets.push((i, i + 1, 1));
+        }
+        let fp = floorplan(&b, &nets, 7);
+        let pitch = fp.die_span_um / 4.0;
+        assert!(
+            fp.distance(0, 15) <= pitch * 1.01,
+            "hot pair separated by {} um (pitch {})",
+            fp.distance(0, 15),
+            pitch
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let b = blocks(8);
+        let nets: Vec<Net> = (0..7).map(|i| (i, i + 1, 2)).collect();
+        let a1 = floorplan(&b, &nets, 42);
+        let a2 = floorplan(&b, &nets, 42);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn die_span_covers_all_blocks() {
+        let b = blocks(19); // the testchip's partition count
+        let fp = floorplan(&b, &[], 3);
+        for &(x, y) in &fp.positions {
+            assert!(x > 0.0 && x < fp.die_span_um);
+            assert!(y > 0.0 && y < fp.die_span_um);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "net references missing block")]
+    fn bad_net_panics() {
+        let _ = floorplan(&blocks(2), &[(0, 5, 1)], 0);
+    }
+}

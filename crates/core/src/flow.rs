@@ -1,0 +1,265 @@
+//! The C++-to-layout flow pipeline (Fig. 1): architectural kernels in,
+//! per-unit RTL cost models and a chip-level report out.
+//!
+//! A [`FlowSpec`] lists the design's unique units (each an HLS kernel
+//! with its own constraints and replication count) and its physical
+//! partitioning; [`run_flow`] compiles every unit through
+//! [`craft_hls`], prices it with [`craft_tech`], adds the GALS or
+//! synchronous clocking overhead, and produces a [`ChipReport`].
+
+use craft_gals::{clock_generator_netlist, pausible_fifo_netlist};
+use craft_hls::{compile, Constraints, Kernel};
+use craft_tech::{clock_tree, TechLibrary};
+
+/// Clocking scheme for the back end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Clocking {
+    /// Single global clock tree over the whole die.
+    GlobalSynchronous {
+        /// Die span in µm (drives tree depth and skew).
+        die_span_um: f64,
+    },
+    /// Fine-grained GALS: per-partition clock generators and pausible
+    /// bisynchronous FIFOs on every inter-partition interface.
+    FineGrainedGals {
+        /// Asynchronous interfaces per partition.
+        interfaces_per_partition: u32,
+        /// Crossing FIFO depth.
+        fifo_depth: u32,
+        /// Crossing FIFO width in bits.
+        fifo_width: u32,
+    },
+}
+
+/// One unique unit of the design.
+#[derive(Debug, Clone)]
+pub struct UnitSpec {
+    /// Unit name.
+    pub name: String,
+    /// Its architectural model.
+    pub kernel: Kernel,
+    /// HLS constraints (decoupled from the kernel source).
+    pub constraints: Constraints,
+    /// How many copies are instantiated (e.g. 15 PEs).
+    pub replicas: u32,
+}
+
+/// A whole-chip specification.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Design name.
+    pub name: String,
+    /// Unique units.
+    pub units: Vec<UnitSpec>,
+    /// Physical partitions (unit replicas grouped for place-and-route).
+    pub partitions: u32,
+    /// Clocking scheme.
+    pub clocking: Clocking,
+}
+
+/// Per-unit results.
+#[derive(Debug, Clone)]
+pub struct UnitReport {
+    /// Unit name.
+    pub name: String,
+    /// Area of one instance in µm².
+    pub instance_area_um2: f64,
+    /// NAND2-equivalent gates of one instance.
+    pub instance_gates: f64,
+    /// Instances.
+    pub replicas: u32,
+    /// Schedule latency (cycles).
+    pub latency: u32,
+    /// Initiation interval.
+    pub ii: u32,
+    /// HLS compile time in seconds.
+    pub compile_seconds: f64,
+}
+
+/// Chip-level rollup.
+#[derive(Debug, Clone)]
+pub struct ChipReport {
+    /// Design name.
+    pub name: String,
+    /// Per-unit breakdown.
+    pub units: Vec<UnitReport>,
+    /// Logic area (all instances) in µm².
+    pub logic_area_um2: f64,
+    /// Clocking overhead area in µm² (tree or GALS hardware).
+    pub clocking_area_um2: f64,
+    /// Inter-partition skew margin in ps (zero under GALS).
+    pub skew_margin_ps: f64,
+    /// Total NAND2-equivalent gates including clocking.
+    pub total_gates: f64,
+    /// Estimated transistor count (4 per NAND2 equivalent).
+    pub transistors: f64,
+    /// Chip power at the signoff clock, 20% datapath activity (mW).
+    pub power_mw: f64,
+}
+
+/// Runs the flow over `spec` under `lib`.
+///
+/// # Panics
+/// Panics if `spec` has no units or zero partitions.
+pub fn run_flow(spec: &FlowSpec, lib: &TechLibrary) -> ChipReport {
+    assert!(!spec.units.is_empty(), "flow needs at least one unit");
+    assert!(spec.partitions > 0, "flow needs at least one partition");
+    let mut units = Vec::new();
+    let mut logic_area = 0.0;
+    let mut power_mw = 0.0;
+    for u in &spec.units {
+        let out = compile(u.kernel.clone(), lib, &u.constraints);
+        let area = out.module.area_um2(lib);
+        logic_area += area * f64::from(u.replicas);
+        power_mw += out.module.power(lib, 0.2).total_mw() * f64::from(u.replicas);
+        units.push(UnitReport {
+            name: u.name.clone(),
+            instance_area_um2: area,
+            instance_gates: out.module.nand2_equiv(lib),
+            replicas: u.replicas,
+            latency: out.module.latency,
+            ii: out.module.ii,
+            compile_seconds: out.compile_time.as_secs_f64(),
+        });
+    }
+
+    let (clocking_area, skew) = match spec.clocking {
+        Clocking::GlobalSynchronous { die_span_um } => {
+            let sinks = (logic_area / lib.nand2_area() * 0.2) as u64;
+            let tree = clock_tree(lib, sinks.max(1), die_span_um);
+            (tree.area_um2, tree.skew_ps)
+        }
+        Clocking::FineGrainedGals {
+            interfaces_per_partition,
+            fifo_depth,
+            fifo_width,
+        } => {
+            let per_partition = clock_generator_netlist().area_um2(lib)
+                + pausible_fifo_netlist(fifo_depth, fifo_width).area_um2(lib)
+                    * f64::from(interfaces_per_partition);
+            (per_partition * f64::from(spec.partitions), 0.0)
+        }
+    };
+
+    let total_area = logic_area + clocking_area;
+    let total_gates = total_area / lib.nand2_area();
+    ChipReport {
+        name: spec.name.clone(),
+        units,
+        logic_area_um2: logic_area,
+        clocking_area_um2: clocking_area,
+        skew_margin_ps: skew,
+        total_gates,
+        transistors: total_gates * 4.0,
+        power_mw,
+    }
+}
+
+impl ChipReport {
+    /// Multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{}: {:.2} mm2 logic, {:.3} mm2 clocking, {:.1}M gates (~{:.0}M transistors), {:.1} mW @ 20% activity, skew margin {:.0} ps\n",
+            self.name,
+            self.logic_area_um2 / 1e6,
+            self.clocking_area_um2 / 1e6,
+            self.total_gates / 1e6,
+            self.transistors / 1e6,
+            self.power_mw,
+            self.skew_margin_ps
+        );
+        for u in &self.units {
+            s.push_str(&format!(
+                "  {:16} x{:<3} {:>10.1} um2/inst  {:>8.0} GE  latency {:>3}  II {}\n",
+                u.name, u.replicas, u.instance_area_um2, u.instance_gates, u.latency, u.ii
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craft_hls::kernels;
+
+    fn demo_spec(clocking: Clocking) -> FlowSpec {
+        FlowSpec {
+            name: "demo".into(),
+            units: vec![
+                UnitSpec {
+                    name: "xbar".into(),
+                    kernel: kernels::crossbar_dst_loop(8, 32),
+                    constraints: Constraints::at_clock(909.0).with_mem_ports(16),
+                    replicas: 15,
+                },
+                UnitSpec {
+                    name: "mac".into(),
+                    kernel: {
+                        let mut b = craft_hls::KernelBuilder::new("mac", 32);
+                        let x = b.input(0);
+                        let y = b.input(1);
+                        let acc = b.input(2);
+                        let p = b.mul(x, y);
+                        let s = b.add(p, acc);
+                        b.output(0, s);
+                        b.finish()
+                    },
+                    constraints: Constraints::at_clock(909.0),
+                    replicas: 60,
+                },
+            ],
+            partitions: 19,
+            clocking,
+        }
+    }
+
+    #[test]
+    fn flow_produces_consistent_rollup() {
+        let lib = TechLibrary::n16();
+        let report = run_flow(
+            &demo_spec(Clocking::FineGrainedGals {
+                interfaces_per_partition: 4,
+                fifo_depth: 8,
+                fifo_width: 64,
+            }),
+            &lib,
+        );
+        assert_eq!(report.units.len(), 2);
+        let manual: f64 = report
+            .units
+            .iter()
+            .map(|u| u.instance_area_um2 * f64::from(u.replicas))
+            .sum();
+        assert!((manual - report.logic_area_um2).abs() < 1e-6);
+        assert!(report.total_gates > 0.0);
+        assert_eq!(report.skew_margin_ps, 0.0, "GALS has no global skew");
+    }
+
+    #[test]
+    fn synchronous_baseline_carries_skew_margin() {
+        let lib = TechLibrary::n16();
+        let report = run_flow(
+            &demo_spec(Clocking::GlobalSynchronous {
+                die_span_um: 3000.0,
+            }),
+            &lib,
+        );
+        assert!(report.skew_margin_ps > 10.0);
+        assert!(report.clocking_area_um2 > 0.0);
+    }
+
+    #[test]
+    fn summary_lists_units() {
+        let lib = TechLibrary::n16();
+        let report = run_flow(
+            &demo_spec(Clocking::GlobalSynchronous {
+                die_span_um: 2000.0,
+            }),
+            &lib,
+        );
+        let s = report.summary();
+        assert!(s.contains("xbar"), "{s}");
+        assert!(s.contains("mac"), "{s}");
+    }
+}

@@ -1,0 +1,30 @@
+//! # craftflow-core — the end-to-end flow orchestrator
+//!
+//! Ties the reproduction's pieces into the paper's overall
+//! "high-productivity C++-to-layout design flow" (Fig. 1):
+//!
+//! * [`run_flow`] compiles a whole chip specification (unique units x
+//!   replicas, partitioning, clocking choice) through `craft-hls` and
+//!   prices it with `craft-tech`, including the synchronous-vs-GALS
+//!   clocking trade-off of §3.1.
+//! * [`dse`] sweeps HLS constraints without touching kernel source —
+//!   the design-space-exploration property of §2.2.
+//! * [`productivity`] implements the §4 gates-per-engineer-day
+//!   accounting (the 2K–20K NAND2-equivalents band).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod dse;
+pub mod floorplan;
+mod flow;
+pub mod productivity;
+
+pub use backend::{pnr_hours, sta_gals, sta_synchronous, turnaround, StaReport, TurnaroundReport};
+pub use dse::{best_under_latency, pareto_front, sweep, DesignPoint};
+pub use floorplan::{floorplan, Block, Floorplan};
+pub use flow::{run_flow, ChipReport, Clocking, FlowSpec, UnitReport, UnitSpec};
+pub use productivity::{
+    ProductivityLedger, UnitEffort, MANUAL_RTL_GATES_PER_DAY, OOHLS_BAND_GATES_PER_DAY,
+};

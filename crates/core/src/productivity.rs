@@ -1,0 +1,166 @@
+//! Design-productivity accounting (paper §4): "we estimate that by
+//! leveraging OOHLS, we were able to achieve a productivity of between
+//! 2K-20K gates (NAND2 equivalents) per engineer-day on unique
+//! unit-level designs."
+//!
+//! This module tracks per-unit gate counts and engineering effort and
+//! computes the same metric, with a manual-RTL baseline model for
+//! comparison.
+
+/// Productivity band the paper reports for OOHLS, in NAND2-equivalent
+/// gates per engineer-day.
+pub const OOHLS_BAND_GATES_PER_DAY: (f64, f64) = (2_000.0, 20_000.0);
+
+/// Commonly cited hand-RTL productivity for complex units, gates per
+/// engineer-day (design + verification), used as the baseline.
+pub const MANUAL_RTL_GATES_PER_DAY: f64 = 1_000.0;
+
+/// Effort record for one unique unit design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitEffort {
+    /// Unit name.
+    pub name: String,
+    /// NAND2-equivalent gates of the unit (from synthesis).
+    pub gates: f64,
+    /// Engineer-days spent on design + verification.
+    pub engineer_days: f64,
+}
+
+impl UnitEffort {
+    /// Gates per engineer-day for this unit.
+    ///
+    /// # Panics
+    /// Panics if `engineer_days` is not positive.
+    pub fn productivity(&self) -> f64 {
+        assert!(self.engineer_days > 0.0, "effort must be positive");
+        self.gates / self.engineer_days
+    }
+
+    /// True if the unit lands inside the paper's 2K–20K band.
+    pub fn in_oohls_band(&self) -> bool {
+        let p = self.productivity();
+        (OOHLS_BAND_GATES_PER_DAY.0..=OOHLS_BAND_GATES_PER_DAY.1).contains(&p)
+    }
+}
+
+/// Project-level productivity ledger.
+#[derive(Debug, Clone, Default)]
+pub struct ProductivityLedger {
+    units: Vec<UnitEffort>,
+}
+
+impl ProductivityLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one unit.
+    pub fn record(&mut self, unit: UnitEffort) {
+        self.units.push(unit);
+    }
+
+    /// Recorded units.
+    pub fn units(&self) -> &[UnitEffort] {
+        &self.units
+    }
+
+    /// Aggregate gates per engineer-day over all unique units.
+    pub fn aggregate_productivity(&self) -> f64 {
+        let gates: f64 = self.units.iter().map(|u| u.gates).sum();
+        let days: f64 = self.units.iter().map(|u| u.engineer_days).sum();
+        if days == 0.0 {
+            0.0
+        } else {
+            gates / days
+        }
+    }
+
+    /// Estimated speedup over the manual-RTL baseline.
+    pub fn speedup_vs_manual_rtl(&self) -> f64 {
+        self.aggregate_productivity() / MANUAL_RTL_GATES_PER_DAY
+    }
+
+    /// Formats the §4-style table.
+    pub fn table(&self) -> String {
+        let mut s = String::from("unit             gates(GE)   days   GE/day   in-band\n");
+        for u in &self.units {
+            s.push_str(&format!(
+                "{:16} {:>9.0} {:>6.1} {:>8.0}   {}\n",
+                u.name,
+                u.gates,
+                u.engineer_days,
+                u.productivity(),
+                if u.in_oohls_band() { "yes" } else { "NO" }
+            ));
+        }
+        s.push_str(&format!(
+            "aggregate: {:.0} GE/day ({:.1}x vs manual-RTL baseline)\n",
+            self.aggregate_productivity(),
+            self.speedup_vs_manual_rtl()
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_unit_productivity() {
+        let u = UnitEffort {
+            name: "pe".into(),
+            gates: 50_000.0,
+            engineer_days: 10.0,
+        };
+        assert_eq!(u.productivity(), 5_000.0);
+        assert!(u.in_oohls_band());
+    }
+
+    #[test]
+    fn out_of_band_detection() {
+        let slow = UnitEffort {
+            name: "slow".into(),
+            gates: 5_000.0,
+            engineer_days: 10.0,
+        };
+        assert!(!slow.in_oohls_band()); // 500/day: below band
+        let implausible = UnitEffort {
+            name: "fast".into(),
+            gates: 500_000.0,
+            engineer_days: 10.0,
+        };
+        assert!(!implausible.in_oohls_band()); // 50k/day: above band
+    }
+
+    #[test]
+    fn ledger_aggregates() {
+        let mut ledger = ProductivityLedger::new();
+        ledger.record(UnitEffort {
+            name: "a".into(),
+            gates: 30_000.0,
+            engineer_days: 5.0,
+        });
+        ledger.record(UnitEffort {
+            name: "b".into(),
+            gates: 10_000.0,
+            engineer_days: 5.0,
+        });
+        assert_eq!(ledger.aggregate_productivity(), 4_000.0);
+        assert_eq!(ledger.speedup_vs_manual_rtl(), 4.0);
+        let table = ledger.table();
+        assert!(table.contains("aggregate"));
+    }
+
+    #[test]
+    #[should_panic(expected = "effort must be positive")]
+    fn zero_effort_panics() {
+        let u = UnitEffort {
+            name: "x".into(),
+            gates: 1.0,
+            engineer_days: 0.0,
+        };
+        let _ = u.productivity();
+    }
+}

@@ -1,0 +1,247 @@
+//! Per-partition local clock generators (paper §3.1, Fig. 4).
+//!
+//! Each GALS partition owns a small ring-oscillator clock generator.
+//! The **adaptive** variant tracks the local supply ([7] in the
+//! paper): when VDD droops, the ring slows by exactly the same physics
+//! that slow the logic, so timing margin shrinks to the tracking
+//! residue. The **fixed** variant (a PLL-style constant clock) must
+//! budget worst-case droop up front.
+//!
+//! [`margin_experiment`] quantifies that difference: the minimum
+//! timing margin at which a cycle-by-cycle simulation under supply
+//! noise completes without setup violations.
+
+use crate::noise::{delay_factor, SupplyNoise};
+use craft_sim::{ClockId, Component, Picoseconds, TickCtx};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Clocking style of a local generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClockStyle {
+    /// Constant nominal period regardless of supply.
+    Fixed,
+    /// Ring-oscillator period stretches with the supply (tracking
+    /// residue `residue` in 0..1; 0 = perfect tracking).
+    Adaptive {
+        /// Fraction of the delay change NOT tracked (mismatch between
+        /// the ring and the critical path), typically 0.1–0.3.
+        residue: f64,
+    },
+}
+
+/// A local clock-generator component: drives the period of its own
+/// clock domain each cycle based on the shared supply waveform.
+pub struct LocalClockGenerator {
+    name: String,
+    clock: ClockId,
+    nominal: Picoseconds,
+    style: ClockStyle,
+    noise: Rc<RefCell<SupplyNoise>>,
+    /// Periods produced (ps) for analysis.
+    periods: Vec<u64>,
+}
+
+impl LocalClockGenerator {
+    /// Creates a generator controlling `clock` (which should have been
+    /// created with period `nominal`).
+    pub fn new(
+        name: impl Into<String>,
+        clock: ClockId,
+        nominal: Picoseconds,
+        style: ClockStyle,
+        noise: Rc<RefCell<SupplyNoise>>,
+    ) -> Self {
+        if let ClockStyle::Adaptive { residue } = style {
+            assert!((0.0..=1.0).contains(&residue), "residue must be in [0,1]");
+        }
+        LocalClockGenerator {
+            name: name.into(),
+            clock,
+            nominal,
+            style,
+            noise,
+            periods: Vec::new(),
+        }
+    }
+
+    /// Periods emitted so far (ps).
+    pub fn periods(&self) -> &[u64] {
+        &self.periods
+    }
+}
+
+impl Component for LocalClockGenerator {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        let v = self.noise.borrow_mut().voltage_at(ctx.now().as_ps() as f64);
+        let period = match self.style {
+            ClockStyle::Fixed => self.nominal.as_ps(),
+            ClockStyle::Adaptive { residue } => {
+                // The ring slows with the logic, minus the residue.
+                let tracked = delay_factor(v);
+                let effective = 1.0 + (tracked - 1.0) * (1.0 - residue);
+                (self.nominal.as_ps() as f64 * effective).round() as u64
+            }
+        };
+        self.periods.push(period);
+        ctx.override_next_period(self.clock, Picoseconds::new(period.max(1)));
+    }
+}
+
+/// Outcome of a margin sweep for one clocking style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MarginResult {
+    /// Smallest margin (fraction of nominal period added) with zero
+    /// setup violations over the simulated window.
+    pub min_safe_margin: f64,
+    /// Violations observed at zero margin (severity indicator).
+    pub violations_at_zero_margin: u64,
+}
+
+/// Sweeps timing margin for `style` under `noise_seed`, simulating
+/// `cycles` cycles of a critical path occupying `path_fraction` of the
+/// nominal period at nominal voltage.
+///
+/// # Panics
+/// Panics if `path_fraction` is not in (0, 1] or `cycles` is zero.
+pub fn margin_experiment(
+    style: ClockStyle,
+    nominal_ps: u64,
+    path_fraction: f64,
+    cycles: u64,
+    noise_seed: u64,
+) -> MarginResult {
+    assert!(
+        path_fraction > 0.0 && path_fraction <= 1.0,
+        "path fraction must be in (0,1]"
+    );
+    assert!(cycles > 0, "need at least one cycle");
+
+    let count_violations = |margin: f64| -> u64 {
+        let mut noise = SupplyNoise::typical(noise_seed);
+        // The margined design slows its clock by `margin`.
+        let mut violations = 0;
+        let mut t = 0.0;
+        for _ in 0..cycles {
+            let v = noise.voltage_at(t);
+            let logic_delay = nominal_ps as f64 * path_fraction * delay_factor(v);
+            let period = match style {
+                ClockStyle::Fixed => nominal_ps as f64 * (1.0 + margin),
+                ClockStyle::Adaptive { residue } => {
+                    let effective = 1.0 + (delay_factor(v) - 1.0) * (1.0 - residue);
+                    nominal_ps as f64 * effective * (1.0 + margin)
+                }
+            };
+            if logic_delay > period {
+                violations += 1;
+            }
+            t += period;
+        }
+        violations
+    };
+
+    let violations_at_zero_margin = count_violations(0.0);
+    // Binary search the minimum safe margin in [0, 0.5].
+    let mut lo = 0.0f64;
+    let mut hi = 0.5f64;
+    if violations_at_zero_margin == 0 {
+        hi = 0.0;
+    }
+    for _ in 0..24 {
+        let mid = (lo + hi) / 2.0;
+        if count_violations(mid) == 0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    MarginResult {
+        min_safe_margin: hi,
+        violations_at_zero_margin,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craft_sim::{ClockSpec, Simulator};
+
+    #[test]
+    fn adaptive_clock_stretches_under_droop() {
+        let mut sim = Simulator::new();
+        let nominal = Picoseconds::new(909);
+        let clk = sim.add_clock(ClockSpec::new("p0", nominal));
+        let noise = Rc::new(RefCell::new(SupplyNoise::typical(5)));
+        sim.add_component(
+            clk,
+            LocalClockGenerator::new(
+                "gen",
+                clk,
+                nominal,
+                ClockStyle::Adaptive { residue: 0.2 },
+                noise,
+            ),
+        );
+        sim.run_cycles(clk, 200);
+        // Time must exceed 200 nominal periods: droops stretch cycles.
+        assert!(sim.now() > nominal * 200);
+    }
+
+    #[test]
+    fn fixed_clock_holds_nominal_period() {
+        let mut sim = Simulator::new();
+        let nominal = Picoseconds::new(909);
+        let clk = sim.add_clock(ClockSpec::new("p0", nominal));
+        let noise = Rc::new(RefCell::new(SupplyNoise::typical(5)));
+        sim.add_component(
+            clk,
+            LocalClockGenerator::new("gen", clk, nominal, ClockStyle::Fixed, noise),
+        );
+        sim.run_cycles(clk, 100);
+        // First edge at t=0, then 100 periods, minus the final pending one.
+        assert_eq!(sim.now(), nominal * 99);
+    }
+
+    #[test]
+    fn adaptive_needs_less_margin_than_fixed() {
+        // The [7] result: adaptive clocks reduce required supply-noise
+        // margin substantially.
+        let fixed = margin_experiment(ClockStyle::Fixed, 909, 0.95, 4000, 42);
+        let adaptive = margin_experiment(
+            ClockStyle::Adaptive { residue: 0.2 },
+            909,
+            0.95,
+            4000,
+            42,
+        );
+        assert!(fixed.violations_at_zero_margin > 0, "noise must bite");
+        assert!(
+            adaptive.min_safe_margin < 0.5 * fixed.min_safe_margin,
+            "adaptive {} vs fixed {}",
+            adaptive.min_safe_margin,
+            fixed.min_safe_margin
+        );
+    }
+
+    #[test]
+    fn perfect_tracking_needs_no_margin() {
+        let r = margin_experiment(
+            ClockStyle::Adaptive { residue: 0.0 },
+            909,
+            0.95,
+            2000,
+            9,
+        );
+        assert!(r.min_safe_margin < 0.01, "{}", r.min_safe_margin);
+    }
+
+    #[test]
+    #[should_panic(expected = "path fraction must be in (0,1]")]
+    fn bad_path_fraction_panics() {
+        let _ = margin_experiment(ClockStyle::Fixed, 909, 1.5, 10, 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! # craft-gals — fine-grained GALS clocking
+//!
+//! Rust reproduction of the paper's second headline contribution
+//! (§3.1, Fig. 4): per-partition local clock generators
+//! ([`LocalClockGenerator`], fixed vs supply-noise-adaptive), pausible
+//! bisynchronous FIFOs for correct-by-construction clock-domain
+//! crossing ([`pausible_fifo`], with a two-flop baseline for latency
+//! and MTBF comparison), seeded supply-noise waveforms ([`SupplyNoise`])
+//! and the <3% area-overhead model ([`partition_overhead`]) next to a
+//! synchronous clock-tree baseline ([`compare_clocking`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clockgen;
+mod noise;
+mod overhead;
+mod pausible;
+
+pub use clockgen::{margin_experiment, ClockStyle, LocalClockGenerator, MarginResult};
+pub use noise::{delay_factor, SupplyNoise};
+pub use overhead::{
+    clock_generator_netlist, compare_clocking, partition_overhead, pausible_fifo_netlist,
+    ClockingComparison, GalsOverhead,
+};
+pub use pausible::{
+    pausible_fifo, two_flop_mtbf_years, PausibleHandle, PausibleRx, PausibleState, PausibleTx,
+    TwoFlopSyncFifo,
+};

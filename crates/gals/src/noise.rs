@@ -1,0 +1,126 @@
+//! Power-supply noise waveforms for clock-generator experiments
+//! (paper §3.1, citing Kamakshi et al. [7] on fine-grained GALS
+//! adaptive clocks under supply noise).
+//!
+//! The model combines the three classical components seen on real
+//! digital supplies: a DC IR drop, a first-droop resonance (package
+//! LC, ~50–200 MHz), and seeded high-frequency switching noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic supply-noise generator. Voltages are normalized: 1.0
+/// is nominal VDD.
+#[derive(Debug, Clone)]
+pub struct SupplyNoise {
+    /// Static IR drop (fraction of VDD, e.g. 0.02).
+    pub ir_drop: f64,
+    /// First-droop amplitude (fraction of VDD).
+    pub resonant_amplitude: f64,
+    /// Resonance period in ps (package LC, ~10 ns).
+    pub resonant_period_ps: f64,
+    /// High-frequency random noise amplitude (fraction of VDD).
+    pub random_amplitude: f64,
+    rng: StdRng,
+    last_random: f64,
+}
+
+impl SupplyNoise {
+    /// A typical 16nm digital supply: 2% IR, 5% resonant droop at
+    /// 100 MHz, 1% random.
+    pub fn typical(seed: u64) -> Self {
+        SupplyNoise {
+            ir_drop: 0.02,
+            resonant_amplitude: 0.05,
+            resonant_period_ps: 10_000.0,
+            random_amplitude: 0.01,
+            rng: StdRng::seed_from_u64(seed),
+            last_random: 0.0,
+        }
+    }
+
+    /// A quiet supply (for margin-calibration baselines).
+    pub fn quiet(seed: u64) -> Self {
+        SupplyNoise {
+            ir_drop: 0.01,
+            resonant_amplitude: 0.0,
+            resonant_period_ps: 10_000.0,
+            random_amplitude: 0.002,
+            rng: StdRng::seed_from_u64(seed),
+            last_random: 0.0,
+        }
+    }
+
+    /// Supply voltage (normalized) at time `t_ps`. Calls must be made
+    /// with non-decreasing `t_ps`; the random component is re-drawn per
+    /// call and low-pass filtered.
+    pub fn voltage_at(&mut self, t_ps: f64) -> f64 {
+        let resonant = self.resonant_amplitude
+            * (2.0 * std::f64::consts::PI * t_ps / self.resonant_period_ps).sin()
+            .max(0.0);
+        let target: f64 = self.rng.gen_range(-1.0..1.0) * self.random_amplitude;
+        // Single-pole smoothing so consecutive cycles are correlated.
+        self.last_random = 0.7 * self.last_random + 0.3 * target;
+        (1.0 - self.ir_drop - resonant + self.last_random).clamp(0.5, 1.1)
+    }
+
+    /// Worst-case droop this generator can produce (for margin
+    /// calculations of non-adaptive designs).
+    pub fn worst_case_droop(&self) -> f64 {
+        self.ir_drop + self.resonant_amplitude + self.random_amplitude
+    }
+}
+
+/// Gate-delay scaling with supply voltage: to first order around
+/// nominal, delay grows ~2x% per 1% droop in deep FinFET nodes.
+pub fn delay_factor(voltage: f64) -> f64 {
+    assert!(voltage > 0.4, "voltage collapse — model out of range");
+    1.0 + 2.0 * (1.0 - voltage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_for_same_seed() {
+        let mut a = SupplyNoise::typical(3);
+        let mut b = SupplyNoise::typical(3);
+        for i in 0..100 {
+            let t = i as f64 * 909.0;
+            assert_eq!(a.voltage_at(t), b.voltage_at(t));
+        }
+    }
+
+    #[test]
+    fn voltage_stays_below_nominal_band() {
+        let mut n = SupplyNoise::typical(7);
+        for i in 0..1000 {
+            let v = n.voltage_at(i as f64 * 909.0);
+            assert!((0.5..=1.1).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn worst_case_bounds_observed_droop() {
+        let mut n = SupplyNoise::typical(11);
+        let worst = n.worst_case_droop();
+        for i in 0..5000 {
+            let v = n.voltage_at(i as f64 * 909.0);
+            assert!(1.0 - v <= worst + 1e-9, "droop {} exceeds bound", 1.0 - v);
+        }
+    }
+
+    #[test]
+    fn delay_grows_as_voltage_droops() {
+        assert!(delay_factor(0.95) > delay_factor(1.0));
+        assert!((delay_factor(1.0) - 1.0).abs() < 1e-12);
+        assert!((delay_factor(0.9) - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "voltage collapse")]
+    fn collapse_panics() {
+        let _ = delay_factor(0.3);
+    }
+}

@@ -1,0 +1,177 @@
+//! GALS area-overhead model (paper §3.1: "we estimate this overhead to
+//! be less than 3% for typical partition sizes") and the comparison
+//! against global synchronous clock distribution.
+
+use craft_tech::{clock_tree, CellKind, Netlist, TechLibrary};
+
+/// Gate netlist of one local clock generator: ring oscillator stages,
+/// trim/control registers and output buffering.
+pub fn clock_generator_netlist() -> Netlist {
+    let mut n = Netlist::new();
+    n.add_cells(CellKind::RoStage, 31); // tunable ring
+    n.add_cells(CellKind::Dff, 48); // trim + control CSRs
+    n.add_cells(CellKind::Nand2, 60); // trim mux/decode logic
+    n.add_cells(CellKind::Mux2, 16);
+    n.add_cells(CellKind::ClkBuf, 8); // local distribution root
+    n.add_cells(CellKind::Mutex, 1); // pause arbitration
+    n
+}
+
+/// Gate netlist of one pausible bisynchronous FIFO of `depth` entries
+/// by `width` bits.
+pub fn pausible_fifo_netlist(depth: u32, width: u32) -> Netlist {
+    assert!(depth >= 2, "bisynchronous fifo needs >= 2 entries");
+    assert!((1..=512).contains(&width), "width must be 1..=512");
+    let mut n = Netlist::new();
+    n.add_cells(CellKind::Dff, u64::from(depth) * u64::from(width)); // storage
+    let ptr_bits = 32 - (depth - 1).leading_zeros() + 1;
+    n.add_cells(CellKind::Dff, u64::from(ptr_bits) * 4); // gray r/w ptrs + sync
+    n.add_cells(CellKind::Xor2, u64::from(ptr_bits) * 2); // gray encode/compare
+    n.add_cells(CellKind::Mutex, 2); // pause mutexes (one per direction)
+    n.add_cells(CellKind::Nand2, 24); // full/empty + pause control
+    n.add_cells(CellKind::Mux2, u64::from(width)); // output mux
+    n
+}
+
+/// Per-partition GALS overhead breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GalsOverhead {
+    /// Partition logic area (µm²) the overhead is measured against.
+    pub partition_area_um2: f64,
+    /// Local clock generator area (µm²).
+    pub clockgen_area_um2: f64,
+    /// Total pausible FIFO area (µm²).
+    pub fifo_area_um2: f64,
+    /// Overhead fraction: (clockgen + fifos) / partition.
+    pub fraction: f64,
+}
+
+/// Computes the GALS overhead for a partition of `partition_gates`
+/// NAND2-equivalents with `interfaces` asynchronous interfaces, each a
+/// pausible FIFO of `fifo_depth` x `fifo_width`.
+///
+/// # Panics
+/// Panics if `partition_gates` is not positive.
+pub fn partition_overhead(
+    lib: &TechLibrary,
+    partition_gates: f64,
+    interfaces: u32,
+    fifo_depth: u32,
+    fifo_width: u32,
+) -> GalsOverhead {
+    assert!(partition_gates > 0.0, "partition must have gates");
+    let partition_area = partition_gates * lib.nand2_area();
+    let clockgen = clock_generator_netlist().area_um2(lib);
+    let fifo = pausible_fifo_netlist(fifo_depth, fifo_width).area_um2(lib) * f64::from(interfaces);
+    GalsOverhead {
+        partition_area_um2: partition_area,
+        clockgen_area_um2: clockgen,
+        fifo_area_um2: fifo,
+        fraction: (clockgen + fifo) / partition_area,
+    }
+}
+
+/// Side-by-side comparison of global synchronous clocking vs
+/// fine-grained GALS for an SoC of `n_partitions` partitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockingComparison {
+    /// Synchronous: top-level clock-tree area (µm²).
+    pub sync_tree_area_um2: f64,
+    /// Synchronous: inter-partition skew margin (ps) that must be
+    /// carved out of the cycle.
+    pub sync_skew_margin_ps: f64,
+    /// GALS: total clock generator + crossing FIFO area (µm²).
+    pub gals_area_um2: f64,
+    /// GALS: inter-partition skew margin (always zero — interfaces are
+    /// asynchronous and correct by construction).
+    pub gals_skew_margin_ps: f64,
+}
+
+/// Builds the comparison for an SoC of `n_partitions` partitions of
+/// `gates_per_partition` NAND2-equivalents spread over `die_span_um`.
+pub fn compare_clocking(
+    lib: &TechLibrary,
+    n_partitions: u32,
+    gates_per_partition: f64,
+    interfaces_per_partition: u32,
+    die_span_um: f64,
+) -> ClockingComparison {
+    assert!(n_partitions > 0, "need at least one partition");
+    // Synchronous: one global tree to every flop. Assume ~20% of gates
+    // are flops.
+    let sinks = (f64::from(n_partitions) * gates_per_partition * 0.2) as u64;
+    let tree = clock_tree(lib, sinks.max(1), die_span_um);
+
+    // GALS: per-partition generator + FIFOs; each partition still has
+    // a *local* (small-span) tree, which both schemes need — only the
+    // global layer differs, so it is excluded from both sides.
+    let per = partition_overhead(lib, gates_per_partition, interfaces_per_partition, 8, 64);
+    let gals_area =
+        (per.clockgen_area_um2 + per.fifo_area_um2) * f64::from(n_partitions);
+
+    ClockingComparison {
+        sync_tree_area_um2: tree.area_um2,
+        sync_skew_margin_ps: tree.skew_ps,
+        gals_area_um2: gals_area,
+        gals_skew_margin_ps: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_partition_overhead_below_3_percent() {
+        // A "typical partition" in the paper's testchip: 87M
+        // transistors over 19 partitions (15 PEs + 2 GMem + RISC-V +
+        // I/O) is ~4.6M transistors each, roughly 1.1M NAND2
+        // equivalents. 4 router-to-router interfaces of 8x64.
+        let lib = TechLibrary::n16();
+        let o = partition_overhead(&lib, 1_100_000.0, 4, 8, 64);
+        assert!(
+            o.fraction < 0.03,
+            "GALS overhead {:.4} must be below 3%",
+            o.fraction
+        );
+        assert!(o.fraction > 0.001, "overhead should be nonzero");
+    }
+
+    #[test]
+    fn overhead_grows_for_tiny_partitions() {
+        // The flip side the paper implies: below some partition size
+        // the fixed clockgen+FIFO cost stops being negligible.
+        let lib = TechLibrary::n16();
+        let tiny = partition_overhead(&lib, 10_000.0, 4, 8, 64);
+        let typical = partition_overhead(&lib, 250_000.0, 4, 8, 64);
+        assert!(tiny.fraction > 5.0 * typical.fraction);
+    }
+
+    #[test]
+    fn gals_eliminates_skew_margin() {
+        let lib = TechLibrary::n16();
+        let cmp = compare_clocking(&lib, 19, 250_000.0, 4, 3000.0);
+        assert_eq!(cmp.gals_skew_margin_ps, 0.0);
+        assert!(
+            cmp.sync_skew_margin_ps > 20.0,
+            "global tree should carry real skew: {}",
+            cmp.sync_skew_margin_ps
+        );
+    }
+
+    #[test]
+    fn fifo_area_scales_with_geometry() {
+        let lib = TechLibrary::n16();
+        let small = pausible_fifo_netlist(4, 32).area_um2(&lib);
+        let deep = pausible_fifo_netlist(16, 32).area_um2(&lib);
+        let wide = pausible_fifo_netlist(4, 128).area_um2(&lib);
+        assert!(deep > 2.0 * small);
+        assert!(wide > 2.0 * small);
+    }
+
+    #[test]
+    #[should_panic(expected = "bisynchronous fifo needs >= 2 entries")]
+    fn one_entry_fifo_panics() {
+        let _ = pausible_fifo_netlist(1, 32);
+    }
+}

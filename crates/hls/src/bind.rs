@@ -1,0 +1,485 @@
+//! Binding: allocation of functional units, registers, memories and
+//! interconnect for a scheduled kernel, producing an [`RtlModule`]
+//! cost model — the "HLS-generated RTL" plus "logic synthesis area
+//! estimate" stages of Fig. 1.
+//!
+//! The structures inferred here are where coding style turns into
+//! area. In particular (paper §2.4):
+//!
+//! * a **dynamic-index load** infers a read multiplexer over the whole
+//!   array ([`craft_tech::ops::mux`]);
+//! * **dynamic-index stores** infer per-element write logic with a
+//!   *priority* network over all potential writers
+//!   ([`craft_tech::ops::priority_mux`]) plus index decoders — the
+//!   src-loop crossbar's ~25% penalty;
+//! * constant-index stores are wires (free).
+
+use crate::ir::{Kernel, OpKind};
+use crate::schedule::{classify, FuClass, Schedule};
+use craft_tech::{ops as techops, Netlist, SramMacro, TechLibrary};
+use std::collections::HashMap;
+
+/// Words-of-storage threshold above which an array maps to an SRAM
+/// macro instead of flops (the "automatic RAM mapping" box of Fig. 1).
+pub const SRAM_THRESHOLD_BITS: u64 = 4096;
+
+/// The bound design: netlist cost model plus timing/throughput facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtlModule {
+    /// Module name (from the kernel).
+    pub name: String,
+    /// Standard-cell content.
+    pub netlist: Netlist,
+    /// SRAM macros inferred for large arrays.
+    pub srams: Vec<SramMacro>,
+    /// Schedule latency in cycles.
+    pub latency: u32,
+    /// Initiation interval when pipelined as a loop body.
+    pub ii: u32,
+    /// Critical combinational path in ps.
+    pub crit_path_ps: f64,
+    /// Clock period the module was bound for.
+    pub clock_ps: f64,
+}
+
+impl RtlModule {
+    /// Total area (cells + macros) in µm².
+    pub fn area_um2(&self, lib: &TechLibrary) -> f64 {
+        self.netlist.area_um2(lib) + self.srams.iter().map(|s| s.area_um2(lib)).sum::<f64>()
+    }
+
+    /// Area in NAND2-equivalent gates (§4 productivity unit; macros
+    /// converted by area).
+    pub fn nand2_equiv(&self, lib: &TechLibrary) -> f64 {
+        self.area_um2(lib) / lib.nand2_area()
+    }
+
+    /// Power estimate at the module's bound clock under datapath
+    /// activity `alpha` (Fig. 1's power-analysis output).
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside [0, 1].
+    pub fn power(&self, lib: &TechLibrary, alpha: f64) -> craft_tech::PowerReport {
+        let freq_ghz = 1000.0 / self.clock_ps;
+        let mut p = craft_tech::netlist_power(lib, &self.netlist, freq_ghz, alpha);
+        for s in &self.srams {
+            p = p.merged(&craft_tech::sram_power(s, freq_ghz, alpha));
+        }
+        p
+    }
+
+    /// True when the bound design meets its clock: the longest
+    /// combinational chain fits in the period (the per-module STA
+    /// signoff of Fig. 1).
+    pub fn meets_timing(&self) -> bool {
+        self.crit_path_ps <= self.clock_ps
+    }
+
+    /// Timing slack in ps (negative would mean a scheduler bug: the
+    /// chaining pass never packs past the period).
+    pub fn slack_ps(&self) -> f64 {
+        self.clock_ps - self.crit_path_ps
+    }
+
+    /// Total cycles to run `iterations` of this module as a pipelined
+    /// loop body: fill latency plus one initiation interval per
+    /// additional iteration (paper §2.2: HLS tools manage "automatic
+    /// pipelining").
+    pub fn pipelined_cycles(&self, iterations: u64) -> u64 {
+        if iterations == 0 {
+            return 0;
+        }
+        u64::from(self.latency) + (iterations - 1) * u64::from(self.ii)
+    }
+
+    /// Sustained throughput of the pipelined loop, in iterations per
+    /// cycle.
+    pub fn pipelined_throughput(&self) -> f64 {
+        1.0 / f64::from(self.ii.max(1))
+    }
+
+    /// One-line QoR summary.
+    pub fn report(&self, lib: &TechLibrary) -> String {
+        format!(
+            "{}: area {:.1} um2 ({:.0} GE), latency {} cyc, II {}, crit path {:.0} ps @ clock {:.0} ps",
+            self.name,
+            self.area_um2(lib),
+            self.nand2_equiv(lib),
+            self.latency,
+            self.ii,
+            self.crit_path_ps,
+            self.clock_ps
+        )
+    }
+}
+
+/// Binds a scheduled kernel to hardware under `lib`.
+///
+/// # Panics
+/// Panics if `sched` does not belong to `kernel` (length mismatch).
+pub fn bind(
+    kernel: &Kernel,
+    sched: &Schedule,
+    lib: &TechLibrary,
+    clock_ps: f64,
+) -> RtlModule {
+    let ops = kernel.ops();
+    assert_eq!(sched.cycle.len(), ops.len(), "schedule/kernel mismatch");
+    let mut netlist = Netlist::new();
+    let mut srams = Vec::new();
+
+    // --- Functional units with sharing muxes ---
+    // Peak concurrent use per class and total ops per class.
+    let mut peak: HashMap<FuClass, u32> = HashMap::new();
+    let mut per_cycle: HashMap<(FuClass, u32), u32> = HashMap::new();
+    let mut totals: HashMap<FuClass, u32> = HashMap::new();
+    let mut max_width: HashMap<FuClass, u32> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        let Some(class) = classify(op.kind) else {
+            continue;
+        };
+        if class == FuClass::MemPort {
+            continue; // arrays handled below
+        }
+        let c = per_cycle.entry((class, sched.cycle[i])).or_insert(0);
+        *c += 1;
+        let p = peak.entry(class).or_insert(0);
+        *p = (*p).max(*c);
+        *totals.entry(class).or_insert(0) += 1;
+        let w = max_width.entry(class).or_insert(1);
+        *w = (*w).max(op.width);
+    }
+    for (&class, &fu_count) in &peak {
+        let width = max_width[&class].min(128);
+        let unit = match class {
+            FuClass::AddSub => techops::adder(width),
+            FuClass::Mul => techops::multiplier(width),
+            FuClass::Logic => techops::logic_unit(width),
+            FuClass::MemPort => unreachable!("filtered above"),
+        };
+        netlist.merge(&unit.replicated(u64::from(fu_count)));
+        // Sharing interconnect: an FU serving k > 1 ops muxes each of
+        // its two operand inputs among k sources.
+        let total = totals[&class];
+        let shared_per_fu = total.div_ceil(fu_count);
+        if shared_per_fu > 1 && class != FuClass::Logic {
+            let in_mux = techops::mux(width, shared_per_fu);
+            netlist.merge(&in_mux.replicated(2 * u64::from(fu_count)));
+        }
+    }
+
+    // --- Registers for values that cross cycle boundaries ---
+    // Lifetime [def cycle, max use cycle]; values used only in their
+    // def cycle chain into consumers and need no register.
+    let mut def_cycle: HashMap<usize, (u32, u32)> = HashMap::new(); // value -> (cycle, width)
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(r) = op.result {
+            def_cycle.insert(r.0, (sched.cycle[i], op.width));
+        }
+    }
+    let mut last_use: HashMap<usize, u32> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        for a in &op.args {
+            let e = last_use.entry(a.0).or_insert(0);
+            *e = (*e).max(sched.cycle[i]);
+        }
+    }
+    // Greedy interval packing: max overlap = registers needed.
+    let mut events: Vec<(u32, i64, u32)> = Vec::new(); // (cycle, +width/-width)
+    for (v, &(dc, w)) in &def_cycle {
+        let lu = last_use.get(v).copied().unwrap_or(dc);
+        if lu > dc {
+            events.push((dc + 1, i64::from(w), w));
+            events.push((lu + 1, -i64::from(w), w));
+        }
+    }
+    events.sort_by_key(|&(c, delta, _)| (c, delta));
+    let mut live_bits = 0i64;
+    let mut peak_bits = 0i64;
+    for (_, delta, _) in events {
+        live_bits += delta;
+        peak_bits = peak_bits.max(live_bits);
+    }
+    if peak_bits > 0 {
+        netlist.add_cells(craft_tech::CellKind::Dff, peak_bits as u64);
+    }
+
+    // --- Arrays: RAM mapping + access interconnect ---
+    for (ai, decl) in kernel.arrays().iter().enumerate() {
+        let bits = decl.len as u64 * u64::from(decl.width);
+        let as_sram = bits >= SRAM_THRESHOLD_BITS
+            && !SramMacro::new(decl.len, decl.width.min(256)).prefer_flops(lib);
+        let mut dyn_loads = 0u32;
+        let mut dyn_stores = 0u32;
+        for op in ops {
+            match op.kind {
+                OpKind::Load(a) if a.0 == ai => {
+                    let idx_is_const = index_is_const(kernel, op.args[0]);
+                    if !idx_is_const {
+                        dyn_loads += 1;
+                    }
+                }
+                OpKind::Store(a) if a.0 == ai => {
+                    let idx_is_const = index_is_const(kernel, op.args[0]);
+                    if !idx_is_const {
+                        dyn_stores += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if as_sram {
+            // SRAM port interconnect is part of the macro; address
+            // muxing among requesters remains.
+            srams.push(SramMacro::new(decl.len, decl.width.min(256)));
+            let requesters = dyn_loads + dyn_stores;
+            if requesters > 1 {
+                netlist.merge(&techops::mux(address_bits(decl.len), requesters));
+            }
+        } else {
+            // Register-file array.
+            netlist.add_cells(craft_tech::CellKind::Dff, bits);
+            let width = decl.width.min(128);
+            // Dynamic loads: one read mux over the whole array each.
+            if dyn_loads > 0 {
+                let read_mux = techops::mux(width, decl.len as u32);
+                netlist.merge(&read_mux.replicated(u64::from(dyn_loads)));
+            }
+            // Dynamic stores: per-element priority write network over
+            // all potential writers, plus one index decoder per store.
+            if dyn_stores > 0 {
+                let per_element = techops::priority_mux(width, dyn_stores + 1);
+                netlist.merge(&per_element.replicated(decl.len as u64));
+                let dec = techops::decoder(address_bits(decl.len).min(8));
+                netlist.merge(&dec.replicated(u64::from(dyn_stores)));
+            }
+        }
+    }
+
+    // --- Control FSM ---
+    let state_bits = 32 - sched.latency.max(2).leading_zeros();
+    netlist.add_cells(craft_tech::CellKind::Dff, u64::from(state_bits));
+    netlist.add_cells(craft_tech::CellKind::Nand2, u64::from(sched.latency) * 2);
+    netlist.add_cells(craft_tech::CellKind::Inv, u64::from(sched.latency));
+
+    RtlModule {
+        name: kernel.name().to_string(),
+        netlist,
+        srams,
+        latency: sched.latency,
+        ii: sched.ii,
+        crit_path_ps: sched.crit_path_ps,
+        clock_ps,
+    }
+}
+
+fn address_bits(len: usize) -> u32 {
+    (usize::BITS - (len.max(2) - 1).leading_zeros()).max(1)
+}
+
+/// True when the value feeding an index is a compile-time constant
+/// (after optimization, `Const` ops).
+fn index_is_const(kernel: &Kernel, v: crate::ir::ValueId) -> bool {
+    kernel
+        .ops()
+        .iter()
+        .any(|op| op.result == Some(v) && matches!(op.kind, OpKind::Const(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::KernelBuilder;
+    use crate::schedule::{schedule, Constraints};
+
+    fn lib() -> TechLibrary {
+        TechLibrary::n16()
+    }
+
+    fn compile(k: Kernel, clock: f64) -> RtlModule {
+        let s = schedule(&k, &lib(), &Constraints::at_clock(clock));
+        bind(&k, &s, &lib(), clock)
+    }
+
+    #[test]
+    fn multiplier_dominates_mac_area() {
+        let mut b = KernelBuilder::new("mac", 32);
+        let x = b.input(0);
+        let y = b.input(1);
+        let acc = b.input(2);
+        let p = b.mul(x, y);
+        let s = b.add(p, acc);
+        b.output(0, s);
+        let m = compile(b.finish(), 1200.0);
+        let l = lib();
+        let mul_area = techops::multiplier(32).area_um2(&l);
+        assert!(m.area_um2(&l) >= mul_area);
+        assert!(m.area_um2(&l) < mul_area * 1.5, "{}", m.report(&l));
+    }
+
+    #[test]
+    fn resource_sharing_trades_fus_for_muxes() {
+        let build = || {
+            let mut b = KernelBuilder::new("four_muls", 32);
+            let mut outs = Vec::new();
+            for i in 0..4 {
+                let x = b.input(2 * i);
+                let y = b.input(2 * i + 1);
+                outs.push(b.mul(x, y));
+            }
+            for (i, o) in outs.into_iter().enumerate() {
+                b.output(i, o);
+            }
+            b.finish()
+        };
+        let l = lib();
+        let k = build();
+        let free = {
+            let s = schedule(&k, &l, &Constraints::at_clock(1500.0));
+            bind(&k, &s, &l, 1500.0)
+        };
+        let shared = {
+            let c = Constraints::at_clock(1500.0).with_multipliers(1);
+            let s = schedule(&k, &l, &c);
+            bind(&k, &s, &l, 1500.0)
+        };
+        assert!(
+            shared.area_um2(&l) < free.area_um2(&l) / 2.0,
+            "sharing should collapse 4 multipliers: {} vs {}",
+            shared.area_um2(&l),
+            free.area_um2(&l)
+        );
+        assert!(shared.latency > free.latency, "sharing costs cycles");
+    }
+
+    #[test]
+    fn large_arrays_map_to_sram() {
+        let mut b = KernelBuilder::new("big", 32);
+        let arr = b.array("buf", 1024); // 32 Kib >= threshold
+        let idx = b.input(0);
+        let v = b.load(arr, idx);
+        b.output(0, v);
+        let m = compile(b.finish(), 1000.0);
+        assert_eq!(m.srams.len(), 1);
+        assert_eq!(m.srams[0].depth, 1024);
+    }
+
+    #[test]
+    fn small_arrays_map_to_flops() {
+        let mut b = KernelBuilder::new("small", 32);
+        let arr = b.array("buf", 8);
+        let idx = b.input(0);
+        let v = b.load(arr, idx);
+        b.output(0, v);
+        let m = compile(b.finish(), 1000.0);
+        assert!(m.srams.is_empty());
+        assert!(m.netlist.count(craft_tech::CellKind::Dff) >= 8 * 32);
+    }
+
+    #[test]
+    fn dynamic_stores_cost_more_than_dynamic_loads() {
+        // Same traffic, opposite directions: N dynamic stores must
+        // out-cost N dynamic loads (priority networks vs plain muxes).
+        let n = 16usize;
+        let loads = {
+            let mut b = KernelBuilder::new("loads", 32);
+            let arr = b.array("a", n);
+            for i in 0..n {
+                let idx = b.input(i);
+                let v = b.load(arr, idx);
+                b.output(i, v);
+            }
+            compile(b.finish(), 1200.0)
+        };
+        let stores = {
+            let mut b = KernelBuilder::new("stores", 32);
+            let arr = b.array("a", n);
+            for i in 0..n {
+                let idx = b.input(2 * i);
+                let v = b.input(2 * i + 1);
+                b.store(arr, idx, v);
+            }
+            compile(b.finish(), 1200.0)
+        };
+        let l = lib();
+        assert!(
+            stores.area_um2(&l) > loads.area_um2(&l) * 1.1,
+            "stores {} vs loads {}",
+            stores.area_um2(&l),
+            loads.area_um2(&l)
+        );
+    }
+
+    #[test]
+    fn report_mentions_key_metrics() {
+        let mut b = KernelBuilder::new("r", 32);
+        let x = b.input(0);
+        let y = b.input(1);
+        let s = b.add(x, y);
+        b.output(0, s);
+        let m = compile(b.finish(), 1000.0);
+        let rep = m.report(&lib());
+        assert!(rep.contains("area"), "{rep}");
+        assert!(rep.contains("latency"), "{rep}");
+        assert!(rep.contains("II"), "{rep}");
+    }
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+    use crate::ir::KernelBuilder;
+    use crate::schedule::{schedule, Constraints};
+
+    fn dot4_module(muls: Option<u32>) -> RtlModule {
+        let mut b = KernelBuilder::new("dot4", 32);
+        let mut prods = Vec::new();
+        for i in 0..4 {
+            let x = b.input(2 * i);
+            let y = b.input(2 * i + 1);
+            prods.push(b.mul(x, y));
+        }
+        let s01 = b.add(prods[0], prods[1]);
+        let s23 = b.add(prods[2], prods[3]);
+        let s = b.add(s01, s23);
+        b.output(0, s);
+        let k = b.finish();
+        let lib = TechLibrary::n16();
+        let mut c = Constraints::at_clock(1500.0);
+        if let Some(m) = muls {
+            c = c.with_multipliers(m);
+        }
+        let sched = schedule(&k, &lib, &c);
+        bind(&k, &sched, &lib, 1500.0)
+    }
+
+    #[test]
+    fn pipelined_cycles_amortize_latency() {
+        let m = dot4_module(None);
+        assert_eq!(m.ii, 1);
+        assert_eq!(m.pipelined_cycles(0), 0);
+        assert_eq!(m.pipelined_cycles(1), u64::from(m.latency));
+        // 1000 iterations at II=1: latency + 999.
+        assert_eq!(m.pipelined_cycles(1000), u64::from(m.latency) + 999);
+        assert_eq!(m.pipelined_throughput(), 1.0);
+    }
+
+    #[test]
+    fn bound_modules_always_meet_timing() {
+        // The chaining scheduler guarantees closure by construction.
+        for muls in [None, Some(1)] {
+            let m = dot4_module(muls);
+            assert!(m.meets_timing(), "{}", m.report(&TechLibrary::n16()));
+            assert!(m.slack_ps() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn resource_limits_raise_ii_and_cut_throughput() {
+        let shared = dot4_module(Some(1));
+        assert_eq!(shared.ii, 4, "4 muls through 1 multiplier");
+        assert_eq!(shared.pipelined_throughput(), 0.25);
+        let free = dot4_module(None);
+        assert!(shared.pipelined_cycles(1000) > 3 * free.pipelined_cycles(1000));
+    }
+}

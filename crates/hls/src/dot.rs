@@ -1,0 +1,121 @@
+//! Graphviz DOT export of kernel dataflow graphs, for documentation
+//! and scheduling debug (`dot -Tsvg kernel.dot > kernel.svg`).
+
+use crate::ir::{Kernel, OpKind};
+use crate::schedule::Schedule;
+use std::fmt::Write as _;
+
+fn label(kind: OpKind) -> String {
+    match kind {
+        OpKind::Const(c) => format!("{c}"),
+        OpKind::Input(p) => format!("in{p}"),
+        OpKind::Add => "+".into(),
+        OpKind::Sub => "-".into(),
+        OpKind::Mul => "*".into(),
+        OpKind::And => "&".into(),
+        OpKind::Or => "|".into(),
+        OpKind::Xor => "^".into(),
+        OpKind::Shl => "<<".into(),
+        OpKind::Shr => ">>".into(),
+        OpKind::CmpEq => "==".into(),
+        OpKind::CmpLt => "<".into(),
+        OpKind::Mux => "mux".into(),
+        OpKind::Load(a) => format!("ld a{}", a.0),
+        OpKind::Store(a) => format!("st a{}", a.0),
+        OpKind::Output(p) => format!("out{p}"),
+    }
+}
+
+/// Renders the kernel's dataflow graph as DOT. When `sched` is given,
+/// nodes are clustered by control step.
+///
+/// ```
+/// use craft_hls::{to_dot, KernelBuilder};
+/// let mut b = KernelBuilder::new("t", 32);
+/// let x = b.input(0);
+/// let y = b.mul(x, x);
+/// b.output(0, y);
+/// let dot = to_dot(&b.finish(), None);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("\"*\""));
+/// ```
+pub fn to_dot(kernel: &Kernel, sched: Option<&Schedule>) -> String {
+    let mut out = format!("digraph \"{}\" {{\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", kernel.name());
+    // Producer op index per value id.
+    let mut producer = std::collections::HashMap::new();
+    for (i, op) in kernel.ops().iter().enumerate() {
+        if let Some(r) = op.result {
+            producer.insert(r.0, i);
+        }
+    }
+    // Nodes, optionally grouped by schedule cycle.
+    match sched {
+        Some(s) => {
+            for cycle in 0..s.latency {
+                let _ = writeln!(out, "  subgraph cluster_c{cycle} {{ label=\"cycle {cycle}\";");
+                for (i, op) in kernel.ops().iter().enumerate() {
+                    if s.cycle[i] == cycle {
+                        let _ = writeln!(out, "    n{i} [label=\"{}\"];", label(op.kind));
+                    }
+                }
+                out.push_str("  }\n");
+            }
+        }
+        None => {
+            for (i, op) in kernel.ops().iter().enumerate() {
+                let _ = writeln!(out, "  n{i} [label=\"{}\"];", label(op.kind));
+            }
+        }
+    }
+    // Data edges.
+    for (i, op) in kernel.ops().iter().enumerate() {
+        for a in &op.args {
+            if let Some(&p) = producer.get(&a.0) {
+                let _ = writeln!(out, "  n{p} -> n{i};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::KernelBuilder;
+    use crate::schedule::{schedule, Constraints};
+    use craft_tech::TechLibrary;
+
+    fn mac() -> Kernel {
+        let mut b = KernelBuilder::new("mac", 32);
+        let x = b.input(0);
+        let y = b.input(1);
+        let acc = b.input(2);
+        let p = b.mul(x, y);
+        let s = b.add(p, acc);
+        b.output(0, s);
+        b.finish()
+    }
+
+    #[test]
+    fn dot_has_all_nodes_and_edges() {
+        let k = mac();
+        let dot = to_dot(&k, None);
+        // 6 ops -> 6 nodes; mul feeds add feeds output, inputs feed ops.
+        assert_eq!(dot.matches(" [label=").count(), k.ops().len());
+        assert!(dot.matches(" -> ").count() >= 5, "{dot}");
+    }
+
+    #[test]
+    fn scheduled_dot_clusters_by_cycle() {
+        let k = mac();
+        let lib = TechLibrary::n16();
+        let s = schedule(&k, &lib, &Constraints::at_clock(909.0));
+        let dot = to_dot(&k, Some(&s));
+        assert_eq!(
+            dot.matches("subgraph cluster_").count() as u32,
+            s.latency,
+            "{dot}"
+        );
+    }
+}

@@ -1,0 +1,488 @@
+//! HLS intermediate representation: an SSA dataflow graph over scalar
+//! values and addressable arrays, built through [`KernelBuilder`].
+//!
+//! Loops are unrolled at build time (the builder exposes
+//! [`KernelBuilder::unrolled`]), matching how the paper's crossbar
+//! case study reaches HLS: "the dst-loop implementation has fewer
+//! operations that must be scheduled after loop unrolling".
+
+use std::fmt;
+
+/// Identifier of an SSA value inside one [`Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub(crate) usize);
+
+/// Identifier of an array inside one [`Kernel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayId(pub(crate) usize);
+
+/// Scalar operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Integer constant.
+    Const(i64),
+    /// Kernel input port (by index).
+    Input(usize),
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift.
+    Shl,
+    /// Logical right shift.
+    Shr,
+    /// Equality compare (result width 1).
+    CmpEq,
+    /// Signed less-than (result width 1).
+    CmpLt,
+    /// 2:1 select: args are (cond, if_true, if_false).
+    Mux,
+    /// Array read: args are (index,).
+    Load(ArrayId),
+    /// Array write: args are (index, value). No result.
+    Store(ArrayId),
+    /// Kernel output port (by index): args are (value,). No result.
+    Output(usize),
+}
+
+impl OpKind {
+    /// True for operations with side effects that DCE must keep.
+    pub fn has_side_effect(self) -> bool {
+        matches!(self, OpKind::Store(_) | OpKind::Output(_))
+    }
+
+    /// True when the op touches the given array.
+    pub fn touches(self, array: ArrayId) -> bool {
+        matches!(self, OpKind::Load(a) | OpKind::Store(a) if a == array)
+    }
+}
+
+/// One operation in the dataflow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Op {
+    /// What the operation does.
+    pub kind: OpKind,
+    /// Operand values, in kind-specific order.
+    pub args: Vec<ValueId>,
+    /// Produced value (absent for `Store`/`Output`).
+    pub result: Option<ValueId>,
+    /// Bit width of the produced value / datapath.
+    pub width: u32,
+}
+
+/// An array declared in a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Name for reports.
+    pub name: String,
+    /// Elements.
+    pub len: usize,
+    /// Bits per element.
+    pub width: u32,
+}
+
+/// A synthesizable kernel: the unit handed to scheduling and binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kernel {
+    pub(crate) name: String,
+    pub(crate) ops: Vec<Op>,
+    pub(crate) n_values: usize,
+    pub(crate) arrays: Vec<ArrayDecl>,
+    pub(crate) n_inputs: usize,
+    pub(crate) n_outputs: usize,
+}
+
+impl Kernel {
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operations in program order (a topological order of the SSA
+    /// graph by construction).
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Number of scalar input ports.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Number of scalar output ports.
+    pub fn n_outputs(&self) -> usize {
+        self.n_outputs
+    }
+
+    /// Untimed functional evaluation — the "native C++ simulation" of
+    /// the paper's Fig. 1, used as the golden model against the
+    /// scheduled RTL.
+    ///
+    /// `inputs[i]` feeds `Input(i)`; `array_init[a]` (if provided)
+    /// initializes array `a`. Returns `(outputs, final array
+    /// contents)`.
+    ///
+    /// # Panics
+    /// Panics if `inputs` is shorter than the kernel's input count, an
+    /// index is out of array bounds, or `array_init` lengths mismatch.
+    pub fn eval(&self, inputs: &[i64], array_init: &[Option<Vec<i64>>]) -> (Vec<i64>, Vec<Vec<i64>>) {
+        assert!(inputs.len() >= self.n_inputs, "not enough inputs");
+        let mut arrays: Vec<Vec<i64>> = self
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, d)| match array_init.get(i).and_then(|o| o.as_ref()) {
+                Some(v) => {
+                    assert_eq!(v.len(), d.len, "array {} init length", d.name);
+                    v.clone()
+                }
+                None => vec![0; d.len],
+            })
+            .collect();
+        let mut vals = vec![0i64; self.n_values];
+        let mut outs = vec![0i64; self.n_outputs];
+        for op in &self.ops {
+            let a = |i: usize| vals[op.args[i].0];
+            let result = match op.kind {
+                OpKind::Const(c) => Some(c),
+                OpKind::Input(i) => Some(inputs[i]),
+                OpKind::Add => Some(a(0).wrapping_add(a(1))),
+                OpKind::Sub => Some(a(0).wrapping_sub(a(1))),
+                OpKind::Mul => Some(a(0).wrapping_mul(a(1))),
+                OpKind::And => Some(a(0) & a(1)),
+                OpKind::Or => Some(a(0) | a(1)),
+                OpKind::Xor => Some(a(0) ^ a(1)),
+                OpKind::Shl => Some(a(0).wrapping_shl(a(1) as u32 & 63)),
+                OpKind::Shr => Some(((a(0) as u64) >> (a(1) as u32 & 63)) as i64),
+                OpKind::CmpEq => Some(i64::from(a(0) == a(1))),
+                OpKind::CmpLt => Some(i64::from(a(0) < a(1))),
+                OpKind::Mux => Some(if a(0) != 0 { a(1) } else { a(2) }),
+                OpKind::Load(arr) => {
+                    let idx = a(0) as usize;
+                    Some(arrays[arr.0][idx])
+                }
+                OpKind::Store(arr) => {
+                    let idx = a(0) as usize;
+                    let v = a(1);
+                    arrays[arr.0][idx] = v;
+                    None
+                }
+                OpKind::Output(port) => {
+                    outs[port] = a(0);
+                    None
+                }
+            };
+            if let (Some(r), Some(id)) = (result, op.result) {
+                vals[id.0] = r;
+            }
+        }
+        (outs, arrays)
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kernel {} ({} ops, {} arrays, {} in, {} out)",
+            self.name,
+            self.ops.len(),
+            self.arrays.len(),
+            self.n_inputs,
+            self.n_outputs
+        )
+    }
+}
+
+/// Incremental builder for [`Kernel`]s — the "HLS-able architectural
+/// model" authoring API.
+///
+/// ```
+/// use craft_hls::KernelBuilder;
+/// let mut b = KernelBuilder::new("mac", 32);
+/// let x = b.input(0);
+/// let y = b.input(1);
+/// let acc = b.input(2);
+/// let prod = b.mul(x, y);
+/// let sum = b.add(prod, acc);
+/// b.output(0, sum);
+/// let k = b.finish();
+/// let (outs, _) = k.eval(&[3, 4, 10], &[]);
+/// assert_eq!(outs[0], 22);
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+    default_width: u32,
+}
+
+impl KernelBuilder {
+    /// Starts a kernel whose scalar ops default to `width` bits.
+    ///
+    /// # Panics
+    /// Panics if `width` is outside 1..=64.
+    pub fn new(name: impl Into<String>, width: u32) -> Self {
+        assert!((1..=64).contains(&width), "width must be 1..=64");
+        KernelBuilder {
+            kernel: Kernel {
+                name: name.into(),
+                ops: Vec::new(),
+                n_values: 0,
+                arrays: Vec::new(),
+                n_inputs: 0,
+                n_outputs: 0,
+            },
+            default_width: width,
+        }
+    }
+
+    fn fresh(&mut self) -> ValueId {
+        let id = ValueId(self.kernel.n_values);
+        self.kernel.n_values += 1;
+        id
+    }
+
+    fn emit(&mut self, kind: OpKind, args: Vec<ValueId>, width: u32) -> ValueId {
+        for &a in &args {
+            assert!(a.0 < self.kernel.n_values, "use of undefined value");
+        }
+        let result = self.fresh();
+        self.kernel.ops.push(Op {
+            kind,
+            args,
+            result: Some(result),
+            width,
+        });
+        result
+    }
+
+    fn emit_void(&mut self, kind: OpKind, args: Vec<ValueId>, width: u32) {
+        for &a in &args {
+            assert!(a.0 < self.kernel.n_values, "use of undefined value");
+        }
+        self.kernel.ops.push(Op {
+            kind,
+            args,
+            result: None,
+            width,
+        });
+    }
+
+    /// Declares (or reuses) scalar input port `index`.
+    pub fn input(&mut self, index: usize) -> ValueId {
+        self.kernel.n_inputs = self.kernel.n_inputs.max(index + 1);
+        self.emit(OpKind::Input(index), vec![], self.default_width)
+    }
+
+    /// Materializes a constant.
+    pub fn constant(&mut self, v: i64) -> ValueId {
+        self.emit(OpKind::Const(v), vec![], self.default_width)
+    }
+
+    /// Declares an array of `len` elements.
+    pub fn array(&mut self, name: impl Into<String>, len: usize) -> ArrayId {
+        assert!(len > 0, "array must have at least one element");
+        let id = ArrayId(self.kernel.arrays.len());
+        self.kernel.arrays.push(ArrayDecl {
+            name: name.into(),
+            len,
+            width: self.default_width,
+        });
+        id
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.emit(OpKind::Add, vec![a, b], self.default_width)
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.emit(OpKind::Sub, vec![a, b], self.default_width)
+    }
+
+    /// `a * b`.
+    pub fn mul(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.emit(OpKind::Mul, vec![a, b], self.default_width)
+    }
+
+    /// `a & b`.
+    pub fn and(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.emit(OpKind::And, vec![a, b], self.default_width)
+    }
+
+    /// `a | b`.
+    pub fn or(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.emit(OpKind::Or, vec![a, b], self.default_width)
+    }
+
+    /// `a ^ b`.
+    pub fn xor(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.emit(OpKind::Xor, vec![a, b], self.default_width)
+    }
+
+    /// `a << b`.
+    pub fn shl(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.emit(OpKind::Shl, vec![a, b], self.default_width)
+    }
+
+    /// `a >> b` (logical).
+    pub fn shr(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.emit(OpKind::Shr, vec![a, b], self.default_width)
+    }
+
+    /// `a == b` (1-bit result; the op width records the *operand*
+    /// datapath width, which is what the comparator hardware costs).
+    pub fn cmp_eq(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.emit(OpKind::CmpEq, vec![a, b], self.default_width)
+    }
+
+    /// `a < b` signed (1-bit result; op width = operand width).
+    pub fn cmp_lt(&mut self, a: ValueId, b: ValueId) -> ValueId {
+        self.emit(OpKind::CmpLt, vec![a, b], self.default_width)
+    }
+
+    /// `cond ? t : f`.
+    pub fn mux(&mut self, cond: ValueId, t: ValueId, f: ValueId) -> ValueId {
+        self.emit(OpKind::Mux, vec![cond, t, f], self.default_width)
+    }
+
+    /// `array[index]` with a runtime index (infers a read mux).
+    pub fn load(&mut self, array: ArrayId, index: ValueId) -> ValueId {
+        self.emit(OpKind::Load(array), vec![index], self.default_width)
+    }
+
+    /// `array[index] = value` with a runtime index (infers write
+    /// decode; several dynamic stores to one array infer priority
+    /// logic — the src-loop penalty of §2.4).
+    pub fn store(&mut self, array: ArrayId, index: ValueId, value: ValueId) {
+        self.emit_void(OpKind::Store(array), vec![index, value], self.default_width);
+    }
+
+    /// Binds `value` to output port `index`.
+    pub fn output(&mut self, index: usize, value: ValueId) {
+        self.kernel.n_outputs = self.kernel.n_outputs.max(index + 1);
+        self.emit_void(OpKind::Output(index), vec![value], self.default_width);
+    }
+
+    /// Fully unrolls `body` over `0..trip`, the builder-time analogue
+    /// of an HLS `#pragma unroll` loop.
+    pub fn unrolled(&mut self, trip: usize, mut body: impl FnMut(&mut Self, usize)) {
+        for i in 0..trip {
+            body(self, i);
+        }
+    }
+
+    /// Finalizes the kernel.
+    pub fn finish(self) -> Kernel {
+        self.kernel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arith_eval() {
+        let mut b = KernelBuilder::new("t", 32);
+        let x = b.input(0);
+        let y = b.input(1);
+        let s = b.add(x, y);
+        let d = b.sub(x, y);
+        let m = b.mul(s, d);
+        b.output(0, m);
+        let k = b.finish();
+        let (outs, _) = k.eval(&[7, 3], &[]);
+        assert_eq!(outs[0], (7 + 3) * (7 - 3));
+    }
+
+    #[test]
+    fn mux_and_compares() {
+        let mut b = KernelBuilder::new("t", 32);
+        let x = b.input(0);
+        let y = b.input(1);
+        let lt = b.cmp_lt(x, y);
+        let min = b.mux(lt, x, y);
+        b.output(0, min);
+        let k = b.finish();
+        assert_eq!(k.eval(&[5, 9], &[]).0[0], 5);
+        assert_eq!(k.eval(&[9, 5], &[]).0[0], 5);
+    }
+
+    #[test]
+    fn array_store_load_round_trip() {
+        let mut b = KernelBuilder::new("t", 32);
+        let arr = b.array("a", 4);
+        let idx = b.input(0);
+        let val = b.input(1);
+        b.store(arr, idx, val);
+        let back = b.load(arr, idx);
+        b.output(0, back);
+        let k = b.finish();
+        let (outs, arrays) = k.eval(&[2, 42], &[]);
+        assert_eq!(outs[0], 42);
+        assert_eq!(arrays[0], vec![0, 0, 42, 0]);
+    }
+
+    #[test]
+    fn later_store_wins() {
+        let mut b = KernelBuilder::new("t", 32);
+        let arr = b.array("a", 2);
+        let zero = b.constant(0);
+        let v1 = b.constant(11);
+        let v2 = b.constant(22);
+        b.store(arr, zero, v1);
+        b.store(arr, zero, v2);
+        let out = b.load(arr, zero);
+        b.output(0, out);
+        let k = b.finish();
+        assert_eq!(k.eval(&[], &[]).0[0], 22);
+    }
+
+    #[test]
+    fn unrolled_builds_trip_copies() {
+        let mut b = KernelBuilder::new("t", 32);
+        let mut acc = b.constant(0);
+        b.unrolled(4, |b, i| {
+            let x = b.input(i);
+            acc = b.add(acc, x);
+        });
+        b.output(0, acc);
+        let k = b.finish();
+        assert_eq!(k.n_inputs(), 4);
+        assert_eq!(k.eval(&[1, 2, 3, 4], &[]).0[0], 10);
+    }
+
+    #[test]
+    fn array_init_used() {
+        let mut b = KernelBuilder::new("t", 32);
+        let arr = b.array("rom", 3);
+        let idx = b.input(0);
+        let v = b.load(arr, idx);
+        b.output(0, v);
+        let k = b.finish();
+        let (outs, _) = k.eval(&[1], &[Some(vec![10, 20, 30])]);
+        assert_eq!(outs[0], 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "use of undefined value")]
+    fn undefined_value_panics() {
+        let mut b = KernelBuilder::new("t", 32);
+        let _ = b.add(ValueId(99), ValueId(100));
+    }
+}

@@ -1,0 +1,479 @@
+//! Operation scheduling: ASAP/ALAP analysis, chaining-aware
+//! resource-constrained list scheduling, and initiation-interval (II)
+//! computation for pipelined loops.
+//!
+//! This is the stage where "HLS tools run compilation, pipelining, and
+//! scheduling optimizations that map loosely-timed models to
+//! cycle-accurate RTL" (paper §2.2). Design constraints live in
+//! [`Constraints`], *decoupled from the kernel source* — the property
+//! the paper credits for source-free design-space exploration.
+
+use crate::ir::{Kernel, OpKind};
+use craft_tech::{ops as techops, TechLibrary};
+use std::collections::HashMap;
+
+/// Resource classes the scheduler arbitrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Adders/subtractors/comparators.
+    AddSub,
+    /// Multipliers.
+    Mul,
+    /// Bitwise logic, shifts and muxes.
+    Logic,
+    /// Array port operations (loads/stores).
+    MemPort,
+}
+
+/// Scheduling constraints (the HLS "TCL script" of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraints {
+    /// Target clock period in ps.
+    pub clock_ps: f64,
+    /// Adder/subtractor/comparator instances (`None` = unlimited).
+    pub adders: Option<u32>,
+    /// Multiplier instances (`None` = unlimited).
+    pub multipliers: Option<u32>,
+    /// Read/write ports per array per cycle.
+    pub mem_ports: u32,
+}
+
+impl Constraints {
+    /// Unconstrained resources at the given clock.
+    ///
+    /// # Panics
+    /// Panics if `clock_ps` is not positive.
+    pub fn at_clock(clock_ps: f64) -> Self {
+        assert!(clock_ps > 0.0, "clock period must be positive");
+        Constraints {
+            clock_ps,
+            adders: None,
+            multipliers: None,
+            mem_ports: 2,
+        }
+    }
+
+    /// Limits adder instances.
+    pub fn with_adders(mut self, n: u32) -> Self {
+        self.adders = Some(n);
+        self
+    }
+
+    /// Limits multiplier instances.
+    pub fn with_multipliers(mut self, n: u32) -> Self {
+        self.multipliers = Some(n);
+        self
+    }
+
+    /// Sets array ports per cycle.
+    pub fn with_mem_ports(mut self, n: u32) -> Self {
+        assert!(n > 0, "need at least one memory port");
+        self.mem_ports = n;
+        self
+    }
+
+    fn limit(&self, class: FuClass) -> Option<u32> {
+        match class {
+            FuClass::AddSub => self.adders,
+            FuClass::Mul => self.multipliers,
+            FuClass::Logic => None,
+            FuClass::MemPort => Some(self.mem_ports),
+        }
+    }
+}
+
+/// Classifies an op for resource accounting; `None` for free ops
+/// (constants, I/O binding).
+pub fn classify(kind: OpKind) -> Option<FuClass> {
+    match kind {
+        OpKind::Add | OpKind::Sub | OpKind::CmpEq | OpKind::CmpLt => Some(FuClass::AddSub),
+        OpKind::Mul => Some(FuClass::Mul),
+        OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Shl | OpKind::Shr | OpKind::Mux => {
+            Some(FuClass::Logic)
+        }
+        OpKind::Load(_) | OpKind::Store(_) => Some(FuClass::MemPort),
+        OpKind::Const(_) | OpKind::Input(_) | OpKind::Output(_) => None,
+    }
+}
+
+/// Combinational delay of one op in ps under `lib`.
+pub fn op_delay_ps(lib: &TechLibrary, kind: OpKind, width: u32) -> f64 {
+    let w = width.max(1);
+    match kind {
+        OpKind::Add | OpKind::Sub => techops::adder_delay_ps(lib, w),
+        OpKind::CmpEq | OpKind::CmpLt => techops::adder_delay_ps(lib, w) * 0.8,
+        OpKind::Mul => techops::multiplier_delay_ps(lib, w),
+        OpKind::And | OpKind::Or | OpKind::Xor => lib.cell(craft_tech::CellKind::Nand2).delay_ps,
+        OpKind::Shl | OpKind::Shr => lib.cell(craft_tech::CellKind::Mux2).delay_ps * 6.0,
+        OpKind::Mux => lib.cell(craft_tech::CellKind::Mux2).delay_ps,
+        OpKind::Load(_) | OpKind::Store(_) => 180.0,
+        OpKind::Const(_) | OpKind::Input(_) | OpKind::Output(_) => 0.0,
+    }
+}
+
+/// A computed schedule over a kernel's ops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Start cycle of each op (kernel op order).
+    pub cycle: Vec<u32>,
+    /// Total latency in cycles (last op cycle + 1).
+    pub latency: u32,
+    /// ALAP start cycle per op (slack = alap - cycle).
+    pub alap: Vec<u32>,
+    /// Pipelined initiation interval assuming the kernel is a loop
+    /// body (max over resource classes of usage/limit).
+    pub ii: u32,
+    /// Longest combinational chain packed into any single cycle, ps.
+    pub crit_path_ps: f64,
+}
+
+impl Schedule {
+    /// Scheduling slack of op `i` in cycles.
+    pub fn slack(&self, i: usize) -> u32 {
+        self.alap[i] - self.cycle[i]
+    }
+}
+
+/// Dependence edges (op index -> op index), data + memory order.
+fn dependences(kernel: &Kernel) -> Vec<Vec<usize>> {
+    let ops = kernel.ops();
+    // Producer op of each value.
+    let mut producer: HashMap<usize, usize> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(r) = op.result {
+            producer.insert(r.0, i);
+        }
+    }
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
+    // Data edges.
+    for (i, op) in ops.iter().enumerate() {
+        for a in &op.args {
+            if let Some(&p) = producer.get(&a.0) {
+                preds[i].push(p);
+            }
+        }
+    }
+    // Memory order: conservative per array — a store depends on every
+    // earlier access, and every access depends on the latest earlier
+    // store.
+    for array_idx in 0..kernel.arrays().len() {
+        let mut last_store: Option<usize> = None;
+        let mut accesses_since_store: Vec<usize> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let touches = op
+                .kind
+                .touches(crate::ir::ArrayId(array_idx));
+            if !touches {
+                continue;
+            }
+            match op.kind {
+                OpKind::Store(_) => {
+                    for &a in &accesses_since_store {
+                        preds[i].push(a);
+                    }
+                    if let Some(s) = last_store {
+                        preds[i].push(s);
+                    }
+                    last_store = Some(i);
+                    accesses_since_store.clear();
+                }
+                OpKind::Load(_) => {
+                    if let Some(s) = last_store {
+                        preds[i].push(s);
+                    }
+                    accesses_since_store.push(i);
+                }
+                _ => {}
+            }
+        }
+    }
+    preds
+}
+
+/// Chaining-aware resource-constrained list scheduling.
+///
+/// # Panics
+/// Panics if any single op's delay exceeds 8 clock periods (the model
+/// multi-cycles ops up to that bound) or constraints are invalid.
+///
+/// ```
+/// use craft_hls::{schedule, Constraints, KernelBuilder};
+/// use craft_tech::TechLibrary;
+/// let mut b = KernelBuilder::new("dot2", 32);
+/// let p0 = { let x = b.input(0); let y = b.input(1); b.mul(x, y) };
+/// let p1 = { let x = b.input(2); let y = b.input(3); b.mul(x, y) };
+/// let s = b.add(p0, p1);
+/// b.output(0, s);
+/// let lib = TechLibrary::n16();
+/// // One multiplier: the two products must serialize.
+/// let sched = schedule(&b.finish(), &lib, &Constraints::at_clock(1000.0).with_multipliers(1));
+/// assert!(sched.latency >= 2);
+/// ```
+pub fn schedule(kernel: &Kernel, lib: &TechLibrary, constraints: &Constraints) -> Schedule {
+    assert!(constraints.clock_ps > 0.0, "clock period must be positive");
+    let ops = kernel.ops();
+    let preds = dependences(kernel);
+
+    // finish_time[i] = (cycle, offset ps within that cycle) at which
+    // op i's result is stable.
+    let mut start_cycle = vec![0u32; ops.len()];
+    let mut finish: Vec<(u32, f64)> = vec![(0, 0.0); ops.len()];
+    // Per-cycle resource usage: (class, cycle) -> used. Arrays get
+    // per-array port accounting.
+    let mut fu_used: HashMap<(FuClass, u32), u32> = HashMap::new();
+    let mut mem_used: HashMap<(usize, u32), u32> = HashMap::new();
+
+    for (i, op) in ops.iter().enumerate() {
+        let delay = op_delay_ps(lib, op.kind, op.width);
+        let multi_cycles = (delay / constraints.clock_ps).ceil().max(1.0) as u32;
+        assert!(
+            multi_cycles <= 8,
+            "op delay {delay}ps exceeds 8 clock periods — raise the clock period"
+        );
+        // Earliest start honoring data/memory deps with chaining.
+        let mut cycle = 0u32;
+        let mut offset: f64 = 0.0;
+        for &p in &preds[i] {
+            let (pc, poff) = finish[p];
+            if pc > cycle {
+                cycle = pc;
+                offset = poff;
+            } else if pc == cycle {
+                offset = offset.max(poff);
+            }
+        }
+        // Multi-cycle ops start at a register boundary.
+        if multi_cycles > 1 && offset > 0.0 {
+            cycle += 1;
+            offset = 0.0;
+        }
+        // Chain if the op fits in the remaining cycle time.
+        if multi_cycles == 1 && offset + delay > constraints.clock_ps {
+            cycle += 1;
+            offset = 0.0;
+        }
+        // Resource check: slide forward until a cycle with a free unit.
+        if let Some(class) = classify(op.kind) {
+            let limit = constraints.limit(class);
+            loop {
+                let ok = match (class, limit) {
+                    (FuClass::MemPort, Some(lim)) => {
+                        let arr = match op.kind {
+                            OpKind::Load(a) | OpKind::Store(a) => a.0,
+                            _ => unreachable!("mem class implies mem op"),
+                        };
+                        mem_used.get(&(arr, cycle)).copied().unwrap_or(0) < lim
+                    }
+                    (_, Some(lim)) => fu_used.get(&(class, cycle)).copied().unwrap_or(0) < lim,
+                    (_, None) => true,
+                };
+                if ok {
+                    break;
+                }
+                cycle += 1;
+                offset = 0.0;
+            }
+            match (class, op.kind) {
+                (FuClass::MemPort, OpKind::Load(a) | OpKind::Store(a)) => {
+                    *mem_used.entry((a.0, cycle)).or_insert(0) += 1;
+                }
+                _ => {
+                    *fu_used.entry((class, cycle)).or_insert(0) += 1;
+                }
+            }
+        }
+        start_cycle[i] = cycle;
+        finish[i] = if multi_cycles > 1 {
+            (cycle + multi_cycles - 1, constraints.clock_ps * 0.99)
+        } else {
+            (cycle, offset + delay)
+        };
+    }
+
+    let latency = finish.iter().map(|&(c, _)| c + 1).max().unwrap_or(1);
+
+    // ALAP at cycle granularity for slack reporting.
+    let mut alap = vec![latency - 1; ops.len()];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
+    for (i, ps) in preds.iter().enumerate() {
+        for &p in ps {
+            succs[p].push(i);
+        }
+    }
+    for i in (0..ops.len()).rev() {
+        for &s in &succs[i] {
+            let bound = alap[s].saturating_sub(start_cycle[s].saturating_sub(start_cycle[i]).min(1));
+            alap[i] = alap[i].min(bound.max(start_cycle[i]));
+        }
+    }
+
+    // Resource-minimum initiation interval for a pipelined loop body.
+    let mut class_count: HashMap<FuClass, u32> = HashMap::new();
+    let mut per_array: HashMap<usize, u32> = HashMap::new();
+    for op in ops {
+        if let Some(class) = classify(op.kind) {
+            if class == FuClass::MemPort {
+                if let OpKind::Load(a) | OpKind::Store(a) = op.kind {
+                    *per_array.entry(a.0).or_insert(0) += 1;
+                }
+            } else {
+                *class_count.entry(class).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut ii = 1u32;
+    for (class, used) in &class_count {
+        if let Some(lim) = constraints.limit(*class) {
+            ii = ii.max(used.div_ceil(lim.max(1)));
+        }
+    }
+    for used in per_array.values() {
+        ii = ii.max(used.div_ceil(constraints.mem_ports.max(1)));
+    }
+
+    let crit_path_ps = finish
+        .iter()
+        .map(|&(_, off)| off)
+        .fold(0.0_f64, f64::max)
+        .min(constraints.clock_ps);
+
+    Schedule {
+        cycle: start_cycle,
+        latency,
+        alap,
+        ii,
+        crit_path_ps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::KernelBuilder;
+
+    fn lib() -> TechLibrary {
+        TechLibrary::n16()
+    }
+
+    #[test]
+    fn chaining_packs_fast_ops_into_one_cycle() {
+        let mut b = KernelBuilder::new("t", 32);
+        let x = b.input(0);
+        let y = b.input(1);
+        let a = b.and(x, y);
+        let o = b.or(a, x);
+        let z = b.xor(o, y);
+        b.output(0, z);
+        let s = schedule(&b.finish(), &lib(), &Constraints::at_clock(1000.0));
+        assert_eq!(s.latency, 1, "three gates chain into one 1ns cycle");
+    }
+
+    #[test]
+    fn long_chains_split_across_cycles() {
+        let mut b = KernelBuilder::new("t", 32);
+        let mut v = b.input(0);
+        for _ in 0..6 {
+            let w = b.input(1);
+            v = b.add(v, w); // 32-bit add ~ 372ps each
+        }
+        b.output(0, v);
+        let s = schedule(&b.finish(), &lib(), &Constraints::at_clock(1000.0));
+        assert!(
+            s.latency >= 3,
+            "six dependent adds cannot fit one cycle: latency {}",
+            s.latency
+        );
+    }
+
+    #[test]
+    fn resource_limits_serialize_ops() {
+        let mut b = KernelBuilder::new("t", 32);
+        let mut prods = Vec::new();
+        for i in 0..4 {
+            let x = b.input(2 * i);
+            let y = b.input(2 * i + 1);
+            prods.push(b.mul(x, y));
+        }
+        let s01 = b.add(prods[0], prods[1]);
+        let s23 = b.add(prods[2], prods[3]);
+        let total = b.add(s01, s23);
+        b.output(0, total);
+        let k = b.finish();
+
+        let free = schedule(&k, &lib(), &Constraints::at_clock(2000.0));
+        let tight = schedule(&k, &lib(), &Constraints::at_clock(2000.0).with_multipliers(1));
+        assert!(tight.latency > free.latency);
+        assert_eq!(tight.ii, 4, "4 muls / 1 multiplier");
+        assert_eq!(free.ii, 1);
+    }
+
+    #[test]
+    fn memory_ports_limit_parallel_loads() {
+        let mut b = KernelBuilder::new("t", 32);
+        let arr = b.array("a", 8);
+        let mut acc = b.constant(0);
+        for i in 0..8 {
+            let idx = b.constant(i);
+            let v = b.load(arr, idx);
+            acc = b.add(acc, v);
+        }
+        b.output(0, acc);
+        let k = b.finish();
+        let one_port = schedule(&k, &lib(), &Constraints::at_clock(1200.0).with_mem_ports(1));
+        let two_port = schedule(&k, &lib(), &Constraints::at_clock(1200.0).with_mem_ports(2));
+        assert!(one_port.latency > two_port.latency);
+        assert!(one_port.latency >= 8, "8 loads through 1 port");
+    }
+
+    #[test]
+    fn store_load_ordering_respected() {
+        let mut b = KernelBuilder::new("t", 32);
+        let arr = b.array("a", 4);
+        let i0 = b.constant(0);
+        let v = b.input(0);
+        b.store(arr, i0, v);
+        let back = b.load(arr, i0); // must schedule at/after the store
+        b.output(0, back);
+        let k = b.finish();
+        let s = schedule(&k, &lib(), &Constraints::at_clock(1000.0));
+        let store_idx = k
+            .ops()
+            .iter()
+            .position(|o| matches!(o.kind, OpKind::Store(_)))
+            .expect("store present");
+        let load_idx = k
+            .ops()
+            .iter()
+            .position(|o| matches!(o.kind, OpKind::Load(_)))
+            .expect("load present");
+        assert!(s.cycle[load_idx] >= s.cycle[store_idx]);
+    }
+
+    #[test]
+    fn slack_zero_on_critical_path() {
+        let mut b = KernelBuilder::new("t", 32);
+        let x = b.input(0);
+        let y = b.input(1);
+        let m = b.mul(x, y);
+        b.output(0, m);
+        let k = b.finish();
+        let s = schedule(&k, &lib(), &Constraints::at_clock(700.0));
+        let mul_idx = k
+            .ops()
+            .iter()
+            .position(|o| matches!(o.kind, OpKind::Mul))
+            .expect("mul");
+        assert_eq!(s.slack(mul_idx), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 8 clock periods")]
+    fn absurdly_fast_clock_panics() {
+        let mut b = KernelBuilder::new("t", 64);
+        let x = b.input(0);
+        let y = b.input(1);
+        let m = b.mul(x, y);
+        b.output(0, m);
+        let _ = schedule(&b.finish(), &lib(), &Constraints::at_clock(50.0));
+    }
+}

@@ -1,0 +1,229 @@
+//! Kernel transformations: constant folding, common-subexpression
+//! elimination and dead-code elimination — the "compilation
+//! transformations" stage of the HLS flow (Fig. 1) that runs before
+//! scheduling.
+
+use crate::ir::{Kernel, OpKind, ValueId};
+use std::collections::HashMap;
+
+/// Report of what a transformation pipeline did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XformReport {
+    /// Ops replaced by constants.
+    pub folded: usize,
+    /// Ops removed as duplicates.
+    pub cse_removed: usize,
+    /// Ops removed as dead.
+    pub dce_removed: usize,
+}
+
+/// Runs fold → CSE → DCE to a fixed point and returns the optimized
+/// kernel plus a report.
+///
+/// ```
+/// use craft_hls::{optimize, KernelBuilder};
+/// let mut b = KernelBuilder::new("t", 32);
+/// let x = b.input(0);
+/// let a = b.add(x, x);
+/// let bb = b.add(x, x); // duplicate
+/// let s = b.add(a, bb);
+/// b.output(0, s);
+/// let (k, report) = optimize(b.finish());
+/// assert_eq!(report.cse_removed, 1);
+/// assert_eq!(k.eval(&[5], &[]).0[0], 20);
+/// ```
+pub fn optimize(kernel: Kernel) -> (Kernel, XformReport) {
+    let mut report = XformReport::default();
+    let mut k = kernel;
+    loop {
+        let (k2, f) = fold_constants(k);
+        let (k3, c) = cse(k2);
+        let (k4, d) = dce(k3);
+        report.folded += f;
+        report.cse_removed += c;
+        report.dce_removed += d;
+        k = k4;
+        if f + c + d == 0 {
+            return (k, report);
+        }
+    }
+}
+
+/// Replaces ops whose operands are all constants with `Const` ops.
+fn fold_constants(mut k: Kernel) -> (Kernel, usize) {
+    let mut const_of: HashMap<ValueId, i64> = HashMap::new();
+    let mut folded = 0;
+    for op in &mut k.ops {
+        let get = |m: &HashMap<ValueId, i64>, v: ValueId| m.get(&v).copied();
+        let all: Option<Vec<i64>> = op.args.iter().map(|&a| get(&const_of, a)).collect();
+        let value = match (op.kind, all) {
+            (OpKind::Const(c), _) => Some(c),
+            (_, Some(args)) => match op.kind {
+                OpKind::Add => Some(args[0].wrapping_add(args[1])),
+                OpKind::Sub => Some(args[0].wrapping_sub(args[1])),
+                OpKind::Mul => Some(args[0].wrapping_mul(args[1])),
+                OpKind::And => Some(args[0] & args[1]),
+                OpKind::Or => Some(args[0] | args[1]),
+                OpKind::Xor => Some(args[0] ^ args[1]),
+                OpKind::Shl => Some(args[0].wrapping_shl(args[1] as u32 & 63)),
+                OpKind::Shr => Some(((args[0] as u64) >> (args[1] as u32 & 63)) as i64),
+                OpKind::CmpEq => Some(i64::from(args[0] == args[1])),
+                OpKind::CmpLt => Some(i64::from(args[0] < args[1])),
+                OpKind::Mux => Some(if args[0] != 0 { args[1] } else { args[2] }),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let (Some(v), Some(result)) = (value, op.result) {
+            const_of.insert(result, v);
+            if !matches!(op.kind, OpKind::Const(_)) {
+                op.kind = OpKind::Const(v);
+                op.args.clear();
+                folded += 1;
+            }
+        }
+    }
+    (k, folded)
+}
+
+/// Merges structurally identical side-effect-free ops. Loads are NOT
+/// merged (a store may intervene).
+fn cse(mut k: Kernel) -> (Kernel, usize) {
+    let mut seen: HashMap<(OpKind, Vec<ValueId>), ValueId> = HashMap::new();
+    let mut replace: HashMap<ValueId, ValueId> = HashMap::new();
+    let mut removed = 0;
+    let mut new_ops = Vec::with_capacity(k.ops.len());
+    for mut op in std::mem::take(&mut k.ops) {
+        for a in &mut op.args {
+            if let Some(&r) = replace.get(a) {
+                *a = r;
+            }
+        }
+        let mergeable = !op.kind.has_side_effect() && !matches!(op.kind, OpKind::Load(_));
+        if mergeable {
+            if let Some(result) = op.result {
+                let key = (op.kind, op.args.clone());
+                if let Some(&prev) = seen.get(&key) {
+                    replace.insert(result, prev);
+                    removed += 1;
+                    continue;
+                }
+                seen.insert(key, result);
+            }
+        }
+        new_ops.push(op);
+    }
+    k.ops = new_ops;
+    (k, removed)
+}
+
+/// Drops ops whose results are unused and that have no side effects.
+fn dce(mut k: Kernel) -> (Kernel, usize) {
+    let mut used = vec![false; k.n_values];
+    for op in &k.ops {
+        if op.kind.has_side_effect() {
+            for &a in &op.args {
+                used[a.0] = true;
+            }
+        }
+    }
+    // Propagate uses backwards to a fixed point (ops are topological,
+    // so one reverse pass suffices).
+    for op in k.ops.iter().rev() {
+        if let Some(r) = op.result {
+            if used[r.0] {
+                for &a in &op.args {
+                    used[a.0] = true;
+                }
+            }
+        }
+    }
+    let before = k.ops.len();
+    k.ops.retain(|op| {
+        op.kind.has_side_effect() || op.result.map(|r| used[r.0]).unwrap_or(false)
+    });
+    let removed = before - k.ops.len();
+    (k, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::KernelBuilder;
+
+    #[test]
+    fn folds_constant_expressions() {
+        let mut b = KernelBuilder::new("t", 32);
+        let c1 = b.constant(6);
+        let c2 = b.constant(7);
+        let p = b.mul(c1, c2);
+        b.output(0, p);
+        let (k, rep) = optimize(b.finish());
+        assert_eq!(rep.folded, 1);
+        assert_eq!(k.eval(&[], &[]).0[0], 42);
+        // The mul is gone: only consts + output remain.
+        assert!(k.ops().iter().all(|o| !matches!(o.kind, OpKind::Mul)));
+    }
+
+    #[test]
+    fn dce_removes_unused_chains() {
+        let mut b = KernelBuilder::new("t", 32);
+        let x = b.input(0);
+        let dead1 = b.mul(x, x);
+        let _dead2 = b.add(dead1, x); // whole chain unused
+        b.output(0, x);
+        let (k, rep) = optimize(b.finish());
+        assert_eq!(rep.dce_removed, 2);
+        assert_eq!(k.eval(&[9], &[]).0[0], 9);
+    }
+
+    #[test]
+    fn dce_keeps_stores() {
+        let mut b = KernelBuilder::new("t", 32);
+        let arr = b.array("a", 2);
+        let i = b.constant(1);
+        let v = b.input(0);
+        b.store(arr, i, v);
+        let (k, _) = optimize(b.finish());
+        assert!(k
+            .ops()
+            .iter()
+            .any(|o| matches!(o.kind, OpKind::Store(_))));
+        assert_eq!(k.eval(&[5], &[]).1[0], vec![0, 5]);
+    }
+
+    #[test]
+    fn cse_does_not_merge_loads_across_stores() {
+        let mut b = KernelBuilder::new("t", 32);
+        let arr = b.array("a", 2);
+        let zero = b.constant(0);
+        let first = b.load(arr, zero);
+        let ten = b.constant(10);
+        b.store(arr, zero, ten);
+        let second = b.load(arr, zero); // must NOT merge with `first`
+        let diff = b.sub(second, first);
+        b.output(0, diff);
+        let (k, _) = optimize(b.finish());
+        assert_eq!(k.eval(&[], &[]).0[0], 10);
+    }
+
+    #[test]
+    fn optimization_preserves_semantics_on_mixed_kernel() {
+        let mut b = KernelBuilder::new("t", 32);
+        let x = b.input(0);
+        let y = b.input(1);
+        let two = b.constant(2);
+        let t1 = b.mul(x, two);
+        let t2 = b.mul(x, two); // CSE candidate
+        let s = b.add(t1, t2);
+        let c = b.cmp_lt(s, y);
+        let r = b.mux(c, s, y);
+        b.output(0, r);
+        let orig = b.finish();
+        let (opt, rep) = optimize(orig.clone());
+        assert!(rep.cse_removed >= 1);
+        for ins in [[1, 100], [50, 10], [-3, 7]] {
+            assert_eq!(orig.eval(&ins, &[]).0, opt.eval(&ins, &[]).0);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Configurable FIFO (Table 2, C++ class).
+//!
+//! A plain software queue with hardware-style full/empty semantics,
+//! used as internal state by RTL-style components (routers, arbitrated
+//! crossbars). Unlike a [`craft_connections`] channel it has no
+//! handshake or commit phase — it mutates immediately.
+
+use std::collections::VecDeque;
+
+/// Bounded FIFO with hardware-style accessors.
+///
+/// ```
+/// use craft_matchlib::Fifo;
+/// let mut f = Fifo::new(2);
+/// assert!(f.push(1).is_ok());
+/// assert!(f.push(2).is_ok());
+/// assert!(f.is_full());
+/// assert_eq!(f.push(3), Err(3));
+/// assert_eq!(f.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO holding at most `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be nonzero");
+        Fifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when no more items can be pushed.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Free slots remaining.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Enqueues `v`.
+    ///
+    /// # Errors
+    /// Returns `Err(v)` when full, handing the item back.
+    pub fn push(&mut self, v: T) -> Result<(), T> {
+        if self.is_full() {
+            Err(v)
+        } else {
+            self.items.push_back(v);
+            Ok(())
+        }
+    }
+
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// The oldest item without removing it.
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Removes all items.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterates oldest-first without consuming.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_ordering() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i).expect("has room");
+        }
+        assert_eq!(f.pop(), Some(0));
+        assert_eq!(f.peek(), Some(&1));
+        f.push(9).expect("freed a slot");
+        let drained: Vec<i32> = std::iter::from_fn(|| f.pop()).collect();
+        assert_eq!(drained, vec![1, 2, 3, 9]);
+    }
+
+    #[test]
+    fn full_and_free_track_len() {
+        let mut f = Fifo::new(3);
+        assert_eq!(f.free(), 3);
+        f.push(1).expect("room");
+        assert_eq!(f.free(), 2);
+        assert!(!f.is_full());
+        f.push(2).expect("room");
+        f.push(3).expect("room");
+        assert!(f.is_full());
+        assert_eq!(f.free(), 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut f = Fifo::new(2);
+        f.push(1).expect("room");
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "fifo capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+
+    proptest! {
+        /// A FIFO behaves like a bounded VecDeque under any mixed
+        /// push/pop sequence.
+        #[test]
+        fn model_equivalence(ops in proptest::collection::vec(any::<Option<u8>>(), 0..200)) {
+            let mut dut = Fifo::new(5);
+            let mut model: VecDeque<u8> = VecDeque::new();
+            for op in ops {
+                match op {
+                    Some(v) => {
+                        let expect_ok = model.len() < 5;
+                        let got = dut.push(v);
+                        prop_assert_eq!(got.is_ok(), expect_ok);
+                        if expect_ok { model.push_back(v); }
+                    }
+                    None => {
+                        prop_assert_eq!(dut.pop(), model.pop_front());
+                    }
+                }
+                prop_assert_eq!(dut.len(), model.len());
+                prop_assert_eq!(dut.is_empty(), model.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Floating-point arithmetic functions (Table 2, C++ functions:
+//! mul, add, mul-add).
+//!
+//! A parameterized soft-float over arbitrary exponent/mantissa widths
+//! (FP32, FP16, BF16 presets), matching the style of hardware ML
+//! datapaths: round-to-nearest-even, **flush-to-zero** subnormal
+//! handling (inputs and outputs with biased exponent 0 are treated as
+//! zero), and full NaN/∞ propagation. `mul_add` is a two-op
+//! (mul-then-add) datapath with two roundings.
+//!
+//! For the FP32 format the results are bit-exact against native `f32`
+//! whenever no subnormal is involved — see the property tests.
+
+use std::fmt;
+
+/// A floating-point format: 1 sign bit + `exp_bits` + `man_bits`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FloatFormat {
+    /// Exponent field width in bits (2..=15).
+    pub exp_bits: u32,
+    /// Mantissa (fraction) field width in bits (1..=52).
+    pub man_bits: u32,
+}
+
+impl FloatFormat {
+    /// IEEE-754 binary32.
+    pub const FP32: FloatFormat = FloatFormat {
+        exp_bits: 8,
+        man_bits: 23,
+    };
+    /// IEEE-754 binary16.
+    pub const FP16: FloatFormat = FloatFormat {
+        exp_bits: 5,
+        man_bits: 10,
+    };
+    /// bfloat16.
+    pub const BF16: FloatFormat = FloatFormat {
+        exp_bits: 8,
+        man_bits: 7,
+    };
+
+    /// Validates the widths.
+    ///
+    /// # Panics
+    /// Panics when outside 2..=15 exponent or 1..=52 mantissa bits.
+    pub fn validate(self) {
+        assert!(
+            (2..=15).contains(&self.exp_bits),
+            "exponent width must be 2..=15"
+        );
+        assert!(
+            (1..=52).contains(&self.man_bits),
+            "mantissa width must be 1..=52"
+        );
+    }
+
+    /// Total storage bits (sign + exponent + mantissa).
+    pub fn total_bits(self) -> u32 {
+        1 + self.exp_bits + self.man_bits
+    }
+
+    /// Exponent bias.
+    pub fn bias(self) -> i32 {
+        (1 << (self.exp_bits - 1)) - 1
+    }
+
+    fn exp_max(self) -> u64 {
+        (1 << self.exp_bits) - 1
+    }
+
+    fn man_mask(self) -> u64 {
+        (1 << self.man_bits) - 1
+    }
+
+    /// Canonical quiet NaN bit pattern.
+    pub fn nan_bits(self) -> u64 {
+        (self.exp_max() << self.man_bits) | (1 << (self.man_bits - 1))
+    }
+
+    /// Infinity bit pattern with the given sign.
+    pub fn inf_bits(self, negative: bool) -> u64 {
+        (u64::from(negative) << (self.exp_bits + self.man_bits))
+            | (self.exp_max() << self.man_bits)
+    }
+}
+
+/// Class of an unpacked operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    /// Zero (true zeros and flushed subnormals).
+    Zero { sign: bool },
+    Inf { sign: bool },
+    Nan,
+    Normal(Unpacked),
+}
+
+/// A normal value: mantissa carries the hidden bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Unpacked {
+    sign: bool,
+    /// Unbiased exponent.
+    exp: i32,
+    /// `man_bits + 1` significant bits (hidden bit set).
+    man: u64,
+}
+
+fn unpack(fmt: FloatFormat, bits: u64) -> Class {
+    let sign = (bits >> (fmt.exp_bits + fmt.man_bits)) & 1 == 1;
+    let exp_raw = (bits >> fmt.man_bits) & fmt.exp_max();
+    let man_raw = bits & fmt.man_mask();
+    if exp_raw == 0 {
+        // Flush-to-zero: subnormals (man != 0) collapse to signed zero.
+        Class::Zero { sign }
+    } else if exp_raw == fmt.exp_max() {
+        if man_raw == 0 {
+            Class::Inf { sign }
+        } else {
+            Class::Nan
+        }
+    } else {
+        Class::Normal(Unpacked {
+            sign,
+            exp: exp_raw as i32 - fmt.bias(),
+            man: man_raw | (1 << fmt.man_bits),
+        })
+    }
+}
+
+/// Packs a sign/exponent/rounded-mantissa triple, flushing underflow to
+/// zero and saturating overflow to infinity. `man` must already be a
+/// normalized `man_bits + 1`-bit value (hidden bit set) or zero.
+fn pack(fmt: FloatFormat, sign: bool, exp: i32, man: u64) -> u64 {
+    if man == 0 {
+        return u64::from(sign) << (fmt.exp_bits + fmt.man_bits);
+    }
+    debug_assert_eq!(man >> fmt.man_bits, 1, "mantissa not normalized");
+    let biased = exp + fmt.bias();
+    if biased >= fmt.exp_max() as i32 {
+        return fmt.inf_bits(sign);
+    }
+    if biased <= 0 {
+        // Flush-to-zero on underflow.
+        return u64::from(sign) << (fmt.exp_bits + fmt.man_bits);
+    }
+    (u64::from(sign) << (fmt.exp_bits + fmt.man_bits))
+        | ((biased as u64) << fmt.man_bits)
+        | (man & fmt.man_mask())
+}
+
+/// Rounds a value with `extra` low bits using round-to-nearest-even.
+/// Returns (rounded mantissa, exponent increment).
+fn round_rne(man_ext: u128, extra: u32, man_bits: u32) -> (u64, i32) {
+    if extra == 0 {
+        return (man_ext as u64, 0);
+    }
+    let keep = (man_ext >> extra) as u64;
+    let rem = man_ext & ((1u128 << extra) - 1);
+    let half = 1u128 << (extra - 1);
+    let round_up = rem > half || (rem == half && keep & 1 == 1);
+    let mut rounded = keep + u64::from(round_up);
+    let mut exp_inc = 0;
+    if rounded >> (man_bits + 1) != 0 {
+        rounded >>= 1;
+        exp_inc = 1;
+    }
+    (rounded, exp_inc)
+}
+
+/// Floating-point multiply on raw bit patterns of format `fmt`.
+///
+/// ```
+/// use craft_matchlib::float::{mul, FloatFormat};
+/// let a = 2.5f32.to_bits() as u64;
+/// let b = (-4.0f32).to_bits() as u64;
+/// let p = mul(FloatFormat::FP32, a, b);
+/// assert_eq!(f32::from_bits(p as u32), -10.0);
+/// ```
+pub fn mul(fmt: FloatFormat, a: u64, b: u64) -> u64 {
+    fmt.validate();
+    match (unpack(fmt, a), unpack(fmt, b)) {
+        (Class::Nan, _) | (_, Class::Nan) => fmt.nan_bits(),
+        (Class::Inf { sign: sa }, Class::Inf { sign: sb }) => fmt.inf_bits(sa ^ sb),
+        (Class::Inf { .. }, Class::Zero { .. }) | (Class::Zero { .. }, Class::Inf { .. }) => {
+            fmt.nan_bits()
+        }
+        (Class::Inf { sign: sa }, Class::Normal(n)) => fmt.inf_bits(sa ^ n.sign),
+        (Class::Normal(n), Class::Inf { sign: sb }) => fmt.inf_bits(n.sign ^ sb),
+        (Class::Zero { sign: sa }, Class::Zero { sign: sb }) => pack(fmt, sa ^ sb, 0, 0),
+        (Class::Zero { sign: sa }, Class::Normal(n)) => pack(fmt, sa ^ n.sign, 0, 0),
+        (Class::Normal(n), Class::Zero { sign: sb }) => pack(fmt, n.sign ^ sb, 0, 0),
+        (Class::Normal(x), Class::Normal(y)) => {
+            let sign = x.sign ^ y.sign;
+            let prod = u128::from(x.man) * u128::from(y.man); // 2m+1 or 2m+2 bits
+            let m = fmt.man_bits;
+            // prod in [2^(2m), 2^(2m+2)).
+            let (shift, exp_adj) = if prod >> (2 * m + 1) != 0 {
+                (m + 1, 1)
+            } else {
+                (m, 0)
+            };
+            let exp = x.exp + y.exp + exp_adj;
+            let (man, inc) = round_rne(prod, shift, m);
+            pack(fmt, sign, exp + inc, man)
+        }
+    }
+}
+
+/// Floating-point add on raw bit patterns of format `fmt`.
+///
+/// ```
+/// use craft_matchlib::float::{add, FloatFormat};
+/// let a = 1.5f32.to_bits() as u64;
+/// let b = 2.25f32.to_bits() as u64;
+/// let s = add(FloatFormat::FP32, a, b);
+/// assert_eq!(f32::from_bits(s as u32), 3.75);
+/// ```
+pub fn add(fmt: FloatFormat, a: u64, b: u64) -> u64 {
+    fmt.validate();
+    match (unpack(fmt, a), unpack(fmt, b)) {
+        (Class::Nan, _) | (_, Class::Nan) => fmt.nan_bits(),
+        (Class::Inf { sign: sa }, Class::Inf { sign: sb }) => {
+            if sa == sb {
+                fmt.inf_bits(sa)
+            } else {
+                fmt.nan_bits()
+            }
+        }
+        (Class::Inf { sign }, _) | (_, Class::Inf { sign }) => fmt.inf_bits(sign),
+        (Class::Zero { sign: sa }, Class::Zero { sign: sb }) => pack(fmt, sa && sb, 0, 0),
+        (Class::Zero { .. }, Class::Normal(_)) => {
+            // b unchanged (re-pack to normalize any flushed input).
+            let Class::Normal(n) = unpack(fmt, b) else {
+                unreachable!()
+            };
+            pack(fmt, n.sign, n.exp, n.man)
+        }
+        (Class::Normal(_), Class::Zero { .. }) => {
+            let Class::Normal(n) = unpack(fmt, a) else {
+                unreachable!()
+            };
+            pack(fmt, n.sign, n.exp, n.man)
+        }
+        (Class::Normal(x), Class::Normal(y)) => add_normals(fmt, x, y),
+    }
+}
+
+const GRS: u32 = 3; // guard, round, sticky extension bits
+
+fn add_normals(fmt: FloatFormat, x: Unpacked, y: Unpacked) -> u64 {
+    // Order so `big` has the larger magnitude.
+    let (big, small) = if (x.exp, x.man) >= (y.exp, y.man) {
+        (x, y)
+    } else {
+        (y, x)
+    };
+    let m = fmt.man_bits;
+    let diff = (big.exp - small.exp) as u32;
+
+    let big_ext = u128::from(big.man) << GRS;
+    // Align the small operand, collapsing shifted-out bits into sticky.
+    let small_full = u128::from(small.man) << GRS;
+    let small_ext = if diff > m + 1 + GRS {
+        // Entirely below the sticky bit but still nonzero.
+        1
+    } else {
+        let shifted = small_full >> diff;
+        let lost = small_full & ((1u128 << diff) - 1);
+        shifted | u128::from(lost != 0)
+    };
+
+    let (sign, mut sum) = if big.sign == small.sign {
+        (big.sign, big_ext + small_ext)
+    } else {
+        (big.sign, big_ext - small_ext)
+    };
+
+    if sum == 0 {
+        // Exact cancellation: +0 under round-to-nearest.
+        return pack(fmt, false, 0, 0);
+    }
+
+    // Normalize: top bit must land at position m + GRS.
+    let top = m + GRS;
+    let mut exp = big.exp;
+    let msb = 127 - sum.leading_zeros();
+    if msb > top {
+        let sh = msb - top;
+        let lost = sum & ((1u128 << sh) - 1);
+        sum = (sum >> sh) | u128::from(lost != 0);
+        exp += sh as i32;
+    } else if msb < top {
+        let sh = top - msb;
+        sum <<= sh;
+        exp -= sh as i32;
+    }
+
+    let (man, inc) = round_rne(sum, GRS, m);
+    pack(fmt, sign, exp + inc, man)
+}
+
+/// Two-op multiply-add: `round(round(a * b) + c)`.
+///
+/// ```
+/// use craft_matchlib::float::{mul_add, FloatFormat};
+/// let bits = |v: f32| v.to_bits() as u64;
+/// let r = mul_add(FloatFormat::FP32, bits(3.0), bits(4.0), bits(0.5));
+/// assert_eq!(f32::from_bits(r as u32), 12.5);
+/// ```
+pub fn mul_add(fmt: FloatFormat, a: u64, b: u64, c: u64) -> u64 {
+    add(fmt, mul(fmt, a, b), c)
+}
+
+/// Converts an `f64` into format `fmt` with round-to-nearest-even
+/// (subnormal results flush to zero).
+pub fn from_f64(fmt: FloatFormat, v: f64) -> u64 {
+    fmt.validate();
+    if v.is_nan() {
+        return fmt.nan_bits();
+    }
+    let bits = v.to_bits();
+    let sign = bits >> 63 == 1;
+    if v.is_infinite() {
+        return fmt.inf_bits(sign);
+    }
+    if v == 0.0 {
+        return pack(fmt, sign, 0, 0);
+    }
+    let exp_raw = ((bits >> 52) & 0x7FF) as i32;
+    let man_raw = bits & ((1u64 << 52) - 1);
+    if exp_raw == 0 {
+        // f64 subnormal: far below any supported format's range.
+        return pack(fmt, sign, 0, 0);
+    }
+    let exp = exp_raw - 1023;
+    let man53 = man_raw | (1 << 52);
+    let (man, inc) = round_rne(u128::from(man53), 52 - fmt.man_bits, fmt.man_bits);
+    pack(fmt, sign, exp + inc, man)
+}
+
+/// Converts a value of format `fmt` to `f64` (exact: every supported
+/// format fits in an `f64`).
+pub fn to_f64(fmt: FloatFormat, bits: u64) -> f64 {
+    fmt.validate();
+    match unpack(fmt, bits) {
+        Class::Nan => f64::NAN,
+        Class::Inf { sign } => {
+            if sign {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }
+        }
+        Class::Zero { sign } => {
+            if sign {
+                -0.0
+            } else {
+                0.0
+            }
+        }
+        Class::Normal(n) => {
+            let frac = n.man as f64 / (1u64 << fmt.man_bits) as f64;
+            let mag = frac * (n.exp as f64).exp2();
+            if n.sign {
+                -mag
+            } else {
+                mag
+            }
+        }
+    }
+}
+
+impl fmt::Display for FloatFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}m{}", self.exp_bits, self.man_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const F: FloatFormat = FloatFormat::FP32;
+
+    fn b(v: f32) -> u64 {
+        u64::from(v.to_bits())
+    }
+    fn f(bits: u64) -> f32 {
+        f32::from_bits(bits as u32)
+    }
+
+    #[test]
+    fn mul_basic() {
+        assert_eq!(f(mul(F, b(2.0), b(3.0))), 6.0);
+        assert_eq!(f(mul(F, b(-2.5), b(4.0))), -10.0);
+        assert_eq!(f(mul(F, b(0.0), b(5.0))), 0.0);
+        assert!(f(mul(F, b(0.0), b(f32::INFINITY))).is_nan());
+        assert_eq!(f(mul(F, b(1e30), b(1e30))), f32::INFINITY);
+        assert_eq!(f(mul(F, b(1e-30), b(1e-30))), 0.0); // FTZ underflow
+    }
+
+    #[test]
+    fn add_basic() {
+        assert_eq!(f(add(F, b(1.5), b(2.25))), 3.75);
+        assert_eq!(f(add(F, b(1.0), b(-1.0))), 0.0);
+        assert_eq!(f(add(F, b(-3.0), b(1.0))), -2.0);
+        assert!(f(add(F, b(f32::INFINITY), b(f32::NEG_INFINITY))).is_nan());
+        assert_eq!(f(add(F, b(f32::INFINITY), b(1.0))), f32::INFINITY);
+    }
+
+    #[test]
+    fn add_cancellation_and_alignment() {
+        // Large exponent difference: small operand only contributes sticky.
+        assert_eq!(f(add(F, b(1e20), b(1.0))), 1e20);
+        // Catastrophic cancellation normalizes left.
+        let x = 1.0000001f32;
+        assert_eq!(f(add(F, b(x), b(-1.0))), x - 1.0);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(f(mul(F, b(f32::NAN), b(1.0))).is_nan());
+        assert!(f(add(F, b(f32::NAN), b(1.0))).is_nan());
+        assert!(f(mul_add(F, b(1.0), b(f32::NAN), b(1.0))).is_nan());
+    }
+
+    #[test]
+    fn mul_add_two_roundings() {
+        assert_eq!(f(mul_add(F, b(3.0), b(4.0), b(5.0))), 17.0);
+        // Matches separately rounded f32 ops, not fused fma.
+        let (x, y, z) = (1.0000001f32, 1.0000001f32, -1.0000002f32);
+        assert_eq!(f(mul_add(F, b(x), b(y), b(z))), x * y + z);
+    }
+
+    #[test]
+    fn fp16_and_bf16_round_trip() {
+        for fmtv in [FloatFormat::FP16, FloatFormat::BF16] {
+            for v in [0.0f64, 1.0, -2.5, 0.15625, 100.0] {
+                let enc = from_f64(fmtv, v);
+                let dec = to_f64(fmtv, enc);
+                if v == 0.0 || v.abs() >= 1e-2 {
+                    let rel = if v == 0.0 {
+                        dec.abs()
+                    } else {
+                        ((dec - v) / v).abs()
+                    };
+                    assert!(rel < 1e-2, "{fmtv} {v} -> {dec}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fp16_overflow_saturates_to_inf() {
+        let big = from_f64(FloatFormat::FP16, 1e10);
+        assert!(to_f64(FloatFormat::FP16, big).is_infinite());
+    }
+
+    fn normal_f32() -> impl Strategy<Value = f32> {
+        // Avoid subnormals (we flush) and NaN/inf inputs.
+        prop::num::f32::NORMAL
+    }
+
+    proptest! {
+        /// FP32 multiply is bit-exact vs native f32 when neither the
+        /// inputs nor the result are subnormal.
+        #[test]
+        fn mul_matches_native(a in normal_f32(), bb in normal_f32()) {
+            let expect = a * bb;
+            prop_assume!(expect == 0.0 || expect.is_infinite() || expect.is_normal());
+            let got = f(mul(F, b(a), b(bb)));
+            if expect.is_nan() {
+                prop_assert!(got.is_nan());
+            } else if expect == 0.0 && !expect.is_normal() && a != 0.0 && bb != 0.0 {
+                // native rounded to zero through subnormal range — skip
+            } else if expect.is_normal() || expect.is_infinite() {
+                prop_assert_eq!(got.to_bits(), expect.to_bits(),
+                    "{} * {} = {} (native) vs {} (soft)", a, bb, expect, got);
+            }
+        }
+
+        /// FP32 add is bit-exact vs native f32 away from subnormals.
+        #[test]
+        fn add_matches_native(a in normal_f32(), bb in normal_f32()) {
+            let expect = a + bb;
+            prop_assume!(expect == 0.0 || expect.is_infinite() || expect.is_normal());
+            let got = f(add(F, b(a), b(bb)));
+            if expect == 0.0 {
+                prop_assert_eq!(got, 0.0, "{} + {}", a, bb);
+            } else {
+                prop_assert_eq!(got.to_bits(), expect.to_bits(),
+                    "{} + {} = {} (native) vs {} (soft)", a, bb, expect, got);
+            }
+        }
+
+        /// from_f64 into FP32 agrees with native f64->f32 conversion.
+        #[test]
+        fn from_f64_matches_native(v in prop::num::f64::NORMAL) {
+            let native = v as f32;
+            prop_assume!(native == 0.0 || native.is_infinite() || native.is_normal());
+            let got = from_f64(F, v);
+            if native == 0.0 && v != 0.0 {
+                // flushed through subnormal range — both are zero-ish
+                prop_assert_eq!(f(got), 0.0);
+            } else {
+                prop_assert_eq!(got as u32, native.to_bits());
+            }
+        }
+    }
+}

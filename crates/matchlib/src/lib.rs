@@ -1,0 +1,52 @@
+//! # craft-matchlib — Modular Approach To Circuits and Hardware Library
+//!
+//! Rust reproduction of **MatchLib** (paper §2.4, Table 2): an
+//! object-oriented library of commonly used hardware components. The
+//! paper's three component classes map as:
+//!
+//! * C++ functions → pure Rust functions ([`crossbar`], [`onehot`],
+//!   [`float`], [`serdes`] chunking),
+//! * C++ classes → plain structs ([`Fifo`], [`Arbiter`], [`MemArray`],
+//!   [`Vector`], [`ReorderBuffer`], [`Cache`], [`Scratchpad`],
+//!   [`ArbitratedScratchpad`]),
+//! * SystemC modules → [`craft_sim::Component`] implementations
+//!   ([`ArbitratedCrossbarRtl`]/[`ArbitratedCrossbarTlm`],
+//!   [`serdes::Serializer`]/[`serdes::Deserializer`], the [`router`]s,
+//!   and the [`axi`] components).
+//!
+//! Everything communicates over [`craft_connections`] LI channels, so
+//! the same component can sit behind a combinational link inside an
+//! accelerator or behind a NoC in a many-core — the paper's reuse
+//! argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arbiter;
+mod arbitrated_crossbar;
+mod arbitrated_scratchpad;
+pub mod axi;
+mod cache;
+mod cache_ctrl;
+pub mod crossbar;
+mod fifo;
+pub mod float;
+mod mem_array;
+pub mod onehot;
+mod reorder_buffer;
+pub mod router;
+mod scratchpad;
+pub mod serdes;
+mod vector;
+
+pub use arbiter::Arbiter;
+pub use arbitrated_crossbar::{ArbitratedCrossbarRtl, ArbitratedCrossbarTlm, XbarMsg};
+pub use arbitrated_scratchpad::{ArbitratedScratchpad, SpRequest, SpResponse};
+pub use cache::{Cache, CacheConfig, CacheOutcome, CacheStats};
+pub use cache_ctrl::{CacheController, CacheReq, CacheResp, LineFill, LineMemory, LineOp};
+pub use fifo::Fifo;
+pub use float::FloatFormat;
+pub use mem_array::MemArray;
+pub use reorder_buffer::{ReorderBuffer, Tag};
+pub use scratchpad::{BankConflictError, Scratchpad};
+pub use vector::Vector;

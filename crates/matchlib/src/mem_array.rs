@@ -1,0 +1,120 @@
+//! Abstract memory class (Table 2): "an array of data as internal
+//! state with read and write methods".
+//!
+//! Used directly for global-memory banks in the prototype SoC and as
+//! the storage behind scratchpads and caches.
+
+/// Word-addressed memory array.
+///
+/// ```
+/// use craft_matchlib::MemArray;
+/// let mut m: MemArray<u32> = MemArray::new(16);
+/// m.write(3, 77);
+/// assert_eq!(m.read(3), 77);
+/// assert_eq!(m.read(4), 0); // default-initialized
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemArray<T> {
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> MemArray<T> {
+    /// A memory of `depth` words, default-initialized.
+    ///
+    /// # Panics
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "memory depth must be nonzero");
+        MemArray {
+            data: vec![T::default(); depth],
+        }
+    }
+
+    /// Builds a memory from initial contents.
+    pub fn from_contents(data: Vec<T>) -> Self {
+        assert!(!data.is_empty(), "memory depth must be nonzero");
+        MemArray { data }
+    }
+
+    /// Number of words.
+    pub fn depth(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Panics
+    /// Panics if `addr` is out of range.
+    pub fn read(&self, addr: usize) -> T {
+        assert!(addr < self.data.len(), "mem_array read out of range");
+        self.data[addr]
+    }
+
+    /// Writes `value` at `addr`, returning the previous word
+    /// ([C-INTERMEDIATE]).
+    ///
+    /// # Panics
+    /// Panics if `addr` is out of range.
+    pub fn write(&mut self, addr: usize, value: T) -> T {
+        assert!(addr < self.data.len(), "mem_array write out of range");
+        std::mem::replace(&mut self.data[addr], value)
+    }
+
+    /// Bulk-loads `values` starting at `base`.
+    ///
+    /// # Panics
+    /// Panics if the region exceeds the memory.
+    pub fn load(&mut self, base: usize, values: &[T]) {
+        assert!(
+            base + values.len() <= self.data.len(),
+            "mem_array load out of range"
+        );
+        self.data[base..base + values.len()].copy_from_slice(values);
+    }
+
+    /// Read-only view of the backing storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_returns_previous() {
+        let mut m: MemArray<u8> = MemArray::new(4);
+        assert_eq!(m.write(0, 5), 0);
+        assert_eq!(m.write(0, 9), 5);
+    }
+
+    #[test]
+    fn load_and_slice() {
+        let mut m: MemArray<u16> = MemArray::new(8);
+        m.load(2, &[10, 11, 12]);
+        assert_eq!(&m.as_slice()[2..5], &[10, 11, 12]);
+        assert_eq!(m.read(1), 0);
+    }
+
+    #[test]
+    fn from_contents_round_trip() {
+        let m = MemArray::from_contents(vec![1u32, 2, 3]);
+        assert_eq!(m.depth(), 3);
+        assert_eq!(m.read(2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mem_array read out of range")]
+    fn read_out_of_range_panics() {
+        let m: MemArray<u8> = MemArray::new(2);
+        let _ = m.read(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "mem_array load out of range")]
+    fn load_out_of_range_panics() {
+        let mut m: MemArray<u8> = MemArray::new(2);
+        m.load(1, &[1, 2]);
+    }
+}

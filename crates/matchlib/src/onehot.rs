@@ -1,0 +1,92 @@
+//! 1-hot encoders and decoders (Table 2, C++ functions).
+
+/// Decodes an index into a one-hot mask: `decode(3) == 0b1000`.
+///
+/// # Panics
+/// Panics if `index >= 64`.
+///
+/// ```
+/// use craft_matchlib::onehot;
+/// assert_eq!(onehot::decode(0), 0b1);
+/// assert_eq!(onehot::decode(5), 0b100000);
+/// ```
+pub fn decode(index: usize) -> u64 {
+    assert!(index < 64, "one-hot index must be < 64");
+    1u64 << index
+}
+
+/// Encodes a one-hot mask into its index.
+///
+/// Returns `None` when the mask is zero or has more than one bit set —
+/// exposing the invalid-input case instead of silently picking a bit.
+///
+/// ```
+/// use craft_matchlib::onehot;
+/// assert_eq!(onehot::encode(0b0100), Some(2));
+/// assert_eq!(onehot::encode(0b0110), None);
+/// assert_eq!(onehot::encode(0), None);
+/// ```
+pub fn encode(mask: u64) -> Option<usize> {
+    if mask != 0 && mask.is_power_of_two() {
+        Some(mask.trailing_zeros() as usize)
+    } else {
+        None
+    }
+}
+
+/// Priority-encodes a mask: index of the lowest set bit, if any. This
+/// is the hardware priority encoder a `src`-loop crossbar implies
+/// (§2.4).
+///
+/// ```
+/// use craft_matchlib::onehot;
+/// assert_eq!(onehot::priority_encode(0b0110), Some(1));
+/// ```
+pub fn priority_encode(mask: u64) -> Option<usize> {
+    if mask == 0 {
+        None
+    } else {
+        Some(mask.trailing_zeros() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn decode_all_positions() {
+        for i in 0..64 {
+            assert_eq!(decode(i), 1u64 << i);
+        }
+    }
+
+    #[test]
+    fn encode_rejects_multi_hot_and_zero() {
+        assert_eq!(encode(0), None);
+        assert_eq!(encode(0b11), None);
+        assert_eq!(encode(u64::MAX), None);
+    }
+
+    #[test]
+    fn priority_encoder_picks_lowest() {
+        assert_eq!(priority_encode(0), None);
+        assert_eq!(priority_encode(0b1000_0100), Some(2));
+        assert_eq!(priority_encode(u64::MAX), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one-hot index must be < 64")]
+    fn decode_out_of_range_panics() {
+        let _ = decode(64);
+    }
+
+    proptest! {
+        /// encode/decode round-trip for every index.
+        #[test]
+        fn round_trip(i in 0usize..64) {
+            prop_assert_eq!(encode(decode(i)), Some(i));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Reorder buffer (Table 2): "queue with in-order reads, out-of-order
+//! writes".
+//!
+//! Producers allocate slots in program order, fill them in any order
+//! (e.g. as banked-memory responses return), and the consumer drains
+//! completed entries strictly in allocation order. Used by the
+//! arbitrated scratchpad to restore response ordering.
+
+use std::collections::VecDeque;
+
+/// Ticket identifying an allocated slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tag(u64);
+
+impl Tag {
+    /// Raw sequence number (diagnostics only).
+    pub fn sequence(self) -> u64 {
+        self.0
+    }
+}
+
+/// Bounded reorder buffer.
+///
+/// ```
+/// use craft_matchlib::ReorderBuffer;
+/// let mut rob: ReorderBuffer<&str> = ReorderBuffer::new(4);
+/// let t0 = rob.allocate().expect("room");
+/// let t1 = rob.allocate().expect("room");
+/// rob.write(t1, "second"); // completes out of order
+/// assert_eq!(rob.read(), None); // head not ready
+/// rob.write(t0, "first");
+/// assert_eq!(rob.read(), Some("first"));
+/// assert_eq!(rob.read(), Some("second"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReorderBuffer<T> {
+    slots: VecDeque<Option<T>>,
+    head_seq: u64,
+    capacity: usize,
+}
+
+impl<T> ReorderBuffer<T> {
+    /// A buffer with `capacity` in-flight slots.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reorder buffer capacity must be nonzero");
+        ReorderBuffer {
+            slots: VecDeque::with_capacity(capacity),
+            head_seq: 0,
+            capacity,
+        }
+    }
+
+    /// In-flight (allocated, not yet read) entries.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True when no more slots can be allocated.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() == self.capacity
+    }
+
+    /// Reserves the next in-order slot, or `None` when full.
+    pub fn allocate(&mut self) -> Option<Tag> {
+        if self.is_full() {
+            return None;
+        }
+        let tag = Tag(self.head_seq + self.slots.len() as u64);
+        self.slots.push_back(None);
+        Some(tag)
+    }
+
+    /// Fills the slot for `tag` (out of order allowed).
+    ///
+    /// # Panics
+    /// Panics if `tag` is not currently allocated or was already
+    /// written — both are protocol violations upstream.
+    pub fn write(&mut self, tag: Tag, value: T) {
+        let idx = tag
+            .0
+            .checked_sub(self.head_seq)
+            .expect("reorder buffer tag already retired");
+        let slot = self
+            .slots
+            .get_mut(idx as usize)
+            .expect("reorder buffer tag not allocated");
+        assert!(slot.is_none(), "reorder buffer slot written twice");
+        *slot = Some(value);
+    }
+
+    /// True when the oldest entry has been written and can be read.
+    pub fn head_ready(&self) -> bool {
+        matches!(self.slots.front(), Some(Some(_)))
+    }
+
+    /// Pops the oldest entry if it has been written; `None` while the
+    /// head is still pending (even if younger entries are complete —
+    /// the in-order guarantee).
+    pub fn read(&mut self) -> Option<T> {
+        if self.head_ready() {
+            self.head_seq += 1;
+            self.slots.pop_front().flatten()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn strictly_in_order_reads() {
+        let mut rob = ReorderBuffer::new(3);
+        let tags: Vec<Tag> = (0..3).map(|_| rob.allocate().expect("room")).collect();
+        rob.write(tags[2], 2);
+        rob.write(tags[1], 1);
+        assert_eq!(rob.read(), None);
+        rob.write(tags[0], 0);
+        assert_eq!(rob.read(), Some(0));
+        assert_eq!(rob.read(), Some(1));
+        assert_eq!(rob.read(), Some(2));
+        assert_eq!(rob.read(), None);
+    }
+
+    #[test]
+    fn full_blocks_allocation_until_read() {
+        let mut rob = ReorderBuffer::new(2);
+        let a = rob.allocate().expect("room");
+        let _b = rob.allocate().expect("room");
+        assert!(rob.allocate().is_none());
+        rob.write(a, 10);
+        assert_eq!(rob.read(), Some(10));
+        assert!(rob.allocate().is_some());
+    }
+
+    #[test]
+    fn tags_remain_valid_across_wraparound() {
+        let mut rob = ReorderBuffer::new(2);
+        for round in 0..10u64 {
+            let t = rob.allocate().expect("room");
+            rob.write(t, round);
+            assert_eq!(rob.read(), Some(round));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder buffer slot written twice")]
+    fn double_write_panics() {
+        let mut rob = ReorderBuffer::new(2);
+        let t = rob.allocate().expect("room");
+        rob.write(t, 1);
+        rob.write(t, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder buffer tag already retired")]
+    fn stale_tag_panics() {
+        let mut rob = ReorderBuffer::new(2);
+        let t = rob.allocate().expect("room");
+        rob.write(t, 1);
+        let _ = rob.read();
+        rob.write(t, 2);
+    }
+
+    proptest! {
+        /// Whatever the completion order, reads return values in
+        /// allocation order.
+        #[test]
+        fn completion_order_irrelevant(order in proptest::sample::subsequence((0..8usize).collect::<Vec<_>>(), 8)) {
+            let mut completion: Vec<usize> = order;
+            let missing: Vec<usize> = (0..8).filter(|i| !completion.contains(i)).collect();
+            completion.extend(missing);
+
+            let mut rob = ReorderBuffer::new(8);
+            let tags: Vec<Tag> = (0..8).map(|_| rob.allocate().expect("room")).collect();
+            for &i in &completion {
+                rob.write(tags[i], i);
+            }
+            let drained: Vec<usize> = std::iter::from_fn(|| rob.read()).collect();
+            prop_assert_eq!(drained, (0..8).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! NoC routers (Table 2): [`SfRouter`] (store-and-forward) and
+//! [`WhvcRouter`] (wormhole with virtual channels), plus the flit
+//! format and XY-mesh routing helpers shared by both.
+
+mod store_forward;
+mod wormhole;
+
+pub use store_forward::SfRouter;
+pub use wormhole::{WhvcConfig, WhvcRouter};
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlitKind {
+    /// First flit of a multi-flit packet (carries the route).
+    Head,
+    /// Interior flit.
+    Body,
+    /// Final flit (releases wormhole locks).
+    Tail,
+    /// Single-flit packet (head and tail at once).
+    Single,
+}
+
+impl FlitKind {
+    /// True for `Head` and `Single`.
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::Single)
+    }
+
+    /// True for `Tail` and `Single`.
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::Single)
+    }
+}
+
+/// One flow-control unit on a NoC link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocFlit {
+    /// Destination node id.
+    pub dst: u16,
+    /// Source node id (carried for reassembly and debug).
+    pub src: u16,
+    /// Virtual channel (assigned at the source, preserved end-to-end).
+    pub vc: u8,
+    /// Position within the packet.
+    pub kind: FlitKind,
+    /// Payload word.
+    pub data: u64,
+}
+
+/// Builds the flit sequence for a packet of `words` from `src` to
+/// `dst` on virtual channel `vc`.
+///
+/// # Panics
+/// Panics if `words` is empty.
+///
+/// ```
+/// use craft_matchlib::router::{make_packet, FlitKind};
+/// let pkt = make_packet(3, 1, 0, &[10, 20]);
+/// assert_eq!(pkt[0].kind, FlitKind::Head);
+/// assert_eq!(pkt[1].kind, FlitKind::Tail);
+/// ```
+pub fn make_packet(dst: u16, src: u16, vc: u8, words: &[u64]) -> Vec<NocFlit> {
+    assert!(!words.is_empty(), "packet must carry at least one word");
+    let n = words.len();
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &data)| NocFlit {
+            dst,
+            src,
+            vc,
+            kind: if n == 1 {
+                FlitKind::Single
+            } else if i == 0 {
+                FlitKind::Head
+            } else if i == n - 1 {
+                FlitKind::Tail
+            } else {
+                FlitKind::Body
+            },
+            data,
+        })
+        .collect()
+}
+
+/// Port numbering used by the mesh routing helper.
+pub mod port {
+    /// Ejection to the locally attached node.
+    pub const LOCAL: usize = 0;
+    /// Toward smaller y.
+    pub const NORTH: usize = 1;
+    /// Toward larger x.
+    pub const EAST: usize = 2;
+    /// Toward larger y.
+    pub const SOUTH: usize = 3;
+    /// Toward smaller x.
+    pub const WEST: usize = 4;
+    /// Ports on a mesh router.
+    pub const COUNT: usize = 5;
+}
+
+/// Dimension-ordered (XY) routing on a `width`-wide mesh whose node
+/// ids are `y * width + x`: route X first, then Y — deadlock-free with
+/// wormhole flow control.
+///
+/// # Panics
+/// Panics if `width` is zero.
+///
+/// ```
+/// use craft_matchlib::router::{xy_route, port};
+/// // Node 0 (0,0) routing to node 5 (1,1) on a 4-wide mesh: X first.
+/// assert_eq!(xy_route(0, 5, 4), port::EAST);
+/// // Node 5 routing to itself: eject.
+/// assert_eq!(xy_route(5, 5, 4), port::LOCAL);
+/// ```
+pub fn xy_route(here: u16, dst: u16, width: u16) -> usize {
+    assert!(width > 0, "mesh width must be nonzero");
+    let (hx, hy) = (here % width, here / width);
+    let (dx, dy) = (dst % width, dst / width);
+    if dx > hx {
+        port::EAST
+    } else if dx < hx {
+        port::WEST
+    } else if dy > hy {
+        port::SOUTH
+    } else if dy < hy {
+        port::NORTH
+    } else {
+        port::LOCAL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_flit_kinds() {
+        let single = make_packet(1, 0, 0, &[5]);
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].kind, FlitKind::Single);
+
+        let multi = make_packet(1, 0, 0, &[1, 2, 3]);
+        assert_eq!(
+            multi.iter().map(|f| f.kind).collect::<Vec<_>>(),
+            vec![FlitKind::Head, FlitKind::Body, FlitKind::Tail]
+        );
+        assert!(multi[0].kind.is_head() && !multi[0].kind.is_tail());
+        assert!(multi[2].kind.is_tail());
+    }
+
+    #[test]
+    fn xy_routes_x_before_y() {
+        // 4-wide mesh, node 0 = (0,0), node 10 = (2,2).
+        assert_eq!(xy_route(0, 10, 4), port::EAST);
+        // Node 2 = (2,0) to node 10: x aligned, go south.
+        assert_eq!(xy_route(2, 10, 4), port::SOUTH);
+        // West and north directions.
+        assert_eq!(xy_route(10, 8, 4), port::WEST);
+        assert_eq!(xy_route(10, 2, 4), port::NORTH);
+    }
+
+    #[test]
+    fn xy_route_full_path_terminates() {
+        // Walk the route hop by hop and confirm arrival for all pairs
+        // on a 4x4 mesh.
+        let width = 4u16;
+        for src in 0..16u16 {
+            for dst in 0..16u16 {
+                let mut here = src;
+                let mut hops = 0;
+                loop {
+                    match xy_route(here, dst, width) {
+                        port::LOCAL => break,
+                        port::EAST => here += 1,
+                        port::WEST => here -= 1,
+                        port::SOUTH => here += width,
+                        port::NORTH => here -= width,
+                        other => panic!("bad port {other}"),
+                    }
+                    hops += 1;
+                    assert!(hops <= 6, "route {src}->{dst} too long");
+                }
+                assert_eq!(here, dst);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "packet must carry at least one word")]
+    fn empty_packet_panics() {
+        let _ = make_packet(0, 0, 0, &[]);
+    }
+}

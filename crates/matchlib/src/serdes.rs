@@ -1,0 +1,254 @@
+//! Serializer/Deserializer (Table 2): "N-bit packets to/from M cycles
+//! of (N/M)-bit packets".
+//!
+//! Used in the prototype SoC's PE router interface to narrow wide
+//! scratchpad words onto NoC link widths. Both the pure chunking
+//! functions and clocked [`craft_sim::Component`] wrappers are
+//! provided.
+
+use craft_connections::{In, Out};
+use craft_sim::{Component, TickCtx};
+use std::collections::VecDeque;
+
+/// Splits an `n_bits`-wide word into `ceil(n_bits / chunk_bits)`
+/// chunks, least-significant chunk first.
+///
+/// # Panics
+/// Panics if `chunk_bits` is 0 or > 64, or `n_bits` is 0 or > 64.
+///
+/// ```
+/// use craft_matchlib::serdes;
+/// assert_eq!(serdes::serialize_word(0xABCD, 16, 4), vec![0xD, 0xC, 0xB, 0xA]);
+/// ```
+pub fn serialize_word(word: u64, n_bits: u32, chunk_bits: u32) -> Vec<u64> {
+    assert!((1..=64).contains(&n_bits), "word width must be 1..=64");
+    assert!(
+        (1..=64).contains(&chunk_bits),
+        "chunk width must be 1..=64"
+    );
+    let mask = if chunk_bits == 64 {
+        u64::MAX
+    } else {
+        (1 << chunk_bits) - 1
+    };
+    let chunks = n_bits.div_ceil(chunk_bits);
+    (0..chunks)
+        .map(|i| (word >> (i * chunk_bits)) & mask)
+        .collect()
+}
+
+/// Reassembles chunks produced by [`serialize_word`].
+///
+/// # Panics
+/// Panics on invalid widths or if the chunk count disagrees with
+/// `n_bits / chunk_bits`.
+pub fn deserialize_word(chunks: &[u64], n_bits: u32, chunk_bits: u32) -> u64 {
+    assert!((1..=64).contains(&n_bits), "word width must be 1..=64");
+    assert!(
+        (1..=64).contains(&chunk_bits),
+        "chunk width must be 1..=64"
+    );
+    assert_eq!(
+        chunks.len() as u32,
+        n_bits.div_ceil(chunk_bits),
+        "chunk count mismatch"
+    );
+    let mut word = 0u64;
+    for (i, &c) in chunks.iter().enumerate() {
+        word |= c << (i as u32 * chunk_bits);
+    }
+    if n_bits < 64 {
+        word &= (1 << n_bits) - 1;
+    }
+    word
+}
+
+/// Clocked serializer: pops an `n_bits` word, pushes one `chunk_bits`
+/// chunk per cycle.
+#[derive(Debug)]
+pub struct Serializer {
+    name: String,
+    input: In<u64>,
+    output: Out<u64>,
+    n_bits: u32,
+    chunk_bits: u32,
+    pending: VecDeque<u64>,
+}
+
+impl Serializer {
+    /// Wires a serializer converting `n_bits` words to `chunk_bits`
+    /// chunks.
+    ///
+    /// # Panics
+    /// Panics on invalid widths (see [`serialize_word`]).
+    pub fn new(
+        name: impl Into<String>,
+        input: In<u64>,
+        output: Out<u64>,
+        n_bits: u32,
+        chunk_bits: u32,
+    ) -> Self {
+        // Validate eagerly.
+        let _ = serialize_word(0, n_bits, chunk_bits);
+        Serializer {
+            name: name.into(),
+            input,
+            output,
+            n_bits,
+            chunk_bits,
+            pending: VecDeque::new(),
+        }
+    }
+}
+
+impl Component for Serializer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        if self.pending.is_empty() {
+            if let Some(word) = self.input.pop_nb() {
+                self.pending
+                    .extend(serialize_word(word, self.n_bits, self.chunk_bits));
+            }
+        }
+        if let Some(&chunk) = self.pending.front() {
+            if self.output.push_nb(chunk).is_ok() {
+                self.pending.pop_front();
+            }
+        }
+    }
+}
+
+/// Clocked deserializer: accumulates `chunk_bits` chunks and pushes the
+/// reassembled `n_bits` word.
+#[derive(Debug)]
+pub struct Deserializer {
+    name: String,
+    input: In<u64>,
+    output: Out<u64>,
+    n_bits: u32,
+    chunk_bits: u32,
+    accum: Vec<u64>,
+    ready_word: Option<u64>,
+}
+
+impl Deserializer {
+    /// Wires a deserializer reassembling `n_bits` words from
+    /// `chunk_bits` chunks.
+    ///
+    /// # Panics
+    /// Panics on invalid widths (see [`deserialize_word`]).
+    pub fn new(
+        name: impl Into<String>,
+        input: In<u64>,
+        output: Out<u64>,
+        n_bits: u32,
+        chunk_bits: u32,
+    ) -> Self {
+        let _ = serialize_word(0, n_bits, chunk_bits);
+        Deserializer {
+            name: name.into(),
+            input,
+            output,
+            n_bits,
+            chunk_bits,
+            accum: Vec::new(),
+            ready_word: None,
+        }
+    }
+}
+
+impl Component for Deserializer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        let needed = self.n_bits.div_ceil(self.chunk_bits) as usize;
+        if self.ready_word.is_none() {
+            if let Some(chunk) = self.input.pop_nb() {
+                self.accum.push(chunk);
+                if self.accum.len() == needed {
+                    self.ready_word =
+                        Some(deserialize_word(&self.accum, self.n_bits, self.chunk_bits));
+                    self.accum.clear();
+                }
+            }
+        }
+        if let Some(word) = self.ready_word.take() {
+            if self.output.push_nb(word).is_err() {
+                self.ready_word = Some(word);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use craft_connections::{channel, ChannelKind};
+    use craft_sim::{ClockSpec, Picoseconds, Simulator};
+    use proptest::prelude::*;
+
+    #[test]
+    fn chunking_round_trip_exact_division() {
+        let w = 0xDEAD_BEEF_u64;
+        let chunks = serialize_word(w, 32, 8);
+        assert_eq!(chunks, vec![0xEF, 0xBE, 0xAD, 0xDE]);
+        assert_eq!(deserialize_word(&chunks, 32, 8), w);
+    }
+
+    #[test]
+    fn chunking_with_remainder_bits() {
+        // 10 bits in 4-bit chunks -> 3 chunks.
+        let chunks = serialize_word(0b11_0101_1010, 10, 4);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(deserialize_word(&chunks, 10, 4), 0b11_0101_1010);
+    }
+
+    #[test]
+    fn serializer_deserializer_pipeline() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(1000)));
+        let (mut word_tx, word_rx, h1) = channel::<u64>("words", ChannelKind::Buffer(4));
+        let (chunk_tx, chunk_rx, h2) = channel::<u64>("chunks", ChannelKind::Buffer(2));
+        let (out_tx, mut out_rx, h3) = channel::<u64>("out", ChannelKind::Buffer(4));
+        for h in [h1.sequential(), h2.sequential(), h3.sequential()] {
+            sim.add_sequential(clk, h);
+        }
+        sim.add_component(clk, Serializer::new("ser", word_rx, chunk_tx, 64, 16));
+        sim.add_component(clk, Deserializer::new("des", chunk_rx, out_tx, 64, 16));
+
+        let words = [0x0123_4567_89AB_CDEFu64, u64::MAX, 0, 42];
+        let mut sent = 0;
+        let mut got = Vec::new();
+        for _ in 0..200 {
+            if sent < words.len() && word_tx.push_nb(words[sent]).is_ok() {
+                sent += 1;
+            }
+            sim.run_cycles(clk, 1);
+            if let Some(w) = out_rx.pop_nb() {
+                got.push(w);
+            }
+        }
+        assert_eq!(got, words.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk count mismatch")]
+    fn wrong_chunk_count_panics() {
+        let _ = deserialize_word(&[1, 2, 3], 32, 8);
+    }
+
+    proptest! {
+        /// serialize/deserialize round-trips for arbitrary widths.
+        #[test]
+        fn round_trip(word: u64, n_bits in 1u32..=64, chunk in 1u32..=64) {
+            let masked = if n_bits == 64 { word } else { word & ((1 << n_bits) - 1) };
+            let chunks = serialize_word(masked, n_bits, chunk);
+            prop_assert_eq!(deserialize_word(&chunks, n_bits, chunk), masked);
+        }
+    }
+}

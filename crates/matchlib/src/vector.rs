@@ -1,0 +1,271 @@
+//! Vector helper container with vector operations (Table 2).
+//!
+//! The paper's PEs use "the MatchLib vector library to design the
+//! datapath unit"; the prototype SoC's compute kernels (vector
+//! multiply, dot-product, reduction) are built from these operations.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul};
+
+/// Fixed-length numeric vector with element-wise and reduction ops.
+///
+/// ```
+/// use craft_matchlib::Vector;
+/// let a = Vector::from(vec![1i64, 2, 3]);
+/// let b = Vector::from(vec![4i64, 5, 6]);
+/// assert_eq!(a.dot(&b), 32);
+/// assert_eq!(a.add(&b).as_slice(), &[5, 7, 9]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Vector<T> {
+    elems: Vec<T>,
+}
+
+impl<T> Vector<T> {
+    /// Length in elements.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// True when the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Read-only view of the elements.
+    pub fn as_slice(&self) -> &[T] {
+        &self.elems
+    }
+
+    /// Iterates over elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.elems.iter()
+    }
+}
+
+impl<T: Copy + Default> Vector<T> {
+    /// A vector of `n` default-valued elements.
+    pub fn zeros(n: usize) -> Self {
+        Vector {
+            elems: vec![T::default(); n],
+        }
+    }
+}
+
+impl<T: Copy + Add<Output = T> + Mul<Output = T> + Default> Vector<T> {
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn add(&self, rhs: &Self) -> Self {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+
+    /// Element-wise (Hadamard) product — the PE "vector multiply"
+    /// kernel.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+
+    /// Multiply-accumulate: `self + a * b`, element-wise.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn mac(&self, a: &Self, b: &Self) -> Self {
+        assert_eq!(self.len(), a.len(), "vector length mismatch");
+        assert_eq!(a.len(), b.len(), "vector length mismatch");
+        Vector {
+            elems: self
+                .elems
+                .iter()
+                .zip(&a.elems)
+                .zip(&b.elems)
+                .map(|((&acc, &x), &y)| acc + x * y)
+                .collect(),
+        }
+    }
+
+    /// Sum of all elements — the PE "reduction" kernel.
+    pub fn reduce(&self) -> T {
+        self.elems
+            .iter()
+            .fold(T::default(), |acc, &x| acc + x)
+    }
+
+    /// Inner product — the PE "dot-product" kernel.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn dot(&self, rhs: &Self) -> T {
+        self.mul(rhs).reduce()
+    }
+
+    /// Scales every element by `k`.
+    pub fn scale(&self, k: T) -> Self {
+        Vector {
+            elems: self.elems.iter().map(|&x| x * k).collect(),
+        }
+    }
+
+    fn zip_with(&self, rhs: &Self, f: impl Fn(T, T) -> T) -> Self {
+        assert_eq!(self.len(), rhs.len(), "vector length mismatch");
+        Vector {
+            elems: self
+                .elems
+                .iter()
+                .zip(&rhs.elems)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+}
+
+impl<T: Copy + Ord> Vector<T> {
+    /// Largest element, if any.
+    pub fn max(&self) -> Option<T> {
+        self.elems.iter().copied().max()
+    }
+
+    /// Smallest element, if any.
+    pub fn min(&self) -> Option<T> {
+        self.elems.iter().copied().min()
+    }
+}
+
+impl<T> From<Vec<T>> for Vector<T> {
+    fn from(elems: Vec<T>) -> Self {
+        Vector { elems }
+    }
+}
+
+impl<T> FromIterator<T> for Vector<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Vector {
+            elems: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T> Extend<T> for Vector<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.elems.extend(iter);
+    }
+}
+
+impl<T> IntoIterator for Vector<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Vector<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.iter()
+    }
+}
+
+impl<T> Index<usize> for Vector<T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        &self.elems[i]
+    }
+}
+
+impl<T> IndexMut<usize> for Vector<T> {
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.elems[i]
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Vector<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, e) in self.elems.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Vector::from(vec![1i64, -2, 3]);
+        let b = Vector::from(vec![10i64, 20, 30]);
+        assert_eq!(a.add(&b).as_slice(), &[11, 18, 33]);
+        assert_eq!(a.mul(&b).as_slice(), &[10, -40, 90]);
+        assert_eq!(a.scale(2).as_slice(), &[2, -4, 6]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Vector::from(vec![1i64, 2, 3, 4]);
+        assert_eq!(a.reduce(), 10);
+        assert_eq!(a.max(), Some(4));
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(Vector::<i64>::zeros(0).max(), None);
+    }
+
+    #[test]
+    fn mac_matches_manual() {
+        let acc = Vector::from(vec![1i64, 1]);
+        let a = Vector::from(vec![2i64, 3]);
+        let b = Vector::from(vec![4i64, 5]);
+        assert_eq!(acc.mac(&a, &b).as_slice(), &[9, 16]);
+    }
+
+    #[test]
+    fn collection_traits() {
+        let v: Vector<u32> = (0..3).collect();
+        assert_eq!(v.as_slice(), &[0, 1, 2]);
+        let mut w = v.clone();
+        w.extend(3..5);
+        assert_eq!(w.len(), 5);
+        let back: Vec<u32> = w.into_iter().collect();
+        assert_eq!(back, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn length_mismatch_panics() {
+        let a = Vector::from(vec![1i64]);
+        let b = Vector::from(vec![1i64, 2]);
+        let _ = a.add(&b);
+    }
+
+    proptest! {
+        /// dot(a, b) == sum_i a_i * b_i (reference model).
+        #[test]
+        fn dot_matches_reference(
+            a in proptest::collection::vec(-1000i64..1000, 0..32),
+        ) {
+            let b: Vec<i64> = a.iter().map(|x| x.wrapping_mul(3) % 100).collect();
+            let expect: i64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let va = Vector::from(a);
+            let vb = Vector::from(b);
+            prop_assert_eq!(va.dot(&vb), expect);
+        }
+
+        /// Reduction is invariant under reversal (commutativity check).
+        #[test]
+        fn reduce_order_invariant(a in proptest::collection::vec(-1000i64..1000, 0..64)) {
+            let mut rev = a.clone();
+            rev.reverse();
+            prop_assert_eq!(Vector::from(a).reduce(), Vector::from(rev).reduce());
+        }
+    }
+}

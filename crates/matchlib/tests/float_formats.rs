@@ -1,0 +1,107 @@
+//! Property tests across the parameterized float formats (FP32, FP16,
+//! BF16): algebraic invariants, round-trip accuracy bounds and special
+//! value handling — the MatchLib float functions under stress.
+
+use craft_matchlib::float::{add, from_f64, mul, mul_add, to_f64, FloatFormat};
+use proptest::prelude::*;
+
+const FORMATS: [FloatFormat; 3] = [FloatFormat::FP32, FloatFormat::FP16, FloatFormat::BF16];
+
+fn ulp_bound(fmt: FloatFormat) -> f64 {
+    // One unit in the last place, relative: 2^-man_bits.
+    (-(f64::from(fmt.man_bits))).exp2()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Addition and multiplication are commutative in every format.
+    #[test]
+    fn add_and_mul_commute(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        for fmt in FORMATS {
+            let ea = from_f64(fmt, a);
+            let eb = from_f64(fmt, b);
+            prop_assert_eq!(add(fmt, ea, eb), add(fmt, eb, ea), "{} add", fmt);
+            prop_assert_eq!(mul(fmt, ea, eb), mul(fmt, eb, ea), "{} mul", fmt);
+        }
+    }
+
+    /// x * 1 == x and x + 0 == x (identity elements survive encoding).
+    #[test]
+    fn identities(a in -1e6f64..1e6) {
+        for fmt in FORMATS {
+            let ea = from_f64(fmt, a);
+            let one = from_f64(fmt, 1.0);
+            let zero = from_f64(fmt, 0.0);
+            prop_assert_eq!(mul(fmt, ea, one), ea, "{} x*1", fmt);
+            prop_assert_eq!(add(fmt, ea, zero), ea, "{} x+0", fmt);
+        }
+    }
+
+    /// Encoding round-trip error is within one ULP of the format for
+    /// values in the format's normal range.
+    #[test]
+    fn round_trip_within_one_ulp(v in 1e-3f64..1e3) {
+        for fmt in FORMATS {
+            let rt = to_f64(fmt, from_f64(fmt, v));
+            let rel = ((rt - v) / v).abs();
+            prop_assert!(rel <= ulp_bound(fmt),
+                "{}: {} -> {} (rel {:.3e} > ulp {:.3e})", fmt, v, rt, rel, ulp_bound(fmt));
+        }
+    }
+
+    /// mul_add(a, b, c) equals mul-then-add by construction (two-op
+    /// datapath semantics) in every format.
+    #[test]
+    fn mul_add_composes(a in -1e3f64..1e3, b in -1e3f64..1e3, c in -1e3f64..1e3) {
+        for fmt in FORMATS {
+            let (ea, eb, ec) = (from_f64(fmt, a), from_f64(fmt, b), from_f64(fmt, c));
+            prop_assert_eq!(mul_add(fmt, ea, eb, ec), add(fmt, mul(fmt, ea, eb), ec));
+        }
+    }
+
+    /// Negation symmetry: (-a) * b == -(a * b) bit-exactly.
+    #[test]
+    fn sign_symmetry(a in 0.001f64..1e4, b in 0.001f64..1e4) {
+        for fmt in FORMATS {
+            let pa = from_f64(fmt, a);
+            let na = from_f64(fmt, -a);
+            let eb = from_f64(fmt, b);
+            let pos = mul(fmt, pa, eb);
+            let neg = mul(fmt, na, eb);
+            // Flip the sign bit of pos and compare.
+            let sign_bit = 1u64 << (fmt.exp_bits + fmt.man_bits);
+            prop_assert_eq!(neg, pos ^ sign_bit, "{}", fmt);
+        }
+    }
+}
+
+#[test]
+fn special_values_every_format() {
+    for fmt in FORMATS {
+        let inf = fmt.inf_bits(false);
+        let ninf = fmt.inf_bits(true);
+        let nan = fmt.nan_bits();
+        let one = from_f64(fmt, 1.0);
+        // inf + -inf = NaN; NaN propagates; inf * 1 = inf.
+        assert_eq!(add(fmt, inf, ninf), nan, "{fmt}");
+        assert_eq!(mul(fmt, nan, one), nan, "{fmt}");
+        assert_eq!(mul(fmt, inf, one), inf, "{fmt}");
+        assert!(to_f64(fmt, inf).is_infinite());
+        assert!(to_f64(fmt, nan).is_nan());
+    }
+}
+
+#[test]
+fn format_range_differences() {
+    // 70000 overflows FP16 (max ~65504) but fits BF16 and FP32.
+    let v = 70_000.0;
+    assert!(to_f64(FloatFormat::FP16, from_f64(FloatFormat::FP16, v)).is_infinite());
+    assert!(to_f64(FloatFormat::BF16, from_f64(FloatFormat::BF16, v)).is_finite());
+    assert!(to_f64(FloatFormat::FP32, from_f64(FloatFormat::FP32, v)).is_finite());
+    // BF16's short mantissa costs precision FP16 keeps.
+    let p = 1.001;
+    let bf = to_f64(FloatFormat::BF16, from_f64(FloatFormat::BF16, p));
+    let fp = to_f64(FloatFormat::FP16, from_f64(FloatFormat::FP16, p));
+    assert!((fp - p).abs() < (bf - p).abs());
+}

@@ -1,0 +1,474 @@
+//! RV32IM instruction encoders and a small label-aware assembler for
+//! writing controller programs in tests and SoC workloads.
+
+/// Register x0..x31. Conventional ABI aliases as constants.
+pub type Reg = u32;
+
+/// Hard-wired zero.
+pub const ZERO: Reg = 0;
+/// Return address.
+pub const RA: Reg = 1;
+/// Stack pointer.
+pub const SP: Reg = 2;
+/// Temporaries.
+pub const T0: Reg = 5;
+/// Temporary 1.
+pub const T1: Reg = 6;
+/// Temporary 2.
+pub const T2: Reg = 7;
+/// Temporary 3.
+pub const T3: Reg = 28;
+/// Temporary 4.
+pub const T4: Reg = 29;
+/// Argument/return 0.
+pub const A0: Reg = 10;
+/// Argument 1.
+pub const A1: Reg = 11;
+/// Argument 2.
+pub const A2: Reg = 12;
+/// Argument 3.
+pub const A3: Reg = 13;
+/// Argument 4.
+pub const A4: Reg = 14;
+/// Argument 5.
+pub const A5: Reg = 15;
+/// Saved 0.
+pub const S0: Reg = 8;
+/// Saved 1.
+pub const S1: Reg = 9;
+
+fn check_reg(r: Reg) {
+    assert!(r < 32, "register out of range");
+}
+
+fn r_type(funct7: u32, rs2: Reg, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    check_reg(rs2);
+    check_reg(rs1);
+    check_reg(rd);
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(imm: i32, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    check_reg(rs1);
+    check_reg(rd);
+    assert!((-2048..=2047).contains(&imm), "I-immediate out of range");
+    ((imm as u32 & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn s_type(imm: i32, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
+    check_reg(rs2);
+    check_reg(rs1);
+    assert!((-2048..=2047).contains(&imm), "S-immediate out of range");
+    let imm = imm as u32 & 0xFFF;
+    ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1F) << 7) | opcode
+}
+
+fn b_type(imm: i32, rs2: Reg, rs1: Reg, funct3: u32) -> u32 {
+    check_reg(rs2);
+    check_reg(rs1);
+    assert!(
+        (-4096..=4094).contains(&imm) && imm % 2 == 0,
+        "B-immediate out of range"
+    );
+    let imm = imm as u32 & 0x1FFF;
+    ((imm >> 12) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | 0b1100011
+}
+
+/// `lui rd, imm20` (imm is the upper-20-bit value).
+pub fn lui(rd: Reg, imm20: u32) -> u32 {
+    check_reg(rd);
+    assert!(imm20 < (1 << 20), "U-immediate out of range");
+    (imm20 << 12) | (rd << 7) | 0b0110111
+}
+
+/// `auipc rd, imm20`.
+pub fn auipc(rd: Reg, imm20: u32) -> u32 {
+    check_reg(rd);
+    assert!(imm20 < (1 << 20), "U-immediate out of range");
+    (imm20 << 12) | (rd << 7) | 0b0010111
+}
+
+/// `jal rd, offset` (byte offset, ±1MiB, even).
+pub fn jal(rd: Reg, offset: i32) -> u32 {
+    check_reg(rd);
+    assert!(
+        (-(1 << 20)..(1 << 20)).contains(&offset) && offset % 2 == 0,
+        "J-immediate out of range"
+    );
+    let imm = offset as u32 & 0x1F_FFFF;
+    ((imm >> 20) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (rd << 7)
+        | 0b1101111
+}
+
+/// `jalr rd, rs1, imm`.
+pub fn jalr(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b000, rd, 0b1100111)
+}
+
+macro_rules! branches {
+    ($($(#[$doc:meta])* $name:ident => $f3:expr),* $(,)?) => {$(
+        $(#[$doc])*
+        pub fn $name(rs1: Reg, rs2: Reg, offset: i32) -> u32 {
+            b_type(offset, rs2, rs1, $f3)
+        }
+    )*};
+}
+branches! {
+    /// `beq rs1, rs2, offset`.
+    beq => 0b000,
+    /// `bne rs1, rs2, offset`.
+    bne => 0b001,
+    /// `blt rs1, rs2, offset` (signed).
+    blt => 0b100,
+    /// `bge rs1, rs2, offset` (signed).
+    bge => 0b101,
+    /// `bltu rs1, rs2, offset`.
+    bltu => 0b110,
+    /// `bgeu rs1, rs2, offset`.
+    bgeu => 0b111,
+}
+
+/// `lw rd, imm(rs1)`.
+pub fn lw(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b010, rd, 0b0000011)
+}
+/// `lb rd, imm(rs1)`.
+pub fn lb(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b000, rd, 0b0000011)
+}
+/// `lbu rd, imm(rs1)`.
+pub fn lbu(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b100, rd, 0b0000011)
+}
+/// `lh rd, imm(rs1)`.
+pub fn lh(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b001, rd, 0b0000011)
+}
+/// `lhu rd, imm(rs1)`.
+pub fn lhu(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b101, rd, 0b0000011)
+}
+/// `sw rs2, imm(rs1)`.
+pub fn sw(rs2: Reg, rs1: Reg, imm: i32) -> u32 {
+    s_type(imm, rs2, rs1, 0b010, 0b0100011)
+}
+/// `sb rs2, imm(rs1)`.
+pub fn sb(rs2: Reg, rs1: Reg, imm: i32) -> u32 {
+    s_type(imm, rs2, rs1, 0b000, 0b0100011)
+}
+/// `sh rs2, imm(rs1)`.
+pub fn sh(rs2: Reg, rs1: Reg, imm: i32) -> u32 {
+    s_type(imm, rs2, rs1, 0b001, 0b0100011)
+}
+
+/// `addi rd, rs1, imm`.
+pub fn addi(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b000, rd, 0b0010011)
+}
+/// `slti rd, rs1, imm`.
+pub fn slti(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b010, rd, 0b0010011)
+}
+/// `sltiu rd, rs1, imm`.
+pub fn sltiu(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b011, rd, 0b0010011)
+}
+/// `xori rd, rs1, imm`.
+pub fn xori(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b100, rd, 0b0010011)
+}
+/// `ori rd, rs1, imm`.
+pub fn ori(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b110, rd, 0b0010011)
+}
+/// `andi rd, rs1, imm`.
+pub fn andi(rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    i_type(imm, rs1, 0b111, rd, 0b0010011)
+}
+/// `slli rd, rs1, shamt`.
+pub fn slli(rd: Reg, rs1: Reg, shamt: u32) -> u32 {
+    assert!(shamt < 32, "shift amount out of range");
+    i_type(shamt as i32, rs1, 0b001, rd, 0b0010011)
+}
+/// `srli rd, rs1, shamt`.
+pub fn srli(rd: Reg, rs1: Reg, shamt: u32) -> u32 {
+    assert!(shamt < 32, "shift amount out of range");
+    i_type(shamt as i32, rs1, 0b101, rd, 0b0010011)
+}
+/// `srai rd, rs1, shamt`.
+pub fn srai(rd: Reg, rs1: Reg, shamt: u32) -> u32 {
+    assert!(shamt < 32, "shift amount out of range");
+    i_type((shamt | 0x400) as i32, rs1, 0b101, rd, 0b0010011)
+}
+
+macro_rules! r_ops {
+    ($($(#[$doc:meta])* $name:ident => ($f7:expr, $f3:expr)),* $(,)?) => {$(
+        $(#[$doc])*
+        pub fn $name(rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+            r_type($f7, rs2, rs1, $f3, rd, 0b0110011)
+        }
+    )*};
+}
+r_ops! {
+    /// `add rd, rs1, rs2`.
+    add => (0b0000000, 0b000),
+    /// `sub rd, rs1, rs2`.
+    sub => (0b0100000, 0b000),
+    /// `sll rd, rs1, rs2`.
+    sll => (0b0000000, 0b001),
+    /// `slt rd, rs1, rs2`.
+    slt => (0b0000000, 0b010),
+    /// `sltu rd, rs1, rs2`.
+    sltu => (0b0000000, 0b011),
+    /// `xor rd, rs1, rs2`.
+    xor => (0b0000000, 0b100),
+    /// `srl rd, rs1, rs2`.
+    srl => (0b0000000, 0b101),
+    /// `sra rd, rs1, rs2`.
+    sra => (0b0100000, 0b101),
+    /// `or rd, rs1, rs2`.
+    or => (0b0000000, 0b110),
+    /// `and rd, rs1, rs2`.
+    and => (0b0000000, 0b111),
+    /// `mul rd, rs1, rs2` (M).
+    mul => (0b0000001, 0b000),
+    /// `mulh rd, rs1, rs2` (M).
+    mulh => (0b0000001, 0b001),
+    /// `mulhsu rd, rs1, rs2` (M).
+    mulhsu => (0b0000001, 0b010),
+    /// `mulhu rd, rs1, rs2` (M).
+    mulhu => (0b0000001, 0b011),
+    /// `div rd, rs1, rs2` (M).
+    div => (0b0000001, 0b100),
+    /// `divu rd, rs1, rs2` (M).
+    divu => (0b0000001, 0b101),
+    /// `rem rd, rs1, rs2` (M).
+    rem => (0b0000001, 0b110),
+    /// `remu rd, rs1, rs2` (M).
+    remu => (0b0000001, 0b111),
+}
+
+/// `ecall` (the ISS halts and surfaces it to the environment).
+pub fn ecall() -> u32 {
+    0b1110011
+}
+
+/// `ebreak`.
+pub fn ebreak() -> u32 {
+    (1 << 20) | 0b1110011
+}
+
+/// `nop` (addi x0, x0, 0).
+pub fn nop() -> u32 {
+    addi(0, 0, 0)
+}
+
+/// Loads an arbitrary 32-bit constant into `rd` (lui+addi pair, or a
+/// single addi when it fits).
+pub fn li(rd: Reg, value: i32) -> Vec<u32> {
+    if (-2048..=2047).contains(&value) {
+        return vec![addi(rd, ZERO, value)];
+    }
+    let v = value as u32;
+    let lo = (v & 0xFFF) as i32;
+    let lo = if lo >= 2048 { lo - 4096 } else { lo };
+    let hi = v.wrapping_sub(lo as u32) >> 12;
+    vec![lui(rd, hi & 0xFFFFF), addi(rd, rd, lo)]
+}
+
+/// A label-aware program assembler.
+///
+/// ```
+/// use craft_riscv::asm::{Assembler, A0, ZERO};
+/// use craft_riscv::asm as rv;
+/// let mut a = Assembler::new();
+/// a.emit(rv::addi(A0, ZERO, 5));
+/// let loop_top = a.label();
+/// a.emit(rv::addi(A0, A0, -1));
+/// a.branch_to(loop_top, |off| rv::bne(A0, ZERO, off));
+/// a.emit(rv::ecall());
+/// let program = a.finish();
+/// assert_eq!(program.len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct Assembler {
+    words: Vec<u32>,
+    /// (index in words, target label id) patched at finish for forward
+    /// references.
+    fixups: Vec<(usize, usize, FixupKind)>,
+    labels: Vec<Option<usize>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FixupKind {
+    Branch(fn(i32) -> u32),
+    Jal(Reg),
+}
+
+/// A position in the program that branches can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+impl Assembler {
+    /// An empty program at address 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one encoded instruction.
+    pub fn emit(&mut self, word: u32) {
+        self.words.push(word);
+    }
+
+    /// Appends several encoded instructions (e.g. from [`li`]).
+    pub fn emit_all(&mut self, words: impl IntoIterator<Item = u32>) {
+        self.words.extend(words);
+    }
+
+    /// Current byte address (next instruction goes here).
+    pub fn here(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(Some(self.words.len()));
+        Label(self.labels.len() - 1)
+    }
+
+    /// Declares a label to be placed later with
+    /// [`place`](Self::place).
+    pub fn forward_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Places a previously declared forward label here.
+    ///
+    /// # Panics
+    /// Panics if the label was already placed.
+    pub fn place(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label placed twice");
+        self.labels[label.0] = Some(self.words.len());
+    }
+
+    /// Emits a branch to `label` using `encode` (an offset-taking
+    /// encoder like `|off| bne(a, b, off)`). Function pointers only so
+    /// fixups stay `Copy` — use a tiny `fn` instead of a closure.
+    pub fn branch_to(&mut self, label: Label, encode: fn(i32) -> u32) {
+        let at = self.words.len();
+        self.words.push(0); // placeholder
+        self.fixups.push((at, label.0, FixupKind::Branch(encode)));
+    }
+
+    /// Emits `jal rd, label`.
+    pub fn jal_to(&mut self, rd: Reg, label: Label) {
+        let at = self.words.len();
+        self.words.push(0);
+        self.fixups.push((at, label.0, FixupKind::Jal(rd)));
+    }
+
+    /// Resolves fixups and returns the instruction words.
+    ///
+    /// # Panics
+    /// Panics if any forward label was never placed.
+    pub fn finish(mut self) -> Vec<u32> {
+        for (at, label, kind) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label].expect("unplaced forward label");
+            let offset = (target as i64 - at as i64) * 4;
+            self.words[at] = match kind {
+                FixupKind::Branch(f) => f(offset as i32),
+                FixupKind::Jal(rd) => jal(rd, offset as i32),
+            };
+        }
+        self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        // Cross-checked against the RISC-V spec examples.
+        assert_eq!(addi(1, 0, 5), 0x0050_0093); // addi x1, x0, 5
+        assert_eq!(add(3, 1, 2), 0x0020_81B3); // add x3, x1, x2
+        assert_eq!(lui(5, 0x12345), 0x1234_52B7); // lui x5, 0x12345
+        assert_eq!(sw(2, 1, 8), 0x0020_A423); // sw x2, 8(x1)
+        assert_eq!(lw(2, 1, 8), 0x0080_A103); // lw x2, 8(x1)
+        assert_eq!(ecall(), 0x0000_0073);
+        assert_eq!(mul(3, 1, 2), 0x0220_81B3);
+    }
+
+    #[test]
+    fn branch_offset_encoding() {
+        // beq x1, x2, +8
+        let w = beq(1, 2, 8);
+        assert_eq!(w & 0x7F, 0b1100011);
+        // Negative offsets.
+        let wneg = bne(1, 2, -4);
+        assert_eq!(wneg >> 31, 1, "sign bit set for negative offsets");
+    }
+
+    #[test]
+    fn li_covers_full_range() {
+        for v in [0, 1, -1, 2047, -2048, 2048, 0x1234_5678, -0x1234_5678, i32::MIN, i32::MAX] {
+            let seq = li(T0, v);
+            assert!(seq.len() <= 2, "li too long for {v}");
+        }
+    }
+
+    #[test]
+    fn assembler_backward_branch() {
+        let mut a = Assembler::new();
+        a.emit_all(li(A0, 3));
+        let top = a.label();
+        a.emit(addi(A0, A0, -1));
+        a.branch_to(top, |off| bne(A0, ZERO, off));
+        a.emit(ecall());
+        let prog = a.finish();
+        assert_eq!(prog.len(), 4);
+        // The branch targets -4 bytes (one instruction back).
+        assert_eq!(prog[2], bne(A0, ZERO, -4));
+    }
+
+    #[test]
+    fn assembler_forward_branch() {
+        let mut a = Assembler::new();
+        let skip = a.forward_label();
+        a.branch_to(skip, |off| beq(ZERO, ZERO, off));
+        a.emit(nop());
+        a.emit(nop());
+        a.place(skip);
+        a.emit(ecall());
+        let prog = a.finish();
+        assert_eq!(prog[0], beq(ZERO, ZERO, 12));
+    }
+
+    #[test]
+    #[should_panic(expected = "unplaced forward label")]
+    fn unplaced_label_panics() {
+        let mut a = Assembler::new();
+        let l = a.forward_label();
+        a.branch_to(l, |off| beq(ZERO, ZERO, off));
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "I-immediate out of range")]
+    fn oversized_immediate_panics() {
+        let _ = addi(1, 0, 5000);
+    }
+}

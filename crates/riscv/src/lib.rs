@@ -1,0 +1,21 @@
+//! # craft-riscv — RV32IM instruction-set simulator
+//!
+//! The prototype SoC of the paper (Fig. 5) uses a Rocket RISC-V core
+//! as the global controller that "initiates execution by configuring
+//! control registers in PE and global memory and orchestrating data
+//! transfer across the memory hierarchy". This crate provides that
+//! controller substrate: a full RV32IM interpreter ([`Cpu`]) over a
+//! pluggable [`Bus`] (so the SoC can hang MMIO off it), plus
+//! instruction [`encode`]rs and a label-aware [`encode::Assembler`]
+//! for writing controller programs in tests and workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cpu;
+pub mod encode;
+
+/// Convenience alias so call sites can `use craft_riscv::asm`.
+pub use encode as asm;
+
+pub use cpu::{AccessSize, Bus, Cpu, FlatMemory, StepOutcome};

@@ -1,0 +1,104 @@
+//! Additional ISA coverage: immediates, set-less-than family, halfword
+//! sign handling, AUIPC-relative addressing and call/return chains.
+
+use craft_riscv::asm::{self as rv, Assembler, A0, A1, A2, A3, RA, T0, T1, ZERO};
+use craft_riscv::{Cpu, FlatMemory, StepOutcome};
+
+fn run(words: Vec<u32>, max: u64) -> (Cpu, FlatMemory) {
+    let mut mem = FlatMemory::new(64 * 1024);
+    mem.load_words(0, &words);
+    let mut cpu = Cpu::new();
+    assert_eq!(cpu.run(&mut mem, max), Some(StepOutcome::Ecall), "must halt");
+    (cpu, mem)
+}
+
+#[test]
+fn slt_family() {
+    let mut a = Assembler::new();
+    a.emit_all(rv::li(T0, -5));
+    a.emit_all(rv::li(T1, 3));
+    a.emit(rv::slt(A0, T0, T1)); // -5 < 3 signed -> 1
+    a.emit(rv::sltu(A1, T0, T1)); // 0xFFFF_FFFB < 3 unsigned -> 0
+    a.emit(rv::slti(A2, T1, -1)); // 3 < -1 -> 0
+    a.emit(rv::sltiu(A3, T1, 100)); // 3 < 100 -> 1
+    a.emit(rv::ecall());
+    let (cpu, _) = run(a.finish(), 50);
+    assert_eq!(cpu.reg(A0), 1);
+    assert_eq!(cpu.reg(A1), 0);
+    assert_eq!(cpu.reg(A2), 0);
+    assert_eq!(cpu.reg(A3), 1);
+}
+
+#[test]
+fn halfword_sign_extension() {
+    let mut a = Assembler::new();
+    a.emit_all(rv::li(T0, 0x1000));
+    a.emit_all(rv::li(T1, 0x8001));
+    a.emit(rv::sh(T1, T0, 0));
+    a.emit(rv::lh(A0, T0, 0)); // sign-extends
+    a.emit(rv::lhu(A1, T0, 0)); // zero-extends
+    a.emit(rv::ecall());
+    let (cpu, _) = run(a.finish(), 50);
+    assert_eq!(cpu.reg(A0), 0xFFFF_8001);
+    assert_eq!(cpu.reg(A1), 0x8001);
+}
+
+#[test]
+fn auipc_computes_pc_relative() {
+    let mut a = Assembler::new();
+    a.emit(rv::nop());
+    a.emit(rv::auipc(A0, 1)); // pc (4) + 0x1000
+    a.emit(rv::ecall());
+    let (cpu, _) = run(a.finish(), 10);
+    assert_eq!(cpu.reg(A0), 4 + 0x1000);
+}
+
+#[test]
+fn nested_call_chain() {
+    // main -> f -> g, each adding to a0.
+    let mut a = Assembler::new();
+    let f = a.forward_label();
+    let g = a.forward_label();
+    a.jal_to(RA, f);
+    a.emit(rv::ecall()); // back in main
+    a.place(f);
+    a.emit(rv::addi(A0, A0, 10));
+    a.emit(rv::addi(T0, RA, 0)); // save ra
+    a.jal_to(RA, g);
+    a.emit(rv::addi(RA, T0, 0));
+    a.emit(rv::jalr(ZERO, RA, 0));
+    a.place(g);
+    a.emit(rv::addi(A0, A0, 100));
+    a.emit(rv::jalr(ZERO, RA, 0));
+    let (cpu, _) = run(a.finish(), 100);
+    assert_eq!(cpu.reg(A0), 110);
+}
+
+#[test]
+fn branch_all_variants_taken_and_not() {
+    // Accumulate a bitmask of taken/fall-through outcomes.
+    let mut a = Assembler::new();
+    a.emit_all(rv::li(T0, 5));
+    a.emit_all(rv::li(T1, -3));
+    a.emit(rv::addi(A0, ZERO, 0));
+    // bltu: 5 < 0xFFFF_FFFD unsigned -> taken.
+    let l1 = a.forward_label();
+    a.branch_to(l1, |off| rv::bltu(T0, T1, off));
+    a.emit(rv::ecall()); // must be skipped
+    a.place(l1);
+    a.emit(rv::ori(A0, A0, 1));
+    // bge signed: 5 >= -3 -> taken.
+    let l2 = a.forward_label();
+    a.branch_to(l2, |off| rv::bge(T0, T1, off));
+    a.emit(rv::ecall());
+    a.place(l2);
+    a.emit(rv::ori(A0, A0, 2));
+    // beq not taken: falls through and sets bit 2.
+    let l3 = a.forward_label();
+    a.branch_to(l3, |off| rv::beq(T0, T1, off));
+    a.emit(rv::ori(A0, A0, 4));
+    a.place(l3);
+    a.emit(rv::ecall());
+    let (cpu, _) = run(a.finish(), 50);
+    assert_eq!(cpu.reg(A0), 0b111);
+}

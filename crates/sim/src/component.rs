@@ -1,0 +1,102 @@
+//! The component and sequential-state abstractions.
+//!
+//! A [`Component`] is the analogue of a SystemC clocked process: the
+//! kernel calls [`Component::tick`] once per rising edge of the clock
+//! domain the component was registered on. All state written during a
+//! tick becomes visible to other components only after the commit phase
+//! of the same edge (two-phase, flip-flop-accurate semantics).
+
+use crate::clock::ClockId;
+use crate::time::Picoseconds;
+
+/// A clocked hardware process.
+pub trait Component {
+    /// Name used in traces and diagnostics. Must be non-empty.
+    fn name(&self) -> &str;
+
+    /// Called once per rising edge of the component's clock domain.
+    ///
+    /// During a tick the component must only *read* the committed state
+    /// of shared channels/signals and *stage* writes; the kernel commits
+    /// all staged writes after every component on this edge has ticked.
+    fn tick(&mut self, ctx: &mut TickCtx<'_>);
+}
+
+/// Shared state (typically a channel) that participates in the commit
+/// phase of its clock domain.
+pub trait Sequential {
+    /// Promotes writes staged during the evaluate phase to the visible
+    /// state. Called exactly once per rising edge, after all components
+    /// on that edge have ticked. Must not fail ([C-DTOR-FAIL] spirit).
+    fn commit(&mut self);
+}
+
+/// Per-edge context handed to [`Component::tick`].
+#[derive(Debug)]
+pub struct TickCtx<'a> {
+    pub(crate) now: Picoseconds,
+    pub(crate) cycle: u64,
+    pub(crate) clock: ClockId,
+    pub(crate) clock_requests: &'a mut Vec<ClockRequest>,
+    pub(crate) stop: &'a mut bool,
+}
+
+/// A deferred request to alter a clock domain, applied after the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ClockRequest {
+    /// Lengthen the next period of `clock` by `extra` (pausible clocking).
+    Stretch { clock: ClockId, extra: Picoseconds },
+    /// Use `period` for the next period only (jitter/adaptive models).
+    OverridePeriod { clock: ClockId, period: Picoseconds },
+    /// Retarget the nominal period of `clock` (DVFS-style change).
+    SetNominalPeriod { clock: ClockId, period: Picoseconds },
+}
+
+impl TickCtx<'_> {
+    /// Current simulation time.
+    pub fn now(&self) -> Picoseconds {
+        self.now
+    }
+
+    /// Rising-edge count of this component's clock domain (0 on the
+    /// first edge).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The clock domain this tick belongs to.
+    pub fn clock(&self) -> ClockId {
+        self.clock
+    }
+
+    /// Stretches the *next* period of `clock` by `extra` picoseconds.
+    ///
+    /// This is the primitive behind pausible clocking: a synchronizer
+    /// that detects a potential metastability window requests that the
+    /// receiving clock's next edge be delayed.
+    pub fn stretch_clock(&mut self, clock: ClockId, extra: Picoseconds) {
+        self.clock_requests
+            .push(ClockRequest::Stretch { clock, extra });
+    }
+
+    /// Overrides the next period of `clock` (one edge only). Used by
+    /// clock-generator models that add per-cycle jitter or adapt to
+    /// supply noise.
+    pub fn override_next_period(&mut self, clock: ClockId, period: Picoseconds) {
+        self.clock_requests
+            .push(ClockRequest::OverridePeriod { clock, period });
+    }
+
+    /// Permanently changes the nominal period of `clock`.
+    pub fn set_nominal_period(&mut self, clock: ClockId, period: Picoseconds) {
+        self.clock_requests
+            .push(ClockRequest::SetNominalPeriod { clock, period });
+    }
+
+    /// Asks the kernel to stop after the current edge completes. Any
+    /// in-flight `run_*` call returns once commits for this instant are
+    /// done.
+    pub fn request_stop(&mut self) {
+        *self.stop = true;
+    }
+}

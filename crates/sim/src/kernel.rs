@@ -1,0 +1,501 @@
+//! The simulation kernel: a multi-clock, two-phase, cycle-driven
+//! scheduler with deterministic ordering.
+//!
+//! # Execution model
+//!
+//! Time is an integer picosecond counter. Each registered
+//! [`ClockSpec`] produces rising edges; the kernel repeatedly:
+//!
+//! 1. finds the earliest pending edge time `t` across all domains,
+//! 2. **evaluate phase** — ticks every component of every domain with an
+//!    edge at `t` (domains in id order, components in registration
+//!    order),
+//! 3. **commit phase** — commits every [`Sequential`] registered on
+//!    those domains (same deterministic order),
+//! 4. applies deferred clock requests (stretch/override) and schedules
+//!    each ticked domain's next edge.
+//!
+//! Because reads during evaluate always observe state committed at an
+//! earlier instant, the model is flip-flop accurate and insensitive to
+//! registration order for well-formed designs.
+
+use crate::clock::{ClockId, ClockSpec, ClockState};
+use crate::component::{ClockRequest, Component, Sequential, TickCtx};
+use crate::time::Picoseconds;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Handle to a component registered with a [`Simulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComponentId(usize);
+
+struct ComponentEntry {
+    clock: ClockId,
+    component: Box<dyn Component>,
+}
+
+struct SequentialEntry {
+    state: Rc<RefCell<dyn Sequential>>,
+}
+
+/// Cycle-driven multi-clock simulator.
+///
+/// ```
+/// use craft_sim::{ClockSpec, Component, Picoseconds, Simulator, TickCtx};
+///
+/// struct Counter { n: u64 }
+/// impl Component for Counter {
+///     fn name(&self) -> &str { "counter" }
+///     fn tick(&mut self, _ctx: &mut TickCtx<'_>) { self.n += 1; }
+/// }
+///
+/// let mut sim = Simulator::new();
+/// let clk = sim.add_clock(ClockSpec::new("main", Picoseconds::from_ghz(1.0)));
+/// sim.add_component(clk, Counter { n: 0 });
+/// sim.run_cycles(clk, 10);
+/// assert_eq!(sim.cycles(clk), 10);
+/// ```
+pub struct Simulator {
+    clocks: Vec<ClockState>,
+    components: Vec<ComponentEntry>,
+    /// Component indices per clock domain, in registration order.
+    by_clock: Vec<Vec<usize>>,
+    sequentials: Vec<SequentialEntry>,
+    seq_by_clock: Vec<Vec<usize>>,
+    now: Picoseconds,
+    /// Total evaluate/commit instants processed.
+    instants: u64,
+    /// Total component ticks delivered (a wall-clock-cost proxy).
+    ticks_delivered: u64,
+    stop_requested: bool,
+    clock_requests: Vec<ClockRequest>,
+    edge_scratch: Vec<usize>,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            clocks: Vec::new(),
+            components: Vec::new(),
+            by_clock: Vec::new(),
+            sequentials: Vec::new(),
+            seq_by_clock: Vec::new(),
+            now: Picoseconds::ZERO,
+            instants: 0,
+            ticks_delivered: 0,
+            stop_requested: false,
+            clock_requests: Vec::new(),
+            edge_scratch: Vec::new(),
+        }
+    }
+
+    /// Registers a clock domain and returns its id.
+    pub fn add_clock(&mut self, spec: ClockSpec) -> ClockId {
+        let id = ClockId(self.clocks.len());
+        self.clocks.push(ClockState::new(spec));
+        self.by_clock.push(Vec::new());
+        self.seq_by_clock.push(Vec::new());
+        id
+    }
+
+    /// Registers `component` on clock domain `clock`.
+    ///
+    /// # Panics
+    /// Panics if `clock` was not returned by this simulator's
+    /// [`add_clock`](Self::add_clock).
+    pub fn add_component<C: Component + 'static>(
+        &mut self,
+        clock: ClockId,
+        component: C,
+    ) -> ComponentId {
+        assert!(clock.0 < self.clocks.len(), "unknown clock domain {clock}");
+        let id = ComponentId(self.components.len());
+        self.components.push(ComponentEntry {
+            clock,
+            component: Box::new(component),
+        });
+        self.by_clock[clock.0].push(id.0);
+        id
+    }
+
+    /// Registers shared sequential state (typically a channel) for the
+    /// commit phase of `clock`.
+    ///
+    /// # Panics
+    /// Panics if `clock` is unknown.
+    pub fn add_sequential(&mut self, clock: ClockId, state: Rc<RefCell<dyn Sequential>>) {
+        assert!(clock.0 < self.clocks.len(), "unknown clock domain {clock}");
+        let idx = self.sequentials.len();
+        self.sequentials.push(SequentialEntry { state });
+        self.seq_by_clock[clock.0].push(idx);
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Picoseconds {
+        self.now
+    }
+
+    /// Rising edges delivered on `clock` so far.
+    pub fn cycles(&self, clock: ClockId) -> u64 {
+        self.clocks[clock.0].cycles
+    }
+
+    /// Total component ticks delivered across all domains. This grows
+    /// with simulation *work* and is used as a wall-cost proxy in
+    /// speedup experiments.
+    pub fn ticks_delivered(&self) -> u64 {
+        self.ticks_delivered
+    }
+
+    /// Total evaluate/commit instants processed.
+    pub fn instants(&self) -> u64 {
+        self.instants
+    }
+
+    /// Pauses `clock`: no further edges until [`resume_clock`](Self::resume_clock).
+    pub fn pause_clock(&mut self, clock: ClockId) {
+        self.clocks[clock.0].paused = true;
+    }
+
+    /// Resumes a paused clock; its next edge fires one period from now.
+    pub fn resume_clock(&mut self, clock: ClockId) {
+        let st = &mut self.clocks[clock.0];
+        if st.paused {
+            st.paused = false;
+            st.next_edge = self
+                .now
+                .checked_add(st.spec.period)
+                .expect("simulation time overflow");
+        }
+    }
+
+    /// True when a component called [`TickCtx::request_stop`].
+    pub fn stopped(&self) -> bool {
+        self.stop_requested
+    }
+
+    /// Clears a pending stop request so `run_*` can be called again.
+    pub fn clear_stop(&mut self) {
+        self.stop_requested = false;
+    }
+
+    fn next_instant(&self) -> Option<Picoseconds> {
+        self.clocks
+            .iter()
+            .filter(|c| !c.paused)
+            .map(|c| c.next_edge)
+            .min()
+    }
+
+    /// Advances by exactly one instant (one batch of simultaneous
+    /// edges). Returns `false` when no clock has a pending edge.
+    pub fn step(&mut self) -> bool {
+        let Some(t) = self.next_instant() else {
+            return false;
+        };
+        self.now = t;
+        self.instants += 1;
+
+        // Gather domains with an edge now, in id order.
+        self.edge_scratch.clear();
+        for (i, c) in self.clocks.iter().enumerate() {
+            if !c.paused && c.next_edge == t {
+                self.edge_scratch.push(i);
+            }
+        }
+        let edges = std::mem::take(&mut self.edge_scratch);
+
+        // Evaluate phase.
+        for &ci in &edges {
+            let cycle = self.clocks[ci].cycles;
+            for comp_pos in 0..self.by_clock[ci].len() {
+                let comp_idx = self.by_clock[ci][comp_pos];
+                let entry = &mut self.components[comp_idx];
+                let mut ctx = TickCtx {
+                    now: t,
+                    cycle,
+                    clock: entry.clock,
+                    clock_requests: &mut self.clock_requests,
+                    stop: &mut self.stop_requested,
+                };
+                entry.component.tick(&mut ctx);
+                self.ticks_delivered += 1;
+            }
+        }
+
+        // Commit phase.
+        for &ci in &edges {
+            for &seq_idx in &self.seq_by_clock[ci] {
+                self.sequentials[seq_idx].state.borrow_mut().commit();
+            }
+        }
+
+        // Apply deferred clock requests, then schedule next edges.
+        for req in self.clock_requests.drain(..) {
+            match req {
+                ClockRequest::Stretch { clock, extra } => {
+                    let st = &mut self.clocks[clock.0];
+                    let base = st.next_period_override.unwrap_or(st.spec.period);
+                    st.next_period_override =
+                        Some(base.checked_add(extra).expect("clock stretch overflow"));
+                }
+                ClockRequest::OverridePeriod { clock, period } => {
+                    self.clocks[clock.0].next_period_override = Some(period);
+                }
+                ClockRequest::SetNominalPeriod { clock, period } => {
+                    assert!(period > Picoseconds::ZERO, "clock period must be nonzero");
+                    self.clocks[clock.0].spec.period = period;
+                }
+            }
+        }
+        for &ci in &edges {
+            self.clocks[ci].advance();
+        }
+        self.edge_scratch = edges;
+        true
+    }
+
+    /// Runs until simulation time reaches or passes `deadline`, a stop
+    /// is requested, or no edges remain.
+    pub fn run_until_time(&mut self, deadline: Picoseconds) {
+        while !self.stop_requested {
+            match self.next_instant() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Runs until `clock` has received `n` more rising edges, a stop is
+    /// requested, or no edges remain.
+    pub fn run_cycles(&mut self, clock: ClockId, n: u64) {
+        let target = self.clocks[clock.0].cycles + n;
+        while !self.stop_requested && self.clocks[clock.0].cycles < target {
+            if !self.step() {
+                break;
+            }
+        }
+    }
+
+    /// Runs until `done()` returns true (checked after every instant), a
+    /// stop is requested, or `max_cycles` edges elapse on `clock`.
+    /// Returns `true` if the predicate fired.
+    pub fn run_until(
+        &mut self,
+        clock: ClockId,
+        max_cycles: u64,
+        mut done: impl FnMut() -> bool,
+    ) -> bool {
+        let limit = self.clocks[clock.0].cycles + max_cycles;
+        while !self.stop_requested && self.clocks[clock.0].cycles < limit {
+            if done() {
+                return true;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    struct Probe {
+        name: String,
+        hits: Rc<Cell<u64>>,
+        last_cycle: Rc<Cell<u64>>,
+    }
+
+    impl Component for Probe {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            self.hits.set(self.hits.get() + 1);
+            self.last_cycle.set(ctx.cycle());
+        }
+    }
+
+    fn probe(name: &str) -> (Probe, Rc<Cell<u64>>, Rc<Cell<u64>>) {
+        let hits = Rc::new(Cell::new(0));
+        let last = Rc::new(Cell::new(0));
+        (
+            Probe {
+                name: name.into(),
+                hits: Rc::clone(&hits),
+                last_cycle: Rc::clone(&last),
+            },
+            hits,
+            last,
+        )
+    }
+
+    #[test]
+    fn single_clock_ticks_once_per_cycle() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(1000)));
+        let (p, hits, last) = probe("p");
+        sim.add_component(clk, p);
+        sim.run_cycles(clk, 5);
+        assert_eq!(hits.get(), 5);
+        assert_eq!(last.get(), 4);
+        assert_eq!(sim.now(), Picoseconds(4000));
+    }
+
+    #[test]
+    fn unrelated_clocks_interleave_by_time() {
+        let mut sim = Simulator::new();
+        let fast = sim.add_clock(ClockSpec::new("fast", Picoseconds(100)));
+        let slow = sim.add_clock(ClockSpec::new("slow", Picoseconds(250)));
+        let (pf, hf, _) = probe("f");
+        let (ps, hs, _) = probe("s");
+        sim.add_component(fast, pf);
+        sim.add_component(slow, ps);
+        sim.run_until_time(Picoseconds(1000));
+        // fast edges: 0,100,...,1000 -> 11; slow: 0,250,500,750,1000 -> 5
+        assert_eq!(hf.get(), 11);
+        assert_eq!(hs.get(), 5);
+    }
+
+    #[test]
+    fn pause_and_resume() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        let (p, hits, _) = probe("p");
+        sim.add_component(clk, p);
+        sim.run_cycles(clk, 3);
+        sim.pause_clock(clk);
+        sim.run_until_time(Picoseconds(10_000));
+        assert_eq!(hits.get(), 3);
+        sim.resume_clock(clk);
+        sim.run_cycles(clk, 2);
+        assert_eq!(hits.get(), 5);
+    }
+
+    struct Stopper {
+        at: u64,
+    }
+    impl Component for Stopper {
+        fn name(&self) -> &str {
+            "stopper"
+        }
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            if ctx.cycle() == self.at {
+                ctx.request_stop();
+            }
+        }
+    }
+
+    #[test]
+    fn stop_request_halts_run() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        sim.add_component(clk, Stopper { at: 7 });
+        sim.run_cycles(clk, 1_000);
+        assert!(sim.stopped());
+        assert_eq!(sim.cycles(clk), 8); // edge 7 completed, then halt
+    }
+
+    struct Stretcher;
+    impl Component for Stretcher {
+        fn name(&self) -> &str {
+            "stretcher"
+        }
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            if ctx.cycle() == 1 {
+                let clock = ctx.clock();
+                ctx.stretch_clock(clock, Picoseconds(50));
+            }
+        }
+    }
+
+    #[test]
+    fn stretch_delays_next_edge_only() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        sim.add_component(clk, Stretcher);
+        sim.run_cycles(clk, 4);
+        // Edges at 0, 100, 250 (stretched), 350.
+        assert_eq!(sim.now(), Picoseconds(350));
+    }
+
+    #[test]
+    fn sequential_commit_runs_after_eval() {
+        struct Latch {
+            staged: u64,
+            value: u64,
+        }
+        impl Sequential for Latch {
+            fn commit(&mut self) {
+                self.value = self.staged;
+            }
+        }
+        struct Writer {
+            latch: Rc<RefCell<Latch>>,
+            observed_before_commit: Rc<Cell<u64>>,
+        }
+        impl Component for Writer {
+            fn name(&self) -> &str {
+                "writer"
+            }
+            fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+                let mut l = self.latch.borrow_mut();
+                // Reads must see the value committed at a previous edge.
+                self.observed_before_commit.set(l.value);
+                l.staged = ctx.cycle() + 1;
+            }
+        }
+        let latch = Rc::new(RefCell::new(Latch { staged: 0, value: 0 }));
+        let seen = Rc::new(Cell::new(u64::MAX));
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        sim.add_component(
+            clk,
+            Writer {
+                latch: Rc::clone(&latch),
+                observed_before_commit: Rc::clone(&seen),
+            },
+        );
+        sim.add_sequential(clk, latch.clone());
+        sim.run_cycles(clk, 1);
+        assert_eq!(seen.get(), 0); // saw pre-commit value
+        assert_eq!(latch.borrow().value, 1); // commit applied after eval
+        sim.run_cycles(clk, 1);
+        assert_eq!(seen.get(), 1);
+        assert_eq!(latch.borrow().value, 2);
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        let (p, hits, _) = probe("p");
+        sim.add_component(clk, p);
+        let h2 = Rc::clone(&hits);
+        let fired = sim.run_until(clk, 1_000, move || h2.get() >= 5);
+        assert!(fired);
+        assert_eq!(hits.get(), 5);
+    }
+
+    #[test]
+    fn run_until_respects_cycle_limit() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        let fired = sim.run_until(clk, 10, || false);
+        assert!(!fired);
+        assert_eq!(sim.cycles(clk), 10);
+    }
+}

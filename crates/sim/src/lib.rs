@@ -1,0 +1,48 @@
+//! # craft-sim — deterministic multi-clock simulation kernel
+//!
+//! The SystemC substitute underpinning the `craftflow` reproduction of
+//! the DAC'18 modular VLSI flow. It provides:
+//!
+//! * [`Picoseconds`] integer time and [`ClockSpec`] clock domains,
+//! * a two-phase (evaluate/commit) cycle-driven [`Simulator`] that is
+//!   flip-flop accurate and fully deterministic,
+//! * the [`Component`] (clocked process) and [`Sequential`]
+//!   (commit-phase state) traits,
+//! * pausible-clocking hooks ([`TickCtx::stretch_clock`]) used by the
+//!   GALS layer,
+//! * [`Trace`] VCD-lite waveform recording and [`stats`] helpers.
+//!
+//! ## Example
+//!
+//! ```
+//! use craft_sim::{ClockSpec, Component, Picoseconds, Simulator, TickCtx};
+//!
+//! struct Blinker { on: bool }
+//! impl Component for Blinker {
+//!     fn name(&self) -> &str { "blinker" }
+//!     fn tick(&mut self, _ctx: &mut TickCtx<'_>) { self.on = !self.on; }
+//! }
+//!
+//! let mut sim = Simulator::new();
+//! let clk = sim.add_clock(ClockSpec::new("core", Picoseconds::from_ghz(1.1)));
+//! sim.add_component(clk, Blinker { on: false });
+//! sim.run_cycles(clk, 100);
+//! assert_eq!(sim.cycles(clk), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod component;
+pub mod cover;
+mod kernel;
+pub mod stats;
+mod time;
+mod trace;
+
+pub use clock::{ClockId, ClockSpec};
+pub use component::{Component, Sequential, TickCtx};
+pub use kernel::{ComponentId, Simulator};
+pub use time::Picoseconds;
+pub use trace::{SignalId, Trace};

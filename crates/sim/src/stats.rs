@@ -1,0 +1,224 @@
+//! Small statistics helpers shared by the NoC, SoC and benchmark
+//! harnesses: counters, running means, and latency histograms.
+
+use std::fmt;
+
+/// Running mean/min/max over `u64` samples (e.g. packet latencies in
+/// cycles).
+///
+/// ```
+/// use craft_sim::stats::Samples;
+/// let mut s = Samples::new();
+/// for v in [4, 6, 8] { s.record(v); }
+/// assert_eq!(s.count(), 3);
+/// assert_eq!(s.mean(), 6.0);
+/// assert_eq!(s.min(), Some(4));
+/// assert_eq!(s.max(), Some(8));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Samples {
+    count: u64,
+    sum: u128,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Merges another sample set into this one.
+    pub fn merge(&mut self, other: &Samples) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+impl fmt::Display for Samples {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} min={} max={}",
+            self.count,
+            self.mean(),
+            self.min.map_or(0, |v| v),
+            self.max.map_or(0, |v| v)
+        )
+    }
+}
+
+/// Fixed-bucket latency histogram with a saturating overflow bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// `n_buckets` buckets of `bucket_width` each, plus overflow.
+    ///
+    /// # Panics
+    /// Panics if `bucket_width` or `n_buckets` is zero.
+    pub fn new(bucket_width: u64, n_buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be nonzero");
+        assert!(n_buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; n_buckets],
+            overflow: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = (v / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count in bucket `i` (`i * width ..< (i+1) * width`).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Count of samples beyond the last bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum::<u64>() + self.overflow
+    }
+
+    /// Smallest value `x` such that at least `q` (0..=1) of samples are
+    /// `< x + bucket_width` (bucket-granular quantile; returns the
+    /// bucket upper bound).
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let target = (q * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (i as u64 + 1) * self.bucket_width;
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_track_extremes() {
+        let mut s = Samples::new();
+        assert_eq!(s.mean(), 0.0);
+        s.record(10);
+        s.record(2);
+        s.record(6);
+        assert_eq!(s.min(), Some(2));
+        assert_eq!(s.max(), Some(10));
+        assert_eq!(s.mean(), 6.0);
+    }
+
+    #[test]
+    fn samples_merge() {
+        let mut a = Samples::new();
+        a.record(1);
+        let mut b = Samples::new();
+        b.record(9);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(9));
+        assert_eq!(a.mean(), 5.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10, 3);
+        for v in [0, 9, 10, 25, 29, 30, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 1);
+        assert_eq!(h.bucket(2), 2);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(1, 100);
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_upper_bound(0.5), 50);
+        assert_eq!(h.quantile_upper_bound(0.99), 99);
+        assert_eq!(h.quantile_upper_bound(1.0), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be nonzero")]
+    fn zero_bucket_width_panics() {
+        let _ = Histogram::new(0, 4);
+    }
+}

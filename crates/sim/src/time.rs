@@ -1,0 +1,182 @@
+//! Simulation time as integer picoseconds.
+//!
+//! All kernel bookkeeping is integral so that simulations are exactly
+//! reproducible; floating point only appears in analysis layers.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A duration or timestamp measured in picoseconds.
+///
+/// `Picoseconds` is a transparent newtype over `u64` ([C-NEWTYPE]) so a
+/// raw cycle count can never be confused with a wall-time quantity.
+///
+/// ```
+/// use craft_sim::Picoseconds;
+/// let period = Picoseconds::from_ghz(1.1);
+/// assert_eq!(period, Picoseconds::new(909));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Picoseconds(pub u64);
+
+impl Picoseconds {
+    /// Zero duration.
+    pub const ZERO: Picoseconds = Picoseconds(0);
+    /// Largest representable instant; used as "never" by the scheduler.
+    pub const MAX: Picoseconds = Picoseconds(u64::MAX);
+
+    /// Creates a duration of `ps` picoseconds.
+    pub const fn new(ps: u64) -> Self {
+        Picoseconds(ps)
+    }
+
+    /// Creates a duration of `ns` nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Picoseconds(ns * 1_000)
+    }
+
+    /// Creates a clock period from a frequency in GHz, rounded down to
+    /// the nearest picosecond.
+    pub fn from_ghz(ghz: f64) -> Self {
+        assert!(ghz > 0.0, "frequency must be positive");
+        Picoseconds((1_000.0 / ghz) as u64)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in (fractional) nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction; clamps at zero instead of wrapping.
+    pub const fn saturating_sub(self, rhs: Self) -> Self {
+        Picoseconds(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    pub const fn checked_add(self, rhs: Self) -> Option<Self> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Picoseconds(v)),
+            None => None,
+        }
+    }
+}
+
+impl fmt::Display for Picoseconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ns", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+impl Add for Picoseconds {
+    type Output = Picoseconds;
+    fn add(self, rhs: Self) -> Self {
+        Picoseconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Picoseconds {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Picoseconds {
+    type Output = Picoseconds;
+    fn sub(self, rhs: Self) -> Self {
+        Picoseconds(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Picoseconds {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Picoseconds {
+    type Output = Picoseconds;
+    fn mul(self, rhs: u64) -> Self {
+        Picoseconds(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Picoseconds {
+    type Output = Picoseconds;
+    fn div(self, rhs: u64) -> Self {
+        Picoseconds(self.0 / rhs)
+    }
+}
+
+impl Rem for Picoseconds {
+    type Output = Picoseconds;
+    fn rem(self, rhs: Self) -> Self {
+        Picoseconds(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Picoseconds {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Picoseconds::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Picoseconds {
+    fn from(ps: u64) -> Self {
+        Picoseconds(ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_conversion_rounds_down() {
+        assert_eq!(Picoseconds::from_ghz(1.0), Picoseconds(1000));
+        assert_eq!(Picoseconds::from_ghz(2.0), Picoseconds(500));
+        assert_eq!(Picoseconds::from_ghz(1.1), Picoseconds(909));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Picoseconds(100);
+        let b = Picoseconds(30);
+        assert_eq!(a + b, Picoseconds(130));
+        assert_eq!(a - b, Picoseconds(70));
+        assert_eq!(a * 3, Picoseconds(300));
+        assert_eq!(a / 4, Picoseconds(25));
+        assert_eq!(a % b, Picoseconds(10));
+        assert_eq!(b.saturating_sub(a), Picoseconds::ZERO);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(Picoseconds(5).to_string(), "5ps");
+        assert_eq!(Picoseconds(1500).to_string(), "1.500ns");
+        assert_eq!(Picoseconds(2_000_000).to_string(), "2.000us");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Picoseconds = [1u64, 2, 3].iter().map(|&p| Picoseconds(p)).sum();
+        assert_eq!(total, Picoseconds(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_frequency_panics() {
+        let _ = Picoseconds::from_ghz(0.0);
+    }
+}

@@ -1,0 +1,441 @@
+//! The hub node: banked global memory, NoC endpoint, controller
+//! doorbell/status interface, and its AXI slave adapter.
+//!
+//! Fig. 5's Global Memory is "memory banks designed using mem_array,
+//! connected to multiple input/output ports using the MatchLib
+//! crossbar" — exactly [`craft_matchlib::Scratchpad`], which the hub
+//! services at [`GMEM_PORTS`] words per cycle. PE requests arrive as
+//! NoC packets and are served strictly in arrival order; the RISC-V
+//! controller reaches the same memory (and the PE command doorbell)
+//! through an AXI slave ([`HubAxiSlave`]).
+
+use crate::bitrtl::RtlCost;
+use crate::msg::{NocMsg, PacketAssembler, PeCommand};
+use crate::pe::{Fidelity, CHUNK};
+use craft_connections::{In, Out};
+use craft_matchlib::axi::{
+    AxiAddrCmd, AxiReadBeat, AxiSlavePorts, AxiWriteResp,
+};
+use craft_matchlib::router::NocFlit;
+use craft_matchlib::Scratchpad;
+use craft_sim::{Component, TickCtx};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Global-memory words served per cycle (bank count).
+pub const GMEM_PORTS: usize = 4;
+
+/// AXI word-address offset of the hub control page (doorbell/status),
+/// relative to the hub slave's range base.
+pub const CTRL_PAGE: u64 = 0x10_0000;
+/// Control page register offsets (word granular).
+pub mod ctrl {
+    /// Write: target PE node for the staged command.
+    pub const TARGET: u64 = 0;
+    /// Write: low 32 bits of the packed command.
+    pub const CMD_LO: u64 = 1;
+    /// Write: high 32 bits of the packed command.
+    pub const CMD_HI: u64 = 2;
+    /// Write: commit the staged command to the doorbell.
+    pub const COMMIT: u64 = 3;
+    /// Read: completed command count.
+    pub const DONE_COUNT: u64 = 4;
+    /// Read: issued command count.
+    pub const ISSUED: u64 = 5;
+}
+
+/// Shared hub state: reachable from the hub NoC component, the AXI
+/// slave adapter and the test harness backdoor.
+#[derive(Debug)]
+pub struct HubState {
+    /// Banked global memory.
+    pub gmem: Scratchpad<u64>,
+    /// Committed (pe, command) pairs awaiting packetization.
+    pub doorbell: VecDeque<(u16, PeCommand)>,
+    /// Commands committed via the doorbell.
+    pub issued: u64,
+    /// Done notifications received from PEs.
+    pub done_count: u64,
+    /// Global-memory words read or written (energy accounting).
+    pub gmem_ops: u64,
+    /// NoC flits observed at the hub, both directions (energy proxy).
+    pub noc_flits: u64,
+    /// Service latency (cycles from job arrival to completion) of
+    /// memory jobs, bucketed per 4 cycles.
+    pub service_latency: craft_sim::stats::Histogram,
+    stage_target: u32,
+    stage_lo: u32,
+    stage_hi: u32,
+}
+
+impl HubState {
+    /// Fresh state with `gmem_words` of zeroed global memory.
+    pub fn new(gmem_words: usize) -> Self {
+        HubState {
+            gmem: Scratchpad::new(GMEM_PORTS, gmem_words.div_ceil(GMEM_PORTS)),
+            doorbell: VecDeque::new(),
+            issued: 0,
+            done_count: 0,
+            gmem_ops: 0,
+            noc_flits: 0,
+            service_latency: craft_sim::stats::Histogram::new(4, 64),
+            stage_target: 0,
+            stage_lo: 0,
+            stage_hi: 0,
+        }
+    }
+
+    /// Control-page write (from the AXI adapter).
+    fn ctrl_write(&mut self, offset: u64, value: u32) {
+        match offset {
+            ctrl::TARGET => self.stage_target = value,
+            ctrl::CMD_LO => self.stage_lo = value,
+            ctrl::CMD_HI => self.stage_hi = value,
+            ctrl::COMMIT => {
+                let word = u64::from(self.stage_hi) << 32 | u64::from(self.stage_lo);
+                self.doorbell
+                    .push_back((self.stage_target as u16, PeCommand::unpack(word)));
+                self.issued += 1;
+            }
+            other => panic!("write to unknown hub control register {other}"),
+        }
+    }
+
+    /// Control-page read (from the AXI adapter).
+    fn ctrl_read(&self, offset: u64) -> u32 {
+        match offset {
+            ctrl::DONE_COUNT => self.done_count as u32,
+            ctrl::ISSUED => self.issued as u32,
+            other => panic!("read of unknown hub control register {other}"),
+        }
+    }
+}
+
+/// Shared handle to the hub state.
+pub type HubHandle = Rc<RefCell<HubState>>;
+
+/// A memory job in the hub's strictly ordered service queue.
+#[derive(Debug)]
+enum HubJob {
+    Write {
+        base: usize,
+        data: Vec<u64>,
+        done: usize,
+        arrived: u64,
+    },
+    Read {
+        base: usize,
+        len: usize,
+        reply_to: u16,
+        buf: Vec<u64>,
+        arrived: u64,
+    },
+    DoneMark,
+}
+
+/// The hub NoC component.
+pub struct Hub {
+    name: String,
+    node: u16,
+    state: HubHandle,
+    input: In<NocFlit>,
+    output: Out<NocFlit>,
+    assembler: PacketAssembler,
+    jobs: VecDeque<HubJob>,
+    outbox: VecDeque<NocFlit>,
+    fidelity: Fidelity,
+    rtl_cost: RtlCost,
+    rtl_gates: u64,
+    cycle: u64,
+}
+
+impl Hub {
+    /// Builds the hub at mesh node `node`.
+    pub fn new(
+        node: u16,
+        input: In<NocFlit>,
+        output: Out<NocFlit>,
+        state: HubHandle,
+        fidelity: Fidelity,
+    ) -> Self {
+        Hub {
+            name: format!("hub{node}"),
+            node,
+            state,
+            input,
+            output,
+            assembler: PacketAssembler::new(),
+            jobs: VecDeque::new(),
+            outbox: VecDeque::new(),
+            fidelity,
+            rtl_cost: RtlCost::new(),
+            rtl_gates: 40_000,
+            cycle: 0,
+        }
+    }
+}
+
+impl Component for Hub {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        self.cycle = ctx.cycle();
+        if self.fidelity == Fidelity::Rtl {
+            self.rtl_cost.step(self.rtl_gates);
+        }
+        // Ingest one flit per cycle.
+        if let Some(flit) = self.input.pop_nb() {
+            self.state.borrow_mut().noc_flits += 1;
+            if let Some((msg, src)) = self.assembler.push(flit) {
+                match msg {
+                    NocMsg::MemWrite { base, data } => self.jobs.push_back(HubJob::Write {
+                        base: base as usize,
+                        data,
+                        done: 0,
+                        arrived: self.cycle,
+                    }),
+                    NocMsg::MemRead {
+                        base,
+                        len,
+                        reply_to,
+                    } => self.jobs.push_back(HubJob::Read {
+                        base: base as usize,
+                        len: len as usize,
+                        reply_to,
+                        buf: Vec::with_capacity(len as usize),
+                        arrived: self.cycle,
+                    }),
+                    NocMsg::Done { pe: _ } => self.jobs.push_back(HubJob::DoneMark),
+                    other => panic!("hub cannot handle {other:?} from node {src}"),
+                }
+            }
+        }
+
+        // Service the head job at GMEM_PORTS words per cycle.
+        self.service_head();
+
+        // Packetize committed doorbell commands.
+        let pending: Vec<(u16, PeCommand)> = {
+            let mut st = self.state.borrow_mut();
+            st.doorbell.drain(..).collect()
+        };
+        for (pe, cmd) in pending {
+            for flit in NocMsg::PeCmd(cmd).to_packet(pe, self.node, 0) {
+                self.outbox.push_back(flit);
+            }
+        }
+
+        // One flit out per cycle.
+        if let Some(&flit) = self.outbox.front() {
+            if self.output.push_nb(flit).is_ok() {
+                self.outbox.pop_front();
+                self.state.borrow_mut().noc_flits += 1;
+            }
+        }
+    }
+}
+
+impl Hub {
+    fn service_head(&mut self) {
+        let Some(job) = self.jobs.front_mut() else {
+            return;
+        };
+        match job {
+            HubJob::Write {
+                base,
+                data,
+                done,
+                arrived,
+            } => {
+                let mut st = self.state.borrow_mut();
+                let n = GMEM_PORTS.min(data.len() - *done);
+                for i in 0..n {
+                    st.gmem.write(*base + *done + i, data[*done + i]);
+                }
+                st.gmem_ops += n as u64;
+                *done += n;
+                if *done == data.len() {
+                    let lat = self.cycle.saturating_sub(*arrived);
+                    st.service_latency.record(lat);
+                    drop(st);
+                    self.jobs.pop_front();
+                }
+            }
+            HubJob::Read {
+                base,
+                len,
+                reply_to,
+                buf,
+                arrived,
+            } => {
+                let start = buf.len();
+                let n = GMEM_PORTS.min(*len - start);
+                {
+                    let mut st = self.state.borrow_mut();
+                    for i in 0..n {
+                        let v = st.gmem.read(*base + start + i);
+                        buf.push(v);
+                    }
+                    st.gmem_ops += n as u64;
+                }
+                if buf.len() == *len {
+                    let reply = *reply_to;
+                    let base_v = *base;
+                    let data = std::mem::take(buf);
+                    let lat = self.cycle.saturating_sub(*arrived);
+                    self.state.borrow_mut().service_latency.record(lat);
+                    self.jobs.pop_front();
+                    for chunk_start in (0..data.len()).step_by(CHUNK) {
+                        let end = (chunk_start + CHUNK).min(data.len());
+                        let msg = NocMsg::MemData {
+                            base: (base_v + chunk_start) as u16,
+                            data: data[chunk_start..end].to_vec(),
+                        };
+                        for flit in msg.to_packet(reply, self.node, 0) {
+                            self.outbox.push_back(flit);
+                        }
+                    }
+                }
+            }
+            HubJob::DoneMark => {
+                self.state.borrow_mut().done_count += 1;
+                self.jobs.pop_front();
+            }
+        }
+    }
+}
+
+enum AxiWriteEngine {
+    Idle,
+    Data { cmd: AxiAddrCmd, beat: u64 },
+    Resp { id: u8, okay: bool },
+}
+
+enum AxiReadEngine {
+    Idle,
+    Data { cmd: AxiAddrCmd, beat: u64 },
+}
+
+/// AXI slave adapter exposing global memory (word `addr` maps to gmem
+/// word `addr`, carrying 32-bit values) and the control page at
+/// [`CTRL_PAGE`].
+pub struct HubAxiSlave {
+    name: String,
+    ports: AxiSlavePorts,
+    state: HubHandle,
+    wstate: AxiWriteEngine,
+    rstate: AxiReadEngine,
+}
+
+impl HubAxiSlave {
+    /// Builds the adapter over its AXI slave ports.
+    pub fn new(name: impl Into<String>, ports: AxiSlavePorts, state: HubHandle) -> Self {
+        HubAxiSlave {
+            name: name.into(),
+            ports,
+            state,
+            wstate: AxiWriteEngine::Idle,
+            rstate: AxiReadEngine::Idle,
+        }
+    }
+
+    fn write_word(&self, addr: u64, value: u32) -> bool {
+        let mut st = self.state.borrow_mut();
+        if addr >= CTRL_PAGE {
+            st.ctrl_write(addr - CTRL_PAGE, value);
+            true
+        } else if (addr as usize) < st.gmem.capacity() {
+            st.gmem.write(addr as usize, u64::from(value));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn read_word(&self, addr: u64) -> Option<u32> {
+        let st = self.state.borrow();
+        if addr >= CTRL_PAGE {
+            Some(st.ctrl_read(addr - CTRL_PAGE))
+        } else if (addr as usize) < st.gmem.capacity() {
+            Some(st.gmem.read(addr as usize) as u32)
+        } else {
+            None
+        }
+    }
+}
+
+impl Component for HubAxiSlave {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        let wstate = std::mem::replace(&mut self.wstate, AxiWriteEngine::Idle);
+        self.wstate = match wstate {
+            AxiWriteEngine::Idle => match self.ports.aw.pop_nb() {
+                Some(cmd) => AxiWriteEngine::Data { cmd, beat: 0 },
+                None => AxiWriteEngine::Idle,
+            },
+            AxiWriteEngine::Data { cmd, beat } => match self.ports.w.pop_nb() {
+                Some(wbeat) => {
+                    let addr = cmd.addr + beat;
+                    let okay_addr = self.write_word(addr, wbeat.data as u32);
+                    let expected_last = beat == u64::from(cmd.len);
+                    if wbeat.last || expected_last {
+                        AxiWriteEngine::Resp {
+                            id: cmd.id,
+                            okay: okay_addr && wbeat.last == expected_last,
+                        }
+                    } else {
+                        AxiWriteEngine::Data {
+                            cmd,
+                            beat: beat + 1,
+                        }
+                    }
+                }
+                None => AxiWriteEngine::Data { cmd, beat },
+            },
+            AxiWriteEngine::Resp { id, okay } => {
+                if self.ports.b.push_nb(AxiWriteResp { id, okay }).is_ok() {
+                    AxiWriteEngine::Idle
+                } else {
+                    AxiWriteEngine::Resp { id, okay }
+                }
+            }
+        };
+
+        let rstate = std::mem::replace(&mut self.rstate, AxiReadEngine::Idle);
+        self.rstate = match rstate {
+            AxiReadEngine::Idle => match self.ports.ar.pop_nb() {
+                Some(cmd) => AxiReadEngine::Data { cmd, beat: 0 },
+                None => AxiReadEngine::Idle,
+            },
+            AxiReadEngine::Data { cmd, beat } => {
+                let addr = cmd.addr + beat;
+                let last = beat == u64::from(cmd.len);
+                let value = self.read_word(addr);
+                let rbeat = AxiReadBeat {
+                    id: cmd.id,
+                    data: u64::from(value.unwrap_or(0)),
+                    last,
+                    okay: value.is_some(),
+                };
+                if self.ports.r.push_nb(rbeat).is_ok() {
+                    if last {
+                        AxiReadEngine::Idle
+                    } else {
+                        AxiReadEngine::Data {
+                            cmd,
+                            beat: beat + 1,
+                        }
+                    }
+                } else {
+                    AxiReadEngine::Data { cmd, beat }
+                }
+            }
+        };
+    }
+}

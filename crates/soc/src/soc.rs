@@ -1,0 +1,741 @@
+//! Top-level prototype-SoC assembly (Fig. 5): 15 PEs and a hub on a
+//! 4x4 wormhole-routed mesh, a RISC-V controller on a MatchLib AXI
+//! bus (staging memory + hub slave), and either fully synchronous or
+//! fine-grained GALS clocking with pausible bisynchronous FIFOs on
+//! every router-to-router link.
+
+use crate::controller::{Controller, CtrlHandle, CtrlStatus};
+use crate::hub::{Hub, HubAxiSlave, HubHandle, HubState, CTRL_PAGE};
+use crate::msg::{HUB_NODE, MESH_WIDTH, N_NODES};
+use crate::pe::{Fidelity, PeConfig, ProcessingElement};
+use craft_connections::{channel, ChannelKind, In, Out};
+use craft_gals::pausible_fifo;
+use craft_matchlib::axi::{axi_link, AddrRange, AxiBus, AxiMaster, AxiMasterHandle, AxiMemorySlave};
+use craft_matchlib::router::{port, xy_route, NocFlit, SfRouter, WhvcConfig, WhvcRouter};
+use craft_riscv::FlatMemory;
+use craft_sim::{ClockId, ClockSpec, Picoseconds, Simulator};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+/// AXI word-address base of the staging memory slave.
+pub const STAGING_AXI_BASE: u64 = 0;
+/// AXI word-address base of the hub slave (gmem + control page).
+pub const HUB_AXI_BASE: u64 = 0x0020_0000;
+
+/// CPU byte address of the staging memory window.
+pub const STAGING_CPU_BASE: u32 = crate::controller::AXI_WINDOW_BASE;
+/// CPU byte address of global memory through the hub slave.
+pub const GMEM_CPU_BASE: u32 = crate::controller::AXI_WINDOW_BASE + (HUB_AXI_BASE as u32) * 4;
+/// CPU byte address of the hub control page.
+pub const CTRL_CPU_BASE: u32 = GMEM_CPU_BASE + (CTRL_PAGE as u32) * 4;
+
+/// NoC router microarchitecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterKind {
+    /// Wormhole with virtual channels (the paper's WHVCRouter).
+    Wormhole,
+    /// Store-and-forward baseline (whole packet buffered per hop).
+    StoreForward,
+}
+
+/// Clocking scheme for the SoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockingMode {
+    /// One global clock; router links are plain buffered channels.
+    Synchronous,
+    /// Fine-grained GALS: each mesh node owns a local clock domain
+    /// (periods spread by up to `spread_ppm` parts-per-million around
+    /// nominal) and every router-to-router link crosses domains
+    /// through a pausible bisynchronous FIFO.
+    Gals {
+        /// Maximum deviation from the nominal period, in ppm.
+        spread_ppm: u32,
+    },
+    /// GALS with supply-noise-adaptive local clock generators on every
+    /// PE node (paper §3.1 cite [7]): each node's ring oscillator
+    /// stretches its period as its local supply droops. Timing varies
+    /// cycle to cycle; function is preserved by the LI design.
+    GalsAdaptive {
+        /// Supply-noise seed (deterministic per seed).
+        noise_seed: u64,
+    },
+}
+
+/// SoC build parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SocConfig {
+    /// Datapath/simulation fidelity (the Fig. 6 axis).
+    pub fidelity: Fidelity,
+    /// Clocking scheme.
+    pub clocking: ClockingMode,
+    /// Nominal clock period.
+    pub period: Picoseconds,
+    /// PE vector lanes.
+    pub lanes: usize,
+    /// Global memory words (must fit the 12-bit command fields).
+    pub gmem_words: usize,
+    /// Staging (controller table) memory words.
+    pub staging_words: usize,
+    /// Router link channel depth.
+    pub link_depth: usize,
+    /// NoC router microarchitecture.
+    pub router: RouterKind,
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig {
+            fidelity: Fidelity::SimAccurate,
+            clocking: ClockingMode::Synchronous,
+            period: Picoseconds::new(909), // 1.1 GHz signoff clock
+            lanes: 4,
+            gmem_words: 4096,
+            staging_words: 4096,
+            link_depth: 4,
+            router: RouterKind::Wormhole,
+        }
+    }
+}
+
+/// Result of one SoC run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Cycles elapsed on the hub clock until the controller halted.
+    pub cycles: u64,
+    /// Wall-clock simulation time.
+    pub wall: Duration,
+    /// Controller status snapshot.
+    pub ctrl: CtrlStatus,
+    /// Whether the controller actually halted (false = timeout).
+    pub completed: bool,
+}
+
+/// RTL-mode per-router signal-evaluation load (no architectural
+/// effect; wall-clock fidelity only).
+struct RouterActivity {
+    name: String,
+    cost: crate::bitrtl::RtlCost,
+    gates: u64,
+}
+
+impl craft_sim::Component for RouterActivity {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn tick(&mut self, _ctx: &mut craft_sim::TickCtx<'_>) {
+        self.cost.step(self.gates);
+    }
+}
+
+/// A built prototype SoC ready to run.
+pub struct Soc {
+    sim: Simulator,
+    hub_clock: ClockId,
+    hub: HubHandle,
+    ctrl: CtrlHandle,
+    pe_stats: Vec<Rc<RefCell<crate::pe::PeStats>>>,
+    coverage: craft_sim::cover::Coverage,
+}
+
+impl Soc {
+    /// Builds the SoC, loading `program` into controller RAM at 0,
+    /// `staging_init` into the staging memory and `gmem_init` regions
+    /// into global memory.
+    ///
+    /// # Panics
+    /// Panics if `cfg.gmem_words` exceeds the 12-bit command address
+    /// space or any init region is out of range.
+    pub fn build(
+        cfg: SocConfig,
+        program: &[u32],
+        staging_init: &[u32],
+        gmem_init: &[(usize, Vec<u64>)],
+    ) -> Soc {
+        assert!(
+            cfg.gmem_words <= 4096,
+            "gmem must fit 12-bit PeCommand fields"
+        );
+        let mut sim = Simulator::new();
+
+        // --- Clock domains ---
+        let hub_clock = sim.add_clock(ClockSpec::new("hub", cfg.period));
+        let node_clock: Vec<ClockId> = (0..N_NODES)
+            .map(|n| match cfg.clocking {
+                ClockingMode::Synchronous => hub_clock,
+                ClockingMode::Gals { spread_ppm } => {
+                    if n == HUB_NODE {
+                        hub_clock
+                    } else {
+                        // Deterministic spread: node n deviates by
+                        // ((n * 37) % (2*spread+1)) - spread ppm.
+                        let spread = i64::from(spread_ppm);
+                        let dev = (i64::from(n) * 37) % (2 * spread + 1) - spread;
+                        let ps = cfg.period.as_ps() as i64;
+                        let period = ps + ps * dev / 1_000_000;
+                        sim.add_clock(ClockSpec::new(
+                            format!("node{n}"),
+                            Picoseconds::new(period.max(1) as u64),
+                        ))
+                    }
+                }
+                ClockingMode::GalsAdaptive { .. } => {
+                    if n == HUB_NODE {
+                        hub_clock
+                    } else {
+                        sim.add_clock(ClockSpec::new(format!("node{n}"), cfg.period))
+                    }
+                }
+            })
+            .collect();
+        // Adaptive mode: one local clock generator per PE node, each
+        // tracking its own supply-noise waveform.
+        if let ClockingMode::GalsAdaptive { noise_seed } = cfg.clocking {
+            for n in 0..N_NODES {
+                if n == HUB_NODE {
+                    continue;
+                }
+                let noise = Rc::new(RefCell::new(craft_gals::SupplyNoise::typical(
+                    noise_seed ^ u64::from(n),
+                )));
+                sim.add_component(
+                    node_clock[n as usize],
+                    craft_gals::LocalClockGenerator::new(
+                        format!("clkgen{n}"),
+                        node_clock[n as usize],
+                        cfg.period,
+                        craft_gals::ClockStyle::Adaptive { residue: 0.2 },
+                        noise,
+                    ),
+                );
+            }
+        }
+
+        // --- Mesh link channels ---
+        // For each node and direction, the router's In/Out ports.
+        let mut rin: Vec<Vec<Option<In<NocFlit>>>> =
+            (0..N_NODES).map(|_| (0..port::COUNT).map(|_| None).collect()).collect();
+        let mut rout: Vec<Vec<Option<Out<NocFlit>>>> =
+            (0..N_NODES).map(|_| (0..port::COUNT).map(|_| None).collect()).collect();
+
+        let kind = ChannelKind::Buffer(cfg.link_depth);
+        // Directed link from node a (port pa) to node b (port pb).
+        let mut link = |sim: &mut Simulator, a: usize, pa: usize, b: usize, pb: usize| {
+            let same_domain = node_clock[a] == node_clock[b];
+            if same_domain {
+                let (tx, rx, h) = channel::<NocFlit>(format!("l{a}p{pa}->{b}"), kind);
+                sim.add_sequential(node_clock[a], h.sequential());
+                rout[a][pa] = Some(tx);
+                rin[b][pb] = Some(rx);
+            } else {
+                // GALS crossing: tx channel on a's domain, pausible
+                // FIFO, rx channel on b's domain.
+                let (tx, mid_rx, h1) = channel::<NocFlit>(format!("g{a}p{pa}.tx"), kind);
+                let (mid_tx, rx, h2) = channel::<NocFlit>(format!("g{a}p{pa}.rx"), kind);
+                sim.add_sequential(node_clock[a], h1.sequential());
+                sim.add_sequential(node_clock[b], h2.sequential());
+                let (ptx, prx, _state) = pausible_fifo(
+                    &format!("x{a}->{b}"),
+                    mid_rx,
+                    mid_tx,
+                    8,
+                    node_clock[b],
+                    Picoseconds::new(40),
+                );
+                sim.add_component(node_clock[a], ptx);
+                sim.add_component(node_clock[b], prx);
+                rout[a][pa] = Some(tx);
+                rin[b][pb] = Some(rx);
+            }
+        };
+
+        let w = MESH_WIDTH as usize;
+        for n in 0..N_NODES as usize {
+            let (x, y) = (n % w, n / w);
+            if x + 1 < w {
+                link(&mut sim, n, port::EAST, n + 1, port::WEST);
+                link(&mut sim, n + 1, port::WEST, n, port::EAST);
+            }
+            if y + 1 < w {
+                link(&mut sim, n, port::SOUTH, n + w, port::NORTH);
+                link(&mut sim, n + w, port::NORTH, n, port::SOUTH);
+            }
+        }
+
+        // Local ports: node <-> its endpoint (PE or hub).
+        let mut ep_in: Vec<Option<In<NocFlit>>> = (0..N_NODES).map(|_| None).collect();
+        let mut ep_out: Vec<Option<Out<NocFlit>>> = (0..N_NODES).map(|_| None).collect();
+        for n in 0..N_NODES as usize {
+            let (tx, rx, h) = channel::<NocFlit>(format!("n{n}.eject"), kind);
+            sim.add_sequential(node_clock[n], h.sequential());
+            rout[n][port::LOCAL] = Some(tx);
+            ep_in[n] = Some(rx);
+            let (tx2, rx2, h2) = channel::<NocFlit>(format!("n{n}.inject"), kind);
+            sim.add_sequential(node_clock[n], h2.sequential());
+            ep_out[n] = Some(tx2);
+            rin[n][port::LOCAL] = Some(rx2);
+        }
+
+        // Fill boundary ports with stub channels so routers are square.
+        for n in 0..N_NODES as usize {
+            for p in 0..port::COUNT {
+                if rin[n][p].is_none() {
+                    let (_tx, rx, h) = channel::<NocFlit>(format!("stub_in{n}p{p}"), kind);
+                    sim.add_sequential(node_clock[n], h.sequential());
+                    rin[n][p] = Some(rx);
+                }
+                if rout[n][p].is_none() {
+                    let (tx, _rx, h) = channel::<NocFlit>(format!("stub_out{n}p{p}"), kind);
+                    sim.add_sequential(node_clock[n], h.sequential());
+                    rout[n][p] = Some(tx);
+                }
+            }
+        }
+
+        // --- Routers ---
+        // In RTL mode every router's signal set is re-evaluated each
+        // cycle, like generated RTL in a cycle-driven simulator.
+        if cfg.fidelity == Fidelity::Rtl {
+            for n in 0..N_NODES {
+                sim.add_component(
+                    node_clock[n as usize],
+                    RouterActivity {
+                        name: format!("r{n}.rtl"),
+                        cost: crate::bitrtl::RtlCost::new(),
+                        gates: 4_000,
+                    },
+                );
+            }
+        }
+        for n in 0..N_NODES {
+            let ins: Vec<In<NocFlit>> = rin[n as usize]
+                .iter_mut()
+                .map(|o| o.take().expect("port wired"))
+                .collect();
+            let outs: Vec<Out<NocFlit>> = rout[n as usize]
+                .iter_mut()
+                .map(|o| o.take().expect("port wired"))
+                .collect();
+            match cfg.router {
+                RouterKind::Wormhole => {
+                    let router = WhvcRouter::new(
+                        format!("r{n}"),
+                        ins,
+                        outs,
+                        WhvcConfig {
+                            vcs: 2,
+                            buffer_depth: 4,
+                        },
+                        move |dst| xy_route(n, dst, MESH_WIDTH),
+                    );
+                    sim.add_component(node_clock[n as usize], router);
+                }
+                RouterKind::StoreForward => {
+                    let router = SfRouter::new(
+                        format!("r{n}"),
+                        ins,
+                        outs,
+                        4,
+                        move |dst| xy_route(n, dst, MESH_WIDTH),
+                    );
+                    sim.add_component(node_clock[n as usize], router);
+                }
+            }
+        }
+
+        // --- PEs ---
+        let coverage = craft_sim::cover::Coverage::new();
+        for op in ["VecAdd", "VecMul", "Dot", "Reduce", "Scale", "Conv1d", "ArgMinDist"] {
+            coverage.declare(format!("pe.op.{op}"));
+        }
+        let mut pe_stats = Vec::new();
+        for n in 0..N_NODES {
+            if n == HUB_NODE {
+                continue;
+            }
+            let pe_cfg = PeConfig {
+                lanes: cfg.lanes,
+                fidelity: cfg.fidelity,
+                ..PeConfig::default()
+            };
+            let mut pe = ProcessingElement::new(
+                n,
+                ep_in[n as usize].take().expect("pe port"),
+                ep_out[n as usize].take().expect("pe port"),
+                pe_cfg,
+            );
+            pe.set_coverage(coverage.clone());
+            pe_stats.push(pe.stats_handle());
+            sim.add_component(node_clock[n as usize], pe);
+        }
+
+        // --- Hub ---
+        let hub_state: HubHandle = Rc::new(RefCell::new(HubState::new(cfg.gmem_words)));
+        for (base, data) in gmem_init {
+            let mut st = hub_state.borrow_mut();
+            for (i, &v) in data.iter().enumerate() {
+                st.gmem.write(base + i, v);
+            }
+        }
+        let hub = Hub::new(
+            HUB_NODE,
+            ep_in[HUB_NODE as usize].take().expect("hub port"),
+            ep_out[HUB_NODE as usize].take().expect("hub port"),
+            Rc::clone(&hub_state),
+            cfg.fidelity,
+        );
+        sim.add_component(hub_clock, hub);
+
+        // --- AXI: controller -> bus -> {staging, hub} ---
+        let (m_ports, bus_up, seqs) = axi_link("ctl", 2);
+        let (dn_staging, staging_slave_ports, seqs2) = axi_link("bus2stg", 2);
+        let (dn_hub, hub_slave_ports, seqs3) = axi_link("bus2hub", 2);
+        for s in seqs.into_iter().chain(seqs2).chain(seqs3) {
+            sim.add_sequential(hub_clock, s);
+        }
+        let axi_handle = AxiMasterHandle::new();
+        sim.add_component(
+            hub_clock,
+            AxiMaster::new("ctl.axim", m_ports, axi_handle.clone()),
+        );
+        sim.add_component(
+            hub_clock,
+            AxiBus::new(
+                "bus",
+                bus_up,
+                vec![
+                    (
+                        AddrRange {
+                            base: STAGING_AXI_BASE,
+                            words: cfg.staging_words as u64,
+                        },
+                        dn_staging,
+                    ),
+                    (
+                        AddrRange {
+                            base: HUB_AXI_BASE,
+                            words: CTRL_PAGE + 16,
+                        },
+                        dn_hub,
+                    ),
+                ],
+            ),
+        );
+        let mut staging = AxiMemorySlave::new("staging", staging_slave_ports, cfg.staging_words);
+        staging.debug_load(
+            0,
+            &staging_init.iter().map(|&w| u64::from(w)).collect::<Vec<_>>(),
+        );
+        sim.add_component(hub_clock, staging);
+        sim.add_component(
+            hub_clock,
+            HubAxiSlave::new("hub.axis", hub_slave_ports, Rc::clone(&hub_state)),
+        );
+
+        // --- Controller ---
+        let mut ram = FlatMemory::new(1 << 20);
+        ram.load_words(0, program);
+        let ctrl: CtrlHandle = Rc::new(RefCell::new(CtrlStatus::default()));
+        sim.add_component(
+            hub_clock,
+            Controller::new("riscv", ram, axi_handle, Rc::clone(&ctrl)),
+        );
+
+        Soc {
+            sim,
+            hub_clock,
+            hub: hub_state,
+            ctrl,
+            pe_stats,
+            coverage,
+        }
+    }
+
+    /// The functional-coverage map collected during the run (PE op
+    /// bins are pre-declared; see [`craft_sim::cover::Coverage`]).
+    pub fn coverage(&self) -> &craft_sim::cover::Coverage {
+        &self.coverage
+    }
+
+    /// Runs until the controller halts or `max_cycles` hub cycles.
+    pub fn run(&mut self, max_cycles: u64) -> RunResult {
+        let t0 = Instant::now();
+        let start = self.sim.cycles(self.hub_clock);
+        let ctrl = Rc::clone(&self.ctrl);
+        let completed = self
+            .sim
+            .run_until(self.hub_clock, max_cycles, move || ctrl.borrow().halted);
+        RunResult {
+            cycles: self.sim.cycles(self.hub_clock) - start,
+            wall: t0.elapsed(),
+            ctrl: *self.ctrl.borrow(),
+            completed,
+        }
+    }
+
+    /// Backdoor read of global memory (harness verification).
+    pub fn gmem_read(&self, base: usize, len: usize) -> Vec<u64> {
+        let st = self.hub.borrow();
+        (0..len).map(|i| st.gmem.read(base + i)).collect()
+    }
+
+    /// Hub status: (issued, done) command counters.
+    pub fn hub_counters(&self) -> (u64, u64) {
+        let st = self.hub.borrow();
+        (st.issued, st.done_count)
+    }
+
+    /// Sum of PE work units executed (datapath utilization probe).
+    pub fn total_work_units(&self) -> u64 {
+        self.pe_stats.iter().map(|s| s.borrow().work_units).sum()
+    }
+
+    /// Workload energy estimate in nJ (the system-level power-analysis
+    /// output of Fig. 1): PE datapath MACs + global-memory accesses +
+    /// NoC flit transport (hub-observed flits x mean 3-hop XY route).
+    pub fn energy_estimate_nj(&self, lib: &craft_tech::TechLibrary) -> f64 {
+        let st = self.hub.borrow();
+        let mac = craft_tech::mac_energy_fj(lib, 32) * self.total_work_units() as f64;
+        let gmem_macro = craft_tech::SramMacro::new(4096, 64);
+        let gmem = gmem_macro.access_energy_fj() * st.gmem_ops as f64;
+        let noc = craft_tech::noc_hop_energy_fj(lib, 450.0) * st.noc_flits as f64 * 3.0;
+        (mac + gmem + noc) / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{orchestrator_program, run_workload, table_words, vec_mul};
+    use craft_riscv::asm::{self as rv, A0, A1, T0};
+
+    #[test]
+    fn gals_mode_produces_correct_results() {
+        let cfg = SocConfig {
+            clocking: ClockingMode::Gals { spread_ppm: 2000 },
+            ..SocConfig::default()
+        };
+        let (result, ok) = run_workload(cfg, &vec_mul(), 4_000_000);
+        assert!(result.completed, "GALS run did not halt");
+        assert!(ok, "GALS results mismatch");
+    }
+
+    #[test]
+    fn gals_and_synchronous_agree_functionally() {
+        let wl = crate::workloads::dot_product();
+        let (sync_r, ok1) = run_workload(SocConfig::default(), &wl, 4_000_000);
+        let cfg = SocConfig {
+            clocking: ClockingMode::Gals { spread_ppm: 5000 },
+            ..SocConfig::default()
+        };
+        let (gals_r, ok2) = run_workload(cfg, &wl, 4_000_000);
+        assert!(ok1 && ok2);
+        // GALS adds crossing latency; cycle counts differ but stay in
+        // the same ballpark (latency-insensitive design guarantee).
+        let ratio = gals_r.cycles as f64 / sync_r.cycles as f64;
+        assert!(
+            (1.0..2.0).contains(&ratio),
+            "GALS/sync cycle ratio {ratio:.2} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn controller_reads_and_writes_gmem_over_axi() {
+        // Program: read gmem[7] via AXI, add 1, write to gmem[9], halt.
+        let mut a = rv::Assembler::new();
+        a.emit_all(rv::li(T0, GMEM_CPU_BASE as i32));
+        a.emit(rv::lw(A0, T0, 7 * 4));
+        a.emit(rv::addi(A1, A0, 1));
+        a.emit(rv::sw(A1, T0, 9 * 4));
+        a.emit(rv::ecall());
+        let program = a.finish();
+        let mut soc = Soc::build(
+            SocConfig::default(),
+            &program,
+            &[],
+            &[(7, vec![41])],
+        );
+        let r = soc.run(100_000);
+        assert!(r.completed);
+        assert_eq!(soc.gmem_read(9, 1), vec![42]);
+        assert!(r.ctrl.axi_ops >= 2, "AXI must carry the traffic");
+        assert!(r.ctrl.axi_stall_cycles > 0, "AXI latency must be visible");
+    }
+
+    #[test]
+    fn doorbell_drives_a_single_pe() {
+        use crate::msg::{PeCommand, PeOp};
+        use crate::workloads::TableEntry;
+        let entries = vec![
+            TableEntry::Cmd {
+                pe: 5,
+                cmd: PeCommand {
+                    op: PeOp::Scale,
+                    a: 0,
+                    b: 0,
+                    out: 100,
+                    len: 8,
+                    scalar: 3,
+                },
+            },
+            TableEntry::Barrier,
+        ];
+        let gmem_init = vec![(0usize, (1..=8u64).collect::<Vec<_>>())];
+        let mut soc = Soc::build(
+            SocConfig::default(),
+            &orchestrator_program(),
+            &table_words(&entries),
+            &gmem_init,
+        );
+        let r = soc.run(1_000_000);
+        assert!(r.completed);
+        let expect: Vec<u64> = (1..=8).map(|v| v * 3).collect();
+        assert_eq!(soc.gmem_read(100, 8), expect);
+        assert_eq!(soc.hub_counters(), (1, 1));
+        assert!(soc.total_work_units() >= 8);
+    }
+
+    #[test]
+    fn energy_estimate_scales_with_work() {
+        use crate::workloads::{conv1d, kmeans_assign, run_workload_soc};
+        let lib = craft_tech::TechLibrary::n16();
+        let (_, ok1, soc_small) =
+            run_workload_soc(SocConfig::default(), &kmeans_assign(), 4_000_000);
+        let (_, ok2, soc_big) = run_workload_soc(SocConfig::default(), &conv1d(), 4_000_000);
+        assert!(ok1 && ok2);
+        let e_small = soc_small.energy_estimate_nj(&lib);
+        let e_big = soc_big.energy_estimate_nj(&lib);
+        assert!(e_small > 0.0);
+        // conv1d does 256*5 MACs vs kmeans' 128*4 distance ops, and
+        // moves more data through gmem and the NoC.
+        assert!(e_big > e_small, "{e_big} vs {e_small}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let wl = vec_mul();
+        let (a, _) = run_workload(SocConfig::default(), &wl, 4_000_000);
+        let (b, _) = run_workload(SocConfig::default(), &wl, 4_000_000);
+        assert_eq!(a.cycles, b.cycles, "simulation must be deterministic");
+        assert_eq!(a.ctrl.instret, b.ctrl.instret);
+    }
+}
+
+#[cfg(test)]
+mod coverage_tests {
+    use super::*;
+    use crate::workloads::{run_workload_soc, six_soc_tests, vec_add_scale};
+
+    /// The six Fig. 6 tests plus the VecAdd/Scale chain cover every PE
+    /// operation — the §4 "coverage holes" check for this testbench.
+    #[test]
+    fn workload_suite_covers_all_pe_ops() {
+        let coverage = craft_sim::cover::Coverage::new();
+        let mut all = six_soc_tests();
+        all.push(vec_add_scale());
+        for wl in all {
+            let (_, ok, soc) = run_workload_soc(SocConfig::default(), &wl, 8_000_000);
+            assert!(ok, "{} failed", wl.name);
+            // Merge this run's hits into the campaign map.
+            for hole in ["VecAdd", "VecMul", "Dot", "Reduce", "Scale", "Conv1d", "ArgMinDist"] {
+                let bin = format!("pe.op.{hole}");
+                coverage.declare(bin.clone());
+                for _ in 0..soc.coverage().count(&bin) {
+                    coverage.hit(bin.clone());
+                }
+            }
+        }
+        assert!(
+            coverage.holes().is_empty(),
+            "coverage holes: {:?}\n{}",
+            coverage.holes(),
+            coverage.report()
+        );
+        assert_eq!(coverage.percent(), 100.0);
+    }
+
+    /// A single workload leaves holes — which the report identifies.
+    #[test]
+    fn single_workload_has_holes() {
+        let (_, ok, soc) = run_workload_soc(SocConfig::default(), &crate::workloads::vec_mul(), 8_000_000);
+        assert!(ok);
+        let holes = soc.coverage().holes();
+        assert!(holes.contains(&"pe.op.Dot".to_string()), "{holes:?}");
+        assert!(!holes.contains(&"pe.op.VecMul".to_string()));
+    }
+
+    /// Hub service-latency histogram is populated and bounded.
+    #[test]
+    fn hub_latency_histogram_populated() {
+        let (_, ok, soc) = run_workload_soc(SocConfig::default(), &crate::workloads::vec_mul(), 8_000_000);
+        assert!(ok);
+        let st = soc.hub.borrow();
+        let total = st.service_latency.total();
+        // 4 commands x (2 reads + 4 write chunks) = at least 20 jobs.
+        assert!(total >= 20, "only {total} jobs recorded");
+        assert_eq!(st.service_latency.overflow(), 0, "no job should take >256 cycles");
+    }
+}
+
+#[cfg(test)]
+mod router_kind_tests {
+    use super::*;
+    use crate::workloads::{run_workload, vec_mul};
+
+    /// Both router microarchitectures compute the same results; the
+    /// wormhole router is faster because it cuts through instead of
+    /// buffering whole packets per hop (the DESIGN.md §5.5 ablation at
+    /// system level).
+    #[test]
+    fn wormhole_beats_store_forward_at_system_level() {
+        let wl = vec_mul();
+        let (wh, ok1) = run_workload(SocConfig::default(), &wl, 8_000_000);
+        let sf_cfg = SocConfig {
+            router: RouterKind::StoreForward,
+            ..SocConfig::default()
+        };
+        let (sf, ok2) = run_workload(sf_cfg, &wl, 8_000_000);
+        assert!(ok1 && ok2, "both router kinds must verify");
+        assert!(
+            sf.cycles > wh.cycles,
+            "store-and-forward must be slower: {} vs {}",
+            sf.cycles,
+            wh.cycles
+        );
+    }
+}
+
+#[cfg(test)]
+mod adaptive_gals_tests {
+    use super::*;
+    use crate::workloads::{run_workload, vec_mul};
+
+    /// Adaptive per-node clocks under supply noise stretch and drift,
+    /// yet the LI design + pausible crossings keep results exact.
+    #[test]
+    fn adaptive_clocks_preserve_function() {
+        for seed in [1u64, 99] {
+            let cfg = SocConfig {
+                clocking: ClockingMode::GalsAdaptive { noise_seed: seed },
+                ..SocConfig::default()
+            };
+            let (r, ok) = run_workload(cfg, &vec_mul(), 8_000_000);
+            assert!(r.completed && ok, "seed {seed} failed");
+        }
+    }
+
+    /// Noisy adaptive clocks run slower in wall-time terms (stretched
+    /// periods) than the synchronous baseline, measured on hub cycles
+    /// elapsed — the run takes more hub cycles because PE domains lag.
+    #[test]
+    fn adaptive_run_is_deterministic_per_seed() {
+        let cfg = SocConfig {
+            clocking: ClockingMode::GalsAdaptive { noise_seed: 7 },
+            ..SocConfig::default()
+        };
+        let (a, ok1) = run_workload(cfg, &vec_mul(), 8_000_000);
+        let (b, ok2) = run_workload(cfg, &vec_mul(), 8_000_000);
+        assert!(ok1 && ok2);
+        assert_eq!(a.cycles, b.cycles, "seeded noise must be reproducible");
+    }
+}

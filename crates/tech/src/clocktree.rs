@@ -1,0 +1,125 @@
+//! Global clock-tree cost model — the synchronous baseline that
+//! fine-grained GALS eliminates (§3.1).
+//!
+//! A balanced H-tree-ish distribution: fanout-4 buffer levels down to
+//! the flop sinks, wire RC per level proportional to the span, and a
+//! skew margin that grows with insertion delay through on-chip
+//! variation (OCV). The skew margin is the quantity GALS removes from
+//! inter-partition timing.
+
+use crate::cells::{CellKind, TechLibrary};
+
+/// Result of "synthesizing" a clock tree over a region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockTreeReport {
+    /// Buffer levels (fanout 4).
+    pub levels: u32,
+    /// Total clock buffers inserted.
+    pub buffers: u64,
+    /// Source-to-sink insertion delay in ps.
+    pub insertion_delay_ps: f64,
+    /// Worst-case sink-to-sink skew in ps (OCV margin).
+    pub skew_ps: f64,
+    /// Buffer area in µm².
+    pub area_um2: f64,
+    /// Clock-network switching energy per cycle in fJ.
+    pub energy_per_cycle_fj: f64,
+}
+
+/// Fraction of a path's delay assumed lost to on-chip variation across
+/// corners. 16nm signoff flows commonly derate 8–15%.
+pub const OCV_FRACTION: f64 = 0.12;
+
+/// Models clock distribution to `sinks` flops spread over a square
+/// region of `span_um` on a side.
+///
+/// # Panics
+/// Panics if `sinks` is zero or `span_um` is not positive.
+///
+/// ```
+/// use craft_tech::{clock_tree, TechLibrary};
+/// let lib = TechLibrary::n16();
+/// let chip = clock_tree(&lib, 2_000_000, 3000.0); // SoC-scale
+/// let part = clock_tree(&lib, 60_000, 450.0);      // partition-scale
+/// assert!(chip.skew_ps > 4.0 * part.skew_ps);
+/// ```
+pub fn clock_tree(lib: &TechLibrary, sinks: u64, span_um: f64) -> ClockTreeReport {
+    assert!(sinks > 0, "clock tree needs at least one sink");
+    assert!(span_um > 0.0, "span must be positive");
+    let buf = lib.cell(CellKind::ClkBuf);
+
+    // Fanout-4 levels to reach all sinks (each leaf buffer drives ~16
+    // flops locally).
+    let leaf_groups = sinks.div_ceil(16);
+    let mut levels = 1u32;
+    while 4u64.saturating_pow(levels) < leaf_groups {
+        levels += 1;
+    }
+    let buffers: u64 = (0..=levels).map(|l| 4u64.saturating_pow(l)).sum();
+
+    // Per-level wire: the tree halves the remaining span each level.
+    let mut wire_delay = 0.0;
+    let mut remaining = span_um;
+    for _ in 0..=levels {
+        let seg = remaining / 2.0;
+        // Elmore-ish RC for a buffered segment.
+        wire_delay +=
+            0.5 * lib.wire_res_ohm_per_um * seg * lib.wire_cap_ff_per_um * seg / 1000.0;
+        remaining = seg;
+    }
+    let insertion = f64::from(levels + 1) * buf.delay_ps + wire_delay;
+    let skew = OCV_FRACTION * insertion + 0.002 * span_um;
+
+    ClockTreeReport {
+        levels,
+        buffers,
+        insertion_delay_ps: insertion,
+        skew_ps: skew,
+        area_um2: buffers as f64 * buf.area_um2,
+        energy_per_cycle_fj: buffers as f64 * buf.energy_fj
+            + span_um * lib.wire_cap_ff_per_um * 0.9, // V²·C scaling folded in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_regions_cost_more_skew() {
+        let lib = TechLibrary::n16();
+        let small = clock_tree(&lib, 50_000, 400.0);
+        let large = clock_tree(&lib, 2_000_000, 4000.0);
+        assert!(large.skew_ps > small.skew_ps * 3.0);
+        assert!(large.insertion_delay_ps > small.insertion_delay_ps);
+        assert!(large.buffers > small.buffers);
+    }
+
+    #[test]
+    fn levels_cover_all_sinks() {
+        let lib = TechLibrary::n16();
+        for sinks in [1u64, 17, 1_000, 100_000, 5_000_000] {
+            let r = clock_tree(&lib, sinks, 1000.0);
+            assert!(
+                4u64.saturating_pow(r.levels) * 16 >= sinks,
+                "{sinks} sinks uncovered at {} levels",
+                r.levels
+            );
+        }
+    }
+
+    #[test]
+    fn skew_is_fraction_of_insertion_plus_span() {
+        let lib = TechLibrary::n16();
+        let r = clock_tree(&lib, 100_000, 1000.0);
+        assert!(r.skew_ps > OCV_FRACTION * r.insertion_delay_ps * 0.99);
+        assert!(r.skew_ps < r.insertion_delay_ps, "skew below insertion");
+    }
+
+    #[test]
+    #[should_panic(expected = "clock tree needs at least one sink")]
+    fn zero_sinks_panics() {
+        let lib = TechLibrary::n16();
+        let _ = clock_tree(&lib, 0, 100.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # craft-tech — synthetic 16nm-class technology library
+//!
+//! The paper's flow signs off in TSMC 16nm FinFET with commercial
+//! synthesis (Table 3). This crate is the reproduction's stand-in for
+//! that back end: a self-consistent synthetic cell library
+//! ([`TechLibrary::n16`]), gate-level cost accounting ([`Netlist`],
+//! NAND2-equivalents for the §4 productivity metric), datapath
+//! operator models ([`ops`]) used by `craft-hls` binding, SRAM macro
+//! models ([`SramMacro`]) and the global clock-tree baseline
+//! ([`clock_tree`]) that fine-grained GALS eliminates.
+//!
+//! All downstream results are *relative* (area ratios, overhead
+//! percentages), so a synthetic but internally consistent library
+//! preserves the paper's conclusions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cells;
+mod clocktree;
+mod netlist;
+pub mod ops;
+pub mod power;
+mod sram;
+
+pub use cells::{CellKind, CellSpec, TechLibrary};
+pub use clocktree::{clock_tree, ClockTreeReport, OCV_FRACTION};
+pub use netlist::Netlist;
+pub use power::{mac_energy_fj, netlist_power, noc_hop_energy_fj, sram_power, PowerReport};
+pub use sram::SramMacro;

@@ -1,0 +1,210 @@
+//! Gate-level netlist accounting: cell counts plus derived area,
+//! leakage, energy and NAND2-equivalent metrics. This is the "logic
+//! synthesis area estimate" stage of Fig. 1.
+
+use crate::cells::{CellKind, TechLibrary};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// A bag of standard cells (the cost-model view of a synthesized
+/// module).
+///
+/// ```
+/// use craft_tech::{CellKind, Netlist, TechLibrary};
+/// let lib = TechLibrary::n16();
+/// let mut n = Netlist::new();
+/// n.add_cells(CellKind::Nand2, 100);
+/// n.add_cells(CellKind::Dff, 32);
+/// assert!(n.area_um2(&lib) > 0.0);
+/// assert!(n.nand2_equiv(&lib) > 100.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Netlist {
+    counts: BTreeMap<CellKind, u64>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` cells of `kind`.
+    pub fn add_cells(&mut self, kind: CellKind, n: u64) {
+        if n > 0 {
+            *self.counts.entry(kind).or_insert(0) += n;
+        }
+    }
+
+    /// Count of `kind` cells.
+    pub fn count(&self, kind: CellKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Total cell instances.
+    pub fn total_cells(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Merges another netlist into this one.
+    pub fn merge(&mut self, other: &Netlist) {
+        for (&k, &n) in &other.counts {
+            self.add_cells(k, n);
+        }
+    }
+
+    /// Returns this netlist replicated `n` times.
+    pub fn replicated(&self, n: u64) -> Netlist {
+        let mut out = Netlist::new();
+        for (&k, &c) in &self.counts {
+            out.add_cells(k, c * n);
+        }
+        out
+    }
+
+    /// Placed standard-cell area in µm² under `lib` (excludes SRAM
+    /// macros — see [`crate::SramMacro`]).
+    pub fn area_um2(&self, lib: &TechLibrary) -> f64 {
+        self.counts
+            .iter()
+            .map(|(&k, &n)| lib.cell(k).area_um2 * n as f64)
+            .sum()
+    }
+
+    /// Total leakage power in nW.
+    pub fn leakage_nw(&self, lib: &TechLibrary) -> f64 {
+        self.counts
+            .iter()
+            .map(|(&k, &n)| lib.cell(k).leakage_nw * n as f64)
+            .sum()
+    }
+
+    /// Dynamic energy per cycle in fJ assuming activity factor
+    /// `alpha` (fraction of cells toggling per cycle).
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= alpha <= 1.0`.
+    pub fn dynamic_energy_fj(&self, lib: &TechLibrary, alpha: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&alpha), "activity must be in [0,1]");
+        alpha
+            * self
+                .counts
+                .iter()
+                .map(|(&k, &n)| lib.cell(k).energy_fj * n as f64)
+                .sum::<f64>()
+    }
+
+    /// Area expressed in NAND2-equivalent gates (the paper's §4
+    /// productivity unit).
+    pub fn nand2_equiv(&self, lib: &TechLibrary) -> f64 {
+        self.area_um2(lib) / lib.nand2_area()
+    }
+
+    /// Iterates `(kind, count)` pairs in stable order.
+    pub fn iter(&self) -> impl Iterator<Item = (CellKind, u64)> + '_ {
+        self.counts.iter().map(|(&k, &n)| (k, n))
+    }
+}
+
+impl Add for Netlist {
+    type Output = Netlist;
+    fn add(mut self, rhs: Netlist) -> Netlist {
+        self.merge(&rhs);
+        self
+    }
+}
+
+impl AddAssign for Netlist {
+    fn add_assign(&mut self, rhs: Netlist) {
+        self.merge(&rhs);
+    }
+}
+
+impl FromIterator<(CellKind, u64)> for Netlist {
+    fn from_iter<I: IntoIterator<Item = (CellKind, u64)>>(iter: I) -> Self {
+        let mut n = Netlist::new();
+        for (k, c) in iter {
+            n.add_cells(k, c);
+        }
+        n
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, n) in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{k}x{n}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counting_and_merge() {
+        let mut a = Netlist::new();
+        a.add_cells(CellKind::Inv, 10);
+        a.add_cells(CellKind::Inv, 5);
+        let mut b = Netlist::new();
+        b.add_cells(CellKind::Inv, 1);
+        b.add_cells(CellKind::Dff, 2);
+        a.merge(&b);
+        assert_eq!(a.count(CellKind::Inv), 16);
+        assert_eq!(a.count(CellKind::Dff), 2);
+        assert_eq!(a.total_cells(), 18);
+    }
+
+    #[test]
+    fn replication_scales_linearly() {
+        let lib = TechLibrary::n16();
+        let mut unit = Netlist::new();
+        unit.add_cells(CellKind::Nand2, 7);
+        unit.add_cells(CellKind::Dff, 3);
+        let x4 = unit.replicated(4);
+        assert!((x4.area_um2(&lib) - 4.0 * unit.area_um2(&lib)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_add_is_noop() {
+        let mut n = Netlist::new();
+        n.add_cells(CellKind::Inv, 0);
+        assert_eq!(n.total_cells(), 0);
+        assert_eq!(format!("{n}"), "(empty)");
+    }
+
+    #[test]
+    #[should_panic(expected = "activity must be in [0,1]")]
+    fn bad_activity_panics() {
+        let lib = TechLibrary::n16();
+        let _ = Netlist::new().dynamic_energy_fj(&lib, 1.5);
+    }
+
+    proptest! {
+        /// Area is additive over merge for any pair of netlists.
+        #[test]
+        fn area_additive(
+            a in proptest::collection::vec(0u64..50, CellKind::ALL.len()),
+            b in proptest::collection::vec(0u64..50, CellKind::ALL.len()),
+        ) {
+            let lib = TechLibrary::n16();
+            let na: Netlist = CellKind::ALL.iter().copied().zip(a.iter().copied()).collect();
+            let nb: Netlist = CellKind::ALL.iter().copied().zip(b.iter().copied()).collect();
+            let merged = na.clone() + nb.clone();
+            let diff = (merged.area_um2(&lib) - na.area_um2(&lib) - nb.area_um2(&lib)).abs();
+            prop_assert!(diff < 1e-9);
+        }
+    }
+}

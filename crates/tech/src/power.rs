@@ -1,0 +1,192 @@
+//! Power analysis (the "Power Analysis" output of Fig. 1): dynamic +
+//! leakage power for netlists and SRAM macros under an activity
+//! assumption, and energy-per-operation helpers for system-level
+//! accounting.
+
+use crate::cells::TechLibrary;
+use crate::netlist::Netlist;
+use crate::sram::SramMacro;
+use std::fmt;
+
+/// A power rollup in milliwatts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PowerReport {
+    /// Switching power.
+    pub dynamic_mw: f64,
+    /// Subthreshold/gate leakage.
+    pub leakage_mw: f64,
+    /// Clock-network power (flop clock pins + distribution).
+    pub clock_mw: f64,
+}
+
+impl PowerReport {
+    /// Total power.
+    pub fn total_mw(&self) -> f64 {
+        self.dynamic_mw + self.leakage_mw + self.clock_mw
+    }
+
+    /// Component-wise sum.
+    pub fn merged(&self, other: &PowerReport) -> PowerReport {
+        PowerReport {
+            dynamic_mw: self.dynamic_mw + other.dynamic_mw,
+            leakage_mw: self.leakage_mw + other.leakage_mw,
+            clock_mw: self.clock_mw + other.clock_mw,
+        }
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3} mW (dyn {:.3}, leak {:.3}, clk {:.3})",
+            self.total_mw(),
+            self.dynamic_mw,
+            self.leakage_mw,
+            self.clock_mw
+        )
+    }
+}
+
+/// Power of a standard-cell netlist clocked at `freq_ghz` with datapath
+/// activity `alpha` (fraction of cells toggling per cycle). Flop clock
+/// pins toggle every cycle regardless of `alpha`.
+///
+/// # Panics
+/// Panics if `freq_ghz` is not positive or `alpha` outside [0, 1].
+pub fn netlist_power(
+    lib: &TechLibrary,
+    netlist: &Netlist,
+    freq_ghz: f64,
+    alpha: f64,
+) -> PowerReport {
+    assert!(freq_ghz > 0.0, "frequency must be positive");
+    assert!((0.0..=1.0).contains(&alpha), "activity must be in [0,1]");
+    // fJ * GHz = µW; /1000 -> mW.
+    let dynamic_mw = netlist.dynamic_energy_fj(lib, alpha) * freq_ghz / 1_000.0;
+    let leakage_mw = netlist.leakage_nw(lib) / 1_000_000.0;
+    let dff_clk_fj = 0.8; // clock-pin energy per flop toggle
+    let clock_mw =
+        netlist.count(crate::CellKind::Dff) as f64 * dff_clk_fj * freq_ghz / 1_000.0;
+    PowerReport {
+        dynamic_mw,
+        leakage_mw,
+        clock_mw,
+    }
+}
+
+/// Power of an SRAM macro performing `accesses_per_cycle` (0..=1)
+/// accesses at `freq_ghz`.
+///
+/// # Panics
+/// Panics if `freq_ghz` is not positive or `accesses_per_cycle` is
+/// outside [0, 1].
+pub fn sram_power(
+    macro_: &SramMacro,
+    freq_ghz: f64,
+    accesses_per_cycle: f64,
+) -> PowerReport {
+    assert!(freq_ghz > 0.0, "frequency must be positive");
+    assert!(
+        (0.0..=1.0).contains(&accesses_per_cycle),
+        "access rate must be in [0,1]"
+    );
+    let dynamic_mw = macro_.access_energy_fj() * accesses_per_cycle * freq_ghz / 1_000.0;
+    // Retention leakage ~ 2 pW/bit at 16nm-class.
+    let leakage_mw = macro_.bits() as f64 * 2e-6 / 1_000.0;
+    PowerReport {
+        dynamic_mw,
+        leakage_mw,
+        clock_mw: 0.0,
+    }
+}
+
+/// Energy of one `width`-bit multiply-accumulate in fJ (system-level
+/// accounting for the SoC workloads).
+pub fn mac_energy_fj(lib: &TechLibrary, width: u32) -> f64 {
+    let n = crate::ops::multiplier(width) + crate::ops::adder(width);
+    // One full evaluation toggles roughly half the cells.
+    n.dynamic_energy_fj(lib, 0.5)
+}
+
+/// Energy of moving one 64-bit flit across one NoC hop (router + link)
+/// in fJ.
+pub fn noc_hop_energy_fj(lib: &TechLibrary, link_um: f64) -> f64 {
+    // Router datapath: register + mux per hop.
+    let router = (crate::ops::register(64) + crate::ops::mux(64, 5)).dynamic_energy_fj(lib, 1.0);
+    // Wire: C*V^2 with V=0.8V nominal folded into a per-fF constant.
+    let wire = lib.wire_cap_ff_per_um * link_um * 0.64;
+    router + wire
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ops, CellKind, TechLibrary};
+
+    fn lib() -> TechLibrary {
+        TechLibrary::n16()
+    }
+
+    #[test]
+    fn power_scales_with_frequency_and_activity() {
+        let l = lib();
+        let n = ops::multiplier(32) + ops::register(64);
+        let base = netlist_power(&l, &n, 1.0, 0.2);
+        let fast = netlist_power(&l, &n, 2.0, 0.2);
+        let busy = netlist_power(&l, &n, 1.0, 0.4);
+        assert!((fast.dynamic_mw - 2.0 * base.dynamic_mw).abs() < 1e-12);
+        assert!((busy.dynamic_mw - 2.0 * base.dynamic_mw).abs() < 1e-12);
+        // Leakage is frequency-independent.
+        assert!((fast.leakage_mw - base.leakage_mw).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clock_power_tracks_flop_count() {
+        let l = lib();
+        let small = netlist_power(&l, &ops::register(32), 1.1, 0.0);
+        let big = netlist_power(&l, &ops::register(64), 1.1, 0.0);
+        assert!((big.clock_mw / small.clock_mw - 2.0).abs() < 1e-9);
+        assert_eq!(small.dynamic_mw, 0.0, "alpha 0 means no datapath power");
+    }
+
+    #[test]
+    fn sram_idle_power_is_leakage_only() {
+        let m = crate::SramMacro::new(4096, 64);
+        let idle = sram_power(&m, 1.1, 0.0);
+        assert_eq!(idle.dynamic_mw, 0.0);
+        assert!(idle.leakage_mw > 0.0);
+        let busy = sram_power(&m, 1.1, 1.0);
+        assert!(busy.total_mw() > idle.total_mw());
+    }
+
+    #[test]
+    fn report_arithmetic_and_display() {
+        let a = PowerReport {
+            dynamic_mw: 1.0,
+            leakage_mw: 0.5,
+            clock_mw: 0.25,
+        };
+        let b = a.merged(&a);
+        assert!((b.total_mw() - 3.5).abs() < 1e-12);
+        assert!(format!("{a}").contains("mW"));
+    }
+
+    #[test]
+    fn energy_helpers_plausible() {
+        let l = lib();
+        let mac = mac_energy_fj(&l, 32);
+        assert!((100.0..10_000.0).contains(&mac), "32-bit MAC {mac} fJ");
+        let hop = noc_hop_energy_fj(&l, 500.0);
+        assert!(hop > 0.0 && hop < mac * 10.0, "hop {hop} fJ");
+    }
+
+    #[test]
+    #[should_panic(expected = "activity must be in [0,1]")]
+    fn bad_activity_panics() {
+        let l = lib();
+        let mut n = Netlist::new();
+        n.add_cells(CellKind::Inv, 1);
+        let _ = netlist_power(&l, &n, 1.0, 2.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! SRAM macro model: area/energy/timing for the compiled memories
+//! ("islands of macro blocks such as SRAM" in the paper's §3) used by
+//! scratchpads, caches and the SoC global memory.
+
+use crate::cells::TechLibrary;
+
+/// A compiled single-port SRAM macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramMacro {
+    /// Words.
+    pub depth: usize,
+    /// Bits per word.
+    pub width: u32,
+}
+
+impl SramMacro {
+    /// Describes a macro of `depth` words by `width` bits.
+    ///
+    /// # Panics
+    /// Panics if `depth` is 0 or `width` is outside 1..=256.
+    pub fn new(depth: usize, width: u32) -> Self {
+        assert!(depth > 0, "sram depth must be nonzero");
+        assert!((1..=256).contains(&width), "sram width must be 1..=256");
+        SramMacro { depth, width }
+    }
+
+    /// Storage bits.
+    pub fn bits(&self) -> u64 {
+        self.depth as u64 * u64::from(self.width)
+    }
+
+    /// Placed macro area in µm² under `lib`: bitcell array plus
+    /// periphery (decoders, sense amps) whose relative share shrinks
+    /// with depth — small memories are dominated by periphery, which is
+    /// why very small buffers synthesize to flops instead.
+    pub fn area_um2(&self, lib: &TechLibrary) -> f64 {
+        let array = self.bits() as f64 * lib.sram_bitcell_um2;
+        // Periphery: per-column sense/write circuitry + row decode.
+        let per_column = 1.9 * f64::from(self.width);
+        let row_decode = 0.35 * (self.depth as f64).log2().max(1.0) * f64::from(self.width).sqrt();
+        let fixed = 25.0;
+        array * 1.15 + per_column + row_decode + fixed
+    }
+
+    /// Energy per access in fJ.
+    pub fn access_energy_fj(&self) -> f64 {
+        // Bitline + wordline switching grows with both dimensions.
+        0.15 * f64::from(self.width) * (self.depth as f64).log2().max(1.0) + 5.0
+    }
+
+    /// Access time in ps.
+    pub fn access_time_ps(&self) -> f64 {
+        120.0 + 18.0 * (self.depth as f64).log2().max(1.0)
+    }
+
+    /// Whether a flop-based implementation would be smaller than this
+    /// macro (the synthesis-time RAM-mapping decision in Fig. 1's
+    /// "automatic RAM mapping" box).
+    pub fn prefer_flops(&self, lib: &TechLibrary) -> bool {
+        let flop_area = self.bits() as f64 * lib.cell(crate::CellKind::Dff).area_um2;
+        flop_area < self.area_um2(lib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn area_grows_with_bits() {
+        let lib = TechLibrary::n16();
+        let small = SramMacro::new(256, 32).area_um2(&lib);
+        let big = SramMacro::new(4096, 32).area_um2(&lib);
+        assert!(big > 10.0 * small / 2.0, "{small} vs {big}");
+    }
+
+    #[test]
+    fn tiny_memories_prefer_flops() {
+        let lib = TechLibrary::n16();
+        assert!(SramMacro::new(4, 8).prefer_flops(&lib));
+        assert!(!SramMacro::new(4096, 64).prefer_flops(&lib));
+    }
+
+    #[test]
+    fn bit_efficiency_improves_with_depth() {
+        // µm² per bit should fall as the array amortizes periphery.
+        let lib = TechLibrary::n16();
+        let per_bit = |d: usize| {
+            let m = SramMacro::new(d, 64);
+            m.area_um2(&lib) / m.bits() as f64
+        };
+        assert!(per_bit(64) > per_bit(1024));
+        assert!(per_bit(1024) > per_bit(16384));
+    }
+
+    #[test]
+    fn timing_and_energy_monotone_in_depth() {
+        let a = SramMacro::new(256, 32);
+        let b = SramMacro::new(8192, 32);
+        assert!(b.access_time_ps() > a.access_time_ps());
+        assert!(b.access_energy_fj() > a.access_energy_fj());
+    }
+
+    #[test]
+    #[should_panic(expected = "sram depth must be nonzero")]
+    fn zero_depth_panics() {
+        let _ = SramMacro::new(0, 8);
+    }
+
+    proptest! {
+        /// Area is strictly positive and at least the raw bitcell array.
+        #[test]
+        fn area_lower_bound(depth in 1usize..65536, width in 1u32..=256) {
+            let lib = TechLibrary::n16();
+            let m = SramMacro::new(depth, width);
+            prop_assert!(m.area_um2(&lib) > m.bits() as f64 * lib.sram_bitcell_um2);
+        }
+    }
+}

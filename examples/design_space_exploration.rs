@@ -1,0 +1,84 @@
+//! Design-space exploration without touching kernel source (paper
+//! §2.2): sweep clock and resource constraints over one kernel, print
+//! the Pareto front, then price a whole chip through the flow under
+//! both clocking schemes.
+//!
+//! Run with: `cargo run --example design_space_exploration`
+
+use craftflow::core::{
+    best_under_latency, pareto_front, run_flow, sweep, Clocking, FlowSpec, UnitSpec,
+};
+use craftflow::hls::{Constraints, KernelBuilder};
+use craftflow::tech::TechLibrary;
+
+fn dot16() -> craftflow::hls::Kernel {
+    let mut b = KernelBuilder::new("dot16", 32);
+    let mut acc = b.constant(0);
+    for i in 0..16 {
+        let x = b.input(2 * i);
+        let y = b.input(2 * i + 1);
+        let p = b.mul(x, y);
+        acc = b.add(acc, p);
+    }
+    b.output(0, acc);
+    b.finish()
+}
+
+fn main() {
+    let lib = TechLibrary::n16();
+    let kernel = dot16();
+
+    // One kernel, many design points — no source changes.
+    let points = sweep(
+        &kernel,
+        &lib,
+        &[800.0, 1100.0, 1600.0],
+        &[None, Some(8), Some(4), Some(2), Some(1)],
+    );
+    println!("swept {} design points for {}", points.len(), kernel);
+    println!("Pareto front (area / latency / II):");
+    let mut front = pareto_front(&points);
+    front.sort_by(|a, b| a.area_um2.total_cmp(&b.area_um2));
+    for p in &front {
+        println!(
+            "  {:>10.1} um2   latency {:>3}   II {:>2}   crit path {:>5.0} ps   clock {:>5.0} ps",
+            p.area_um2, p.latency, p.ii, p.crit_path_ps, p.constraints.clock_ps
+        );
+    }
+    if let Some(best) = best_under_latency(&points, 6) {
+        println!(
+            "smallest design meeting latency<=6: {:.1} um2 at clock {:.0} ps",
+            best.area_um2, best.constraints.clock_ps
+        );
+    }
+
+    // Chip-level: same units, two clocking back ends.
+    let spec = |clocking| FlowSpec {
+        name: "dse-demo".into(),
+        units: vec![UnitSpec {
+            name: "dot16".into(),
+            kernel: kernel.clone(),
+            constraints: Constraints::at_clock(1100.0).with_multipliers(4),
+            replicas: 15,
+        }],
+        partitions: 16,
+        clocking,
+    };
+    let sync = run_flow(
+        &spec(Clocking::GlobalSynchronous {
+            die_span_um: 2500.0,
+        }),
+        &lib,
+    );
+    let gals = run_flow(
+        &spec(Clocking::FineGrainedGals {
+            interfaces_per_partition: 4,
+            fifo_depth: 8,
+            fifo_width: 64,
+        }),
+        &lib,
+    );
+    println!();
+    println!("synchronous back end:\n{}", sync.summary());
+    println!("GALS back end:\n{}", gals.summary());
+}

@@ -1,0 +1,88 @@
+//! Fine-grained GALS clocking walkthrough (paper §3.1, Fig. 4):
+//!
+//! 1. two partitions on independent clocks exchange messages through a
+//!    pausible bisynchronous FIFO — error-free by construction;
+//! 2. the adaptive local clock generator tracks supply noise, cutting
+//!    the timing margin a fixed clock would need;
+//! 3. the area overhead stays under 3% for typical partition sizes.
+//!
+//! Run with: `cargo run --example gals_clocking`
+
+use craftflow::connections::{channel, ChannelKind};
+use craftflow::gals::{
+    margin_experiment, partition_overhead, pausible_fifo, ClockStyle, LocalClockGenerator,
+    SupplyNoise,
+};
+use craftflow::sim::{ClockSpec, Picoseconds, Simulator};
+use craftflow::tech::TechLibrary;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn main() {
+    // --- 1. Cross two asynchronous partitions ---
+    let mut sim = Simulator::new();
+    // Partition A at ~1.1 GHz, partition B at an unrelated 0.93 GHz.
+    let clk_a = sim.add_clock(ClockSpec::new("partA", Picoseconds::new(909)));
+    let clk_b = sim.add_clock(ClockSpec::new("partB", Picoseconds::new(1073)));
+    // Partition A's clock generator adapts to its local supply.
+    let noise = Rc::new(RefCell::new(SupplyNoise::typical(7)));
+    sim.add_component(
+        clk_a,
+        LocalClockGenerator::new(
+            "partA.clkgen",
+            clk_a,
+            Picoseconds::new(909),
+            ClockStyle::Adaptive { residue: 0.2 },
+            noise,
+        ),
+    );
+
+    let (mut tx, fifo_in, h1) = channel::<u64>("a.out", ChannelKind::Buffer(2));
+    let (fifo_out, mut rx, h2) = channel::<u64>("b.in", ChannelKind::Buffer(2));
+    sim.add_sequential(clk_a, h1.sequential());
+    sim.add_sequential(clk_b, h2.sequential());
+    let (ptx, prx, state) = pausible_fifo("a2b", fifo_in, fifo_out, 8, clk_b, Picoseconds::new(40));
+    sim.add_component(clk_a, ptx);
+    sim.add_component(clk_b, prx);
+
+    let mut sent = 0u64;
+    let mut got = Vec::new();
+    while got.len() < 1_000 {
+        if sent < 1_000 && tx.push_nb(sent).is_ok() {
+            sent += 1;
+        }
+        sim.step();
+        while let Some(v) = rx.pop_nb() {
+            got.push(v);
+        }
+    }
+    assert_eq!(got, (0..1_000).collect::<Vec<u64>>());
+    let st = state.borrow();
+    println!(
+        "crossed 1000 messages A(adaptive ~1.1GHz) -> B(0.93GHz): in order, exactly once;"
+    );
+    println!(
+        "  mean crossing latency {:.0} ps, {} clock pauses, 0 synchronization failures (by construction)",
+        st.latency_ps.mean(),
+        st.pauses
+    );
+
+    // --- 2. Margin: adaptive vs fixed under supply noise ---
+    let fixed = margin_experiment(ClockStyle::Fixed, 909, 0.95, 20_000, 42);
+    let adaptive = margin_experiment(ClockStyle::Adaptive { residue: 0.2 }, 909, 0.95, 20_000, 42);
+    println!(
+        "supply-noise margin: fixed clock needs {:.1}%, adaptive needs {:.1}%",
+        fixed.min_safe_margin * 100.0,
+        adaptive.min_safe_margin * 100.0
+    );
+
+    // --- 3. Area overhead for a testchip-sized partition ---
+    let lib = TechLibrary::n16();
+    let o = partition_overhead(&lib, 1_100_000.0, 4, 8, 64);
+    println!(
+        "GALS hardware on a 1.1M-gate partition: clockgen {:.0} um2 + FIFOs {:.0} um2 = {:.2}% overhead (paper: <3%)",
+        o.clockgen_area_um2,
+        o.fifo_area_um2,
+        o.fraction * 100.0
+    );
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper in one go.
+# See EXPERIMENTS.md for the expected (paper vs measured) values.
+set -euo pipefail
+cd "$(dirname "$0")"
+for bin in fig3_crossbar_accuracy \
+           table2_matchlib_inventory \
+           crossbar_loop_style \
+           qor_vs_handrtl \
+           gals_overhead \
+           fig6_soc_accuracy \
+           productivity_report \
+           backend_turnaround \
+           pe_lanes_ablation; do
+  echo "==================================================================="
+  echo "== $bin"
+  echo "==================================================================="
+  cargo run --release -q -p craft-bench --bin "$bin"
+  echo
+done

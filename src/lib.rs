@@ -1,0 +1,11 @@
+//! Umbrella crate for the `craftflow` workspace. Re-exports every
+//! sub-crate so examples and integration tests can use one import root.
+pub use craft_connections as connections;
+pub use craft_gals as gals;
+pub use craft_hls as hls;
+pub use craft_matchlib as matchlib;
+pub use craft_riscv as riscv;
+pub use craft_sim as sim;
+pub use craft_soc as soc;
+pub use craft_tech as tech;
+pub use craftflow_core as core;

@@ -1,0 +1,123 @@
+//! End-to-end flow integration (Fig. 1): architectural model ->
+//! optimize -> schedule -> bind -> chip rollup, with functional
+//! cosimulation between the untimed model and the scheduled design,
+//! plus constraint-only design-space exploration.
+
+use craftflow::core::{pareto_front, run_flow, sweep, Clocking, FlowSpec, UnitSpec};
+use craftflow::hls::{compile, kernels, Constraints, KernelBuilder};
+use craftflow::tech::TechLibrary;
+
+/// The optimized kernel that binding consumed must be functionally
+/// identical to the source model — the "verified SystemC models"
+/// contract of Fig. 1.
+#[test]
+fn cosimulation_source_vs_compiled() {
+    let lib = TechLibrary::n16();
+    for lanes in [4usize, 8, 16] {
+        let k = kernels::crossbar_dst_loop(lanes, 32);
+        let out = compile(
+            k.clone(),
+            &lib,
+            &Constraints::at_clock(1100.0).with_mem_ports(lanes as u32 * 2),
+        );
+        // Drive both models with the same stimulus.
+        for seed in 0..5i64 {
+            let inputs: Vec<i64> = (0..2 * lanes as i64)
+                .map(|i| {
+                    if i < lanes as i64 {
+                        i * 17 + seed
+                    } else {
+                        (i + seed).rem_euclid(lanes as i64)
+                    }
+                })
+                .collect();
+            assert_eq!(
+                k.eval(&inputs, &[]).0,
+                out.optimized.eval(&inputs, &[]).0,
+                "lanes {lanes} seed {seed}"
+            );
+        }
+    }
+}
+
+/// The full §2.4 headline through the public flow API.
+#[test]
+fn crossbar_penalty_through_flow() {
+    let lib = TechLibrary::n16();
+    let c = Constraints::at_clock(1100.0).with_mem_ports(64);
+    let src = compile(kernels::crossbar_src_loop(32, 32), &lib, &c);
+    let dst = compile(kernels::crossbar_dst_loop(32, 32), &lib, &c);
+    let penalty = src.module.area_um2(&lib) / dst.module.area_um2(&lib) - 1.0;
+    assert!(
+        (0.15..0.40).contains(&penalty),
+        "32x32 src-loop penalty {penalty:.3} should be near the paper's 25%"
+    );
+}
+
+/// GALS clocking shrinks top-level clocking cost relative to a global
+/// tree at testchip scale, and removes the skew margin entirely.
+#[test]
+fn chip_report_gals_vs_synchronous() {
+    let lib = TechLibrary::n16();
+    let units = vec![UnitSpec {
+        name: "pe".into(),
+        kernel: kernels::crossbar_dst_loop(8, 32),
+        constraints: Constraints::at_clock(909.0).with_mem_ports(16),
+        replicas: 15,
+    }];
+    let sync = run_flow(
+        &FlowSpec {
+            name: "sync".into(),
+            units: units.clone(),
+            partitions: 19,
+            clocking: Clocking::GlobalSynchronous {
+                die_span_um: 3000.0,
+            },
+        },
+        &lib,
+    );
+    let gals = run_flow(
+        &FlowSpec {
+            name: "gals".into(),
+            units,
+            partitions: 19,
+            clocking: Clocking::FineGrainedGals {
+                interfaces_per_partition: 4,
+                fifo_depth: 8,
+                fifo_width: 64,
+            },
+        },
+        &lib,
+    );
+    assert_eq!(gals.skew_margin_ps, 0.0);
+    assert!(sync.skew_margin_ps > 50.0);
+    assert!(
+        (gals.logic_area_um2 - sync.logic_area_um2).abs() < 1e-6,
+        "clocking choice must not change logic area"
+    );
+}
+
+/// DSE sweeps constraints only; every point computes the same function.
+#[test]
+fn dse_points_all_functionally_identical() {
+    let lib = TechLibrary::n16();
+    let mut b = KernelBuilder::new("poly", 32);
+    let x = b.input(0);
+    let x2 = b.mul(x, x);
+    let x3 = b.mul(x2, x);
+    let three = b.constant(3);
+    let t = b.mul(x2, three);
+    let s = b.add(x3, t);
+    b.output(0, s);
+    let k = b.finish();
+
+    let points = sweep(&k, &lib, &[900.0, 1400.0], &[None, Some(1)]);
+    assert_eq!(points.len(), 4);
+    let front = pareto_front(&points);
+    assert!(!front.is_empty());
+    // Constraint changes never touch semantics (x^3 + 3x^2 at x=5: 200).
+    for p in &points {
+        let out = compile(k.clone(), &lib, &p.constraints);
+        assert_eq!(out.optimized.eval(&[5], &[]).0[0], 200);
+    }
+}

@@ -1,0 +1,49 @@
+//! Golden cycle-count regression lock: the simulator is deterministic,
+//! so these exact numbers ARE the reproduction (EXPERIMENTS.md quotes
+//! them). A deliberate microarchitecture change must update both this
+//! test and EXPERIMENTS.md together.
+
+use craftflow::soc::pe::Fidelity;
+use craftflow::soc::workloads::{run_workload, six_soc_tests};
+use craftflow::soc::SocConfig;
+
+#[test]
+fn fig6_cycle_counts_are_locked() {
+    let golden_sim = [
+        ("vec_mul", 796u64),
+        ("dot_product", 1383),
+        ("reduction", 879),
+        ("conv1d", 716),
+        ("kmeans_assign", 436),
+        ("matvec", 4324),
+    ];
+    let golden_rtl = [
+        ("vec_mul", 804u64),
+        ("dot_product", 1391),
+        ("reduction", 895),
+        ("conv1d", 716),
+        ("kmeans_assign", 444),
+        ("matvec", 4324),
+    ];
+    for (wl, (name, cycles)) in six_soc_tests().iter().zip(golden_sim) {
+        assert_eq!(wl.name, name);
+        let (r, ok) = run_workload(SocConfig::default(), wl, 8_000_000);
+        assert!(ok, "{name} failed verification");
+        assert_eq!(
+            r.cycles, cycles,
+            "{name} sim-accurate cycle count drifted — update EXPERIMENTS.md if intentional"
+        );
+    }
+    let rtl_cfg = SocConfig {
+        fidelity: Fidelity::Rtl,
+        ..SocConfig::default()
+    };
+    for (wl, (name, cycles)) in six_soc_tests().iter().zip(golden_rtl) {
+        let (r, ok) = run_workload(rtl_cfg, wl, 8_000_000);
+        assert!(ok, "{name} failed verification");
+        assert_eq!(
+            r.cycles, cycles,
+            "{name} RTL cycle count drifted — update EXPERIMENTS.md if intentional"
+        );
+    }
+}
