@@ -1,0 +1,96 @@
+//! Kernel dispatch microbenchmarks: the cost of one evaluate/commit
+//! instant under the single-clock fast path, the multi-clock edge
+//! heap, and quiescence gating over a mostly-idle component
+//! population. These isolate the scheduler itself from any SoC model;
+//! `BENCH_sim_kernel.json` (see `--bin kernel_baseline`) measures the
+//! same machinery at system level.
+
+use craft_sim::{ActivityToken, ClockSpec, Component, Picoseconds, Simulator, TickCtx};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Minimal always-active component: one wrapping add per tick.
+struct Spin(u64);
+
+impl Component for Spin {
+    fn name(&self) -> &str {
+        "spin"
+    }
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        self.0 = self.0.wrapping_add(1);
+    }
+}
+
+/// Permanently quiescent component: ticks once, then sleeps for the
+/// rest of the run when gating is on (its token is never set again).
+struct Sleeper;
+
+impl Component for Sleeper {
+    fn name(&self) -> &str {
+        "sleeper"
+    }
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {}
+    fn is_quiescent(&self) -> bool {
+        true
+    }
+}
+
+fn run_single_clock(cycles: u64) -> u64 {
+    let mut sim = Simulator::new();
+    let clk = sim.add_clock(ClockSpec::new("c", Picoseconds::new(909)));
+    for _ in 0..4 {
+        sim.add_component(clk, Spin(0));
+    }
+    sim.run_cycles(clk, cycles);
+    sim.instants()
+}
+
+fn run_multi_clock(n_clocks: usize, horizon: u64) -> u64 {
+    let mut sim = Simulator::new();
+    for i in 0..n_clocks {
+        // Distinct co-primish periods so edges rarely coincide — the
+        // worst case for edge scheduling.
+        let clk = sim.add_clock(ClockSpec::new(
+            format!("c{i}"),
+            Picoseconds::new(700 + 13 * i as u64),
+        ));
+        sim.add_component(clk, Spin(0));
+    }
+    sim.run_until_time(Picoseconds::new(horizon));
+    sim.instants()
+}
+
+fn run_gated_idle(gating: bool, cycles: u64) -> (u64, u64) {
+    let mut sim = Simulator::new();
+    sim.set_gating(gating);
+    let clk = sim.add_clock(ClockSpec::new("c", Picoseconds::new(909)));
+    sim.add_component(clk, Spin(0));
+    for _ in 0..64 {
+        let id = sim.add_component(clk, Sleeper);
+        sim.set_wake_token(id, ActivityToken::new());
+    }
+    sim.run_cycles(clk, cycles);
+    (sim.ticks_delivered(), sim.ticks_skipped())
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_dispatch");
+    g.sample_size(20);
+    g.bench_function("single_clock_fast_path", |b| {
+        b.iter(|| run_single_clock(10_000))
+    });
+    for n in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("multi_clock_heap", n), &n, |b, &n| {
+            b.iter(|| run_multi_clock(n, 5_000_000));
+        });
+    }
+    g.bench_function("idle_population_gated", |b| {
+        b.iter(|| run_gated_idle(true, 10_000))
+    });
+    g.bench_function("idle_population_ungated", |b| {
+        b.iter(|| run_gated_idle(false, 10_000))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

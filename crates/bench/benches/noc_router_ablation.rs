@@ -86,9 +86,13 @@ fn bench_routers(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("wormhole", flits), &flits, |bch, &f| {
             bch.iter(|| packet_latency(&mut router_bench(true), f));
         });
-        g.bench_with_input(BenchmarkId::new("store_forward", flits), &flits, |bch, &f| {
-            bch.iter(|| packet_latency(&mut router_bench(false), f));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("store_forward", flits),
+            &flits,
+            |bch, &f| {
+                bch.iter(|| packet_latency(&mut router_bench(false), f));
+            },
+        );
     }
     g.finish();
 }

@@ -42,7 +42,10 @@ fn main() {
     let sync = sta_synchronous(&lib, &fp, &nets, 909.0, tree.skew_ps);
     let gals = sta_gals(&lib, &fp, &nets, 909.0);
     println!();
-    println!("top-level STA at 1.1 GHz over {} inter-partition interfaces:", nets.len());
+    println!(
+        "top-level STA at 1.1 GHz over {} inter-partition interfaces:",
+        nets.len()
+    );
     println!(
         "  synchronous: worst slack {:>7.1} ps, {} violations (skew margin {:.0} ps burned)",
         sync.worst_slack_ps, sync.violations, tree.skew_ps

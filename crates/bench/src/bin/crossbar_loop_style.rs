@@ -21,8 +21,16 @@ fn main() {
         "lanes", "src area um2", "dst area um2", "penalty", "src comp ms", "dst comp ms"
     );
     for &lanes in &[8usize, 16, 32, 64] {
-        let src = compile(kernels::crossbar_src_loop(lanes, 32), &lib, &constraints(lanes));
-        let dst = compile(kernels::crossbar_dst_loop(lanes, 32), &lib, &constraints(lanes));
+        let src = compile(
+            kernels::crossbar_src_loop(lanes, 32),
+            &lib,
+            &constraints(lanes),
+        );
+        let dst = compile(
+            kernels::crossbar_dst_loop(lanes, 32),
+            &lib,
+            &constraints(lanes),
+        );
         let sa = src.module.area_um2(&lib);
         let da = dst.module.area_um2(&lib);
         println!(

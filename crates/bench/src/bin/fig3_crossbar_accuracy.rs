@@ -12,7 +12,10 @@ use craft_bench::{fig3_sweep, XbarModel};
 
 fn main() {
     println!("Fig. 3 — cycles per transaction, arbitrated crossbar");
-    println!("{:>6} {:>12} {:>14} {:>16}", "ports", "RTL", "sim-accurate", "signal-accurate");
+    println!(
+        "{:>6} {:>12} {:>14} {:>16}",
+        "ports", "RTL", "sim-accurate", "signal-accurate"
+    );
     let pts = fig3_sweep(200);
     for &ports in &[2usize, 4, 8, 16] {
         let get = |model| {

@@ -92,8 +92,18 @@ fn main() {
     let lib = TechLibrary::n16();
 
     println!("§3.1 — GALS area overhead vs partition size (4 interfaces, 8x64 FIFOs)");
-    println!("{:>16} {:>14} {:>12} {:>10}", "partition gates", "overhead um2", "fraction", "<3%?");
-    for gates in [50_000.0, 100_000.0, 250_000.0, 500_000.0, 1_100_000.0, 2_000_000.0] {
+    println!(
+        "{:>16} {:>14} {:>12} {:>10}",
+        "partition gates", "overhead um2", "fraction", "<3%?"
+    );
+    for gates in [
+        50_000.0,
+        100_000.0,
+        250_000.0,
+        500_000.0,
+        1_100_000.0,
+        2_000_000.0,
+    ] {
         let o = partition_overhead(&lib, gates, 4, 8, 64);
         let total = o.clockgen_area_um2 + o.fifo_area_um2;
         println!(
@@ -109,8 +119,14 @@ fn main() {
     println!("crossing latency at 1.1 GHz / 1.1 GHz (ps):");
     let p = pausible_latency_ps(909, 909, 300);
     let t = two_flop_latency_ps(909, 300);
-    println!("  pausible bisynchronous FIFO: {p:>8.0} ps  ({:.2} cycles)", p / 909.0);
-    println!("  two-flop synchronizer FIFO:  {t:>8.0} ps  ({:.2} cycles)", t / 909.0);
+    println!(
+        "  pausible bisynchronous FIFO: {p:>8.0} ps  ({:.2} cycles)",
+        p / 909.0
+    );
+    println!(
+        "  two-flop synchronizer FIFO:  {t:>8.0} ps  ({:.2} cycles)",
+        t / 909.0
+    );
     println!(
         "  two-flop MTBF (800ps resolve, tau 15ps): {:.1e} years; pausible: failure-free by construction",
         two_flop_mtbf_years(800.0, 15.0, 20.0, 1.1, 0.5)

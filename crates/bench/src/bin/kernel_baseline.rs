@@ -1,0 +1,166 @@
+//! Simulation-kernel performance baseline: emits `BENCH_sim_kernel.json`.
+//!
+//! Runs 16-node (15 PE + hub) Fig. 6 workloads in both fidelity modes
+//! with quiescence gating on and off, recording wall clock,
+//! evaluate/commit instants per second, and the kernel's gating
+//! counters. The headline number is the gated/ungated wall-clock
+//! speedup on a quiescence-heavy bursty workload — the perf floor
+//! later PRs must not regress.
+//!
+//! Run with `--release` from the repo root:
+//!
+//! ```text
+//! cargo run --release -p craft-bench --bin kernel_baseline
+//! ```
+//!
+//! Cycle counts are asserted identical gating on vs off (gating is a
+//! wall-clock optimisation, never a semantic one).
+
+use craft_soc::pe::Fidelity;
+use craft_soc::workloads::{dot_product, run_workload_soc, vec_mul, Workload};
+use craft_soc::SocConfig;
+use std::fmt::Write as _;
+
+struct Row {
+    workload: &'static str,
+    mode: &'static str,
+    gating: bool,
+    cycles: u64,
+    wall_s: f64,
+    instants: u64,
+    instants_per_sec: f64,
+    ticks_delivered: u64,
+    ticks_skipped: u64,
+    commits_skipped: u64,
+}
+
+fn run_one(wl: &Workload, fidelity: Fidelity, gating: bool) -> Row {
+    let cfg = SocConfig {
+        fidelity,
+        gating,
+        ..SocConfig::default()
+    };
+    let (result, ok, soc) = run_workload_soc(cfg, wl, 8_000_000);
+    assert!(ok && result.completed, "{}: run failed", wl.name);
+    let wall_s = result.wall.as_secs_f64();
+    let instants = soc.sim().instants();
+    Row {
+        workload: wl.name,
+        mode: match fidelity {
+            Fidelity::Rtl => "rtl",
+            Fidelity::SimAccurate => "sim_accurate",
+        },
+        gating,
+        cycles: result.cycles,
+        wall_s,
+        instants,
+        instants_per_sec: instants as f64 / wall_s.max(1e-9),
+        ticks_delivered: soc.sim().ticks_delivered(),
+        ticks_skipped: soc.sim().ticks_skipped(),
+        commits_skipped: soc.sim().commits_skipped(),
+    }
+}
+
+fn main() {
+    // dot_product is the quiescence-heavy headline: 8-PE waves with
+    // barriers, then a long single-PE reduce tail during which 14 PEs
+    // and most routers are idle. vec_mul (4 active PEs per wave) is
+    // the second datapoint.
+    let workloads = [dot_product(), vec_mul()];
+    let mut rows = Vec::new();
+    for wl in &workloads {
+        for fidelity in [Fidelity::SimAccurate, Fidelity::Rtl] {
+            let on = run_one(wl, fidelity, true);
+            let off = run_one(wl, fidelity, false);
+            assert_eq!(
+                on.cycles, off.cycles,
+                "{}: gating changed cycle counts",
+                wl.name
+            );
+            rows.push(on);
+            rows.push(off);
+        }
+    }
+
+    println!(
+        "{:<12} {:<13} {:>6} {:>10} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "workload",
+        "mode",
+        "gating",
+        "cycles",
+        "wall ms",
+        "instants/s",
+        "ticks del",
+        "ticks skip",
+        "commits/k"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:<13} {:>6} {:>10} {:>10.2} {:>12.0} {:>12} {:>12} {:>10}",
+            r.workload,
+            r.mode,
+            r.gating,
+            r.cycles,
+            r.wall_s * 1e3,
+            r.instants_per_sec,
+            r.ticks_delivered,
+            r.ticks_skipped,
+            r.commits_skipped / 1000
+        );
+    }
+
+    let mut json =
+        String::from("{\n  \"bench\": \"sim_kernel\",\n  \"unit\": \"seconds\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"gating\": {}, \"cycles\": {}, \"wall_s\": {:.6}, \"instants\": {}, \"instants_per_sec\": {:.0}, \"ticks_delivered\": {}, \"ticks_skipped\": {}, \"commits_skipped\": {}}}",
+            r.workload,
+            r.mode,
+            r.gating,
+            r.cycles,
+            r.wall_s,
+            r.instants,
+            r.instants_per_sec,
+            r.ticks_delivered,
+            r.ticks_skipped,
+            r.commits_skipped
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n  \"speedups\": [\n");
+    let mut headline = 0.0f64;
+    let pairs: Vec<(usize, usize)> = (0..rows.len() / 2).map(|i| (2 * i, 2 * i + 1)).collect();
+    for (i, &(on_i, off_i)) in pairs.iter().enumerate() {
+        let (on, off) = (&rows[on_i], &rows[off_i]);
+        let speedup = off.wall_s / on.wall_s.max(1e-9);
+        if on.mode == "sim_accurate" {
+            headline = headline.max(speedup);
+        }
+        println!(
+            "{} {}: gating speedup {:.2}x ({:.2} ms -> {:.2} ms)",
+            on.workload,
+            on.mode,
+            speedup,
+            off.wall_s * 1e3,
+            on.wall_s * 1e3
+        );
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"gating_speedup\": {:.3}}}",
+            on.workload, on.mode, speedup
+        );
+        json.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"headline_gating_speedup\": {headline:.3}\n}}\n"
+    );
+
+    std::fs::write("BENCH_sim_kernel.json", &json).expect("write BENCH_sim_kernel.json");
+    println!("\nheadline sim-accurate gating speedup: {headline:.2}x (target >= 1.5x)");
+    println!("wrote BENCH_sim_kernel.json");
+    if headline < 1.5 {
+        eprintln!("warning: headline speedup below 1.5x — run with --release on an idle machine");
+    }
+}

@@ -9,13 +9,19 @@ fn sweep(name: &str, wl: &Workload) {
     println!("{name}");
     println!("{:>6} {:>10} {:>14}", "lanes", "cycles", "vs 1 lane");
     let base = {
-        let cfg = SocConfig { lanes: 1, ..SocConfig::default() };
+        let cfg = SocConfig {
+            lanes: 1,
+            ..SocConfig::default()
+        };
         let (r, ok) = run_workload(cfg, wl, 8_000_000);
         assert!(ok);
         r.cycles
     };
     for lanes in [1usize, 2, 4, 8] {
-        let cfg = SocConfig { lanes, ..SocConfig::default() };
+        let cfg = SocConfig {
+            lanes,
+            ..SocConfig::default()
+        };
         let (r, ok) = run_workload(cfg, wl, 8_000_000);
         assert!(ok, "lanes={lanes} failed");
         println!(
@@ -31,8 +37,14 @@ fn sweep(name: &str, wl: &Workload) {
 fn main() {
     println!("PE lanes ablation — where is the roofline?\n");
     // Compute-bound: 16-tap convolution (768 MACs per 63-word fetch).
-    sweep("conv1d_heavy (compute-bound): lanes help until memory binds", &conv1d_heavy());
+    sweep(
+        "conv1d_heavy (compute-bound): lanes help until memory binds",
+        &conv1d_heavy(),
+    );
     // Memory-bound: dot products streaming 128 words per 128 MACs.
-    sweep("matvec (memory-bound): the NoC/gmem feed limits throughput", &matvec());
+    sweep(
+        "matvec (memory-bound): the NoC/gmem feed limits throughput",
+        &matvec(),
+    );
     println!("the knee between the two is the classic accelerator roofline.");
 }

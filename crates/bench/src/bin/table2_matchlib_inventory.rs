@@ -12,7 +12,10 @@ fn ge(lib: &TechLibrary, n: &Netlist) -> f64 {
 fn main() {
     let lib = TechLibrary::n16();
     println!("Table 2 — MatchLib components (with representative gate counts)");
-    println!("{:<24} {:<16} {:<42} {:>10}", "component", "class", "module", "GE (repr.)");
+    println!(
+        "{:<24} {:<16} {:<42} {:>10}",
+        "component", "class", "module", "GE (repr.)"
+    );
 
     let rows: Vec<(&str, &str, &str, f64)> = vec![
         (
@@ -85,7 +88,10 @@ fn main() {
             "Reorder Buffer",
             "C++ class",
             "craft_matchlib::ReorderBuffer",
-            ge(&lib, &(ops::register(64).replicated(16) + ops::comparator(6).replicated(16))),
+            ge(
+                &lib,
+                &(ops::register(64).replicated(16) + ops::comparator(6).replicated(16)),
+            ),
         ),
         (
             "Serializer/Deserializer",
@@ -130,7 +136,10 @@ fn main() {
             "AXI Components",
             "SystemC module",
             "craft_matchlib::axi",
-            ge(&lib, &(ops::register(64).replicated(10) + ops::comparator(32).replicated(2))),
+            ge(
+                &lib,
+                &(ops::register(64).replicated(10) + ops::comparator(32).replicated(2)),
+            ),
         ),
     ];
 

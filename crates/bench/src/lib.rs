@@ -107,7 +107,8 @@ impl XbarBench {
             let src = (t as usize * 5 + 1) % self.lanes;
             let dst = (t as usize * 3 + 2) % self.lanes;
             self.inject[src]
-                .push_nb(XbarMsg { dst, data: t }).expect("input idle between transactions");
+                .push_nb(XbarMsg { dst, data: t })
+                .expect("input idle between transactions");
             let mut cycles = 0u64;
             loop {
                 self.sim.run_cycles(self.clk, 1);

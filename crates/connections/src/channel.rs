@@ -18,7 +18,7 @@
 //! acyclicity requirement real combinational paths impose.
 
 use crate::stall::StallInjector;
-use craft_sim::Sequential;
+use craft_sim::{ActivityToken, Sequential};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
@@ -117,6 +117,19 @@ pub(crate) struct ChannelCore<T> {
     pub(crate) stall: Option<StallInjector>,
     stalled_now: bool,
     pub(crate) stats: ChannelStats,
+    /// Queue length as of the last commit — what every elided commit
+    /// cycle's occupancy actually was (see [`Sequential::commit_skipped`]).
+    committed_occupancy: u64,
+    /// Set on every successful push: data is (or will be) available,
+    /// so a sleeping consumer must wake.
+    pub(crate) consumer_wake: Option<ActivityToken>,
+    /// Set on every successful pop: space frees up at commit, so a
+    /// producer sleeping on backpressure must wake.
+    pub(crate) producer_wake: Option<ActivityToken>,
+    /// Set whenever the next commit has real work (staged push, a pop
+    /// to reconcile, or an active stall injector that must roll its
+    /// RNG every cycle). Clean commits may be elided by the kernel.
+    commit_dirty: ActivityToken,
 }
 
 impl<T> ChannelCore<T> {
@@ -133,7 +146,20 @@ impl<T> ChannelCore<T> {
             stall: None,
             stalled_now: false,
             stats: ChannelStats::default(),
+            committed_occupancy: 0,
+            consumer_wake: None,
+            producer_wake: None,
+            commit_dirty: ActivityToken::new(),
         }
+    }
+
+    /// Data committed *or staged*: true when the channel offers data
+    /// now or will after the next commit. Deliberately ignores stall
+    /// injection and the one-pop-per-cycle limit, so it is safe as a
+    /// quiescence input — a component must not sleep while data it
+    /// will eventually have to consume sits anywhere in the channel.
+    pub(crate) fn has_pending(&self) -> bool {
+        !self.queue.is_empty() || self.staged_push.is_some()
     }
 
     /// Occupancy as committed at the last commit phase (pops this cycle
@@ -156,6 +182,10 @@ impl<T> ChannelCore<T> {
         if self.can_push() {
             self.staged_push = Some(v);
             self.pushed_this_cycle = true;
+            if let Some(w) = &self.consumer_wake {
+                w.set();
+            }
+            self.commit_dirty.set();
             Ok(())
         } else {
             self.stats.push_backpressure += 1;
@@ -182,12 +212,20 @@ impl<T> ChannelCore<T> {
             self.popped_this_cycle = true;
             self.popped_committed = true;
             self.stats.transfers += 1;
+            if let Some(w) = &self.producer_wake {
+                w.set();
+            }
+            self.commit_dirty.set();
             return Some(v);
         }
         if self.kind.flow_through() {
             if let Some(v) = self.staged_push.take() {
                 self.popped_this_cycle = true;
                 self.stats.transfers += 1;
+                if let Some(w) = &self.producer_wake {
+                    w.set();
+                }
+                self.commit_dirty.set();
                 return Some(v);
             }
         }
@@ -222,6 +260,7 @@ impl<T> ChannelCore<T> {
         }
         self.stats.cycles += 1;
         self.stats.occupancy_sum += self.queue.len() as u64;
+        self.committed_occupancy = self.queue.len() as u64;
         // Decide whether the *next* cycle is stalled.
         self.stalled_now = match &mut self.stall {
             Some(s) => s.roll(),
@@ -230,12 +269,26 @@ impl<T> ChannelCore<T> {
         if self.stalled_now {
             self.stats.stall_cycles += 1;
         }
+        // A stall injector consumes RNG state every cycle, so a channel
+        // with one armed must never have its commits elided: re-arm the
+        // dirty token so the next commit also runs.
+        if self.stall.is_some() {
+            self.commit_dirty.set();
+        }
     }
 }
 
 impl<T> Sequential for ChannelCore<T> {
     fn commit(&mut self) {
         self.do_commit();
+    }
+
+    fn commit_skipped(&mut self, skipped: u64) {
+        // Elided commits are cycles with no staged work: occupancy held
+        // at its last committed value, and no stall injector was armed
+        // (armed injectors keep the dirty token set).
+        self.stats.cycles += skipped;
+        self.stats.occupancy_sum += self.committed_occupancy * skipped;
     }
 }
 
@@ -253,10 +306,25 @@ impl<T: 'static> ChannelHandle<T> {
         Rc::<RefCell<ChannelCore<T>>>::clone(&self.core) as Rc<RefCell<dyn Sequential>>
     }
 
+    /// The channel's commit-dirty token, for registering with
+    /// [`craft_sim::Simulator::add_sequential_gated`]: commits are then
+    /// elided on cycles where nothing was pushed, popped, or stalled,
+    /// with statistics caught up exactly via
+    /// [`Sequential::commit_skipped`].
+    pub fn commit_token(&self) -> ActivityToken {
+        self.core.borrow().commit_dirty.clone()
+    }
+
     /// Enables random stall injection (§2.3: withholding `valid` to
     /// perturb timing without touching design or testbench code).
+    ///
+    /// Arming an injector marks the channel's commit dirty and keeps it
+    /// so: the injector's RNG must roll every cycle, which makes stall
+    /// sequences identical whether or not commit gating is enabled.
     pub fn inject_stalls(&self, injector: StallInjector) {
-        self.core.borrow_mut().stall = Some(injector);
+        let mut core = self.core.borrow_mut();
+        core.stall = Some(injector);
+        core.commit_dirty.set();
     }
 
     /// Disables stall injection.
@@ -264,6 +332,7 @@ impl<T: 'static> ChannelHandle<T> {
         let mut core = self.core.borrow_mut();
         core.stall = None;
         core.stalled_now = false;
+        core.commit_dirty.set();
     }
 
     /// Snapshot of the channel statistics.
@@ -310,7 +379,10 @@ impl<T> fmt::Debug for ChannelHandle<T> {
 /// // Fully registered buffer: the message is visible after commit only.
 /// assert_eq!(rx.pop_nb(), None);
 /// ```
-pub fn channel<T>(name: impl Into<String>, kind: ChannelKind) -> (crate::Out<T>, crate::In<T>, ChannelHandle<T>) {
+pub fn channel<T>(
+    name: impl Into<String>,
+    kind: ChannelKind,
+) -> (crate::Out<T>, crate::In<T>, ChannelHandle<T>) {
     let core = Rc::new(RefCell::new(ChannelCore::new(name.into(), kind)));
     (
         crate::Out::new(Rc::clone(&core)),

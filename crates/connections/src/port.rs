@@ -8,6 +8,7 @@
 //! `pop_nb`/`push_nb` each cycle until they succeed.
 
 use crate::channel::ChannelCore;
+use craft_sim::ActivityToken;
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -41,6 +42,13 @@ impl<T> Out<T> {
     /// Name of the connected channel.
     pub fn channel_name(&self) -> String {
         self.core.borrow().name.clone()
+    }
+
+    /// Registers the producing component's wake token: every
+    /// successful pop on the far end sets it, so a producer sleeping
+    /// on backpressure is roused as soon as space frees up.
+    pub fn set_wake_token(&self, token: ActivityToken) {
+        self.core.borrow_mut().producer_wake = Some(token);
     }
 }
 
@@ -85,6 +93,26 @@ impl<T> In<T> {
     pub fn channel_name(&self) -> String {
         self.core.borrow().name.clone()
     }
+
+    /// Data committed **or staged**: true when the channel will offer
+    /// data this cycle or after the next commit.
+    ///
+    /// This — not [`can_pop`](Self::can_pop) — is the correct input
+    /// for a [`craft_sim::Component::is_quiescent`] decision: it sees
+    /// pushes staged in the current evaluate phase (which `can_pop`
+    /// hides until commit on registered kinds) and ignores transient
+    /// pop blockers like stall injection, so a consumer can never
+    /// sleep while undelivered data sits in the channel.
+    pub fn has_pending(&self) -> bool {
+        self.core.borrow().has_pending()
+    }
+
+    /// Registers the consuming component's wake token: every
+    /// successful push on the far end sets it, so a consumer sleeping
+    /// on an empty queue is roused when traffic arrives.
+    pub fn set_wake_token(&self, token: ActivityToken) {
+        self.core.borrow_mut().consumer_wake = Some(token);
+    }
 }
 
 impl<T> fmt::Debug for In<T> {
@@ -106,6 +134,80 @@ mod tests {
         assert_eq!(rx.peek(), Some(1));
         assert_eq!(rx.pop_nb(), Some(1));
         assert_eq!(h.stats().transfers, 1);
+    }
+
+    #[test]
+    fn wake_tokens_fire_on_push_and_pop() {
+        use craft_sim::ActivityToken;
+        let (mut tx, mut rx, h) = channel::<u8>("c", ChannelKind::Buffer(2));
+        let consumer = ActivityToken::new();
+        let producer = ActivityToken::new();
+        rx.set_wake_token(consumer.clone());
+        tx.set_wake_token(producer.clone());
+        let dirty = h.commit_token();
+        assert!(
+            !dirty.take(),
+            "commit token starts clear; add_sequential_gated sets it at registration"
+        );
+
+        assert!(!consumer.is_set());
+        assert!(tx.push_nb(1).is_ok());
+        assert!(consumer.is_set(), "push wakes consumer");
+        assert!(dirty.is_set(), "push dirties commit");
+        assert!(!producer.is_set());
+
+        // has_pending sees the staged push before commit; can_pop does not.
+        assert!(rx.has_pending());
+        assert!(!rx.can_pop());
+
+        h.sequential().borrow_mut().commit();
+        assert!(dirty.take());
+        assert!(!dirty.is_set(), "clean after commit with no stall");
+
+        assert_eq!(rx.pop_nb(), Some(1));
+        assert!(producer.is_set(), "pop wakes producer");
+        assert!(dirty.is_set(), "pop dirties commit");
+        assert!(!rx.has_pending());
+    }
+
+    #[test]
+    fn commit_skipped_catch_up_matches_real_commits() {
+        // Two channels, identical traffic; one has idle commits elided
+        // and reconciled via commit_skipped. Stats must match exactly.
+        let (mut tx_a, mut rx_a, ha) = channel::<u8>("a", ChannelKind::Buffer(4));
+        let (mut tx_b, mut rx_b, hb) = channel::<u8>("b", ChannelKind::Buffer(4));
+        let dirty = hb.commit_token();
+        let _ = dirty.take();
+
+        let drive = |cycle: usize, tx: &mut crate::Out<u8>, rx: &mut crate::In<u8>| {
+            if cycle == 2 {
+                let _ = tx.push_nb(7);
+            }
+            if cycle == 9 {
+                let _ = rx.pop_nb();
+            }
+        };
+        let mut skipped = 0u64;
+        for cycle in 0..16 {
+            drive(cycle, &mut tx_a, &mut rx_a);
+            drive(cycle, &mut tx_b, &mut rx_b);
+            ha.sequential().borrow_mut().commit();
+            if dirty.take() {
+                let seq = hb.sequential();
+                let mut s = seq.borrow_mut();
+                if skipped > 0 {
+                    s.commit_skipped(skipped);
+                    skipped = 0;
+                }
+                s.commit();
+            } else {
+                skipped += 1;
+            }
+        }
+        if skipped > 0 {
+            hb.sequential().borrow_mut().commit_skipped(skipped);
+        }
+        assert_eq!(ha.stats(), hb.stats());
     }
 
     #[test]

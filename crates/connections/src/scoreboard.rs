@@ -70,14 +70,21 @@ impl<T: Clone + PartialEq + Debug + 'static> Component for Scoreboard<T> {
         &self.name
     }
 
+    /// A scoreboard is a pure consumer: with nothing committed or
+    /// staged on its tap it observes nothing, so its ticks may be
+    /// elided until the DUT pushes again (wire the tap's
+    /// [`In::set_wake_token`](crate::In::set_wake_token) to the same
+    /// token registered with the kernel).
+    fn is_quiescent(&self) -> bool {
+        !self.input.has_pending()
+    }
+
     fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
         while let Some(actual) = self.input.pop_nb() {
             let mut r = self.result.borrow_mut();
             match self.expected.get(self.cursor) {
                 Some(exp) if *exp == actual => r.matched += 1,
-                Some(exp) => r
-                    .mismatches
-                    .push((self.cursor as u64, exp.clone(), actual)),
+                Some(exp) => r.mismatches.push((self.cursor as u64, exp.clone(), actual)),
                 None => r.unexpected += 1,
             }
             self.cursor += 1;
@@ -141,5 +148,47 @@ mod tests {
         let data: Vec<u32> = (0..40).collect();
         let r = run_stream(data.clone(), data, true);
         assert!(r.passed(40), "{r:?}");
+    }
+
+    /// Bursty DUT traffic with the scoreboard quiescence-gated:
+    /// results must be bit-identical to the ungated run, while the
+    /// gated kernel provably skips ticks during the idle gaps.
+    #[test]
+    fn gated_scoreboard_result_bit_identical() {
+        let run = |gating: bool| {
+            let mut sim = Simulator::new();
+            let clk = sim.add_clock(ClockSpec::new("c", Picoseconds::new(909)));
+            sim.set_gating(gating);
+            let (mut tx, rx, h) = channel::<u32>("dut", ChannelKind::Buffer(2));
+            let token = craft_sim::ActivityToken::new();
+            rx.set_wake_token(token.clone());
+            sim.add_sequential_gated(clk, h.sequential(), h.commit_token());
+            let expect: Vec<u32> = (0..24).collect();
+            let sb = Scoreboard::new("sb", rx, expect);
+            let handle = sb.handle();
+            let id = sim.add_component(clk, sb);
+            sim.set_wake_token(id, token);
+            // Bursts of 4 messages separated by long idle gaps.
+            let mut sent = 0u32;
+            for burst in 0..6 {
+                let _ = burst;
+                let goal = sent + 4;
+                while sent < goal {
+                    if tx.push_nb(sent).is_ok() {
+                        sent += 1;
+                    }
+                    sim.run_cycles(clk, 1);
+                }
+                sim.run_cycles(clk, 50);
+            }
+            let out = handle.borrow().clone();
+            (out, sim.ticks_skipped())
+        };
+        let (gated, skipped_on) = run(true);
+        let (ungated, skipped_off) = run(false);
+        assert_eq!(gated, ungated, "gating must not change observations");
+        assert!(gated.passed(24), "{gated:?}");
+        assert!(skipped_on > 100, "idle gaps must be elided: {skipped_on}");
+        assert_eq!(skipped_off, 0);
     }
 }

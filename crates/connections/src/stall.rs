@@ -20,11 +20,7 @@ enum Mode {
     /// Stall each cycle independently with probability `p`.
     Bernoulli { p: f64, rng: StdRng },
     /// Alternate deterministic run/stall bursts.
-    Burst {
-        run: u32,
-        stall: u32,
-        phase: u32,
-    },
+    Burst { run: u32, stall: u32, phase: u32 },
 }
 
 /// A per-channel source of stall decisions, rolled once per cycle at
@@ -53,7 +49,10 @@ impl StallInjector {
     /// # Panics
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn bernoulli(p: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "stall probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "stall probability must be in [0,1]"
+        );
         StallInjector {
             mode: Mode::Bernoulli {
                 p,

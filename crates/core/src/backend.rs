@@ -89,7 +89,12 @@ pub fn sta_synchronous(
 /// close, so every interface reports the full period as slack
 /// ("correct-by-construction top-level timing", §3.1). Wire flight
 /// time still matters for *latency*, so it is reported.
-pub fn sta_gals(lib: &TechLibrary, fp: &Floorplan, nets: &[(usize, usize, u32)], clock_ps: f64) -> StaReport {
+pub fn sta_gals(
+    lib: &TechLibrary,
+    fp: &Floorplan,
+    nets: &[(usize, usize, u32)],
+    clock_ps: f64,
+) -> StaReport {
     let interfaces: Vec<InterfaceTiming> = nets
         .iter()
         .map(|&(a, b, _)| InterfaceTiming {
@@ -196,7 +201,10 @@ mod tests {
         };
         let nets = vec![(0usize, 1usize, 8u32)];
         let sync = sta_synchronous(&lib, &fp, &nets, 909.0, 120.0);
-        assert!(sync.violations > 0, "cross-die sync path must fail at 1.1 GHz");
+        assert!(
+            sync.violations > 0,
+            "cross-die sync path must fail at 1.1 GHz"
+        );
         let gals = sta_gals(&lib, &fp, &nets, 909.0);
         assert_eq!(gals.violations, 0);
     }

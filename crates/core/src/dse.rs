@@ -27,12 +27,10 @@ impl DesignPoint {
     /// True if `self` dominates `other` (no worse in area, latency and
     /// II; strictly better in at least one).
     pub fn dominates(&self, other: &DesignPoint) -> bool {
-        let no_worse = self.area_um2 <= other.area_um2
-            && self.latency <= other.latency
-            && self.ii <= other.ii;
-        let better = self.area_um2 < other.area_um2
-            || self.latency < other.latency
-            || self.ii < other.ii;
+        let no_worse =
+            self.area_um2 <= other.area_um2 && self.latency <= other.latency && self.ii <= other.ii;
+        let better =
+            self.area_um2 < other.area_um2 || self.latency < other.latency || self.ii < other.ii;
         no_worse && better
     }
 }

@@ -62,7 +62,10 @@ fn wirelength(positions: &[(f64, f64)], nets: &[Net]) -> f64 {
 pub fn floorplan(blocks: &[Block], nets: &[Net], seed: u64) -> Floorplan {
     assert!(!blocks.is_empty(), "floorplan needs at least one block");
     for &(a, b, _) in nets {
-        assert!(a < blocks.len() && b < blocks.len(), "net references missing block");
+        assert!(
+            a < blocks.len() && b < blocks.len(),
+            "net references missing block"
+        );
     }
     let n = blocks.len();
     let grid = (n as f64).sqrt().ceil() as usize;
@@ -75,14 +78,10 @@ pub fn floorplan(blocks: &[Block], nets: &[Net], seed: u64) -> Floorplan {
     let mut slot_of: Vec<usize> = (0..n).collect();
     let pos = |slot: usize| -> (f64, f64) {
         let (x, y) = (slot % grid, slot / grid);
-        (
-            (x as f64 + 0.5) * pitch,
-            (y as f64 + 0.5) * pitch,
-        )
+        ((x as f64 + 0.5) * pitch, (y as f64 + 0.5) * pitch)
     };
-    let positions_of = |slot_of: &[usize]| -> Vec<(f64, f64)> {
-        slot_of.iter().map(|&s| pos(s)).collect()
-    };
+    let positions_of =
+        |slot_of: &[usize]| -> Vec<(f64, f64)> { slot_of.iter().map(|&s| pos(s)).collect() };
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut best = slot_of.clone();

@@ -211,13 +211,8 @@ mod tests {
         // The [7] result: adaptive clocks reduce required supply-noise
         // margin substantially.
         let fixed = margin_experiment(ClockStyle::Fixed, 909, 0.95, 4000, 42);
-        let adaptive = margin_experiment(
-            ClockStyle::Adaptive { residue: 0.2 },
-            909,
-            0.95,
-            4000,
-            42,
-        );
+        let adaptive =
+            margin_experiment(ClockStyle::Adaptive { residue: 0.2 }, 909, 0.95, 4000, 42);
         assert!(fixed.violations_at_zero_margin > 0, "noise must bite");
         assert!(
             adaptive.min_safe_margin < 0.5 * fixed.min_safe_margin,
@@ -229,13 +224,7 @@ mod tests {
 
     #[test]
     fn perfect_tracking_needs_no_margin() {
-        let r = margin_experiment(
-            ClockStyle::Adaptive { residue: 0.0 },
-            909,
-            0.95,
-            2000,
-            9,
-        );
+        let r = margin_experiment(ClockStyle::Adaptive { residue: 0.0 }, 909, 0.95, 2000, 9);
         assert!(r.min_safe_margin < 0.01, "{}", r.min_safe_margin);
     }
 

@@ -56,8 +56,9 @@ impl SupplyNoise {
     /// call and low-pass filtered.
     pub fn voltage_at(&mut self, t_ps: f64) -> f64 {
         let resonant = self.resonant_amplitude
-            * (2.0 * std::f64::consts::PI * t_ps / self.resonant_period_ps).sin()
-            .max(0.0);
+            * (2.0 * std::f64::consts::PI * t_ps / self.resonant_period_ps)
+                .sin()
+                .max(0.0);
         let target: f64 = self.rng.gen_range(-1.0..1.0) * self.random_amplitude;
         // Single-pole smoothing so consecutive cycles are correlated.
         self.last_random = 0.7 * self.last_random + 0.3 * target;

@@ -106,8 +106,7 @@ pub fn compare_clocking(
     // a *local* (small-span) tree, which both schemes need — only the
     // global layer differs, so it is excluded from both sides.
     let per = partition_overhead(lib, gates_per_partition, interfaces_per_partition, 8, 64);
-    let gals_area =
-        (per.clockgen_area_um2 + per.fifo_area_um2) * f64::from(n_partitions);
+    let gals_area = (per.clockgen_area_um2 + per.fifo_area_um2) * f64::from(n_partitions);
 
     ClockingComparison {
         sync_tree_area_um2: tree.area_um2,

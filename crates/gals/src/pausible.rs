@@ -171,10 +171,7 @@ impl<T: 'static> Component for PausibleRx<T> {
         st.transfers += 1;
         let lat = ctx.now().as_ps().saturating_sub(wrote_at);
         st.latency_ps.record(lat);
-        self.output
-            .push_nb(v)
-            .ok()
-            .expect("can_push checked above");
+        self.output.push_nb(v).ok().expect("can_push checked above");
     }
 }
 
@@ -256,7 +253,10 @@ pub fn two_flop_mtbf_years(
     f_data_ghz: f64,
 ) -> f64 {
     assert!(tau_ps > 0.0 && t0_ps > 0.0, "tau/T0 must be positive");
-    assert!(f_clk_ghz > 0.0 && f_data_ghz > 0.0, "rates must be positive");
+    assert!(
+        f_clk_ghz > 0.0 && f_data_ghz > 0.0,
+        "rates must be positive"
+    );
     let events_per_sec = (t0_ps * 1e-12) * (f_clk_ghz * 1e9) * (f_data_ghz * 1e9);
     let mtbf_sec = (resolve_time_ps / tau_ps).exp() / events_per_sec;
     mtbf_sec / (3600.0 * 24.0 * 365.0)
@@ -285,8 +285,7 @@ mod tests {
         let (out_tx, mut out_rx, h2) = channel::<u64>("out", ChannelKind::Buffer(2));
         sim.add_sequential(txc, h1.sequential());
         sim.add_sequential(rxc, h2.sequential());
-        let (tx, rx, state) =
-            pausible_fifo("x", in_rx, out_tx, 4, rxc, Picoseconds::new(40));
+        let (tx, rx, state) = pausible_fifo("x", in_rx, out_tx, 4, rxc, Picoseconds::new(40));
         sim.add_component(txc, tx);
         sim.add_component(rxc, rx);
 
@@ -345,8 +344,9 @@ mod tests {
         // Two-flop baseline.
         let mut sim = Simulator::new();
         let txc = sim.add_clock(ClockSpec::new("tx", Picoseconds::new(909)));
-        let rxc = sim
-            .add_clock(ClockSpec::new("rx", Picoseconds::new(909)).with_phase(Picoseconds::new(250)));
+        let rxc = sim.add_clock(
+            ClockSpec::new("rx", Picoseconds::new(909)).with_phase(Picoseconds::new(250)),
+        );
         let (mut in_tx, in_rx, h1) = channel::<u64>("in", ChannelKind::Buffer(2));
         let (out_tx, mut out_rx, h2) = channel::<u64>("out", ChannelKind::Buffer(2));
         sim.add_sequential(txc, h1.sequential());
@@ -390,8 +390,7 @@ mod tests {
         let (out_tx, mut out_rx, h2) = channel::<u64>("out", ChannelKind::Buffer(2));
         sim.add_sequential(txc, h1.sequential());
         sim.add_sequential(rxc, h2.sequential());
-        let (tx, rx, _state) =
-            pausible_fifo("x", in_rx, out_tx, 4, rxc, Picoseconds::new(40));
+        let (tx, rx, _state) = pausible_fifo("x", in_rx, out_tx, 4, rxc, Picoseconds::new(40));
         sim.add_component(txc, tx);
         sim.add_component(rxc, rx);
         let mut sent = 0u64;

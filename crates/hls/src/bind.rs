@@ -117,12 +117,7 @@ impl RtlModule {
 ///
 /// # Panics
 /// Panics if `sched` does not belong to `kernel` (length mismatch).
-pub fn bind(
-    kernel: &Kernel,
-    sched: &Schedule,
-    lib: &TechLibrary,
-    clock_ps: f64,
-) -> RtlModule {
+pub fn bind(kernel: &Kernel, sched: &Schedule, lib: &TechLibrary, clock_ps: f64) -> RtlModule {
     let ops = kernel.ops();
     assert_eq!(sched.cycle.len(), ops.len(), "schedule/kernel mismatch");
     let mut netlist = Netlist::new();

@@ -56,11 +56,7 @@ pub fn cosim(
     }
 
     let mut values: HashMap<usize, (i64, u32)> = HashMap::new(); // value -> (val, ready cycle)
-    let mut arrays: Vec<Vec<i64>> = kernel
-        .arrays()
-        .iter()
-        .map(|d| vec![0i64; d.len])
-        .collect();
+    let mut arrays: Vec<Vec<i64>> = kernel.arrays().iter().map(|d| vec![0i64; d.len]).collect();
     let mut mem_last_touch: Vec<u32> = vec![0; kernel.arrays().len()];
     let mut outputs = vec![0i64; kernel.n_outputs()];
 
@@ -87,9 +83,7 @@ pub fn cosim(
                 OpKind::And => Some(arg(&values, 0) & arg(&values, 1)),
                 OpKind::Or => Some(arg(&values, 0) | arg(&values, 1)),
                 OpKind::Xor => Some(arg(&values, 0) ^ arg(&values, 1)),
-                OpKind::Shl => {
-                    Some(arg(&values, 0).wrapping_shl(arg(&values, 1) as u32 & 63))
-                }
+                OpKind::Shl => Some(arg(&values, 0).wrapping_shl(arg(&values, 1) as u32 & 63)),
                 OpKind::Shr => {
                     Some(((arg(&values, 0) as u64) >> (arg(&values, 1) as u32 & 63)) as i64)
                 }
@@ -158,11 +152,7 @@ pub fn check_equivalence(
 ) {
     let golden = kernel.eval(inputs, &[]).0;
     let rtl = cosim(kernel, sched, lib, constraints, inputs);
-    assert_eq!(
-        golden, rtl.outputs,
-        "cosim mismatch on {}",
-        kernel.name()
-    );
+    assert_eq!(golden, rtl.outputs, "cosim mismatch on {}", kernel.name());
 }
 
 #[cfg(test)]

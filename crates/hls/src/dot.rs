@@ -40,7 +40,10 @@ fn label(kind: OpKind) -> String {
 /// assert!(dot.contains("\"*\""));
 /// ```
 pub fn to_dot(kernel: &Kernel, sched: Option<&Schedule>) -> String {
-    let mut out = format!("digraph \"{}\" {{\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n", kernel.name());
+    let mut out = format!(
+        "digraph \"{}\" {{\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n",
+        kernel.name()
+    );
     // Producer op index per value id.
     let mut producer = std::collections::HashMap::new();
     for (i, op) in kernel.ops().iter().enumerate() {
@@ -52,7 +55,10 @@ pub fn to_dot(kernel: &Kernel, sched: Option<&Schedule>) -> String {
     match sched {
         Some(s) => {
             for cycle in 0..s.latency {
-                let _ = writeln!(out, "  subgraph cluster_c{cycle} {{ label=\"cycle {cycle}\";");
+                let _ = writeln!(
+                    out,
+                    "  subgraph cluster_c{cycle} {{ label=\"cycle {cycle}\";"
+                );
                 for (i, op) in kernel.ops().iter().enumerate() {
                     if s.cycle[i] == cycle {
                         let _ = writeln!(out, "    n{i} [label=\"{}\"];", label(op.kind));

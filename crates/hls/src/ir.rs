@@ -138,7 +138,11 @@ impl Kernel {
     /// # Panics
     /// Panics if `inputs` is shorter than the kernel's input count, an
     /// index is out of array bounds, or `array_init` lengths mismatch.
-    pub fn eval(&self, inputs: &[i64], array_init: &[Option<Vec<i64>>]) -> (Vec<i64>, Vec<Vec<i64>>) {
+    pub fn eval(
+        &self,
+        inputs: &[i64],
+        array_init: &[Option<Vec<i64>>],
+    ) -> (Vec<i64>, Vec<Vec<i64>>) {
         assert!(inputs.len() >= self.n_inputs, "not enough inputs");
         let mut arrays: Vec<Vec<i64>> = self
             .arrays

@@ -110,8 +110,14 @@ mod tests {
     fn optimized_kernel_matches_original_function() {
         let lib = TechLibrary::n16();
         let k = kernels::crossbar_dst_loop(8, 32);
-        let out = compile(k.clone(), &lib, &Constraints::at_clock(1100.0).with_mem_ports(16));
-        let inputs: Vec<i64> = (0..16).map(|i| if i < 8 { i * 11 } else { (15 - i) % 8 }).collect();
+        let out = compile(
+            k.clone(),
+            &lib,
+            &Constraints::at_clock(1100.0).with_mem_ports(16),
+        );
+        let inputs: Vec<i64> = (0..16)
+            .map(|i| if i < 8 { i * 11 } else { (15 - i) % 8 })
+            .collect();
         assert_eq!(k.eval(&inputs, &[]).0, out.optimized.eval(&inputs, &[]).0);
     }
 

@@ -160,9 +160,7 @@ fn dependences(kernel: &Kernel) -> Vec<Vec<usize>> {
         let mut last_store: Option<usize> = None;
         let mut accesses_since_store: Vec<usize> = Vec::new();
         for (i, op) in ops.iter().enumerate() {
-            let touches = op
-                .kind
-                .touches(crate::ir::ArrayId(array_idx));
+            let touches = op.kind.touches(crate::ir::ArrayId(array_idx));
             if !touches {
                 continue;
             }
@@ -302,7 +300,8 @@ pub fn schedule(kernel: &Kernel, lib: &TechLibrary, constraints: &Constraints) -
     }
     for i in (0..ops.len()).rev() {
         for &s in &succs[i] {
-            let bound = alap[s].saturating_sub(start_cycle[s].saturating_sub(start_cycle[i]).min(1));
+            let bound =
+                alap[s].saturating_sub(start_cycle[s].saturating_sub(start_cycle[i]).min(1));
             alap[i] = alap[i].min(bound.max(start_cycle[i]));
         }
     }
@@ -401,7 +400,11 @@ mod tests {
         let k = b.finish();
 
         let free = schedule(&k, &lib(), &Constraints::at_clock(2000.0));
-        let tight = schedule(&k, &lib(), &Constraints::at_clock(2000.0).with_multipliers(1));
+        let tight = schedule(
+            &k,
+            &lib(),
+            &Constraints::at_clock(2000.0).with_multipliers(1),
+        );
         assert!(tight.latency > free.latency);
         assert_eq!(tight.ii, 4, "4 muls / 1 multiplier");
         assert_eq!(free.ii, 1);

@@ -139,9 +139,8 @@ fn dce(mut k: Kernel) -> (Kernel, usize) {
         }
     }
     let before = k.ops.len();
-    k.ops.retain(|op| {
-        op.kind.has_side_effect() || op.result.map(|r| used[r.0]).unwrap_or(false)
-    });
+    k.ops
+        .retain(|op| op.kind.has_side_effect() || op.result.map(|r| used[r.0]).unwrap_or(false));
     let removed = before - k.ops.len();
     (k, removed)
 }
@@ -185,10 +184,7 @@ mod tests {
         let v = b.input(0);
         b.store(arr, i, v);
         let (k, _) = optimize(b.finish());
-        assert!(k
-            .ops()
-            .iter()
-            .any(|o| matches!(o.kind, OpKind::Store(_))));
+        assert!(k.ops().iter().any(|o| matches!(o.kind, OpKind::Store(_))));
         assert_eq!(k.eval(&[5], &[]).1[0], vec![0, 5]);
     }
 

@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn fairness_all_requesting() {
         let mut a = Arbiter::new(4);
-        let grants: Vec<usize> = (0..8).map(|_| a.pick(0b1111).expect("req")) .collect();
+        let grants: Vec<usize> = (0..8).map(|_| a.pick(0b1111).expect("req")).collect();
         assert_eq!(grants, vec![0, 1, 2, 3, 0, 1, 2, 3]);
     }
 

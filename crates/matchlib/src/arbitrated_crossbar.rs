@@ -284,7 +284,8 @@ mod tests {
     /// Latency of a single message through an otherwise idle crossbar.
     fn single_message_latency(h: &mut Harness, src: usize, dst: usize) -> u64 {
         h.inject[src]
-            .push_nb(XbarMsg { dst, data: 99 }).expect("input empty");
+            .push_nb(XbarMsg { dst, data: 99 })
+            .expect("input empty");
         let mut cycles = 0;
         loop {
             h.sim.run_cycles(h.clk, 1);
@@ -350,7 +351,8 @@ mod tests {
             port.push_nb(XbarMsg {
                 dst: 2,
                 data: i as u32,
-            }).expect("room");
+            })
+            .expect("room");
         }
         let mut got = Vec::new();
         for _ in 0..30 {
@@ -388,8 +390,7 @@ mod tests {
     #[should_panic(expected = "crossbar must be square")]
     fn mismatched_ports_panic() {
         let (_tx, rx, _h) = channel::<XbarMsg<u32>>("i", ChannelKind::Buffer(1));
-        let xbar: ArbitratedCrossbarRtl<u32> =
-            ArbitratedCrossbarRtl::new("x", vec![rx], vec![], 1);
+        let xbar: ArbitratedCrossbarRtl<u32> = ArbitratedCrossbarRtl::new("x", vec![rx], vec![], 1);
         let _ = xbar;
     }
 }

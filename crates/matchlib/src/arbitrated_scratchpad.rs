@@ -121,9 +121,7 @@ impl<T: Copy + Default> ArbitratedScratchpad<T> {
         if self.bank_queues[bank].is_full() || self.robs[lane].is_full() {
             return Err(req);
         }
-        let tag = self.robs[lane]
-            .allocate()
-            .expect("rob checked not full");
+        let tag = self.robs[lane].allocate().expect("rob checked not full");
         self.bank_queues[bank]
             .push((lane, tag, req))
             .ok()
@@ -259,11 +257,15 @@ mod tests {
         let mut sp: ArbitratedScratchpad<u32> = ArbitratedScratchpad::new(4, 16, 4, 4);
         // Conflict-free: each lane owns a bank.
         for lane in 0..4 {
-            sp.issue(lane, SpRequest::Read { addr: lane }).expect("room");
+            sp.issue(lane, SpRequest::Read { addr: lane })
+                .expect("room");
         }
         sp.tick();
         for lane in 0..4 {
-            assert!(sp.response(lane).is_some(), "lane {lane} not served in 1 cycle");
+            assert!(
+                sp.response(lane).is_some(),
+                "lane {lane} not served in 1 cycle"
+            );
         }
     }
 

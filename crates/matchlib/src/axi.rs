@@ -139,7 +139,11 @@ enum WriteState {
 
 enum ReadState {
     Idle,
-    Data { cmd: AxiAddrCmd, beat: u64, okay: bool },
+    Data {
+        cmd: AxiAddrCmd,
+        beat: u64,
+        okay: bool,
+    },
 }
 
 /// Memory-backed AXI slave: services one write burst and one read
@@ -313,10 +317,7 @@ impl AxiMasterHandle {
                 );
             }
             AxiOp::Read { beats, .. } => {
-                assert!(
-                    (1..=256).contains(beats),
-                    "burst must be 1..=256 beats"
-                );
+                assert!((1..=256).contains(beats), "burst must be 1..=256 beats");
             }
         }
         self.queue.borrow_mut().push_back(op);
@@ -336,15 +337,9 @@ impl AxiMasterHandle {
 
 enum MasterState {
     Idle,
-    Write {
-        data: Vec<u64>,
-        beat: usize,
-    },
+    Write { data: Vec<u64>, beat: usize },
     AwaitB,
-    Read {
-        collected: Vec<u64>,
-        okay: bool,
-    },
+    Read { collected: Vec<u64>, okay: bool },
 }
 
 /// Queue-driven AXI master: executes [`AxiOp`]s one at a time, in
@@ -697,10 +692,7 @@ mod tests {
                 addr: 8,
                 data: words.clone(),
             },
-            AxiOp::Read {
-                addr: 8,
-                beats: 16,
-            },
+            AxiOp::Read { addr: 8, beats: 16 },
         ]);
         assert_eq!(results.len(), 2);
         assert_eq!(
@@ -755,13 +747,7 @@ mod tests {
                 "bus",
                 bus_up,
                 vec![
-                    (
-                        AddrRange {
-                            base: 0,
-                            words: 32,
-                        },
-                        bus_dn0,
-                    ),
+                    (AddrRange { base: 0, words: 32 }, bus_dn0),
                     (
                         AddrRange {
                             base: 32,
@@ -815,7 +801,10 @@ mod bus_burst_tests {
             addr: 40, // slave 1 local addr 8
             data: words.clone(),
         });
-        handle.submit(AxiOp::Read { addr: 40, beats: 32 });
+        handle.submit(AxiOp::Read {
+            addr: 40,
+            beats: 32,
+        });
         sim.add_component(clk, AxiMaster::new("m", mports, handle.clone()));
         sim.add_component(
             clk,
@@ -824,7 +813,13 @@ mod bus_burst_tests {
                 bus_up,
                 vec![
                     (AddrRange { base: 0, words: 32 }, bus_dn0),
-                    (AddrRange { base: 32, words: 64 }, bus_dn1),
+                    (
+                        AddrRange {
+                            base: 32,
+                            words: 64,
+                        },
+                        bus_dn1,
+                    ),
                 ],
             ),
         );

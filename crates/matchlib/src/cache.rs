@@ -33,7 +33,10 @@ impl CacheConfig {
     /// or capacity is not divisible into `associativity` ways of whole
     /// lines.
     pub fn validate(self) {
-        assert!(self.line_words.is_power_of_two(), "line must be a power of two");
+        assert!(
+            self.line_words.is_power_of_two(),
+            "line must be a power of two"
+        );
         assert!(self.associativity > 0, "associativity must be nonzero");
         let lines = self.capacity_words / self.line_words;
         assert!(
@@ -242,10 +245,7 @@ impl<T: Copy + Default> Cache<T> {
     /// True if the line containing `addr` is resident.
     pub fn probe(&self, addr: usize) -> bool {
         let (set, tag, _) = self.decompose(addr);
-        self.sets[set]
-            .iter()
-            .flatten()
-            .any(|line| line.tag == tag)
+        self.sets[set].iter().flatten().any(|line| line.tag == tag)
     }
 
     /// Flushes every dirty line, returning `(base, data)` pairs and
@@ -320,8 +320,8 @@ mod tests {
                         if let Some((base, line)) = writeback {
                             self.mem[base..base + line.len()].copy_from_slice(&line);
                         }
-                        let line =
-                            self.mem[fill_base..fill_base + self.cache.config().line_words].to_vec();
+                        let line = self.mem[fill_base..fill_base + self.cache.config().line_words]
+                            .to_vec();
                         self.cache.fill(fill_base, line);
                     }
                 }
@@ -339,8 +339,8 @@ mod tests {
                         if let Some((base, line)) = writeback {
                             self.mem[base..base + line.len()].copy_from_slice(&line);
                         }
-                        let line =
-                            self.mem[fill_base..fill_base + self.cache.config().line_words].to_vec();
+                        let line = self.mem[fill_base..fill_base + self.cache.config().line_words]
+                            .to_vec();
                         self.cache.fill(fill_base, line);
                     }
                 }
@@ -384,7 +384,7 @@ mod tests {
         let mut c = Checked::new(cfg(4, 8, 1), 256);
         c.write(0, 999); // dirty line 0 (1-way: set 0)
         c.read(8); // maps to set 0 in a 2-set direct-mapped cache
-        // Find where line 0 went: with 2 sets, addr 8 is set 0 too.
+                   // Find where line 0 went: with 2 sets, addr 8 is set 0 too.
         assert_eq!(c.cache.stats().writebacks, 1);
         assert_eq!(c.mem[0], 999, "writeback landed in memory");
         assert_eq!(c.read(0), 999, "value survives round trip");

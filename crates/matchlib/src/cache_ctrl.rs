@@ -78,9 +78,13 @@ pub struct LineFill {
 enum CtrlState {
     Ready,
     /// Waiting for a fill for the stalled request.
-    MissWait { req: CacheReq },
+    MissWait {
+        req: CacheReq,
+    },
     /// Response computed, waiting for the output channel.
-    Respond { resp: CacheResp },
+    Respond {
+        resp: CacheResp,
+    },
 }
 
 /// The cache controller component.
@@ -261,8 +265,9 @@ impl Component for LineMemory {
         if let Some(op) = self.ops_in.pop_nb() {
             match op {
                 LineOp::Fill { base } => {
-                    let data: Vec<u64> =
-                        (0..self.line_words).map(|i| self.mem.read(base + i)).collect();
+                    let data: Vec<u64> = (0..self.line_words)
+                        .map(|i| self.mem.read(base + i))
+                        .collect();
                     self.pending
                         .push_back((self.cycle + self.latency, LineFill { base, data }));
                 }
@@ -305,7 +310,12 @@ mod tests {
         let (resp_tx, resp_rx, h2) = channel::<CacheResp>("resp", ChannelKind::Buffer(2));
         let (mem_tx, mem_rx, h3) = channel::<LineOp>("memop", ChannelKind::Buffer(2));
         let (fill_tx, fill_rx, h4) = channel::<LineFill>("fill", ChannelKind::Buffer(2));
-        for h in [h1.sequential(), h2.sequential(), h3.sequential(), h4.sequential()] {
+        for h in [
+            h1.sequential(),
+            h2.sequential(),
+            h3.sequential(),
+            h4.sequential(),
+        ] {
             sim.add_sequential(clk, h);
         }
         let ctrl = CacheController::new(

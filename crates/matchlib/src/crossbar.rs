@@ -122,10 +122,7 @@ mod tests {
         let inputs = [5u32, 6, 7, 8];
         let dst = [3, 1, 0, 2];
         let src = invert_permutation(&dst).expect("valid permutation");
-        assert_eq!(
-            route_src_loop(&inputs, &dst),
-            route_dst_loop(&inputs, &src)
-        );
+        assert_eq!(route_src_loop(&inputs, &dst), route_dst_loop(&inputs, &src));
     }
 
     #[test]

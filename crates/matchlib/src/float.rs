@@ -79,8 +79,7 @@ impl FloatFormat {
 
     /// Infinity bit pattern with the given sign.
     pub fn inf_bits(self, negative: bool) -> u64 {
-        (u64::from(negative) << (self.exp_bits + self.man_bits))
-            | (self.exp_max() << self.man_bits)
+        (u64::from(negative) << (self.exp_bits + self.man_bits)) | (self.exp_max() << self.man_bits)
     }
 }
 
@@ -88,8 +87,12 @@ impl FloatFormat {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Class {
     /// Zero (true zeros and flushed subnormals).
-    Zero { sign: bool },
-    Inf { sign: bool },
+    Zero {
+        sign: bool,
+    },
+    Inf {
+        sign: bool,
+    },
     Nan,
     Normal(Unpacked),
 }

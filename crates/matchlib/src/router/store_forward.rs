@@ -69,6 +69,17 @@ impl Component for SfRouter {
         &self.name
     }
 
+    /// Quiescent when no packet is under assembly, queued, or
+    /// streaming, and no input channel holds committed or staged
+    /// flits. Idle ticks touch no arbiter state (`pick(0)` is a
+    /// no-op), so eliding them is behaviour-exact.
+    fn is_quiescent(&self) -> bool {
+        self.assembling.iter().all(Vec::is_empty)
+            && self.complete.iter().all(Fifo::is_empty)
+            && self.streaming.iter().all(VecDeque::is_empty)
+            && self.inputs.iter().all(|i| !i.has_pending())
+    }
+
     fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
         let ports = self.inputs.len();
         // Assemble whole packets per input.
@@ -141,10 +152,7 @@ mod tests {
             rout.push(tx2);
             drain.push(rx2);
         }
-        sim.add_component(
-            clk,
-            SfRouter::new("sf", rin, rout, 2, |dst| dst as usize),
-        );
+        sim.add_component(clk, SfRouter::new("sf", rin, rout, 2, |dst| dst as usize));
         Bench {
             sim,
             clk,

@@ -104,7 +104,10 @@ impl WhvcRouter {
         let head = *self.buffers[slot].peek()?;
         if head.kind.is_head() {
             let out = (self.route)(head.dst);
-            assert!(out < self.outputs.len(), "routing function returned bad port");
+            assert!(
+                out < self.outputs.len(),
+                "routing function returned bad port"
+            );
             self.route_lock[slot] = Some(out);
             Some(out)
         } else {
@@ -118,6 +121,18 @@ impl WhvcRouter {
 impl Component for WhvcRouter {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Quiescent when every VC buffer is empty and no input channel
+    /// holds committed or staged flits. In that state a tick moves
+    /// nothing and leaves all arbitration state untouched
+    /// (`Arbiter::pick(0)` returns `None` without advancing the
+    /// round-robin pointer, and an output owner with an empty buffer
+    /// just waits), so elided ticks are behaviour-exact. Route locks
+    /// and output owners may stay held across a sleep: the wormhole
+    /// resumes when the owner's next flit arrives and wakes us.
+    fn is_quiescent(&self) -> bool {
+        self.buffers.iter().all(Fifo::is_empty) && self.inputs.iter().all(|i| !i.has_pending())
     }
 
     fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
@@ -165,7 +180,9 @@ impl Component for WhvcRouter {
                     }
                 }
             };
-            let flit = self.buffers[granted_slot].pop().expect("candidate has flit");
+            let flit = self.buffers[granted_slot]
+                .pop()
+                .expect("candidate has flit");
             self.outputs[out].push_nb(flit).expect("output ready");
             self.forwarded += 1;
             if flit.kind.is_tail() {
@@ -282,9 +299,11 @@ mod tests {
     fn distinct_outputs_proceed_in_parallel() {
         let mut r = single_router(4, WhvcConfig::default());
         r.inject[0]
-            .push_nb(make_packet(1, 0, 0, &[1])[0]).expect("room");
+            .push_nb(make_packet(1, 0, 0, &[1])[0])
+            .expect("room");
         r.inject[2]
-            .push_nb(make_packet(3, 2, 0, &[3])[0]).expect("room");
+            .push_nb(make_packet(3, 2, 0, &[3])[0])
+            .expect("room");
         for _ in 0..6 {
             r.sim.run_cycles(r.clk, 1);
         }

@@ -22,10 +22,7 @@ use std::collections::VecDeque;
 /// ```
 pub fn serialize_word(word: u64, n_bits: u32, chunk_bits: u32) -> Vec<u64> {
     assert!((1..=64).contains(&n_bits), "word width must be 1..=64");
-    assert!(
-        (1..=64).contains(&chunk_bits),
-        "chunk width must be 1..=64"
-    );
+    assert!((1..=64).contains(&chunk_bits), "chunk width must be 1..=64");
     let mask = if chunk_bits == 64 {
         u64::MAX
     } else {
@@ -44,10 +41,7 @@ pub fn serialize_word(word: u64, n_bits: u32, chunk_bits: u32) -> Vec<u64> {
 /// `n_bits / chunk_bits`.
 pub fn deserialize_word(chunks: &[u64], n_bits: u32, chunk_bits: u32) -> u64 {
     assert!((1..=64).contains(&n_bits), "word width must be 1..=64");
-    assert!(
-        (1..=64).contains(&chunk_bits),
-        "chunk width must be 1..=64"
-    );
+    assert!((1..=64).contains(&chunk_bits), "chunk width must be 1..=64");
     assert_eq!(
         chunks.len() as u32,
         n_bits.div_ceil(chunk_bits),

@@ -90,9 +90,7 @@ impl<T: Copy + Add<Output = T> + Mul<Output = T> + Default> Vector<T> {
 
     /// Sum of all elements — the PE "reduction" kernel.
     pub fn reduce(&self) -> T {
-        self.elems
-            .iter()
-            .fold(T::default(), |acc, &x| acc + x)
+        self.elems.iter().fold(T::default(), |acc, &x| acc + x)
     }
 
     /// Inner product — the PE "dot-product" kernel.

@@ -20,18 +20,20 @@ fn build_mesh() -> Mesh {
     let mut sim = Simulator::new();
     let clk = sim.add_clock(ClockSpec::new("c", Picoseconds::new(909)));
     let kind = ChannelKind::Buffer(4);
-    let mut rin: Vec<Vec<Option<In<NocFlit>>>> =
-        (0..N).map(|_| (0..port::COUNT).map(|_| None).collect()).collect();
-    let mut rout: Vec<Vec<Option<Out<NocFlit>>>> =
-        (0..N).map(|_| (0..port::COUNT).map(|_| None).collect()).collect();
+    let mut rin: Vec<Vec<Option<In<NocFlit>>>> = (0..N)
+        .map(|_| (0..port::COUNT).map(|_| None).collect())
+        .collect();
+    let mut rout: Vec<Vec<Option<Out<NocFlit>>>> = (0..N)
+        .map(|_| (0..port::COUNT).map(|_| None).collect())
+        .collect();
 
     let link = |sim: &mut Simulator,
-                    rin: &mut Vec<Vec<Option<In<NocFlit>>>>,
-                    rout: &mut Vec<Vec<Option<Out<NocFlit>>>>,
-                    a: usize,
-                    pa: usize,
-                    b: usize,
-                    pb: usize| {
+                rin: &mut Vec<Vec<Option<In<NocFlit>>>>,
+                rout: &mut Vec<Vec<Option<Out<NocFlit>>>>,
+                a: usize,
+                pa: usize,
+                b: usize,
+                pb: usize| {
         let (tx, rx, h) = channel::<NocFlit>(format!("l{a}.{pa}"), kind);
         sim.add_sequential(clk, h.sequential());
         rout[a][pa] = Some(tx);
@@ -41,8 +43,24 @@ fn build_mesh() -> Mesh {
     for n in 0..N {
         let (x, y) = (n % W as usize, n / W as usize);
         if x + 1 < W as usize {
-            link(&mut sim, &mut rin, &mut rout, n, port::EAST, n + 1, port::WEST);
-            link(&mut sim, &mut rin, &mut rout, n + 1, port::WEST, n, port::EAST);
+            link(
+                &mut sim,
+                &mut rin,
+                &mut rout,
+                n,
+                port::EAST,
+                n + 1,
+                port::WEST,
+            );
+            link(
+                &mut sim,
+                &mut rin,
+                &mut rout,
+                n + 1,
+                port::WEST,
+                n,
+                port::EAST,
+            );
         }
         if y + 1 < W as usize {
             link(
@@ -94,9 +112,14 @@ fn build_mesh() -> Mesh {
         }
     }
     for n in 0..N as u16 {
-        let ins: Vec<In<NocFlit>> = rin[n as usize].iter_mut().map(|o| o.take().expect("wired")).collect();
-        let outs: Vec<Out<NocFlit>> =
-            rout[n as usize].iter_mut().map(|o| o.take().expect("wired")).collect();
+        let ins: Vec<In<NocFlit>> = rin[n as usize]
+            .iter_mut()
+            .map(|o| o.take().expect("wired"))
+            .collect();
+        let outs: Vec<Out<NocFlit>> = rout[n as usize]
+            .iter_mut()
+            .map(|o| o.take().expect("wired"))
+            .collect();
         sim.add_component(
             clk,
             WhvcRouter::new(
@@ -129,8 +152,9 @@ fn all_to_all_traffic_delivered() {
             if src == dst {
                 continue;
             }
-            let words: Vec<u64> =
-                (0..3).map(|i| u64::from(src) << 32 | u64::from(dst) << 16 | i).collect();
+            let words: Vec<u64> = (0..3)
+                .map(|i| u64::from(src) << 32 | u64::from(dst) << 16 | i)
+                .collect();
             pending.push(make_packet(dst, src, (src % 2) as u8, &words));
         }
     }

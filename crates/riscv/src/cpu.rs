@@ -55,9 +55,7 @@ impl Bus for FlatMemory {
         let a = addr as usize;
         match size {
             AccessSize::Byte => u32::from(self.bytes[a]),
-            AccessSize::Half => {
-                u32::from(self.bytes[a]) | (u32::from(self.bytes[a + 1]) << 8)
-            }
+            AccessSize::Half => u32::from(self.bytes[a]) | (u32::from(self.bytes[a + 1]) << 8),
             AccessSize::Word => {
                 u32::from(self.bytes[a])
                     | (u32::from(self.bytes[a + 1]) << 8)
@@ -248,9 +246,7 @@ impl Cpu {
                 let v = if funct7 == 0b0000001 {
                     match funct3 {
                         0b000 => a.wrapping_mul(b),
-                        0b001 => {
-                            ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32
-                        }
+                        0b001 => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
                         0b010 => ((i64::from(a as i32) * b as i64) >> 32) as u32,
                         0b011 => ((u64::from(a) * u64::from(b)) >> 32) as u32,
                         0b100 => {

@@ -424,7 +424,18 @@ mod tests {
 
     #[test]
     fn li_covers_full_range() {
-        for v in [0, 1, -1, 2047, -2048, 2048, 0x1234_5678, -0x1234_5678, i32::MIN, i32::MAX] {
+        for v in [
+            0,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            0x1234_5678,
+            -0x1234_5678,
+            i32::MIN,
+            i32::MAX,
+        ] {
             let seq = li(T0, v);
             assert!(seq.len() <= 2, "li too long for {v}");
         }

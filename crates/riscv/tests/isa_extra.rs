@@ -8,7 +8,11 @@ fn run(words: Vec<u32>, max: u64) -> (Cpu, FlatMemory) {
     let mut mem = FlatMemory::new(64 * 1024);
     mem.load_words(0, &words);
     let mut cpu = Cpu::new();
-    assert_eq!(cpu.run(&mut mem, max), Some(StepOutcome::Ecall), "must halt");
+    assert_eq!(
+        cpu.run(&mut mem, max),
+        Some(StepOutcome::Ecall),
+        "must halt"
+    );
     (cpu, mem)
 }
 

@@ -1,0 +1,71 @@
+//! Activity tokens: the wake-up primitive behind quiescence gating.
+//!
+//! A sleeping component is skipped entirely during the evaluate phase,
+//! so something *outside* the component must be able to mark it
+//! runnable again. An [`ActivityToken`] is a shared one-bit flag
+//! (`Rc<Cell<bool>>`) handed both to the kernel (which reads and
+//! clears it when deciding whether to wake a sleeper) and to the
+//! component's activity sources — typically the channels feeding it,
+//! which set the flag on every successful push or pop.
+//!
+//! Tokens are level-ish, not edge-precise: a token may be set while
+//! its owner is still awake (the kernel clears it only on wake), which
+//! at worst costs one spurious tick after a sleep. A token is never
+//! cleared when a component goes to sleep, so activity staged during
+//! the same instant a component sleeps can never be lost.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Shared "something happened, wake your owner" flag.
+///
+/// Cloning the token clones the handle, not the flag: all clones
+/// observe and mutate the same bit.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityToken(Rc<Cell<bool>>);
+
+impl ActivityToken {
+    /// A fresh, unset token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks activity (idempotent).
+    pub fn set(&self) {
+        self.0.set(true);
+    }
+
+    /// Reads and clears the flag, returning whether it was set.
+    pub fn take(&self) -> bool {
+        self.0.replace(false)
+    }
+
+    /// Reads the flag without clearing it.
+    pub fn is_set(&self) -> bool {
+        self.0.get()
+    }
+
+    /// True when `other` is a clone of this token (same flag cell).
+    pub fn ptr_eq(&self, other: &ActivityToken) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let a = ActivityToken::new();
+        let b = a.clone();
+        assert!(!a.is_set());
+        b.set();
+        assert!(a.is_set());
+        assert!(a.take());
+        assert!(!b.is_set());
+        assert!(!b.take());
+        assert!(a.ptr_eq(&b));
+        assert!(!a.ptr_eq(&ActivityToken::new()));
+    }
+}

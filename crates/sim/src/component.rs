@@ -20,6 +20,27 @@ pub trait Component {
     /// of shared channels/signals and *stage* writes; the kernel commits
     /// all staged writes after every component on this edge has ticked.
     fn tick(&mut self, ctx: &mut TickCtx<'_>);
+
+    /// Opt-in quiescence hint: return `true` when a tick with the
+    /// component's current inputs would be a no-op, so the kernel may
+    /// skip this component until one of its activity sources fires
+    /// (see [`crate::ActivityToken`]).
+    ///
+    /// The contract is strict: while quiescent and unsignalled, the
+    /// component's externally visible behaviour (results, statistics
+    /// that survive a run, stop/clock requests) must be identical
+    /// whether or not its ticks are delivered. The check runs *after*
+    /// the evaluate phase of the same edge, so it must account for
+    /// state the component just staged — in particular, data pending
+    /// in input channels but not yet committed counts as activity.
+    ///
+    /// Components that never sleep keep the default `false`; the
+    /// kernel additionally only gates components that registered a
+    /// wake token via [`crate::Simulator::set_wake_token`], so a
+    /// `true` here without a token is ignored.
+    fn is_quiescent(&self) -> bool {
+        false
+    }
 }
 
 /// Shared state (typically a channel) that participates in the commit
@@ -29,6 +50,20 @@ pub trait Sequential {
     /// state. Called exactly once per rising edge, after all components
     /// on that edge have ticked. Must not fail ([C-DTOR-FAIL] spirit).
     fn commit(&mut self);
+
+    /// Catch-up hook for quiescence gating: the kernel elided `skipped`
+    /// consecutive [`commit`](Self::commit) calls during which no write
+    /// was staged (the sequential's dirty token stayed clear), and is
+    /// about to either deliver a real commit or end the run.
+    ///
+    /// Implementations that keep per-cycle statistics (cycle counters,
+    /// occupancy integrals) apply the arithmetic for `skipped` no-op
+    /// cycles here; state-free sequentials keep the default no-op.
+    /// Sequentials registered without a dirty token (plain
+    /// [`crate::Simulator::add_sequential`]) never see this call.
+    fn commit_skipped(&mut self, skipped: u64) {
+        let _ = skipped;
+    }
 }
 
 /// Per-edge context handed to [`Component::tick`].

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod activity;
 mod clock;
 mod component;
 pub mod cover;
@@ -41,6 +42,7 @@ pub mod stats;
 mod time;
 mod trace;
 
+pub use activity::ActivityToken;
 pub use clock::{ClockId, ClockSpec};
 pub use component::{Component, Sequential, TickCtx};
 pub use kernel::{ComponentId, Simulator};

@@ -102,7 +102,9 @@ enum AxiState {
     Idle,
     /// A read was issued for this word; replay the instruction when
     /// the value arrives.
-    AwaitRead { word_addr: u64 },
+    AwaitRead {
+        word_addr: u64,
+    },
     /// A posted write is in flight; new AXI ops must wait for the B
     /// response (one outstanding).
     AwaitWriteAck,

@@ -13,12 +13,10 @@ use crate::bitrtl::RtlCost;
 use crate::msg::{NocMsg, PacketAssembler, PeCommand};
 use crate::pe::{Fidelity, CHUNK};
 use craft_connections::{In, Out};
-use craft_matchlib::axi::{
-    AxiAddrCmd, AxiReadBeat, AxiSlavePorts, AxiWriteResp,
-};
+use craft_matchlib::axi::{AxiAddrCmd, AxiReadBeat, AxiSlavePorts, AxiWriteResp};
 use craft_matchlib::router::NocFlit;
 use craft_matchlib::Scratchpad;
-use craft_sim::{Component, TickCtx};
+use craft_sim::{ActivityToken, Component, TickCtx};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -64,6 +62,11 @@ pub struct HubState {
     /// Service latency (cycles from job arrival to completion) of
     /// memory jobs, bucketed per 4 cycles.
     pub service_latency: craft_sim::stats::Histogram,
+    /// Activity source for the hub component: the doorbell bypasses
+    /// the NoC channels, so control-page commits must set this token
+    /// themselves to rouse a sleeping hub. The SoC assembly aliases it
+    /// with the hub's kernel wake token.
+    pub activity: ActivityToken,
     stage_target: u32,
     stage_lo: u32,
     stage_hi: u32,
@@ -80,6 +83,7 @@ impl HubState {
             gmem_ops: 0,
             noc_flits: 0,
             service_latency: craft_sim::stats::Histogram::new(4, 64),
+            activity: ActivityToken::new(),
             stage_target: 0,
             stage_lo: 0,
             stage_hi: 0,
@@ -97,6 +101,7 @@ impl HubState {
                 self.doorbell
                     .push_back((self.stage_target as u16, PeCommand::unpack(word)));
                 self.issued += 1;
+                self.activity.set();
             }
             other => panic!("write to unknown hub control register {other}"),
         }
@@ -179,6 +184,20 @@ impl Hub {
 impl Component for Hub {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Quiescent when no job is in service, nothing waits in the
+    /// outbox or the doorbell, and no flit is committed or staged on
+    /// the eject channel. RTL mode never sleeps (per-cycle signal
+    /// evaluation). `self.cycle` lagging while asleep is harmless: it
+    /// is only read when a job exists, and the first tick after a wake
+    /// refreshes it before any job can be enqueued.
+    fn is_quiescent(&self) -> bool {
+        self.fidelity != Fidelity::Rtl
+            && self.jobs.is_empty()
+            && self.outbox.is_empty()
+            && !self.input.has_pending()
+            && self.state.borrow().doorbell.is_empty()
     }
 
     fn tick(&mut self, ctx: &mut TickCtx<'_>) {

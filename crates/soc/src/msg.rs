@@ -53,7 +53,10 @@ impl PeOp {
 
     /// True for ops that read a second operand region at `b`.
     pub fn uses_b(self) -> bool {
-        matches!(self, PeOp::VecAdd | PeOp::VecMul | PeOp::Dot | PeOp::Conv1d | PeOp::ArgMinDist)
+        matches!(
+            self,
+            PeOp::VecAdd | PeOp::VecMul | PeOp::Dot | PeOp::Conv1d | PeOp::ArgMinDist
+        )
     }
 
     /// Output length in words for an input of `len`.

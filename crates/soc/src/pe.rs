@@ -152,7 +152,12 @@ impl ProcessingElement {
             cfg,
             input,
             output,
-            scratchpad: ArbitratedScratchpad::new(cfg.lanes, cfg.scratchpad_words / cfg.lanes, cfg.lanes, 8),
+            scratchpad: ArbitratedScratchpad::new(
+                cfg.lanes,
+                cfg.scratchpad_words / cfg.lanes,
+                cfg.lanes,
+                8,
+            ),
             assembler: PacketAssembler::new(),
             state: PeState::Idle,
             outbox: VecDeque::new(),
@@ -225,7 +230,13 @@ impl ProcessingElement {
 
     /// Executes one datapath work unit; returns an output write
     /// (addr, value) if the unit completes an output element.
-    fn exec_unit(&self, cmd: &PeCommand, unit: u64, acc: &mut u64, arg: &mut Option<(u64, u64)>) -> Option<(usize, u64)> {
+    fn exec_unit(
+        &self,
+        cmd: &PeCommand,
+        unit: u64,
+        acc: &mut u64,
+        arg: &mut Option<(u64, u64)>,
+    ) -> Option<(usize, u64)> {
         let rtl = self.cfg.fidelity == Fidelity::Rtl;
         let mul = |a: u64, b: u64| {
             if rtl {
@@ -330,6 +341,20 @@ impl Component for ProcessingElement {
         &self.name
     }
 
+    /// A sim-accurate PE is quiescent exactly when its tick would take
+    /// the early-return path below: idle, nothing buffered for the NoC
+    /// or the scratchpad, and no input data committed *or staged*
+    /// (`has_pending`, stricter than the `can_pop` the early return
+    /// uses). RTL mode never sleeps — generated RTL burns
+    /// signal-evaluation work every cycle, which is the fidelity point.
+    fn is_quiescent(&self) -> bool {
+        self.cfg.fidelity != Fidelity::Rtl
+            && matches!(self.state, PeState::Idle)
+            && self.outbox.is_empty()
+            && self.pending_writes.is_empty()
+            && !self.input.has_pending()
+    }
+
     fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
         // RTL simulators evaluate every signal every cycle.
         if self.cfg.fidelity == Fidelity::Rtl {
@@ -364,7 +389,10 @@ impl Component for ProcessingElement {
                 break;
             };
             let lane = issued_lanes;
-            match self.scratchpad.issue(lane, SpRequest::Write { addr, value }) {
+            match self
+                .scratchpad
+                .issue(lane, SpRequest::Write { addr, value })
+            {
                 Ok(()) => {
                     self.pending_writes.pop_front();
                     issued_lanes += 1;
@@ -448,10 +476,7 @@ impl ProcessingElement {
                     b_requested,
                 }
             }
-            (state, msg) => panic!(
-                "pe{} cannot handle {msg:?} in state {state:?}",
-                self.node
-            ),
+            (state, msg) => panic!("pe{} cannot handle {msg:?} in state {state:?}", self.node),
         };
     }
 

@@ -10,10 +10,12 @@ use crate::msg::{HUB_NODE, MESH_WIDTH, N_NODES};
 use crate::pe::{Fidelity, PeConfig, ProcessingElement};
 use craft_connections::{channel, ChannelKind, In, Out};
 use craft_gals::pausible_fifo;
-use craft_matchlib::axi::{axi_link, AddrRange, AxiBus, AxiMaster, AxiMasterHandle, AxiMemorySlave};
+use craft_matchlib::axi::{
+    axi_link, AddrRange, AxiBus, AxiMaster, AxiMasterHandle, AxiMemorySlave,
+};
 use craft_matchlib::router::{port, xy_route, NocFlit, SfRouter, WhvcConfig, WhvcRouter};
 use craft_riscv::FlatMemory;
-use craft_sim::{ClockId, ClockSpec, Picoseconds, Simulator};
+use craft_sim::{ActivityToken, ClockId, ClockSpec, Picoseconds, Simulator};
 use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
@@ -81,6 +83,11 @@ pub struct SocConfig {
     pub link_depth: usize,
     /// NoC router microarchitecture.
     pub router: RouterKind,
+    /// Quiescence gating: skip idle PEs/routers/hub and elide no-op
+    /// channel commits. Results and cycle counts are bit-identical
+    /// either way (asserted by the `gating_tests`); only wall clock
+    /// and the kernel's ticks-delivered accounting change.
+    pub gating: bool,
 }
 
 impl Default for SocConfig {
@@ -94,6 +101,7 @@ impl Default for SocConfig {
             staging_words: 4096,
             link_depth: 4,
             router: RouterKind::Wormhole,
+            gating: true,
         }
     }
 }
@@ -157,6 +165,7 @@ impl Soc {
             "gmem must fit 12-bit PeCommand fields"
         );
         let mut sim = Simulator::new();
+        sim.set_gating(cfg.gating);
 
         // --- Clock domains ---
         let hub_clock = sim.add_clock(ClockSpec::new("hub", cfg.period));
@@ -213,10 +222,12 @@ impl Soc {
 
         // --- Mesh link channels ---
         // For each node and direction, the router's In/Out ports.
-        let mut rin: Vec<Vec<Option<In<NocFlit>>>> =
-            (0..N_NODES).map(|_| (0..port::COUNT).map(|_| None).collect()).collect();
-        let mut rout: Vec<Vec<Option<Out<NocFlit>>>> =
-            (0..N_NODES).map(|_| (0..port::COUNT).map(|_| None).collect()).collect();
+        let mut rin: Vec<Vec<Option<In<NocFlit>>>> = (0..N_NODES)
+            .map(|_| (0..port::COUNT).map(|_| None).collect())
+            .collect();
+        let mut rout: Vec<Vec<Option<Out<NocFlit>>>> = (0..N_NODES)
+            .map(|_| (0..port::COUNT).map(|_| None).collect())
+            .collect();
 
         let kind = ChannelKind::Buffer(cfg.link_depth);
         // Directed link from node a (port pa) to node b (port pb).
@@ -224,7 +235,7 @@ impl Soc {
             let same_domain = node_clock[a] == node_clock[b];
             if same_domain {
                 let (tx, rx, h) = channel::<NocFlit>(format!("l{a}p{pa}->{b}"), kind);
-                sim.add_sequential(node_clock[a], h.sequential());
+                sim.add_sequential_gated(node_clock[a], h.sequential(), h.commit_token());
                 rout[a][pa] = Some(tx);
                 rin[b][pb] = Some(rx);
             } else {
@@ -232,8 +243,8 @@ impl Soc {
                 // FIFO, rx channel on b's domain.
                 let (tx, mid_rx, h1) = channel::<NocFlit>(format!("g{a}p{pa}.tx"), kind);
                 let (mid_tx, rx, h2) = channel::<NocFlit>(format!("g{a}p{pa}.rx"), kind);
-                sim.add_sequential(node_clock[a], h1.sequential());
-                sim.add_sequential(node_clock[b], h2.sequential());
+                sim.add_sequential_gated(node_clock[a], h1.sequential(), h1.commit_token());
+                sim.add_sequential_gated(node_clock[b], h2.sequential(), h2.commit_token());
                 let (ptx, prx, _state) = pausible_fifo(
                     &format!("x{a}->{b}"),
                     mid_rx,
@@ -267,26 +278,28 @@ impl Soc {
         let mut ep_out: Vec<Option<Out<NocFlit>>> = (0..N_NODES).map(|_| None).collect();
         for n in 0..N_NODES as usize {
             let (tx, rx, h) = channel::<NocFlit>(format!("n{n}.eject"), kind);
-            sim.add_sequential(node_clock[n], h.sequential());
+            sim.add_sequential_gated(node_clock[n], h.sequential(), h.commit_token());
             rout[n][port::LOCAL] = Some(tx);
             ep_in[n] = Some(rx);
             let (tx2, rx2, h2) = channel::<NocFlit>(format!("n{n}.inject"), kind);
-            sim.add_sequential(node_clock[n], h2.sequential());
+            sim.add_sequential_gated(node_clock[n], h2.sequential(), h2.commit_token());
             ep_out[n] = Some(tx2);
             rin[n][port::LOCAL] = Some(rx2);
         }
 
         // Fill boundary ports with stub channels so routers are square.
+        // Gated stubs never see traffic, so their commits are elided
+        // for the whole run and reconciled once at the end.
         for n in 0..N_NODES as usize {
             for p in 0..port::COUNT {
                 if rin[n][p].is_none() {
                     let (_tx, rx, h) = channel::<NocFlit>(format!("stub_in{n}p{p}"), kind);
-                    sim.add_sequential(node_clock[n], h.sequential());
+                    sim.add_sequential_gated(node_clock[n], h.sequential(), h.commit_token());
                     rin[n][p] = Some(rx);
                 }
                 if rout[n][p].is_none() {
                     let (tx, _rx, h) = channel::<NocFlit>(format!("stub_out{n}p{p}"), kind);
-                    sim.add_sequential(node_clock[n], h.sequential());
+                    sim.add_sequential_gated(node_clock[n], h.sequential(), h.commit_token());
                     rout[n][p] = Some(tx);
                 }
             }
@@ -316,7 +329,16 @@ impl Soc {
                 .iter_mut()
                 .map(|o| o.take().expect("port wired"))
                 .collect();
-            match cfg.router {
+            // Every flit entering the router (or space freeing on an
+            // output it is backpressured against) rouses it.
+            let wake = ActivityToken::new();
+            for i in &ins {
+                i.set_wake_token(wake.clone());
+            }
+            for o in &outs {
+                o.set_wake_token(wake.clone());
+            }
+            let id = match cfg.router {
                 RouterKind::Wormhole => {
                     let router = WhvcRouter::new(
                         format!("r{n}"),
@@ -328,24 +350,29 @@ impl Soc {
                         },
                         move |dst| xy_route(n, dst, MESH_WIDTH),
                     );
-                    sim.add_component(node_clock[n as usize], router);
+                    sim.add_component(node_clock[n as usize], router)
                 }
                 RouterKind::StoreForward => {
-                    let router = SfRouter::new(
-                        format!("r{n}"),
-                        ins,
-                        outs,
-                        4,
-                        move |dst| xy_route(n, dst, MESH_WIDTH),
-                    );
-                    sim.add_component(node_clock[n as usize], router);
+                    let router = SfRouter::new(format!("r{n}"), ins, outs, 4, move |dst| {
+                        xy_route(n, dst, MESH_WIDTH)
+                    });
+                    sim.add_component(node_clock[n as usize], router)
                 }
-            }
+            };
+            sim.set_wake_token(id, wake);
         }
 
         // --- PEs ---
         let coverage = craft_sim::cover::Coverage::new();
-        for op in ["VecAdd", "VecMul", "Dot", "Reduce", "Scale", "Conv1d", "ArgMinDist"] {
+        for op in [
+            "VecAdd",
+            "VecMul",
+            "Dot",
+            "Reduce",
+            "Scale",
+            "Conv1d",
+            "ArgMinDist",
+        ] {
             coverage.declare(format!("pe.op.{op}"));
         }
         let mut pe_stats = Vec::new();
@@ -358,15 +385,16 @@ impl Soc {
                 fidelity: cfg.fidelity,
                 ..PeConfig::default()
             };
-            let mut pe = ProcessingElement::new(
-                n,
-                ep_in[n as usize].take().expect("pe port"),
-                ep_out[n as usize].take().expect("pe port"),
-                pe_cfg,
-            );
+            let pe_in = ep_in[n as usize].take().expect("pe port");
+            let pe_out = ep_out[n as usize].take().expect("pe port");
+            let wake = ActivityToken::new();
+            pe_in.set_wake_token(wake.clone());
+            pe_out.set_wake_token(wake.clone());
+            let mut pe = ProcessingElement::new(n, pe_in, pe_out, pe_cfg);
             pe.set_coverage(coverage.clone());
             pe_stats.push(pe.stats_handle());
-            sim.add_component(node_clock[n as usize], pe);
+            let id = sim.add_component(node_clock[n as usize], pe);
+            sim.set_wake_token(id, wake);
         }
 
         // --- Hub ---
@@ -377,14 +405,23 @@ impl Soc {
                 st.gmem.write(base + i, v);
             }
         }
+        let hub_in = ep_in[HUB_NODE as usize].take().expect("hub port");
+        let hub_out = ep_out[HUB_NODE as usize].take().expect("hub port");
+        let hub_wake = ActivityToken::new();
+        hub_in.set_wake_token(hub_wake.clone());
+        hub_out.set_wake_token(hub_wake.clone());
+        // Doorbell commits bypass the NoC channels; alias the hub's
+        // wake token into the shared state so ctrl writes rouse it.
+        hub_state.borrow_mut().activity = hub_wake.clone();
         let hub = Hub::new(
             HUB_NODE,
-            ep_in[HUB_NODE as usize].take().expect("hub port"),
-            ep_out[HUB_NODE as usize].take().expect("hub port"),
+            hub_in,
+            hub_out,
             Rc::clone(&hub_state),
             cfg.fidelity,
         );
-        sim.add_component(hub_clock, hub);
+        let hub_id = sim.add_component(hub_clock, hub);
+        sim.set_wake_token(hub_id, hub_wake);
 
         // --- AXI: controller -> bus -> {staging, hub} ---
         let (m_ports, bus_up, seqs) = axi_link("ctl", 2);
@@ -424,7 +461,10 @@ impl Soc {
         let mut staging = AxiMemorySlave::new("staging", staging_slave_ports, cfg.staging_words);
         staging.debug_load(
             0,
-            &staging_init.iter().map(|&w| u64::from(w)).collect::<Vec<_>>(),
+            &staging_init
+                .iter()
+                .map(|&w| u64::from(w))
+                .collect::<Vec<_>>(),
         );
         sim.add_component(hub_clock, staging);
         sim.add_component(
@@ -455,6 +495,13 @@ impl Soc {
     /// bins are pre-declared; see [`craft_sim::cover::Coverage`]).
     pub fn coverage(&self) -> &craft_sim::cover::Coverage {
         &self.coverage
+    }
+
+    /// Read-only view of the underlying kernel, exposing scheduling
+    /// and gating counters (instants, ticks delivered/skipped, commits
+    /// elided) for the kernel benchmarks and the gating tests.
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
     }
 
     /// Runs until the controller halts or `max_cycles` hub cycles.
@@ -549,12 +596,7 @@ mod tests {
         a.emit(rv::sw(A1, T0, 9 * 4));
         a.emit(rv::ecall());
         let program = a.finish();
-        let mut soc = Soc::build(
-            SocConfig::default(),
-            &program,
-            &[],
-            &[(7, vec![41])],
-        );
+        let mut soc = Soc::build(SocConfig::default(), &program, &[], &[(7, vec![41])]);
         let r = soc.run(100_000);
         assert!(r.completed);
         assert_eq!(soc.gmem_read(9, 1), vec![42]);
@@ -622,6 +664,86 @@ mod tests {
 }
 
 #[cfg(test)]
+mod gating_tests {
+    use super::*;
+    use crate::workloads::{run_workload_soc, vec_mul, Workload};
+
+    /// Runs `wl` twice — quiescence gating on and off — and asserts
+    /// every architecturally visible outcome is bit-identical: cycle
+    /// counts, controller retirement, hub counters, PE work, NoC and
+    /// memory traffic, and the verified gmem results. Returns the
+    /// gated kernel's skipped-tick count so callers can assert the
+    /// gating actually engaged.
+    fn assert_gating_equivalent(cfg: SocConfig, wl: &Workload) -> u64 {
+        let off_cfg = SocConfig {
+            gating: false,
+            ..cfg
+        };
+        let (on, ok_on, soc_on) = run_workload_soc(cfg, wl, 8_000_000);
+        let (off, ok_off, soc_off) = run_workload_soc(off_cfg, wl, 8_000_000);
+        assert!(ok_on, "{}: gated run failed verification", wl.name);
+        assert!(ok_off, "{}: ungated run failed verification", wl.name);
+        assert_eq!(on.cycles, off.cycles, "{}: cycle counts differ", wl.name);
+        assert_eq!(on.ctrl, off.ctrl, "{}: controller status differs", wl.name);
+        assert_eq!(soc_on.hub_counters(), soc_off.hub_counters());
+        assert_eq!(soc_on.total_work_units(), soc_off.total_work_units());
+        {
+            let a = soc_on.hub.borrow();
+            let b = soc_off.hub.borrow();
+            assert_eq!(a.gmem_ops, b.gmem_ops, "{}: gmem traffic differs", wl.name);
+            assert_eq!(a.noc_flits, b.noc_flits, "{}: NoC traffic differs", wl.name);
+            assert_eq!(
+                a.service_latency.total(),
+                b.service_latency.total(),
+                "{}: hub job count differs",
+                wl.name
+            );
+        }
+        assert_eq!(
+            soc_off.sim().ticks_skipped(),
+            0,
+            "gating off must deliver all"
+        );
+        soc_on.sim().ticks_skipped()
+    }
+
+    #[test]
+    fn gating_equivalent_synchronous() {
+        let skipped = assert_gating_equivalent(SocConfig::default(), &vec_mul());
+        assert!(skipped > 10_000, "gating barely engaged: {skipped}");
+    }
+
+    #[test]
+    fn gating_equivalent_rtl_mode() {
+        let cfg = SocConfig {
+            fidelity: Fidelity::Rtl,
+            ..SocConfig::default()
+        };
+        // RTL PEs and hub never sleep, but routers and channels may.
+        assert_gating_equivalent(cfg, &vec_mul());
+    }
+
+    #[test]
+    fn gating_equivalent_gals() {
+        let cfg = SocConfig {
+            clocking: ClockingMode::Gals { spread_ppm: 2000 },
+            ..SocConfig::default()
+        };
+        let skipped = assert_gating_equivalent(cfg, &vec_mul());
+        assert!(skipped > 10_000, "gating barely engaged: {skipped}");
+    }
+
+    #[test]
+    fn gating_equivalent_store_forward() {
+        let cfg = SocConfig {
+            router: RouterKind::StoreForward,
+            ..SocConfig::default()
+        };
+        assert_gating_equivalent(cfg, &vec_mul());
+    }
+}
+
+#[cfg(test)]
 mod coverage_tests {
     use super::*;
     use crate::workloads::{run_workload_soc, six_soc_tests, vec_add_scale};
@@ -637,7 +759,15 @@ mod coverage_tests {
             let (_, ok, soc) = run_workload_soc(SocConfig::default(), &wl, 8_000_000);
             assert!(ok, "{} failed", wl.name);
             // Merge this run's hits into the campaign map.
-            for hole in ["VecAdd", "VecMul", "Dot", "Reduce", "Scale", "Conv1d", "ArgMinDist"] {
+            for hole in [
+                "VecAdd",
+                "VecMul",
+                "Dot",
+                "Reduce",
+                "Scale",
+                "Conv1d",
+                "ArgMinDist",
+            ] {
                 let bin = format!("pe.op.{hole}");
                 coverage.declare(bin.clone());
                 for _ in 0..soc.coverage().count(&bin) {
@@ -657,7 +787,11 @@ mod coverage_tests {
     /// A single workload leaves holes — which the report identifies.
     #[test]
     fn single_workload_has_holes() {
-        let (_, ok, soc) = run_workload_soc(SocConfig::default(), &crate::workloads::vec_mul(), 8_000_000);
+        let (_, ok, soc) = run_workload_soc(
+            SocConfig::default(),
+            &crate::workloads::vec_mul(),
+            8_000_000,
+        );
         assert!(ok);
         let holes = soc.coverage().holes();
         assert!(holes.contains(&"pe.op.Dot".to_string()), "{holes:?}");
@@ -667,13 +801,21 @@ mod coverage_tests {
     /// Hub service-latency histogram is populated and bounded.
     #[test]
     fn hub_latency_histogram_populated() {
-        let (_, ok, soc) = run_workload_soc(SocConfig::default(), &crate::workloads::vec_mul(), 8_000_000);
+        let (_, ok, soc) = run_workload_soc(
+            SocConfig::default(),
+            &crate::workloads::vec_mul(),
+            8_000_000,
+        );
         assert!(ok);
         let st = soc.hub.borrow();
         let total = st.service_latency.total();
         // 4 commands x (2 reads + 4 write chunks) = at least 20 jobs.
         assert!(total >= 20, "only {total} jobs recorded");
-        assert_eq!(st.service_latency.overflow(), 0, "no job should take >256 cycles");
+        assert_eq!(
+            st.service_latency.overflow(),
+            0,
+            "no job should take >256 cycles"
+        );
     }
 }
 

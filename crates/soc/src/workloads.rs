@@ -356,11 +356,7 @@ pub fn run_workload(cfg: SocConfig, wl: &Workload, max_cycles: u64) -> (RunResul
 
 /// Like [`run_workload`] but also hands back the finished [`Soc`] for
 /// post-run inspection (energy estimates, counters, gmem dumps).
-pub fn run_workload_soc(
-    cfg: SocConfig,
-    wl: &Workload,
-    max_cycles: u64,
-) -> (RunResult, bool, Soc) {
+pub fn run_workload_soc(cfg: SocConfig, wl: &Workload, max_cycles: u64) -> (RunResult, bool, Soc) {
     let program = orchestrator_program();
     let table = table_words(&wl.entries);
     let mut soc = Soc::build(cfg, &program, &table, &wl.gmem_init);

@@ -63,8 +63,7 @@ pub fn clock_tree(lib: &TechLibrary, sinks: u64, span_um: f64) -> ClockTreeRepor
     for _ in 0..=levels {
         let seg = remaining / 2.0;
         // Elmore-ish RC for a buffered segment.
-        wire_delay +=
-            0.5 * lib.wire_res_ohm_per_um * seg * lib.wire_cap_ff_per_um * seg / 1000.0;
+        wire_delay += 0.5 * lib.wire_res_ohm_per_um * seg * lib.wire_cap_ff_per_um * seg / 1000.0;
         remaining = seg;
     }
     let insertion = f64::from(levels + 1) * buf.delay_ps + wire_delay;

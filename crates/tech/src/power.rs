@@ -66,8 +66,7 @@ pub fn netlist_power(
     let dynamic_mw = netlist.dynamic_energy_fj(lib, alpha) * freq_ghz / 1_000.0;
     let leakage_mw = netlist.leakage_nw(lib) / 1_000_000.0;
     let dff_clk_fj = 0.8; // clock-pin energy per flop toggle
-    let clock_mw =
-        netlist.count(crate::CellKind::Dff) as f64 * dff_clk_fj * freq_ghz / 1_000.0;
+    let clock_mw = netlist.count(crate::CellKind::Dff) as f64 * dff_clk_fj * freq_ghz / 1_000.0;
     PowerReport {
         dynamic_mw,
         leakage_mw,
@@ -81,11 +80,7 @@ pub fn netlist_power(
 /// # Panics
 /// Panics if `freq_ghz` is not positive or `accesses_per_cycle` is
 /// outside [0, 1].
-pub fn sram_power(
-    macro_: &SramMacro,
-    freq_ghz: f64,
-    accesses_per_cycle: f64,
-) -> PowerReport {
+pub fn sram_power(macro_: &SramMacro, freq_ghz: f64, accesses_per_cycle: f64) -> PowerReport {
     assert!(freq_ghz > 0.0, "frequency must be positive");
     assert!(
         (0.0..=1.0).contains(&accesses_per_cycle),

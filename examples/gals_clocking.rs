@@ -58,9 +58,7 @@ fn main() {
     }
     assert_eq!(got, (0..1_000).collect::<Vec<u64>>());
     let st = state.borrow();
-    println!(
-        "crossed 1000 messages A(adaptive ~1.1GHz) -> B(0.93GHz): in order, exactly once;"
-    );
+    println!("crossed 1000 messages A(adaptive ~1.1GHz) -> B(0.93GHz): in order, exactly once;");
     println!(
         "  mean crossing latency {:.0} ps, {} clock pauses, 0 synchronization failures (by construction)",
         st.latency_ps.mean(),

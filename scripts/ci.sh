@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Repo CI gate: formatting, lints, and the full test suite.
+# Run from the repo root: ./scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this in-tree crate
+//! implements the slice of criterion's API the `craft-bench` benches
+//! use: `Criterion`, `benchmark_group`/`sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a short warm-up, then
+//! `sample_size` timed iterations reported as min/mean/median wall
+//! clock per iteration on stdout. There is no statistical analysis,
+//! plotting, or HTML report; the point is that `cargo bench` runs and
+//! prints comparable numbers without external dependencies.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from const-folding a
+/// benchmarked computation away. (`std::hint::black_box` re-export.)
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times a closure over repeated iterations, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    n_samples: usize,
+    warmup_iters: u32,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording one timing sample per batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run untimed so lazy init and caches settle outside
+        // the measurement (skipped in cargo-test smoke mode).
+        for _ in 0..self.warmup_iters {
+            black_box(f());
+        }
+        for _ in 0..self.n_samples {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{group}/{id}: min {min:?}  mean {mean:?}  median {median:?}  ({} samples)",
+        sorted.len()
+    );
+}
+
+/// A named set of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    bench_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one(&self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        // Under `cargo test` (no --bench flag) each benchmark runs
+        // once as a smoke test, matching real criterion's behaviour.
+        let (n_samples, warmup) = if self.bench_mode {
+            (self.sample_size, 2)
+        } else {
+            (1, 0)
+        };
+        let mut b = Bencher {
+            samples: Vec::with_capacity(n_samples),
+            n_samples,
+            warmup_iters: warmup,
+        };
+        f(&mut b);
+        if self.bench_mode {
+            report(&self.name, id, &b.samples);
+        } else {
+            println!("{}/{id}: ok (smoke)", self.name);
+        }
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        self.run_one(&id.to_string(), f);
+    }
+
+    /// Benchmarks `f`, passing it a borrowed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        self.run_one(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Bench mode when cargo passed `--bench` (i.e. `cargo bench`);
+    /// smoke-test mode otherwise (i.e. `cargo test` on a
+    /// `harness = false` bench target).
+    fn default() -> Self {
+        Criterion {
+            bench_mode: std::env::args().any(|a| a == "--bench"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            bench_mode: self.bench_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnOnce(&mut Bencher)) {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+    }
+}
+
+/// Collects benchmark functions into a runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main()` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim_selftest");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sum_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,752 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this in-tree crate
+//! provides the subset of proptest's API the workspace tests use:
+//! `proptest!` (both `name in strategy` and `name: Type` argument
+//! forms, with an optional `#![proptest_config(..)]` header),
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! `prop_oneof!`, `Strategy`/`Just`/`prop_map`, `any::<T>()`, and the
+//! `collection`/`sample`/`option`/`array`/`num` strategy modules.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! seeds: every test function draws its cases from a deterministic RNG
+//! seeded from the test's module path and name, so failures reproduce
+//! exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Runner configuration and the deterministic case RNG.
+
+    /// Mirror of `proptest::test_runner::Config` (cases only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each `proptest!` function runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// Marker for a rejected (assumed-away) case. Never constructed by
+    /// the shim — `prop_assume!` simply ends the case early — but the
+    /// closure each case runs in is typed `Result<(), Rejected>` so
+    /// `return Ok(())` works.
+    #[derive(Debug)]
+    pub struct Rejected;
+
+    /// Deterministic splitmix64 stream seeded from a test identifier.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream from an arbitrary identifier string
+        /// (FNV-1a hash), so each test gets its own fixed sequence.
+        pub fn new(ident: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in ident.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 uniform random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform index in `[0, n)`. `n` must be nonzero.
+        pub fn index(&mut self, n: usize) -> usize {
+            debug_assert!(n > 0);
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A boxed, type-erased strategy (what `prop_oneof!` stores).
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    /// Produces random values of `Self::Value`. The shim has no
+    /// shrinking: `generate` is the whole contract.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy behind a `Box<dyn Strategy>`.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given alternatives (must be non-empty).
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.index(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+    float_ranges!(f32, f64);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` and the `Arbitrary` trait behind it.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical random distribution.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64() * 2e6 - 1e6
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.unit_f64() * 2e6 - 1e6) as f32
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            if rng.next_u64() & 1 == 1 {
+                Some(T::arbitrary(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    impl<A: Arbitrary, B: Arbitrary> Arbitrary for (A, B) {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (A::arbitrary(rng), B::arbitrary(rng))
+        }
+    }
+
+    impl<A: Arbitrary, B: Arbitrary, C: Arbitrary> Arbitrary for (A, B, C) {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (A::arbitrary(rng), B::arbitrary(rng), C::arbitrary(rng))
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`], returned by [`any`].
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`proptest::arbitrary::any`).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable length arguments for [`vec`]: a fixed length or a
+    /// (half-open / inclusive) range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl SizeRange {
+        pub(crate) fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.index(self.hi_inclusive - self.lo + 1)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (`select`, `subsequence`).
+
+    use crate::collection::SizeRange;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed list ([`select`]).
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.items[rng.index(self.items.len())].clone()
+        }
+    }
+
+    /// One element of `items`, uniformly.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select from empty list");
+        Select { items }
+    }
+
+    /// Order-preserving subsequence of a fixed list ([`subsequence`]).
+    #[derive(Debug, Clone)]
+    pub struct Subsequence<T: Clone> {
+        items: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let want = self.size.pick(rng);
+            // Choose `want` distinct indices, then emit in original order.
+            let n = self.items.len();
+            let mut picked = vec![false; n];
+            let mut left = want;
+            while left > 0 {
+                let i = rng.index(n);
+                if !picked[i] {
+                    picked[i] = true;
+                    left -= 1;
+                }
+            }
+            (0..n)
+                .filter(|&i| picked[i])
+                .map(|i| self.items[i].clone())
+                .collect()
+        }
+    }
+
+    /// An order-preserving subsequence of `items` whose length is
+    /// drawn from `size` (a fixed count or a range).
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            items,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! `proptest::option::of`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `Option<S::Value>` strategy, `None` half the time.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some(inner)` or `None`, each with probability one half.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// `[S::Value; 3]` from one element strategy ([`uniform3`]).
+    #[derive(Debug, Clone)]
+    pub struct Uniform3<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for Uniform3<S> {
+        type Value = [S::Value; 3];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            [
+                self.element.generate(rng),
+                self.element.generate(rng),
+                self.element.generate(rng),
+            ]
+        }
+    }
+
+    /// Three independent draws from `element`.
+    pub fn uniform3<S: Strategy>(element: S) -> Uniform3<S> {
+        Uniform3 { element }
+    }
+}
+
+pub mod num {
+    //! Numeric distributions (`prop::num::f32::NORMAL` etc.).
+
+    /// `f32` strategies.
+    pub mod f32 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy over normal (non-zero, non-subnormal, finite)
+        /// `f32` values, both signs.
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalF32;
+
+        /// Uniform over bit patterns with exponent in `1..=254`.
+        pub const NORMAL: NormalF32 = NormalF32;
+
+        impl Strategy for NormalF32 {
+            type Value = f32;
+            fn generate(&self, rng: &mut TestRng) -> f32 {
+                let sign = (rng.next_u64() & 1) as u32;
+                let exp = 1 + rng.index(254) as u32; // 1..=254
+                let mantissa = (rng.next_u64() as u32) & 0x007F_FFFF;
+                f32::from_bits((sign << 31) | (exp << 23) | mantissa)
+            }
+        }
+    }
+
+    /// `f64` strategies.
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy over normal (non-zero, non-subnormal, finite)
+        /// `f64` values, both signs.
+        #[derive(Debug, Clone, Copy)]
+        pub struct NormalF64;
+
+        /// Uniform over bit patterns with exponent in `1..=2046`.
+        pub const NORMAL: NormalF64 = NormalF64;
+
+        impl Strategy for NormalF64 {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                let sign = rng.next_u64() & 1;
+                let exp = 1 + rng.index(2046) as u64; // 1..=2046
+                let mantissa = rng.next_u64() & 0x000F_FFFF_FFFF_FFFF;
+                f64::from_bits((sign << 63) | (exp << 52) | mantissa)
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Mirror of `proptest::prelude` — glob-import in tests.
+
+    /// The crate itself under proptest's conventional `prop` alias
+    /// (`prop::sample::select`, `prop::num::f32::NORMAL`, ...).
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Supports an optional
+/// `#![proptest_config(..)]` header, doc comments and attributes per
+/// function, and both `name in strategy` and `name: Type` arguments
+/// (mixed freely).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each `fn` in the
+/// block into a plain test function running `cfg.cases` random cases.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::new(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cfg.cases {
+                $crate::__proptest_bindings!(__rng, $($params)*);
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                let _ = __outcome;
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one `let` per parameter.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bindings!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty =
+            $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bindings!($rng, $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($t:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Kind {
+        A,
+        B(usize),
+    }
+
+    fn kind() -> impl Strategy<Value = Kind> {
+        prop_oneof![Just(Kind::A), (1usize..6).prop_map(Kind::B)]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Mixed arg forms, ranges, collections, assume, tuples.
+        #[test]
+        fn shim_surface_works(
+            word: u64,
+            small in 1u32..=64,
+            v in prop::collection::vec(-50i64..50, 0..10),
+            pair in (0usize..8, prop::option::of(any::<u64>())),
+            pick in prop::sample::select(vec![10, 20, 30]),
+            sub in prop::sample::subsequence((0..8usize).collect::<Vec<_>>(), 8),
+            k in kind(),
+            arr in prop::array::uniform3(-5i64..5),
+            nf in prop::num::f32::NORMAL,
+        ) {
+            prop_assume!(word != u64::MAX);
+            prop_assert!((1..=64).contains(&small));
+            prop_assert!(v.len() < 10);
+            prop_assert!(v.iter().all(|x| (-50..50).contains(x)));
+            prop_assert!(pair.0 < 8);
+            prop_assert!([10, 20, 30].contains(&pick));
+            prop_assert_eq!(&sub, &(0..8).collect::<Vec<_>>());
+            match k {
+                Kind::A => {}
+                Kind::B(n) => prop_assert!((1..6).contains(&n)),
+            }
+            prop_assert!(arr.iter().all(|x| (-5..5).contains(x)));
+            prop_assert!(nf.is_normal());
+            prop_assert_ne!(word, u64::MAX);
+        }
+
+        /// Typed-only arg form (as soc::bitrtl uses).
+        #[test]
+        fn typed_args(a: u64, b: u64) {
+            let _ = a.wrapping_add(b);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut r1 = crate::test_runner::TestRng::new("x::y");
+        let mut r2 = crate::test_runner::TestRng::new("x::y");
+        for _ in 0..8 {
+            assert_eq!(r1.next_u64(), r2.next_u64());
+        }
+    }
+}

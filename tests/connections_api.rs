@@ -2,9 +2,7 @@
 //! (`Pop`/`PopNB`/`Push`/`PushNB` semantics across every channel kind,
 //! polymorphic ports, packetizer/depacketizer network channels).
 
-use craftflow::connections::{
-    channel, ChannelKind, DePacketizer, Flit, Packetizer, StallInjector,
-};
+use craftflow::connections::{channel, ChannelKind, DePacketizer, Flit, Packetizer, StallInjector};
 use craftflow::sim::{ClockSpec, Picoseconds, Simulator};
 
 fn kinds() -> [ChannelKind; 4] {

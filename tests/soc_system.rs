@@ -16,7 +16,11 @@ fn rtl_and_sim_accurate_agree_functionally_and_closely_in_cycles() {
         };
         let (rtl, ok2) = run_workload(rtl_cfg, &wl, 8_000_000);
         assert!(ok1 && ok2, "{}: functional mismatch", wl.name);
-        assert!(rtl.cycles >= sim.cycles, "{}: RTL cannot be faster", wl.name);
+        assert!(
+            rtl.cycles >= sim.cycles,
+            "{}: RTL cannot be faster",
+            wl.name
+        );
         let err = (rtl.cycles - sim.cycles) as f64 / rtl.cycles as f64;
         assert!(
             err < 0.03,

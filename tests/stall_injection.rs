@@ -35,8 +35,7 @@ impl Component for Producer {
         // Payload first, header second: under nominal timing the
         // payload is never behind its header.
         if self.payload.can_push() && self.header.can_push() {
-            self.payload
-                .push_nb(self.next * 1000).expect("checked");
+            self.payload.push_nb(self.next * 1000).expect("checked");
             self.header.push_nb(self.next).expect("checked");
             self.next += 1;
         }
