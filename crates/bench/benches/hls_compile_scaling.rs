@@ -13,10 +13,10 @@ fn bench_compile(c: &mut Criterion) {
     for lanes in [8usize, 16, 32] {
         let cons = Constraints::at_clock(1100.0).with_mem_ports(lanes as u32 * 2);
         g.bench_with_input(BenchmarkId::new("src_loop", lanes), &lanes, |b, &l| {
-            b.iter(|| compile(kernels::crossbar_src_loop(l, 32), &lib, &cons))
+            b.iter(|| compile(&kernels::crossbar_src_loop(l, 32), &lib, &cons))
         });
         g.bench_with_input(BenchmarkId::new("dst_loop", lanes), &lanes, |b, &l| {
-            b.iter(|| compile(kernels::crossbar_dst_loop(l, 32), &lib, &cons))
+            b.iter(|| compile(&kernels::crossbar_dst_loop(l, 32), &lib, &cons))
         });
     }
     g.finish();

@@ -22,12 +22,12 @@ fn main() {
     );
     for &lanes in &[8usize, 16, 32, 64] {
         let src = compile(
-            kernels::crossbar_src_loop(lanes, 32),
+            &kernels::crossbar_src_loop(lanes, 32),
             &lib,
             &constraints(lanes),
         );
         let dst = compile(
-            kernels::crossbar_dst_loop(lanes, 32),
+            &kernels::crossbar_dst_loop(lanes, 32),
             &lib,
             &constraints(lanes),
         );
@@ -45,8 +45,8 @@ fn main() {
     }
 
     // Headline number: 32-lane 32-bit.
-    let src = compile(kernels::crossbar_src_loop(32, 32), &lib, &constraints(32));
-    let dst = compile(kernels::crossbar_dst_loop(32, 32), &lib, &constraints(32));
+    let src = compile(&kernels::crossbar_src_loop(32, 32), &lib, &constraints(32));
+    let dst = compile(&kernels::crossbar_dst_loop(32, 32), &lib, &constraints(32));
     let penalty = src.module.area_um2(&lib) / dst.module.area_um2(&lib) - 1.0;
     println!();
     println!(

@@ -1,7 +1,7 @@
 //! Simulation-kernel performance baseline: emits `BENCH_sim_kernel.json`.
 //!
-//! Runs 16-node (15 PE + hub) Fig. 6 workloads in both fidelity modes
-//! with quiescence gating on and off, recording wall clock,
+//! Runs 16-node (15 PE + hub) Fig. 6 workloads in all three fidelity
+//! modes with quiescence gating on and off, recording wall clock,
 //! evaluate/commit instants per second, and the kernel's gating
 //! counters. The headline number is the gated/ungated wall-clock
 //! speedup on a quiescence-heavy bursty workload — the perf floor
@@ -11,10 +11,17 @@
 //!
 //! ```text
 //! cargo run --release -p craft-bench --bin kernel_baseline
+//! cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul
 //! ```
 //!
+//! `--workload <name>` restricts the run to one workload (CI smoke
+//! runs use this; the JSON is only written for full runs so a filtered
+//! smoke never clobbers the committed baseline with partial rows).
+//!
 //! Cycle counts are asserted identical gating on vs off (gating is a
-//! wall-clock optimisation, never a semantic one).
+//! wall-clock optimisation, never a semantic one) and identical
+//! between the interpreted and compiled RTL modes (the compiled path's
+//! accuracy contract).
 
 use craft_soc::pe::Fidelity;
 use craft_soc::workloads::{dot_product, run_workload_soc, vec_mul, Workload};
@@ -34,6 +41,14 @@ struct Row {
     commits_skipped: u64,
 }
 
+fn mode_name(fidelity: Fidelity) -> &'static str {
+    match fidelity {
+        Fidelity::Rtl => "rtl",
+        Fidelity::RtlCompiled => "rtl_compiled",
+        Fidelity::SimAccurate => "sim_accurate",
+    }
+}
+
 fn run_one(wl: &Workload, fidelity: Fidelity, gating: bool) -> Row {
     let cfg = SocConfig {
         fidelity,
@@ -46,10 +61,7 @@ fn run_one(wl: &Workload, fidelity: Fidelity, gating: bool) -> Row {
     let instants = soc.sim().instants();
     Row {
         workload: wl.name,
-        mode: match fidelity {
-            Fidelity::Rtl => "rtl",
-            Fidelity::SimAccurate => "sim_accurate",
-        },
+        mode: mode_name(fidelity),
         gating,
         cycles: result.cycles,
         wall_s,
@@ -61,15 +73,37 @@ fn run_one(wl: &Workload, fidelity: Fidelity, gating: bool) -> Row {
     }
 }
 
+/// Parses `--workload <name>` from the command line, if present.
+fn workload_filter() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--workload" {
+            return Some(args.next().expect("--workload needs a name"));
+        }
+        if let Some(name) = a.strip_prefix("--workload=") {
+            return Some(name.to_string());
+        }
+    }
+    None
+}
+
 fn main() {
     // dot_product is the quiescence-heavy headline: 8-PE waves with
     // barriers, then a long single-PE reduce tail during which 14 PEs
     // and most routers are idle. vec_mul (4 active PEs per wave) is
     // the second datapoint.
-    let workloads = [dot_product(), vec_mul()];
+    let filter = workload_filter();
+    let workloads: Vec<Workload> = [dot_product(), vec_mul()]
+        .into_iter()
+        .filter(|wl| filter.as_deref().is_none_or(|f| f == wl.name))
+        .collect();
+    assert!(
+        !workloads.is_empty(),
+        "no workload matches filter {filter:?} (try dot_product or vec_mul)"
+    );
     let mut rows = Vec::new();
     for wl in &workloads {
-        for fidelity in [Fidelity::SimAccurate, Fidelity::Rtl] {
+        for fidelity in [Fidelity::SimAccurate, Fidelity::Rtl, Fidelity::RtlCompiled] {
             let on = run_one(wl, fidelity, true);
             let off = run_one(wl, fidelity, false);
             assert_eq!(
@@ -80,6 +114,20 @@ fn main() {
             rows.push(on);
             rows.push(off);
         }
+        // The two RTL modes must be cycle-identical: compiled plans
+        // change wall clock only, never timing.
+        let cycles_of = |mode: &str| {
+            rows.iter()
+                .find(|r| r.workload == wl.name && r.mode == mode)
+                .map(|r| r.cycles)
+                .expect("mode row present")
+        };
+        assert_eq!(
+            cycles_of("rtl"),
+            cycles_of("rtl_compiled"),
+            "{}: compiled RTL changed cycle counts",
+            wl.name
+        );
     }
 
     println!(
@@ -157,9 +205,14 @@ fn main() {
         "  ],\n  \"headline_gating_speedup\": {headline:.3}\n}}\n"
     );
 
-    std::fs::write("BENCH_sim_kernel.json", &json).expect("write BENCH_sim_kernel.json");
-    println!("\nheadline sim-accurate gating speedup: {headline:.2}x (target >= 1.5x)");
-    println!("wrote BENCH_sim_kernel.json");
+    if filter.is_none() {
+        std::fs::write("BENCH_sim_kernel.json", &json).expect("write BENCH_sim_kernel.json");
+        println!("\nheadline sim-accurate gating speedup: {headline:.2}x (target >= 1.5x)");
+        println!("wrote BENCH_sim_kernel.json");
+    } else {
+        println!("\nheadline sim-accurate gating speedup: {headline:.2}x (target >= 1.5x)");
+        println!("workload filter active: BENCH_sim_kernel.json not rewritten");
+    }
     if headline < 1.5 {
         eprintln!("warning: headline speedup below 1.5x — run with --release on an idle machine");
     }

@@ -22,7 +22,7 @@ fn main() {
     let suite = kernels::qor_suite(&lib);
     let n = suite.len();
     for case in suite {
-        let out = compile(case.kernel, &lib, &Constraints::at_clock(case.clock_ps));
+        let out = compile(&case.kernel, &lib, &Constraints::at_clock(case.clock_ps));
         let hls_area = out.module.area_um2(&lib);
         let hand_area = case.hand_rtl.area_um2(&lib);
         let delta = hls_area / hand_area - 1.0;

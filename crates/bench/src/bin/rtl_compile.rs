@@ -1,0 +1,159 @@
+//! Compiled-vs-interpreted RTL benchmark: emits `BENCH_rtl_compile.json`.
+//!
+//! Runs the Fig. 6 headline workloads in `Fidelity::Rtl` (interpreted
+//! bit-level golden reference) and `Fidelity::RtlCompiled` (word-level
+//! evaluation plans), with quiescence gating on and off, and reports
+//! the wall-clock speedup the one-time lowering pass buys. The
+//! accuracy contract is asserted on every pair: bit-identical verified
+//! results, identical cycle counts, and identical charged gate totals
+//! — the compiled path may only change how fast a cycle simulates,
+//! never what it simulates or what it charges.
+//!
+//! Run with `--release` from the repo root:
+//!
+//! ```text
+//! cargo run --release -p craft-bench --bin rtl_compile
+//! ```
+
+use craft_soc::pe::Fidelity;
+use craft_soc::workloads::{dot_product, run_workload_soc, vec_mul, Workload};
+use craft_soc::SocConfig;
+use std::fmt::Write as _;
+
+struct Pair {
+    workload: &'static str,
+    gating: bool,
+    cycles: u64,
+    charged_gates: u64,
+    interp_wall_s: f64,
+    compiled_wall_s: f64,
+    interp_instants_per_sec: f64,
+    compiled_instants_per_sec: f64,
+    speedup: f64,
+    ops_lowered: u64,
+    cache_hits: u64,
+    signal_plans: u64,
+    signal_word_ops: u64,
+}
+
+fn run_pair(wl: &Workload, gating: bool) -> Pair {
+    let run = |fidelity: Fidelity| {
+        let cfg = SocConfig {
+            fidelity,
+            gating,
+            ..SocConfig::default()
+        };
+        let (result, ok, soc) = run_workload_soc(cfg, wl, 8_000_000);
+        assert!(
+            ok && result.completed,
+            "{} ({:?}, gating={gating}): run failed verification",
+            wl.name,
+            fidelity
+        );
+        (result, soc)
+    };
+    let (ri, soc_i) = run(Fidelity::Rtl);
+    let (rc, soc_c) = run(Fidelity::RtlCompiled);
+
+    // The accuracy contract, asserted per pair.
+    assert_eq!(
+        ri.cycles, rc.cycles,
+        "{} gating={gating}: compiled RTL changed cycle counts",
+        wl.name
+    );
+    assert_eq!(
+        soc_i.charged_gates(),
+        soc_c.charged_gates(),
+        "{} gating={gating}: charged gate totals differ",
+        wl.name
+    );
+    assert_eq!(soc_i.hub_counters(), soc_c.hub_counters());
+    assert_eq!(soc_i.total_work_units(), soc_c.total_work_units());
+
+    let stats = soc_c.plan_stats().expect("compiled mode exposes stats");
+    let (wi, wc) = (ri.wall.as_secs_f64(), rc.wall.as_secs_f64());
+    Pair {
+        workload: wl.name,
+        gating,
+        cycles: ri.cycles,
+        charged_gates: soc_i.charged_gates(),
+        interp_wall_s: wi,
+        compiled_wall_s: wc,
+        interp_instants_per_sec: soc_i.sim().instants() as f64 / wi.max(1e-9),
+        compiled_instants_per_sec: soc_c.sim().instants() as f64 / wc.max(1e-9),
+        speedup: wi / wc.max(1e-9),
+        ops_lowered: stats.ops_lowered,
+        cache_hits: stats.cache_hits,
+        signal_plans: stats.signal_plans,
+        signal_word_ops: stats.signal_word_ops,
+    }
+}
+
+fn main() {
+    let workloads = [dot_product(), vec_mul()];
+    let mut pairs = Vec::new();
+    for wl in &workloads {
+        for gating in [true, false] {
+            pairs.push(run_pair(wl, gating));
+        }
+    }
+
+    println!(
+        "{:<12} {:>6} {:>9} {:>14} {:>12} {:>12} {:>9}",
+        "workload", "gating", "cycles", "charged gates", "interp ms", "compiled ms", "speedup"
+    );
+    for p in &pairs {
+        println!(
+            "{:<12} {:>6} {:>9} {:>14} {:>12.2} {:>12.2} {:>8.1}x",
+            p.workload,
+            p.gating,
+            p.cycles,
+            p.charged_gates,
+            p.interp_wall_s * 1e3,
+            p.compiled_wall_s * 1e3,
+            p.speedup
+        );
+    }
+    let s = &pairs[0];
+    println!(
+        "plan stats: {} operator plans lowered, {} cache hits, {} signal plans ({} word ops/cycle)",
+        s.ops_lowered, s.cache_hits, s.signal_plans, s.signal_word_ops
+    );
+
+    let mut json =
+        String::from("{\n  \"bench\": \"rtl_compile\",\n  \"unit\": \"seconds\",\n  \"rows\": [\n");
+    for (i, p) in pairs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"gating\": {}, \"cycles\": {}, \"charged_gates\": {}, \"interp_wall_s\": {:.6}, \"compiled_wall_s\": {:.6}, \"interp_instants_per_sec\": {:.0}, \"compiled_instants_per_sec\": {:.0}, \"speedup\": {:.3}, \"ops_lowered\": {}, \"cache_hits\": {}, \"signal_plans\": {}, \"signal_word_ops\": {}}}",
+            p.workload,
+            p.gating,
+            p.cycles,
+            p.charged_gates,
+            p.interp_wall_s,
+            p.compiled_wall_s,
+            p.interp_instants_per_sec,
+            p.compiled_instants_per_sec,
+            p.speedup,
+            p.ops_lowered,
+            p.cache_hits,
+            p.signal_plans,
+            p.signal_word_ops
+        );
+        json.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+    }
+    let min_speedup = pairs
+        .iter()
+        .map(|p| p.speedup)
+        .fold(f64::INFINITY, f64::min);
+    let _ = write!(json, "  ],\n  \"min_speedup\": {min_speedup:.3}\n}}\n");
+    std::fs::write("BENCH_rtl_compile.json", &json).expect("write BENCH_rtl_compile.json");
+
+    println!("\nminimum compiled-RTL speedup: {min_speedup:.1}x (target >= 10x)");
+    println!("wrote BENCH_rtl_compile.json");
+    if min_speedup < 10.0 {
+        eprintln!(
+            "warning: compiled-RTL speedup below 10x — run with --release on an idle machine"
+        );
+    }
+}

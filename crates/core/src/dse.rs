@@ -2,8 +2,15 @@
 //! kernel source — the decoupling the paper credits OOHLS with
 //! ("enables design space exploration without changing source code",
 //! §2.2).
+//!
+//! The sweep optimizes the kernel **once** (transforms are constraint
+//! independent) and evaluates every constraint point from that shared
+//! optimized form — no per-point kernel clone, no per-point transform
+//! rerun. Points are farmed out to scoped worker threads; results are
+//! reassembled by grid index, so [`sweep`] returns exactly the same
+//! `Vec<DesignPoint>` (same order, same values) as [`sweep_serial`].
 
-use craft_hls::{compile, Constraints, Kernel};
+use craft_hls::{bind, optimize, schedule, Constraints, Kernel};
 use craft_tech::TechLibrary;
 
 /// One explored design point.
@@ -35,8 +42,41 @@ impl DesignPoint {
     }
 }
 
+/// Expands the sweep axes into the full constraint grid, in row-major
+/// (clock-outer, budget-inner) order.
+fn constraint_grid(clocks_ps: &[f64], multiplier_budgets: &[Option<u32>]) -> Vec<Constraints> {
+    let mut grid = Vec::with_capacity(clocks_ps.len() * multiplier_budgets.len());
+    for &clock in clocks_ps {
+        for &muls in multiplier_budgets {
+            let mut c = Constraints::at_clock(clock).with_mem_ports(16);
+            if let Some(m) = muls {
+                c = c.with_multipliers(m);
+            }
+            grid.push(c);
+        }
+    }
+    grid
+}
+
+/// Evaluates one constraint point against the shared optimized kernel:
+/// schedule + bind only (the transform pipeline already ran).
+fn eval_point(optimized: &Kernel, lib: &TechLibrary, c: Constraints) -> DesignPoint {
+    let sched = schedule(optimized, lib, &c);
+    let module = bind(optimized, &sched, lib, c.clock_ps);
+    DesignPoint {
+        constraints: c,
+        area_um2: module.area_um2(lib),
+        latency: module.latency,
+        ii: module.ii,
+        crit_path_ps: module.crit_path_ps,
+        power_mw: module.power(lib, 0.2).total_mw(),
+    }
+}
+
 /// Sweeps `kernel` across every combination of the given clocks and
-/// multiplier budgets, returning all evaluated points.
+/// multiplier budgets, returning all evaluated points in grid order
+/// (clock-outer, budget-inner). Grid points are evaluated on scoped
+/// worker threads; the output is bit-identical to [`sweep_serial`].
 ///
 /// # Panics
 /// Panics if either sweep list is empty.
@@ -51,34 +91,101 @@ pub fn sweep(
         !multiplier_budgets.is_empty(),
         "need at least one resource point"
     );
-    let mut points = Vec::new();
-    for &clock in clocks_ps {
-        for &muls in multiplier_budgets {
-            let mut c = Constraints::at_clock(clock).with_mem_ports(16);
-            if let Some(m) = muls {
-                c = c.with_multipliers(m);
-            }
-            let out = compile(kernel.clone(), lib, &c);
-            points.push(DesignPoint {
-                constraints: c,
-                area_um2: out.module.area_um2(lib),
-                latency: out.module.latency,
-                ii: out.module.ii,
-                crit_path_ps: out.module.crit_path_ps,
-                power_mw: out.module.power(lib, 0.2).total_mw(),
-            });
-        }
+    let grid = constraint_grid(clocks_ps, multiplier_budgets);
+    let (optimized, _) = optimize(kernel);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(grid.len());
+    if workers <= 1 {
+        return grid
+            .into_iter()
+            .map(|c| eval_point(&optimized, lib, c))
+            .collect();
     }
-    points
+    // Strided assignment (worker w takes grid indices i with
+    // i % workers == w) keeps the load balanced; reassembly by index
+    // restores exact grid order regardless of completion order.
+    let per_worker: Vec<Vec<(usize, DesignPoint)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|wid| {
+                let grid = &grid;
+                let optimized = &optimized;
+                s.spawn(move || {
+                    grid.iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % workers == wid)
+                        .map(|(i, &c)| (i, eval_point(optimized, lib, c)))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<DesignPoint>> = vec![None; grid.len()];
+    for (i, p) in per_worker.into_iter().flatten() {
+        slots[i] = Some(p);
+    }
+    slots
+        .into_iter()
+        .map(|p| p.expect("every grid point evaluated"))
+        .collect()
+}
+
+/// Single-threaded reference sweep: the same grid, optimized kernel
+/// and evaluation as [`sweep`], in plain iteration order.
+pub fn sweep_serial(
+    kernel: &Kernel,
+    lib: &TechLibrary,
+    clocks_ps: &[f64],
+    multiplier_budgets: &[Option<u32>],
+) -> Vec<DesignPoint> {
+    assert!(!clocks_ps.is_empty(), "need at least one clock point");
+    assert!(
+        !multiplier_budgets.is_empty(),
+        "need at least one resource point"
+    );
+    let (optimized, _) = optimize(kernel);
+    constraint_grid(clocks_ps, multiplier_budgets)
+        .into_iter()
+        .map(|c| eval_point(&optimized, lib, c))
+        .collect()
 }
 
 /// Filters `points` down to the Pareto-optimal front (area, latency,
-/// II).
+/// II), preserving input order.
+///
+/// Sort-then-scan: sorting indices ascending by (area, latency, ii)
+/// puts every dominator strictly before the points it dominates, so a
+/// single pass need only test each candidate against the front kept so
+/// far (transitivity covers dominators that were themselves dominated)
+/// — versus the naive all-pairs scan, which is quadratic even when the
+/// front is small.
 pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .area_um2
+            .total_cmp(&points[b].area_um2)
+            .then(points[a].latency.cmp(&points[b].latency))
+            .then(points[a].ii.cmp(&points[b].ii))
+    });
+    let mut front: Vec<usize> = Vec::new();
+    let mut keep = vec![false; points.len()];
+    for &i in &order {
+        if !front.iter().any(|&j| points[j].dominates(&points[i])) {
+            front.push(i);
+            keep[i] = true;
+        }
+    }
     points
         .iter()
-        .filter(|p| !points.iter().any(|q| q.dominates(p)))
-        .cloned()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(p, _)| p.clone())
         .collect()
 }
 
@@ -95,6 +202,8 @@ pub fn best_under_latency(points: &[DesignPoint], max_latency: u32) -> Option<De
 mod tests {
     use super::*;
     use craft_hls::KernelBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn dot8() -> Kernel {
         let mut b = KernelBuilder::new("dot8", 32);
@@ -121,6 +230,19 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_matches_serial_exactly() {
+        let lib = TechLibrary::n16();
+        let k = dot8();
+        let clocks = [900.0, 1000.0, 1200.0, 1400.0];
+        let budgets = [None, Some(8), Some(4), Some(2), Some(1)];
+        let par = sweep(&k, &lib, &clocks, &budgets);
+        let ser = sweep_serial(&k, &lib, &clocks, &budgets);
+        assert_eq!(par.len(), clocks.len() * budgets.len());
+        // Same Vec: same order, same values (f64s compared exactly).
+        assert_eq!(par, ser);
+    }
+
+    #[test]
     fn pareto_front_removes_dominated() {
         let lib = TechLibrary::n16();
         let pts = sweep(&dot8(), &lib, &[1000.0, 1400.0], &[None, Some(4), Some(1)]);
@@ -130,6 +252,43 @@ mod tests {
         for p in &front {
             assert!(!pts.iter().any(|q| q.dominates(p)));
         }
+    }
+
+    /// The naive all-pairs front the sort-then-scan replaced.
+    fn pareto_front_naive(points: &[DesignPoint]) -> Vec<DesignPoint> {
+        points
+            .iter()
+            .filter(|p| !points.iter().any(|q| q.dominates(p)))
+            .cloned()
+            .collect()
+    }
+
+    fn random_point(rng: &mut StdRng) -> DesignPoint {
+        // Small integer-valued ranges force plenty of ties, duplicates
+        // and partial dominance among the three objectives.
+        DesignPoint {
+            constraints: Constraints::at_clock(1000.0),
+            area_um2: f64::from(rng.gen_range(1u32..=12)),
+            latency: rng.gen_range(1u32..=10),
+            ii: rng.gen_range(1u32..=4),
+            crit_path_ps: rng.gen_range(100.0..1000.0),
+            power_mw: rng.gen_range(0.1..5.0),
+        }
+    }
+
+    #[test]
+    fn pareto_front_matches_naive_on_random_point_sets() {
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(1usize..=200);
+            let pts: Vec<DesignPoint> = (0..n).map(|_| random_point(&mut rng)).collect();
+            assert_eq!(
+                pareto_front(&pts),
+                pareto_front_naive(&pts),
+                "seed {seed}: sort-then-scan front diverged from naive"
+            );
+        }
+        assert!(pareto_front(&[]).is_empty());
     }
 
     #[test]

@@ -108,7 +108,7 @@ pub fn run_flow(spec: &FlowSpec, lib: &TechLibrary) -> ChipReport {
     let mut logic_area = 0.0;
     let mut power_mw = 0.0;
     for u in &spec.units {
-        let out = compile(u.kernel.clone(), lib, &u.constraints);
+        let out = compile(&u.kernel, lib, &u.constraints);
         let area = out.module.area_um2(lib);
         logic_area += area * f64::from(u.replicas);
         power_mw += out.module.power(lib, 0.2).total_mw() * f64::from(u.replicas);

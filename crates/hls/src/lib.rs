@@ -27,7 +27,7 @@
 //! b.output(0, r);
 //!
 //! let lib = TechLibrary::n16();
-//! let out = compile(b.finish(), &lib, &Constraints::at_clock(909.0));
+//! let out = compile(&b.finish(), &lib, &Constraints::at_clock(909.0));
 //! assert!(out.module.area_um2(&lib) > 0.0);
 //! assert!(out.module.latency >= 1);
 //! ```
@@ -70,8 +70,10 @@ pub struct CompileOutput {
     pub compile_time: Duration,
 }
 
-/// Runs the full HLS pipeline: optimize → schedule → bind.
-pub fn compile(kernel: Kernel, lib: &TechLibrary, constraints: &Constraints) -> CompileOutput {
+/// Runs the full HLS pipeline: optimize → schedule → bind. Borrows the
+/// kernel, so sweeping callers compile one kernel under many
+/// constraint sets without cloning it per design point.
+pub fn compile(kernel: &Kernel, lib: &TechLibrary, constraints: &Constraints) -> CompileOutput {
     let t0 = Instant::now();
     let (optimized, xform) = optimize(kernel);
     let sched = schedule(&optimized, lib, constraints);
@@ -95,8 +97,8 @@ mod tests {
         // src-loop style on a 32-lane 32-bit crossbar.
         let lib = TechLibrary::n16();
         let c = Constraints::at_clock(1100.0).with_mem_ports(64);
-        let src = compile(kernels::crossbar_src_loop(32, 32), &lib, &c);
-        let dst = compile(kernels::crossbar_dst_loop(32, 32), &lib, &c);
+        let src = compile(&kernels::crossbar_src_loop(32, 32), &lib, &c);
+        let dst = compile(&kernels::crossbar_dst_loop(32, 32), &lib, &c);
         let penalty = src.module.area_um2(&lib) / dst.module.area_um2(&lib) - 1.0;
         assert!(
             (0.10..0.45).contains(&penalty),
@@ -110,11 +112,7 @@ mod tests {
     fn optimized_kernel_matches_original_function() {
         let lib = TechLibrary::n16();
         let k = kernels::crossbar_dst_loop(8, 32);
-        let out = compile(
-            k.clone(),
-            &lib,
-            &Constraints::at_clock(1100.0).with_mem_ports(16),
-        );
+        let out = compile(&k, &lib, &Constraints::at_clock(1100.0).with_mem_ports(16));
         let inputs: Vec<i64> = (0..16)
             .map(|i| if i < 8 { i * 11 } else { (15 - i) % 8 })
             .collect();
@@ -128,8 +126,8 @@ mod tests {
         // are the deterministic proxy (wall time is benched separately).
         let lib = TechLibrary::n16();
         let c = Constraints::at_clock(1100.0).with_mem_ports(64);
-        let src = compile(kernels::crossbar_src_loop(32, 32), &lib, &c);
-        let dst = compile(kernels::crossbar_dst_loop(32, 32), &lib, &c);
+        let src = compile(&kernels::crossbar_src_loop(32, 32), &lib, &c);
+        let dst = compile(&kernels::crossbar_dst_loop(32, 32), &lib, &c);
         // Priority networks make the src variant's bound netlist much
         // larger in cell count, which tracks scheduler/binder effort.
         assert!(

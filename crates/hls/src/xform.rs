@@ -18,7 +18,9 @@ pub struct XformReport {
 }
 
 /// Runs fold → CSE → DCE to a fixed point and returns the optimized
-/// kernel plus a report.
+/// kernel plus a report. Borrows the input: the first fold pass builds
+/// the working copy, so callers (notably DSE sweeps) keep ownership
+/// and share one kernel across many compilations.
 ///
 /// ```
 /// use craft_hls::{optimize, KernelBuilder};
@@ -28,25 +30,84 @@ pub struct XformReport {
 /// let bb = b.add(x, x); // duplicate
 /// let s = b.add(a, bb);
 /// b.output(0, s);
-/// let (k, report) = optimize(b.finish());
+/// let (k, report) = optimize(&b.finish());
 /// assert_eq!(report.cse_removed, 1);
 /// assert_eq!(k.eval(&[5], &[]).0[0], 20);
 /// ```
-pub fn optimize(kernel: Kernel) -> (Kernel, XformReport) {
+pub fn optimize(kernel: &Kernel) -> (Kernel, XformReport) {
     let mut report = XformReport::default();
-    let mut k = kernel;
+    let (mut k, mut folded) = fold_constants_from(kernel);
     loop {
-        let (k2, f) = fold_constants(k);
-        let (k3, c) = cse(k2);
-        let (k4, d) = dce(k3);
-        report.folded += f;
+        let (k2, c) = cse(k);
+        let (k3, d) = dce(k2);
+        report.folded += folded;
         report.cse_removed += c;
         report.dce_removed += d;
-        k = k4;
-        if f + c + d == 0 {
+        k = k3;
+        if folded + c + d == 0 {
             return (k, report);
         }
+        let (k2, f) = fold_constants(k);
+        k = k2;
+        folded = f;
     }
+}
+
+/// Constant value of `kind` applied to constant operands, if foldable.
+fn const_value(kind: OpKind, args: &[i64]) -> Option<i64> {
+    match kind {
+        OpKind::Add => Some(args[0].wrapping_add(args[1])),
+        OpKind::Sub => Some(args[0].wrapping_sub(args[1])),
+        OpKind::Mul => Some(args[0].wrapping_mul(args[1])),
+        OpKind::And => Some(args[0] & args[1]),
+        OpKind::Or => Some(args[0] | args[1]),
+        OpKind::Xor => Some(args[0] ^ args[1]),
+        OpKind::Shl => Some(args[0].wrapping_shl(args[1] as u32 & 63)),
+        OpKind::Shr => Some(((args[0] as u64) >> (args[1] as u32 & 63)) as i64),
+        OpKind::CmpEq => Some(i64::from(args[0] == args[1])),
+        OpKind::CmpLt => Some(i64::from(args[0] < args[1])),
+        OpKind::Mux => Some(if args[0] != 0 { args[1] } else { args[2] }),
+        _ => None,
+    }
+}
+
+/// Resolves an op's constant value given the constants known so far.
+fn fold_value(op: &crate::ir::Op, const_of: &HashMap<ValueId, i64>) -> Option<i64> {
+    if let OpKind::Const(c) = op.kind {
+        return Some(c);
+    }
+    let args: Option<Vec<i64>> = op.args.iter().map(|a| const_of.get(a).copied()).collect();
+    args.and_then(|a| const_value(op.kind, &a))
+}
+
+/// First fold pass: copies the borrowed kernel op by op, folding as it
+/// goes (one copy instead of clone-then-mutate).
+fn fold_constants_from(k: &Kernel) -> (Kernel, usize) {
+    let mut const_of: HashMap<ValueId, i64> = HashMap::new();
+    let mut folded = 0;
+    let mut ops = Vec::with_capacity(k.ops.len());
+    for op in &k.ops {
+        let value = fold_value(op, &const_of);
+        let mut new_op = op.clone();
+        if let (Some(v), Some(result)) = (value, op.result) {
+            const_of.insert(result, v);
+            if !matches!(op.kind, OpKind::Const(_)) {
+                new_op.kind = OpKind::Const(v);
+                new_op.args.clear();
+                folded += 1;
+            }
+        }
+        ops.push(new_op);
+    }
+    let out = Kernel {
+        name: k.name.clone(),
+        ops,
+        n_values: k.n_values,
+        arrays: k.arrays.clone(),
+        n_inputs: k.n_inputs,
+        n_outputs: k.n_outputs,
+    };
+    (out, folded)
 }
 
 /// Replaces ops whose operands are all constants with `Const` ops.
@@ -54,26 +115,7 @@ fn fold_constants(mut k: Kernel) -> (Kernel, usize) {
     let mut const_of: HashMap<ValueId, i64> = HashMap::new();
     let mut folded = 0;
     for op in &mut k.ops {
-        let get = |m: &HashMap<ValueId, i64>, v: ValueId| m.get(&v).copied();
-        let all: Option<Vec<i64>> = op.args.iter().map(|&a| get(&const_of, a)).collect();
-        let value = match (op.kind, all) {
-            (OpKind::Const(c), _) => Some(c),
-            (_, Some(args)) => match op.kind {
-                OpKind::Add => Some(args[0].wrapping_add(args[1])),
-                OpKind::Sub => Some(args[0].wrapping_sub(args[1])),
-                OpKind::Mul => Some(args[0].wrapping_mul(args[1])),
-                OpKind::And => Some(args[0] & args[1]),
-                OpKind::Or => Some(args[0] | args[1]),
-                OpKind::Xor => Some(args[0] ^ args[1]),
-                OpKind::Shl => Some(args[0].wrapping_shl(args[1] as u32 & 63)),
-                OpKind::Shr => Some(((args[0] as u64) >> (args[1] as u32 & 63)) as i64),
-                OpKind::CmpEq => Some(i64::from(args[0] == args[1])),
-                OpKind::CmpLt => Some(i64::from(args[0] < args[1])),
-                OpKind::Mux => Some(if args[0] != 0 { args[1] } else { args[2] }),
-                _ => None,
-            },
-            _ => None,
-        };
+        let value = fold_value(op, &const_of);
         if let (Some(v), Some(result)) = (value, op.result) {
             const_of.insert(result, v);
             if !matches!(op.kind, OpKind::Const(_)) {
@@ -157,7 +199,7 @@ mod tests {
         let c2 = b.constant(7);
         let p = b.mul(c1, c2);
         b.output(0, p);
-        let (k, rep) = optimize(b.finish());
+        let (k, rep) = optimize(&b.finish());
         assert_eq!(rep.folded, 1);
         assert_eq!(k.eval(&[], &[]).0[0], 42);
         // The mul is gone: only consts + output remain.
@@ -171,7 +213,7 @@ mod tests {
         let dead1 = b.mul(x, x);
         let _dead2 = b.add(dead1, x); // whole chain unused
         b.output(0, x);
-        let (k, rep) = optimize(b.finish());
+        let (k, rep) = optimize(&b.finish());
         assert_eq!(rep.dce_removed, 2);
         assert_eq!(k.eval(&[9], &[]).0[0], 9);
     }
@@ -183,7 +225,7 @@ mod tests {
         let i = b.constant(1);
         let v = b.input(0);
         b.store(arr, i, v);
-        let (k, _) = optimize(b.finish());
+        let (k, _) = optimize(&b.finish());
         assert!(k.ops().iter().any(|o| matches!(o.kind, OpKind::Store(_))));
         assert_eq!(k.eval(&[5], &[]).1[0], vec![0, 5]);
     }
@@ -199,7 +241,7 @@ mod tests {
         let second = b.load(arr, zero); // must NOT merge with `first`
         let diff = b.sub(second, first);
         b.output(0, diff);
-        let (k, _) = optimize(b.finish());
+        let (k, _) = optimize(&b.finish());
         assert_eq!(k.eval(&[], &[]).0[0], 10);
     }
 
@@ -216,7 +258,7 @@ mod tests {
         let r = b.mux(c, s, y);
         b.output(0, r);
         let orig = b.finish();
-        let (opt, rep) = optimize(orig.clone());
+        let (opt, rep) = optimize(&orig);
         assert!(rep.cse_removed >= 1);
         for ins in [[1, 100], [50, 10], [-3, 7]] {
             assert_eq!(orig.eval(&ins, &[]).0, opt.eval(&ins, &[]).0);

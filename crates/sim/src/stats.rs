@@ -3,6 +3,59 @@
 
 use std::fmt;
 
+/// A plain event counter with saturating watermark support — the
+/// lightest member of the stats layer, used where a full [`Samples`]
+/// is overkill (cache hits, plans lowered, ticks elided).
+///
+/// ```
+/// use craft_sim::stats::Counter;
+/// let mut c = Counter::new();
+/// c.incr();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// c.observe_max(3);
+/// assert_eq!(c.get(), 5); // watermark never lowers the value
+/// c.observe_max(9);
+/// assert_eq!(c.get(), 9);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-watermark use).
+    pub fn observe_max(&mut self, v: u64) {
+        self.value = self.value.max(v);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
 /// Running mean/min/max over `u64` samples (e.g. packet latencies in
 /// cycles).
 ///
@@ -166,6 +219,20 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(10);
+        assert_eq!(c.get(), 11);
+        c.observe_max(5);
+        assert_eq!(c.get(), 11, "watermark must not lower");
+        c.observe_max(20);
+        assert_eq!(c.get(), 20);
+        assert_eq!(format!("{c}"), "20");
+    }
 
     #[test]
     fn samples_track_extremes() {

@@ -99,9 +99,19 @@ fn width_mask(width: u32) -> u64 {
 /// the work cannot be optimized away; one `step` call performs
 /// `gates / 8` word-level boolean updates (an RTL simulator packs ~8
 /// gate evaluations per machine word operation).
+///
+/// `RtlCost` is also the **gate-charge ledger** shared by the
+/// interpreted and compiled RTL paths: every evaluation — interpreted
+/// [`step`](RtlCost::step) or compiled
+/// [`crate::rtlplan::SignalPlan::burn`] — records the gate equivalents
+/// it accounts for in [`charged`](RtlCost::charged). The two paths
+/// must charge identical totals for the same run (that invariant is
+/// the compiled path's accuracy contract); only the wall-clock work
+/// behind each charge differs.
 #[derive(Debug, Clone)]
 pub struct RtlCost {
     wires: [u64; 16],
+    charged: u64,
 }
 
 impl Default for RtlCost {
@@ -115,11 +125,14 @@ impl RtlCost {
     pub fn new() -> Self {
         RtlCost {
             wires: [0x9E37_79B9_7F4A_7C15; 16],
+            charged: 0,
         }
     }
 
-    /// Evaluates `gates` gate equivalents of signal updates.
+    /// Evaluates `gates` gate equivalents of signal updates and
+    /// charges them to the ledger.
     pub fn step(&mut self, gates: u64) {
+        self.charged += gates;
         let words = gates / 8;
         let mut w = self.wires;
         for i in 0..words {
@@ -129,6 +142,18 @@ impl RtlCost {
             w[(i % 16) as usize] = (a & b) ^ (!a & c) ^ (a >> 1) ^ (b << 1);
         }
         self.wires = w;
+    }
+
+    /// Records `gates` gate equivalents in the ledger without doing
+    /// interpreted evaluation work — the compiled path's accounting
+    /// entry point (the evaluation itself ran as native word ops).
+    pub fn charge(&mut self, gates: u64) {
+        self.charged += gates;
+    }
+
+    /// Total gate equivalents charged since construction.
+    pub fn charged(&self) -> u64 {
+        self.charged
     }
 
     /// Opaque digest so the optimizer cannot remove the work.
@@ -159,6 +184,19 @@ mod tests {
         let d0 = c.digest();
         c.step(10_000);
         assert_ne!(c.digest(), d0, "work must mutate state");
+    }
+
+    #[test]
+    fn charge_and_step_share_one_ledger() {
+        let mut c = RtlCost::new();
+        assert_eq!(c.charged(), 0);
+        c.step(800);
+        c.charge(200);
+        assert_eq!(c.charged(), 1000);
+        let d = c.digest();
+        c.charge(5_000);
+        assert_eq!(c.digest(), d, "charge must not do evaluation work");
+        assert_eq!(c.charged(), 6_000);
     }
 
     proptest! {

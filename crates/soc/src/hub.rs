@@ -12,6 +12,7 @@
 use crate::bitrtl::RtlCost;
 use crate::msg::{NocMsg, PacketAssembler, PeCommand};
 use crate::pe::{Fidelity, CHUNK};
+use crate::rtlplan::SignalPlan;
 use craft_connections::{In, Out};
 use craft_matchlib::axi::{AxiAddrCmd, AxiReadBeat, AxiSlavePorts, AxiWriteResp};
 use craft_matchlib::router::NocFlit;
@@ -59,6 +60,9 @@ pub struct HubState {
     pub gmem_ops: u64,
     /// NoC flits observed at the hub, both directions (energy proxy).
     pub noc_flits: u64,
+    /// Gate equivalents charged to the hub's RTL cost ledger
+    /// (identical between interpreted and compiled RTL modes).
+    pub gates_charged: u64,
     /// Service latency (cycles from job arrival to completion) of
     /// memory jobs, bucketed per 4 cycles.
     pub service_latency: craft_sim::stats::Histogram,
@@ -82,6 +86,7 @@ impl HubState {
             done_count: 0,
             gmem_ops: 0,
             noc_flits: 0,
+            gates_charged: 0,
             service_latency: craft_sim::stats::Histogram::new(4, 64),
             activity: ActivityToken::new(),
             stage_target: 0,
@@ -152,6 +157,8 @@ pub struct Hub {
     fidelity: Fidelity,
     rtl_cost: RtlCost,
     rtl_gates: u64,
+    /// Compiled per-cycle signal plan (RtlCompiled mode only).
+    signal_plan: Option<SignalPlan>,
     cycle: u64,
 }
 
@@ -164,6 +171,7 @@ impl Hub {
         state: HubHandle,
         fidelity: Fidelity,
     ) -> Self {
+        const HUB_RTL_GATES: u64 = 40_000;
         Hub {
             name: format!("hub{node}"),
             node,
@@ -175,9 +183,18 @@ impl Hub {
             outbox: VecDeque::new(),
             fidelity,
             rtl_cost: RtlCost::new(),
-            rtl_gates: 40_000,
+            rtl_gates: HUB_RTL_GATES,
+            signal_plan: (fidelity == Fidelity::RtlCompiled)
+                .then(|| SignalPlan::from_gate_count(HUB_RTL_GATES)),
             cycle: 0,
         }
+    }
+
+    /// The hub's compiled signal plan, if running in
+    /// [`Fidelity::RtlCompiled`] (lets the SoC assembly register it in
+    /// the shared plan statistics).
+    pub fn signal_plan(&self) -> Option<&SignalPlan> {
+        self.signal_plan.as_ref()
     }
 }
 
@@ -193,7 +210,7 @@ impl Component for Hub {
     /// is only read when a job exists, and the first tick after a wake
     /// refreshes it before any job can be enqueued.
     fn is_quiescent(&self) -> bool {
-        self.fidelity != Fidelity::Rtl
+        !self.fidelity.is_rtl()
             && self.jobs.is_empty()
             && self.outbox.is_empty()
             && !self.input.has_pending()
@@ -202,8 +219,16 @@ impl Component for Hub {
 
     fn tick(&mut self, ctx: &mut TickCtx<'_>) {
         self.cycle = ctx.cycle();
-        if self.fidelity == Fidelity::Rtl {
-            self.rtl_cost.step(self.rtl_gates);
+        match self.fidelity {
+            Fidelity::Rtl => self.rtl_cost.step(self.rtl_gates),
+            Fidelity::RtlCompiled => {
+                let plan = self.signal_plan.as_mut().expect("compiled hub has a plan");
+                plan.burn(&mut self.rtl_cost);
+            }
+            Fidelity::SimAccurate => {}
+        }
+        if self.fidelity.is_rtl() {
+            self.state.borrow_mut().gates_charged = self.rtl_cost.charged();
         }
         // Ingest one flit per cycle.
         if let Some(flit) = self.input.pop_nb() {

@@ -9,11 +9,14 @@
 //! ([`ClockingMode`]) using pausible bisynchronous FIFOs on every
 //! router-to-router link.
 //!
-//! Two fidelities reproduce the Fig. 6 experiment: [`Fidelity::Rtl`]
-//! (bit-level datapaths + per-cycle signal evaluation + pipeline
-//! latencies) versus [`Fidelity::SimAccurate`] (the Connections
-//! sim-accurate transaction model), compared on elapsed cycles and
-//! wall-clock time over the six SoC-level tests in [`workloads`].
+//! Three fidelities reproduce the Fig. 6 experiment: [`Fidelity::Rtl`]
+//! (interpreted bit-level datapaths + per-cycle signal evaluation +
+//! pipeline latencies), [`Fidelity::RtlCompiled`] (the same RTL cost
+//! model executed through compiled word-level evaluation plans —
+//! [`rtlplan`] — cycle- and charge-identical to `Rtl`, only faster),
+//! and [`Fidelity::SimAccurate`] (the Connections sim-accurate
+//! transaction model), compared on elapsed cycles and wall-clock time
+//! over the six SoC-level tests in [`workloads`].
 //!
 //! ## Example
 //!
@@ -36,10 +39,12 @@ pub mod controller;
 pub mod hub;
 pub mod msg;
 pub mod pe;
+pub mod rtlplan;
 pub mod soc;
 pub mod workloads;
 
 pub use msg::{NocMsg, PeCommand, PeOp, HUB_NODE, N_PES};
 pub use pe::{Fidelity, PeConfig, PeStats, ProcessingElement};
+pub use rtlplan::{DpEval, DpOp, EvalPlan, PlanCache, PlanStats, SignalPlan};
 pub use soc::{ClockingMode, RouterKind, RunResult, Soc, SocConfig};
 pub use workloads::{run_workload, six_soc_tests, Workload};

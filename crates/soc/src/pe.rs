@@ -14,10 +14,14 @@
 //! work, and each command pays a pipeline fill/drain penalty that the
 //! sim-accurate model deliberately omits — the paper attributes its
 //! <3% cycle error to exactly such "unit pipeline latencies not
-//! included in the SystemC models".
+//! included in the SystemC models". [`Fidelity::RtlCompiled`] keeps
+//! every one of those timing behaviors (and the gate-charge ledger)
+//! bit-identical while evaluating through one-time-lowered word-level
+//! plans ([`crate::rtlplan`]) instead of the interpreter.
 
-use crate::bitrtl::{self, RtlCost};
+use crate::bitrtl::RtlCost;
 use crate::msg::{NocMsg, PacketAssembler, PeCommand, PeOp, HUB_NODE};
+use crate::rtlplan::{DpEval, PlanCacheHandle, SignalPlan};
 use craft_connections::{In, Out};
 use craft_matchlib::router::NocFlit;
 use craft_matchlib::{ArbitratedScratchpad, SpRequest, SpResponse};
@@ -31,10 +35,26 @@ use std::rc::Rc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fidelity {
     /// HLS-generated-RTL equivalent: bit-level datapaths, per-cycle
-    /// signal evaluation, pipeline fill latencies.
+    /// signal evaluation, pipeline fill latencies. Interpreted — the
+    /// golden reference for [`Fidelity::RtlCompiled`].
     Rtl,
+    /// RTL fidelity through compiled evaluation plans
+    /// ([`crate::rtlplan`]): identical cycle counts, results and
+    /// charged gate counts to [`Fidelity::Rtl`], with the arithmetic
+    /// and per-cycle signal work running as native word ops.
+    RtlCompiled,
     /// Connections sim-accurate transaction model.
     SimAccurate,
+}
+
+impl Fidelity {
+    /// True for both RTL-fidelity modes (interpreted and compiled):
+    /// everything that affects *cycle counts* — pipeline fill/drain,
+    /// register stalls, never-quiescent components — keys on this, so
+    /// the two RTL modes are cycle-identical by construction.
+    pub fn is_rtl(self) -> bool {
+        matches!(self, Fidelity::Rtl | Fidelity::RtlCompiled)
+    }
 }
 
 /// PE configuration.
@@ -111,6 +131,9 @@ pub struct PeStats {
     pub busy_cycles: u64,
     /// Datapath work units executed.
     pub work_units: u64,
+    /// Gate equivalents charged to the RTL cost ledger (identical
+    /// between [`Fidelity::Rtl`] and [`Fidelity::RtlCompiled`]).
+    pub gates_charged: u64,
 }
 
 /// The processing element component.
@@ -130,6 +153,11 @@ pub struct ProcessingElement {
     rtl_cost: RtlCost,
     /// Pending RTL-only stall cycles (ingress/egress registers).
     rtl_skip: u32,
+    /// Datapath evaluation strategy (native / interpreted / compiled).
+    dp: DpEval,
+    /// Compiled per-cycle signal-set plan (RtlCompiled mode only;
+    /// empty otherwise).
+    signal_plan: SignalPlan,
     stats: Rc<RefCell<PeStats>>,
     coverage: Coverage,
 }
@@ -164,8 +192,30 @@ impl ProcessingElement {
             pending_writes: VecDeque::new(),
             rtl_cost: RtlCost::new(),
             rtl_skip: 0,
+            dp: match cfg.fidelity {
+                Fidelity::SimAccurate => DpEval::Native,
+                Fidelity::Rtl => DpEval::interpreted(),
+                // Standalone PEs lower into a private cache; SoC
+                // assembly replaces it with the shared one via
+                // `set_plan_cache` so lowering runs once per operator.
+                Fidelity::RtlCompiled => DpEval::compiled(&crate::rtlplan::PlanCache::handle()),
+            },
+            signal_plan: SignalPlan::from_gate_count(match cfg.fidelity {
+                Fidelity::RtlCompiled => cfg.rtl_gates,
+                _ => 0,
+            }),
             stats: Rc::new(RefCell::new(PeStats::default())),
             coverage: Coverage::new(),
+        }
+    }
+
+    /// Re-draws the compiled datapath plans from a shared cache (and
+    /// registers this PE's signal plan in its statistics). No-op in
+    /// non-compiled fidelities.
+    pub fn set_plan_cache(&mut self, cache: &PlanCacheHandle) {
+        if self.cfg.fidelity == Fidelity::RtlCompiled {
+            self.dp = DpEval::compiled(cache);
+            cache.borrow_mut().register_signal_plan(&self.signal_plan);
         }
     }
 
@@ -229,49 +279,39 @@ impl ProcessingElement {
     }
 
     /// Executes one datapath work unit; returns an output write
-    /// (addr, value) if the unit completes an output element.
+    /// (addr, value) if the unit completes an output element. Gate
+    /// equivalents consumed by the datapath are accumulated into
+    /// `charge` (identically for the interpreted and compiled RTL
+    /// strategies; zero for native).
     fn exec_unit(
         &self,
         cmd: &PeCommand,
         unit: u64,
         acc: &mut u64,
         arg: &mut Option<(u64, u64)>,
+        charge: &std::cell::Cell<u64>,
     ) -> Option<(usize, u64)> {
-        let rtl = self.cfg.fidelity == Fidelity::Rtl;
-        let mul = |a: u64, b: u64| {
-            if rtl {
-                bitrtl::mul_bitwise(a, b, 64)
-            } else {
-                a.wrapping_mul(b)
-            }
-        };
-        let add = |a: u64, b: u64| {
-            if rtl {
-                bitrtl::add_bitwise(a, b, 64)
-            } else {
-                a.wrapping_add(b)
-            }
-        };
+        let dp = &self.dp;
         match cmd.op {
             PeOp::VecAdd => {
                 let i = unit as usize;
-                let v = add(self.sp_read(A_OFF + i), self.sp_read(B_OFF + i));
+                let v = dp.add(self.sp_read(A_OFF + i), self.sp_read(B_OFF + i), charge);
                 Some((i, v))
             }
             PeOp::VecMul => {
                 let i = unit as usize;
-                let v = mul(self.sp_read(A_OFF + i), self.sp_read(B_OFF + i));
+                let v = dp.mul(self.sp_read(A_OFF + i), self.sp_read(B_OFF + i), charge);
                 Some((i, v))
             }
             PeOp::Scale => {
                 let i = unit as usize;
-                let v = mul(self.sp_read(A_OFF + i), u64::from(cmd.scalar));
+                let v = dp.mul(self.sp_read(A_OFF + i), u64::from(cmd.scalar), charge);
                 Some((i, v))
             }
             PeOp::Dot => {
                 let i = unit as usize;
-                let p = mul(self.sp_read(A_OFF + i), self.sp_read(B_OFF + i));
-                *acc = add(*acc, p);
+                let p = dp.mul(self.sp_read(A_OFF + i), self.sp_read(B_OFF + i), charge);
+                *acc = dp.add(*acc, p, charge);
                 if i + 1 == cmd.len as usize {
                     Some((0, *acc))
                 } else {
@@ -280,7 +320,7 @@ impl ProcessingElement {
             }
             PeOp::Reduce => {
                 let i = unit as usize;
-                *acc = add(*acc, self.sp_read(A_OFF + i));
+                *acc = dp.add(*acc, self.sp_read(A_OFF + i), charge);
                 if i + 1 == cmd.len as usize {
                     Some((0, *acc))
                 } else {
@@ -291,8 +331,8 @@ impl ProcessingElement {
                 let taps = u64::from(cmd.scalar);
                 let i = (unit / taps) as usize;
                 let t = (unit % taps) as usize;
-                let p = mul(self.sp_read(A_OFF + i + t), self.sp_read(B_OFF + t));
-                *acc = add(*acc, p);
+                let p = dp.mul(self.sp_read(A_OFF + i + t), self.sp_read(B_OFF + t), charge);
+                *acc = dp.add(*acc, p, charge);
                 if t + 1 == taps as usize {
                     let v = *acc;
                     *acc = 0;
@@ -307,20 +347,10 @@ impl ProcessingElement {
                 let c = (unit % k) as usize;
                 let point = self.sp_read(A_OFF + i);
                 let centroid = self.sp_read(B_OFF + c);
-                let d = if rtl {
-                    bitrtl::absdiff_bitwise(point, centroid, 64)
-                } else {
-                    point.abs_diff(centroid)
-                };
+                let d = dp.absdiff(point, centroid, charge);
                 let better = match *arg {
                     None => true,
-                    Some((best, _)) => {
-                        if rtl {
-                            bitrtl::lt_bitwise(d, best, 64)
-                        } else {
-                            d < best
-                        }
-                    }
+                    Some((best, _)) => dp.lt(d, best, charge),
                 };
                 if better {
                     *arg = Some((d, c as u64));
@@ -348,7 +378,7 @@ impl Component for ProcessingElement {
     /// uses). RTL mode never sleeps — generated RTL burns
     /// signal-evaluation work every cycle, which is the fidelity point.
     fn is_quiescent(&self) -> bool {
-        self.cfg.fidelity != Fidelity::Rtl
+        !self.cfg.fidelity.is_rtl()
             && matches!(self.state, PeState::Idle)
             && self.outbox.is_empty()
             && self.pending_writes.is_empty()
@@ -356,15 +386,23 @@ impl Component for ProcessingElement {
     }
 
     fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
-        // RTL simulators evaluate every signal every cycle.
-        if self.cfg.fidelity == Fidelity::Rtl {
-            self.rtl_cost.step(self.cfg.rtl_gates);
-        } else if matches!(self.state, PeState::Idle)
-            && self.outbox.is_empty()
-            && !self.input.can_pop()
-        {
-            // Sim-accurate models skip quiescent components entirely.
-            return;
+        // RTL simulators evaluate every signal every cycle — the
+        // interpreted mode by walking the packed state word by word,
+        // the compiled mode as one pass over its lowered plan. Both
+        // charge the same gate count.
+        match self.cfg.fidelity {
+            Fidelity::Rtl => self.rtl_cost.step(self.cfg.rtl_gates),
+            Fidelity::RtlCompiled => self.signal_plan.burn(&mut self.rtl_cost),
+            Fidelity::SimAccurate => {
+                if matches!(self.state, PeState::Idle)
+                    && self.outbox.is_empty()
+                    && !self.input.can_pop()
+                {
+                    // Sim-accurate models skip quiescent components
+                    // entirely.
+                    return;
+                }
+            }
         }
         self.stats.borrow_mut().busy_cycles += 1;
         // RTL-only register stages (NoC ingress/egress) consume cycles
@@ -414,6 +452,10 @@ impl Component for ProcessingElement {
             if self.output.push_nb(flit).is_ok() {
                 self.outbox.pop_front();
             }
+        }
+
+        if self.cfg.fidelity.is_rtl() {
+            self.stats.borrow_mut().gates_charged = self.rtl_cost.charged();
         }
     }
 }
@@ -493,7 +535,7 @@ impl ProcessingElement {
             } => {
                 // All words received AND landed in the scratchpad.
                 if got == need_a + need_b && self.pending_writes.is_empty() {
-                    let drain = if self.cfg.fidelity == Fidelity::Rtl {
+                    let drain = if self.cfg.fidelity.is_rtl() {
                         self.cfg.pipeline_depth
                     } else {
                         0
@@ -527,13 +569,15 @@ impl ProcessingElement {
                 if cursor < total {
                     let n = (self.cfg.lanes as u64).min(total - cursor);
                     let mut outs = Vec::new();
+                    let charge = std::cell::Cell::new(0u64);
                     for u in 0..n {
                         if let Some((idx, v)) =
-                            self.exec_unit(&cmd, cursor + u, &mut acc, &mut arg_state)
+                            self.exec_unit(&cmd, cursor + u, &mut acc, &mut arg_state, &charge)
                         {
                             outs.push((OUT_OFF + idx, v));
                         }
                     }
+                    self.rtl_cost.charge(charge.get());
                     cursor += n;
                     self.stats.borrow_mut().work_units += n;
                     for (addr, v) in outs {
@@ -584,7 +628,7 @@ impl ProcessingElement {
                             (0..n).map(|i| self.sp_read(OUT_OFF + sent + i)).collect();
                         sent += n;
                         self.send_msg(&NocMsg::MemWrite { base, data });
-                        if self.cfg.fidelity == Fidelity::Rtl {
+                        if self.cfg.fidelity.is_rtl() {
                             // Egress packetizer register stage.
                             self.rtl_skip += 1;
                         }

@@ -8,6 +8,7 @@ use crate::controller::{Controller, CtrlHandle, CtrlStatus};
 use crate::hub::{Hub, HubAxiSlave, HubHandle, HubState, CTRL_PAGE};
 use crate::msg::{HUB_NODE, MESH_WIDTH, N_NODES};
 use crate::pe::{Fidelity, PeConfig, ProcessingElement};
+use crate::rtlplan::{PlanCache, PlanCacheHandle, PlanStats, SignalPlan};
 use craft_connections::{channel, ChannelKind, In, Out};
 use craft_gals::pausible_fifo;
 use craft_matchlib::axi::{
@@ -16,7 +17,7 @@ use craft_matchlib::axi::{
 use craft_matchlib::router::{port, xy_route, NocFlit, SfRouter, WhvcConfig, WhvcRouter};
 use craft_riscv::FlatMemory;
 use craft_sim::{ActivityToken, ClockId, ClockSpec, Picoseconds, Simulator};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -120,11 +121,17 @@ pub struct RunResult {
 }
 
 /// RTL-mode per-router signal-evaluation load (no architectural
-/// effect; wall-clock fidelity only).
+/// effect; wall-clock fidelity only). In compiled RTL mode the per
+/// cycle walk runs through a [`SignalPlan`] instead of the interpreted
+/// [`crate::bitrtl::RtlCost::step`]; either way the same gate count is
+/// charged to the ledger, mirrored out through `charged` so the SoC
+/// can audit the totals after the run.
 struct RouterActivity {
     name: String,
     cost: crate::bitrtl::RtlCost,
     gates: u64,
+    plan: Option<SignalPlan>,
+    charged: Rc<Cell<u64>>,
 }
 
 impl craft_sim::Component for RouterActivity {
@@ -132,7 +139,11 @@ impl craft_sim::Component for RouterActivity {
         &self.name
     }
     fn tick(&mut self, _ctx: &mut craft_sim::TickCtx<'_>) {
-        self.cost.step(self.gates);
+        match &mut self.plan {
+            Some(plan) => plan.burn(&mut self.cost),
+            None => self.cost.step(self.gates),
+        }
+        self.charged.set(self.cost.charged());
     }
 }
 
@@ -144,6 +155,8 @@ pub struct Soc {
     ctrl: CtrlHandle,
     pe_stats: Vec<Rc<RefCell<crate::pe::PeStats>>>,
     coverage: craft_sim::cover::Coverage,
+    plan_cache: Option<PlanCacheHandle>,
+    router_charged: Vec<Rc<Cell<u64>>>,
 }
 
 impl Soc {
@@ -306,16 +319,33 @@ impl Soc {
         }
 
         // --- Routers ---
+        // One shared plan cache when the datapaths and signal sets are
+        // compiled rather than interpreted: all 15 PEs draw operator
+        // plans from it and every always-on signal plan registers its
+        // lowering statistics there.
+        let plan_cache: Option<PlanCacheHandle> =
+            (cfg.fidelity == Fidelity::RtlCompiled).then(PlanCache::handle);
         // In RTL mode every router's signal set is re-evaluated each
         // cycle, like generated RTL in a cycle-driven simulator.
-        if cfg.fidelity == Fidelity::Rtl {
+        let mut router_charged: Vec<Rc<Cell<u64>>> = Vec::new();
+        if cfg.fidelity.is_rtl() {
+            const ROUTER_RTL_GATES: u64 = 4_000;
             for n in 0..N_NODES {
+                let plan = (cfg.fidelity == Fidelity::RtlCompiled)
+                    .then(|| SignalPlan::from_gate_count(ROUTER_RTL_GATES));
+                if let (Some(cache), Some(p)) = (&plan_cache, &plan) {
+                    cache.borrow_mut().register_signal_plan(p);
+                }
+                let charged = Rc::new(Cell::new(0u64));
+                router_charged.push(Rc::clone(&charged));
                 sim.add_component(
                     node_clock[n as usize],
                     RouterActivity {
                         name: format!("r{n}.rtl"),
                         cost: crate::bitrtl::RtlCost::new(),
-                        gates: 4_000,
+                        gates: ROUTER_RTL_GATES,
+                        plan,
+                        charged,
                     },
                 );
             }
@@ -392,6 +422,9 @@ impl Soc {
             pe_out.set_wake_token(wake.clone());
             let mut pe = ProcessingElement::new(n, pe_in, pe_out, pe_cfg);
             pe.set_coverage(coverage.clone());
+            if let Some(cache) = &plan_cache {
+                pe.set_plan_cache(cache);
+            }
             pe_stats.push(pe.stats_handle());
             let id = sim.add_component(node_clock[n as usize], pe);
             sim.set_wake_token(id, wake);
@@ -420,6 +453,9 @@ impl Soc {
             Rc::clone(&hub_state),
             cfg.fidelity,
         );
+        if let (Some(cache), Some(plan)) = (&plan_cache, hub.signal_plan()) {
+            cache.borrow_mut().register_signal_plan(plan);
+        }
         let hub_id = sim.add_component(hub_clock, hub);
         sim.set_wake_token(hub_id, hub_wake);
 
@@ -488,7 +524,28 @@ impl Soc {
             ctrl,
             pe_stats,
             coverage,
+            plan_cache,
+            router_charged,
         }
+    }
+
+    /// Compile-plan lowering statistics (operator plans lowered, cache
+    /// hits, signal plans compiled). `None` unless the SoC was built
+    /// with [`Fidelity::RtlCompiled`].
+    pub fn plan_stats(&self) -> Option<PlanStats> {
+        self.plan_cache.as_ref().map(|c| c.borrow().stats())
+    }
+
+    /// Total gate equivalents charged to the RTL cost ledgers across
+    /// PEs, the hub, and the per-router activity models. Zero in
+    /// sim-accurate mode; bit-identical between [`Fidelity::Rtl`] and
+    /// [`Fidelity::RtlCompiled`] for the same run (the compiled path's
+    /// accounting contract).
+    pub fn charged_gates(&self) -> u64 {
+        let pes: u64 = self.pe_stats.iter().map(|s| s.borrow().gates_charged).sum();
+        let hub = self.hub.borrow().gates_charged;
+        let routers: u64 = self.router_charged.iter().map(|c| c.get()).sum();
+        pes + hub + routers
     }
 
     /// The functional-coverage map collected during the run (PE op
@@ -724,6 +781,15 @@ mod gating_tests {
     }
 
     #[test]
+    fn gating_equivalent_rtl_compiled_mode() {
+        let cfg = SocConfig {
+            fidelity: Fidelity::RtlCompiled,
+            ..SocConfig::default()
+        };
+        assert_gating_equivalent(cfg, &vec_mul());
+    }
+
+    #[test]
     fn gating_equivalent_gals() {
         let cfg = SocConfig {
             clocking: ClockingMode::Gals { spread_ppm: 2000 },
@@ -740,6 +806,79 @@ mod gating_tests {
             ..SocConfig::default()
         };
         assert_gating_equivalent(cfg, &vec_mul());
+    }
+}
+
+#[cfg(test)]
+mod rtl_compiled_tests {
+    use super::*;
+    use crate::workloads::{dot_product, run_workload_soc, vec_mul, Workload};
+
+    /// The compiled path's system-level contract: same cycles, same
+    /// verified results, same charged gate totals as the interpreted
+    /// RTL path — only the wall-clock work per charge differs.
+    fn assert_compiled_matches_interpreted(wl: &Workload) {
+        let rtl_cfg = SocConfig {
+            fidelity: Fidelity::Rtl,
+            ..SocConfig::default()
+        };
+        let comp_cfg = SocConfig {
+            fidelity: Fidelity::RtlCompiled,
+            ..SocConfig::default()
+        };
+        let (ri, ok_i, soc_i) = run_workload_soc(rtl_cfg, wl, 8_000_000);
+        let (rc, ok_c, soc_c) = run_workload_soc(comp_cfg, wl, 8_000_000);
+        assert!(ok_i, "{}: interpreted RTL run failed", wl.name);
+        assert!(ok_c, "{}: compiled RTL run failed", wl.name);
+        assert_eq!(ri.cycles, rc.cycles, "{}: cycle counts differ", wl.name);
+        assert_eq!(ri.ctrl, rc.ctrl, "{}: controller status differs", wl.name);
+        assert_eq!(soc_i.hub_counters(), soc_c.hub_counters());
+        assert_eq!(soc_i.total_work_units(), soc_c.total_work_units());
+        let (gi, gc) = (soc_i.charged_gates(), soc_c.charged_gates());
+        assert!(gi > 0, "{}: interpreted path charged nothing", wl.name);
+        assert_eq!(gi, gc, "{}: charged gate totals differ", wl.name);
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_vec_mul() {
+        assert_compiled_matches_interpreted(&vec_mul());
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_dot_product() {
+        assert_compiled_matches_interpreted(&dot_product());
+    }
+
+    /// The shared plan cache lowers each operator once for the whole
+    /// SoC and registers every always-on signal plan (15 PEs + hub +
+    /// 16 routers).
+    #[test]
+    fn plan_stats_report_shared_lowering() {
+        let cfg = SocConfig {
+            fidelity: Fidelity::RtlCompiled,
+            ..SocConfig::default()
+        };
+        let (_, ok, soc) = run_workload_soc(cfg, &vec_mul(), 8_000_000);
+        assert!(ok);
+        let stats = soc.plan_stats().expect("compiled mode exposes stats");
+        assert_eq!(stats.ops_lowered, 4, "one plan per operator");
+        assert_eq!(stats.cache_hits, 14 * 4, "14 PEs hit the shared cache");
+        assert_eq!(stats.signal_plans, 15 + 1 + 16, "PEs + hub + routers");
+        assert!(stats.signal_word_ops > 0);
+        assert!(stats.max_levels >= 2);
+        // Interpreted RTL and sim-accurate modes have no plan cache.
+        let (_, _, soc_rtl) = run_workload_soc(
+            SocConfig {
+                fidelity: Fidelity::Rtl,
+                ..SocConfig::default()
+            },
+            &vec_mul(),
+            8_000_000,
+        );
+        assert!(soc_rtl.plan_stats().is_none());
+        assert!(soc_rtl.charged_gates() > 0);
+        let (_, _, soc_sim) = run_workload_soc(SocConfig::default(), &vec_mul(), 8_000_000);
+        assert_eq!(soc_sim.charged_gates(), 0);
     }
 }
 

@@ -18,6 +18,7 @@
 
 mod cells;
 mod clocktree;
+mod lower;
 mod netlist;
 pub mod ops;
 pub mod power;
@@ -25,6 +26,7 @@ mod sram;
 
 pub use cells::{CellKind, CellSpec, TechLibrary};
 pub use clocktree::{clock_tree, ClockTreeReport, OCV_FRACTION};
+pub use lower::{gate_equiv, lower, LoweredNetlist, GATES_PER_WORD};
 pub use netlist::Netlist;
 pub use power::{mac_energy_fj, netlist_power, noc_hop_energy_fj, sram_power, PowerReport};
 pub use sram::SramMacro;

@@ -1,0 +1,133 @@
+//! Netlist lowering for compiled RTL evaluation.
+//!
+//! An interpreted RTL simulator re-evaluates every gate of a module's
+//! signal set every cycle; a *compiled* simulator (Verilator-style)
+//! lowers the netlist once into a levelized, word-packed evaluation
+//! plan and then executes that plan at native machine-word speed. A
+//! [`Netlist`] here is a cell *bag* (no connectivity), so the lowering
+//! models the two quantities the compiled evaluator needs — how many
+//! word-level operations one full evaluation costs and how deep the
+//! levelized schedule is — without inventing a wire graph: gate
+//! equivalents are packed [`GATES_PER_WORD`] to a word op, and depth is
+//! modeled as the log-depth of a balanced network over the cells.
+//!
+//! The gate-equivalent count is the *preserved* quantity: whatever a
+//! component charges its [`craft_soc::bitrtl::RtlCost`] ledger per
+//! cycle must be identical whether the interpreted or the compiled
+//! evaluator runs (the cost model is the contract; only wall clock
+//! changes).
+//!
+//! [`craft_soc::bitrtl::RtlCost`]: ../craft_soc/bitrtl/struct.RtlCost.html
+
+use crate::cells::CellKind;
+use crate::netlist::Netlist;
+
+/// Gate equivalents evaluated per machine-word operation by a compiled
+/// plan. An interpreted simulator touches ~8 gates per word op (one
+/// boolean function at a time over packed state); a compiled plan
+/// folds levelized gate cones into straight-line word arithmetic, so a
+/// single native op retires a 64-bit operator slice across the ~4-deep
+/// cone the levelizer collapses into it.
+pub const GATES_PER_WORD: u64 = 256;
+
+/// Gate-equivalent weight of one cell: roughly its NAND2-equivalent
+/// boolean complexity, used when flattening a cell bag into the
+/// single "gates" unit the RTL cost model charges.
+pub fn gate_equiv(kind: CellKind) -> u64 {
+    match kind {
+        CellKind::Inv | CellKind::ClkBuf | CellKind::RoStage => 1,
+        CellKind::Nand2 | CellKind::Nor2 => 1,
+        CellKind::Xor2 | CellKind::Mux2 | CellKind::Aoi21 => 2,
+        CellKind::FullAdder => 5,
+        CellKind::Dff | CellKind::ClkGate | CellKind::Mutex => 4,
+    }
+}
+
+/// One netlist lowered to a compiled evaluation plan's cost summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoweredNetlist {
+    /// Total gate equivalents (the amount charged to the RTL cost
+    /// ledger per evaluation, identical to the interpreted path).
+    pub gate_equiv: u64,
+    /// Machine-word operations one full evaluation executes.
+    pub word_ops: u64,
+    /// Levelized schedule depth (balanced-network model).
+    pub levels: u32,
+}
+
+impl LoweredNetlist {
+    /// Lowers a plain gate-equivalent count (components modeled only
+    /// by a gate budget, e.g. router control logic).
+    pub fn from_gate_count(gates: u64) -> LoweredNetlist {
+        LoweredNetlist {
+            gate_equiv: gates,
+            word_ops: gates.div_ceil(GATES_PER_WORD),
+            levels: log2_ceil(gates),
+        }
+    }
+}
+
+/// Lowers `netlist` into its compiled-evaluation cost summary.
+///
+/// ```
+/// use craft_tech::{lower, ops, GATES_PER_WORD};
+/// let plan = lower(&ops::multiplier(32));
+/// assert!(plan.gate_equiv > 0);
+/// assert_eq!(plan.word_ops, plan.gate_equiv.div_ceil(GATES_PER_WORD));
+/// assert!(plan.levels >= 1);
+/// ```
+pub fn lower(netlist: &Netlist) -> LoweredNetlist {
+    let gates: u64 = netlist.iter().map(|(k, n)| gate_equiv(k) * n).sum();
+    LoweredNetlist::from_gate_count(gates)
+}
+
+fn log2_ceil(n: u64) -> u32 {
+    if n <= 1 {
+        1
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn lowering_packs_gates_into_words() {
+        let l = lower(&ops::adder(64));
+        // 64 full adders at weight 5 = 320 gate equivalents.
+        assert_eq!(l.gate_equiv, 320);
+        assert_eq!(l.word_ops, 320u64.div_ceil(GATES_PER_WORD));
+        assert_eq!(l.levels, 9); // ceil(log2(320))
+    }
+
+    #[test]
+    fn word_ops_scale_sublinearly_vs_interpretation() {
+        // The compiled plan's word-op count must be far below the
+        // interpreted model's gates/8 word iterations.
+        for netlist in [ops::multiplier(64), ops::adder(32), ops::comparator(64)] {
+            let l = lower(&netlist);
+            assert!(l.word_ops * 8 <= l.gate_equiv || l.gate_equiv < GATES_PER_WORD);
+        }
+    }
+
+    #[test]
+    fn from_gate_count_edge_cases() {
+        let zero = LoweredNetlist::from_gate_count(0);
+        assert_eq!(zero.word_ops, 0);
+        assert_eq!(zero.levels, 1);
+        let one_word = LoweredNetlist::from_gate_count(GATES_PER_WORD);
+        assert_eq!(one_word.word_ops, 1);
+        let spill = LoweredNetlist::from_gate_count(GATES_PER_WORD + 1);
+        assert_eq!(spill.word_ops, 2);
+    }
+
+    #[test]
+    fn empty_netlist_lowers_to_nothing() {
+        let l = lower(&Netlist::new());
+        assert_eq!(l.gate_equiv, 0);
+        assert_eq!(l.word_ops, 0);
+    }
+}

@@ -72,7 +72,7 @@ fn main() {
     let s = b.add(p, acc);
     b.output(0, s);
     let lib = TechLibrary::n16();
-    let out = compile(b.finish(), &lib, &Constraints::at_clock(909.0));
+    let out = compile(&b.finish(), &lib, &Constraints::at_clock(909.0));
     println!("hls: {}", out.module.report(&lib));
 
     // --- 3. Back end: GALS vs synchronous clocking at chip level ---

@@ -1,5 +1,6 @@
 #!/usr/bin/env sh
-# Repo CI gate: formatting, lints, and the full test suite.
+# Repo CI gate: formatting, lints, the full test suite, benchmark
+# compilation, and a release-mode kernel smoke run.
 # Run from the repo root: ./scripts/ci.sh
 set -eu
 
@@ -13,5 +14,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
+
+echo "==> cargo bench --no-run (criterion harnesses compile)"
+cargo bench --workspace --no-run
+
+echo "==> kernel smoke (release, vec_mul only; JSON baseline untouched)"
+cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul
 
 echo "CI OK"

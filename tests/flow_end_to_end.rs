@@ -16,7 +16,7 @@ fn cosimulation_source_vs_compiled() {
     for lanes in [4usize, 8, 16] {
         let k = kernels::crossbar_dst_loop(lanes, 32);
         let out = compile(
-            k.clone(),
+            &k,
             &lib,
             &Constraints::at_clock(1100.0).with_mem_ports(lanes as u32 * 2),
         );
@@ -45,8 +45,8 @@ fn cosimulation_source_vs_compiled() {
 fn crossbar_penalty_through_flow() {
     let lib = TechLibrary::n16();
     let c = Constraints::at_clock(1100.0).with_mem_ports(64);
-    let src = compile(kernels::crossbar_src_loop(32, 32), &lib, &c);
-    let dst = compile(kernels::crossbar_dst_loop(32, 32), &lib, &c);
+    let src = compile(&kernels::crossbar_src_loop(32, 32), &lib, &c);
+    let dst = compile(&kernels::crossbar_dst_loop(32, 32), &lib, &c);
     let penalty = src.module.area_um2(&lib) / dst.module.area_um2(&lib) - 1.0;
     assert!(
         (0.15..0.40).contains(&penalty),
@@ -117,7 +117,7 @@ fn dse_points_all_functionally_identical() {
     assert!(!front.is_empty());
     // Constraint changes never touch semantics (x^3 + 3x^2 at x=5: 200).
     for p in &points {
-        let out = compile(k.clone(), &lib, &p.constraints);
+        let out = compile(&k, &lib, &p.constraints);
         assert_eq!(out.optimized.eval(&[5], &[]).0[0], 200);
     }
 }
