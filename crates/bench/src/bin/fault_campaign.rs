@@ -1,0 +1,754 @@
+//! Fault-injection campaign: emits `BENCH_fault_campaign.json`.
+//!
+//! Four seeded experiments over the robustness stack, farmed out to
+//! worker threads with `craftflow_core::par_map` (every run is
+//! self-contained and seeded, so results are bit-identical regardless
+//! of worker count):
+//!
+//! 1. **Link** — a `reliable_link` under sustained bit-flip / drop /
+//!    duplicate faults on its data channel. Measures per-mode detection
+//!    rate (checksum discards, timeout retransmissions, duplicate
+//!    discards), recovery rate (delivered stream bit-identical to the
+//!    bare reference) and cycle overhead vs both the bare channel and
+//!    the clean wrapped link.
+//! 2. **SoC** — the same fault modes at low probability on the hub's
+//!    hottest NoC ingress link (`l11p3->15`) under the `vec_mul`
+//!    workload, with *no* reliable transport in the path. Classifies
+//!    each run: detected by result mismatch, by the hang watchdog, or
+//!    by message-decode fail-stop — versus silently masked.
+//! 3. **Degradation** — a PE's command-delivery channel stuck dead
+//!    with hub PE-timeout detection armed: the failed PE must be
+//!    identified, its work remapped, and results stay bit-correct at a
+//!    bounded cycle overhead.
+//! 4. **Watchdog** — a deterministic total-loss hang, recording what
+//!    the diagnosis report actually pins down (faulted channel, hub
+//!    wait reason, busy components).
+//!
+//! Run with `--release` from the repo root:
+//!
+//! ```text
+//! cargo run --release -p craft-bench --bin fault_campaign
+//! cargo run --release -p craft-bench --bin fault_campaign -- --smoke
+//! ```
+//!
+//! `--smoke` shrinks the seed sweeps (CI uses this; the JSON is only
+//! written for full runs so a smoke never clobbers the committed
+//! baseline with low-sample rates).
+
+use craft_connections::{
+    channel, reliable_link, ChannelKind, FaultConfig, In, Out, ReliableConfig, ReliableStats,
+};
+use craft_sim::{ClockSpec, Component, Picoseconds, SimError, Simulator, TickCtx};
+use craft_soc::workloads::{orchestrator_program, table_words, vec_mul, TableEntry};
+use craft_soc::{PeCommand, PeOp, Soc, SocConfig};
+use craftflow_core::par_map;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// The hub's hottest ingress link: with XY (x-first) routing on the
+/// 4x4 mesh every PE-to-hub message funnels down column x=3 and enters
+/// node 15 through node 11's SOUTH port.
+const HOT_LINK: &str = "l11p3->15";
+
+/// Fault modes swept by the link and SoC campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Flip,
+    Drop,
+    Dup,
+}
+
+impl Mode {
+    const ALL: [Mode; 3] = [Mode::Flip, Mode::Drop, Mode::Dup];
+
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Flip => "bit_flip",
+            Mode::Drop => "drop",
+            Mode::Dup => "duplicate",
+        }
+    }
+
+    fn config(self, p: f64) -> FaultConfig {
+        match self {
+            Mode::Flip => FaultConfig::bit_flip(p),
+            Mode::Drop => FaultConfig::drop(p),
+            Mode::Dup => FaultConfig::duplicate(p),
+        }
+    }
+
+    /// The protocol counter that witnesses detection of this mode at a
+    /// reliable link: flips are caught by checksum, drops by timeout
+    /// retransmission, duplicates by sequence-number discard.
+    fn link_detections(self, s: &ReliableStats) -> u64 {
+        match self {
+            Mode::Flip => s.checksum_drops,
+            Mode::Drop => s.retransmits,
+            Mode::Dup => s.dup_drops,
+        }
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------
+// Part 1: reliable link under sustained channel faults.
+// ---------------------------------------------------------------------
+
+/// Pushes a fixed value sequence as fast as backpressure allows.
+struct Producer {
+    out: Out<u32>,
+    values: Vec<u32>,
+    idx: usize,
+}
+
+impl Component for Producer {
+    fn name(&self) -> &str {
+        "producer"
+    }
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        if self.idx < self.values.len() && self.out.push_nb(self.values[self.idx]).is_ok() {
+            self.idx += 1;
+        }
+    }
+}
+
+/// Collects everything that arrives.
+struct Sink {
+    input: In<u32>,
+    log: Rc<RefCell<Vec<u32>>>,
+}
+
+impl Component for Sink {
+    fn name(&self) -> &str {
+        "sink"
+    }
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        while let Some(v) = self.input.pop_nb() {
+            self.log.borrow_mut().push(v);
+        }
+    }
+}
+
+/// Producer -> src -> [reliable link] -> sink; `fault` (if any) lands
+/// on the link's internal data channel. Returns the delivered stream,
+/// cycles to full delivery, injected-fault count and protocol stats.
+fn link_run(
+    values: &[u32],
+    fault: Option<(FaultConfig, u64)>,
+    wrapped: bool,
+) -> (Vec<u32>, u64, u64, ReliableStats) {
+    let mut sim = Simulator::new();
+    let clk = sim.add_clock(ClockSpec::new("clk", Picoseconds::from_ghz(1.0)));
+    let (src_tx, src_rx, src_h) = channel::<u32>("src", ChannelKind::Buffer(4));
+    sim.add_sequential(clk, src_h.sequential());
+    sim.add_component(
+        clk,
+        Producer {
+            out: src_tx,
+            values: values.to_vec(),
+            idx: 0,
+        },
+    );
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let (injected, stats) = if wrapped {
+        let (dst_tx, dst_rx, dst_h) = channel::<u32>("dst", ChannelKind::Buffer(4));
+        sim.add_sequential(clk, dst_h.sequential());
+        let link = reliable_link(
+            "rl",
+            ReliableConfig::default(),
+            src_rx,
+            dst_tx,
+            ChannelKind::Buffer(4),
+            ChannelKind::Buffer(4),
+        );
+        if let Some((cfg, seed)) = fault {
+            link.data.inject_faults(cfg, seed);
+        }
+        let reg = link.register(&mut sim, clk);
+        sim.add_component(
+            clk,
+            Sink {
+                input: dst_rx,
+                log: Rc::clone(&log),
+            },
+        );
+        (Some(reg.data), Some(Rc::clone(&reg.stats)))
+    } else {
+        sim.add_component(
+            clk,
+            Sink {
+                input: src_rx,
+                log: Rc::clone(&log),
+            },
+        );
+        (None, None)
+    };
+    let want = values.len();
+    let done_log = Rc::clone(&log);
+    let finished = sim
+        .run_until_checked(clk, 500_000, 50_000, move || {
+            done_log.borrow().len() >= want
+        })
+        .expect("recoverable schedules must never hang");
+    assert!(finished, "cycle budget exhausted before delivery");
+    let cycles = sim.cycles(clk);
+    let delivered = log.borrow().clone();
+    let inj = injected
+        .and_then(|h| h.fault_stats())
+        .map_or(0, |s| s.injected());
+    let st = stats.map_or_else(ReliableStats::default, |s| s.borrow().clone());
+    (delivered, cycles, inj, st)
+}
+
+struct LinkRow {
+    mode: Mode,
+    injected: u64,
+    detections: u64,
+    recovered: bool,
+    cycles_bare: u64,
+    cycles_clean: u64,
+    cycles_faulted: u64,
+}
+
+fn link_campaign(seeds: u64) -> Vec<LinkRow> {
+    let jobs: Vec<(Mode, u64)> = Mode::ALL
+        .iter()
+        .flat_map(|&m| (0..seeds).map(move |s| (m, s)))
+        .collect();
+    par_map(&jobs, |_, &(mode, seed)| {
+        let mut rng = seed.wrapping_mul(0x5851_f42d_4c95_7f2d);
+        let values: Vec<u32> = (0..64).map(|_| splitmix(&mut rng) as u32).collect();
+        let (bare, cycles_bare, _, _) = link_run(&values, None, false);
+        assert_eq!(bare, values, "bare channel is lossless");
+        let (clean, cycles_clean, _, _) = link_run(&values, None, true);
+        assert_eq!(clean, values, "clean wrapped link is lossless");
+        let fault = mode.config(0.15);
+        let (got, cycles_faulted, injected, stats) = link_run(&values, Some((fault, seed)), true);
+        LinkRow {
+            mode,
+            injected,
+            detections: mode.link_detections(&stats),
+            recovered: got == values,
+            cycles_bare,
+            cycles_clean,
+            cycles_faulted,
+        }
+    })
+}
+
+struct ModeSummary {
+    mode: Mode,
+    runs: u64,
+    injected: u64,
+    detection_rate: f64,
+    recovery_rate: f64,
+    overhead_clean: f64,
+    overhead_faulted: f64,
+}
+
+fn summarize_link(rows: &[LinkRow]) -> Vec<ModeSummary> {
+    Mode::ALL
+        .iter()
+        .map(|&mode| {
+            let rs: Vec<&LinkRow> = rows.iter().filter(|r| r.mode == mode).collect();
+            let hit: Vec<&&LinkRow> = rs.iter().filter(|r| r.injected > 0).collect();
+            let detected = hit.iter().filter(|r| r.detections > 0).count();
+            let recovered = hit.iter().filter(|r| r.recovered).count();
+            let mean = |f: &dyn Fn(&LinkRow) -> f64| {
+                rs.iter().map(|r| f(r)).sum::<f64>() / rs.len() as f64
+            };
+            ModeSummary {
+                mode,
+                runs: rs.len() as u64,
+                injected: rs.iter().map(|r| r.injected).sum(),
+                detection_rate: detected as f64 / (hit.len() as f64).max(1.0),
+                recovery_rate: recovered as f64 / (hit.len() as f64).max(1.0),
+                overhead_clean: mean(&|r| r.cycles_clean as f64 / r.cycles_bare as f64),
+                overhead_faulted: mean(&|r| r.cycles_faulted as f64 / r.cycles_bare as f64),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Part 2: raw NoC under low-rate faults — how failures surface.
+// ---------------------------------------------------------------------
+
+/// How one SoC run under fault injection ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// No fault event actually fired (low probability, short run).
+    Clean,
+    /// Faults fired but results verified anyway (masked corruption).
+    Masked,
+    /// Completed with wrong results: caught by result checking.
+    DetectedMismatch,
+    /// Watchdog converted a deadlock into `SimError::Hang`.
+    DetectedHang,
+    /// Message decode panicked on a corrupt packet (fail-stop).
+    DetectedFailstop,
+    /// Cycle budget exhausted without completing or hanging.
+    Stall,
+}
+
+impl Outcome {
+    fn name(self) -> &'static str {
+        match self {
+            Outcome::Clean => "clean",
+            Outcome::Masked => "masked",
+            Outcome::DetectedMismatch => "detected_mismatch",
+            Outcome::DetectedHang => "detected_hang",
+            Outcome::DetectedFailstop => "detected_failstop",
+            Outcome::Stall => "stall",
+        }
+    }
+
+    fn is_detected(self) -> bool {
+        matches!(
+            self,
+            Outcome::DetectedMismatch | Outcome::DetectedHang | Outcome::DetectedFailstop
+        )
+    }
+}
+
+struct SocRow {
+    mode: Mode,
+    outcome: Outcome,
+    injected: u64,
+    cycles: u64,
+}
+
+fn soc_campaign(seeds: u64) -> Vec<SocRow> {
+    let wl = vec_mul();
+    let program = orchestrator_program();
+    let table = table_words(&wl.entries);
+    let jobs: Vec<(Mode, u64)> = Mode::ALL
+        .iter()
+        .flat_map(|&m| (0..seeds).map(move |s| (m, s)))
+        .collect();
+    // Decode panics on corrupt packets are an *expected* outcome class
+    // here; silence the default hook so the sweep output stays
+    // readable, and restore it afterwards.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let rows = par_map(&jobs, |_, &(mode, seed)| {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut soc = Soc::build(SocConfig::default(), &program, &table, &wl.gmem_init);
+            assert_eq!(soc.inject_fault(HOT_LINK, mode.config(0.02), seed), 1);
+            let res = soc.run_checked(4_000_000, 100_000);
+            let injected = soc.fault_stats(HOT_LINK).injected();
+            match res {
+                Err(SimError::Hang { cycle, .. }) => (Outcome::DetectedHang, injected, cycle),
+                Err(e) => panic!("unexpected simulation error: {e}"),
+                Ok(r) if !r.completed => (Outcome::Stall, injected, r.cycles),
+                Ok(r) => {
+                    let ok = wl
+                        .expected
+                        .iter()
+                        .all(|(base, expect)| &soc.gmem_read(*base, expect.len()) == expect);
+                    let outcome = match (ok, injected) {
+                        (true, 0) => Outcome::Clean,
+                        (true, _) => Outcome::Masked,
+                        (false, _) => Outcome::DetectedMismatch,
+                    };
+                    (outcome, injected, r.cycles)
+                }
+            }
+        }));
+        let (outcome, injected, cycles) = match run {
+            Ok(t) => t,
+            // The panic unwound through the run before fault counters
+            // could be read; at least one corrupt packet was decoded.
+            Err(_) => (Outcome::DetectedFailstop, 1, 0),
+        };
+        SocRow {
+            mode,
+            outcome,
+            injected,
+            cycles,
+        }
+    });
+    std::panic::set_hook(hook);
+    rows
+}
+
+struct SocSummary {
+    mode: Mode,
+    runs: u64,
+    faulted_runs: u64,
+    injected: u64,
+    detected: u64,
+    masked: u64,
+    detection_rate: f64,
+    /// Mean cycle count over runs that ran to completion (detection by
+    /// hang or fail-stop truncates the run, so those are excluded).
+    mean_completed_cycles: f64,
+    by_class: Vec<(&'static str, u64)>,
+}
+
+fn summarize_soc(rows: &[SocRow]) -> Vec<SocSummary> {
+    Mode::ALL
+        .iter()
+        .map(|&mode| {
+            let rs: Vec<&SocRow> = rows.iter().filter(|r| r.mode == mode).collect();
+            let faulted: Vec<&&SocRow> =
+                rs.iter().filter(|r| r.outcome != Outcome::Clean).collect();
+            let detected = faulted.iter().filter(|r| r.outcome.is_detected()).count() as u64;
+            let masked = faulted
+                .iter()
+                .filter(|r| r.outcome == Outcome::Masked)
+                .count() as u64;
+            let classes = [
+                Outcome::Clean,
+                Outcome::Masked,
+                Outcome::DetectedMismatch,
+                Outcome::DetectedHang,
+                Outcome::DetectedFailstop,
+                Outcome::Stall,
+            ];
+            let completed: Vec<&&SocRow> = rs
+                .iter()
+                .filter(|r| {
+                    matches!(
+                        r.outcome,
+                        Outcome::Clean | Outcome::Masked | Outcome::DetectedMismatch
+                    )
+                })
+                .collect();
+            SocSummary {
+                mode,
+                runs: rs.len() as u64,
+                faulted_runs: faulted.len() as u64,
+                injected: rs.iter().map(|r| r.injected).sum(),
+                detected,
+                masked,
+                detection_rate: detected as f64 / (faulted.len() as f64).max(1.0),
+                mean_completed_cycles: if completed.is_empty() {
+                    0.0
+                } else {
+                    completed.iter().map(|r| r.cycles as f64).sum::<f64>() / completed.len() as f64
+                },
+                by_class: classes
+                    .iter()
+                    .map(|&c| {
+                        (
+                            c.name(),
+                            rs.iter().filter(|r| r.outcome == c).count() as u64,
+                        )
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Part 3: graceful degradation — failed PE detected and remapped.
+// ---------------------------------------------------------------------
+
+struct DegradationRow {
+    victim: u16,
+    recovered: bool,
+    failed: Vec<u16>,
+    remapped: u64,
+    cycles: u64,
+    clean_cycles: u64,
+}
+
+fn degradation_campaign(victims: &[u16]) -> Vec<DegradationRow> {
+    let wl = vec_mul();
+    let program = orchestrator_program();
+    let table = table_words(&wl.entries);
+    let clean_cycles = {
+        let mut soc = Soc::build(SocConfig::default(), &program, &table, &wl.gmem_init);
+        let r = soc.run(8_000_000);
+        assert!(r.completed, "clean baseline must complete");
+        r.cycles
+    };
+    par_map(victims, |_, &victim| {
+        let cfg = SocConfig {
+            pe_timeout: Some(20_000),
+            ..SocConfig::default()
+        };
+        let mut soc = Soc::build(cfg, &program, &table, &wl.gmem_init);
+        assert_eq!(
+            soc.inject_fault(&format!("n{victim}.eject"), FaultConfig::stuck_valid(0), 7),
+            1
+        );
+        let r = soc
+            .run_checked(8_000_000, 200_000)
+            .expect("degraded run must recover, not hang");
+        let verified = r.completed
+            && wl
+                .expected
+                .iter()
+                .all(|(base, expect)| &soc.gmem_read(*base, expect.len()) == expect);
+        let (failed, remapped) = soc.degradation();
+        DegradationRow {
+            victim,
+            recovered: verified,
+            failed,
+            remapped,
+            cycles: r.cycles,
+            clean_cycles,
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Part 4: deterministic watchdog diagnosis demo.
+// ---------------------------------------------------------------------
+
+struct WatchdogDemo {
+    hang_cycle: u64,
+    idle_cycles: u64,
+    busy_components: u64,
+    channel_note: String,
+    hub_wait: String,
+}
+
+/// Total flit loss on PE 5's command-delivery channel with no timeout
+/// armed: the run must surface as a diagnosed hang naming the wedged
+/// channel and the hub's stuck in-flight command.
+fn watchdog_demo() -> WatchdogDemo {
+    let entries = vec![
+        TableEntry::Cmd {
+            pe: 5,
+            cmd: PeCommand {
+                op: PeOp::Scale,
+                a: 0,
+                b: 0,
+                out: 100,
+                len: 8,
+                scalar: 3,
+            },
+        },
+        TableEntry::Barrier,
+    ];
+    let gmem_init = vec![(0usize, (1..=8u64).collect::<Vec<_>>())];
+    let mut soc = Soc::build(
+        SocConfig::default(),
+        &orchestrator_program(),
+        &table_words(&entries),
+        &gmem_init,
+    );
+    assert_eq!(soc.inject_fault("n5.eject", FaultConfig::drop(1.0), 3), 1);
+    let err = soc
+        .run_checked(2_000_000, 50_000)
+        .expect_err("total flit loss must be detected as a hang");
+    let SimError::Hang { cycle, report, .. } = err else {
+        panic!("expected Hang, got {err}");
+    };
+    let ch = report
+        .channels
+        .iter()
+        .find(|c| c.name == "n5.eject")
+        .expect("faulted channel diagnosed");
+    let hub = report
+        .components
+        .iter()
+        .find(|c| c.name == "hub15")
+        .expect("hub diagnosed");
+    WatchdogDemo {
+        hang_cycle: cycle,
+        idle_cycles: report.idle_cycles,
+        busy_components: report.busy_components().count() as u64,
+        channel_note: ch.note.clone(),
+        hub_wait: hub.wait.clone().expect("hub explains its wait"),
+    }
+}
+
+// ---------------------------------------------------------------------
+
+fn smoke_flag() -> bool {
+    std::env::args().skip(1).any(|a| a == "--smoke")
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let smoke = smoke_flag();
+    let (link_seeds, soc_seeds, victims): (u64, u64, &[u16]) = if smoke {
+        (6, 3, &[2])
+    } else {
+        (40, 12, &[1, 2, 3])
+    };
+
+    println!(
+        "== link: reliable transport under sustained faults (p=0.15, {link_seeds} seeds/mode) =="
+    );
+    let link_rows = link_campaign(link_seeds);
+    let link_summary = summarize_link(&link_rows);
+    println!(
+        "{:<10} {:>5} {:>9} {:>10} {:>9} {:>12} {:>14}",
+        "mode", "runs", "injected", "detection", "recovery", "clean ovh", "faulted ovh"
+    );
+    for s in &link_summary {
+        println!(
+            "{:<10} {:>5} {:>9} {:>9.0}% {:>8.0}% {:>11.2}x {:>13.2}x",
+            s.mode.name(),
+            s.runs,
+            s.injected,
+            s.detection_rate * 100.0,
+            s.recovery_rate * 100.0,
+            s.overhead_clean,
+            s.overhead_faulted
+        );
+        assert!(
+            (s.recovery_rate - 1.0).abs() < f64::EPSILON,
+            "{}: reliable link failed to recover",
+            s.mode.name()
+        );
+    }
+
+    println!("\n== soc: raw NoC faults on {HOT_LINK} (p=0.02, {soc_seeds} seeds/mode) ==");
+    let soc_rows = soc_campaign(soc_seeds);
+    let soc_summary = summarize_soc(&soc_rows);
+    println!(
+        "{:<10} {:>5} {:>8} {:>9} {:>9} {:>7} {:>10}  classes",
+        "mode", "runs", "faulted", "injected", "detected", "masked", "detection"
+    );
+    for s in &soc_summary {
+        let classes: Vec<String> = s
+            .by_class
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(c, n)| format!("{c}={n}"))
+            .collect();
+        println!(
+            "{:<10} {:>5} {:>8} {:>9} {:>9} {:>7} {:>9.0}%  {}",
+            s.mode.name(),
+            s.runs,
+            s.faulted_runs,
+            s.injected,
+            s.detected,
+            s.masked,
+            s.detection_rate * 100.0,
+            classes.join(" ")
+        );
+    }
+
+    println!("\n== degradation: stuck PE detected and remapped (timeout 20k) ==");
+    let deg_rows = degradation_campaign(victims);
+    println!(
+        "{:<7} {:>9} {:>8} {:>9} {:>10} {:>10}",
+        "victim", "recovered", "failed", "remapped", "cycles", "overhead"
+    );
+    for r in &deg_rows {
+        println!(
+            "pe{:<5} {:>9} {:>8} {:>9} {:>10} {:>+10}",
+            r.victim,
+            r.recovered,
+            format!("{:?}", r.failed),
+            r.remapped,
+            r.cycles,
+            r.cycles as i64 - r.clean_cycles as i64
+        );
+        assert!(r.recovered, "pe{}: degraded run must verify", r.victim);
+        assert_eq!(r.failed, vec![r.victim], "exactly the victim is failed");
+        assert!(r.remapped >= 1, "pe{}: work must be remapped", r.victim);
+    }
+
+    println!("\n== watchdog: diagnosed hang on total flit loss ==");
+    let wd = watchdog_demo();
+    println!(
+        "hang at cycle {} after {} idle cycles; {} busy components",
+        wd.hang_cycle, wd.idle_cycles, wd.busy_components
+    );
+    println!("channel n5.eject: {}", wd.channel_note);
+    println!("hub wait: {}", wd.hub_wait);
+    assert!(
+        wd.channel_note.contains("drop"),
+        "diagnosis names the fault"
+    );
+    assert!(wd.hub_wait.contains("inflight=[5]"), "hub pins the command");
+
+    let mut json = String::from("{\n  \"bench\": \"fault_campaign\",\n");
+    let _ = write!(
+        json,
+        "  \"link\": {{\n    \"fault_p\": 0.15, \"seeds_per_mode\": {link_seeds}, \"modes\": [\n"
+    );
+    for (i, s) in link_summary.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"mode\": \"{}\", \"runs\": {}, \"injected\": {}, \"detection_rate\": {:.3}, \"recovery_rate\": {:.3}, \"overhead_clean\": {:.3}, \"overhead_faulted\": {:.3}}}",
+            s.mode.name(),
+            s.runs,
+            s.injected,
+            s.detection_rate,
+            s.recovery_rate,
+            s.overhead_clean,
+            s.overhead_faulted
+        );
+        json.push_str(if i + 1 < link_summary.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    let _ = write!(
+        json,
+        "    ]\n  }},\n  \"soc\": {{\n    \"link\": \"{HOT_LINK}\", \"fault_p\": 0.02, \"seeds_per_mode\": {soc_seeds}, \"modes\": [\n"
+    );
+    for (i, s) in soc_summary.iter().enumerate() {
+        let classes: Vec<String> = s
+            .by_class
+            .iter()
+            .map(|(c, n)| format!("\"{c}\": {n}"))
+            .collect();
+        let _ = write!(
+            json,
+            "      {{\"mode\": \"{}\", \"runs\": {}, \"faulted_runs\": {}, \"injected\": {}, \"detected\": {}, \"masked\": {}, \"detection_rate\": {:.3}, \"mean_completed_cycles\": {:.0}, \"outcomes\": {{{}}}}}",
+            s.mode.name(),
+            s.runs,
+            s.faulted_runs,
+            s.injected,
+            s.detected,
+            s.masked,
+            s.detection_rate,
+            s.mean_completed_cycles,
+            classes.join(", ")
+        );
+        json.push_str(if i + 1 < soc_summary.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n  },\n  \"degradation\": {\n    \"pe_timeout\": 20000, \"rows\": [\n");
+    for (i, r) in deg_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"victim\": {}, \"recovered\": {}, \"failed\": {:?}, \"remapped\": {}, \"cycles\": {}, \"clean_cycles\": {}}}",
+            r.victim, r.recovered, r.failed, r.remapped, r.cycles, r.clean_cycles
+        );
+        json.push_str(if i + 1 < deg_rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        json,
+        "    ]\n  }},\n  \"watchdog\": {{\"hang_cycle\": {}, \"idle_cycles\": {}, \"busy_components\": {}, \"channel_note\": \"{}\", \"hub_wait\": \"{}\"}}\n}}\n",
+        wd.hang_cycle,
+        wd.idle_cycles,
+        wd.busy_components,
+        json_escape(&wd.channel_note),
+        json_escape(&wd.hub_wait)
+    );
+
+    if smoke {
+        println!("\nsmoke run: BENCH_fault_campaign.json not rewritten");
+    } else {
+        std::fs::write("BENCH_fault_campaign.json", &json)
+            .expect("write BENCH_fault_campaign.json");
+        println!("\nwrote BENCH_fault_campaign.json");
+    }
+}

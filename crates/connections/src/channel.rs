@@ -17,11 +17,14 @@
 //! consumer for the zero-latency path to be exercised — exactly the
 //! acyclicity requirement real combinational paths impose.
 
+use crate::fault::{FaultConfig, FaultInjector, FaultStats};
+use crate::packet::Payload;
 use crate::stall::StallInjector;
-use craft_sim::{ActivityToken, Sequential};
+use craft_sim::{ActivityToken, SeqDiag, Sequential};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
+use std::fmt::Write as _;
 use std::rc::Rc;
 
 /// The kind of point-to-point LI channel (paper Table 1).
@@ -99,6 +102,51 @@ impl ChannelStats {
     }
 }
 
+/// Payload-corruption hook: inverts a bit chosen by the raw draw.
+type CorruptFn<T> = Box<dyn FnMut(&mut T, u32)>;
+
+/// Fault machinery attached to a channel: the decision source plus the
+/// type-erased payload hooks (corruption and cloning need `T: Payload`,
+/// which `ChannelCore<T>` itself does not require — the closures are
+/// built by [`ChannelHandle::inject_faults`] where the bound holds).
+pub(crate) struct FaultState<T> {
+    pub(crate) injector: FaultInjector,
+    /// Inverts payload bit `raw % bit_width` in place.
+    corrupt: CorruptFn<T>,
+    /// `T::clone`, captured where `T: Payload` is known.
+    clone_fn: Box<dyn Fn(&T) -> T>,
+    /// Decisions drawn at push time, applied at commit.
+    pending_drop: bool,
+    pending_dup: bool,
+    /// Stuck-wire state for the current cycle (rolled at commit, like
+    /// `stalled_now`).
+    valid_stuck: bool,
+    ready_stuck: bool,
+}
+
+impl<T> FaultState<T> {
+    fn new<P>(cfg: FaultConfig, seed: u64) -> FaultState<P>
+    where
+        P: Payload,
+    {
+        FaultState {
+            injector: FaultInjector::new(cfg, seed),
+            corrupt: Box::new(|v: &mut P, raw: u32| {
+                let mut words = v.to_words();
+                let bits = (words.len() * 64) as u32;
+                let bit = raw % bits;
+                words[(bit / 64) as usize] ^= 1u64 << (bit % 64);
+                *v = P::from_words(&words);
+            }),
+            clone_fn: Box::new(P::clone),
+            pending_drop: false,
+            pending_dup: false,
+            valid_stuck: false,
+            ready_stuck: false,
+        }
+    }
+}
+
 pub(crate) struct ChannelCore<T> {
     pub(crate) name: String,
     kind: ChannelKind,
@@ -116,6 +164,7 @@ pub(crate) struct ChannelCore<T> {
     popped_committed: bool,
     pub(crate) stall: Option<StallInjector>,
     stalled_now: bool,
+    pub(crate) fault: Option<FaultState<T>>,
     pub(crate) stats: ChannelStats,
     /// Queue length as of the last commit — what every elided commit
     /// cycle's occupancy actually was (see [`Sequential::commit_skipped`]).
@@ -130,6 +179,10 @@ pub(crate) struct ChannelCore<T> {
     /// to reconcile, or an active stall injector that must roll its
     /// RNG every cycle). Clean commits may be elided by the kernel.
     commit_dirty: ActivityToken,
+    /// Forward-progress signal for the hang watchdog: set on every
+    /// successful push and pop when wired (see
+    /// [`ChannelHandle::set_progress_token`]).
+    progress: Option<ActivityToken>,
 }
 
 impl<T> ChannelCore<T> {
@@ -145,11 +198,13 @@ impl<T> ChannelCore<T> {
             popped_committed: false,
             stall: None,
             stalled_now: false,
+            fault: None,
             stats: ChannelStats::default(),
             committed_occupancy: 0,
             consumer_wake: None,
             producer_wake: None,
             commit_dirty: ActivityToken::new(),
+            progress: None,
         }
     }
 
@@ -168,9 +223,18 @@ impl<T> ChannelCore<T> {
         self.queue.len() + usize::from(self.popped_committed)
     }
 
+    /// The consumer-facing `valid` is forced deasserted (permanent
+    /// stuck-valid fault).
+    fn valid_stuck(&self) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.valid_stuck)
+    }
+
     pub(crate) fn can_push(&self) -> bool {
         if self.pushed_this_cycle {
             return false; // one push per cycle
+        }
+        if self.fault.as_ref().is_some_and(|f| f.ready_stuck) {
+            return false; // ready stuck deasserted
         }
         if self.committed_len() < self.kind.capacity() {
             return true;
@@ -180,10 +244,25 @@ impl<T> ChannelCore<T> {
 
     pub(crate) fn push_nb(&mut self, v: T) -> Result<(), T> {
         if self.can_push() {
+            let mut v = v;
+            if let Some(f) = &mut self.fault {
+                // One draw per admitted token: the fault schedule is a
+                // function of the token index alone.
+                let tf = f.injector.on_token();
+                if let Some(raw) = tf.flip_bit {
+                    (f.corrupt)(&mut v, raw);
+                    f.injector.stats.flips += 1;
+                }
+                f.pending_drop = tf.drop;
+                f.pending_dup = tf.duplicate;
+            }
             self.staged_push = Some(v);
             self.pushed_this_cycle = true;
             if let Some(w) = &self.consumer_wake {
                 w.set();
+            }
+            if let Some(p) = &self.progress {
+                p.set();
             }
             self.commit_dirty.set();
             Ok(())
@@ -194,7 +273,7 @@ impl<T> ChannelCore<T> {
     }
 
     pub(crate) fn can_pop(&self) -> bool {
-        if self.stalled_now || self.popped_this_cycle {
+        if self.stalled_now || self.popped_this_cycle || self.valid_stuck() {
             return false;
         }
         if !self.queue.is_empty() {
@@ -204,7 +283,7 @@ impl<T> ChannelCore<T> {
     }
 
     pub(crate) fn pop_nb(&mut self) -> Option<T> {
-        if self.stalled_now || self.popped_this_cycle {
+        if self.stalled_now || self.popped_this_cycle || self.valid_stuck() {
             self.stats.pop_empty += 1;
             return None;
         }
@@ -214,6 +293,9 @@ impl<T> ChannelCore<T> {
             self.stats.transfers += 1;
             if let Some(w) = &self.producer_wake {
                 w.set();
+            }
+            if let Some(p) = &self.progress {
+                p.set();
             }
             self.commit_dirty.set();
             return Some(v);
@@ -225,6 +307,15 @@ impl<T> ChannelCore<T> {
                 if let Some(w) = &self.producer_wake {
                     w.set();
                 }
+                if let Some(p) = &self.progress {
+                    p.set();
+                }
+                if let Some(f) = &mut self.fault {
+                    // The token never reaches commit; its drop/dup
+                    // decisions are moot.
+                    f.pending_drop = false;
+                    f.pending_dup = false;
+                }
                 self.commit_dirty.set();
                 return Some(v);
             }
@@ -234,7 +325,7 @@ impl<T> ChannelCore<T> {
     }
 
     pub(crate) fn peek_ref(&self) -> Option<&T> {
-        if self.stalled_now || self.popped_this_cycle {
+        if self.stalled_now || self.popped_this_cycle || self.valid_stuck() {
             return None;
         }
         if let Some(front) = self.queue.front() {
@@ -251,12 +342,38 @@ impl<T> ChannelCore<T> {
         self.popped_committed = false;
         self.pushed_this_cycle = false;
         if let Some(v) = self.staged_push.take() {
-            debug_assert!(
-                self.queue.len() < self.kind.capacity(),
-                "channel `{}` overflow at commit",
-                self.name
-            );
-            self.queue.push_back(v);
+            let dropped = match &mut self.fault {
+                Some(f) if f.pending_drop => {
+                    f.pending_drop = false;
+                    f.pending_dup = false; // a lost token is not also duplicated
+                    f.injector.stats.drops += 1;
+                    true
+                }
+                _ => false,
+            };
+            if !dropped {
+                debug_assert!(
+                    self.queue.len() < self.kind.capacity(),
+                    "channel `{}` overflow at commit",
+                    self.name
+                );
+                self.queue.push_back(v);
+                if let Some(f) = &mut self.fault {
+                    if f.pending_dup {
+                        f.pending_dup = false;
+                        if self.queue.len() < self.kind.capacity() {
+                            let dup = (f.clone_fn)(self.queue.back().expect("just pushed"));
+                            self.queue.push_back(dup);
+                            f.injector.stats.dups += 1;
+                        } else {
+                            // No slot for the echo: the duplication
+                            // happened on the wire but the FIFO absorbed
+                            // it. Counted so campaigns can report it.
+                            f.injector.stats.dups_suppressed += 1;
+                        }
+                    }
+                }
+            }
         }
         self.stats.cycles += 1;
         self.stats.occupancy_sum += self.queue.len() as u64;
@@ -269,10 +386,17 @@ impl<T> ChannelCore<T> {
         if self.stalled_now {
             self.stats.stall_cycles += 1;
         }
-        // A stall injector consumes RNG state every cycle, so a channel
-        // with one armed must never have its commits elided: re-arm the
-        // dirty token so the next commit also runs.
-        if self.stall.is_some() {
+        // Roll the stuck-wire state for the next cycle.
+        if let Some(f) = &mut self.fault {
+            let (valid_stuck, ready_stuck) = f.injector.on_cycle();
+            f.valid_stuck = valid_stuck;
+            f.ready_stuck = ready_stuck;
+        }
+        // A stall injector consumes RNG state every cycle and a fault
+        // injector counts cycles, so a channel with either armed must
+        // never have its commits elided: re-arm the dirty token so the
+        // next commit also runs.
+        if self.stall.is_some() || self.fault.is_some() {
             self.commit_dirty.set();
         }
     }
@@ -289,6 +413,31 @@ impl<T> Sequential for ChannelCore<T> {
         // (armed injectors keep the dirty token set).
         self.stats.cycles += skipped;
         self.stats.occupancy_sum += self.committed_occupancy * skipped;
+    }
+
+    fn diagnose(&self) -> Option<SeqDiag> {
+        let mut note = self.kind.to_string();
+        if self.stalled_now {
+            note.push_str(", stalled");
+        }
+        if let Some(s) = &self.stall {
+            let _ = write!(note, ", stall {s}");
+        }
+        if let Some(f) = &self.fault {
+            let _ = write!(note, ", {}", f.injector);
+            if f.valid_stuck {
+                note.push_str(", valid stuck");
+            }
+            if f.ready_stuck {
+                note.push_str(", ready stuck");
+            }
+        }
+        Some(SeqDiag {
+            name: self.name.clone(),
+            occupancy: self.committed_len(),
+            pending: self.has_pending(),
+            note,
+        })
     }
 }
 
@@ -335,6 +484,35 @@ impl<T: 'static> ChannelHandle<T> {
         core.commit_dirty.set();
     }
 
+    /// Disables fault injection, discarding the injector and its stats.
+    pub fn clear_faults(&self) {
+        let mut core = self.core.borrow_mut();
+        core.fault = None;
+        core.commit_dirty.set();
+    }
+
+    /// Snapshot of the fault-injection statistics, when an injector is
+    /// armed (see [`inject_faults`](Self::inject_faults)).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.core
+            .borrow()
+            .fault
+            .as_ref()
+            .map(|f| f.injector.stats())
+    }
+
+    /// Wires the hang watchdog's progress signal to this channel: every
+    /// successful push or pop sets `token`, so traffic here counts as
+    /// forward progress for
+    /// [`craft_sim::Simulator::run_until_checked`]. Pass the kernel's
+    /// [`craft_sim::Simulator::progress_token`]. Wire it to data-plane
+    /// channels only — a control loop that polls forever (e.g. a
+    /// controller spinning on a status register) would otherwise mask
+    /// real hangs.
+    pub fn set_progress_token(&self, token: ActivityToken) {
+        self.core.borrow_mut().progress = Some(token);
+    }
+
     /// Snapshot of the channel statistics.
     pub fn stats(&self) -> ChannelStats {
         self.core.borrow().stats.clone()
@@ -348,6 +526,25 @@ impl<T: 'static> ChannelHandle<T> {
     /// Committed occupancy right now.
     pub fn occupancy(&self) -> usize {
         self.core.borrow().committed_len()
+    }
+}
+
+impl<T: Payload> ChannelHandle<T> {
+    /// Arms seeded data-fault injection (bit-flips, drops, duplicates,
+    /// stuck wires — see [`FaultConfig`]) on this channel.
+    ///
+    /// Like [`inject_stalls`](Self::inject_stalls) this perturbs the
+    /// channel from the outside: neither the producer nor the consumer
+    /// changes. Requires `T: Payload` because corruption flips a bit of
+    /// the serialized form and duplication clones the token.
+    ///
+    /// Arming keeps the channel's commit dirty (the injector counts
+    /// cycles and rolls per-token randoms), so fault schedules are
+    /// identical with and without commit gating.
+    pub fn inject_faults(&self, cfg: FaultConfig, seed: u64) {
+        let mut core = self.core.borrow_mut();
+        core.fault = Some(FaultState::<T>::new::<T>(cfg, seed));
+        core.commit_dirty.set();
     }
 }
 
@@ -522,5 +719,139 @@ mod tests {
         let stats = c.borrow().stats.clone();
         assert_eq!(stats.cycles, 2);
         assert!((stats.mean_occupancy() - 1.5).abs() < 1e-9);
+    }
+
+    /// Drives `n` tokens through a Buffer(4) channel with the given
+    /// fault config, one push + one pop attempt per cycle, and returns
+    /// (received tokens, fault stats).
+    fn run_faulted(cfg: FaultConfig, seed: u64, n: u32) -> (Vec<u32>, FaultStats) {
+        let (mut tx, mut rx, h) = channel::<u32>("f", ChannelKind::Buffer(4));
+        h.inject_faults(cfg, seed);
+        let mut got = Vec::new();
+        let mut next = 0u32;
+        for _ in 0..(n as usize * 4 + 16) {
+            if next < n && tx.push_nb(next).is_ok() {
+                next += 1;
+            }
+            if let Some(v) = rx.pop_nb() {
+                got.push(v);
+            }
+            h.core.borrow_mut().do_commit();
+        }
+        (got, h.fault_stats().expect("injector armed"))
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let (got, stats) = run_faulted(FaultConfig::bit_flip(1.0), 11, 32);
+        assert_eq!(got.len(), 32);
+        assert_eq!(stats.flips, 32);
+        for (i, v) in got.iter().enumerate() {
+            // Exactly one bit differs from the sent value. The flipped
+            // bit may land in the upper u64 half (u32's Payload widens
+            // to one word), in which case the value survives intact.
+            let diff = (*v as u64) ^ (i as u64);
+            assert!(diff.count_ones() <= 1, "token {i} became {v}");
+        }
+        // With p=1.0 some token must actually change in its low 32 bits.
+        assert!(got.iter().enumerate().any(|(i, v)| *v != i as u32));
+    }
+
+    #[test]
+    fn drop_loses_tokens_without_reordering() {
+        let (got, stats) = run_faulted(FaultConfig::drop(0.5), 7, 64);
+        assert_eq!(got.len() as u64 + stats.drops, 64);
+        assert!(stats.drops > 0, "p=0.5 over 64 tokens must drop some");
+        // Survivors keep their order.
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn duplicate_echoes_tokens_in_place() {
+        let (got, stats) = run_faulted(FaultConfig::duplicate(1.0), 3, 16);
+        assert_eq!(stats.dups + stats.dups_suppressed, 16);
+        assert_eq!(got.len() as u64, 16 + stats.dups);
+        // Every applied duplicate is adjacent to its original.
+        let mut expect = Vec::new();
+        let mut dups_seen = 0;
+        for i in 0..16u32 {
+            expect.push(i);
+            if dups_seen < stats.dups && got.iter().filter(|&&v| v == i).count() == 2 {
+                expect.push(i);
+                dups_seen += 1;
+            }
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn stuck_valid_blocks_pop_keeps_data() {
+        let (mut tx, mut rx, h) = channel::<u32>("sv", ChannelKind::Buffer(4));
+        h.inject_faults(FaultConfig::stuck_valid(1), 0);
+        assert!(tx.push_nb(9).is_ok());
+        h.core.borrow_mut().do_commit(); // cycle 1: valid now stuck
+        assert!(!rx.can_pop());
+        assert_eq!(rx.pop_nb(), None);
+        // Data is retained, producer side still accepts.
+        assert_eq!(h.occupancy(), 1);
+        assert!(tx.can_push());
+        assert!(h.fault_stats().unwrap().stuck_valid_cycles >= 1);
+    }
+
+    #[test]
+    fn stuck_ready_blocks_push() {
+        let (mut tx, mut rx, h) = channel::<u32>("sr", ChannelKind::Buffer(4));
+        h.inject_faults(FaultConfig::stuck_ready(1), 0);
+        assert!(tx.push_nb(1).is_ok());
+        h.core.borrow_mut().do_commit(); // cycle 1: ready now stuck
+        assert!(!tx.can_push());
+        assert_eq!(tx.push_nb(2), Err(2));
+        // Consumer drains what made it in.
+        assert_eq!(rx.pop_nb(), Some(1));
+        // clear_faults releases the wire.
+        h.clear_faults();
+        h.core.borrow_mut().do_commit();
+        assert!(tx.can_push());
+        assert!(h.fault_stats().is_none());
+    }
+
+    #[test]
+    fn fault_schedule_is_independent_of_stalls() {
+        // Same fault seed, one run stalled and one clean: the set of
+        // delivered tokens is identical because fault decisions are per
+        // token, not per cycle.
+        let clean = run_faulted(FaultConfig::drop(0.3), 21, 48).0;
+        let (mut tx, mut rx, h) = channel::<u32>("fs", ChannelKind::Buffer(4));
+        h.inject_faults(FaultConfig::drop(0.3), 21);
+        h.inject_stalls(StallInjector::burst(1, 3));
+        let mut got = Vec::new();
+        let mut next = 0u32;
+        for _ in 0..2000 {
+            if next < 48 && tx.push_nb(next).is_ok() {
+                next += 1;
+            }
+            if let Some(v) = rx.pop_nb() {
+                got.push(v);
+            }
+            h.core.borrow_mut().do_commit();
+        }
+        assert_eq!(got, clean);
+    }
+
+    #[test]
+    fn diagnose_reports_occupancy_and_fault_state() {
+        let (mut tx, _rx, h) = channel::<u32>("diag", ChannelKind::Buffer(2));
+        h.inject_faults(FaultConfig::stuck_valid(1), 0);
+        assert!(tx.push_nb(1).is_ok());
+        h.core.borrow_mut().do_commit();
+        let d = h.core.borrow().diagnose().expect("channels self-report");
+        assert_eq!(d.name, "diag");
+        assert_eq!(d.occupancy, 1);
+        assert!(d.pending);
+        assert!(d.note.contains("Buffer(2)"), "note: {}", d.note);
+        assert!(d.note.contains("stuck-valid"), "note: {}", d.note);
+        assert!(d.note.contains("valid stuck"), "note: {}", d.note);
     }
 }

@@ -14,6 +14,14 @@
 //!    `valid` on any channel to flush out timing-interaction corner
 //!    cases without modifying designs or testbenches.
 //!
+//! On top of these, the robustness layer adds seeded **fault
+//! injection** ([`FaultConfig`] / [`ChannelHandle::inject_faults`]:
+//! payload bit-flips, token drop/duplication, stuck handshake wires)
+//! and a **reliable LI transport** ([`reliable_link`]) that wraps any
+//! channel with sequence numbers, checksums and go-back-N retransmit so
+//! the wrapped stream is bit-identical to the bare one under any
+//! recoverable fault schedule.
+//!
 //! ## Example
 //!
 //! ```
@@ -34,17 +42,24 @@
 #![warn(missing_docs)]
 
 mod channel;
+mod fault;
 mod meter;
 mod packet;
 mod port;
+mod reliable;
 mod retime;
 mod scoreboard;
 mod stall;
 
 pub use channel::{channel, ChannelHandle, ChannelKind, ChannelStats};
+pub use fault::{FaultConfig, FaultInjector, FaultStats, TokenFaults};
 pub use meter::{TimingModel, Transactor};
 pub use packet::{DePacketizer, Flit, Packetizer, Payload};
 pub use port::{In, Out};
+pub use reliable::{
+    reliable_link, ReliableConfig, ReliableLink, ReliablePacket, ReliableRx, ReliableStats,
+    ReliableTx,
+};
 pub use retime::{retiming_latency, Retimer};
 pub use scoreboard::{Scoreboard, ScoreboardHandle, ScoreboardResult};
 pub use stall::StallInjector;

@@ -1,0 +1,586 @@
+//! Reliable LI transport: detect-and-retry over faulty channels.
+//!
+//! [`reliable_link`] wraps any LI channel pair with a go-back-N
+//! protocol: every payload is framed into a [`ReliablePacket`] carrying
+//! a sequence number and a checksum, the transmitter keeps a bounded
+//! replay buffer of unacknowledged frames, and a timeout with no
+//! acknowledgement progress triggers retransmission from the oldest
+//! unacked frame. The receiver delivers frames strictly in sequence,
+//! dropping corrupted (checksum mismatch), duplicate (seq below
+//! expected) and out-of-order (seq above expected) frames, and answers
+//! every arrival with a cumulative acknowledgement.
+//!
+//! The contract — checked end-to-end by the `reliable_proptest`
+//! integration test — is *stream preservation*: under any stall
+//! schedule and any recoverable fault schedule
+//! ([`crate::FaultConfig::is_recoverable`]), the wrapped link delivers
+//! the bit-identical message stream of a bare channel, just later.
+//! Unrecoverable faults (stuck wires, certain loss) end in a diagnosed
+//! hang via the kernel watchdog instead of silent corruption.
+//!
+//! Acks are themselves checksummed [`ReliablePacket`]s: a corrupted
+//! cumulative ack could otherwise falsely retire frames that never
+//! arrived, which is the one failure mode retransmission cannot undo.
+
+use crate::channel::{channel, ChannelHandle, ChannelKind};
+use crate::packet::Payload;
+use crate::port::{In, Out};
+use craft_sim::{ClockId, Component, ComponentId, Simulator, TickCtx};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Tuning knobs for a reliable link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// Maximum unacknowledged frames in flight (replay-buffer bound).
+    pub window: usize,
+    /// Cycles without acknowledgement progress before the transmitter
+    /// retransmits everything from the oldest unacked frame.
+    pub timeout: u64,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            window: 8,
+            timeout: 32,
+        }
+    }
+}
+
+/// Counters shared by the two endpoints of a reliable link.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReliableStats {
+    /// Fresh frames transmitted (excludes retransmissions).
+    pub sent: u64,
+    /// Frames retransmitted after a timeout.
+    pub retransmits: u64,
+    /// Payloads delivered in sequence to the downstream channel.
+    pub delivered: u64,
+    /// Frames discarded at the receiver for checksum mismatch.
+    pub checksum_drops: u64,
+    /// Frames discarded as duplicates (seq below expected).
+    pub dup_drops: u64,
+    /// Frames discarded as out-of-order (seq above expected, go-back-N).
+    pub gap_drops: u64,
+    /// Acknowledgements transmitted.
+    pub acks_sent: u64,
+    /// Acknowledgements discarded at the transmitter for checksum
+    /// mismatch.
+    pub ack_checksum_drops: u64,
+}
+
+/// Splitmix-flavoured mixing checksum over a frame's sequence number
+/// and payload words. Not cryptographic; any single bit-flip anywhere
+/// in the frame (including the checksum word itself) is detected, and
+/// multi-flip collisions are ~2⁻⁶⁴.
+fn checksum(seq: u64, words: &[u64]) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15u64 ^ seq.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    for (i, w) in words.iter().enumerate() {
+        h ^= w.wrapping_add(i as u64).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h = h.rotate_left(27).wrapping_mul(0x2545_f491_4f6c_dd1d);
+    }
+    h
+}
+
+/// One frame on the wire: `[seq, payload words…, checksum]`.
+///
+/// Data frames carry the serialized inner payload; acknowledgement
+/// frames carry no payload words and use `seq` as the cumulative
+/// next-expected sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReliablePacket {
+    /// Sequence number (data) or cumulative next-expected (ack).
+    pub seq: u64,
+    /// Serialized inner payload; empty for acknowledgements.
+    pub words: Vec<u64>,
+    /// Mixing checksum over `seq` and `words`.
+    pub checksum: u64,
+}
+
+impl ReliablePacket {
+    /// Frames a payload under sequence number `seq`.
+    pub fn frame<T: Payload>(seq: u64, value: &T) -> Self {
+        let words = value.to_words();
+        let checksum = checksum(seq, &words);
+        ReliablePacket {
+            seq,
+            words,
+            checksum,
+        }
+    }
+
+    /// A cumulative acknowledgement: "deliver me everything from
+    /// `next_expected` on".
+    pub fn ack(next_expected: u64) -> Self {
+        ReliablePacket {
+            seq: next_expected,
+            words: Vec::new(),
+            checksum: checksum(next_expected, &[]),
+        }
+    }
+
+    /// True when the stored checksum matches the frame contents.
+    pub fn verify(&self) -> bool {
+        checksum(self.seq, &self.words) == self.checksum
+    }
+}
+
+impl Payload for ReliablePacket {
+    fn to_words(&self) -> Vec<u64> {
+        let mut v = Vec::with_capacity(self.words.len() + 2);
+        v.push(self.seq);
+        v.extend_from_slice(&self.words);
+        v.push(self.checksum);
+        v
+    }
+
+    /// Defensive: a frame too short to hold `[seq, checksum]` (only
+    /// reachable through external corruption) reassembles into a packet
+    /// that can never [`verify`](Self::verify) instead of panicking —
+    /// the transport treats it as one more checksum drop.
+    fn from_words(words: &[u64]) -> Self {
+        if words.len() < 2 {
+            return ReliablePacket {
+                seq: 0,
+                words: Vec::new(),
+                checksum: !0,
+            };
+        }
+        ReliablePacket {
+            seq: words[0],
+            words: words[1..words.len() - 1].to_vec(),
+            checksum: words[words.len() - 1],
+        }
+    }
+}
+
+/// Transmitter endpoint: frames payloads from `input` onto the data
+/// channel, retires acked frames, retransmits on timeout.
+pub struct ReliableTx<T: Payload> {
+    name: String,
+    cfg: ReliableConfig,
+    input: In<T>,
+    data_out: Out<ReliablePacket>,
+    ack_in: In<ReliablePacket>,
+    /// Next fresh sequence number to assign.
+    next_seq: u64,
+    /// Oldest unacknowledged sequence number; `replay[0]` carries it.
+    base: u64,
+    replay: VecDeque<ReliablePacket>,
+    /// Cycles since the last send/retire event while frames are
+    /// outstanding; crossing `cfg.timeout` starts a go-back-N resend.
+    since_event: u64,
+    /// In-progress resend cursor into `replay`.
+    resend_at: Option<usize>,
+    stats: Rc<RefCell<ReliableStats>>,
+}
+
+impl<T: Payload> Component for ReliableTx<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        let mut event = false;
+        // 1. Retire frames covered by an arriving cumulative ack.
+        if let Some(ack) = self.ack_in.pop_nb() {
+            if !ack.verify() {
+                self.stats.borrow_mut().ack_checksum_drops += 1;
+            } else {
+                // Clamp: a corrupted-but-colliding ack beyond next_seq
+                // must not retire frames that were never sent.
+                let acked = ack.seq.min(self.next_seq);
+                if acked > self.base {
+                    let retired = (acked - self.base) as usize;
+                    self.replay.drain(..retired);
+                    self.base = acked;
+                    self.resend_at = self
+                        .resend_at
+                        .map(|i| i.saturating_sub(retired))
+                        .filter(|&i| i < self.replay.len());
+                    event = true;
+                }
+            }
+        }
+        // 2. One data push per cycle; retransmission takes priority
+        // over admitting fresh traffic.
+        let mut pushed = false;
+        if let Some(i) = self.resend_at {
+            let pkt = self.replay[i].clone();
+            if self.data_out.push_nb(pkt).is_ok() {
+                self.stats.borrow_mut().retransmits += 1;
+                self.resend_at = (i + 1 < self.replay.len()).then_some(i + 1);
+                event = true;
+                pushed = true;
+            }
+        }
+        if !pushed
+            && self.resend_at.is_none()
+            && self.replay.len() < self.cfg.window
+            && self.data_out.can_push()
+        {
+            if let Some(v) = self.input.pop_nb() {
+                let pkt = ReliablePacket::frame(self.next_seq, &v);
+                self.replay.push_back(pkt.clone());
+                let ok = self.data_out.push_nb(pkt).is_ok();
+                debug_assert!(ok, "push guarded by can_push");
+                self.next_seq += 1;
+                self.stats.borrow_mut().sent += 1;
+                event = true;
+            }
+        }
+        // 3. Timeout bookkeeping: only armed while frames are
+        // outstanding and no resend is already in progress.
+        if self.replay.is_empty() || event {
+            self.since_event = 0;
+        } else {
+            self.since_event += 1;
+            if self.since_event > self.cfg.timeout && self.resend_at.is_none() {
+                self.resend_at = Some(0);
+                self.since_event = 0;
+            }
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.replay.is_empty() && !self.input.has_pending() && !self.ack_in.has_pending()
+    }
+
+    fn wait_reason(&self) -> Option<String> {
+        Some(format!(
+            "reliable-tx: base={} next={} outstanding={} since_event={}{}",
+            self.base,
+            self.next_seq,
+            self.replay.len(),
+            self.since_event,
+            match self.resend_at {
+                Some(i) => format!(" resending[{i}]"),
+                None => String::new(),
+            }
+        ))
+    }
+}
+
+/// Receiver endpoint: verifies, deduplicates and reorders-by-rejection,
+/// delivering the payload stream in sequence and acking cumulatively.
+pub struct ReliableRx<T: Payload> {
+    name: String,
+    data_in: In<ReliablePacket>,
+    out: Out<T>,
+    ack_out: Out<ReliablePacket>,
+    /// Next sequence number to deliver downstream.
+    expected: u64,
+    /// An ack is owed (set on every frame arrival, cleared on send).
+    ack_pending: bool,
+    stats: Rc<RefCell<ReliableStats>>,
+}
+
+impl<T: Payload> Component for ReliableRx<T> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        // Only consume a frame when the delivery slot is free, so an
+        // in-sequence payload is never popped and then lost to
+        // downstream backpressure.
+        if self.out.can_push() {
+            if let Some(pkt) = self.data_in.pop_nb() {
+                let mut stats = self.stats.borrow_mut();
+                if !pkt.verify() {
+                    stats.checksum_drops += 1;
+                } else if pkt.seq == self.expected {
+                    let ok = self.out.push_nb(T::from_words(&pkt.words)).is_ok();
+                    debug_assert!(ok, "push guarded by can_push");
+                    self.expected += 1;
+                    stats.delivered += 1;
+                } else if pkt.seq < self.expected {
+                    stats.dup_drops += 1;
+                } else {
+                    // Gap: an earlier frame was lost; go-back-N will
+                    // resend it, so buffering this one buys nothing.
+                    stats.gap_drops += 1;
+                }
+                self.ack_pending = true;
+            }
+        }
+        if self.ack_pending
+            && self
+                .ack_out
+                .push_nb(ReliablePacket::ack(self.expected))
+                .is_ok()
+        {
+            self.ack_pending = false;
+            self.stats.borrow_mut().acks_sent += 1;
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        !self.data_in.has_pending() && !self.ack_pending
+    }
+
+    fn wait_reason(&self) -> Option<String> {
+        Some(format!(
+            "reliable-rx: expected={} ack_pending={}",
+            self.expected, self.ack_pending
+        ))
+    }
+}
+
+/// An unregistered reliable link: the two endpoint components plus the
+/// internal data/ack channels, returned by [`reliable_link`].
+///
+/// Call [`register`](Self::register) to wire everything into a
+/// simulator, or register the parts by hand for custom clocking.
+pub struct ReliableLink<T: Payload> {
+    /// Transmitter endpoint (owns the upstream `In` port).
+    pub tx: ReliableTx<T>,
+    /// Receiver endpoint (owns the downstream `Out` port).
+    pub rx: ReliableRx<T>,
+    /// Handle to the internal data channel (`<name>.data`) — the place
+    /// to [`inject_faults`](ChannelHandle::inject_faults).
+    pub data: ChannelHandle<ReliablePacket>,
+    /// Handle to the internal acknowledgement channel (`<name>.ack`).
+    pub ack: ChannelHandle<ReliablePacket>,
+    /// Shared protocol counters.
+    pub stats: Rc<RefCell<ReliableStats>>,
+}
+
+/// A [`ReliableLink`] after [`ReliableLink::register`]: what remains
+/// accessible once the endpoints live inside the simulator.
+pub struct RegisteredLink {
+    /// Transmitter component id.
+    pub tx: ComponentId,
+    /// Receiver component id.
+    pub rx: ComponentId,
+    /// Internal data channel handle (fault-injection point).
+    pub data: ChannelHandle<ReliablePacket>,
+    /// Internal acknowledgement channel handle.
+    pub ack: ChannelHandle<ReliablePacket>,
+    /// Shared protocol counters.
+    pub stats: Rc<RefCell<ReliableStats>>,
+}
+
+impl RegisteredLink {
+    /// Snapshot of the protocol counters.
+    pub fn stats(&self) -> ReliableStats {
+        self.stats.borrow().clone()
+    }
+}
+
+impl<T: Payload> ReliableLink<T> {
+    /// Registers both endpoints as components and both internal
+    /// channels as sequentials on `clk`.
+    pub fn register(self, sim: &mut Simulator, clk: ClockId) -> RegisteredLink {
+        let tx = sim.add_component(clk, self.tx);
+        let rx = sim.add_component(clk, self.rx);
+        sim.add_sequential(clk, self.data.sequential());
+        sim.add_sequential(clk, self.ack.sequential());
+        RegisteredLink {
+            tx,
+            rx,
+            data: self.data,
+            ack: self.ack,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Builds a reliable link carrying payloads popped from `upstream` to
+/// pushes on `downstream`, with internal channels `<name>.data` and
+/// `<name>.ack` of the given kinds.
+///
+/// The wrapped stream is delivered bit-identically and in order under
+/// any stall schedule and any recoverable fault schedule injected on
+/// the internal channels; the price is latency (framing + ack round
+/// trips + retransmission) and the replay-buffer bound
+/// ([`ReliableConfig::window`]).
+pub fn reliable_link<T: Payload>(
+    name: &str,
+    cfg: ReliableConfig,
+    upstream: In<T>,
+    downstream: Out<T>,
+    data_kind: ChannelKind,
+    ack_kind: ChannelKind,
+) -> ReliableLink<T> {
+    assert!(cfg.window > 0, "reliable window must be nonzero");
+    assert!(cfg.timeout > 0, "reliable timeout must be nonzero");
+    let (data_tx, data_rx, data) = channel::<ReliablePacket>(format!("{name}.data"), data_kind);
+    let (ack_tx, ack_rx, ack) = channel::<ReliablePacket>(format!("{name}.ack"), ack_kind);
+    let stats = Rc::new(RefCell::new(ReliableStats::default()));
+    let tx = ReliableTx {
+        name: format!("{name}.tx"),
+        cfg,
+        input: upstream,
+        data_out: data_tx,
+        ack_in: ack_rx,
+        next_seq: 0,
+        base: 0,
+        replay: VecDeque::with_capacity(cfg.window),
+        since_event: 0,
+        resend_at: None,
+        stats: Rc::clone(&stats),
+    };
+    let rx = ReliableRx {
+        name: format!("{name}.rx"),
+        data_in: data_rx,
+        out: downstream,
+        ack_out: ack_tx,
+        expected: 0,
+        ack_pending: false,
+        stats: Rc::clone(&stats),
+    };
+    ReliableLink {
+        tx,
+        rx,
+        data,
+        ack,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultConfig;
+    use craft_sim::{ClockSpec, Picoseconds};
+
+    #[test]
+    fn packet_roundtrip_and_verify() {
+        let p = ReliablePacket::frame(7, &0xdead_beefu32);
+        assert!(p.verify());
+        let rt = ReliablePacket::from_words(&p.to_words());
+        assert_eq!(rt, p);
+        assert!(rt.verify());
+
+        let mut corrupted = p.clone();
+        corrupted.words[0] ^= 1 << 13;
+        assert!(!corrupted.verify());
+        let mut seq_flip = p.clone();
+        seq_flip.seq ^= 1 << 40;
+        assert!(!seq_flip.verify());
+        let mut sum_flip = p;
+        sum_flip.checksum ^= 1;
+        assert!(!sum_flip.verify());
+
+        // Short frames reassemble defensively instead of panicking.
+        assert!(!ReliablePacket::from_words(&[42]).verify());
+        assert!(!ReliablePacket::from_words(&[]).verify());
+
+        let ack = ReliablePacket::ack(9);
+        assert!(ack.verify());
+        assert!(ack.words.is_empty());
+    }
+
+    /// Harness: source channel -> reliable link -> sink channel, all on
+    /// one clock. Drives `n` values in, returns what came out plus the
+    /// link for stats/fault access.
+    fn run_link(
+        cfg: ReliableConfig,
+        fault: Option<(FaultConfig, u64)>,
+        n: u32,
+        cycles: u64,
+    ) -> (Vec<u32>, ReliableStats) {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("clk", Picoseconds::from_ghz(1.0)));
+        let (mut src_tx, src_rx, src_h) = channel::<u32>("src", ChannelKind::Buffer(4));
+        let (dst_tx, mut dst_rx, dst_h) = channel::<u32>("dst", ChannelKind::Buffer(4));
+        let link = reliable_link(
+            "rl",
+            cfg,
+            src_rx,
+            dst_tx,
+            ChannelKind::Buffer(2),
+            ChannelKind::Buffer(2),
+        );
+        if let Some((fc, seed)) = fault {
+            link.data.inject_faults(fc, seed);
+        }
+        let reg = link.register(&mut sim, clk);
+        sim.add_sequential(clk, src_h.sequential());
+        sim.add_sequential(clk, dst_h.sequential());
+
+        let mut got = Vec::new();
+        let mut next = 0u32;
+        for _ in 0..cycles {
+            if next < n && src_tx.push_nb(next).is_ok() {
+                next += 1;
+            }
+            sim.run_cycles(clk, 1);
+            if let Some(v) = dst_rx.pop_nb() {
+                got.push(v);
+            }
+            if got.len() == n as usize {
+                break;
+            }
+        }
+        (got, reg.stats())
+    }
+
+    #[test]
+    fn clean_link_delivers_in_order() {
+        let (got, stats) = run_link(ReliableConfig::default(), None, 20, 400);
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+        assert_eq!(stats.sent, 20);
+        assert_eq!(stats.delivered, 20);
+        assert_eq!(stats.retransmits, 0);
+        assert_eq!(stats.checksum_drops, 0);
+    }
+
+    #[test]
+    fn drops_are_recovered_by_retransmission() {
+        let cfg = ReliableConfig {
+            window: 4,
+            timeout: 8,
+        };
+        let (got, stats) = run_link(cfg, Some((FaultConfig::drop(0.3), 17)), 20, 4000);
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+        assert!(stats.retransmits > 0, "p=0.3 loss must force resends");
+        assert_eq!(stats.delivered, 20);
+    }
+
+    #[test]
+    fn bit_flips_are_detected_and_recovered() {
+        let cfg = ReliableConfig {
+            window: 4,
+            timeout: 8,
+        };
+        let (got, stats) = run_link(cfg, Some((FaultConfig::bit_flip(0.3), 23)), 20, 4000);
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+        assert!(
+            stats.checksum_drops > 0,
+            "p=0.3 corruption must trip the checksum"
+        );
+        assert_eq!(stats.delivered, 20);
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let cfg = ReliableConfig {
+            window: 4,
+            timeout: 8,
+        };
+        let (got, stats) = run_link(cfg, Some((FaultConfig::duplicate(0.5), 5)), 20, 4000);
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+        assert!(stats.dup_drops > 0, "p=0.5 duplication must be filtered");
+    }
+
+    #[test]
+    fn stuck_data_wire_starves_delivery() {
+        // Permanent stuck-valid on the data channel is unrecoverable:
+        // nothing is delivered after onset, no matter how long we wait.
+        let (got, stats) = run_link(
+            ReliableConfig::default(),
+            Some((FaultConfig::stuck_valid(2), 0)),
+            8,
+            500,
+        );
+        assert!(got.len() < 8, "stuck wire must starve the stream");
+        assert_eq!(stats.delivered, got.len() as u64);
+        // The data FIFO wedges full (the consumer sees valid stuck
+        // deasserted), so even retransmissions cannot get through.
+        assert!(stats.sent < 8);
+    }
+}

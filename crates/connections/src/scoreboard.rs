@@ -15,6 +15,8 @@ use std::rc::Rc;
 /// What the scoreboard observed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScoreboardResult<T> {
+    /// Length of the expected stream this scoreboard was built with.
+    pub expected: u64,
     /// Messages that matched expectations.
     pub matched: u64,
     /// (index, expected, actual) triples for mismatches.
@@ -28,6 +30,16 @@ impl<T> ScoreboardResult<T> {
     /// extra.
     pub fn passed(&self, expected_len: usize) -> bool {
         self.mismatches.is_empty() && self.unexpected == 0 && self.matched == expected_len as u64
+    }
+
+    /// Expected messages that never arrived — the tail a hang or a
+    /// token-loss fault truncated. Distinguishes "stream stopped short"
+    /// (missing > 0, everything received was right) from "stream was
+    /// corrupted" (mismatches), so a failed campaign run reports a
+    /// precise reason rather than a bare failed verdict.
+    pub fn missing(&self) -> u64 {
+        self.expected
+            .saturating_sub(self.matched + self.mismatches.len() as u64)
     }
 }
 
@@ -46,12 +58,14 @@ pub struct Scoreboard<T> {
 impl<T: Clone + PartialEq + Debug + 'static> Scoreboard<T> {
     /// Builds a scoreboard expecting exactly `expected`, in order.
     pub fn new(name: impl Into<String>, input: In<T>, expected: Vec<T>) -> Self {
+        let expected_len = expected.len() as u64;
         Scoreboard {
             name: name.into(),
             input,
             expected,
             cursor: 0,
             result: Rc::new(RefCell::new(ScoreboardResult {
+                expected: expected_len,
                 matched: 0,
                 mismatches: Vec::new(),
                 unexpected: 0,
@@ -141,6 +155,25 @@ mod tests {
         let r = run_stream(vec![1, 2, 3, 4, 5], vec![1, 2, 3], false);
         assert_eq!(r.unexpected, 2);
         assert!(!r.passed(3));
+        assert_eq!(r.missing(), 0);
+    }
+
+    /// A truncated stream (a hang cut the run short) reports exactly
+    /// how many tail messages never arrived, distinguishing "stopped
+    /// short" from "corrupted".
+    #[test]
+    fn truncated_stream_reports_missing_tail() {
+        let r = run_stream(vec![1, 2], vec![1, 2, 3, 4, 5], false);
+        assert!(!r.passed(5));
+        assert_eq!(r.matched, 2);
+        assert_eq!(r.missing(), 3);
+        assert!(r.mismatches.is_empty());
+
+        // Mismatched messages still count as received: only the unseen
+        // tail is missing.
+        let r = run_stream(vec![1, 99], vec![1, 2, 3], false);
+        assert_eq!(r.missing(), 1);
+        assert_eq!(r.mismatches.len(), 1);
     }
 
     #[test]

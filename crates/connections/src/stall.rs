@@ -17,6 +17,8 @@ use std::fmt;
 enum Mode {
     /// Stall every cycle (for unit tests / worst-case checks).
     Always,
+    /// Never stall (degenerate campaigns; no RNG state at all).
+    Never,
     /// Stall each cycle independently with probability `p`.
     Bernoulli { p: f64, rng: StdRng },
     /// Alternate deterministic run/stall bursts.
@@ -43,8 +45,20 @@ impl StallInjector {
         StallInjector { mode: Mode::Always }
     }
 
+    /// Never stalls. Useful as the "no perturbation" arm of a sweep so
+    /// campaign code can treat every point uniformly.
+    pub fn never() -> Self {
+        StallInjector { mode: Mode::Never }
+    }
+
     /// Stalls each cycle independently with probability `p`, seeded for
     /// reproducibility.
+    ///
+    /// The degenerate probabilities short-circuit: `p == 0.0` becomes
+    /// [`never`](Self::never) and `p == 1.0` becomes
+    /// [`always`](Self::always), carrying no RNG state and drawing no
+    /// randoms — the decision stream is identical for every seed, and
+    /// degenerate sweep points cost nothing per cycle.
     ///
     /// # Panics
     /// Panics unless `0.0 <= p <= 1.0`.
@@ -53,6 +67,12 @@ impl StallInjector {
             (0.0..=1.0).contains(&p),
             "stall probability must be in [0,1]"
         );
+        if p == 0.0 {
+            return Self::never();
+        }
+        if p == 1.0 {
+            return Self::always();
+        }
         StallInjector {
             mode: Mode::Bernoulli {
                 p,
@@ -81,6 +101,7 @@ impl StallInjector {
     pub fn roll(&mut self) -> bool {
         match &mut self.mode {
             Mode::Always => true,
+            Mode::Never => false,
             Mode::Bernoulli { p, rng } => rng.gen::<f64>() < *p,
             Mode::Burst { run, stall, phase } => {
                 let period = *run + *stall;
@@ -96,6 +117,7 @@ impl fmt::Display for StallInjector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.mode {
             Mode::Always => write!(f, "always"),
+            Mode::Never => write!(f, "never"),
             Mode::Bernoulli { p, .. } => write!(f, "bernoulli(p={p})"),
             Mode::Burst { run, stall, .. } => write!(f, "burst({run} run / {stall} stall)"),
         }
@@ -127,6 +149,25 @@ mod tests {
         assert!((0..50).all(|_| !z.roll()));
         let mut o = StallInjector::bernoulli(1.0, 1);
         assert!((0..50).all(|_| o.roll()));
+    }
+
+    /// `p == 0.0` / `p == 1.0` short-circuit to the RNG-free modes:
+    /// the decision stream is seed independent and Display shows the
+    /// degenerate mode, not a Bernoulli carrying dead RNG state.
+    #[test]
+    fn bernoulli_edges_short_circuit_without_rng() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(StallInjector::bernoulli(0.0, seed).to_string(), "never");
+            assert_eq!(StallInjector::bernoulli(1.0, seed).to_string(), "always");
+        }
+        // Interior probabilities still draw from a seeded RNG.
+        assert_eq!(
+            StallInjector::bernoulli(0.5, 3).to_string(),
+            "bernoulli(p=0.5)"
+        );
+        let mut n = StallInjector::never();
+        assert!((0..20).all(|_| !n.roll()));
+        assert_eq!(n.to_string(), "never");
     }
 
     #[test]

@@ -1,0 +1,273 @@
+//! Property test for the reliable LI transport: under *any* stall
+//! schedule and *any* recoverable fault schedule
+//! (`FaultConfig::is_recoverable`), a `reliable_link` delivers the
+//! bit-identical message stream a bare channel would deliver — same
+//! values, same order, nothing lost, nothing invented. Latency is the
+//! only observable difference, which is exactly the latency-insensitive
+//! contract.
+//!
+//! Also pins the watchdog half of the story: an *unrecoverable* fault
+//! (permanently stuck valid) must surface as `SimError::Hang` with a
+//! populated per-component / per-channel diagnosis, not as an infinite
+//! run.
+
+use craft_connections::{
+    channel, reliable_link, ChannelKind, FaultConfig, In, Out, ReliableConfig, StallInjector,
+};
+use craft_sim::{ClockSpec, Component, Picoseconds, SimError, Simulator, TickCtx};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Pushes a fixed value sequence as fast as backpressure allows.
+struct Producer {
+    out: Out<u32>,
+    values: Vec<u32>,
+    idx: usize,
+}
+
+impl Component for Producer {
+    fn name(&self) -> &str {
+        "producer"
+    }
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        if self.idx < self.values.len() && self.out.push_nb(self.values[self.idx]).is_ok() {
+            self.idx += 1;
+        }
+    }
+}
+
+/// Collects everything that arrives.
+struct Sink {
+    input: In<u32>,
+    log: Rc<RefCell<Vec<u32>>>,
+}
+
+impl Component for Sink {
+    fn name(&self) -> &str {
+        "sink"
+    }
+    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+        while let Some(v) = self.input.pop_nb() {
+            self.log.borrow_mut().push(v);
+        }
+    }
+}
+
+/// Per-case perturbation schedule for one run.
+#[derive(Debug, Clone, Copy)]
+struct Perturb {
+    data_stall: f64,
+    ack_stall: f64,
+    data_fault: FaultConfig,
+    ack_flip: f64,
+    seed: u64,
+}
+
+/// Producer -> src -> reliable link -> dst -> sink, perturbed per
+/// `Perturb`; `None` runs the bare reference (src wired straight to
+/// the sink) whose delivered stream is the contract's ground truth.
+fn run_stream(values: &[u32], cfg: ReliableConfig, depth: usize, p: Option<Perturb>) -> Vec<u32> {
+    let mut sim = Simulator::new();
+    let clk = sim.add_clock(ClockSpec::new("clk", Picoseconds::from_ghz(1.0)));
+    let (src_tx, src_rx, src_h) = channel::<u32>("src", ChannelKind::Buffer(depth));
+    sim.add_sequential(clk, src_h.sequential());
+    sim.add_component(
+        clk,
+        Producer {
+            out: src_tx,
+            values: values.to_vec(),
+            idx: 0,
+        },
+    );
+
+    let log = Rc::new(RefCell::new(Vec::new()));
+    match p {
+        None => {
+            sim.add_component(
+                clk,
+                Sink {
+                    input: src_rx,
+                    log: Rc::clone(&log),
+                },
+            );
+        }
+        Some(p) => {
+            let (dst_tx, dst_rx, dst_h) = channel::<u32>("dst", ChannelKind::Buffer(depth));
+            sim.add_sequential(clk, dst_h.sequential());
+            let link = reliable_link(
+                "rl",
+                cfg,
+                src_rx,
+                dst_tx,
+                ChannelKind::Buffer(depth),
+                ChannelKind::Buffer(depth),
+            );
+            link.data
+                .inject_stalls(StallInjector::bernoulli(p.data_stall, p.seed));
+            link.ack
+                .inject_stalls(StallInjector::bernoulli(p.ack_stall, p.seed ^ 1));
+            link.data.inject_faults(p.data_fault, p.seed ^ 2);
+            // Ack corruption is recoverable too: a mangled cumulative
+            // ack is discarded by checksum, never trusted.
+            link.ack
+                .inject_faults(FaultConfig::bit_flip(p.ack_flip), p.seed ^ 3);
+            let reg = link.register(&mut sim, clk);
+            reg.data.set_progress_token(sim.progress_token());
+            reg.ack.set_progress_token(sim.progress_token());
+            sim.add_component(
+                clk,
+                Sink {
+                    input: dst_rx,
+                    log: Rc::clone(&log),
+                },
+            );
+        }
+    }
+
+    let want = values.len();
+    let done_log = Rc::clone(&log);
+    let finished = sim
+        .run_until_checked(clk, 200_000, 25_000, move || {
+            done_log.borrow().len() >= want
+        })
+        .expect("recoverable schedules must never hang");
+    assert!(finished, "cycle budget exhausted before delivery");
+    let out = log.borrow().clone();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The LI-preservation contract: arbitrary payloads through
+    /// arbitrary stall + recoverable-fault schedules arrive as the
+    /// bit-identical stream of the bare channel.
+    #[test]
+    fn reliable_link_preserves_the_bare_stream(
+        values in prop::collection::vec(any::<u32>(), 1..30),
+        window in 1usize..8,
+        timeout in 4u64..32,
+        depth in 1usize..4,
+        data_stall in 0.0f64..0.6,
+        ack_stall in 0.0f64..0.6,
+        flip in 0.0f64..0.35,
+        drop in 0.0f64..0.35,
+        dup in 0.0f64..0.35,
+        ack_flip in 0.0f64..0.35,
+        seed in 0u64..1_000_000,
+    ) {
+        let cfg = ReliableConfig { window, timeout };
+        let fault = FaultConfig {
+            bit_flip: flip,
+            drop,
+            duplicate: dup,
+            ..FaultConfig::default()
+        };
+        prop_assert!(fault.is_recoverable());
+        let bare = run_stream(&values, cfg, depth, None);
+        prop_assert_eq!(&bare, &values, "bare channel is lossless");
+        let wrapped = run_stream(&values, cfg, depth, Some(Perturb {
+            data_stall,
+            ack_stall,
+            data_fault: fault,
+            ack_flip,
+            seed,
+        }));
+        prop_assert_eq!(&wrapped, &bare, "wrapped stream diverged");
+    }
+}
+
+/// Seeded unrecoverable case: a permanently stuck `valid` on the data
+/// channel starves the link; the watchdog must convert the would-be
+/// infinite run into a typed hang whose report names the wedged
+/// channel (occupied, pending) and the endpoints' wait reasons.
+#[test]
+fn stuck_fault_hangs_with_populated_diagnosis() {
+    let mut sim = Simulator::new();
+    let clk = sim.add_clock(ClockSpec::new("clk", Picoseconds::from_ghz(1.0)));
+    let (src_tx, src_rx, src_h) = channel::<u32>("src", ChannelKind::Buffer(4));
+    let (dst_tx, dst_rx, dst_h) = channel::<u32>("dst", ChannelKind::Buffer(4));
+    sim.add_sequential(clk, src_h.sequential());
+    sim.add_sequential(clk, dst_h.sequential());
+    sim.add_component(
+        clk,
+        Producer {
+            out: src_tx,
+            values: (0..16).collect(),
+            idx: 0,
+        },
+    );
+    let link = reliable_link(
+        "rl",
+        ReliableConfig::default(),
+        src_rx,
+        dst_tx,
+        ChannelKind::Buffer(2),
+        ChannelKind::Buffer(2),
+    );
+    link.data.inject_faults(FaultConfig::stuck_valid(10), 0);
+    let reg = link.register(&mut sim, clk);
+    reg.data.set_progress_token(sim.progress_token());
+    reg.ack.set_progress_token(sim.progress_token());
+    let log = Rc::new(RefCell::new(Vec::new()));
+    sim.add_component(
+        clk,
+        Sink {
+            input: dst_rx,
+            log: Rc::clone(&log),
+        },
+    );
+
+    let done_log = Rc::clone(&log);
+    let err = sim
+        .run_until_checked(clk, 100_000, 256, move || done_log.borrow().len() >= 16)
+        .expect_err("stuck valid must be detected as a hang");
+    let SimError::Hang { report, cycle, .. } = &err else {
+        panic!("expected Hang, got {err}");
+    };
+    assert!(*cycle < 10_000, "detection latency bounded by the limit");
+    assert_eq!(report.idle_cycles, 256);
+
+    // Per-component diagnosis: both endpoints report what they wait on.
+    let tx_diag = report
+        .components
+        .iter()
+        .find(|c| c.name == "rl.tx")
+        .expect("tx diagnosed");
+    let wait = tx_diag.wait.as_deref().expect("tx explains its wait");
+    assert!(wait.contains("reliable-tx"), "wait: {wait}");
+    assert!(wait.contains("outstanding="), "wait: {wait}");
+    let rx_diag = report
+        .components
+        .iter()
+        .find(|c| c.name == "rl.rx")
+        .expect("rx diagnosed");
+    // Delivery stopped at the stuck onset: the rx's next-expected
+    // sequence number matches exactly what the sink received.
+    let rx_wait = rx_diag.wait.as_deref().expect("rx explains its wait");
+    assert!(
+        rx_wait.contains(&format!("expected={}", log.borrow().len())),
+        "wait: {rx_wait}, delivered: {}",
+        log.borrow().len()
+    );
+
+    // Per-channel diagnosis: the wedged data channel shows up occupied
+    // with undelivered traffic and names its stuck fault.
+    let data_diag = report
+        .channels
+        .iter()
+        .find(|c| c.name == "rl.data")
+        .expect("data channel diagnosed");
+    assert!(data_diag.pending, "undelivered frames are pending");
+    assert!(data_diag.occupancy > 0);
+    assert!(
+        data_diag.note.contains("stuck-valid"),
+        "note: {}",
+        data_diag.note
+    );
+    assert!(!report.busy_components().collect::<Vec<_>>().is_empty());
+
+    // The truncated stream: nothing past the stuck onset arrived.
+    assert!(log.borrow().len() < 16);
+}

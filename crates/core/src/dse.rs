@@ -73,10 +73,66 @@ fn eval_point(optimized: &Kernel, lib: &TechLibrary, c: Constraints) -> DesignPo
     }
 }
 
+/// Evaluates `f` over `items` on scoped worker threads and returns the
+/// results in input order — the parallel-map core of [`sweep`], public
+/// so other sweep-shaped campaigns (e.g. seeded fault-injection runs)
+/// can farm out their points the same way.
+///
+/// Strided assignment (worker w takes indices i with i % workers == w)
+/// keeps the load balanced; reassembly by index restores exact input
+/// order regardless of completion order, so the output is bit-identical
+/// to a serial `items.iter().enumerate().map(f)`.
+///
+/// `f` receives the item index alongside the item (for seeding).
+/// Evaluations must be independent; per-item state that is not `Send`
+/// (simulators, `Rc` graphs) should be built inside `f`.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|wid| {
+                let f = &f;
+                s.spawn(move || {
+                    items
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % workers == wid)
+                        .map(|(i, t)| (i, f(i, t)))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, p) in per_worker.into_iter().flatten() {
+        slots[i] = Some(p);
+    }
+    slots
+        .into_iter()
+        .map(|p| p.expect("every item evaluated"))
+        .collect()
+}
+
 /// Sweeps `kernel` across every combination of the given clocks and
 /// multiplier budgets, returning all evaluated points in grid order
 /// (clock-outer, budget-inner). Grid points are evaluated on scoped
-/// worker threads; the output is bit-identical to [`sweep_serial`].
+/// worker threads ([`par_map`]); the output is bit-identical to
+/// [`sweep_serial`].
 ///
 /// # Panics
 /// Panics if either sweep list is empty.
@@ -93,46 +149,7 @@ pub fn sweep(
     );
     let grid = constraint_grid(clocks_ps, multiplier_budgets);
     let (optimized, _) = optimize(kernel);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(grid.len());
-    if workers <= 1 {
-        return grid
-            .into_iter()
-            .map(|c| eval_point(&optimized, lib, c))
-            .collect();
-    }
-    // Strided assignment (worker w takes grid indices i with
-    // i % workers == w) keeps the load balanced; reassembly by index
-    // restores exact grid order regardless of completion order.
-    let per_worker: Vec<Vec<(usize, DesignPoint)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|wid| {
-                let grid = &grid;
-                let optimized = &optimized;
-                s.spawn(move || {
-                    grid.iter()
-                        .enumerate()
-                        .filter(|(i, _)| i % workers == wid)
-                        .map(|(i, &c)| (i, eval_point(optimized, lib, c)))
-                        .collect()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    });
-    let mut slots: Vec<Option<DesignPoint>> = vec![None; grid.len()];
-    for (i, p) in per_worker.into_iter().flatten() {
-        slots[i] = Some(p);
-    }
-    slots
-        .into_iter()
-        .map(|p| p.expect("every grid point evaluated"))
-        .collect()
+    par_map(&grid, |_, &c| eval_point(&optimized, lib, c))
 }
 
 /// Single-threaded reference sweep: the same grid, optimized kernel

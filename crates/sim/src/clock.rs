@@ -85,13 +85,26 @@ impl ClockState {
     }
 
     /// Advances bookkeeping after the edge at `now` has been delivered.
-    pub fn advance(&mut self) {
+    ///
+    /// Returns `false` when scheduling the next edge overflowed the
+    /// picosecond counter; the clock is then paused (no further edges)
+    /// and the kernel records a [`crate::SimError::TimeOverflow`]
+    /// instead of panicking.
+    #[must_use]
+    pub fn advance(&mut self) -> bool {
         self.cycles += 1;
         let period = self.next_period_override.take().unwrap_or(self.spec.period);
-        self.next_edge = self
-            .next_edge
-            .checked_add(period)
-            .expect("simulation time overflow");
+        match self.next_edge.checked_add(period) {
+            Some(t) => {
+                self.next_edge = t;
+                true
+            }
+            None => {
+                self.paused = true;
+                self.next_edge = Picoseconds::MAX;
+                false
+            }
+        }
     }
 }
 
@@ -103,7 +116,7 @@ mod tests {
     fn edges_advance_by_period() {
         let mut st = ClockState::new(ClockSpec::new("c", Picoseconds(100)));
         assert_eq!(st.next_edge, Picoseconds::ZERO);
-        st.advance();
+        assert!(st.advance());
         assert_eq!(st.next_edge, Picoseconds(100));
         assert_eq!(st.cycles, 1);
     }
@@ -119,10 +132,21 @@ mod tests {
     fn period_override_applies_once() {
         let mut st = ClockState::new(ClockSpec::new("c", Picoseconds(100)));
         st.next_period_override = Some(Picoseconds(250));
-        st.advance();
+        assert!(st.advance());
         assert_eq!(st.next_edge, Picoseconds(250));
-        st.advance();
+        assert!(st.advance());
         assert_eq!(st.next_edge, Picoseconds(350));
+    }
+
+    #[test]
+    fn advance_overflow_pauses_instead_of_panicking() {
+        let mut st = ClockState::new(ClockSpec::new("c", Picoseconds(u64::MAX - 10)));
+        assert!(st.advance());
+        assert_eq!(st.next_edge, Picoseconds(u64::MAX - 10));
+        assert!(!st.advance(), "second edge cannot be scheduled");
+        assert!(st.paused, "overflowed clock emits no further edges");
+        assert_eq!(st.next_edge, Picoseconds::MAX);
+        assert_eq!(st.cycles, 2, "the delivered edge still counts");
     }
 
     #[test]

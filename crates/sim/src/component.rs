@@ -7,6 +7,7 @@
 //! of the same edge (two-phase, flip-flop-accurate semantics).
 
 use crate::clock::ClockId;
+use crate::error::SeqDiag;
 use crate::time::Picoseconds;
 
 /// A clocked hardware process.
@@ -41,6 +42,17 @@ pub trait Component {
     fn is_quiescent(&self) -> bool {
         false
     }
+
+    /// Diagnosis hook for the hang watchdog: a one-line explanation of
+    /// what the component is currently waiting for (e.g. `"fetch: got
+    /// 3/16 words"`), or `None` when it has nothing useful to say.
+    ///
+    /// Collected into [`crate::HangReport`] when a `*_checked` run
+    /// detects no progress; purely informational, never affects
+    /// simulation behaviour.
+    fn wait_reason(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Shared state (typically a channel) that participates in the commit
@@ -63,6 +75,14 @@ pub trait Sequential {
     /// [`crate::Simulator::add_sequential`]) never see this call.
     fn commit_skipped(&mut self, skipped: u64) {
         let _ = skipped;
+    }
+
+    /// Diagnosis hook for the hang watchdog: a snapshot of this
+    /// sequential's observable state (channels report name, occupancy
+    /// and injector status). `None` — the default — omits the
+    /// sequential from [`crate::HangReport`] entirely.
+    fn diagnose(&self) -> Option<SeqDiag> {
+        None
     }
 }
 

@@ -51,6 +51,7 @@
 use crate::activity::ActivityToken;
 use crate::clock::{ClockId, ClockSpec, ClockState};
 use crate::component::{ClockRequest, Component, Sequential, TickCtx};
+use crate::error::{CompDiag, HangReport, SimError};
 use crate::time::Picoseconds;
 use std::cell::RefCell;
 use std::cmp::Reverse;
@@ -129,6 +130,16 @@ pub struct Simulator {
     /// `Some(i)` when clock `i` is the only unpaused domain — the
     /// fast path that bypasses the heap and the edge gather entirely.
     single_active: Option<usize>,
+    /// First internal arithmetic fault (time/stretch overflow). The
+    /// offending clock is paused so runs terminate; `*_checked` run
+    /// methods surface the error, plain runs leave it queryable via
+    /// [`Simulator::fatal`].
+    fatal: Option<SimError>,
+    /// Shared progress flag for the hang watchdog: activity sources
+    /// (channel pushes/pops, component wake-ups) set it; the
+    /// `*_checked` run methods clear it once per reference-clock cycle
+    /// and count how long it stays clear.
+    progress: ActivityToken,
 }
 
 impl Default for Simulator {
@@ -158,6 +169,8 @@ impl Simulator {
             edge_heap: BinaryHeap::new(),
             heap_synced: false,
             single_active: None,
+            fatal: None,
+            progress: ActivityToken::new(),
         }
     }
 
@@ -335,11 +348,16 @@ impl Simulator {
     pub fn resume_clock(&mut self, clock: ClockId) {
         let st = &mut self.clocks[clock.0];
         if st.paused {
+            let Some(next) = self.now.checked_add(st.spec.period) else {
+                // Cannot schedule another edge: leave the clock paused
+                // and record the fault instead of panicking.
+                let name = st.spec.name.clone();
+                let now = self.now;
+                self.record_fatal(SimError::TimeOverflow { clock: name, now });
+                return;
+            };
             st.paused = false;
-            st.next_edge = self
-                .now
-                .checked_add(st.spec.period)
-                .expect("simulation time overflow");
+            st.next_edge = next;
             if self.heap_synced {
                 self.edge_heap.push(Reverse((st.next_edge, clock.0)));
             }
@@ -350,6 +368,43 @@ impl Simulator {
     /// True when a component called [`TickCtx::request_stop`].
     pub fn stopped(&self) -> bool {
         self.stop_requested
+    }
+
+    /// The first internal arithmetic fault recorded this run, if any.
+    /// Plain `run_*` methods terminate on such faults (the offending
+    /// clock stops producing edges) but return normally; this is how a
+    /// caller distinguishes "finished" from "died of overflow". The
+    /// `*_checked` variants surface the same value as an `Err` and
+    /// clear it.
+    pub fn fatal(&self) -> Option<&SimError> {
+        self.fatal.as_ref()
+    }
+
+    /// Takes (and clears) the recorded fatal error.
+    pub fn take_fatal(&mut self) -> Option<SimError> {
+        self.fatal.take()
+    }
+
+    fn record_fatal(&mut self, err: SimError) {
+        // Keep the first fault: later ones are usually a consequence.
+        if self.fatal.is_none() {
+            self.fatal = Some(err);
+        }
+        self.stop_requested = true;
+    }
+
+    /// A clone of the kernel's progress token. Hand clones to every
+    /// activity source that should count as forward progress for the
+    /// hang watchdog — typically data channels (see
+    /// `craft-connections`' `ChannelHandle::set_progress_token`).
+    /// Component wake-ups set it automatically.
+    ///
+    /// [`run_until_checked`](Self::run_until_checked) counts
+    /// reference-clock cycles during which the token stays clear;
+    /// without any wired source every cycle looks idle, so wire the
+    /// token before using a watchdog.
+    pub fn progress_token(&self) -> ActivityToken {
+        self.progress.clone()
     }
 
     /// Clears a pending stop request so `run_*` can be called again.
@@ -446,6 +501,9 @@ impl Simulator {
                     let woke = entry.wake.as_ref().is_some_and(ActivityToken::take);
                     if woke {
                         entry.asleep = false;
+                        // A sleeper coming back to life is forward
+                        // progress even before its channels move data.
+                        self.progress.set();
                     } else {
                         self.ticks_skipped += 1;
                         continue;
@@ -498,13 +556,21 @@ impl Simulator {
         }
 
         // Apply deferred clock requests, then schedule next edges.
+        let mut request_fault: Option<SimError> = None;
         for req in self.clock_requests.drain(..) {
             match req {
                 ClockRequest::Stretch { clock, extra } => {
                     let st = &mut self.clocks[clock.0];
                     let base = st.next_period_override.unwrap_or(st.spec.period);
-                    st.next_period_override =
-                        Some(base.checked_add(extra).expect("clock stretch overflow"));
+                    match base.checked_add(extra) {
+                        Some(stretched) => st.next_period_override = Some(stretched),
+                        None => {
+                            request_fault.get_or_insert(SimError::ClockStretchOverflow {
+                                clock: st.spec.name.clone(),
+                                now: t,
+                            });
+                        }
+                    }
                 }
                 ClockRequest::OverridePeriod { clock, period } => {
                     self.clocks[clock.0].next_period_override = Some(period);
@@ -515,11 +581,24 @@ impl Simulator {
                 }
             }
         }
+        if let Some(err) = request_fault {
+            self.record_fatal(err);
+        }
         for &ci in &edges {
-            self.clocks[ci].advance();
-            if self.heap_synced {
-                self.edge_heap
-                    .push(Reverse((self.clocks[ci].next_edge, ci)));
+            if self.clocks[ci].advance() {
+                if self.heap_synced {
+                    self.edge_heap
+                        .push(Reverse((self.clocks[ci].next_edge, ci)));
+                }
+            } else {
+                // `advance` paused the clock; record the fault and let
+                // the scheduler forget about this domain.
+                let name = self.clocks[ci].spec.name.clone();
+                self.record_fatal(SimError::TimeOverflow {
+                    clock: name,
+                    now: t,
+                });
+                self.recompute_single_active();
             }
         }
         self.edge_scratch = edges;
@@ -575,6 +654,105 @@ impl Simulator {
                 self.flush_skipped_commits();
                 return false;
             }
+        }
+    }
+
+    /// Like [`run_until`](Self::run_until), but with a hang watchdog
+    /// and typed errors. Returns:
+    ///
+    /// * `Ok(true)` — the predicate fired;
+    /// * `Ok(false)` — stop request, `max_cycles` exhausted, or no
+    ///   edges remain (the plain-`run_until` `false` outcomes);
+    /// * `Err(SimError::Hang)` — `no_progress_limit` consecutive
+    ///   `clock` cycles elapsed with no activity on the kernel's
+    ///   [`progress token`](Self::progress_token) (no channel push/pop,
+    ///   no component wake), with a [`HangReport`] diagnosing every
+    ///   registered component and channel;
+    /// * `Err(SimError::TimeOverflow)` /
+    ///   `Err(SimError::ClockStretchOverflow)` — an internal arithmetic
+    ///   fault that previously `expect()`-panicked.
+    ///
+    /// Like `run_until`, the predicate is evaluated exactly once per
+    /// instant boundary.
+    ///
+    /// # Panics
+    /// Panics if `no_progress_limit` is zero (every run would
+    /// instantly be a hang).
+    pub fn run_until_checked(
+        &mut self,
+        clock: ClockId,
+        max_cycles: u64,
+        no_progress_limit: u64,
+        mut done: impl FnMut() -> bool,
+    ) -> Result<bool, SimError> {
+        assert!(
+            no_progress_limit > 0,
+            "no_progress_limit must be at least one cycle"
+        );
+        let limit = self.clocks[clock.0].cycles + max_cycles;
+        let mut idle: u64 = 0;
+        let mut last_cycle = self.clocks[clock.0].cycles;
+        loop {
+            if self.fatal.is_some() {
+                self.flush_skipped_commits();
+                return Err(self.fatal.take().expect("just checked"));
+            }
+            if done() {
+                self.flush_skipped_commits();
+                return Ok(true);
+            }
+            if self.stop_requested || self.clocks[clock.0].cycles >= limit || !self.step() {
+                self.flush_skipped_commits();
+                // A fault recorded during the final step surfaces as
+                // the error it is, not as a bare "didn't finish".
+                if let Some(err) = self.fatal.take() {
+                    return Err(err);
+                }
+                return Ok(false);
+            }
+            let cycle = self.clocks[clock.0].cycles;
+            if self.progress.take() {
+                idle = 0;
+            } else {
+                idle += cycle - last_cycle;
+            }
+            last_cycle = cycle;
+            if idle >= no_progress_limit {
+                self.flush_skipped_commits();
+                let report = self.diagnose(idle);
+                return Err(SimError::Hang {
+                    clock: self.clocks[clock.0].spec.name.clone(),
+                    cycle,
+                    now: self.now,
+                    report,
+                });
+            }
+        }
+    }
+
+    /// Snapshots every registered component and sequential for a
+    /// [`HangReport`].
+    fn diagnose(&self, idle_cycles: u64) -> HangReport {
+        let components = self
+            .components
+            .iter()
+            .map(|e| CompDiag {
+                name: e.component.name().to_string(),
+                clock: self.clocks[e.clock.0].spec.name.clone(),
+                asleep: e.asleep,
+                quiescent: e.component.is_quiescent(),
+                wait: e.component.wait_reason(),
+            })
+            .collect();
+        let channels = self
+            .sequentials
+            .iter()
+            .filter_map(|s| s.state.borrow().diagnose())
+            .collect();
+        HangReport {
+            idle_cycles,
+            components,
+            channels,
         }
     }
 }
@@ -990,6 +1168,193 @@ mod tests {
         sim.set_gating(false);
         sim.run_cycles(clk, 4);
         assert_eq!(ticks.get(), 7);
+    }
+
+    /// Time overflow no longer panics: the run terminates, the fault is
+    /// recorded, and the checked variant surfaces it as `Err`.
+    #[test]
+    fn time_overflow_is_recorded_not_panicked() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("huge", Picoseconds(u64::MAX - 5)));
+        sim.run_cycles(clk, 100); // would previously panic
+        assert!(sim.cycles(clk) < 100, "clock died before the target");
+        assert!(matches!(sim.fatal(), Some(SimError::TimeOverflow { .. })));
+        assert!(sim.stopped());
+
+        // The checked variant reports the same fault as a typed error.
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("huge", Picoseconds(u64::MAX - 5)));
+        let err = sim
+            .run_until_checked(clk, 100, 1_000, || false)
+            .expect_err("overflow must surface");
+        assert!(matches!(err, SimError::TimeOverflow { ref clock, .. } if clock == "huge"));
+        assert!(sim.fatal().is_none(), "checked run consumed the fault");
+    }
+
+    /// Clock-stretch overflow is likewise recorded instead of panicking.
+    #[test]
+    fn stretch_overflow_is_recorded_not_panicked() {
+        struct BigStretch;
+        impl Component for BigStretch {
+            fn name(&self) -> &str {
+                "big-stretch"
+            }
+            fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+                let clock = ctx.clock();
+                ctx.stretch_clock(clock, Picoseconds::MAX);
+            }
+        }
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        sim.add_component(clk, BigStretch);
+        let err = sim
+            .run_until_checked(clk, 10, 1_000, || false)
+            .expect_err("stretch overflow must surface");
+        assert!(matches!(err, SimError::ClockStretchOverflow { .. }));
+    }
+
+    /// Resuming a clock too close to the end of time records the fault
+    /// and leaves the clock paused.
+    #[test]
+    fn resume_near_end_of_time_records_overflow() {
+        let mut sim = Simulator::new();
+        let a = sim.add_clock(ClockSpec::new("a", Picoseconds(u64::MAX - 5)));
+        let b = sim.add_clock(ClockSpec::new("b", Picoseconds(u64::MAX - 5)));
+        sim.pause_clock(b);
+        sim.run_cycles(a, 2); // now sits at MAX-5
+        assert_eq!(sim.now(), Picoseconds(u64::MAX - 5));
+        sim.clear_stop();
+        sim.take_fatal();
+        sim.resume_clock(b);
+        assert!(
+            matches!(sim.fatal(), Some(SimError::TimeOverflow { ref clock, .. }) if clock == "b")
+        );
+    }
+
+    /// The watchdog fires on a design that makes no progress, and the
+    /// report diagnoses components and channels.
+    #[test]
+    fn watchdog_detects_no_progress_and_diagnoses() {
+        struct Waiter;
+        impl Component for Waiter {
+            fn name(&self) -> &str {
+                "waiter"
+            }
+            fn tick(&mut self, _ctx: &mut TickCtx<'_>) {}
+            fn wait_reason(&self) -> Option<String> {
+                Some("waiting for a token that never comes".into())
+            }
+        }
+        struct StuckQueue;
+        impl Sequential for StuckQueue {
+            fn commit(&mut self) {}
+            fn diagnose(&self) -> Option<crate::SeqDiag> {
+                Some(crate::SeqDiag {
+                    name: "stuck-q".into(),
+                    occupancy: 3,
+                    pending: true,
+                    note: "test fixture".into(),
+                })
+            }
+        }
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("core", Picoseconds(100)));
+        sim.add_component(clk, Waiter);
+        sim.add_sequential(clk, Rc::new(RefCell::new(StuckQueue)));
+        let err = sim
+            .run_until_checked(clk, 10_000, 64, || false)
+            .expect_err("must hang");
+        let SimError::Hang {
+            clock,
+            cycle,
+            report,
+            ..
+        } = err
+        else {
+            panic!("expected Hang, got {err}");
+        };
+        assert_eq!(clock, "core");
+        assert_eq!(cycle, 64, "fired exactly at the idle limit");
+        assert_eq!(report.idle_cycles, 64);
+        assert_eq!(report.components.len(), 1);
+        assert_eq!(
+            report.components[0].wait.as_deref(),
+            Some("waiting for a token that never comes")
+        );
+        assert_eq!(report.channels.len(), 1);
+        assert!(report.channels[0].pending);
+    }
+
+    /// Progress on the token holds the watchdog off; the run then
+    /// completes normally (predicate or cycle limit).
+    #[test]
+    fn watchdog_spares_runs_that_make_progress() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("core", Picoseconds(100)));
+        let (p, hits, _) = probe("p");
+        sim.add_component(clk, p);
+        let token = sim.progress_token();
+        // An external source marks progress every instant (as channels
+        // do on every push/pop).
+        let h2 = Rc::clone(&hits);
+        let t2 = token.clone();
+        let done = move || {
+            t2.set();
+            h2.get() >= 500
+        };
+        let fired = sim
+            .run_until_checked(clk, 10_000, 16, done)
+            .expect("no hang while progress flows");
+        assert!(fired);
+        assert_eq!(hits.get(), 500);
+
+        // Source goes quiet: the same sim now hangs.
+        let err = sim
+            .run_until_checked(clk, 10_000, 16, || false)
+            .expect_err("silence must trip the watchdog");
+        assert!(matches!(err, SimError::Hang { .. }));
+    }
+
+    /// A component waking from sleep counts as progress even before
+    /// any channel traffic.
+    #[test]
+    fn wake_transition_counts_as_progress() {
+        struct Sleeper {
+            quiescent: Rc<Cell<bool>>,
+        }
+        impl Component for Sleeper {
+            fn name(&self) -> &str {
+                "sleeper"
+            }
+            fn tick(&mut self, _ctx: &mut TickCtx<'_>) {}
+            fn is_quiescent(&self) -> bool {
+                self.quiescent.get()
+            }
+        }
+        let quiescent = Rc::new(Cell::new(true));
+        let wake = ActivityToken::new();
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("core", Picoseconds(100)));
+        let id = sim.add_component(
+            clk,
+            Sleeper {
+                quiescent: Rc::clone(&quiescent),
+            },
+        );
+        sim.set_wake_token(id, wake.clone());
+        // Tick 0 puts it to sleep. Setting the wake token just before
+        // the watchdog would fire resets the idle counter.
+        let mut boundary = 0u64;
+        let w2 = wake.clone();
+        let res = sim.run_until_checked(clk, 40, 16, move || {
+            boundary += 1;
+            if boundary.is_multiple_of(10) {
+                w2.set();
+            }
+            false
+        });
+        assert!(matches!(res, Ok(false)), "cycle limit, not hang: {res:?}");
+        assert_eq!(sim.cycles(clk), 40);
     }
 
     /// Gated sequentials skip clean commits and reconcile exactly via

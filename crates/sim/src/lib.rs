@@ -10,6 +10,9 @@
 //!   (commit-phase state) traits,
 //! * pausible-clocking hooks ([`TickCtx::stretch_clock`]) used by the
 //!   GALS layer,
+//! * typed failures ([`SimError`]) with a no-progress hang watchdog
+//!   ([`Simulator::run_until_checked`]) that diagnoses deadlocks via a
+//!   per-component / per-channel [`HangReport`],
 //! * [`Trace`] VCD-lite waveform recording and [`stats`] helpers.
 //!
 //! ## Example
@@ -37,6 +40,7 @@ mod activity;
 mod clock;
 mod component;
 pub mod cover;
+mod error;
 mod kernel;
 pub mod stats;
 mod time;
@@ -45,6 +49,7 @@ mod trace;
 pub use activity::ActivityToken;
 pub use clock::{ClockId, ClockSpec};
 pub use component::{Component, Sequential, TickCtx};
+pub use error::{CompDiag, HangReport, SeqDiag, SimError};
 pub use kernel::{ComponentId, Simulator};
 pub use time::Picoseconds;
 pub use trace::{SignalId, Trace};

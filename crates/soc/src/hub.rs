@@ -10,7 +10,7 @@
 //! through an AXI slave ([`HubAxiSlave`]).
 
 use crate::bitrtl::RtlCost;
-use crate::msg::{NocMsg, PacketAssembler, PeCommand};
+use crate::msg::{NocMsg, PacketAssembler, PeCommand, HUB_NODE, N_NODES};
 use crate::pe::{Fidelity, CHUNK};
 use crate::rtlplan::SignalPlan;
 use craft_connections::{In, Out};
@@ -71,6 +71,21 @@ pub struct HubState {
     /// themselves to rouse a sleeping hub. The SoC assembly aliases it
     /// with the hub's kernel wake token.
     pub activity: ActivityToken,
+    /// Command in flight per mesh node: `(command, dispatch cycle)`
+    /// from PeCmd packetization until the PE's Done retires it.
+    pub inflight: Vec<Option<(PeCommand, u64)>>,
+    /// Nodes marked permanently failed (missed their
+    /// [`pe_timeout`](Self::pe_timeout)); never dispatched to again.
+    pub failed: Vec<bool>,
+    /// Commands re-dispatched to a healthy PE after their original
+    /// target was marked failed (the graceful-degradation counter).
+    pub remapped: u64,
+    /// Cycles a dispatched command may stay un-acknowledged before its
+    /// PE is declared failed and its work remapped. `None` (the
+    /// default) disables detection entirely: no timeout scan runs and
+    /// hub quiescence is unchanged, so fault-free runs are
+    /// bit-identical with the feature compiled in.
+    pub pe_timeout: Option<u64>,
     stage_target: u32,
     stage_lo: u32,
     stage_hi: u32,
@@ -89,10 +104,27 @@ impl HubState {
             gates_charged: 0,
             service_latency: craft_sim::stats::Histogram::new(4, 64),
             activity: ActivityToken::new(),
+            inflight: vec![None; N_NODES as usize],
+            failed: vec![false; N_NODES as usize],
+            remapped: 0,
+            pe_timeout: None,
             stage_target: 0,
             stage_lo: 0,
             stage_hi: 0,
         }
+    }
+
+    /// Lowest-numbered PE that is neither failed nor executing a
+    /// command — the remap target for work stranded on a failed PE.
+    fn healthy_idle_pe(&self) -> Option<u16> {
+        (0..N_NODES)
+            .filter(|&n| n != HUB_NODE)
+            .find(|&n| !self.failed[n as usize] && self.inflight[n as usize].is_none())
+    }
+
+    /// Nodes currently marked failed.
+    pub fn failed_pes(&self) -> Vec<u16> {
+        (0..N_NODES).filter(|&n| self.failed[n as usize]).collect()
     }
 
     /// Control-page write (from the AXI adapter).
@@ -141,7 +173,9 @@ enum HubJob {
         buf: Vec<u64>,
         arrived: u64,
     },
-    DoneMark,
+    DoneMark {
+        pe: u16,
+    },
 }
 
 /// The hub NoC component.
@@ -209,12 +243,39 @@ impl Component for Hub {
     /// evaluation). `self.cycle` lagging while asleep is harmless: it
     /// is only read when a job exists, and the first tick after a wake
     /// refreshes it before any job can be enqueued.
+    ///
+    /// With a [`HubState::pe_timeout`] armed, the hub additionally
+    /// stays awake while any command is in flight — the timeout scan
+    /// is the thing watching for a PE that will never answer, so it
+    /// must not itself be gated off.
     fn is_quiescent(&self) -> bool {
+        let st = self.state.borrow();
         !self.fidelity.is_rtl()
             && self.jobs.is_empty()
             && self.outbox.is_empty()
             && !self.input.has_pending()
-            && self.state.borrow().doorbell.is_empty()
+            && st.doorbell.is_empty()
+            && (st.pe_timeout.is_none() || st.inflight.iter().all(|e| e.is_none()))
+    }
+
+    /// Diagnosis for the hang watchdog: what the hub is waiting on.
+    fn wait_reason(&self) -> Option<String> {
+        let st = self.state.borrow();
+        let inflight: Vec<u16> = (0..st.inflight.len())
+            .filter(|&n| st.inflight[n].is_some())
+            .map(|n| n as u16)
+            .collect();
+        Some(format!(
+            "hub: jobs={} outbox={} doorbell={} issued={} done={} inflight={:?} failed={:?} remapped={}",
+            self.jobs.len(),
+            self.outbox.len(),
+            st.doorbell.len(),
+            st.issued,
+            st.done_count,
+            inflight,
+            st.failed_pes(),
+            st.remapped,
+        ))
     }
 
     fn tick(&mut self, ctx: &mut TickCtx<'_>) {
@@ -252,7 +313,7 @@ impl Component for Hub {
                         buf: Vec::with_capacity(len as usize),
                         arrived: self.cycle,
                     }),
-                    NocMsg::Done { pe: _ } => self.jobs.push_back(HubJob::DoneMark),
+                    NocMsg::Done { pe } => self.jobs.push_back(HubJob::DoneMark { pe }),
                     other => panic!("hub cannot handle {other:?} from node {src}"),
                 }
             }
@@ -261,12 +322,56 @@ impl Component for Hub {
         // Service the head job at GMEM_PORTS words per cycle.
         self.service_head();
 
-        // Packetize committed doorbell commands.
-        let pending: Vec<(u16, PeCommand)> = {
+        // Fault detection: a command that outlives the armed timeout
+        // marks its PE permanently failed and returns to the doorbell,
+        // where dispatch below remaps it to a healthy PE. Commands are
+        // idempotent (operands and results live at fixed gmem
+        // addresses), so re-execution after a partial run is safe.
+        {
             let mut st = self.state.borrow_mut();
-            st.doorbell.drain(..).collect()
-        };
-        for (pe, cmd) in pending {
+            if let Some(limit) = st.pe_timeout {
+                for n in 0..st.inflight.len() {
+                    let Some((cmd, issued_at)) = st.inflight[n] else {
+                        continue;
+                    };
+                    if self.cycle.saturating_sub(issued_at) > limit {
+                        st.failed[n] = true;
+                        st.inflight[n] = None;
+                        st.doorbell.push_front((n as u16, cmd));
+                        st.activity.set();
+                    }
+                }
+            }
+        }
+
+        // Packetize committed doorbell commands. A command whose
+        // target is marked failed is remapped to the lowest-numbered
+        // healthy idle PE; if every healthy PE is busy it stays queued
+        // and dispatch stops for this cycle (strict order preserved).
+        loop {
+            let dispatch = {
+                let mut st = self.state.borrow_mut();
+                let Some(&(pe, cmd)) = st.doorbell.front() else {
+                    break;
+                };
+                let target = if st.failed[pe as usize] {
+                    st.healthy_idle_pe()
+                } else {
+                    Some(pe)
+                };
+                match target {
+                    Some(t) => {
+                        st.doorbell.pop_front();
+                        if t != pe {
+                            st.remapped += 1;
+                        }
+                        st.inflight[t as usize] = Some((cmd, self.cycle));
+                        (t, cmd)
+                    }
+                    None => break,
+                }
+            };
+            let (pe, cmd) = dispatch;
             for flit in NocMsg::PeCmd(cmd).to_packet(pe, self.node, 0) {
                 self.outbox.push_back(flit);
             }
@@ -344,8 +449,16 @@ impl Hub {
                     }
                 }
             }
-            HubJob::DoneMark => {
-                self.state.borrow_mut().done_count += 1;
+            HubJob::DoneMark { pe } => {
+                let mut st = self.state.borrow_mut();
+                // A Done from a PE already declared failed is a late
+                // straggler: its command was remapped and the new
+                // owner's Done is the one that counts.
+                if !st.failed[*pe as usize] {
+                    st.done_count += 1;
+                    st.inflight[*pe as usize] = None;
+                }
+                drop(st);
                 self.jobs.pop_front();
             }
         }

@@ -385,6 +385,37 @@ impl Component for ProcessingElement {
             && !self.input.has_pending()
     }
 
+    /// Diagnosis for the hang watchdog: which FSM state the PE is
+    /// parked in and what it still owes the NoC/scratchpad — enough to
+    /// tell a PE starved of operands (stuck in Fetch) from one whose
+    /// results cannot drain (stuck in WriteBack).
+    fn wait_reason(&self) -> Option<String> {
+        let fsm = match &self.state {
+            PeState::Idle => "idle".to_string(),
+            PeState::Fetch {
+                got,
+                need_a,
+                need_b,
+                ..
+            } => format!("fetch {got}/{} operand words", need_a + need_b),
+            PeState::Compute { cursor, total, .. } => {
+                format!("compute {cursor}/{total} work units")
+            }
+            PeState::WriteBack {
+                sent,
+                out_len,
+                done_sent,
+                ..
+            } => format!("writeback {sent}/{out_len} words, done_sent={done_sent}"),
+        };
+        Some(format!(
+            "pe{}: {fsm}, outbox={}, pending_writes={}",
+            self.node,
+            self.outbox.len(),
+            self.pending_writes.len()
+        ))
+    }
+
     fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
         // RTL simulators evaluate every signal every cycle — the
         // interpreted mode by walking the packed state word by word,

@@ -9,14 +9,14 @@ use crate::hub::{Hub, HubAxiSlave, HubHandle, HubState, CTRL_PAGE};
 use crate::msg::{HUB_NODE, MESH_WIDTH, N_NODES};
 use crate::pe::{Fidelity, PeConfig, ProcessingElement};
 use crate::rtlplan::{PlanCache, PlanCacheHandle, PlanStats, SignalPlan};
-use craft_connections::{channel, ChannelKind, In, Out};
+use craft_connections::{channel, ChannelHandle, ChannelKind, FaultConfig, FaultStats, In, Out};
 use craft_gals::pausible_fifo;
 use craft_matchlib::axi::{
     axi_link, AddrRange, AxiBus, AxiMaster, AxiMasterHandle, AxiMemorySlave,
 };
 use craft_matchlib::router::{port, xy_route, NocFlit, SfRouter, WhvcConfig, WhvcRouter};
 use craft_riscv::FlatMemory;
-use craft_sim::{ActivityToken, ClockId, ClockSpec, Picoseconds, Simulator};
+use craft_sim::{ActivityToken, ClockId, ClockSpec, Picoseconds, SimError, Simulator};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::{Duration, Instant};
@@ -89,6 +89,12 @@ pub struct SocConfig {
     /// either way (asserted by the `gating_tests`); only wall clock
     /// and the kernel's ticks-delivered accounting change.
     pub gating: bool,
+    /// Hub-side PE failure detection: cycles a dispatched command may
+    /// stay unacknowledged before its PE is declared failed and the
+    /// command is remapped to a healthy PE (graceful degradation).
+    /// `None` (the default) disables detection; set it well above the
+    /// worst-case command latency to avoid false positives.
+    pub pe_timeout: Option<u64>,
 }
 
 impl Default for SocConfig {
@@ -103,6 +109,7 @@ impl Default for SocConfig {
             link_depth: 4,
             router: RouterKind::Wormhole,
             gating: true,
+            pe_timeout: None,
         }
     }
 }
@@ -157,6 +164,7 @@ pub struct Soc {
     coverage: craft_sim::cover::Coverage,
     plan_cache: Option<PlanCacheHandle>,
     router_charged: Vec<Rc<Cell<u64>>>,
+    noc_channels: Vec<(String, ChannelHandle<NocFlit>)>,
 }
 
 impl Soc {
@@ -243,21 +251,30 @@ impl Soc {
             .collect();
 
         let kind = ChannelKind::Buffer(cfg.link_depth);
+        // Registry of every NoC flit channel by name: the fault
+        // campaign's injection point ([`Soc::inject_fault`]) and the
+        // watchdog's progress taps ([`Soc::run_checked`]).
+        let mut noc_channels: Vec<(String, ChannelHandle<NocFlit>)> = Vec::new();
         // Directed link from node a (port pa) to node b (port pb).
         let mut link = |sim: &mut Simulator, a: usize, pa: usize, b: usize, pb: usize| {
             let same_domain = node_clock[a] == node_clock[b];
             if same_domain {
-                let (tx, rx, h) = channel::<NocFlit>(format!("l{a}p{pa}->{b}"), kind);
+                let name = format!("l{a}p{pa}->{b}");
+                let (tx, rx, h) = channel::<NocFlit>(name.clone(), kind);
                 sim.add_sequential_gated(node_clock[a], h.sequential(), h.commit_token());
+                noc_channels.push((name, h));
                 rout[a][pa] = Some(tx);
                 rin[b][pb] = Some(rx);
             } else {
                 // GALS crossing: tx channel on a's domain, pausible
                 // FIFO, rx channel on b's domain.
-                let (tx, mid_rx, h1) = channel::<NocFlit>(format!("g{a}p{pa}.tx"), kind);
-                let (mid_tx, rx, h2) = channel::<NocFlit>(format!("g{a}p{pa}.rx"), kind);
+                let (name1, name2) = (format!("g{a}p{pa}.tx"), format!("g{a}p{pa}.rx"));
+                let (tx, mid_rx, h1) = channel::<NocFlit>(name1.clone(), kind);
+                let (mid_tx, rx, h2) = channel::<NocFlit>(name2.clone(), kind);
                 sim.add_sequential_gated(node_clock[a], h1.sequential(), h1.commit_token());
                 sim.add_sequential_gated(node_clock[b], h2.sequential(), h2.commit_token());
+                noc_channels.push((name1, h1));
+                noc_channels.push((name2, h2));
                 let (ptx, prx, _state) = pausible_fifo(
                     &format!("x{a}->{b}"),
                     mid_rx,
@@ -290,12 +307,16 @@ impl Soc {
         let mut ep_in: Vec<Option<In<NocFlit>>> = (0..N_NODES).map(|_| None).collect();
         let mut ep_out: Vec<Option<Out<NocFlit>>> = (0..N_NODES).map(|_| None).collect();
         for n in 0..N_NODES as usize {
-            let (tx, rx, h) = channel::<NocFlit>(format!("n{n}.eject"), kind);
+            let name = format!("n{n}.eject");
+            let (tx, rx, h) = channel::<NocFlit>(name.clone(), kind);
             sim.add_sequential_gated(node_clock[n], h.sequential(), h.commit_token());
+            noc_channels.push((name, h));
             rout[n][port::LOCAL] = Some(tx);
             ep_in[n] = Some(rx);
-            let (tx2, rx2, h2) = channel::<NocFlit>(format!("n{n}.inject"), kind);
+            let name2 = format!("n{n}.inject");
+            let (tx2, rx2, h2) = channel::<NocFlit>(name2.clone(), kind);
             sim.add_sequential_gated(node_clock[n], h2.sequential(), h2.commit_token());
+            noc_channels.push((name2, h2));
             ep_out[n] = Some(tx2);
             rin[n][port::LOCAL] = Some(rx2);
         }
@@ -432,6 +453,7 @@ impl Soc {
 
         // --- Hub ---
         let hub_state: HubHandle = Rc::new(RefCell::new(HubState::new(cfg.gmem_words)));
+        hub_state.borrow_mut().pe_timeout = cfg.pe_timeout;
         for (base, data) in gmem_init {
             let mut st = hub_state.borrow_mut();
             for (i, &v) in data.iter().enumerate() {
@@ -526,7 +548,53 @@ impl Soc {
             coverage,
             plan_cache,
             router_charged,
+            noc_channels,
         }
+    }
+
+    /// Injects a seeded fault into every NoC flit channel whose name
+    /// contains `pat` (mesh links `l{a}p{pa}->{b}`, GALS crossings
+    /// `g{a}p{pa}.tx`/`.rx`, endpoint ports `n{n}.eject`/`n{n}.inject`)
+    /// without touching any component. Each matched channel gets an
+    /// independent injector derived from `seed`. Returns how many
+    /// channels matched.
+    pub fn inject_fault(&self, pat: &str, cfg: FaultConfig, seed: u64) -> usize {
+        let mut matched = 0;
+        for (i, (name, h)) in self.noc_channels.iter().enumerate() {
+            if name.contains(pat) {
+                h.inject_faults(cfg, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                matched += 1;
+            }
+        }
+        matched
+    }
+
+    /// Aggregated fault-injection counters over every NoC channel
+    /// whose name contains `pat` (zeroes when nothing matched or no
+    /// fault was injected).
+    pub fn fault_stats(&self, pat: &str) -> FaultStats {
+        let mut total = FaultStats::default();
+        for (name, h) in &self.noc_channels {
+            if !name.contains(pat) {
+                continue;
+            }
+            let Some(s) = h.fault_stats() else { continue };
+            total.tokens += s.tokens;
+            total.flips += s.flips;
+            total.drops += s.drops;
+            total.dups += s.dups;
+            total.dups_suppressed += s.dups_suppressed;
+            total.stuck_valid_cycles += s.stuck_valid_cycles;
+            total.stuck_ready_cycles += s.stuck_ready_cycles;
+        }
+        total
+    }
+
+    /// The hub's graceful-degradation counters:
+    /// `(failed PE nodes, commands remapped)`.
+    pub fn degradation(&self) -> (Vec<u16>, u64) {
+        let st = self.hub.borrow();
+        (st.failed_pes(), st.remapped)
     }
 
     /// Compile-plan lowering statistics (operator plans lowered, cache
@@ -575,6 +643,42 @@ impl Soc {
             ctrl: *self.ctrl.borrow(),
             completed,
         }
+    }
+
+    /// Like [`Soc::run`], but supervised by the simulation watchdog:
+    /// every NoC flit channel is tapped as a progress source, and
+    /// `no_progress_limit` consecutive hub cycles without a single NoC
+    /// push/pop (or component wake) turn a would-be infinite run into
+    /// a typed [`SimError::Hang`] carrying the per-component /
+    /// per-channel diagnosis.
+    ///
+    /// Only *data-plane* traffic counts as progress — deliberately not
+    /// the AXI channels, because the controller polls `DONE_COUNT`
+    /// over AXI forever and that busy-wait must not mask a wedged NoC.
+    pub fn run_checked(
+        &mut self,
+        max_cycles: u64,
+        no_progress_limit: u64,
+    ) -> Result<RunResult, SimError> {
+        let token = self.sim.progress_token();
+        for (_, h) in &self.noc_channels {
+            h.set_progress_token(token.clone());
+        }
+        let t0 = Instant::now();
+        let start = self.sim.cycles(self.hub_clock);
+        let ctrl = Rc::clone(&self.ctrl);
+        let completed = self.sim.run_until_checked(
+            self.hub_clock,
+            max_cycles,
+            no_progress_limit,
+            move || ctrl.borrow().halted,
+        )?;
+        Ok(RunResult {
+            cycles: self.sim.cycles(self.hub_clock) - start,
+            wall: t0.elapsed(),
+            ctrl: *self.ctrl.borrow(),
+            completed,
+        })
     }
 
     /// Backdoor read of global memory (harness verification).
@@ -1018,5 +1122,130 @@ mod adaptive_gals_tests {
         let (b, ok2) = run_workload(cfg, &vec_mul(), 8_000_000);
         assert!(ok1 && ok2);
         assert_eq!(a.cycles, b.cycles, "seeded noise must be reproducible");
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+    use crate::workloads::{orchestrator_program, table_words, vec_mul};
+
+    /// Graceful degradation end to end: a PE whose command-delivery
+    /// channel is permanently stuck never acknowledges, the hub's
+    /// timeout declares it failed and remaps the stranded command to a
+    /// healthy PE, and the workload still completes with bit-correct
+    /// results — at a measurable cycle overhead, not a hang.
+    #[test]
+    fn failed_pe_is_detected_and_its_work_remapped() {
+        let wl = vec_mul();
+        let program = orchestrator_program();
+        let table = table_words(&wl.entries);
+
+        let clean_cycles = {
+            let mut soc = Soc::build(SocConfig::default(), &program, &table, &wl.gmem_init);
+            let r = soc.run(8_000_000);
+            assert!(r.completed);
+            r.cycles
+        };
+
+        let cfg = SocConfig {
+            pe_timeout: Some(20_000),
+            ..SocConfig::default()
+        };
+        let mut soc = Soc::build(cfg, &program, &table, &wl.gmem_init);
+        // PE 2 never receives anything: its router-to-PE ejection
+        // channel has valid stuck low from cycle 0.
+        assert_eq!(
+            soc.inject_fault("n2.eject", FaultConfig::stuck_valid(0), 7),
+            1
+        );
+        let r = soc
+            .run_checked(8_000_000, 200_000)
+            .expect("degraded run must recover, not hang");
+        assert!(r.completed, "controller must still halt");
+        for (base, expect) in &wl.expected {
+            assert_eq!(&soc.gmem_read(*base, expect.len()), expect, "results");
+        }
+        let (failed, remapped) = soc.degradation();
+        assert_eq!(failed, vec![2], "exactly the faulted PE is declared failed");
+        assert!(remapped >= 1, "its command must be remapped");
+        // Recovery costs at least the timeout, and the overhead is
+        // bounded (one timeout + one re-execution, not a meltdown).
+        assert!(r.cycles > 20_000, "{} vs {clean_cycles}", r.cycles);
+        assert!(
+            r.cycles < clean_cycles + 25_000,
+            "{} vs {clean_cycles}",
+            r.cycles
+        );
+    }
+
+    /// Without detection armed, total token loss on a PE's delivery
+    /// channel turns the run into a diagnosed hang: the watchdog names
+    /// the faulted channel and the hub's wait reason pins the exact
+    /// command (issued, never done) that is stuck in flight.
+    #[test]
+    fn flit_loss_hangs_with_noc_level_diagnosis() {
+        use crate::msg::{PeCommand, PeOp};
+        use crate::workloads::TableEntry;
+        let entries = vec![
+            TableEntry::Cmd {
+                pe: 5,
+                cmd: PeCommand {
+                    op: PeOp::Scale,
+                    a: 0,
+                    b: 0,
+                    out: 100,
+                    len: 8,
+                    scalar: 3,
+                },
+            },
+            TableEntry::Barrier,
+        ];
+        let gmem_init = vec![(0usize, (1..=8u64).collect::<Vec<_>>())];
+        let mut soc = Soc::build(
+            SocConfig::default(),
+            &orchestrator_program(),
+            &table_words(&entries),
+            &gmem_init,
+        );
+        assert_eq!(soc.inject_fault("n5.eject", FaultConfig::drop(1.0), 3), 1);
+        let err = soc
+            .run_checked(2_000_000, 50_000)
+            .expect_err("total flit loss must be detected as a hang");
+        let SimError::Hang { report, .. } = &err else {
+            panic!("expected Hang, got {err}");
+        };
+        let ch = report
+            .channels
+            .iter()
+            .find(|c| c.name == "n5.eject")
+            .expect("faulted channel diagnosed");
+        assert!(ch.note.contains("drop"), "note: {}", ch.note);
+        let hub = report
+            .components
+            .iter()
+            .find(|c| c.name == "hub15")
+            .expect("hub diagnosed");
+        let wait = hub.wait.as_deref().expect("hub explains its wait");
+        assert!(wait.contains("inflight=[5]"), "wait: {wait}");
+        assert!(wait.contains("done=0"), "wait: {wait}");
+    }
+
+    /// The watchdog must never fire on healthy runs: a clean workload
+    /// under `run_checked` completes with the same cycle count as the
+    /// unsupervised run (progress taps are observation-only).
+    #[test]
+    fn run_checked_is_invisible_on_healthy_runs() {
+        let wl = vec_mul();
+        let program = orchestrator_program();
+        let table = table_words(&wl.entries);
+        let mut plain = Soc::build(SocConfig::default(), &program, &table, &wl.gmem_init);
+        let r_plain = plain.run(8_000_000);
+        let mut checked = Soc::build(SocConfig::default(), &program, &table, &wl.gmem_init);
+        let r_checked = checked
+            .run_checked(8_000_000, 10_000)
+            .expect("healthy run must not trip the watchdog");
+        assert!(r_plain.completed && r_checked.completed);
+        assert_eq!(r_plain.cycles, r_checked.cycles, "taps must be invisible");
     }
 }

@@ -21,4 +21,7 @@ cargo bench --workspace --no-run
 echo "==> kernel smoke (release, vec_mul only; JSON baseline untouched)"
 cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul
 
+echo "==> fault-campaign smoke (release, reduced seeds; JSON baseline untouched)"
+cargo run --release -p craft-bench --bin fault_campaign -- --smoke
+
 echo "CI OK"
