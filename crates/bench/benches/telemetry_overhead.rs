@@ -1,0 +1,48 @@
+//! Telemetry observation cost: the same Fig. 6 workload with no
+//! telemetry attached, with the registry + span sink attached, and
+//! with kernel tick profiling on top.
+//!
+//! The contract under test: the disabled path (`None` telemetry) is
+//! structurally the pre-telemetry code path — probes are only polled
+//! at snapshot time and span strings are only allocated when a sink
+//! is attached — so `off` must sit within noise of the seed baseline.
+//! `on` pays only for span recording at command boundaries;
+//! `on_profiled` adds an `Instant` pair around every component tick
+//! and is the one knowingly expensive mode.
+
+use craft_sim::Telemetry;
+use craft_soc::workloads::{orchestrator_program, table_words, vec_mul};
+use craft_soc::{Soc, SocConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run_with(tel: Option<Telemetry>) -> u64 {
+    let wl = vec_mul();
+    let mut soc = Soc::build_with_telemetry(
+        SocConfig::default(),
+        &orchestrator_program(),
+        &table_words(&wl.entries),
+        &wl.gmem_init,
+        tel,
+    );
+    let r = soc.run(8_000_000);
+    assert!(r.completed);
+    r.cycles
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_vec_mul");
+    g.sample_size(10);
+    g.bench_function("off", |b| b.iter(|| run_with(None)));
+    g.bench_function("on", |b| b.iter(|| run_with(Some(Telemetry::new()))));
+    g.bench_function("on_profiled", |b| {
+        b.iter(|| {
+            let tel = Telemetry::new();
+            tel.set_profiling(true);
+            run_with(Some(tel))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

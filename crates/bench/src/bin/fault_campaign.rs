@@ -35,10 +35,11 @@
 //! written for full runs so a smoke never clobbers the committed
 //! baseline with low-sample rates).
 
+use craft_bench::validate_json;
 use craft_connections::{
     channel, reliable_link, ChannelKind, FaultConfig, In, Out, ReliableConfig, ReliableStats,
 };
-use craft_sim::{ClockSpec, Component, Picoseconds, SimError, Simulator, TickCtx};
+use craft_sim::{ClockSpec, Component, Picoseconds, SimError, Simulator, Telemetry, TickCtx};
 use craft_soc::workloads::{orchestrator_program, table_words, vec_mul, TableEntry};
 use craft_soc::{PeCommand, PeOp, Soc, SocConfig};
 use craftflow_core::par_map;
@@ -342,9 +343,16 @@ fn soc_campaign(seeds: u64) -> Vec<SocRow> {
     let rows = par_map(&jobs, |_, &(mode, seed)| {
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut soc = Soc::build(SocConfig::default(), &program, &table, &wl.gmem_init);
-            assert_eq!(soc.inject_fault(HOT_LINK, mode.config(0.02), seed), 1);
+            assert_eq!(
+                soc.inject_fault(HOT_LINK, mode.config(0.02), seed)
+                    .expect("hot link exists"),
+                1
+            );
             let res = soc.run_checked(4_000_000, 100_000);
-            let injected = soc.fault_stats(HOT_LINK).injected();
+            let injected = soc
+                .fault_stats(HOT_LINK)
+                .expect("hot link exists")
+                .injected();
             match res {
                 Err(SimError::Hang { cycle, .. }) => (Outcome::DetectedHang, injected, cycle),
                 Err(e) => panic!("unexpected simulation error: {e}"),
@@ -480,7 +488,8 @@ fn degradation_campaign(victims: &[u16]) -> Vec<DegradationRow> {
         };
         let mut soc = Soc::build(cfg, &program, &table, &wl.gmem_init);
         assert_eq!(
-            soc.inject_fault(&format!("n{victim}.eject"), FaultConfig::stuck_valid(0), 7),
+            soc.inject_fault(&format!("n{victim}.eject"), FaultConfig::stuck_valid(0), 7)
+                .expect("ejection channel exists"),
             1
         );
         let r = soc
@@ -491,12 +500,12 @@ fn degradation_campaign(victims: &[u16]) -> Vec<DegradationRow> {
                 .expected
                 .iter()
                 .all(|(base, expect)| &soc.gmem_read(*base, expect.len()) == expect);
-        let (failed, remapped) = soc.degradation();
+        let hub = soc.report().hub;
         DegradationRow {
             victim,
             recovered: verified,
-            failed,
-            remapped,
+            failed: hub.failed_pes,
+            remapped: hub.remapped,
             cycles: r.cycles,
             clean_cycles,
         }
@@ -540,7 +549,11 @@ fn watchdog_demo() -> WatchdogDemo {
         &table_words(&entries),
         &gmem_init,
     );
-    assert_eq!(soc.inject_fault("n5.eject", FaultConfig::drop(1.0), 3), 1);
+    assert_eq!(
+        soc.inject_fault("n5.eject", FaultConfig::drop(1.0), 3)
+            .expect("ejection channel exists"),
+        1
+    );
     let err = soc
         .run_checked(2_000_000, 50_000)
         .expect_err("total flit loss must be detected as a hang");
@@ -564,6 +577,44 @@ fn watchdog_demo() -> WatchdogDemo {
         channel_note: ch.note.clone(),
         hub_wait: hub.wait.clone().expect("hub explains its wait"),
     }
+}
+
+// ---------------------------------------------------------------------
+// Part 5: telemetry snapshot of one instrumented degradation run.
+// ---------------------------------------------------------------------
+
+/// Re-runs the victim-PE scenario with a telemetry sink attached and
+/// returns the end-of-run snapshot as JSON: hub/PE/NoC/fault metrics
+/// plus the command-lifetime span trail (`timeout_failed`, `remapped`)
+/// the degradation machinery leaves behind.
+fn telemetry_snapshot_json() -> String {
+    let wl = vec_mul();
+    let tel = Telemetry::new();
+    let cfg = SocConfig {
+        pe_timeout: Some(20_000),
+        ..SocConfig::default()
+    };
+    let mut soc = Soc::build_with_telemetry(
+        cfg,
+        &orchestrator_program(),
+        &table_words(&wl.entries),
+        &wl.gmem_init,
+        Some(tel.clone()),
+    );
+    soc.inject_fault("n2.eject", FaultConfig::stuck_valid(0), 7)
+        .expect("ejection channel exists");
+    let r = soc
+        .run_checked(8_000_000, 200_000)
+        .expect("degraded run must recover");
+    assert!(r.completed, "instrumented run must complete");
+    let snap = soc.telemetry_snapshot().expect("telemetry attached");
+    assert!(
+        snap.spans.iter().any(|e| e.label == "timeout_failed"),
+        "span trail must witness the timeout"
+    );
+    let json = snap.to_json();
+    validate_json(&json).expect("telemetry snapshot must be valid JSON");
+    json
 }
 
 // ---------------------------------------------------------------------
@@ -744,11 +795,20 @@ fn main() {
         json_escape(&wd.hub_wait)
     );
 
+    println!("\n== telemetry: instrumented degradation run ==");
+    let tel_json = telemetry_snapshot_json();
+    println!(
+        "snapshot validated ({} bytes of metrics/spans JSON)",
+        tel_json.len()
+    );
+
     if smoke {
         println!("\nsmoke run: BENCH_fault_campaign.json not rewritten");
     } else {
         std::fs::write("BENCH_fault_campaign.json", &json)
             .expect("write BENCH_fault_campaign.json");
-        println!("\nwrote BENCH_fault_campaign.json");
+        std::fs::write("BENCH_fault_campaign_telemetry.json", &tel_json)
+            .expect("write BENCH_fault_campaign_telemetry.json");
+        println!("\nwrote BENCH_fault_campaign.json and BENCH_fault_campaign_telemetry.json");
     }
 }

@@ -17,15 +17,23 @@
 //! `--workload <name>` restricts the run to one workload (CI smoke
 //! runs use this; the JSON is only written for full runs so a filtered
 //! smoke never clobbers the committed baseline with partial rows).
+//! `--telemetry <path>` additionally runs one instrumented pass (hub /
+//! PE / NoC probes, command spans, kernel tick profiling) and writes
+//! the validated snapshot JSON to `<path>`; full runs always emit one
+//! as `BENCH_sim_kernel_telemetry.json`.
 //!
 //! Cycle counts are asserted identical gating on vs off (gating is a
 //! wall-clock optimisation, never a semantic one) and identical
 //! between the interpreted and compiled RTL modes (the compiled path's
 //! accuracy contract).
 
+use craft_bench::validate_json;
+use craft_sim::Telemetry;
 use craft_soc::pe::Fidelity;
-use craft_soc::workloads::{dot_product, run_workload_soc, vec_mul, Workload};
-use craft_soc::SocConfig;
+use craft_soc::workloads::{
+    dot_product, orchestrator_program, run_workload_soc, table_words, vec_mul, Workload,
+};
+use craft_soc::{Soc, SocConfig};
 use std::fmt::Write as _;
 
 struct Row {
@@ -73,18 +81,52 @@ fn run_one(wl: &Workload, fidelity: Fidelity, gating: bool) -> Row {
     }
 }
 
-/// Parses `--workload <name>` from the command line, if present.
-fn workload_filter() -> Option<String> {
+/// Parses `--<flag> <value>` (or `--<flag>=<value>`) from the command
+/// line, if present.
+fn flag_value(flag: &str) -> Option<String> {
+    let bare = format!("--{flag}");
+    let eq = format!("--{flag}=");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--workload" {
-            return Some(args.next().expect("--workload needs a name"));
+        if a == bare {
+            return Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("{bare} needs a value")),
+            );
         }
-        if let Some(name) = a.strip_prefix("--workload=") {
-            return Some(name.to_string());
+        if let Some(v) = a.strip_prefix(&eq) {
+            return Some(v.to_string());
         }
     }
     None
+}
+
+/// One telemetry-instrumented pass over `wl`: attaches a profiling
+/// sink, runs to completion, validates the snapshot JSON and writes it
+/// to `path`.
+fn emit_telemetry_snapshot(wl: &Workload, path: &str) {
+    let tel = Telemetry::new();
+    tel.set_profiling(true);
+    let mut soc = Soc::build_with_telemetry(
+        SocConfig::default(),
+        &orchestrator_program(),
+        &table_words(&wl.entries),
+        &wl.gmem_init,
+        Some(tel),
+    );
+    let r = soc.run(8_000_000);
+    assert!(r.completed, "{}: instrumented run failed", wl.name);
+    let snap = soc.telemetry_snapshot().expect("telemetry attached");
+    assert!(!snap.profile.is_empty(), "tick profiling must capture");
+    let json = snap.to_json();
+    validate_json(&json).expect("telemetry snapshot must be valid JSON");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!(
+        "telemetry: {} metrics, {} spans, {} profiled components -> {path}",
+        snap.metrics.len(),
+        snap.spans.len(),
+        snap.profile.len()
+    );
 }
 
 fn main() {
@@ -92,7 +134,8 @@ fn main() {
     // barriers, then a long single-PE reduce tail during which 14 PEs
     // and most routers are idle. vec_mul (4 active PEs per wave) is
     // the second datapoint.
-    let filter = workload_filter();
+    let filter = flag_value("workload");
+    let telemetry_path = flag_value("telemetry");
     let workloads: Vec<Workload> = [dot_product(), vec_mul()]
         .into_iter()
         .filter(|wl| filter.as_deref().is_none_or(|f| f == wl.name))
@@ -205,8 +248,15 @@ fn main() {
         "  ],\n  \"headline_gating_speedup\": {headline:.3}\n}}\n"
     );
 
+    if let Some(path) = &telemetry_path {
+        emit_telemetry_snapshot(&workloads[0], path);
+    }
+
     if filter.is_none() {
         std::fs::write("BENCH_sim_kernel.json", &json).expect("write BENCH_sim_kernel.json");
+        if telemetry_path.is_none() {
+            emit_telemetry_snapshot(&workloads[0], "BENCH_sim_kernel_telemetry.json");
+        }
         println!("\nheadline sim-accurate gating speedup: {headline:.2}x (target >= 1.5x)");
         println!("wrote BENCH_sim_kernel.json");
     } else {

@@ -67,7 +67,7 @@ fn run_pair(wl: &Workload, gating: bool) -> Pair {
         "{} gating={gating}: charged gate totals differ",
         wl.name
     );
-    assert_eq!(soc_i.hub_counters(), soc_c.hub_counters());
+    assert_eq!(soc_i.report().hub, soc_c.report().hub);
     assert_eq!(soc_i.total_work_units(), soc_c.total_work_units());
 
     let stats = soc_c.plan_stats().expect("compiled mode exposes stats");

@@ -20,7 +20,7 @@
 use crate::fault::{FaultConfig, FaultInjector, FaultStats};
 use crate::packet::Payload;
 use crate::stall::StallInjector;
-use craft_sim::{ActivityToken, SeqDiag, Sequential};
+use craft_sim::{ActivityToken, SeqDiag, Sequential, Telemetry};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
@@ -526,6 +526,47 @@ impl<T: 'static> ChannelHandle<T> {
     /// Committed occupancy right now.
     pub fn occupancy(&self) -> usize {
         self.core.borrow().committed_len()
+    }
+
+    /// Registers this channel's statistics as polled telemetry probes
+    /// under `path` (`<path>.transfers`, `.backpressure`, `.pop_empty`,
+    /// `.stall_cycles`, `.occupancy`, `.occupancy_sum`, plus
+    /// `.faults_injected` when a fault injector is armed at snapshot
+    /// time). Probes are evaluated only when a snapshot is taken, so
+    /// publishing costs nothing while the simulation runs —
+    /// observation-only by construction.
+    pub fn publish_telemetry(&self, tel: &Telemetry, path: &str) {
+        let c = Rc::clone(&self.core);
+        tel.probe(format!("{path}.transfers"), move || {
+            c.borrow().stats.transfers
+        });
+        let c = Rc::clone(&self.core);
+        tel.probe(format!("{path}.backpressure"), move || {
+            c.borrow().stats.push_backpressure
+        });
+        let c = Rc::clone(&self.core);
+        tel.probe(format!("{path}.pop_empty"), move || {
+            c.borrow().stats.pop_empty
+        });
+        let c = Rc::clone(&self.core);
+        tel.probe(format!("{path}.stall_cycles"), move || {
+            c.borrow().stats.stall_cycles
+        });
+        let c = Rc::clone(&self.core);
+        tel.probe(format!("{path}.occupancy"), move || {
+            c.borrow().committed_len() as u64
+        });
+        let c = Rc::clone(&self.core);
+        tel.probe(format!("{path}.occupancy_sum"), move || {
+            c.borrow().stats.occupancy_sum
+        });
+        let c = Rc::clone(&self.core);
+        tel.probe(format!("{path}.faults_injected"), move || {
+            c.borrow()
+                .fault
+                .as_ref()
+                .map_or(0, |f| f.injector.stats().injected())
+        });
     }
 }
 

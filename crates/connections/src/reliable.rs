@@ -25,7 +25,7 @@
 use crate::channel::{channel, ChannelHandle, ChannelKind};
 use crate::packet::Payload;
 use crate::port::{In, Out};
-use craft_sim::{ClockId, Component, ComponentId, Simulator, TickCtx};
+use craft_sim::{ClockId, Component, ComponentId, Simulator, Telemetry, TickCtx};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -367,6 +367,33 @@ impl RegisteredLink {
     /// Snapshot of the protocol counters.
     pub fn stats(&self) -> ReliableStats {
         self.stats.borrow().clone()
+    }
+
+    /// Registers the protocol counters (and both internal channels) as
+    /// polled telemetry probes under `path`: `<path>.sent`,
+    /// `.retransmits`, `.delivered`, `.checksum_drops`, `.dup_drops`,
+    /// `.gap_drops`, `.acks_sent`, `.ack_checksum_drops`, plus the
+    /// channel probe sets under `<path>.data` and `<path>.ack`.
+    /// Evaluated only at snapshot time (observation-only).
+    pub fn publish_telemetry(&self, tel: &Telemetry, path: &str) {
+        macro_rules! probe_field {
+            ($field:ident) => {
+                let s = Rc::clone(&self.stats);
+                tel.probe(format!("{path}.{}", stringify!($field)), move || {
+                    s.borrow().$field
+                });
+            };
+        }
+        probe_field!(sent);
+        probe_field!(retransmits);
+        probe_field!(delivered);
+        probe_field!(checksum_drops);
+        probe_field!(dup_drops);
+        probe_field!(gap_drops);
+        probe_field!(acks_sent);
+        probe_field!(ack_checksum_drops);
+        self.data.publish_telemetry(tel, &format!("{path}.data"));
+        self.ack.publish_telemetry(tel, &format!("{path}.ack"));
     }
 }
 

@@ -52,6 +52,7 @@ use crate::activity::ActivityToken;
 use crate::clock::{ClockId, ClockSpec, ClockState};
 use crate::component::{ClockRequest, Component, Sequential, TickCtx};
 use crate::error::{CompDiag, HangReport, SimError};
+use crate::telemetry::TickProfile;
 use crate::time::Picoseconds;
 use std::cell::RefCell;
 use std::cmp::Reverse;
@@ -140,6 +141,12 @@ pub struct Simulator {
     /// `*_checked` run methods clear it once per reference-clock cycle
     /// and count how long it stays clear.
     progress: ActivityToken,
+    /// When set, every delivered tick is timed with `Instant` and
+    /// attributed to its component (telemetry's tick-profiling hook).
+    tick_profiling: bool,
+    /// Per-component `(nanos, ticks)` accumulated while profiling was
+    /// on, indexed like `components`.
+    tick_costs: Vec<(u64, u64)>,
 }
 
 impl Default for Simulator {
@@ -171,6 +178,8 @@ impl Simulator {
             single_active: None,
             fatal: None,
             progress: ActivityToken::new(),
+            tick_profiling: false,
+            tick_costs: Vec::new(),
         }
     }
 
@@ -301,6 +310,51 @@ impl Simulator {
     /// Whether quiescence gating is enabled (it is by default).
     pub fn gating(&self) -> bool {
         self.gating
+    }
+
+    /// Enables or disables per-component wall-clock tick profiling
+    /// (telemetry's tick-time hook). While on, every delivered tick is
+    /// timed and attributed to its component; the accumulated profile
+    /// is read back via [`tick_profile`](Self::tick_profile).
+    /// Profiling is observation-only — it never changes cycles, results
+    /// or delivery order — but the `Instant` reads cost wall clock, so
+    /// it is off by default.
+    pub fn set_tick_profiling(&mut self, on: bool) {
+        self.tick_profiling = on;
+        if on && self.tick_costs.len() < self.components.len() {
+            self.tick_costs.resize(self.components.len(), (0, 0));
+        }
+    }
+
+    /// Whether tick profiling is currently enabled.
+    pub fn tick_profiling(&self) -> bool {
+        self.tick_profiling
+    }
+
+    /// Per-component wall-clock attribution accumulated while
+    /// [`set_tick_profiling`](Self::set_tick_profiling) was on, sorted
+    /// by descending total nanoseconds. Components that never ticked
+    /// under profiling are omitted.
+    pub fn tick_profile(&self) -> Vec<TickProfile> {
+        let mut rows: Vec<TickProfile> = self
+            .components
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                let &(nanos, ticks) = self.tick_costs.get(i)?;
+                if ticks == 0 {
+                    return None;
+                }
+                Some(TickProfile {
+                    name: e.component.name().to_string(),
+                    clock: self.clocks[e.clock.0].spec.name.clone(),
+                    ticks,
+                    nanos,
+                })
+            })
+            .collect();
+        rows.sort_by(|a, b| b.nanos.cmp(&a.nanos).then_with(|| a.name.cmp(&b.name)));
+        rows
     }
 
     /// Enables or disables quiescence gating. Disabling wakes every
@@ -468,6 +522,9 @@ impl Simulator {
         };
         self.now = t;
         self.instants += 1;
+        if self.tick_profiling && self.tick_costs.len() < self.components.len() {
+            self.tick_costs.resize(self.components.len(), (0, 0));
+        }
 
         // Gather domains with an edge now, in id order. On the
         // single-clock fast path that is just the active clock; in
@@ -516,7 +573,16 @@ impl Simulator {
                     clock_requests: &mut self.clock_requests,
                     stop: &mut self.stop_requested,
                 };
-                entry.component.tick(&mut ctx);
+                if self.tick_profiling {
+                    let t0 = std::time::Instant::now();
+                    entry.component.tick(&mut ctx);
+                    let dt = t0.elapsed().as_nanos() as u64;
+                    let slot = &mut self.tick_costs[comp_idx];
+                    slot.0 += dt;
+                    slot.1 += 1;
+                } else {
+                    entry.component.tick(&mut ctx);
+                }
                 self.ticks_delivered += 1;
                 // The quiescence check runs post-tick so it sees
                 // everything the component just staged. The wake token
@@ -1394,5 +1460,41 @@ mod tests {
         sim.run_cycles(clk, 3);
         assert_eq!(seq.borrow().commits, 2);
         assert_eq!(seq.borrow().cycles, 13);
+    }
+
+    /// Tick profiling attributes every delivered tick and never
+    /// perturbs cycles or delivery counts.
+    #[test]
+    fn tick_profiling_attributes_ticks() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        let (p, hits, _) = probe("busy");
+        sim.add_component(clk, p);
+        assert!(!sim.tick_profiling());
+        assert!(sim.tick_profile().is_empty(), "nothing measured yet");
+
+        sim.set_tick_profiling(true);
+        // Components registered after enabling are picked up too.
+        let (q, qhits, _) = probe("late");
+        sim.add_component(clk, q);
+        sim.run_cycles(clk, 8);
+        assert_eq!(hits.get(), 8);
+        assert_eq!(qhits.get(), 8);
+        assert_eq!(sim.cycles(clk), 8);
+
+        let rows = sim.tick_profile();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.ticks, 8);
+            assert_eq!(row.clock, "c");
+        }
+        assert!(rows.iter().any(|r| r.name == "busy"));
+        assert!(rows.iter().any(|r| r.name == "late"));
+
+        // Disabling freezes the profile.
+        sim.set_tick_profiling(false);
+        sim.run_cycles(clk, 4);
+        assert_eq!(hits.get(), 12);
+        assert!(sim.tick_profile().iter().all(|r| r.ticks == 8));
     }
 }

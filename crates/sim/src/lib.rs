@@ -43,6 +43,7 @@ pub mod cover;
 mod error;
 mod kernel;
 pub mod stats;
+pub mod telemetry;
 mod time;
 mod trace;
 
@@ -51,5 +52,6 @@ pub use clock::{ClockId, ClockSpec};
 pub use component::{Component, Sequential, TickCtx};
 pub use error::{CompDiag, HangReport, SeqDiag, SimError};
 pub use kernel::{ComponentId, Simulator};
+pub use telemetry::{Telemetry, TelemetrySnapshot, TickProfile};
 pub use time::Picoseconds;
 pub use trace::{SignalId, Trace};

@@ -35,7 +35,10 @@ struct SignalDecl {
 pub struct Trace {
     signals: Vec<SignalDecl>,
     changes: Vec<(Picoseconds, SignalId, u64)>,
-    last_value: HashMap<SignalId, u64>,
+    /// `(time, value)` of the most recently *recorded* change per
+    /// signal — the in-order dedup fast path. Only consulted when a new
+    /// change does not precede it in time.
+    last_change: HashMap<SignalId, (Picoseconds, u64)>,
 }
 
 impl Trace {
@@ -59,17 +62,30 @@ impl Trace {
         id
     }
 
-    /// Records `value` on `signal` at time `at`. Consecutive identical
-    /// values are deduplicated.
+    /// Records `value` on `signal` at time `at`. Changes may arrive
+    /// out of timestamp order (different components flush at different
+    /// times); rendering sorts them. Consecutive identical values are
+    /// deduplicated: in-order duplicates are dropped at insertion, any
+    /// duplicates only visible after sorting are dropped by
+    /// [`write_vcd`](Self::write_vcd).
     pub fn change(&mut self, at: Picoseconds, signal: SignalId, value: u64) {
-        if self.last_value.get(&signal) == Some(&value) {
-            return;
+        match self.last_change.get(&signal) {
+            // In-order duplicate of the last recorded change: drop now.
+            Some(&(t, v)) if v == value && at >= t => return,
+            // Out-of-order insert: keep it; render-time dedup decides.
+            Some(&(t, _)) if at < t => {
+                self.changes.push((at, signal, value));
+                return;
+            }
+            _ => {}
         }
-        self.last_value.insert(signal, value);
+        self.last_change.insert(signal, (at, value));
         self.changes.push((at, signal, value));
     }
 
-    /// Number of recorded (deduplicated) value changes.
+    /// Number of recorded value changes (in-order duplicates are
+    /// already deduplicated; out-of-order redundancy is only removed
+    /// when rendering).
     pub fn len(&self) -> usize {
         self.changes.len()
     }
@@ -80,6 +96,12 @@ impl Trace {
     }
 
     /// Renders the trace as VCD text.
+    ///
+    /// Changes are sorted by timestamp (stably, so same-time changes
+    /// keep insertion order), then per-signal consecutive duplicates —
+    /// including those only adjacent after sorting out-of-order
+    /// insertions — are dropped. An empty trace renders a valid header
+    /// with declarations only.
     pub fn write_vcd(&self) -> String {
         let mut out = String::new();
         out.push_str("$timescale 1ps $end\n");
@@ -91,9 +113,14 @@ impl Trace {
         out.push_str("$upscope $end\n$enddefinitions $end\n");
 
         let mut sorted: Vec<_> = self.changes.iter().collect();
-        sorted.sort_by_key(|(t, s, _)| (*t, s.0));
+        sorted.sort_by_key(|(t, _, _)| *t);
+        let mut rendered: HashMap<SignalId, u64> = HashMap::new();
         let mut last_time = None;
         for (t, sig, val) in sorted {
+            if rendered.get(sig) == Some(val) {
+                continue;
+            }
+            rendered.insert(*sig, *val);
             if last_time != Some(*t) {
                 let _ = writeln!(out, "#{}", t.as_ps());
                 last_time = Some(*t);
@@ -161,6 +188,97 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), codes.len());
+    }
+
+    /// An empty trace (even with declarations) renders a well-formed
+    /// header and nothing else — pinned byte-for-byte.
+    #[test]
+    fn empty_trace_renders_valid_header() {
+        let t = Trace::new();
+        assert!(t.is_empty());
+        assert_eq!(
+            t.write_vcd(),
+            "$timescale 1ps $end\n\
+             $scope module craftflow $end\n\
+             $upscope $end\n$enddefinitions $end\n"
+        );
+
+        let mut t = Trace::new();
+        let _ = t.declare("lonely", 4);
+        assert_eq!(
+            t.write_vcd(),
+            "$timescale 1ps $end\n\
+             $scope module craftflow $end\n\
+             $var wire 4 ! lonely $end\n\
+             $upscope $end\n$enddefinitions $end\n"
+        );
+    }
+
+    /// Beyond 94 signals the id codes go multi-character; declarations
+    /// and change records must agree on the code.
+    #[test]
+    fn more_than_94_signals_use_multichar_codes() {
+        let mut t = Trace::new();
+        let sigs: Vec<SignalId> = (0..100).map(|i| t.declare(format!("s{i}"), 1)).collect();
+        for (i, &s) in sigs.iter().enumerate() {
+            t.change(Picoseconds(0), s, (i % 2) as u64);
+        }
+        let vcd = t.write_vcd();
+        // Signal 94 wraps to the two-char code "!\"" ('!' then '"').
+        assert_eq!(vcd_code(94), "!\"");
+        assert!(vcd.contains("$var wire 1 !\" s94 $end"));
+        assert!(vcd.contains("0!\"\n"), "change record uses the same code");
+        // Signal 99 -> code "&\"".
+        assert!(vcd.contains("$var wire 1 &\" s99 $end"));
+        assert!(vcd.contains("1&\"\n"));
+    }
+
+    /// Out-of-order insertions are sorted into timestamp order, and
+    /// duplicates that only become adjacent after sorting are dropped.
+    #[test]
+    fn out_of_order_changes_sort_and_dedup_correctly() {
+        let mut t = Trace::new();
+        let s = t.declare("sig", 1);
+        t.change(Picoseconds(20), s, 1);
+        // Earlier time, same value: must render at #10 and make the
+        // #20 record redundant (the seed dropped this change instead).
+        t.change(Picoseconds(10), s, 1);
+        t.change(Picoseconds(30), s, 0);
+        let vcd = t.write_vcd();
+        assert_eq!(
+            vcd.lines().skip(5).collect::<Vec<_>>(),
+            vec!["#10", "1!", "#30", "0!"],
+            "value rises at 10 (not 20), falls at 30"
+        );
+
+        // Distinct values out of order all render, in time order.
+        let mut t = Trace::new();
+        let s = t.declare("sig", 8);
+        t.change(Picoseconds(300), s, 3);
+        t.change(Picoseconds(100), s, 1);
+        t.change(Picoseconds(200), s, 2);
+        let vcd = t.write_vcd();
+        assert_eq!(
+            vcd.lines().skip(5).collect::<Vec<_>>(),
+            vec!["#100", "b1 !", "#200", "b10 !", "#300", "b11 !"]
+        );
+    }
+
+    /// Same-time changes on different signals keep insertion order.
+    #[test]
+    fn same_time_changes_keep_insertion_order() {
+        let mut t = Trace::new();
+        let a = t.declare("a", 1);
+        let b = t.declare("b", 1);
+        t.change(Picoseconds(0), b, 1);
+        t.change(Picoseconds(0), a, 1);
+        let vcd = t.write_vcd();
+        let tail: Vec<_> = vcd.lines().skip(6).collect();
+        assert_eq!(
+            tail,
+            vec!["#0", "1\"", "1!"],
+            "b declared second, recorded first"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@ use craft_connections::{In, Out};
 use craft_matchlib::axi::{AxiAddrCmd, AxiReadBeat, AxiSlavePorts, AxiWriteResp};
 use craft_matchlib::router::NocFlit;
 use craft_matchlib::Scratchpad;
-use craft_sim::{ActivityToken, Component, TickCtx};
+use craft_sim::{ActivityToken, Component, Telemetry, TickCtx};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -194,6 +194,12 @@ pub struct Hub {
     /// Compiled per-cycle signal plan (RtlCompiled mode only).
     signal_plan: Option<SignalPlan>,
     cycle: u64,
+    /// Span recorder for command lifetimes (dispatch → retire).
+    /// `None` keeps the hot path branch-free beyond one check.
+    telemetry: Option<Telemetry>,
+    /// Open command span per mesh node, correlated from dispatch to
+    /// the Done (or timeout) that closes it.
+    cmd_spans: Vec<Option<u64>>,
 }
 
 impl Hub {
@@ -221,7 +227,17 @@ impl Hub {
             signal_plan: (fidelity == Fidelity::RtlCompiled)
                 .then(|| SignalPlan::from_gate_count(HUB_RTL_GATES)),
             cycle: 0,
+            telemetry: None,
+            cmd_spans: vec![None; N_NODES as usize],
         }
+    }
+
+    /// Attaches a telemetry handle: every dispatched command opens a
+    /// cycle-stamped span (`cmd.pe{n}`) that its Done retires (or a
+    /// timeout failure closes). Observation-only — attaching never
+    /// changes hub behaviour, traffic, or cycle counts.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.telemetry = Some(tel);
     }
 
     /// The hub's compiled signal plan, if running in
@@ -339,6 +355,9 @@ impl Component for Hub {
                         st.inflight[n] = None;
                         st.doorbell.push_front((n as u16, cmd));
                         st.activity.set();
+                        if let (Some(tel), Some(id)) = (&self.telemetry, self.cmd_spans[n].take()) {
+                            tel.span_end(id, "timeout_failed", self.cycle);
+                        }
                     }
                 }
             }
@@ -366,12 +385,19 @@ impl Component for Hub {
                             st.remapped += 1;
                         }
                         st.inflight[t as usize] = Some((cmd, self.cycle));
-                        (t, cmd)
+                        (t, cmd, t != pe)
                     }
                     None => break,
                 }
             };
-            let (pe, cmd) = dispatch;
+            let (pe, cmd, remapped) = dispatch;
+            if let Some(tel) = &self.telemetry {
+                let id = tel.span_begin(format!("cmd.pe{pe}"), self.cycle);
+                if remapped {
+                    tel.span_point(id, "remapped", self.cycle);
+                }
+                self.cmd_spans[pe as usize] = Some(id);
+            }
             for flit in NocMsg::PeCmd(cmd).to_packet(pe, self.node, 0) {
                 self.outbox.push_back(flit);
             }
@@ -454,11 +480,19 @@ impl Hub {
                 // A Done from a PE already declared failed is a late
                 // straggler: its command was remapped and the new
                 // owner's Done is the one that counts.
-                if !st.failed[*pe as usize] {
+                let retired = !st.failed[*pe as usize];
+                if retired {
                     st.done_count += 1;
                     st.inflight[*pe as usize] = None;
                 }
                 drop(st);
+                if retired {
+                    if let Some(tel) = &self.telemetry {
+                        if let Some(id) = self.cmd_spans[*pe as usize].take() {
+                            tel.span_end(id, "retire", self.cycle);
+                        }
+                    }
+                }
                 self.jobs.pop_front();
             }
         }

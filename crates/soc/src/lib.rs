@@ -46,5 +46,8 @@ pub mod workloads;
 pub use msg::{NocMsg, PeCommand, PeOp, HUB_NODE, N_PES};
 pub use pe::{Fidelity, PeConfig, PeStats, ProcessingElement};
 pub use rtlplan::{DpEval, DpOp, EvalPlan, PlanCache, PlanStats, SignalPlan};
-pub use soc::{ClockingMode, RouterKind, RunResult, Soc, SocConfig};
+pub use soc::{
+    ClockingMode, ConfigError, FaultPatternError, FaultReport, HubReport, NocReport, PeReport,
+    RouterKind, RunResult, Soc, SocConfig, SocConfigBuilder, SocReport,
+};
 pub use workloads::{run_workload, six_soc_tests, Workload};

@@ -26,7 +26,7 @@ use craft_connections::{In, Out};
 use craft_matchlib::router::NocFlit;
 use craft_matchlib::{ArbitratedScratchpad, SpRequest, SpResponse};
 use craft_sim::cover::Coverage;
-use craft_sim::{Component, TickCtx};
+use craft_sim::{Component, Telemetry, TickCtx};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -160,6 +160,13 @@ pub struct ProcessingElement {
     signal_plan: SignalPlan,
     stats: Rc<RefCell<PeStats>>,
     coverage: Coverage,
+    /// Optional telemetry sink; when attached, each command's
+    /// lifetime (accept -> compute -> done) is recorded as a span.
+    telemetry: Option<Telemetry>,
+    /// Open span for the in-flight command, if any.
+    cur_span: Option<u64>,
+    /// Local-clock cycle captured at tick start (for span stamping).
+    cycle: u64,
 }
 
 impl ProcessingElement {
@@ -206,7 +213,18 @@ impl ProcessingElement {
             }),
             stats: Rc::new(RefCell::new(PeStats::default())),
             coverage: Coverage::new(),
+            telemetry: None,
+            cur_span: None,
+            cycle: 0,
         }
+    }
+
+    /// Attaches a telemetry sink; command lifetimes are then traced as
+    /// spans (`pe<n>.exec`: begin on command accept, a `compute` point
+    /// when operands land, end when `Done` is sent). Observation-only:
+    /// attaching telemetry never changes simulated behavior.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.telemetry = Some(tel);
     }
 
     /// Re-draws the compiled datapath plans from a shared cache (and
@@ -416,7 +434,8 @@ impl Component for ProcessingElement {
         ))
     }
 
-    fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+    fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+        self.cycle = ctx.cycle();
         // RTL simulators evaluate every signal every cycle — the
         // interpreted mode by walking the packed state word by word,
         // the compiled mode as one pass over its lowered plan. Both
@@ -497,6 +516,10 @@ impl ProcessingElement {
         self.state = match (state, msg) {
             (PeState::Idle, NocMsg::PeCmd(cmd)) => {
                 self.coverage.hit(format!("pe.op.{:?}", cmd.op));
+                self.cur_span = self
+                    .telemetry
+                    .as_ref()
+                    .map(|tel| tel.span_begin(format!("pe{}.exec", self.node), self.cycle));
                 let need_a = Self::a_words(&cmd);
                 let need_b = Self::b_words(&cmd);
                 assert!(need_a <= B_OFF - A_OFF, "operand A too large");
@@ -566,6 +589,9 @@ impl ProcessingElement {
             } => {
                 // All words received AND landed in the scratchpad.
                 if got == need_a + need_b && self.pending_writes.is_empty() {
+                    if let (Some(id), Some(tel)) = (self.cur_span, self.telemetry.as_ref()) {
+                        tel.span_point(id, "compute", self.cycle);
+                    }
                     let drain = if self.cfg.fidelity.is_rtl() {
                         self.cfg.pipeline_depth
                     } else {
@@ -675,6 +701,11 @@ impl ProcessingElement {
                         done_sent = true;
                         let node = self.node;
                         self.send_msg(&NocMsg::Done { pe: node });
+                        if let Some(id) = self.cur_span.take() {
+                            if let Some(tel) = &self.telemetry {
+                                tel.span_end(id, "done", self.cycle);
+                            }
+                        }
                     }
                     PeState::WriteBack {
                         cmd,

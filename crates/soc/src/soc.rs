@@ -16,8 +16,12 @@ use craft_matchlib::axi::{
 };
 use craft_matchlib::router::{port, xy_route, NocFlit, SfRouter, WhvcConfig, WhvcRouter};
 use craft_riscv::FlatMemory;
-use craft_sim::{ActivityToken, ClockId, ClockSpec, Picoseconds, SimError, Simulator};
+use craft_sim::{
+    ActivityToken, ClockId, ClockSpec, Picoseconds, SimError, Simulator, Telemetry,
+    TelemetrySnapshot,
+};
 use std::cell::{Cell, RefCell};
+use std::fmt;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
@@ -56,7 +60,7 @@ pub enum ClockingMode {
         spread_ppm: u32,
     },
     /// GALS with supply-noise-adaptive local clock generators on every
-    /// PE node (paper §3.1 cite [7]): each node's ring oscillator
+    /// PE node (paper §3.1 cite \[7\]): each node's ring oscillator
     /// stretches its period as its local supply droops. Timing varies
     /// cycle to cycle; function is preserved by the LI design.
     GalsAdaptive {
@@ -66,7 +70,7 @@ pub enum ClockingMode {
 }
 
 /// SoC build parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SocConfig {
     /// Datapath/simulation fidelity (the Fig. 6 axis).
     pub fidelity: Fidelity,
@@ -114,6 +118,183 @@ impl Default for SocConfig {
     }
 }
 
+/// Why a [`SocConfig`] failed validation (see [`SocConfig::builder`]).
+///
+/// Every variant names the offending field and, where meaningful, the
+/// limit — these render as actionable messages instead of the free-text
+/// asserts the build path used before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `gmem_words` exceeds the 12-bit `PeCommand` address fields.
+    GmemTooLarge {
+        /// Requested global-memory size in words.
+        words: usize,
+        /// Largest size the command encoding can address.
+        max: usize,
+    },
+    /// Zero vector lanes: the datapath could never retire a work unit.
+    ZeroLanes,
+    /// Zero-depth router links cannot carry flits.
+    ZeroLinkDepth,
+    /// A zero clock period is not schedulable.
+    ZeroPeriod,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::GmemTooLarge { words, max } => write!(
+                f,
+                "gmem_words = {words} exceeds the {max}-word 12-bit PeCommand address space"
+            ),
+            ConfigError::ZeroLanes => write!(f, "lanes must be at least 1"),
+            ConfigError::ZeroLinkDepth => write!(f, "link_depth must be at least 1"),
+            ConfigError::ZeroPeriod => write!(f, "period must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl SocConfig {
+    /// Starts a chained builder seeded with [`SocConfig::default`].
+    /// Unlike struct-literal construction, [`SocConfigBuilder::build`]
+    /// validates and returns a typed [`ConfigError`] instead of letting
+    /// a bad value panic deep inside [`Soc::build`].
+    pub fn builder() -> SocConfigBuilder {
+        SocConfigBuilder {
+            cfg: SocConfig::default(),
+        }
+    }
+
+    /// Checks this configuration against the invariants [`Soc::build`]
+    /// relies on. Builder-produced configs are always valid; literal
+    /// ones can use this before committing to a build.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.gmem_words > 4096 {
+            return Err(ConfigError::GmemTooLarge {
+                words: self.gmem_words,
+                max: 4096,
+            });
+        }
+        if self.lanes == 0 {
+            return Err(ConfigError::ZeroLanes);
+        }
+        if self.link_depth == 0 {
+            return Err(ConfigError::ZeroLinkDepth);
+        }
+        if self.period.as_ps() == 0 {
+            return Err(ConfigError::ZeroPeriod);
+        }
+        Ok(())
+    }
+}
+
+/// Chained builder for [`SocConfig`] with validated construction.
+///
+/// ```
+/// use craft_soc::soc::SocConfig;
+/// let cfg = SocConfig::builder().lanes(8).gmem_words(2048).build().unwrap();
+/// assert_eq!(cfg.lanes, 8);
+/// assert!(SocConfig::builder().lanes(0).build().is_err());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SocConfigBuilder {
+    cfg: SocConfig,
+}
+
+impl SocConfigBuilder {
+    /// Sets the datapath/simulation fidelity.
+    pub fn fidelity(mut self, v: Fidelity) -> Self {
+        self.cfg.fidelity = v;
+        self
+    }
+
+    /// Sets the clocking scheme.
+    pub fn clocking(mut self, v: ClockingMode) -> Self {
+        self.cfg.clocking = v;
+        self
+    }
+
+    /// Sets the nominal clock period.
+    pub fn period(mut self, v: Picoseconds) -> Self {
+        self.cfg.period = v;
+        self
+    }
+
+    /// Sets the PE vector lane count.
+    pub fn lanes(mut self, v: usize) -> Self {
+        self.cfg.lanes = v;
+        self
+    }
+
+    /// Sets the global-memory size in words.
+    pub fn gmem_words(mut self, v: usize) -> Self {
+        self.cfg.gmem_words = v;
+        self
+    }
+
+    /// Sets the staging (controller table) memory size in words.
+    pub fn staging_words(mut self, v: usize) -> Self {
+        self.cfg.staging_words = v;
+        self
+    }
+
+    /// Sets the router link channel depth.
+    pub fn link_depth(mut self, v: usize) -> Self {
+        self.cfg.link_depth = v;
+        self
+    }
+
+    /// Sets the NoC router microarchitecture.
+    pub fn router(mut self, v: RouterKind) -> Self {
+        self.cfg.router = v;
+        self
+    }
+
+    /// Enables or disables quiescence gating.
+    pub fn gating(mut self, v: bool) -> Self {
+        self.cfg.gating = v;
+        self
+    }
+
+    /// Arms hub-side PE failure detection with the given timeout.
+    pub fn pe_timeout(mut self, v: Option<u64>) -> Self {
+        self.cfg.pe_timeout = v;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<SocConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// A fault-injection pattern that matched no NoC channel — almost
+/// always a typo in the channel name, which the old `usize` return let
+/// campaigns silently ignore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultPatternError {
+    /// No NoC channel name contains the pattern.
+    NoMatch {
+        /// The pattern as given.
+        pattern: String,
+    },
+}
+
+impl fmt::Display for FaultPatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPatternError::NoMatch { pattern } => {
+                write!(f, "fault pattern {pattern:?} matched no NoC channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPatternError {}
+
 /// Result of one SoC run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunResult {
@@ -125,6 +306,175 @@ pub struct RunResult {
     pub ctrl: CtrlStatus,
     /// Whether the controller actually halted (false = timeout).
     pub completed: bool,
+}
+
+/// Hub-side view of one run: command flow and memory/NoC traffic as
+/// the hub observed them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HubReport {
+    /// Commands dispatched to PEs (the old `hub_counters().0`).
+    pub dispatched: u64,
+    /// Commands acknowledged as done (the old `hub_counters().1`).
+    pub retired: u64,
+    /// Commands remapped away from failed PEs (graceful degradation).
+    pub remapped: u64,
+    /// PE nodes declared failed by the timeout detector.
+    pub failed_pes: Vec<u16>,
+    /// Global-memory read/write operations served.
+    pub gmem_ops: u64,
+    /// NoC flits that crossed the hub's local port.
+    pub noc_flits: u64,
+    /// Memory-service jobs completed (the latency histogram's total).
+    pub jobs: u64,
+    /// Median service latency upper bound, in hub cycles.
+    pub latency_p50: u64,
+    /// 99th-percentile service latency upper bound, in hub cycles.
+    pub latency_p99: u64,
+}
+
+/// Per-PE execution statistics, tagged with the mesh node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeReport {
+    /// Mesh node index of this PE.
+    pub node: u16,
+    /// Commands completed.
+    pub commands: u64,
+    /// Cycles spent not idle.
+    pub busy_cycles: u64,
+    /// Datapath work units executed.
+    pub work_units: u64,
+    /// Gate equivalents charged to the RTL cost ledger.
+    pub gates_charged: u64,
+}
+
+/// NoC transport statistics aggregated over every flit channel (mesh
+/// links, GALS crossings and endpoint ports; stubs excluded).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NocReport {
+    /// Flit channels in the registry.
+    pub channels: usize,
+    /// Successful flit transfers (counted at pop).
+    pub transfers: u64,
+    /// Failed pushes (producer saw backpressure).
+    pub backpressure: u64,
+    /// Failed pops (consumer found the channel empty or stalled).
+    pub pop_empty: u64,
+    /// Cycles spent under an injected stall.
+    pub stall_cycles: u64,
+}
+
+/// Fault-injection summary across the NoC channel registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Channels with an injector armed.
+    pub armed_channels: usize,
+    /// Aggregated injector counters over all armed channels.
+    pub stats: FaultStats,
+}
+
+/// Typed report of everything observable about a SoC run — the one
+/// structured answer that replaces the old grab-bag of tuple-returning
+/// accessors ([`Soc::hub_counters`], [`Soc::degradation`], ...).
+///
+/// The shapes are plain nested data (serde-ready); [`SocReport::to_json`]
+/// renders them without a serde dependency.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SocReport {
+    /// Hub command flow and traffic counters.
+    pub hub: HubReport,
+    /// Per-PE execution statistics, one entry per PE node.
+    pub pes: Vec<PeReport>,
+    /// Aggregated NoC channel statistics.
+    pub noc: NocReport,
+    /// Fault-injection summary (zeroed when no injector is armed).
+    pub faults: FaultReport,
+    /// Compile-plan lowering statistics ([`Fidelity::RtlCompiled`] only).
+    pub plan: Option<PlanStats>,
+    /// Total gate equivalents charged across PEs, hub and routers.
+    pub charged_gates: u64,
+    /// Total PE datapath work units executed.
+    pub total_work_units: u64,
+}
+
+impl SocReport {
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        s.push_str("{\n");
+        let h = &self.hub;
+        let _ = writeln!(
+            s,
+            "  \"hub\": {{\"dispatched\": {}, \"retired\": {}, \"remapped\": {}, \
+             \"failed_pes\": [{}], \"gmem_ops\": {}, \"noc_flits\": {}, \"jobs\": {}, \
+             \"latency_p50\": {}, \"latency_p99\": {}}},",
+            h.dispatched,
+            h.retired,
+            h.remapped,
+            h.failed_pes
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            h.gmem_ops,
+            h.noc_flits,
+            h.jobs,
+            h.latency_p50,
+            h.latency_p99
+        );
+        s.push_str("  \"pes\": [\n");
+        for (i, p) in self.pes.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"node\": {}, \"commands\": {}, \"busy_cycles\": {}, \
+                 \"work_units\": {}, \"gates_charged\": {}}}{}",
+                p.node,
+                p.commands,
+                p.busy_cycles,
+                p.work_units,
+                p.gates_charged,
+                if i + 1 == self.pes.len() { "" } else { "," }
+            );
+        }
+        s.push_str("  ],\n");
+        let n = &self.noc;
+        let _ = writeln!(
+            s,
+            "  \"noc\": {{\"channels\": {}, \"transfers\": {}, \"backpressure\": {}, \
+             \"pop_empty\": {}, \"stall_cycles\": {}}},",
+            n.channels, n.transfers, n.backpressure, n.pop_empty, n.stall_cycles
+        );
+        let f = &self.faults;
+        let _ = writeln!(
+            s,
+            "  \"faults\": {{\"armed_channels\": {}, \"tokens\": {}, \"flips\": {}, \
+             \"drops\": {}, \"dups\": {}}},",
+            f.armed_channels, f.stats.tokens, f.stats.flips, f.stats.drops, f.stats.dups
+        );
+        match &self.plan {
+            Some(p) => {
+                let _ = writeln!(
+                    s,
+                    "  \"plan\": {{\"ops_lowered\": {}, \"cache_hits\": {}, \
+                     \"word_steps\": {}, \"max_levels\": {}, \"signal_plans\": {}, \
+                     \"signal_word_ops\": {}}},",
+                    p.ops_lowered,
+                    p.cache_hits,
+                    p.word_steps,
+                    p.max_levels,
+                    p.signal_plans,
+                    p.signal_word_ops
+                );
+            }
+            None => s.push_str("  \"plan\": null,\n"),
+        }
+        let _ = write!(
+            s,
+            "  \"charged_gates\": {},\n  \"total_work_units\": {}\n}}\n",
+            self.charged_gates, self.total_work_units
+        );
+        s
+    }
 }
 
 /// RTL-mode per-router signal-evaluation load (no architectural
@@ -160,11 +510,12 @@ pub struct Soc {
     hub_clock: ClockId,
     hub: HubHandle,
     ctrl: CtrlHandle,
-    pe_stats: Vec<Rc<RefCell<crate::pe::PeStats>>>,
+    pe_stats: Vec<(u16, Rc<RefCell<crate::pe::PeStats>>)>,
     coverage: craft_sim::cover::Coverage,
     plan_cache: Option<PlanCacheHandle>,
     router_charged: Vec<Rc<Cell<u64>>>,
     noc_channels: Vec<(String, ChannelHandle<NocFlit>)>,
+    telemetry: Option<Telemetry>,
 }
 
 impl Soc {
@@ -173,18 +524,46 @@ impl Soc {
     /// into global memory.
     ///
     /// # Panics
-    /// Panics if `cfg.gmem_words` exceeds the 12-bit command address
-    /// space or any init region is out of range.
+    /// Panics if `cfg` fails [`SocConfig::validate`] or any init region
+    /// is out of range. Use [`SocConfig::builder`] to catch bad configs
+    /// as typed errors instead.
     pub fn build(
         cfg: SocConfig,
         program: &[u32],
         staging_init: &[u32],
         gmem_init: &[(usize, Vec<u64>)],
     ) -> Soc {
-        assert!(
-            cfg.gmem_words <= 4096,
-            "gmem must fit 12-bit PeCommand fields"
-        );
+        Self::build_with_telemetry(cfg, program, staging_init, gmem_init, None)
+    }
+
+    /// Like [`Soc::build`], but publishes every observable into `tel`
+    /// when one is given: hub and plan-cache counters and per-PE stats
+    /// as lazily polled probes (`soc.hub.*`, `soc.plan.*`,
+    /// `soc.pe<n>.*`), every NoC channel's statistics under
+    /// `noc.<channel>`, and command-lifetime spans from the hub
+    /// (`cmd.pe<n>`: dispatch → retire/timeout, with a `remapped`
+    /// point) and the PEs (`pe<n>.exec`: accept → compute → done). When
+    /// the sink has profiling enabled ([`Telemetry::set_profiling`])
+    /// the kernel's per-component tick-time profiler is armed too.
+    ///
+    /// Telemetry is observation-only: results, cycle counts and charged
+    /// gates are bit-identical with and without a sink (asserted by the
+    /// `telemetry_tests`), and probes are evaluated only at snapshot
+    /// time, so an attached-but-unread sink costs nothing per cycle.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails [`SocConfig::validate`] or any init region
+    /// is out of range.
+    pub fn build_with_telemetry(
+        cfg: SocConfig,
+        program: &[u32],
+        staging_init: &[u32],
+        gmem_init: &[(usize, Vec<u64>)],
+        telemetry: Option<Telemetry>,
+    ) -> Soc {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SocConfig: {e}");
+        }
         let mut sim = Simulator::new();
         sim.set_gating(cfg.gating);
 
@@ -446,7 +825,10 @@ impl Soc {
             if let Some(cache) = &plan_cache {
                 pe.set_plan_cache(cache);
             }
-            pe_stats.push(pe.stats_handle());
+            if let Some(tel) = &telemetry {
+                pe.set_telemetry(tel.clone());
+            }
+            pe_stats.push((n, pe.stats_handle()));
             let id = sim.add_component(node_clock[n as usize], pe);
             sim.set_wake_token(id, wake);
         }
@@ -468,13 +850,16 @@ impl Soc {
         // Doorbell commits bypass the NoC channels; alias the hub's
         // wake token into the shared state so ctrl writes rouse it.
         hub_state.borrow_mut().activity = hub_wake.clone();
-        let hub = Hub::new(
+        let mut hub = Hub::new(
             HUB_NODE,
             hub_in,
             hub_out,
             Rc::clone(&hub_state),
             cfg.fidelity,
         );
+        if let Some(tel) = &telemetry {
+            hub.set_telemetry(tel.clone());
+        }
         if let (Some(cache), Some(plan)) = (&plan_cache, hub.signal_plan()) {
             cache.borrow_mut().register_signal_plan(plan);
         }
@@ -539,6 +924,64 @@ impl Soc {
             Controller::new("riscv", ram, axi_handle, Rc::clone(&ctrl)),
         );
 
+        // --- Telemetry publication ---
+        // All registry wiring happens here, once, after assembly:
+        // probes close over the same shared handles the accessors read,
+        // so a snapshot any cycle agrees with `Soc::report`.
+        if let Some(tel) = &telemetry {
+            macro_rules! hub_probe {
+                ($name:literal, $st:ident, $read:expr) => {{
+                    let h = Rc::clone(&hub_state);
+                    tel.probe(concat!("soc.hub.", $name), move || {
+                        let $st = h.borrow();
+                        $read
+                    });
+                }};
+            }
+            hub_probe!("dispatched", st, st.issued);
+            hub_probe!("retired", st, st.done_count);
+            hub_probe!("remapped", st, st.remapped);
+            hub_probe!("failed_pes", st, st.failed_pes().len() as u64);
+            hub_probe!("gmem_ops", st, st.gmem_ops);
+            hub_probe!("noc_flits", st, st.noc_flits);
+            hub_probe!("jobs", st, st.service_latency.total());
+            hub_probe!(
+                "latency_p99",
+                st,
+                st.service_latency.quantile_upper_bound(0.99)
+            );
+            for (n, stats) in &pe_stats {
+                macro_rules! pe_probe {
+                    ($name:literal, $field:ident) => {{
+                        let s = Rc::clone(stats);
+                        tel.probe(format!("soc.pe{n}.{}", $name), move || s.borrow().$field);
+                    }};
+                }
+                pe_probe!("commands", commands);
+                pe_probe!("busy_cycles", busy_cycles);
+                pe_probe!("work_units", work_units);
+                pe_probe!("gates_charged", gates_charged);
+            }
+            for (name, h) in &noc_channels {
+                h.publish_telemetry(tel, &format!("noc.{name}"));
+            }
+            if let Some(cache) = &plan_cache {
+                macro_rules! plan_probe {
+                    ($name:literal, $field:ident) => {{
+                        let c = Rc::clone(cache);
+                        tel.probe(concat!("soc.plan.", $name), move || {
+                            c.borrow().stats().$field
+                        });
+                    }};
+                }
+                plan_probe!("ops_lowered", ops_lowered);
+                plan_probe!("cache_hits", cache_hits);
+                plan_probe!("signal_plans", signal_plans);
+                plan_probe!("signal_word_ops", signal_word_ops);
+            }
+            sim.set_tick_profiling(tel.profiling());
+        }
+
         Soc {
             sim,
             hub_clock,
@@ -549,6 +992,7 @@ impl Soc {
             plan_cache,
             router_charged,
             noc_channels,
+            telemetry,
         }
     }
 
@@ -557,8 +1001,15 @@ impl Soc {
     /// `g{a}p{pa}.tx`/`.rx`, endpoint ports `n{n}.eject`/`n{n}.inject`)
     /// without touching any component. Each matched channel gets an
     /// independent injector derived from `seed`. Returns how many
-    /// channels matched.
-    pub fn inject_fault(&self, pat: &str, cfg: FaultConfig, seed: u64) -> usize {
+    /// channels matched, or [`FaultPatternError::NoMatch`] when the
+    /// pattern names nothing — a typo'd pattern used to come back as a
+    /// silently ignorable `0`.
+    pub fn inject_fault(
+        &self,
+        pat: &str,
+        cfg: FaultConfig,
+        seed: u64,
+    ) -> Result<usize, FaultPatternError> {
         let mut matched = 0;
         for (i, (name, h)) in self.noc_channels.iter().enumerate() {
             if name.contains(pat) {
@@ -566,35 +1017,120 @@ impl Soc {
                 matched += 1;
             }
         }
-        matched
+        if matched == 0 {
+            return Err(FaultPatternError::NoMatch {
+                pattern: pat.to_string(),
+            });
+        }
+        Ok(matched)
     }
 
     /// Aggregated fault-injection counters over every NoC channel
-    /// whose name contains `pat` (zeroes when nothing matched or no
-    /// fault was injected).
-    pub fn fault_stats(&self, pat: &str) -> FaultStats {
+    /// whose name contains `pat` (zeroes when the matched channels have
+    /// no injector armed), or [`FaultPatternError::NoMatch`] when the
+    /// pattern names no channel at all.
+    pub fn fault_stats(&self, pat: &str) -> Result<FaultStats, FaultPatternError> {
         let mut total = FaultStats::default();
+        let mut matched = 0;
         for (name, h) in &self.noc_channels {
             if !name.contains(pat) {
                 continue;
             }
+            matched += 1;
             let Some(s) = h.fault_stats() else { continue };
-            total.tokens += s.tokens;
-            total.flips += s.flips;
-            total.drops += s.drops;
-            total.dups += s.dups;
-            total.dups_suppressed += s.dups_suppressed;
-            total.stuck_valid_cycles += s.stuck_valid_cycles;
-            total.stuck_ready_cycles += s.stuck_ready_cycles;
+            merge_fault_stats(&mut total, &s);
         }
-        total
+        if matched == 0 {
+            return Err(FaultPatternError::NoMatch {
+                pattern: pat.to_string(),
+            });
+        }
+        Ok(total)
     }
 
     /// The hub's graceful-degradation counters:
     /// `(failed PE nodes, commands remapped)`.
+    #[deprecated(note = "use `Soc::report().hub` (failed_pes / remapped) instead")]
     pub fn degradation(&self) -> (Vec<u16>, u64) {
         let st = self.hub.borrow();
         (st.failed_pes(), st.remapped)
+    }
+
+    /// Builds the typed run report: hub command flow, per-PE stats,
+    /// aggregated NoC and fault counters, plan statistics and the
+    /// charged-gate / work-unit totals — one structured snapshot
+    /// replacing the deprecated tuple accessors. Cheap enough to call
+    /// mid-run; every field reads the same shared state the simulation
+    /// writes, so a report taken after [`Soc::run`] is final.
+    pub fn report(&self) -> SocReport {
+        let hub = {
+            let st = self.hub.borrow();
+            HubReport {
+                dispatched: st.issued,
+                retired: st.done_count,
+                remapped: st.remapped,
+                failed_pes: st.failed_pes(),
+                gmem_ops: st.gmem_ops,
+                noc_flits: st.noc_flits,
+                jobs: st.service_latency.total(),
+                latency_p50: st.service_latency.quantile_upper_bound(0.50),
+                latency_p99: st.service_latency.quantile_upper_bound(0.99),
+            }
+        };
+        let pes = self
+            .pe_stats
+            .iter()
+            .map(|(node, s)| {
+                let s = s.borrow();
+                PeReport {
+                    node: *node,
+                    commands: s.commands,
+                    busy_cycles: s.busy_cycles,
+                    work_units: s.work_units,
+                    gates_charged: s.gates_charged,
+                }
+            })
+            .collect();
+        let mut noc = NocReport {
+            channels: self.noc_channels.len(),
+            ..NocReport::default()
+        };
+        let mut faults = FaultReport::default();
+        for (_, h) in &self.noc_channels {
+            let s = h.stats();
+            noc.transfers += s.transfers;
+            noc.backpressure += s.push_backpressure;
+            noc.pop_empty += s.pop_empty;
+            noc.stall_cycles += s.stall_cycles;
+            if let Some(f) = h.fault_stats() {
+                faults.armed_channels += 1;
+                merge_fault_stats(&mut faults.stats, &f);
+            }
+        }
+        SocReport {
+            hub,
+            pes,
+            noc,
+            faults,
+            plan: self.plan_stats(),
+            charged_gates: self.charged_gates(),
+            total_work_units: self.total_work_units(),
+        }
+    }
+
+    /// The telemetry sink this SoC publishes into, when built with one
+    /// (see [`Soc::build_with_telemetry`]).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Snapshots the telemetry registry at the current hub cycle,
+    /// including the kernel's per-component tick-time profile when
+    /// profiling is armed. `None` when built without a sink.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.telemetry.as_ref().map(|tel| {
+            tel.snapshot_with_profile(self.sim.cycles(self.hub_clock), self.sim.tick_profile())
+        })
     }
 
     /// Compile-plan lowering statistics (operator plans lowered, cache
@@ -610,7 +1146,11 @@ impl Soc {
     /// [`Fidelity::RtlCompiled`] for the same run (the compiled path's
     /// accounting contract).
     pub fn charged_gates(&self) -> u64 {
-        let pes: u64 = self.pe_stats.iter().map(|s| s.borrow().gates_charged).sum();
+        let pes: u64 = self
+            .pe_stats
+            .iter()
+            .map(|(_, s)| s.borrow().gates_charged)
+            .sum();
         let hub = self.hub.borrow().gates_charged;
         let routers: u64 = self.router_charged.iter().map(|c| c.get()).sum();
         pes + hub + routers
@@ -688,6 +1228,7 @@ impl Soc {
     }
 
     /// Hub status: (issued, done) command counters.
+    #[deprecated(note = "use `Soc::report().hub` (dispatched / retired) instead")]
     pub fn hub_counters(&self) -> (u64, u64) {
         let st = self.hub.borrow();
         (st.issued, st.done_count)
@@ -695,7 +1236,10 @@ impl Soc {
 
     /// Sum of PE work units executed (datapath utilization probe).
     pub fn total_work_units(&self) -> u64 {
-        self.pe_stats.iter().map(|s| s.borrow().work_units).sum()
+        self.pe_stats
+            .iter()
+            .map(|(_, s)| s.borrow().work_units)
+            .sum()
     }
 
     /// Workload energy estimate in nJ (the system-level power-analysis
@@ -709,6 +1253,17 @@ impl Soc {
         let noc = craft_tech::noc_hop_energy_fj(lib, 450.0) * st.noc_flits as f64 * 3.0;
         (mac + gmem + noc) / 1e6
     }
+}
+
+/// Accumulates one injector's counters into an aggregate.
+fn merge_fault_stats(total: &mut FaultStats, s: &FaultStats) {
+    total.tokens += s.tokens;
+    total.flips += s.flips;
+    total.drops += s.drops;
+    total.dups += s.dups;
+    total.dups_suppressed += s.dups_suppressed;
+    total.stuck_valid_cycles += s.stuck_valid_cycles;
+    total.stuck_ready_cycles += s.stuck_ready_cycles;
 }
 
 #[cfg(test)]
@@ -794,8 +1349,9 @@ mod tests {
         assert!(r.completed);
         let expect: Vec<u64> = (1..=8).map(|v| v * 3).collect();
         assert_eq!(soc.gmem_read(100, 8), expect);
-        assert_eq!(soc.hub_counters(), (1, 1));
-        assert!(soc.total_work_units() >= 8);
+        let rep = soc.report();
+        assert_eq!((rep.hub.dispatched, rep.hub.retired), (1, 1));
+        assert!(rep.total_work_units >= 8);
     }
 
     #[test]
@@ -846,7 +1402,7 @@ mod gating_tests {
         assert!(ok_off, "{}: ungated run failed verification", wl.name);
         assert_eq!(on.cycles, off.cycles, "{}: cycle counts differ", wl.name);
         assert_eq!(on.ctrl, off.ctrl, "{}: controller status differs", wl.name);
-        assert_eq!(soc_on.hub_counters(), soc_off.hub_counters());
+        assert_eq!(soc_on.report().hub, soc_off.report().hub);
         assert_eq!(soc_on.total_work_units(), soc_off.total_work_units());
         {
             let a = soc_on.hub.borrow();
@@ -936,7 +1492,7 @@ mod rtl_compiled_tests {
         assert!(ok_c, "{}: compiled RTL run failed", wl.name);
         assert_eq!(ri.cycles, rc.cycles, "{}: cycle counts differ", wl.name);
         assert_eq!(ri.ctrl, rc.ctrl, "{}: controller status differs", wl.name);
-        assert_eq!(soc_i.hub_counters(), soc_c.hub_counters());
+        assert_eq!(soc_i.report().hub, soc_c.report().hub);
         assert_eq!(soc_i.total_work_units(), soc_c.total_work_units());
         let (gi, gc) = (soc_i.charged_gates(), soc_c.charged_gates());
         assert!(gi > 0, "{}: interpreted path charged nothing", wl.name);
@@ -1156,7 +1712,8 @@ mod robustness_tests {
         // PE 2 never receives anything: its router-to-PE ejection
         // channel has valid stuck low from cycle 0.
         assert_eq!(
-            soc.inject_fault("n2.eject", FaultConfig::stuck_valid(0), 7),
+            soc.inject_fault("n2.eject", FaultConfig::stuck_valid(0), 7)
+                .expect("channel exists"),
             1
         );
         let r = soc
@@ -1166,9 +1723,13 @@ mod robustness_tests {
         for (base, expect) in &wl.expected {
             assert_eq!(&soc.gmem_read(*base, expect.len()), expect, "results");
         }
-        let (failed, remapped) = soc.degradation();
-        assert_eq!(failed, vec![2], "exactly the faulted PE is declared failed");
-        assert!(remapped >= 1, "its command must be remapped");
+        let hub = soc.report().hub;
+        assert_eq!(
+            hub.failed_pes,
+            vec![2],
+            "exactly the faulted PE is declared failed"
+        );
+        assert!(hub.remapped >= 1, "its command must be remapped");
         // Recovery costs at least the timeout, and the overhead is
         // bounded (one timeout + one re-execution, not a meltdown).
         assert!(r.cycles > 20_000, "{} vs {clean_cycles}", r.cycles);
@@ -1208,7 +1769,11 @@ mod robustness_tests {
             &table_words(&entries),
             &gmem_init,
         );
-        assert_eq!(soc.inject_fault("n5.eject", FaultConfig::drop(1.0), 3), 1);
+        assert_eq!(
+            soc.inject_fault("n5.eject", FaultConfig::drop(1.0), 3)
+                .expect("channel exists"),
+            1
+        );
         let err = soc
             .run_checked(2_000_000, 50_000)
             .expect_err("total flit loss must be detected as a hang");
@@ -1247,5 +1812,211 @@ mod robustness_tests {
             .expect("healthy run must not trip the watchdog");
         assert!(r_plain.completed && r_checked.completed);
         assert_eq!(r_plain.cycles, r_checked.cycles, "taps must be invisible");
+    }
+}
+
+#[cfg(test)]
+mod api_tests {
+    use super::*;
+    use crate::workloads::{orchestrator_program, run_workload_soc, vec_mul};
+
+    #[test]
+    fn builder_validates_configs() {
+        let cfg = SocConfig::builder()
+            .fidelity(Fidelity::SimAccurate)
+            .lanes(8)
+            .gmem_words(2048)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.lanes, 8);
+        assert_eq!(cfg.gmem_words, 2048);
+
+        assert_eq!(
+            SocConfig::builder().gmem_words(5000).build(),
+            Err(ConfigError::GmemTooLarge {
+                words: 5000,
+                max: 4096
+            })
+        );
+        assert_eq!(
+            SocConfig::builder().lanes(0).build(),
+            Err(ConfigError::ZeroLanes)
+        );
+        assert_eq!(
+            SocConfig::builder().link_depth(0).build(),
+            Err(ConfigError::ZeroLinkDepth)
+        );
+        assert_eq!(
+            SocConfig::builder().period(Picoseconds::new(0)).build(),
+            Err(ConfigError::ZeroPeriod)
+        );
+        // Errors render as actionable messages naming the values.
+        let msg = ConfigError::GmemTooLarge {
+            words: 5000,
+            max: 4096,
+        }
+        .to_string();
+        assert!(msg.contains("5000") && msg.contains("4096"), "{msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SocConfig")]
+    fn build_rejects_invalid_config() {
+        let cfg = SocConfig {
+            gmem_words: 1 << 16,
+            ..SocConfig::default()
+        };
+        let _ = Soc::build(cfg, &[], &[], &[]);
+    }
+
+    #[test]
+    fn fault_pattern_mismatch_is_typed() {
+        let soc = Soc::build(SocConfig::default(), &orchestrator_program(), &[], &[]);
+        let err = soc
+            .inject_fault("no.such.channel", FaultConfig::drop(1.0), 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultPatternError::NoMatch {
+                pattern: "no.such.channel".into()
+            }
+        );
+        assert!(err.to_string().contains("no.such.channel"));
+        assert!(soc.fault_stats("no.such.channel").is_err());
+        // A matching pattern with no injector armed reports zeroes.
+        assert_eq!(
+            soc.fault_stats("n5.eject").expect("channel exists"),
+            FaultStats::default()
+        );
+    }
+
+    #[test]
+    fn report_is_consistent_and_json_renders() {
+        let (_, ok, soc) = run_workload_soc(SocConfig::default(), &vec_mul(), 8_000_000);
+        assert!(ok);
+        let rep = soc.report();
+        assert_eq!(
+            rep.hub.dispatched, rep.hub.retired,
+            "every dispatched command retires on a healthy run"
+        );
+        assert!(rep.hub.dispatched >= 4);
+        assert_eq!(rep.pes.len(), 15, "one entry per PE node");
+        let pe_cmds: u64 = rep.pes.iter().map(|p| p.commands).sum();
+        assert_eq!(pe_cmds, rep.hub.retired, "PE and hub command counts agree");
+        assert_eq!(rep.total_work_units, soc.total_work_units());
+        assert_eq!(rep.charged_gates, 0, "sim-accurate charges nothing");
+        assert!(rep.noc.transfers > 0, "flits moved");
+        assert!(rep.hub.jobs >= 20);
+        assert!(rep.hub.latency_p50 <= rep.hub.latency_p99);
+        assert_eq!(rep.faults.armed_channels, 0);
+        assert!(rep.plan.is_none());
+
+        let json = rep.to_json();
+        for key in [
+            "\"hub\"",
+            "\"dispatched\"",
+            "\"pes\"",
+            "\"noc\"",
+            "\"faults\"",
+            "\"plan\": null",
+            "\"charged_gates\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+    }
+
+    /// The deprecated tuple accessors stay callable and agree with the
+    /// typed report (the one sanctioned call site).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_report() {
+        let (_, ok, soc) = run_workload_soc(SocConfig::default(), &vec_mul(), 8_000_000);
+        assert!(ok);
+        let rep = soc.report();
+        assert_eq!(soc.hub_counters(), (rep.hub.dispatched, rep.hub.retired));
+        assert_eq!(
+            soc.degradation(),
+            (rep.hub.failed_pes.clone(), rep.hub.remapped)
+        );
+    }
+}
+
+#[cfg(test)]
+mod telemetry_tests {
+    use super::*;
+    use crate::workloads::{orchestrator_program, table_words, vec_mul};
+
+    fn run_with(tel: Option<Telemetry>) -> (RunResult, Soc) {
+        let wl = vec_mul();
+        let program = orchestrator_program();
+        let table = table_words(&wl.entries);
+        let mut soc =
+            Soc::build_with_telemetry(SocConfig::default(), &program, &table, &wl.gmem_init, tel);
+        let r = soc.run(8_000_000);
+        (r, soc)
+    }
+
+    /// The observation-only contract: a run with a telemetry sink (and
+    /// tick profiling armed) is bit-identical to one without — and the
+    /// instrumented run actually observed something.
+    #[test]
+    fn telemetry_is_observation_only() {
+        let (r_off, soc_off) = run_with(None);
+        let tel = Telemetry::new();
+        tel.set_profiling(true);
+        let (r_on, soc_on) = run_with(Some(tel.clone()));
+        assert!(r_off.completed && r_on.completed);
+        assert_eq!(
+            r_off.cycles, r_on.cycles,
+            "telemetry must not change timing"
+        );
+        assert_eq!(r_off.ctrl, r_on.ctrl);
+        assert_eq!(soc_off.report(), soc_on.report());
+        assert!(soc_off.telemetry_snapshot().is_none());
+
+        assert!(tel.spans_recorded() > 0, "hub/PE spans recorded");
+        let snap = soc_on.telemetry_snapshot().expect("built with telemetry");
+        assert!(snap.metric("soc.hub.dispatched").unwrap() >= 4);
+        assert_eq!(
+            snap.metric("soc.hub.retired"),
+            snap.metric("soc.hub.dispatched")
+        );
+        assert!(snap.metric("soc.pe3.commands").is_some());
+        assert!(
+            snap.metric("noc.n15.eject.transfers").unwrap() > 0,
+            "hub ejection channel carried flits"
+        );
+        assert!(!snap.profile.is_empty(), "tick profiling captured");
+        assert!(snap.spans.iter().any(|e| e.label == "retire"));
+        assert!(snap.spans.iter().any(|e| e.label == "done"));
+        assert!(snap.to_json().contains("\"metrics\""));
+    }
+
+    /// Degradation leaves a span trail: the timed-out command's span
+    /// ends with `timeout_failed` and the re-dispatch carries a
+    /// `remapped` point.
+    #[test]
+    fn spans_capture_timeout_and_remap() {
+        let wl = vec_mul();
+        let program = orchestrator_program();
+        let table = table_words(&wl.entries);
+        let tel = Telemetry::new();
+        let cfg = SocConfig {
+            pe_timeout: Some(20_000),
+            ..SocConfig::default()
+        };
+        let mut soc =
+            Soc::build_with_telemetry(cfg, &program, &table, &wl.gmem_init, Some(tel.clone()));
+        soc.inject_fault("n2.eject", FaultConfig::stuck_valid(0), 7)
+            .expect("channel exists");
+        let r = soc
+            .run_checked(8_000_000, 200_000)
+            .expect("degraded run recovers");
+        assert!(r.completed);
+        let snap = soc.telemetry_snapshot().expect("built with telemetry");
+        assert!(snap.spans.iter().any(|e| e.label == "timeout_failed"));
+        assert!(snap.spans.iter().any(|e| e.label == "remapped"));
+        assert!(snap.metric("noc.n2.eject.faults_injected").is_some());
+        assert_eq!(snap.metric("soc.hub.failed_pes"), Some(1));
     }
 }

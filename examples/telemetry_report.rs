@@ -1,0 +1,83 @@
+//! Observability tour: run a workload on the 16-node SoC with the
+//! telemetry subsystem attached, then read the run three ways —
+//!
+//! 1. the typed [`SocReport`] (hub / per-PE / NoC / fault / plan
+//!    rollup) and its JSON rendering,
+//! 2. a [`TelemetrySnapshot`] of the hierarchical metrics registry
+//!    (`soc.hub.*`, `soc.pe3.*`, `noc.l11p3->15.*` probes),
+//! 3. the command-lifetime spans (hub dispatch → PE execute → retire)
+//!    and the kernel's per-component tick-time profile.
+//!
+//! Run with: `cargo run --example telemetry_report`
+
+use craftflow::sim::Telemetry;
+use craftflow::soc::workloads::{orchestrator_program, table_words, vec_mul};
+use craftflow::soc::{Soc, SocConfig};
+
+fn main() {
+    // Attach a fully enabled sink: metric probes register during
+    // build, spans record as commands move, and the kernel keeps
+    // per-component wall-clock totals.
+    let tel = Telemetry::new();
+    tel.set_profiling(true);
+
+    let wl = vec_mul();
+    let mut soc = Soc::build_with_telemetry(
+        SocConfig::default(),
+        &orchestrator_program(),
+        &table_words(&wl.entries),
+        &wl.gmem_init,
+        Some(tel),
+    );
+    let result = soc.run(8_000_000);
+    assert!(result.completed, "workload did not complete");
+
+    // --- 1. The typed report: one struct for the whole SoC ---
+    let report = soc.report();
+    println!(
+        "report: {} commands dispatched, {} retired, {} remapped, {} gmem ops",
+        report.hub.dispatched, report.hub.retired, report.hub.remapped, report.hub.gmem_ops
+    );
+    let busiest = report
+        .pes
+        .iter()
+        .max_by_key(|pe| pe.busy_cycles)
+        .expect("15 PEs");
+    println!(
+        "report: busiest PE is pe{} ({} commands, {} busy cycles, {} work units)",
+        busiest.node, busiest.commands, busiest.busy_cycles, busiest.work_units
+    );
+    println!("report as JSON:\n{}", report.to_json());
+
+    // --- 2. The metrics registry: snapshot any probe by path ---
+    let snap = soc.telemetry_snapshot().expect("telemetry attached");
+    for path in [
+        "soc.hub.dispatched",
+        "soc.pe3.commands",
+        "noc.n15.eject.transfers",
+    ] {
+        println!(
+            "metric {path} = {}",
+            snap.metric(path).expect("registered probe")
+        );
+    }
+
+    // --- 3. Spans and the kernel tick profile ---
+    println!(
+        "spans: {} events recorded ({} dropped past the ring cap); first command's lifetime:",
+        snap.spans_recorded, snap.spans_dropped
+    );
+    let first_span = snap.spans.first().expect("at least one span event").span;
+    for ev in snap.spans.iter().filter(|ev| ev.span == first_span) {
+        println!(
+            "  span {} {:?} {:<12} @ cycle {}",
+            ev.span, ev.kind, ev.label, ev.cycle
+        );
+    }
+    let mut profile = snap.profile.clone();
+    profile.sort_by_key(|p| std::cmp::Reverse(p.nanos));
+    println!("hottest components by simulator tick time:");
+    for p in profile.iter().take(5) {
+        println!("  {:<24} {:>10} ticks {:>12} ns", p.name, p.ticks, p.nanos);
+    }
+}

@@ -18,8 +18,17 @@ cargo test --workspace -q
 echo "==> cargo bench --no-run (criterion harnesses compile)"
 cargo bench --workspace --no-run
 
+echo "==> cargo doc (workspace, no deps, warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> kernel smoke (release, vec_mul only; JSON baseline untouched)"
 cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul
+
+echo "==> telemetry smoke (release, instrumented run + validated snapshot JSON)"
+tel_snap="$(mktemp)"
+cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul --telemetry "$tel_snap"
+test -s "$tel_snap" || { echo "telemetry snapshot is empty" >&2; exit 1; }
+rm -f "$tel_snap"
 
 echo "==> fault-campaign smoke (release, reduced seeds; JSON baseline untouched)"
 cargo run --release -p craft-bench --bin fault_campaign -- --smoke

@@ -325,7 +325,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Acceptable length arguments for [`vec`]: a fixed length or a
+    /// Acceptable length arguments for [`fn@vec`]: a fixed length or a
     /// (half-open / inclusive) range of lengths.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
