@@ -1,0 +1,47 @@
+//! Epoch-synchronization cost: the same Fig. 6 workload on the
+//! sequential kernel and on the GALS-sharded parallel simulator at
+//! 1, 2 and 4 workers.
+//!
+//! The single-worker case isolates the pure protocol overhead — the
+//! full epoch machinery (per-instant barriers, clock-schedule
+//! publication, mailbox drains) with zero split channels and zero
+//! contention — over the plain `run_until` loop. The multi-worker
+//! cases add real barrier traffic and cross-shard mailbox exchange;
+//! on a multi-core host they amortize into a speedup, on a single
+//! core they price the synchronization itself. Cycle counts are
+//! asserted identical throughout, so the benchmark doubles as a
+//! determinism check under measurement load.
+
+use craft_soc::workloads::{run_workload, run_workload_parallel, vec_mul};
+use craft_soc::SocConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn seq_cycles() -> u64 {
+    let (r, ok) = run_workload(SocConfig::default(), &vec_mul(), 8_000_000);
+    assert!(ok && r.completed);
+    r.cycles
+}
+
+fn par_cycles(threads: usize) -> u64 {
+    let (r, ok, _soc) = run_workload_parallel(SocConfig::default(), &vec_mul(), 8_000_000, threads);
+    assert!(ok && r.completed, "{threads}-thread run failed");
+    r.cycles
+}
+
+fn bench_epoch_overhead(c: &mut Criterion) {
+    let baseline = seq_cycles();
+    let mut g = c.benchmark_group("epoch_sync_vec_mul");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| assert_eq!(seq_cycles(), baseline))
+    });
+    for threads in [1usize, 2, 4] {
+        g.bench_function(format!("epoch_x{threads}"), |b| {
+            b.iter(|| assert_eq!(par_cycles(threads), baseline))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_epoch_overhead);
+criterion_main!(benches);

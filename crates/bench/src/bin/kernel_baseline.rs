@@ -21,6 +21,13 @@
 //! PE / NoC probes, command spans, kernel tick profiling) and writes
 //! the validated snapshot JSON to `<path>`; full runs always emit one
 //! as `BENCH_sim_kernel_telemetry.json`.
+//! `--threads <n>` runs a parallel smoke instead of the full sweep:
+//! the selected workloads on the GALS-sharded multi-threaded
+//! simulator with `n` workers (1, 2, 4 or 8), asserting cycle counts
+//! identical to the sequential kernel. Full runs always emit a
+//! thread-scaling section (1/2/4/8 workers × workload × fidelity)
+//! into the JSON, tagged with `host_cores` so scaling numbers are
+//! interpreted against the machine that produced them.
 //!
 //! Cycle counts are asserted identical gating on vs off (gating is a
 //! wall-clock optimisation, never a semantic one) and identical
@@ -31,7 +38,8 @@ use craft_bench::validate_json;
 use craft_sim::Telemetry;
 use craft_soc::pe::Fidelity;
 use craft_soc::workloads::{
-    dot_product, orchestrator_program, run_workload_soc, table_words, vec_mul, Workload,
+    dot_product, orchestrator_program, run_workload_parallel, run_workload_soc, table_words,
+    vec_mul, Workload,
 };
 use craft_soc::{Soc, SocConfig};
 use std::fmt::Write as _;
@@ -57,6 +65,17 @@ fn mode_name(fidelity: Fidelity) -> &'static str {
     }
 }
 
+/// One thread-scaling datapoint: the gated workload on the sharded
+/// parallel simulator.
+struct ScalingRow {
+    workload: &'static str,
+    mode: &'static str,
+    threads: usize,
+    cycles: u64,
+    wall_s: f64,
+    speedup: f64,
+}
+
 fn run_one(wl: &Workload, fidelity: Fidelity, gating: bool) -> Row {
     let cfg = SocConfig {
         fidelity,
@@ -79,6 +98,23 @@ fn run_one(wl: &Workload, fidelity: Fidelity, gating: bool) -> Row {
         ticks_skipped: soc.sim().ticks_skipped(),
         commits_skipped: soc.sim().commits_skipped(),
     }
+}
+
+/// Runs `wl` on the sharded simulator with `threads` workers and
+/// returns `(cycles, wall seconds)`, asserting the run verifies.
+fn run_parallel_one(wl: &Workload, fidelity: Fidelity, threads: usize) -> (u64, f64) {
+    let cfg = SocConfig {
+        fidelity,
+        gating: true,
+        ..SocConfig::default()
+    };
+    let (result, ok, _soc) = run_workload_parallel(cfg, wl, 8_000_000, threads);
+    assert!(
+        ok && result.completed,
+        "{}: parallel run ({threads} threads) failed",
+        wl.name
+    );
+    (result.cycles, result.wall.as_secs_f64())
 }
 
 /// Parses `--<flag> <value>` (or `--<flag>=<value>`) from the command
@@ -144,6 +180,33 @@ fn main() {
         !workloads.is_empty(),
         "no workload matches filter {filter:?} (try dot_product or vec_mul)"
     );
+
+    // --threads N: parallel smoke only (CI barrier-regression check).
+    // Covers the degenerate single-shard partition at N=1.
+    if let Some(threads) = flag_value("threads") {
+        let threads: usize = threads.parse().expect("--threads takes 1, 2, 4 or 8");
+        for wl in &workloads {
+            for fidelity in [Fidelity::SimAccurate, Fidelity::Rtl] {
+                let seq = run_one(wl, fidelity, true);
+                let (par_cycles, par_wall) = run_parallel_one(wl, fidelity, threads);
+                assert_eq!(
+                    seq.cycles, par_cycles,
+                    "{} {}: {threads}-thread run diverged from sequential",
+                    wl.name, seq.mode
+                );
+                println!(
+                    "{} {} x{threads}: {par_cycles} cycles (sequential-identical), \
+                     {:.2} ms vs {:.2} ms sequential",
+                    wl.name,
+                    seq.mode,
+                    par_wall * 1e3,
+                    seq.wall_s * 1e3
+                );
+            }
+        }
+        println!("parallel smoke OK ({threads} threads)");
+        return;
+    }
     let mut rows = Vec::new();
     for wl in &workloads {
         for fidelity in [Fidelity::SimAccurate, Fidelity::Rtl, Fidelity::RtlCompiled] {
@@ -171,6 +234,45 @@ fn main() {
             "{}: compiled RTL changed cycle counts",
             wl.name
         );
+    }
+
+    // Thread-scaling sweep: the same gated workloads on the sharded
+    // parallel simulator, 1/2/4/8 workers. Cycle counts must be
+    // identical to the sequential rows (the determinism contract);
+    // wall-clock scaling depends on the host's core count, recorded
+    // alongside so the numbers are interpretable.
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut scaling: Vec<ScalingRow> = Vec::new();
+    for wl in &workloads {
+        for fidelity in [Fidelity::SimAccurate, Fidelity::Rtl, Fidelity::RtlCompiled] {
+            let seq_cycles = rows
+                .iter()
+                .find(|r| r.workload == wl.name && r.mode == mode_name(fidelity) && r.gating)
+                .map(|r| r.cycles)
+                .expect("sequential row present");
+            let mut base_wall = 0.0f64;
+            for threads in [1usize, 2, 4, 8] {
+                let (cycles, wall_s) = run_parallel_one(wl, fidelity, threads);
+                assert_eq!(
+                    cycles,
+                    seq_cycles,
+                    "{} {}: {threads}-thread run diverged from sequential",
+                    wl.name,
+                    mode_name(fidelity)
+                );
+                if threads == 1 {
+                    base_wall = wall_s;
+                }
+                scaling.push(ScalingRow {
+                    workload: wl.name,
+                    mode: mode_name(fidelity),
+                    threads,
+                    cycles,
+                    wall_s,
+                    speedup: base_wall / wall_s.max(1e-9),
+                });
+            }
+        }
     }
 
     println!(
@@ -245,14 +347,64 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"headline_gating_speedup\": {headline:.3}\n}}\n"
+        "  ],\n  \"headline_gating_speedup\": {headline:.3},\n"
     );
+
+    println!(
+        "\n{:<12} {:<13} {:>7} {:>10} {:>10} {:>9}",
+        "workload", "mode", "threads", "cycles", "wall ms", "speedup"
+    );
+    for s in &scaling {
+        println!(
+            "{:<12} {:<13} {:>7} {:>10} {:>10.2} {:>8.2}x",
+            s.workload,
+            s.mode,
+            s.threads,
+            s.cycles,
+            s.wall_s * 1e3,
+            s.speedup
+        );
+    }
+    let parallel_speedup_rtl = scaling
+        .iter()
+        .filter(|s| s.mode != "sim_accurate" && s.threads == 4)
+        .map(|s| s.speedup)
+        .fold(0.0f64, f64::max);
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    json.push_str("  \"scaling\": [\n");
+    for (i, s) in scaling.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"cycles\": {}, \"wall_s\": {:.6}, \"speedup\": {:.3}}}",
+            s.workload, s.mode, s.threads, s.cycles, s.wall_s, s.speedup
+        );
+        json.push_str(if i + 1 < scaling.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"parallel_speedup_rtl\": {parallel_speedup_rtl:.3}\n}}\n"
+    );
+    // The >=2x RTL-workload scaling gate is meaningful only where the
+    // OS can actually schedule 4 workers concurrently.
+    if host_cores >= 4 {
+        assert!(
+            parallel_speedup_rtl >= 2.0,
+            "4-thread RTL speedup {parallel_speedup_rtl:.2}x below the 2x gate \
+             (host has {host_cores} cores)"
+        );
+    } else {
+        println!(
+            "\nhost has {host_cores} core(s): thread scaling here validates \
+             determinism, not wall clock; the >=2x RTL gate needs >=4 cores"
+        );
+    }
 
     if let Some(path) = &telemetry_path {
         emit_telemetry_snapshot(&workloads[0], path);
     }
 
     if filter.is_none() {
+        validate_json(&json).expect("scaling rows must keep the baseline well-formed");
         std::fs::write("BENCH_sim_kernel.json", &json).expect("write BENCH_sim_kernel.json");
         if telemetry_path.is_none() {
             emit_telemetry_snapshot(&workloads[0], "BENCH_sim_kernel_telemetry.json");

@@ -43,6 +43,7 @@
 
 mod channel;
 mod fault;
+mod mailbox;
 mod meter;
 mod packet;
 mod port;
@@ -53,6 +54,7 @@ mod stall;
 
 pub use channel::{channel, ChannelHandle, ChannelKind, ChannelStats};
 pub use fault::{FaultConfig, FaultInjector, FaultStats, TokenFaults};
+pub use mailbox::{spsc, MailboxHub, RemoteRxEnd, RemoteTxEnd, SpscReceiver, SpscSender, WireMsg};
 pub use meter::{TimingModel, Transactor};
 pub use packet::{DePacketizer, Flit, Packetizer, Payload};
 pub use port::{In, Out};

@@ -1,0 +1,320 @@
+//! Cross-worker channel endpoints for sharded parallel simulation.
+//!
+//! When an LI channel's producer and consumer land in different worker
+//! threads, the channel is split: the producer's worker keeps the
+//! transmit half (occupancy accounting + fault injection), the
+//! consumer's worker keeps the receive half (the visible queue), and
+//! tokens travel between them through a bounded single-producer
+//! single-consumer mailbox. The epoch protocol (see
+//! `craft_sim::parallel`) guarantees a message enqueued during one
+//! instant's commit phase is only *observed* at the next instant — the
+//! one cycle of slack that a capacity ≥ 1 LI buffer already provides —
+//! so splitting never changes simulated behaviour.
+//!
+//! The ring is lock-free on the fast path in the sense that matters
+//! here: head and tail are atomics and the slot a side touches is, by
+//! the SPSC discipline, never contended. Slots still hold a `Mutex`
+//! (both crates `forbid(unsafe_code)`, so an `UnsafeCell` ring is off
+//! the table); every `lock()` is uncontended and therefore a plain
+//! atomic exchange. Capacity bounds come from the protocol — at most
+//! `capacity + 2` messages are ever in flight per epoch — so overflow
+//! panics rather than blocks.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default ring capacity: far above the per-epoch in-flight bound of
+/// any split channel (channel capacity + duplicate echo + stuck-wire
+/// delta), small enough to stay cache-resident.
+const RING_SLOTS: usize = 256;
+
+struct Ring<T> {
+    slots: Vec<Mutex<Option<T>>>,
+    /// Next slot the producer writes. Only the producer advances it.
+    head: AtomicUsize,
+    /// Next slot the consumer reads. Only the consumer advances it.
+    tail: AtomicUsize,
+}
+
+impl<T> Ring<T> {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mailbox capacity must be nonzero");
+        Ring {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Producer half of a bounded SPSC mailbox.
+pub struct SpscSender<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Consumer half of a bounded SPSC mailbox.
+pub struct SpscReceiver<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Creates a bounded SPSC mailbox with `capacity` slots.
+///
+/// # Panics
+/// Panics if `capacity` is zero.
+pub fn spsc<T>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    let ring = Arc::new(Ring::new(capacity));
+    (
+        SpscSender {
+            ring: Arc::clone(&ring),
+        },
+        SpscReceiver { ring },
+    )
+}
+
+impl<T> SpscSender<T> {
+    /// Enqueues `v`.
+    ///
+    /// # Panics
+    /// Panics if the ring is full — the epoch protocol bounds in-flight
+    /// messages well below capacity, so a full ring is a protocol bug,
+    /// not backpressure.
+    pub fn send(&self, v: T) {
+        let head = self.ring.head.load(Ordering::Relaxed);
+        let tail = self.ring.tail.load(Ordering::Acquire);
+        assert!(
+            head.wrapping_sub(tail) < self.ring.slots.len(),
+            "mailbox overflow: epoch protocol violated"
+        );
+        let slot = &self.ring.slots[head % self.ring.slots.len()];
+        let prev = slot.lock().unwrap().replace(v);
+        debug_assert!(prev.is_none(), "mailbox slot reused before drain");
+        self.ring
+            .head
+            .store(head.wrapping_add(1), Ordering::Release);
+    }
+}
+
+impl<T> SpscReceiver<T> {
+    /// Dequeues the oldest message, or `None` when the ring is empty.
+    pub fn recv(&self) -> Option<T> {
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        let head = self.ring.head.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        let slot = &self.ring.slots[tail % self.ring.slots.len()];
+        let v = slot.lock().unwrap().take();
+        debug_assert!(v.is_some(), "mailbox slot published empty");
+        self.ring
+            .tail
+            .store(tail.wrapping_add(1), Ordering::Release);
+        v
+    }
+}
+
+/// A message on the wire of a split channel: a data token or a
+/// stuck-valid state change (delta-encoded — sent only on transitions).
+/// A duplicated token is simply sent twice.
+#[derive(Debug)]
+pub enum WireMsg<T> {
+    /// A committed data token.
+    Token(T),
+    /// The transmit half's stuck-valid wire changed state.
+    ValidStuck(bool),
+}
+
+/// Transmit-side endpoint of a split channel: sends committed tokens
+/// downstream, receives pop acknowledgements back (each ack frees one
+/// slot of the producer-visible occupancy).
+pub struct RemoteTxEnd<T> {
+    /// Data path to the consumer's worker.
+    pub data: SpscSender<WireMsg<T>>,
+    /// Acknowledgement path back from the consumer's worker.
+    pub acks: SpscReceiver<()>,
+}
+
+/// Receive-side endpoint of a split channel.
+pub struct RemoteRxEnd<T> {
+    /// Data path from the producer's worker.
+    pub data: SpscReceiver<WireMsg<T>>,
+    /// Acknowledgement path back to the producer's worker.
+    pub acks: SpscSender<()>,
+}
+
+enum Pending<T> {
+    TxWaiting(RemoteTxEnd<T>),
+    RxWaiting(RemoteRxEnd<T>),
+}
+
+/// Registry of named split-channel endpoints, shared by all workers of
+/// a parallel run.
+///
+/// Each split channel has exactly one transmit and one receive owner;
+/// whichever worker asks first creates both endpoint pairs and parks
+/// the counterpart under the channel name for the other worker to
+/// claim. Claiming the same side twice is a wiring bug and panics.
+pub struct MailboxHub<T> {
+    inner: Arc<Mutex<HashMap<String, Pending<T>>>>,
+}
+
+impl<T> Clone for MailboxHub<T> {
+    fn clone(&self) -> Self {
+        MailboxHub {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for MailboxHub<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MailboxHub<T> {
+    /// An empty hub.
+    pub fn new() -> Self {
+        MailboxHub {
+            inner: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn make_pair() -> (RemoteTxEnd<T>, RemoteRxEnd<T>) {
+        let (data_tx, data_rx) = spsc(RING_SLOTS);
+        let (ack_tx, ack_rx) = spsc(RING_SLOTS);
+        (
+            RemoteTxEnd {
+                data: data_tx,
+                acks: ack_rx,
+            },
+            RemoteRxEnd {
+                data: data_rx,
+                acks: ack_tx,
+            },
+        )
+    }
+
+    /// Claims the transmit endpoint of channel `name`.
+    ///
+    /// # Panics
+    /// Panics if the transmit side of `name` was already claimed.
+    pub fn take_tx(&self, name: &str) -> RemoteTxEnd<T> {
+        let mut map = self.inner.lock().unwrap();
+        match map.remove(name) {
+            Some(Pending::TxWaiting(tx)) => tx,
+            Some(Pending::RxWaiting(_)) => {
+                panic!("split channel `{name}`: tx endpoint claimed twice")
+            }
+            None => {
+                let (tx, rx) = Self::make_pair();
+                map.insert(name.to_string(), Pending::RxWaiting(rx));
+                tx
+            }
+        }
+    }
+
+    /// Claims the receive endpoint of channel `name`.
+    ///
+    /// # Panics
+    /// Panics if the receive side of `name` was already claimed.
+    pub fn take_rx(&self, name: &str) -> RemoteRxEnd<T> {
+        let mut map = self.inner.lock().unwrap();
+        match map.remove(name) {
+            Some(Pending::RxWaiting(rx)) => rx,
+            Some(Pending::TxWaiting(_)) => {
+                panic!("split channel `{name}`: rx endpoint claimed twice")
+            }
+            None => {
+                let (tx, rx) = Self::make_pair();
+                map.insert(name.to_string(), Pending::TxWaiting(tx));
+                rx
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spsc_fifo_order_across_threads() {
+        let (tx, rx) = spsc::<u64>(8);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..10_000u64 {
+                    // Bounded ring: wait for space by polling occupancy
+                    // through send's own assertion window.
+                    loop {
+                        let head = tx.ring.head.load(Ordering::Relaxed);
+                        let tail = tx.ring.tail.load(Ordering::Acquire);
+                        if head.wrapping_sub(tail) < tx.ring.slots.len() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    tx.send(i);
+                }
+            });
+            let mut expect = 0u64;
+            while expect < 10_000 {
+                if let Some(v) = rx.recv() {
+                    assert_eq!(v, expect);
+                    expect += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn spsc_empty_recv_is_none() {
+        let (tx, rx) = spsc::<u32>(4);
+        assert!(rx.recv().is_none());
+        tx.send(1);
+        assert_eq!(rx.recv(), Some(1));
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "mailbox overflow")]
+    fn spsc_overflow_panics() {
+        let (tx, _rx) = spsc::<u32>(2);
+        tx.send(1);
+        tx.send(2);
+        tx.send(3);
+    }
+
+    #[test]
+    fn hub_pairs_endpoints_by_name() {
+        let hub = MailboxHub::<u32>::new();
+        let tx = hub.take_tx("a->b");
+        let rx = hub.take_rx("a->b");
+        tx.data.send(WireMsg::Token(7));
+        match rx.data.recv() {
+            Some(WireMsg::Token(7)) => {}
+            other => panic!("expected Token(7), got {other:?}"),
+        }
+        rx.acks.send(());
+        assert!(tx.acks.recv().is_some());
+    }
+
+    #[test]
+    fn hub_order_of_claims_is_irrelevant() {
+        let hub = MailboxHub::<u32>::new();
+        let rx = hub.take_rx("x");
+        let tx = hub.take_tx("x");
+        tx.data.send(WireMsg::ValidStuck(true));
+        assert!(matches!(rx.data.recv(), Some(WireMsg::ValidStuck(true))));
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed twice")]
+    fn hub_double_claim_panics() {
+        let hub = MailboxHub::<u32>::new();
+        let _a = hub.take_tx("dup");
+        let _b = hub.take_tx("dup");
+    }
+}

@@ -147,6 +147,13 @@ pub struct Simulator {
     /// Per-component `(nanos, ticks)` accumulated while profiling was
     /// on, indexed like `components`.
     tick_costs: Vec<(u64, u64)>,
+    /// `true` between [`Simulator::eval_instant`] and the matching
+    /// [`Simulator::commit_instant`] — the fired-clock list in
+    /// `instant_edges` is live.
+    mid_instant: bool,
+    /// Clocks that fired at the instant currently being processed,
+    /// carried from the evaluate phase to the commit phase.
+    instant_edges: Vec<usize>,
 }
 
 impl Default for Simulator {
@@ -180,6 +187,8 @@ impl Simulator {
             progress: ActivityToken::new(),
             tick_profiling: false,
             tick_costs: Vec::new(),
+            mid_instant: false,
+            instant_edges: Vec::new(),
         }
     }
 
@@ -517,6 +526,39 @@ impl Simulator {
     /// [`flush_skipped_commits`](Self::flush_skipped_commits) before
     /// reading per-cycle statistics from a raw `step` loop.
     pub fn step(&mut self) -> bool {
+        if !self.eval_instant() {
+            return false;
+        }
+        self.commit_instant();
+        true
+    }
+
+    /// Time of the earliest pending edge, without advancing. `&mut`
+    /// because the lazily invalidated edge heap may need a rebuild.
+    pub fn peek_next_instant(&mut self) -> Option<Picoseconds> {
+        self.next_instant()
+    }
+
+    /// The evaluate half of [`step`](Self::step): advances time to the
+    /// earliest pending instant and ticks every component with an edge
+    /// there, but performs **no commits and no clock rescheduling** —
+    /// those happen in the matching [`commit_instant`](Self::commit_instant).
+    ///
+    /// This split is the hook the parallel epoch scheduler uses: all
+    /// shards evaluate an instant concurrently (reads observe state
+    /// committed at earlier instants only), synchronize on a barrier,
+    /// then all commit. A plain `step()` is `eval_instant()` +
+    /// `commit_instant()`.
+    ///
+    /// Returns `false` (and opens no instant) when no edges remain.
+    ///
+    /// # Panics
+    /// Panics if an instant is already open (missing `commit_instant`).
+    pub fn eval_instant(&mut self) -> bool {
+        assert!(
+            !self.mid_instant,
+            "eval_instant called with an instant already open"
+        );
         let Some(t) = self.next_instant() else {
             return false;
         };
@@ -594,6 +636,26 @@ impl Simulator {
                 }
             }
         }
+        self.instant_edges = edges;
+        self.mid_instant = true;
+        true
+    }
+
+    /// The commit half of [`step`](Self::step): commits every
+    /// sequential on the clocks that fired at the instant opened by
+    /// [`eval_instant`](Self::eval_instant), applies deferred clock
+    /// requests, and schedules the fired clocks' next edges.
+    ///
+    /// # Panics
+    /// Panics if no instant is open.
+    pub fn commit_instant(&mut self) {
+        assert!(
+            self.mid_instant,
+            "commit_instant without a matching eval_instant"
+        );
+        self.mid_instant = false;
+        let t = self.now;
+        let edges = std::mem::take(&mut self.instant_edges);
 
         // Commit phase. Gated sequentials whose dirty token is clear
         // are elided; their per-cycle bookkeeping is reconciled via
@@ -668,7 +730,53 @@ impl Simulator {
             }
         }
         self.edge_scratch = edges;
-        true
+    }
+
+    /// Number of registered clock domains.
+    pub fn clock_count(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Name of a registered clock domain.
+    pub fn clock_name(&self, clock: ClockId) -> String {
+        self.clocks[clock.0].spec.name.clone()
+    }
+
+    /// Scheduled time of `clock`'s next rising edge, or `None` while it
+    /// is paused. This is the value a parallel shard publishes for the
+    /// clocks it owns after every commit.
+    pub fn clock_next_edge(&self, clock: ClockId) -> Option<Picoseconds> {
+        let st = &self.clocks[clock.0];
+        (!st.paused).then_some(st.next_edge)
+    }
+
+    /// Overwrites `clock`'s scheduled next edge. Parallel shards use
+    /// this to adopt the authoritative schedule of clocks they merely
+    /// *follow* (the owning shard applies stretches/overrides and
+    /// publishes the result). No effect on a paused clock.
+    pub fn set_clock_next_edge(&mut self, clock: ClockId, at: Picoseconds) {
+        let st = &mut self.clocks[clock.0];
+        if !st.paused && st.next_edge != at {
+            st.next_edge = at;
+            // The heap entry for the old edge is now stale; rebuild on
+            // demand (same lazy-invalidation path pause/resume uses).
+            self.heap_synced = false;
+        }
+    }
+
+    /// Takes (and clears) the kernel's progress flag — what
+    /// [`run_until_checked`](Self::run_until_checked) does internally
+    /// once per instant. External watchdog drivers (the parallel epoch
+    /// scheduler) poll it the same way.
+    pub fn take_progress(&mut self) -> bool {
+        self.progress.take()
+    }
+
+    /// Snapshots every registered component and sequential into a
+    /// [`HangReport`], for callers running their own watchdog (the
+    /// parallel epoch scheduler aggregates one of these per shard).
+    pub fn diagnose_hang(&self, idle_cycles: u64) -> HangReport {
+        self.diagnose(idle_cycles)
     }
 
     /// Runs until simulation time reaches or passes `deadline`, a stop

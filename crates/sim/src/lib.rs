@@ -42,6 +42,7 @@ mod component;
 pub mod cover;
 mod error;
 mod kernel;
+pub mod parallel;
 pub mod stats;
 pub mod telemetry;
 mod time;
@@ -52,6 +53,10 @@ pub use clock::{ClockId, ClockSpec};
 pub use component::{Component, Sequential, TickCtx};
 pub use error::{CompDiag, HangReport, SeqDiag, SimError};
 pub use kernel::{ComponentId, Simulator};
+pub use parallel::{
+    publish_hang_idle, run_parallel, EpochOutcome, EpochSync, EpochVerdict, EpochWorker,
+    SpinBarrier,
+};
 pub use telemetry::{Telemetry, TelemetrySnapshot, TickProfile};
 pub use time::Picoseconds;
 pub use trace::{SignalId, Trace};

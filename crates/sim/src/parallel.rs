@@ -1,0 +1,695 @@
+//! Conservative epoch synchronization for multi-worker simulation.
+//!
+//! The sequential kernel already splits every instant into an evaluate
+//! phase (reads observe only state committed at earlier instants) and a
+//! commit phase. That discipline is exactly what makes *parallel*
+//! execution conservative-safe: if every worker evaluates the same
+//! instant concurrently, synchronizes, then commits, no worker can ever
+//! observe a neighbour's same-instant writes — which is precisely the
+//! sequential semantics. Latency-insensitive channel buffering supplies
+//! the lookahead: a cross-worker channel with capacity ≥ 1 registers
+//! tokens for a full cycle, so the value a consumer pops at instant
+//! `t` was committed at `t-1` or earlier and can travel through a
+//! mailbox during the barrier window without changing any observable
+//! outcome.
+//!
+//! The pieces here are kernel-level and graph-agnostic:
+//!
+//! * [`SpinBarrier`] — a sense-reversing barrier that spins briefly and
+//!   then yields (the common case on CI boxes is more workers than
+//!   cores, where pure spinning would be pathological);
+//! * [`EpochSync`] — the shared per-run state: two barriers, the
+//!   published next-edge table for every clock, parity-banked progress
+//!   bits for the hang watchdog, and the stop/fatal/verdict flags;
+//! * [`run_parallel`] — the per-worker epoch loop driving one
+//!   [`Simulator`] through the globally merged instant sequence.
+//!
+//! Each worker owns a disjoint subset of the clocks. Owners apply
+//! stretches/overrides and publish the resulting next edge after every
+//! commit; every other worker *follows* that clock, adopting the
+//! published schedule before each instant. The globally next instant is
+//! the minimum over the published table, so all workers step through
+//! the **identical** instant sequence the sequential kernel would
+//! produce — cycle counts and committed state are bit-identical by
+//! construction, with wall-clock the only degree of freedom.
+
+use crate::clock::ClockId;
+use crate::error::{HangReport, SimError};
+use crate::kernel::Simulator;
+use crate::time::Picoseconds;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// How many busy-wait iterations a barrier performs before it starts
+/// yielding the thread. Kept small: with more workers than cores
+/// (the degenerate but supported configuration) long spins would burn
+/// the very wall clock the parallel mode is trying to save.
+const SPIN_ITERS: u32 = 256;
+
+/// A sense-reversing spin barrier for a fixed set of workers.
+///
+/// `wait` returns once all `n` workers have arrived. The last arrival
+/// flips the generation; earlier arrivals spin on it briefly and then
+/// `yield_now` so oversubscribed hosts stay live. A very generous
+/// timeout (60 s without the generation flipping) panics instead of
+/// deadlocking forever — the only way to reach it is a worker dying
+/// mid-epoch, and a loud panic beats a silent CI hang.
+pub struct SpinBarrier {
+    count: u64,
+    arrived: AtomicU64,
+    generation: AtomicU64,
+}
+
+impl SpinBarrier {
+    /// Barrier for `n` workers.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a barrier needs at least one worker");
+        SpinBarrier {
+            count: n as u64,
+            arrived: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocks until all workers have arrived.
+    pub fn wait(&self) {
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.count {
+            self.arrived.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::Release);
+            return;
+        }
+        let mut spins = 0u32;
+        let mut slow: Option<std::time::Instant> = None;
+        while self.generation.load(Ordering::Acquire) == generation {
+            if spins < SPIN_ITERS {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                let started = *slow.get_or_insert_with(std::time::Instant::now);
+                if started.elapsed().as_secs() >= 60 {
+                    panic!("epoch barrier timed out: a worker died mid-epoch");
+                }
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+/// Sentinel published for a clock with no schedulable edge (paused or
+/// overflowed): sorts after every real time.
+const NO_EDGE: u64 = u64::MAX;
+
+/// How a parallel run ended. Mirrors the sequential `run_until_checked`
+/// outcomes one-for-one so facades can reproduce its exact result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochVerdict {
+    /// The run predicate fired (sequential `Ok(true)`).
+    Predicate,
+    /// A component requested stop (sequential `Ok(false)`).
+    Stopped,
+    /// The cycle budget on the reference clock ran out (`Ok(false)`).
+    MaxCycles,
+    /// No clock has a pending edge anywhere (`Ok(false)`).
+    NoEvents,
+    /// The hang watchdog fired (`Err(SimError::Hang)`).
+    Hang,
+    /// An internal arithmetic fault was recorded (`Err(overflow)`).
+    Fatal,
+}
+
+/// Shared state for one parallel run: barriers, the published clock
+/// schedule, watchdog progress bits, and the termination flags.
+///
+/// One `EpochSync` is created per worker set and [`reset`](Self::reset)
+/// between runs (while no worker is inside the loop).
+pub struct EpochSync {
+    /// Barrier between the evaluate and commit phases of an instant.
+    eval_done: SpinBarrier,
+    /// Barrier after commit + publication; also the startup barrier.
+    commit_done: SpinBarrier,
+    /// Published next edge per clock (indexed by `ClockId::index`),
+    /// written by the owning worker after each commit. `NO_EDGE` when
+    /// the clock can produce no further edges.
+    clock_edges: Vec<AtomicU64>,
+    /// Per-worker progress bits, parity-banked by instant index: bank
+    /// `i % 2` holds the bit for instant `i`. The decider aggregates
+    /// the *previous* instant's bank, whose writes all barriers-before
+    /// its read — the one-instant lag is the price of lock-freedom and
+    /// is bounded and documented (hang detection fires at most one
+    /// instant later than sequentially).
+    progress: Vec<[AtomicBool; 2]>,
+    /// Any worker observed `stop_requested` on its kernel.
+    stop: AtomicBool,
+    /// Any worker recorded an arithmetic fault.
+    fatal: AtomicBool,
+    /// Decider's termination verdict (0 = none, else `EpochVerdict`
+    /// discriminant + 1). Written only by the decider.
+    verdict: AtomicU64,
+    /// Idle-cycle count backing a `Hang` verdict.
+    hang_idle: AtomicU64,
+}
+
+impl EpochSync {
+    /// Shared state for `workers` workers over `clocks` clock domains.
+    pub fn new(workers: usize, clocks: usize) -> Self {
+        EpochSync {
+            eval_done: SpinBarrier::new(workers),
+            commit_done: SpinBarrier::new(workers),
+            clock_edges: (0..clocks).map(|_| AtomicU64::new(NO_EDGE)).collect(),
+            progress: (0..workers)
+                .map(|_| [AtomicBool::new(false), AtomicBool::new(false)])
+                .collect(),
+            stop: AtomicBool::new(false),
+            fatal: AtomicBool::new(false),
+            verdict: AtomicU64::new(0),
+            hang_idle: AtomicU64::new(0),
+        }
+    }
+
+    /// Clears the termination flags and progress banks for a new run.
+    /// Must only be called while no worker is inside [`run_parallel`].
+    pub fn reset(&self) {
+        self.stop.store(false, Ordering::Release);
+        self.fatal.store(false, Ordering::Release);
+        self.verdict.store(0, Ordering::Release);
+        self.hang_idle.store(0, Ordering::Release);
+        for banks in &self.progress {
+            banks[0].store(false, Ordering::Release);
+            banks[1].store(false, Ordering::Release);
+        }
+    }
+
+    fn publish_verdict(&self, v: EpochVerdict) {
+        self.verdict.store(v as u64 + 1, Ordering::Release);
+    }
+
+    fn read_verdict(&self) -> Option<EpochVerdict> {
+        match self.verdict.load(Ordering::Acquire) {
+            0 => None,
+            1 => Some(EpochVerdict::Predicate),
+            2 => Some(EpochVerdict::Stopped),
+            3 => Some(EpochVerdict::MaxCycles),
+            4 => Some(EpochVerdict::NoEvents),
+            5 => Some(EpochVerdict::Hang),
+            _ => Some(EpochVerdict::Fatal),
+        }
+    }
+
+    /// The globally next instant: minimum over the published table.
+    fn global_next(&self) -> u64 {
+        self.clock_edges
+            .iter()
+            .map(|e| e.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(NO_EDGE)
+    }
+}
+
+/// One worker's identity within an [`EpochSync`] worker set.
+pub struct EpochWorker<'a> {
+    /// The shared synchronization state.
+    pub sync: &'a EpochSync,
+    /// This worker's index (progress-bank slot).
+    pub index: usize,
+    /// The clocks this worker owns (publishes). Every clock must be
+    /// owned by exactly one worker across the set.
+    pub owned_clocks: &'a [ClockId],
+    /// Whether this worker runs the `decide` hook (predicate, cycle
+    /// budget, watchdog). Exactly one worker per set.
+    pub decider: bool,
+}
+
+/// Per-worker statistics from one parallel run.
+#[derive(Debug, Clone, Default)]
+pub struct EpochOutcome {
+    /// How the run ended (identical across all workers of a run).
+    pub verdict: Option<EpochVerdict>,
+    /// Global instants traversed (identical across workers).
+    pub instants: u64,
+    /// Instants at which this worker had local edges to process.
+    pub fired_instants: u64,
+    /// Wall nanoseconds this worker spent waiting at epoch barriers.
+    pub barrier_wait_ns: u64,
+    /// Tokens absorbed by this worker's `drain` hook.
+    pub drained_tokens: u64,
+    /// The arithmetic fault recorded by *this* worker, if any.
+    pub fatal: Option<SimError>,
+    /// This worker's share of the hang diagnosis (verdict `Hang`).
+    pub hang: Option<HangReport>,
+}
+
+/// Runs one worker's kernel through the globally merged instant
+/// sequence until the worker set agrees to stop.
+///
+/// Per instant, every worker: (1) reads the shared flags and the
+/// published clock table at the boundary — all workers see identical
+/// values because flags are only written between the two barriers;
+/// (2) adopts followed clocks' published schedules and runs `drain`
+/// (mailbox intake for cross-worker channels); (3) evaluates the
+/// instant if any local clock fires there; (4) barrier; (5) commits,
+/// publishes owned clocks' next edges and its progress bit; the decider
+/// additionally runs `decide` exactly once per boundary — the same
+/// once-per-boundary contract the sequential `run_until` family pins;
+/// (6) barrier.
+///
+/// `decide` receives the kernel and the aggregated progress bit of the
+/// previous instant, and returns `Some(verdict)` to terminate the set.
+/// It runs only on the worker marked [`EpochWorker::decider`].
+pub fn run_parallel(
+    sim: &mut Simulator,
+    worker: &EpochWorker<'_>,
+    drain: &mut dyn FnMut(&mut Simulator) -> u64,
+    decide: &mut dyn FnMut(&mut Simulator, bool) -> Option<EpochVerdict>,
+) -> EpochOutcome {
+    let sync = worker.sync;
+    let mut out = EpochOutcome::default();
+    let mut owned = vec![false; sim.clock_count()];
+    for c in worker.owned_clocks {
+        owned[c.index()] = true;
+    }
+
+    // Startup round: publish the initial schedule of owned clocks, give
+    // the decider its boundary-zero check (a predicate can be true
+    // before the first instant, exactly as in sequential `run_until`),
+    // and align on the commit barrier so every worker sees the full
+    // table and any instant-zero verdict.
+    for &c in worker.owned_clocks {
+        let at = sim.clock_next_edge(c).map_or(NO_EDGE, |t| t.as_ps());
+        sync.clock_edges[c.index()].store(at, Ordering::Release);
+    }
+    if sim.stopped() {
+        sync.stop.store(true, Ordering::Release);
+    }
+    if worker.decider {
+        if let Some(v) = decide(sim, true) {
+            if let EpochVerdict::Hang = v {
+                unreachable!("a watchdog cannot fire before the first instant");
+            }
+            sync.publish_verdict(v);
+        }
+    }
+    barrier_timed(&sync.commit_done, &mut out.barrier_wait_ns);
+
+    loop {
+        // Boundary: decide whether the set continues. Everything read
+        // here was published before the commit barrier all workers just
+        // crossed, so every worker takes the same branch.
+        if sync.fatal.load(Ordering::Acquire) {
+            out.verdict = Some(EpochVerdict::Fatal);
+            break;
+        }
+        if let Some(v) = sync.read_verdict() {
+            out.verdict = Some(v);
+            break;
+        }
+        if sync.stop.load(Ordering::Acquire) {
+            out.verdict = Some(EpochVerdict::Stopped);
+            break;
+        }
+        let t = sync.global_next();
+        if t == NO_EDGE {
+            out.verdict = Some(EpochVerdict::NoEvents);
+            break;
+        }
+        out.instants += 1;
+
+        // Pre-step: adopt followed clocks' authoritative schedules,
+        // then absorb cross-worker tokens committed last instant.
+        for (ci, is_owned) in owned.iter().enumerate() {
+            if !is_owned {
+                let at = sync.clock_edges[ci].load(Ordering::Acquire);
+                sim.set_clock_next_edge(ClockId::from_index(ci), Picoseconds(at));
+            }
+        }
+        out.drained_tokens += drain(sim);
+
+        // Evaluate the instant if any local clock fires at `t`.
+        let fired = sim.peek_next_instant() == Some(Picoseconds(t));
+        if fired {
+            sim.eval_instant();
+        }
+        barrier_timed(&sync.eval_done, &mut out.barrier_wait_ns);
+
+        // Commit, then publish: owned clock schedules, the progress
+        // bit for this instant (into the bank the previous instant is
+        // no longer using), and any local stop/fault.
+        if fired {
+            sim.commit_instant();
+            out.fired_instants += 1;
+        }
+        for &c in worker.owned_clocks {
+            let at = sim.clock_next_edge(c).map_or(NO_EDGE, |e| e.as_ps());
+            sync.clock_edges[c.index()].store(at, Ordering::Release);
+        }
+        let bank = (out.instants % 2) as usize;
+        sync.progress[worker.index][bank].store(sim.take_progress(), Ordering::Release);
+        if sim.fatal().is_some() {
+            sync.fatal.store(true, Ordering::Release);
+        }
+        if sim.stopped() {
+            sync.stop.store(true, Ordering::Release);
+        }
+        if worker.decider {
+            // Aggregate the previous instant's progress: its writes all
+            // happened before a barrier this worker has crossed. The
+            // current instant's bits may still be in flight on other
+            // workers — hence the one-instant watchdog lag.
+            let prev_progress = if out.instants == 1 {
+                true
+            } else {
+                let prev_bank = ((out.instants - 1) % 2) as usize;
+                sync.progress
+                    .iter()
+                    .any(|banks| banks[prev_bank].load(Ordering::Acquire))
+            };
+            if let Some(v) = decide(sim, prev_progress) {
+                sync.publish_verdict(v);
+            }
+        }
+        barrier_timed(&sync.commit_done, &mut out.barrier_wait_ns);
+    }
+
+    sim.flush_skipped_commits();
+    if out.verdict == Some(EpochVerdict::Fatal) {
+        out.fatal = sim.take_fatal();
+    }
+    if out.verdict == Some(EpochVerdict::Hang) {
+        let idle = sync.hang_idle.load(Ordering::Acquire);
+        out.hang = Some(sim.diagnose_hang(idle));
+    }
+    out
+}
+
+/// Records the idle-cycle count that backs a [`EpochVerdict::Hang`]
+/// verdict the decider is about to publish.
+pub fn publish_hang_idle(sync: &EpochSync, idle: u64) {
+    sync.hang_idle.store(idle, Ordering::Release);
+}
+
+fn barrier_timed(b: &SpinBarrier, acc: &mut u64) {
+    let t0 = std::time::Instant::now();
+    b.wait();
+    *acc += t0.elapsed().as_nanos() as u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ClockSpec;
+    use crate::component::{Component, TickCtx};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::{Arc, Mutex};
+
+    struct Recorder {
+        log: Rc<RefCell<Vec<(u64, u64)>>>,
+        tag: u64,
+    }
+    impl Component for Recorder {
+        fn name(&self) -> &str {
+            "rec"
+        }
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            self.log.borrow_mut().push((ctx.now().as_ps(), self.tag));
+        }
+    }
+
+    struct Stretcher {
+        every: u64,
+        extra: u64,
+    }
+    impl Component for Stretcher {
+        fn name(&self) -> &str {
+            "stretcher"
+        }
+        fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+            if ctx.cycle().is_multiple_of(self.every) {
+                let clock = ctx.clock();
+                ctx.stretch_clock(clock, Picoseconds(self.extra));
+            }
+        }
+    }
+
+    type TickLog = Rc<RefCell<Vec<(u64, u64)>>>;
+
+    /// Builds a worker sim holding both clocks but only the given
+    /// recorders; returns (sim, log).
+    fn worker_sim(
+        periods: &[u64],
+        mine: &[usize],
+        stretch_on: Option<usize>,
+    ) -> (Simulator, TickLog) {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let clocks: Vec<ClockId> = periods
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| sim.add_clock(ClockSpec::new(format!("c{i}"), Picoseconds(p))))
+            .collect();
+        for &i in mine {
+            sim.add_component(
+                clocks[i],
+                Recorder {
+                    log: Rc::clone(&log),
+                    tag: i as u64,
+                },
+            );
+        }
+        if let Some(i) = stretch_on {
+            sim.add_component(
+                clocks[i],
+                Stretcher {
+                    every: 3,
+                    extra: 45,
+                },
+            );
+        }
+        (sim, log)
+    }
+
+    /// Two workers, two clocks, one of them stretched by its owner:
+    /// the merged parallel tick log must equal the sequential one.
+    #[test]
+    fn two_workers_match_sequential_schedule_under_stretch() {
+        let periods = [100u64, 130];
+
+        // Sequential reference: both recorders and the stretcher in one sim.
+        let (mut seq, seq_log) = worker_sim(&periods, &[0, 1], Some(1));
+        let seq_clk0 = ClockId::from_index(0);
+        seq.run_until(seq_clk0, 40, || false);
+        let mut expect = seq_log.borrow().clone();
+        expect.sort_unstable();
+
+        // Parallel: worker 0 owns clock 0 (and decides on it); worker 1
+        // owns clock 1 and carries the stretcher.
+        let sync = EpochSync::new(2, 2);
+        let logs: Mutex<Vec<Vec<(u64, u64)>>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for w in 0..2usize {
+                let sync = &sync;
+                let logs = &logs;
+                s.spawn(move || {
+                    let (mut sim, log) = worker_sim(&periods, &[w], (w == 1).then_some(1));
+                    let owned = [ClockId::from_index(w)];
+                    let worker = EpochWorker {
+                        sync,
+                        index: w,
+                        owned_clocks: &owned,
+                        decider: w == 0,
+                    };
+                    let clk0 = ClockId::from_index(0);
+                    let limit = sim.cycles(clk0) + 40;
+                    let out = run_parallel(&mut sim, &worker, &mut |_| 0, &mut |sim, _| {
+                        (sim.cycles(clk0) >= limit).then_some(EpochVerdict::MaxCycles)
+                    });
+                    assert_eq!(out.verdict, Some(EpochVerdict::MaxCycles));
+                    logs.lock().unwrap().push(log.borrow().clone());
+                });
+            }
+        });
+        let mut got: Vec<(u64, u64)> = logs.lock().unwrap().concat();
+        got.sort_unstable();
+        assert_eq!(got, expect, "parallel tick schedule diverged");
+    }
+
+    /// A stop request on one worker terminates the whole set at the
+    /// next boundary, with every worker reporting `Stopped`.
+    #[test]
+    fn stop_request_propagates_across_workers() {
+        struct StopAt {
+            cycle: u64,
+        }
+        impl Component for StopAt {
+            fn name(&self) -> &str {
+                "stop"
+            }
+            fn tick(&mut self, ctx: &mut TickCtx<'_>) {
+                if ctx.cycle() == self.cycle {
+                    ctx.request_stop();
+                }
+            }
+        }
+        let sync = EpochSync::new(2, 2);
+        let verdicts: Mutex<Vec<(usize, Option<EpochVerdict>, u64)>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for w in 0..2usize {
+                let sync = &sync;
+                let verdicts = &verdicts;
+                s.spawn(move || {
+                    let mut sim = Simulator::new();
+                    let c0 = sim.add_clock(ClockSpec::new("c0", Picoseconds(100)));
+                    let c1 = sim.add_clock(ClockSpec::new("c1", Picoseconds(100)));
+                    let mine = if w == 0 { c0 } else { c1 };
+                    if w == 1 {
+                        sim.add_component(mine, StopAt { cycle: 7 });
+                    }
+                    let owned = [mine];
+                    let worker = EpochWorker {
+                        sync,
+                        index: w,
+                        owned_clocks: &owned,
+                        decider: w == 0,
+                    };
+                    let out = run_parallel(&mut sim, &worker, &mut |_| 0, &mut |_, _| None);
+                    verdicts
+                        .lock()
+                        .unwrap()
+                        .push((w, out.verdict, sim.cycles(mine)));
+                });
+            }
+        });
+        let v = verdicts.lock().unwrap();
+        for (w, verdict, cycles) in v.iter() {
+            assert_eq!(*verdict, Some(EpochVerdict::Stopped), "worker {w}");
+            // Stop published after edge 7's commit; every worker halts
+            // having delivered exactly 8 edges, like the sequential run.
+            assert_eq!(*cycles, 8, "worker {w}");
+        }
+    }
+
+    /// The decider's watchdog sees silence from all workers and hangs
+    /// the set; a worker feeding progress holds it off.
+    #[test]
+    fn watchdog_aggregates_progress_across_workers() {
+        for feed in [false, true] {
+            let sync = EpochSync::new(2, 2);
+            let hung = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for w in 0..2usize {
+                    let sync = &sync;
+                    let hung = &hung;
+                    s.spawn(move || {
+                        let mut sim = Simulator::new();
+                        let c0 = sim.add_clock(ClockSpec::new("c0", Picoseconds(100)));
+                        let c1 = sim.add_clock(ClockSpec::new("c1", Picoseconds(100)));
+                        let mine = if w == 0 { c0 } else { c1 };
+                        // Worker 1 optionally marks progress each instant.
+                        let token = sim.progress_token();
+                        let owned = [mine];
+                        let worker = EpochWorker {
+                            sync,
+                            index: w,
+                            owned_clocks: &owned,
+                            decider: w == 0,
+                        };
+                        let mut idle = 0u64;
+                        let mut last = 0u64;
+                        let out = run_parallel(
+                            &mut sim,
+                            &worker,
+                            &mut |_| {
+                                if w == 1 && feed {
+                                    token.set();
+                                }
+                                0
+                            },
+                            &mut |sim, progressed| {
+                                let cycle = sim.cycles(c0);
+                                if progressed {
+                                    idle = 0;
+                                } else {
+                                    idle += cycle - last;
+                                }
+                                last = cycle;
+                                if cycle >= 64 {
+                                    return Some(EpochVerdict::MaxCycles);
+                                }
+                                if idle >= 16 {
+                                    publish_hang_idle(worker.sync, idle);
+                                    return Some(EpochVerdict::Hang);
+                                }
+                                None
+                            },
+                        );
+                        if out.verdict == Some(EpochVerdict::Hang) {
+                            hung.fetch_add(1, Ordering::AcqRel);
+                            let report = out.hang.expect("hang carries a report");
+                            assert_eq!(report.idle_cycles, 16);
+                        }
+                    });
+                }
+            });
+            if feed {
+                assert_eq!(hung.load(Ordering::Acquire), 0, "progress must hold it off");
+            } else {
+                assert_eq!(
+                    hung.load(Ordering::Acquire),
+                    2,
+                    "both workers report the hang"
+                );
+            }
+        }
+    }
+
+    /// Degenerate single-worker set: the epoch machinery must reproduce
+    /// plain sequential behaviour exactly.
+    #[test]
+    fn single_worker_set_is_sequential() {
+        let periods = [70u64, 100, 130];
+        let (mut seq, seq_log) = worker_sim(&periods, &[0, 1, 2], Some(2));
+        seq.run_until(ClockId::from_index(0), 30, || false);
+        let seq_instants = seq.instants();
+
+        let (mut par, par_log) = worker_sim(&periods, &[0, 1, 2], Some(2));
+        let sync = EpochSync::new(1, 3);
+        let owned: Vec<ClockId> = (0..3).map(ClockId::from_index).collect();
+        let worker = EpochWorker {
+            sync: &sync,
+            index: 0,
+            owned_clocks: &owned,
+            decider: true,
+        };
+        let clk0 = ClockId::from_index(0);
+        let out = run_parallel(&mut par, &worker, &mut |_| 0, &mut |sim, _| {
+            (sim.cycles(clk0) >= 30).then_some(EpochVerdict::MaxCycles)
+        });
+        assert_eq!(out.verdict, Some(EpochVerdict::MaxCycles));
+        assert_eq!(*par_log.borrow(), *seq_log.borrow());
+        assert_eq!(out.instants, par.instants());
+        assert_eq!(par.instants(), seq_instants);
+        assert_eq!(out.fired_instants, out.instants, "sole worker fires all");
+    }
+
+    #[test]
+    fn barrier_releases_all_waiters() {
+        let b = Arc::new(SpinBarrier::new(4));
+        let hits = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let b = Arc::clone(&b);
+                let hits = Arc::clone(&hits);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        b.wait();
+                    }
+                    hits.fetch_add(1, Ordering::AcqRel);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Acquire), 4);
+    }
+}

@@ -38,16 +38,18 @@ pub mod bitrtl;
 pub mod controller;
 pub mod hub;
 pub mod msg;
+pub mod parallel;
 pub mod pe;
 pub mod rtlplan;
 pub mod soc;
 pub mod workloads;
 
 pub use msg::{NocMsg, PeCommand, PeOp, HUB_NODE, N_PES};
+pub use parallel::{partition, ParallelSoc, ShardStats};
 pub use pe::{Fidelity, PeConfig, PeStats, ProcessingElement};
 pub use rtlplan::{DpEval, DpOp, EvalPlan, PlanCache, PlanStats, SignalPlan};
 pub use soc::{
     ClockingMode, ConfigError, FaultPatternError, FaultReport, HubReport, NocReport, PeReport,
     RouterKind, RunResult, Soc, SocConfig, SocConfigBuilder, SocReport,
 };
-pub use workloads::{run_workload, six_soc_tests, Workload};
+pub use workloads::{run_workload, run_workload_parallel, six_soc_tests, Workload};

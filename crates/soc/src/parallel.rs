@@ -1,0 +1,712 @@
+//! GALS-sharded parallel simulation of the prototype SoC.
+//!
+//! [`ParallelSoc`] partitions the 4x4 mesh into vertical strips at
+//! latency-insensitive channel boundaries and simulates each strip on
+//! its own worker thread with a private event wheel, synchronized by
+//! the conservative epoch protocol in [`craft_sim::run_parallel`]. The
+//! lookahead that makes one-instant epochs safe comes from the LI
+//! discipline itself: every cross-shard link is a buffered channel
+//! (capacity >= 1) whose push is staged at evaluate and committed at
+//! commit, so a token produced at instant *t* is never observable
+//! before *t*+1 — each worker may evaluate instant *t* knowing only
+//! tokens committed at *t*-1, which the mailbox exchange delivers at
+//! the epoch boundary.
+//!
+//! The partition is **bit- and cycle-identical** to the sequential
+//! [`Soc`]: every worker builds the full clock table and channel
+//! registry (so clock indices and fault seeds line up), components are
+//! instantiated only on their owning shard, and channels crossing a
+//! boundary are split into mailbox-coupled halves whose staged/commit
+//! semantics match the local channel exactly (see
+//! [`craft_connections::MailboxHub`]). Equivalence over workloads,
+//! fidelities, clockings and fault campaigns is asserted by
+//! `tests/parallel_equiv_proptest.rs`.
+
+use crate::msg::{HUB_NODE, N_NODES};
+use crate::pe::Fidelity;
+use crate::soc::{
+    merge_fault_stats, FaultPatternError, FaultReport, NocReport, RunResult, ShardSpec, Soc,
+    SocConfig, SocReport,
+};
+use craft_connections::{FaultConfig, FaultStats, MailboxHub};
+use craft_matchlib::router::NocFlit;
+use craft_sim::cover::Coverage;
+use craft_sim::telemetry::{MetricKind, MetricRow};
+use craft_sim::{
+    publish_hang_idle, ClockId, EpochSync, EpochVerdict, EpochWorker, HangReport, Picoseconds,
+    SimError, Simulator, Telemetry, TelemetrySnapshot,
+};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Instant;
+
+/// Maps each mesh node to its owning shard for a `threads`-way
+/// partition. Shards are vertical strips of the 4x4 mesh (plus a
+/// row-split at 8 threads), so every cut crosses only east-west (and
+/// north-south) mesh links — all latency-insensitive channels:
+///
+/// * 1 thread — one shard, the degenerate partition (no split
+///   channels; the epoch loop runs the full SoC alone);
+/// * 2 threads — west half (columns 0-1) / east half (columns 2-3);
+/// * 4 threads — one column per shard;
+/// * 8 threads — half a column (2 nodes) per shard.
+///
+/// The hub (node 15, column 3) lands on the last shard, which is the
+/// decider worker of the epoch protocol.
+///
+/// # Panics
+/// Panics unless `threads` is 1, 2, 4 or 8.
+pub fn partition(threads: usize) -> Vec<usize> {
+    assert!(
+        matches!(threads, 1 | 2 | 4 | 8),
+        "threads must be 1, 2, 4 or 8 (got {threads})"
+    );
+    (0..N_NODES as usize)
+        .map(|n| {
+            let (x, y) = (n % 4, n / 4);
+            match threads {
+                1 => 0,
+                2 => x / 2,
+                4 => x,
+                _ => x * 2 + y / 2,
+            }
+        })
+        .collect()
+}
+
+/// Epoch-loop statistics for one shard, accumulated over every run of
+/// a [`ParallelSoc`] — the observability feed for the
+/// `sim.shard.<i>.*` telemetry probes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Global instants this worker synchronized through.
+    pub instants: u64,
+    /// Instants at which this worker's kernel actually fired an edge.
+    pub fired_instants: u64,
+    /// Cross-shard tokens drained from mailboxes into receive halves.
+    pub drained_tokens: u64,
+    /// Wall-clock nanoseconds spent waiting at epoch barriers.
+    pub barrier_wait_ns: u64,
+}
+
+/// One run's outcome as reported by a worker thread.
+struct RunOut {
+    /// Hub-clock cycles elapsed during this run.
+    cycles: u64,
+    /// Absolute hub-clock cycle count after the run.
+    abs_cycles: u64,
+    /// Simulated time after the run.
+    now: Picoseconds,
+    /// Controller status snapshot (hub worker's is authoritative).
+    ctrl: crate::controller::CtrlStatus,
+    verdict: Option<EpochVerdict>,
+    instants: u64,
+    fired_instants: u64,
+    barrier_wait_ns: u64,
+    drained_tokens: u64,
+    fatal: Option<SimError>,
+    hang: Option<HangReport>,
+}
+
+enum Cmd {
+    Run {
+        max_cycles: u64,
+        watchdog: Option<u64>,
+    },
+    Report,
+    GmemRead {
+        base: usize,
+        len: usize,
+    },
+    InjectFault {
+        pat: String,
+        cfg: FaultConfig,
+        seed: u64,
+    },
+    FaultStats {
+        pat: String,
+    },
+    CoverageBins,
+    Telemetry,
+    Shutdown,
+}
+
+enum Resp {
+    Ran(Box<RunOut>),
+    Report(Box<SocReport>),
+    Gmem(Vec<u64>),
+    Injected(Result<usize, FaultPatternError>),
+    FaultStats(Result<FaultStats, FaultPatternError>),
+    CoverageBins(Vec<(String, u64)>),
+    Telemetry(Option<Box<TelemetrySnapshot>>),
+}
+
+struct Worker {
+    cmd: mpsc::Sender<Cmd>,
+    resp: mpsc::Receiver<Resp>,
+    join: Option<thread::JoinHandle<()>>,
+}
+
+/// The multi-threaded SoC simulator: a drop-in counterpart of [`Soc`]
+/// whose `run`/`run_checked`/`report`/`gmem_read`/fault/coverage
+/// surface produces **bit-identical, cycle-identical** results, with
+/// the mesh sharded across `threads` worker threads (see
+/// [`partition`]). See the [module docs](self) for the epoch model.
+pub struct ParallelSoc {
+    workers: Vec<Worker>,
+    hub_worker: usize,
+    threads: usize,
+    sync: Arc<EpochSync>,
+    has_telemetry: bool,
+    shard_stats: Vec<ShardStats>,
+}
+
+impl ParallelSoc {
+    /// Builds the SoC sharded over `threads` worker threads. Arguments
+    /// mirror [`Soc::build`]; `threads` must be 1, 2, 4 or 8.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails validation, any init region is out of
+    /// range, or `threads` is unsupported.
+    pub fn build(
+        cfg: SocConfig,
+        program: &[u32],
+        staging_init: &[u32],
+        gmem_init: &[(usize, Vec<u64>)],
+        threads: usize,
+    ) -> ParallelSoc {
+        Self::build_with_telemetry(cfg, program, staging_init, gmem_init, threads, false)
+    }
+
+    /// Like [`ParallelSoc::build`], but each worker additionally
+    /// publishes into a private [`Telemetry`] sink;
+    /// [`ParallelSoc::telemetry_snapshot`] merges the per-worker
+    /// snapshots and injects the `sim.shard.<i>.*` epoch probes.
+    /// (Sinks are per-worker because [`Telemetry`] is a
+    /// single-threaded `Rc` handle.)
+    pub fn build_with_telemetry(
+        cfg: SocConfig,
+        program: &[u32],
+        staging_init: &[u32],
+        gmem_init: &[(usize, Vec<u64>)],
+        threads: usize,
+        telemetry: bool,
+    ) -> ParallelSoc {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid SocConfig: {e}");
+        }
+        let owner = partition(threads);
+        let hub_worker = owner[HUB_NODE as usize];
+        // One clock slot per domain, identical on every worker: just
+        // the hub clock when synchronous, hub + 15 node domains under
+        // either GALS scheme.
+        let clocks = match cfg.clocking {
+            crate::soc::ClockingMode::Synchronous => 1,
+            _ => N_NODES as usize,
+        };
+        let sync = Arc::new(EpochSync::new(threads, clocks));
+        // Split-channel halves pair up through one shared mailbox
+        // registry; compiled plans share one cache across shards.
+        let mailboxes: MailboxHub<NocFlit> = MailboxHub::default();
+        let plan_cache =
+            (cfg.fidelity == Fidelity::RtlCompiled).then(crate::rtlplan::PlanCache::handle);
+        let workers = (0..threads)
+            .map(|shard| {
+                let (cmd_tx, cmd_rx) = mpsc::channel();
+                let (resp_tx, resp_rx) = mpsc::channel();
+                let owner = owner.clone();
+                let sync = Arc::clone(&sync);
+                let mailboxes = mailboxes.clone();
+                let plan_cache = plan_cache.clone();
+                let program = program.to_vec();
+                let staging = staging_init.to_vec();
+                let gmem = gmem_init.to_vec();
+                let join = thread::Builder::new()
+                    .name(format!("soc-shard-{shard}"))
+                    .spawn(move || {
+                        worker_main(
+                            shard, owner, sync, cfg, &program, &staging, &gmem, telemetry,
+                            mailboxes, plan_cache, &cmd_rx, &resp_tx,
+                        );
+                    })
+                    .expect("spawn shard worker");
+                Worker {
+                    cmd: cmd_tx,
+                    resp: resp_rx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        ParallelSoc {
+            workers,
+            hub_worker,
+            threads,
+            sync,
+            has_telemetry: telemetry,
+            shard_stats: vec![ShardStats::default(); threads],
+        }
+    }
+
+    /// Worker-thread count of this build.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Per-shard epoch-loop statistics accumulated over every run so
+    /// far: synchronized instants, fired instants, mailbox tokens and
+    /// barrier wait time.
+    pub fn shard_stats(&self) -> &[ShardStats] {
+        &self.shard_stats
+    }
+
+    /// Runs until the controller halts or `max_cycles` hub cycles.
+    /// Bit- and cycle-identical to [`Soc::run`].
+    pub fn run(&mut self, max_cycles: u64) -> RunResult {
+        self.run_inner(max_cycles, None)
+            .expect("unchecked parallel run cannot fail")
+    }
+
+    /// Like [`ParallelSoc::run`] but supervised by the hang watchdog,
+    /// mirroring [`Soc::run_checked`]: every flit channel is tapped as
+    /// a progress source and `no_progress_limit` consecutive hub
+    /// cycles without data-plane progress *anywhere in the worker set*
+    /// produce a [`SimError::Hang`] whose report merges every shard's
+    /// component/channel diagnosis.
+    ///
+    /// The watchdog aggregates each instant's progress bits at the
+    /// *next* epoch boundary, so detection can lag the sequential
+    /// kernel by one instant; the verdict and the diagnosed state are
+    /// the same.
+    ///
+    /// # Panics
+    /// Panics if `no_progress_limit` is zero.
+    pub fn run_checked(
+        &mut self,
+        max_cycles: u64,
+        no_progress_limit: u64,
+    ) -> Result<RunResult, SimError> {
+        assert!(
+            no_progress_limit > 0,
+            "no_progress_limit must be at least one cycle"
+        );
+        self.run_inner(max_cycles, Some(no_progress_limit))
+    }
+
+    fn run_inner(&mut self, max_cycles: u64, watchdog: Option<u64>) -> Result<RunResult, SimError> {
+        let t0 = Instant::now();
+        self.sync.reset();
+        for w in &self.workers {
+            w.cmd
+                .send(Cmd::Run {
+                    max_cycles,
+                    watchdog,
+                })
+                .expect("shard worker hung up");
+        }
+        let mut outs: Vec<Box<RunOut>> = self
+            .workers
+            .iter()
+            .map(|w| match w.resp.recv().expect("shard worker died") {
+                Resp::Ran(o) => o,
+                _ => unreachable!("protocol violation"),
+            })
+            .collect();
+        for (acc, o) in self.shard_stats.iter_mut().zip(&outs) {
+            acc.instants += o.instants;
+            acc.fired_instants += o.fired_instants;
+            acc.drained_tokens += o.drained_tokens;
+            acc.barrier_wait_ns += o.barrier_wait_ns;
+        }
+        // A kernel arithmetic fault outranks every other outcome, as
+        // in the sequential `run_until_checked`.
+        if let Some(i) = outs.iter().position(|o| o.fatal.is_some()) {
+            return Err(outs[i].fatal.take().expect("just checked"));
+        }
+        let hub = &outs[self.hub_worker];
+        if hub.verdict == Some(EpochVerdict::Hang) {
+            let (cycle, now) = (hub.abs_cycles, hub.now);
+            let mut report = HangReport {
+                idle_cycles: 0,
+                components: Vec::new(),
+                channels: Vec::new(),
+            };
+            for o in &mut outs {
+                if let Some(h) = o.hang.take() {
+                    report.idle_cycles = report.idle_cycles.max(h.idle_cycles);
+                    report.components.extend(h.components);
+                    report.channels.extend(h.channels);
+                }
+            }
+            return Err(SimError::Hang {
+                clock: "hub".into(),
+                cycle,
+                now,
+                report,
+            });
+        }
+        let hub = &outs[self.hub_worker];
+        Ok(RunResult {
+            cycles: hub.cycles,
+            wall: t0.elapsed(),
+            ctrl: hub.ctrl,
+            completed: hub.verdict == Some(EpochVerdict::Predicate),
+        })
+    }
+
+    /// Backdoor read of global memory (lives on the hub's shard).
+    pub fn gmem_read(&self, base: usize, len: usize) -> Vec<u64> {
+        let w = &self.workers[self.hub_worker];
+        w.cmd
+            .send(Cmd::GmemRead { base, len })
+            .expect("shard worker hung up");
+        match w.resp.recv().expect("shard worker died") {
+            Resp::Gmem(v) => v,
+            _ => unreachable!("protocol violation"),
+        }
+    }
+
+    /// Merged run report, field-for-field identical to the sequential
+    /// [`Soc::report`]: hub/plan sections come from the hub's shard,
+    /// per-PE rows are concatenated, and NoC/fault/gate counters are
+    /// summed (each channel's counters live on exactly one worker —
+    /// split halves own disjoint fields).
+    pub fn report(&self) -> SocReport {
+        let reports: Vec<Box<SocReport>> = self
+            .broadcast(|| Cmd::Report)
+            .into_iter()
+            .map(|r| match r {
+                Resp::Report(r) => r,
+                _ => unreachable!("protocol violation"),
+            })
+            .collect();
+        let mut merged = SocReport {
+            hub: reports[self.hub_worker].hub.clone(),
+            plan: reports[self.hub_worker].plan,
+            noc: NocReport {
+                channels: reports[self.hub_worker].noc.channels,
+                ..NocReport::default()
+            },
+            faults: FaultReport::default(),
+            ..SocReport::default()
+        };
+        for r in &reports {
+            merged.pes.extend(r.pes.iter().copied());
+            merged.noc.transfers += r.noc.transfers;
+            merged.noc.backpressure += r.noc.backpressure;
+            merged.noc.pop_empty += r.noc.pop_empty;
+            merged.noc.stall_cycles += r.noc.stall_cycles;
+            merged.faults.armed_channels += r.faults.armed_channels;
+            merge_fault_stats(&mut merged.faults.stats, &r.faults.stats);
+            merged.charged_gates += r.charged_gates;
+            merged.total_work_units += r.total_work_units;
+        }
+        merged.pes.sort_by_key(|p| p.node);
+        merged
+    }
+
+    /// Arms fault injectors on every NoC channel whose name contains
+    /// `pat`, exactly as [`Soc::inject_fault`]: the match count and
+    /// per-channel seeds are registry-wide, so they agree with the
+    /// sequential build; each injector arms on the worker owning the
+    /// producer end of its channel.
+    pub fn inject_fault(
+        &self,
+        pat: &str,
+        cfg: FaultConfig,
+        seed: u64,
+    ) -> Result<usize, FaultPatternError> {
+        let results: Vec<_> = self
+            .broadcast(|| Cmd::InjectFault {
+                pat: pat.to_string(),
+                cfg,
+                seed,
+            })
+            .into_iter()
+            .map(|r| match r {
+                Resp::Injected(r) => r,
+                _ => unreachable!("protocol violation"),
+            })
+            .collect();
+        // Every worker matched the same registry; any result is THE
+        // result.
+        results.into_iter().next().expect("at least one worker")
+    }
+
+    /// Aggregated fault counters over channels matching `pat`, summed
+    /// across shards — identical to [`Soc::fault_stats`].
+    pub fn fault_stats(&self, pat: &str) -> Result<FaultStats, FaultPatternError> {
+        let mut total = FaultStats::default();
+        let mut err = None;
+        for r in self.broadcast(|| Cmd::FaultStats {
+            pat: pat.to_string(),
+        }) {
+            match r {
+                Resp::FaultStats(Ok(s)) => merge_fault_stats(&mut total, &s),
+                Resp::FaultStats(Err(e)) => err = Some(e),
+                _ => unreachable!("protocol violation"),
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => Ok(total),
+        }
+    }
+
+    /// The functional-coverage map merged across every shard's
+    /// collector (bin counts sum; see [`Coverage::absorb`]).
+    pub fn coverage(&self) -> Coverage {
+        let cov = Coverage::new();
+        for r in self.broadcast(|| Cmd::CoverageBins) {
+            match r {
+                Resp::CoverageBins(bins) => cov.absorb(&bins),
+                _ => unreachable!("protocol violation"),
+            }
+        }
+        cov
+    }
+
+    /// Merged telemetry snapshot across every worker's sink, `None`
+    /// unless built with telemetry. Rows with the same path (the two
+    /// halves of a split channel) sum their values; span events and
+    /// profiles concatenate; the cycle stamp is the hub shard's. The
+    /// facade then appends its own epoch probes per shard `i`:
+    /// `sim.shard.<i>.ticks` (fired instants),
+    /// `sim.shard.<i>.mailbox_tokens` and
+    /// `sim.shard.<i>.barrier_wait_ns`.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        if !self.has_telemetry {
+            return None;
+        }
+        let mut snaps: Vec<Option<Box<TelemetrySnapshot>>> = self
+            .broadcast(|| Cmd::Telemetry)
+            .into_iter()
+            .map(|r| match r {
+                Resp::Telemetry(s) => s,
+                _ => unreachable!("protocol violation"),
+            })
+            .collect();
+        let mut base = *snaps[self.hub_worker].take()?;
+        for (i, snap) in snaps.into_iter().enumerate() {
+            if i == self.hub_worker {
+                continue;
+            }
+            let snap = snap?;
+            for row in snap.metrics {
+                match base.metrics.iter_mut().find(|m| m.path == row.path) {
+                    Some(m) => {
+                        m.value += row.value;
+                        m.p50 = m.p50.max(row.p50);
+                        m.p99 = m.p99.max(row.p99);
+                    }
+                    None => base.metrics.push(row),
+                }
+            }
+            base.spans.extend(snap.spans);
+            base.spans_recorded += snap.spans_recorded;
+            base.spans_dropped += snap.spans_dropped;
+            base.profile.extend(snap.profile);
+        }
+        for (i, st) in self.shard_stats.iter().enumerate() {
+            for (field, value) in [
+                ("ticks", st.fired_instants),
+                ("mailbox_tokens", st.drained_tokens),
+                ("barrier_wait_ns", st.barrier_wait_ns),
+            ] {
+                base.metrics.push(MetricRow {
+                    path: format!("sim.shard.{i}.{field}"),
+                    kind: MetricKind::Counter,
+                    value,
+                    p50: None,
+                    p99: None,
+                });
+            }
+        }
+        base.metrics.sort_by(|a, b| a.path.cmp(&b.path));
+        Some(base)
+    }
+
+    /// Sends `mk()` to every worker and collects one response each,
+    /// in worker order.
+    fn broadcast(&self, mk: impl Fn() -> Cmd) -> Vec<Resp> {
+        for w in &self.workers {
+            w.cmd.send(mk()).expect("shard worker hung up");
+        }
+        self.workers
+            .iter()
+            .map(|w| w.resp.recv().expect("shard worker died"))
+            .collect()
+    }
+}
+
+impl Drop for ParallelSoc {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.cmd.send(Cmd::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(j) = w.join.take() {
+                let _ = j.join();
+            }
+        }
+    }
+}
+
+/// One worker thread: builds its shard of the SoC, then serves
+/// commands until shutdown.
+#[allow(clippy::too_many_arguments)]
+fn worker_main(
+    shard: usize,
+    owner: Vec<usize>,
+    sync: Arc<EpochSync>,
+    cfg: SocConfig,
+    program: &[u32],
+    staging: &[u32],
+    gmem: &[(usize, Vec<u64>)],
+    telemetry: bool,
+    mailboxes: MailboxHub<NocFlit>,
+    plan_cache: Option<crate::rtlplan::PlanCacheHandle>,
+    cmds: &mpsc::Receiver<Cmd>,
+    resps: &mpsc::Sender<Resp>,
+) {
+    let is_hub = owner[HUB_NODE as usize] == shard;
+    let spec = ShardSpec {
+        shard,
+        owner,
+        mailboxes,
+        plan_cache,
+    };
+    let sink = telemetry.then(Telemetry::new);
+    let mut soc = Soc::build_sharded(cfg, program, staging, gmem, sink, &spec);
+    while let Ok(cmd) = cmds.recv() {
+        let resp = match cmd {
+            Cmd::Run {
+                max_cycles,
+                watchdog,
+            } => Resp::Ran(Box::new(run_one(
+                &mut soc, &sync, shard, is_hub, max_cycles, watchdog,
+            ))),
+            Cmd::Report => Resp::Report(Box::new(soc.report())),
+            Cmd::GmemRead { base, len } => Resp::Gmem(soc.gmem_read(base, len)),
+            Cmd::InjectFault { pat, cfg, seed } => {
+                Resp::Injected(soc.inject_fault(&pat, cfg, seed))
+            }
+            Cmd::FaultStats { pat } => Resp::FaultStats(soc.fault_stats(&pat)),
+            Cmd::CoverageBins => Resp::CoverageBins(soc.coverage().bins()),
+            Cmd::Telemetry => Resp::Telemetry(soc.telemetry_snapshot().map(Box::new)),
+            Cmd::Shutdown => break,
+        };
+        if resps.send(resp).is_err() {
+            break;
+        }
+    }
+}
+
+/// Drives one epoch-synchronized run on this worker's kernel. The hub
+/// shard is the decider: its closure replays the sequential
+/// `run_until_checked` decision order — watchdog, then the halt
+/// predicate, then the cycle budget — at each instant boundary.
+fn run_one(
+    soc: &mut Soc,
+    sync: &EpochSync,
+    shard: usize,
+    is_hub: bool,
+    max_cycles: u64,
+    watchdog: Option<u64>,
+) -> RunOut {
+    if watchdog.is_some() {
+        soc.arm_progress_taps();
+    }
+    let hub_clock = soc.hub_clock();
+    let owned: Vec<ClockId> = soc.owned_clocks().to_vec();
+    let worker = EpochWorker {
+        sync,
+        index: shard,
+        owned_clocks: &owned,
+        decider: is_hub,
+    };
+    let ctrl = soc.ctrl_handle();
+    let start = soc.sim().cycles(hub_clock);
+    let limit = start + max_cycles;
+    let mut idle: u64 = 0;
+    let mut last_cycle = start;
+    let mut decide = |sim: &mut Simulator, progressed: bool| -> Option<EpochVerdict> {
+        let cycle = sim.cycles(hub_clock);
+        if let Some(np) = watchdog {
+            if progressed {
+                idle = 0;
+            } else {
+                idle += cycle - last_cycle;
+            }
+            if idle >= np {
+                publish_hang_idle(sync, idle);
+                return Some(EpochVerdict::Hang);
+            }
+        }
+        last_cycle = cycle;
+        if ctrl.borrow().halted {
+            return Some(EpochVerdict::Predicate);
+        }
+        if cycle >= limit {
+            return Some(EpochVerdict::MaxCycles);
+        }
+        None
+    };
+    let out = soc.run_epochs(&worker, &mut decide);
+    let ctrl = soc.ctrl_handle();
+    let status = *ctrl.borrow();
+    RunOut {
+        cycles: soc.sim().cycles(hub_clock) - start,
+        abs_cycles: soc.sim().cycles(hub_clock),
+        now: soc.sim().now(),
+        ctrl: status,
+        verdict: out.verdict,
+        instants: out.instants,
+        fired_instants: out.fired_instants,
+        barrier_wait_ns: out.barrier_wait_ns,
+        drained_tokens: out.drained_tokens,
+        fatal: out.fatal,
+        hang: out.hang,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{orchestrator_program, table_words, vec_mul};
+
+    #[test]
+    fn partition_shapes() {
+        assert_eq!(partition(1), vec![0; 16]);
+        assert_eq!(partition(2)[0], 0);
+        assert_eq!(partition(2)[3], 1);
+        assert_eq!(partition(4)[HUB_NODE as usize], 3);
+        assert_eq!(partition(8)[HUB_NODE as usize], 7);
+        for t in [1, 2, 4, 8] {
+            let owner = partition(t);
+            assert_eq!(owner.len(), 16);
+            assert!(owner.iter().all(|&s| s < t));
+        }
+    }
+
+    #[test]
+    fn two_shards_match_sequential_vec_mul() {
+        let wl = vec_mul();
+        let program = orchestrator_program();
+        let table = table_words(&wl.entries);
+        let cfg = SocConfig::default();
+
+        let mut seq = Soc::build(cfg, &program, &table, &wl.gmem_init);
+        let seq_res = seq.run(2_000_000);
+        assert!(seq_res.completed);
+
+        let mut par = ParallelSoc::build(cfg, &program, &table, &wl.gmem_init, 2);
+        let par_res = par.run(2_000_000);
+        assert!(par_res.completed, "parallel run did not complete");
+        assert_eq!(par_res.cycles, seq_res.cycles, "cycle count diverged");
+        assert_eq!(par_res.ctrl, seq_res.ctrl);
+        for (base, expect) in &wl.expected {
+            assert_eq!(&par.gmem_read(*base, expect.len()), expect);
+        }
+        assert_eq!(par.report(), seq.report(), "SocReport diverged");
+    }
+}

@@ -24,6 +24,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 echo "==> kernel smoke (release, vec_mul only; JSON baseline untouched)"
 cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul
 
+echo "==> parallel kernel smoke (release, vec_mul, 4 shards; cycle-identity asserted)"
+cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul --threads 4
+
+echo "==> degenerate-partition smoke (epoch machinery on, single shard)"
+cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul --threads 1
+
 echo "==> telemetry smoke (release, instrumented run + validated snapshot JSON)"
 tel_snap="$(mktemp)"
 cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul --telemetry "$tel_snap"
