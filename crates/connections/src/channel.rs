@@ -22,7 +22,7 @@ use crate::mailbox::{RemoteRxEnd, RemoteTxEnd, WireMsg};
 use crate::packet::Payload;
 use crate::stall::StallInjector;
 use craft_sim::{ActivityToken, SeqDiag, Sequential, Telemetry};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
 use std::fmt::Write as _;
@@ -222,6 +222,12 @@ pub(crate) struct ChannelCore<T> {
     /// successful push and pop when wired (see
     /// [`ChannelHandle::set_progress_token`]).
     progress: Option<ActivityToken>,
+    /// Exact mirror of [`has_pending`](Self::has_pending), shared with
+    /// the consumer port so quiescence checks (which run once per
+    /// delivered tick across every router/PE/hub input) read a `Cell`
+    /// instead of borrowing the core. Every queue/staged mutation
+    /// resynchronizes it.
+    pending: Rc<Cell<bool>>,
 }
 
 impl<T> ChannelCore<T> {
@@ -245,7 +251,22 @@ impl<T> ChannelCore<T> {
             producer_wake: None,
             commit_dirty: ActivityToken::new(),
             progress: None,
+            pending: Rc::new(Cell::new(false)),
         }
+    }
+
+    /// Shared handle to the pending-data mirror, handed to the
+    /// consumer port at construction.
+    pub(crate) fn pending_handle(&self) -> Rc<Cell<bool>> {
+        Rc::clone(&self.pending)
+    }
+
+    /// Resynchronizes the pending mirror; call at the end of every
+    /// method that may change `queue` or `staged_push`.
+    #[inline]
+    fn sync_pending(&self) {
+        self.pending
+            .set(!self.queue.is_empty() || self.staged_push.is_some());
     }
 
     /// Data committed *or staged*: true when the channel offers data
@@ -317,6 +338,7 @@ impl<T> ChannelCore<T> {
                 p.set();
             }
             self.commit_dirty.set();
+            self.pending.set(true);
             Ok(())
         } else {
             self.stats.push_backpressure += 1;
@@ -356,6 +378,7 @@ impl<T> ChannelCore<T> {
                 p.set();
             }
             self.commit_dirty.set();
+            self.sync_pending();
             return Some(v);
         }
         if self.kind.flow_through() {
@@ -375,6 +398,7 @@ impl<T> ChannelCore<T> {
                     f.pending_dup = false;
                 }
                 self.commit_dirty.set();
+                self.sync_pending();
                 return Some(v);
             }
         }
@@ -457,6 +481,8 @@ impl<T> ChannelCore<T> {
         if self.stall.is_some() || self.fault.is_some() {
             self.commit_dirty.set();
         }
+        // A pending-drop fault may have consumed the staged token.
+        self.sync_pending();
     }
 
     /// Commit phase of a transmit half: absorb acknowledgements for
@@ -554,6 +580,7 @@ impl<T> ChannelCore<T> {
         if fault.is_some() {
             commit_dirty.set();
         }
+        self.sync_pending();
     }
 
     /// Commit phase of a receive half: reset the per-cycle pop flags
@@ -607,6 +634,9 @@ impl<T> ChannelCore<T> {
                 }
                 WireMsg::ValidStuck(b) => *valid_stuck = b,
             }
+        }
+        if tokens > 0 {
+            self.pending.set(true);
         }
         tokens
     }

@@ -9,7 +9,7 @@
 
 use crate::channel::ChannelCore;
 use craft_sim::ActivityToken;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::rc::Rc;
 
@@ -61,17 +61,27 @@ impl<T> fmt::Debug for Out<T> {
 /// Consumer terminal of an LI channel (`In<T>` in the paper).
 pub struct In<T> {
     core: Rc<RefCell<ChannelCore<T>>>,
+    /// The core's pending-data mirror (see `ChannelCore::pending`):
+    /// read on the quiescence and peek fast paths without borrowing
+    /// the core. The core keeps it exact through every mutation.
+    pending: Rc<Cell<bool>>,
 }
 
 impl<T> In<T> {
     pub(crate) fn new(core: Rc<RefCell<ChannelCore<T>>>) -> Self {
-        In { core }
+        let pending = core.borrow().pending_handle();
+        In { core, pending }
     }
 
     /// True if a non-blocking pop would succeed this cycle (the
     /// channel's `valid` as seen by the consumer, after stall
     /// injection).
     pub fn can_pop(&self) -> bool {
+        // No data committed or staged: nothing a pop could see,
+        // whatever the stall/pop-limit state is.
+        if !self.pending.get() {
+            return false;
+        }
         self.core.borrow().can_pop()
     }
 
@@ -86,6 +96,9 @@ impl<T> In<T> {
     where
         T: Clone,
     {
+        if !self.pending.get() {
+            return None;
+        }
         self.core.borrow().peek_ref().cloned()
     }
 
@@ -104,7 +117,13 @@ impl<T> In<T> {
     /// pop blockers like stall injection, so a consumer can never
     /// sleep while undelivered data sits in the channel.
     pub fn has_pending(&self) -> bool {
-        self.core.borrow().has_pending()
+        debug_assert_eq!(
+            self.pending.get(),
+            self.core.borrow().has_pending(),
+            "pending mirror out of sync on `{}`",
+            self.core.borrow().name
+        );
+        self.pending.get()
     }
 
     /// Registers the consuming component's wake token: every

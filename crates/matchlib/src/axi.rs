@@ -89,16 +89,23 @@ pub struct AxiMasterPorts {
     pub r: In<AxiReadBeat>,
 }
 
+/// One AXI channel's commit handle paired with its commit-dirty token.
+pub type AxiLinkSequential = (
+    Rc<RefCell<dyn craft_sim::Sequential>>,
+    craft_sim::ActivityToken,
+);
+
 /// Creates the five channels of one AXI link and returns the two port
-/// bundles plus the commit handles to register on a clock domain.
+/// bundles plus, per channel, the commit handle paired with its
+/// commit-dirty token. Register each pair with
+/// [`craft_sim::Simulator::add_sequential_gated`] so idle AXI channels
+/// (the common case between transactions) cost no commit work — or
+/// drop the token and use plain `add_sequential` for unconditional
+/// commits.
 pub fn axi_link(
     name: &str,
     depth: usize,
-) -> (
-    AxiMasterPorts,
-    AxiSlavePorts,
-    Vec<Rc<RefCell<dyn craft_sim::Sequential>>>,
-) {
+) -> (AxiMasterPorts, AxiSlavePorts, Vec<AxiLinkSequential>) {
     use craft_connections::{channel, ChannelKind};
     let kind = ChannelKind::Buffer(depth);
     let (aw_tx, aw_rx, h1) = channel::<AxiAddrCmd>(format!("{name}.aw"), kind);
@@ -122,11 +129,11 @@ pub fn axi_link(
             r: r_tx,
         },
         vec![
-            h1.sequential(),
-            h2.sequential(),
-            h3.sequential(),
-            h4.sequential(),
-            h5.sequential(),
+            (h1.sequential(), h1.commit_token()),
+            (h2.sequential(), h2.commit_token()),
+            (h3.sequential(), h3.commit_token()),
+            (h4.sequential(), h4.commit_token()),
+            (h5.sequential(), h5.commit_token()),
         ],
     )
 }
@@ -646,8 +653,8 @@ mod tests {
         let mut sim = Simulator::new();
         let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(1000)));
         let (mports, sports, seqs) = axi_link("lnk", 2);
-        for s in seqs {
-            sim.add_sequential(clk, s);
+        for (s, dirty) in seqs {
+            sim.add_sequential_gated(clk, s, dirty);
         }
         let handle = AxiMasterHandle::new();
         for op in ops {
@@ -726,8 +733,8 @@ mod tests {
         // bus -> two slaves at [0,32) and [32,64)
         let (bus_dn0, slave0, s2) = axi_link("bus2s0", 2);
         let (bus_dn1, slave1, s3) = axi_link("bus2s1", 2);
-        for s in s1.into_iter().chain(s2).chain(s3) {
-            sim.add_sequential(clk, s);
+        for (s, dirty) in s1.into_iter().chain(s2).chain(s3) {
+            sim.add_sequential_gated(clk, s, dirty);
         }
         let handle = AxiMasterHandle::new();
         handle.submit(AxiOp::Write {
@@ -792,8 +799,8 @@ mod bus_burst_tests {
         let (mports, bus_up, s1) = axi_link("m2bus", 2);
         let (bus_dn0, slave0, s2) = axi_link("bus2s0", 2);
         let (bus_dn1, slave1, s3) = axi_link("bus2s1", 2);
-        for s in s1.into_iter().chain(s2).chain(s3) {
-            sim.add_sequential(clk, s);
+        for (s, dirty) in s1.into_iter().chain(s2).chain(s3) {
+            sim.add_sequential_gated(clk, s, dirty);
         }
         let handle = AxiMasterHandle::new();
         let words: Vec<u64> = (500..532).collect();

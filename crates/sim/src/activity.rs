@@ -3,26 +3,49 @@
 //! A sleeping component is skipped entirely during the evaluate phase,
 //! so something *outside* the component must be able to mark it
 //! runnable again. An [`ActivityToken`] is a shared one-bit flag
-//! (`Rc<Cell<bool>>`) handed both to the kernel (which reads and
-//! clears it when deciding whether to wake a sleeper) and to the
-//! component's activity sources — typically the channels feeding it,
-//! which set the flag on every successful push or pop.
+//! handed both to the kernel (which reads and clears it when deciding
+//! whether to wake a sleeper) and to the component's activity sources —
+//! typically the channels feeding it, which set the flag on every
+//! successful push or pop.
 //!
 //! Tokens are level-ish, not edge-precise: a token may be set while
 //! its owner is still awake (the kernel clears it only on wake), which
 //! at worst costs one spurious tick after a sleep. A token is never
 //! cleared when a component goes to sleep, so activity staged during
 //! the same instant a component sleeps can never be lost.
+//!
+//! # Notify sinks
+//!
+//! The compiled instant plan (see the kernel's `plan` module) replaces
+//! the kernel's per-edge token *scan* with an event queue: while a plan
+//! is armed, each scheduled token is attached to a [`NotifySink`] with
+//! a dense slot index, and every **false→true transition** of the flag
+//! pushes that slot into the sink. The flag itself remains the source
+//! of truth — detaching a sink loses no information, so the interpreted
+//! path can take over at any moment (the de-opt contract). While a
+//! token is already set, further `set()` calls notify nothing, exactly
+//! mirroring the level semantics above.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+
+#[derive(Debug, Default)]
+struct TokenInner {
+    flag: Cell<bool>,
+    /// Fast guard so unattached tokens (the interpreted path) pay one
+    /// load + branch, not a `RefCell` borrow, per `set()`.
+    attached: Cell<bool>,
+    /// Dense index pushed into the sink on a false→true transition.
+    slot: Cell<u32>,
+    sink: RefCell<Option<NotifySink>>,
+}
 
 /// Shared "something happened, wake your owner" flag.
 ///
 /// Cloning the token clones the handle, not the flag: all clones
-/// observe and mutate the same bit.
+/// observe and mutate the same bit (and the same sink attachment).
 #[derive(Debug, Clone, Default)]
-pub struct ActivityToken(Rc<Cell<bool>>);
+pub struct ActivityToken(Rc<TokenInner>);
 
 impl ActivityToken {
     /// A fresh, unset token.
@@ -30,24 +53,105 @@ impl ActivityToken {
         Self::default()
     }
 
-    /// Marks activity (idempotent).
+    /// Marks activity (idempotent). With a sink attached, the first
+    /// set after a clear also enqueues the token's slot.
+    #[inline]
     pub fn set(&self) {
-        self.0.set(true);
+        if !self.0.flag.replace(true) && self.0.attached.get() {
+            if let Some(sink) = self.0.sink.borrow().as_ref() {
+                sink.push(self.0.slot.get());
+            }
+        }
     }
 
     /// Reads and clears the flag, returning whether it was set.
+    #[inline]
     pub fn take(&self) -> bool {
-        self.0.replace(false)
+        self.0.flag.replace(false)
     }
 
     /// Reads the flag without clearing it.
+    #[inline]
     pub fn is_set(&self) -> bool {
-        self.0.get()
+        self.0.flag.get()
     }
 
     /// True when `other` is a clone of this token (same flag cell).
     pub fn ptr_eq(&self, other: &ActivityToken) -> bool {
         Rc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// Attaches `sink` so future false→true transitions enqueue `slot`.
+    ///
+    /// Returns `None` when a sink is already attached — a token
+    /// registered under two plan slots cannot deliver to both, so the
+    /// caller must decline to arm. On success returns whether the flag
+    /// was **already set** at attach time: such a token will produce no
+    /// notification until taken and re-set, so the caller must seed its
+    /// own queue with `slot`.
+    pub fn attach_notify(&self, sink: &NotifySink, slot: u32) -> Option<bool> {
+        if self.0.attached.get() {
+            return None;
+        }
+        *self.0.sink.borrow_mut() = Some(sink.clone());
+        self.0.slot.set(slot);
+        self.0.attached.set(true);
+        Some(self.0.flag.get())
+    }
+
+    /// Detaches any attached sink. The flag is untouched, so the
+    /// interpreted scan resumes with exactly the state the queue-based
+    /// path would have observed.
+    pub fn detach_notify(&self) {
+        self.0.attached.set(false);
+        *self.0.sink.borrow_mut() = None;
+    }
+
+    /// Whether a notify sink is currently attached.
+    pub fn notify_attached(&self) -> bool {
+        self.0.attached.get()
+    }
+}
+
+#[derive(Debug, Default)]
+struct SinkInner {
+    queue: RefCell<Vec<u32>>,
+    /// Mirror of `!queue.is_empty()`: the emptiness probe sits on the
+    /// kernel's per-tick fast path, where a `Cell` load beats a
+    /// `RefCell` borrow.
+    nonempty: Cell<bool>,
+}
+
+/// A shared queue of slot indices fed by [`ActivityToken`] false→true
+/// transitions. One sink serves many tokens; the consumer drains it
+/// once per phase.
+#[derive(Debug, Clone, Default)]
+pub struct NotifySink(Rc<SinkInner>);
+
+impl NotifySink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn push(&self, slot: u32) {
+        self.0.queue.borrow_mut().push(slot);
+        self.0.nonempty.set(true);
+    }
+
+    /// Whether no notifications are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        !self.0.nonempty.get()
+    }
+
+    /// Moves all pending notifications into `out` (appending), leaving
+    /// the sink empty.
+    pub fn drain_into(&self, out: &mut Vec<u32>) {
+        if self.0.nonempty.replace(false) {
+            out.append(&mut self.0.queue.borrow_mut());
+        }
     }
 }
 
@@ -67,5 +171,53 @@ mod tests {
         assert!(!b.take());
         assert!(a.ptr_eq(&b));
         assert!(!a.ptr_eq(&ActivityToken::new()));
+    }
+
+    #[test]
+    fn notify_fires_on_rising_edge_only() {
+        let t = ActivityToken::new();
+        let sink = NotifySink::new();
+        assert_eq!(t.attach_notify(&sink, 7), Some(false));
+        t.set();
+        t.set(); // already set: no second notification
+        let mut got = Vec::new();
+        sink.drain_into(&mut got);
+        assert_eq!(got, vec![7]);
+        assert!(sink.is_empty());
+        // Still set; take then re-set notifies again.
+        assert!(t.take());
+        t.set();
+        got.clear();
+        sink.drain_into(&mut got);
+        assert_eq!(got, vec![7]);
+    }
+
+    #[test]
+    fn attach_reports_preexisting_level_and_rejects_double() {
+        let t = ActivityToken::new();
+        t.set();
+        let sink = NotifySink::new();
+        assert_eq!(t.attach_notify(&sink, 3), Some(true), "flag already set");
+        assert!(sink.is_empty(), "no retroactive notification");
+        assert_eq!(t.attach_notify(&sink, 4), None, "double attach");
+        t.detach_notify();
+        assert!(t.is_set(), "detach leaves the flag untouched");
+        // Detached: transitions are silent again.
+        assert!(t.take());
+        t.set();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn clones_share_attachment() {
+        let a = ActivityToken::new();
+        let b = a.clone();
+        let sink = NotifySink::new();
+        assert_eq!(a.attach_notify(&sink, 1), Some(false));
+        assert!(b.notify_attached());
+        b.set();
+        let mut got = Vec::new();
+        sink.drain_into(&mut got);
+        assert_eq!(got, vec![1]);
     }
 }

@@ -47,14 +47,29 @@
 //! but never [`Simulator::cycles`], simulation time, or any committed
 //! state — determinism is the contract, and
 //! [`Simulator::set_gating`] exists so tests can prove it.
+//!
+//! # Compiled instant plan
+//!
+//! When the schedule is steady-state — every unpaused clock on one
+//! period and phase — [`Simulator::arm_plan`] freezes it into a flat
+//! plan (see the `plan` module) and both phases switch to a fast path:
+//! the evaluate phase walks an `active` worklist of awake components
+//! instead of scanning every registration, and the commit phase walks
+//! only the sequentials whose dirty token actually transitioned
+//! (delivered by notify sinks) plus the always-commit list. The
+//! interpreted loop remains the golden reference; the plan reproduces
+//! its observable behaviour exactly and *de-opts* (disarms) on any
+//! irregular event — structural changes, clock pause/resume or
+//! stretch/override, gating/profiling toggles, watchdog trips.
 
-use crate::activity::ActivityToken;
+use crate::activity::{ActivityToken, NotifySink};
 use crate::clock::{ClockId, ClockSpec, ClockState};
 use crate::component::{ClockRequest, Component, Sequential, TickCtx};
 use crate::error::{CompDiag, HangReport, SimError};
+use crate::plan::{PlanDesc, PlanNode, PlanReject, PlanState};
 use crate::telemetry::TickProfile;
 use crate::time::Picoseconds;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::rc::Rc;
@@ -154,6 +169,18 @@ pub struct Simulator {
     /// Clocks that fired at the instant currently being processed,
     /// carried from the evaluate phase to the commit phase.
     instant_edges: Vec<usize>,
+    /// Compiled steady-state schedule, when armed
+    /// ([`Simulator::arm_plan`]). `eval_instant`/`commit_instant`
+    /// dispatch to the plan fast path while this is `Some`; any
+    /// irregular event disarms it and the interpreted loop resumes.
+    plan: Option<Box<PlanState>>,
+    /// De-opts (plan disarms) so far — `Rc` so telemetry probes can
+    /// observe it live (`sim.plan.deopt_count`).
+    plan_deopts: Rc<Cell<u64>>,
+    /// Instants executed by the compiled plan (`sim.plan.instants`).
+    plan_instants: Rc<Cell<u64>>,
+    /// 1 while a plan is armed, 0 otherwise (`sim.plan.armed`).
+    plan_armed_flag: Rc<Cell<u64>>,
 }
 
 impl Default for Simulator {
@@ -189,11 +216,16 @@ impl Simulator {
             tick_costs: Vec::new(),
             mid_instant: false,
             instant_edges: Vec::new(),
+            plan: None,
+            plan_deopts: Rc::new(Cell::new(0)),
+            plan_instants: Rc::new(Cell::new(0)),
+            plan_armed_flag: Rc::new(Cell::new(0)),
         }
     }
 
     /// Registers a clock domain and returns its id.
     pub fn add_clock(&mut self, spec: ClockSpec) -> ClockId {
+        self.disarm_plan();
         let id = ClockId(self.clocks.len());
         self.clocks.push(ClockState::new(spec));
         self.by_clock.push(Vec::new());
@@ -214,6 +246,7 @@ impl Simulator {
         component: C,
     ) -> ComponentId {
         assert!(clock.0 < self.clocks.len(), "unknown clock domain {clock}");
+        self.disarm_plan();
         let id = ComponentId(self.components.len());
         self.components.push(ComponentEntry {
             clock,
@@ -234,6 +267,7 @@ impl Simulator {
     /// component runnable again — typically its input channels (see
     /// `craft-connections`' `In::set_wake_token`).
     pub fn set_wake_token(&mut self, id: ComponentId, token: ActivityToken) {
+        self.disarm_plan();
         self.components[id.0].wake = Some(token);
     }
 
@@ -244,6 +278,7 @@ impl Simulator {
     /// Panics if `clock` is unknown.
     pub fn add_sequential(&mut self, clock: ClockId, state: Rc<RefCell<dyn Sequential>>) {
         assert!(clock.0 < self.clocks.len(), "unknown clock domain {clock}");
+        self.disarm_plan();
         let idx = self.sequentials.len();
         self.sequentials.push(SequentialEntry {
             state,
@@ -271,6 +306,7 @@ impl Simulator {
         dirty: ActivityToken,
     ) {
         assert!(clock.0 < self.clocks.len(), "unknown clock domain {clock}");
+        self.disarm_plan();
         dirty.set();
         let idx = self.sequentials.len();
         self.sequentials.push(SequentialEntry {
@@ -329,6 +365,10 @@ impl Simulator {
     /// or delivery order — but the `Instant` reads cost wall clock, so
     /// it is off by default.
     pub fn set_tick_profiling(&mut self, on: bool) {
+        if on {
+            // The plan fast path has no timing hooks.
+            self.disarm_plan();
+        }
         self.tick_profiling = on;
         if on && self.tick_costs.len() < self.components.len() {
             self.tick_costs.resize(self.components.len(), (0, 0));
@@ -372,6 +412,7 @@ impl Simulator {
     /// Results are identical either way; only wall clock and
     /// [`ticks_delivered`](Self::ticks_delivered) differ.
     pub fn set_gating(&mut self, enabled: bool) {
+        self.disarm_plan();
         self.gating = enabled;
         if !enabled {
             for entry in &mut self.components {
@@ -386,6 +427,22 @@ impl Simulator {
     /// the end of every `run_*` method; needed manually only around
     /// raw [`step`](Self::step) loops.
     pub fn flush_skipped_commits(&mut self) {
+        // Settle compiled-plan elisions first (without disarming): the
+        // plan tracks skipped commits as `epoch - seq_seen` instead of
+        // per-entry counters.
+        if let Some(plan) = &mut self.plan {
+            for (rank, &si) in plan.seq_order.iter().enumerate() {
+                let pending = plan.epoch - plan.seq_seen[rank];
+                if pending > 0 {
+                    self.sequentials[si as usize]
+                        .state
+                        .borrow_mut()
+                        .commit_skipped(pending);
+                    self.commits_skipped += pending;
+                    plan.seq_seen[rank] = plan.epoch;
+                }
+            }
+        }
         for seq in &mut self.sequentials {
             if seq.skipped > 0 {
                 seq.state.borrow_mut().commit_skipped(seq.skipped);
@@ -396,6 +453,7 @@ impl Simulator {
 
     /// Pauses `clock`: no further edges until [`resume_clock`](Self::resume_clock).
     pub fn pause_clock(&mut self, clock: ClockId) {
+        self.disarm_plan();
         self.clocks[clock.0].paused = true;
         self.recompute_single_active();
     }
@@ -409,6 +467,9 @@ impl Simulator {
     /// which to settle — and pinned by the
     /// `resume_mid_period_restarts_full_period` test.
     pub fn resume_clock(&mut self, clock: ClockId) {
+        if self.clocks[clock.0].paused {
+            self.disarm_plan();
+        }
         let st = &mut self.clocks[clock.0];
         if st.paused {
             let Some(next) = self.now.checked_add(st.spec.period) else {
@@ -559,6 +620,9 @@ impl Simulator {
             !self.mid_instant,
             "eval_instant called with an instant already open"
         );
+        if self.plan.is_some() {
+            return self.plan_eval();
+        }
         let Some(t) = self.next_instant() else {
             return false;
         };
@@ -653,6 +717,10 @@ impl Simulator {
             self.mid_instant,
             "commit_instant without a matching eval_instant"
         );
+        if self.plan.is_some() {
+            self.plan_commit();
+            return;
+        }
         self.mid_instant = false;
         let t = self.now;
         let edges = std::mem::take(&mut self.instant_edges);
@@ -684,6 +752,35 @@ impl Simulator {
         }
 
         // Apply deferred clock requests, then schedule next edges.
+        self.apply_clock_requests();
+        for &ci in &edges {
+            if self.clocks[ci].advance() {
+                if self.heap_synced {
+                    self.edge_heap
+                        .push(Reverse((self.clocks[ci].next_edge, ci)));
+                }
+            } else {
+                // `advance` paused the clock; record the fault and let
+                // the scheduler forget about this domain.
+                let name = self.clocks[ci].spec.name.clone();
+                self.record_fatal(SimError::TimeOverflow {
+                    clock: name,
+                    now: t,
+                });
+                self.recompute_single_active();
+            }
+        }
+        self.edge_scratch = edges;
+    }
+
+    /// Applies (and drains) deferred [`ClockRequest`]s — the shared
+    /// tail of the interpreted and compiled commit phases. Records a
+    /// fatal on stretch overflow.
+    fn apply_clock_requests(&mut self) {
+        if self.clock_requests.is_empty() {
+            return;
+        }
+        let t = self.now;
         let mut request_fault: Option<SimError> = None;
         for req in self.clock_requests.drain(..) {
             match req {
@@ -712,24 +809,454 @@ impl Simulator {
         if let Some(err) = request_fault {
             self.record_fatal(err);
         }
-        for &ci in &edges {
-            if self.clocks[ci].advance() {
-                if self.heap_synced {
-                    self.edge_heap
-                        .push(Reverse((self.clocks[ci].next_edge, ci)));
+    }
+
+    /// Compiles the current steady-state schedule into an instant plan
+    /// and arms it: while armed, [`eval_instant`](Self::eval_instant) /
+    /// [`commit_instant`](Self::commit_instant) (and therefore every
+    /// `run_*` method) execute a dispatch-lean fast path that walks
+    /// only awake components and only dirty sequentials, skipping the
+    /// per-edge scans entirely.
+    ///
+    /// Arming requires a *regular* schedule: quiescence gating on, no
+    /// tick profiling, no open instant, no pending fatal, and every
+    /// unpaused clock sharing one period and phase with no override
+    /// pending. Otherwise a [`PlanReject`] explains why and the
+    /// interpreted path — the golden reference — simply remains in
+    /// charge.
+    ///
+    /// The plan preserves the interpreted path's observable behaviour
+    /// exactly: committed state, `cycles`, `ticks_delivered`,
+    /// `ticks_skipped`, `commits_skipped`, progress/watchdog timing and
+    /// hang reports are all identical. Any irregular event — structural
+    /// mutation, gating/profiling toggles, clock pause/resume or
+    /// stretch/override requests, an externally moved clock edge, a
+    /// watchdog trip — automatically disarms the plan (a *de-opt*,
+    /// counted in [`plan_deopt_count`](Self::plan_deopt_count)) and the
+    /// interpreted loop resumes mid-run with no state loss: activity
+    /// token flags stay authoritative while armed (notify sinks are
+    /// pure acceleration), so nothing needs reconstructing.
+    ///
+    /// Arming when already armed is a no-op.
+    pub fn arm_plan(&mut self) -> Result<(), PlanReject> {
+        if self.plan.is_some() {
+            return Ok(());
+        }
+        if self.mid_instant {
+            return Err(PlanReject::MidInstant);
+        }
+        if !self.gating {
+            return Err(PlanReject::GatingDisabled);
+        }
+        if self.tick_profiling {
+            return Err(PlanReject::TickProfiling);
+        }
+        if self.fatal.is_some() {
+            return Err(PlanReject::FatalPending);
+        }
+        let clocks: Vec<usize> = (0..self.clocks.len())
+            .filter(|&i| !self.clocks[i].paused)
+            .collect();
+        let Some((&first, rest)) = clocks.split_first() else {
+            return Err(PlanReject::NoActiveClock);
+        };
+        let f = &self.clocks[first];
+        if f.next_period_override.is_some() {
+            return Err(PlanReject::IrregularClocks);
+        }
+        for &ci in rest {
+            let c = &self.clocks[ci];
+            if c.spec.period != f.spec.period
+                || c.next_edge != f.next_edge
+                || c.next_period_override.is_some()
+            {
+                return Err(PlanReject::IrregularClocks);
+            }
+        }
+
+        // Zero the per-entry skip counters so the plan's epoch-based
+        // accounting starts from a settled state.
+        self.flush_skipped_commits();
+
+        let mut order: Vec<u32> = Vec::new();
+        for &ci in &clocks {
+            order.extend(self.by_clock[ci].iter().map(|&i| i as u32));
+        }
+        let mut seq_order: Vec<u32> = Vec::new();
+        for &ci in &clocks {
+            seq_order.extend(self.seq_by_clock[ci].iter().map(|&i| i as u32));
+        }
+
+        let wake_sink = NotifySink::new();
+        let dirty_sink = NotifySink::new();
+        let mut active: Vec<u32> = Vec::new();
+        let mut deferred: Vec<u32> = Vec::new();
+        for (rank, &idx) in order.iter().enumerate() {
+            let entry = &self.components[idx as usize];
+            if let Some(token) = &entry.wake {
+                match token.attach_notify(&wake_sink, rank as u32) {
+                    // A sleeper whose flag is already set is due a wake
+                    // check at the next instant; no sink notification
+                    // will come for an already-set flag, so queue it.
+                    Some(was_set) => {
+                        if entry.asleep && was_set {
+                            deferred.push(rank as u32);
+                        }
+                    }
+                    None => {
+                        for &j in &order[..rank] {
+                            if let Some(t) = &self.components[j as usize].wake {
+                                t.detach_notify();
+                            }
+                        }
+                        return Err(PlanReject::SharedWakeToken);
+                    }
+                }
+            }
+            if !entry.asleep {
+                active.push(rank as u32);
+            }
+        }
+        let mut always: Vec<u32> = Vec::new();
+        for (rank, &si) in seq_order.iter().enumerate() {
+            let seq = &self.sequentials[si as usize];
+            match &seq.dirty {
+                Some(token) => match token.attach_notify(&dirty_sink, rank as u32) {
+                    // An already-dirty sequential must commit at the
+                    // next instant: seed the sink by hand.
+                    Some(true) => dirty_sink.push(rank as u32),
+                    Some(false) => {}
+                    None => {
+                        for &j in &order {
+                            if let Some(t) = &self.components[j as usize].wake {
+                                t.detach_notify();
+                            }
+                        }
+                        for &j in &seq_order[..rank] {
+                            if let Some(t) = &self.sequentials[j as usize].dirty {
+                                t.detach_notify();
+                            }
+                        }
+                        return Err(PlanReject::SharedDirtyToken);
+                    }
+                },
+                None => always.push(rank as u32),
+            }
+        }
+
+        let seq_seen = vec![0u64; seq_order.len()];
+        // The plan does not maintain the edge heap; force a rebuild
+        // whenever the interpreted scheduler next needs it.
+        self.heap_synced = false;
+        self.plan_armed_flag.set(1);
+        self.plan = Some(Box::new(PlanState {
+            clocks,
+            order,
+            active,
+            wake_sink,
+            wake_scratch: Vec::new(),
+            deferred,
+            pending: Vec::new(),
+            seq_order,
+            always,
+            dirty_sink,
+            dirty_scratch: Vec::new(),
+            epoch: 0,
+            seq_seen,
+        }));
+        Ok(())
+    }
+
+    /// Disarms the compiled plan (a *de-opt*): settles the plan's
+    /// skipped-commit accounting, detaches every notify sink, and hands
+    /// control back to the interpreted path. Safe at any point,
+    /// including between an `eval_instant` and its `commit_instant` —
+    /// token flags remain the source of truth while armed, so the
+    /// interpreted loop resumes with exactly the state it would have
+    /// had. No-op when no plan is armed.
+    pub fn disarm_plan(&mut self) {
+        let Some(plan) = self.plan.take() else {
+            return;
+        };
+        for (rank, &si) in plan.seq_order.iter().enumerate() {
+            let pending = plan.epoch - plan.seq_seen[rank];
+            if pending > 0 {
+                self.sequentials[si as usize]
+                    .state
+                    .borrow_mut()
+                    .commit_skipped(pending);
+                self.commits_skipped += pending;
+            }
+            if let Some(token) = &self.sequentials[si as usize].dirty {
+                token.detach_notify();
+            }
+        }
+        for &idx in &plan.order {
+            if let Some(token) = &self.components[idx as usize].wake {
+                token.detach_notify();
+            }
+        }
+        self.plan_armed_flag.set(0);
+        self.plan_deopts.set(self.plan_deopts.get() + 1);
+        self.heap_synced = false;
+        self.recompute_single_active();
+    }
+
+    /// Whether a compiled instant plan is currently armed.
+    pub fn plan_armed(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// How many times a compiled plan has been disarmed (de-opted).
+    pub fn plan_deopt_count(&self) -> u64 {
+        self.plan_deopts.get()
+    }
+
+    /// Instants executed by the compiled fast path (a subset of
+    /// [`instants`](Self::instants)).
+    pub fn plan_instants(&self) -> u64 {
+        self.plan_instants.get()
+    }
+
+    /// Live handle to the de-opt counter, for telemetry probes.
+    pub fn plan_deopt_handle(&self) -> Rc<Cell<u64>> {
+        Rc::clone(&self.plan_deopts)
+    }
+
+    /// Live handle to the compiled-instant counter, for telemetry.
+    pub fn plan_instants_handle(&self) -> Rc<Cell<u64>> {
+        Rc::clone(&self.plan_instants)
+    }
+
+    /// Live handle to the armed flag (1 armed / 0 not), for telemetry.
+    pub fn plan_armed_handle(&self) -> Rc<Cell<u64>> {
+        Rc::clone(&self.plan_armed_flag)
+    }
+
+    /// Snapshot of the armed plan's frozen schedule (`None` when
+    /// interpreted). `craft-soc`'s `schedplan` renders this as the
+    /// instant-plan IR.
+    pub fn plan_desc(&self) -> Option<PlanDesc> {
+        let plan = self.plan.as_ref()?;
+        Some(PlanDesc {
+            clocks: plan
+                .clocks
+                .iter()
+                .map(|&ci| self.clocks[ci].spec.name.clone())
+                .collect(),
+            nodes: plan
+                .order
+                .iter()
+                .map(|&idx| {
+                    let e = &self.components[idx as usize];
+                    PlanNode {
+                        name: e.component.name().to_string(),
+                        clock: self.clocks[e.clock.0].spec.name.clone(),
+                        gated: e.wake.is_some(),
+                    }
+                })
+                .collect(),
+            gated_sequentials: plan.seq_order.len() - plan.always.len(),
+            always_commit_sequentials: plan.always.len(),
+        })
+    }
+
+    /// The compiled evaluate phase: wake-candidate drain, then a tick
+    /// walk over the `active` worklist only. Mirrors the interpreted
+    /// evaluate phase observably — same delivery order, same wake and
+    /// progress timing, same tick accounting.
+    fn plan_eval(&mut self) -> bool {
+        let mut plan = self.plan.take().expect("plan_eval without a plan");
+        // Uniform-clock invariant: every plan clock shares this edge.
+        let t = self.clocks[plan.clocks[0]].next_edge;
+        self.now = t;
+        self.instants += 1;
+        self.plan_instants.set(self.plan_instants.get() + 1);
+
+        // This instant's wake candidates: deferred checks from the
+        // previous instant plus sink notifications raised since the
+        // walk last drained it (late-eval sets and commit-phase sets).
+        // Candidates are *hints*, not wakes: the flag is checked — and
+        // consumed — only when the merge walk below reaches the
+        // candidate's rank, which is exactly where the interpreted
+        // scan performs its asleep/take check. Taking the flag any
+        // earlier (at notify time or at instant start) would let a
+        // later set from an earlier-rank tick this instant re-raise
+        // the flag and schedule a spurious wake for the next instant.
+        plan.pending.clear();
+        plan.pending.append(&mut plan.deferred);
+        plan.wake_sink.drain_into(&mut plan.pending);
+        plan.pending.sort_unstable();
+        plan.pending.dedup();
+
+        // Merge walk in ascending rank order over the awake set and
+        // the wake candidates; rank order *is* the interpreted
+        // delivery order.
+        let mut i = 0usize; // next awake rank (plan.active)
+        let mut j = 0usize; // next wake candidate (plan.pending)
+        let mut delivered = 0u64;
+        loop {
+            let a = plan.active.get(i).copied();
+            let rank = match (a, plan.pending.get(j).copied()) {
+                (None, None) => break,
+                (Some(a), Some(p)) if a == p => {
+                    // The candidate's component is awake: the
+                    // interpreted scan never touches an awake
+                    // component's flag, so the hint is stale. Its tick
+                    // happens via the active branch next iteration.
+                    j += 1;
+                    continue;
+                }
+                (_, Some(p)) if a.is_none() || p < a.unwrap() => {
+                    // The candidate's scan position: wake-or-drop.
+                    j += 1;
+                    let entry = &mut self.components[plan.order[p as usize] as usize];
+                    if !(entry.asleep && entry.wake.as_ref().is_some_and(ActivityToken::take)) {
+                        continue;
+                    }
+                    entry.asleep = false;
+                    self.progress.set();
+                    // Every rank processed so far is < p, so inserting
+                    // at the walk cursor keeps `active` sorted.
+                    plan.active.insert(i, p);
+                    p
+                }
+                (Some(a), _) => a,
+                // `(None, Some(_))` is fully covered by the guard arm.
+                (None, Some(_)) => unreachable!(),
+            };
+            let entry = &mut self.components[plan.order[rank as usize] as usize];
+            let mut ctx = TickCtx {
+                now: t,
+                cycle: self.clocks[entry.clock.0].cycles,
+                clock: entry.clock,
+                clock_requests: &mut self.clock_requests,
+                stop: &mut self.stop_requested,
+            };
+            entry.component.tick(&mut ctx);
+            delivered += 1;
+            if entry.wake.is_some() && entry.component.is_quiescent() {
+                // Same contract as the interpreted loop: the wake flag
+                // is NOT cleared on sleep. An already-set flag produces
+                // no future sink notification, so queue the wake check
+                // for the next instant explicitly.
+                entry.asleep = true;
+                plan.active.remove(i);
+                if entry.wake.as_ref().is_some_and(ActivityToken::is_set) {
+                    plan.deferred.push(rank);
                 }
             } else {
-                // `advance` paused the clock; record the fault and let
-                // the scheduler forget about this domain.
+                i += 1;
+            }
+            // Absorb notifications raised by this tick. A rank still
+            // ahead of the walk joins this instant's candidates (its
+            // scan position hasn't passed); one at or behind the walk
+            // waits for the next instant — both exactly what the
+            // interpreted scan does.
+            if !plan.wake_sink.is_empty() {
+                plan.wake_scratch.clear();
+                plan.wake_sink.drain_into(&mut plan.wake_scratch);
+                for k in 0..plan.wake_scratch.len() {
+                    let r = plan.wake_scratch[k];
+                    if r > rank {
+                        if let Err(pos) = plan.pending[j..].binary_search(&r) {
+                            plan.pending.insert(j + pos, r);
+                        }
+                    } else {
+                        plan.deferred.push(r);
+                    }
+                }
+            }
+        }
+        self.ticks_delivered += delivered;
+        self.ticks_skipped += plan.order.len() as u64 - delivered;
+
+        // Publish the fired-clock list so a mid-instant de-opt hands
+        // the interpreted commit phase a coherent open instant.
+        self.instant_edges.clear();
+        self.instant_edges.extend_from_slice(&plan.clocks);
+        self.mid_instant = true;
+        self.plan = Some(plan);
+        true
+    }
+
+    /// The compiled commit phase: commits only dirty + always-commit
+    /// sequentials (epoch-based skip accounting), then runs the shared
+    /// clock-request/advance tail. Any clock irregularity observed
+    /// here — a stretch/override request, an advance failure — de-opts.
+    fn plan_commit(&mut self) {
+        let mut plan = self.plan.take().expect("plan_commit without a plan");
+        self.mid_instant = false;
+
+        plan.dirty_scratch.clear();
+        plan.dirty_sink.drain_into(&mut plan.dirty_scratch);
+        plan.dirty_scratch.sort_unstable();
+        plan.dirty_scratch.dedup();
+        let epoch = plan.epoch;
+        let (mut di, mut ai) = (0usize, 0usize);
+        loop {
+            // Merge the dirty and always lists in ascending rank order
+            // (= interpreted commit order); the two sets are disjoint.
+            let rank = match (plan.dirty_scratch.get(di), plan.always.get(ai)) {
+                (None, None) => break,
+                (Some(&d), None) => {
+                    di += 1;
+                    d
+                }
+                (None, Some(&a)) => {
+                    ai += 1;
+                    a
+                }
+                (Some(&d), Some(&a)) => {
+                    if d < a {
+                        di += 1;
+                        d
+                    } else {
+                        ai += 1;
+                        a
+                    }
+                }
+            };
+            let seq = &mut self.sequentials[plan.seq_order[rank as usize] as usize];
+            if let Some(dirty) = &seq.dirty {
+                // Clear before committing so a re-arm `set()` inside
+                // `commit` queues next instant's notification.
+                dirty.take();
+            }
+            let pending = epoch - plan.seq_seen[rank as usize];
+            let mut state = seq.state.borrow_mut();
+            if pending > 0 {
+                state.commit_skipped(pending);
+                self.commits_skipped += pending;
+            }
+            state.commit();
+            plan.seq_seen[rank as usize] = epoch + 1;
+        }
+        plan.epoch = epoch + 1;
+
+        // Shared tail. Clock requests break the uniform-schedule
+        // invariant from the next instant on: apply them faithfully,
+        // then de-opt.
+        let deopt = !self.clock_requests.is_empty();
+        self.apply_clock_requests();
+        let mut advance_failed = false;
+        let t = self.now;
+        for &ci in &plan.clocks {
+            if !self.clocks[ci].advance() {
                 let name = self.clocks[ci].spec.name.clone();
                 self.record_fatal(SimError::TimeOverflow {
                     clock: name,
                     now: t,
                 });
                 self.recompute_single_active();
+                advance_failed = true;
             }
         }
-        self.edge_scratch = edges;
+        self.heap_synced = false;
+        self.plan = Some(plan);
+        if deopt || advance_failed {
+            self.disarm_plan();
+        }
     }
 
     /// Number of registered clock domains.
@@ -755,13 +1282,18 @@ impl Simulator {
     /// *follow* (the owning shard applies stretches/overrides and
     /// publishes the result). No effect on a paused clock.
     pub fn set_clock_next_edge(&mut self, clock: ClockId, at: Picoseconds) {
-        let st = &mut self.clocks[clock.0];
-        if !st.paused && st.next_edge != at {
-            st.next_edge = at;
-            // The heap entry for the old edge is now stale; rebuild on
-            // demand (same lazy-invalidation path pause/resume uses).
-            self.heap_synced = false;
+        let st = &self.clocks[clock.0];
+        if st.paused || st.next_edge == at {
+            // Adopting the value the clock already has (the parallel
+            // scheduler's common case under uniform clocking) is a
+            // no-op and in particular does not de-opt a compiled plan.
+            return;
         }
+        self.disarm_plan();
+        self.clocks[clock.0].next_edge = at;
+        // The heap entry for the old edge is now stale; rebuild on
+        // demand (same lazy-invalidation path pause/resume uses).
+        self.heap_synced = false;
     }
 
     /// Takes (and clears) the kernel's progress flag — what
@@ -892,6 +1424,10 @@ impl Simulator {
             }
             last_cycle = cycle;
             if idle >= no_progress_limit {
+                // Watchdog trip is a de-opt trigger: diagnose from the
+                // interpreted state so the report is identical to an
+                // interpreted run's (and later runs stay interpreted).
+                self.disarm_plan();
                 self.flush_skipped_commits();
                 let report = self.diagnose(idle);
                 return Err(SimError::Hang {
@@ -1568,6 +2104,402 @@ mod tests {
         sim.run_cycles(clk, 3);
         assert_eq!(seq.borrow().commits, 2);
         assert_eq!(seq.borrow().cycles, 13);
+    }
+
+    /// A worker that sleeps when its work pool is empty.
+    struct Worker {
+        name: String,
+        work: Rc<Cell<u64>>,
+        ticks: Rc<Cell<u64>>,
+    }
+    impl Component for Worker {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+            self.ticks.set(self.ticks.get() + 1);
+            if self.work.get() > 0 {
+                self.work.set(self.work.get() - 1);
+            }
+        }
+        fn is_quiescent(&self) -> bool {
+            self.work.get() == 0
+        }
+    }
+
+    /// Never-sleeping driver that feeds both workers and a gated latch
+    /// on fixed schedules, exercising every wake path: waking a
+    /// component *behind* it in delivery order (deferred to the next
+    /// instant) and *ahead* of it (same instant).
+    struct Driver {
+        n: u64,
+        early_work: Rc<Cell<u64>>,
+        early_tok: ActivityToken,
+        late_work: Rc<Cell<u64>>,
+        late_tok: ActivityToken,
+        latch: Rc<RefCell<DirtyLatch>>,
+        latch_dirty: ActivityToken,
+    }
+    impl Component for Driver {
+        fn name(&self) -> &str {
+            "driver"
+        }
+        fn tick(&mut self, _ctx: &mut TickCtx<'_>) {
+            self.n += 1;
+            if self.n.is_multiple_of(5) {
+                self.early_work.set(self.early_work.get() + 2);
+                self.early_tok.set();
+            }
+            if self.n.is_multiple_of(7) {
+                self.late_work.set(self.late_work.get() + 1);
+                self.late_tok.set();
+            }
+            if self.n.is_multiple_of(3) {
+                self.latch.borrow_mut().staged = self.n;
+                self.latch_dirty.set();
+            }
+        }
+    }
+
+    #[derive(Default)]
+    struct DirtyLatch {
+        staged: u64,
+        value: u64,
+        commits: u64,
+        cycles: u64,
+    }
+    impl Sequential for DirtyLatch {
+        fn commit(&mut self) {
+            self.value = self.staged;
+            self.commits += 1;
+            self.cycles += 1;
+        }
+        fn commit_skipped(&mut self, skipped: u64) {
+            self.cycles += skipped;
+        }
+    }
+
+    #[derive(Default)]
+    struct PlainCounter {
+        commits: u64,
+    }
+    impl Sequential for PlainCounter {
+        fn commit(&mut self) {
+            self.commits += 1;
+        }
+    }
+
+    struct PlanFixture {
+        sim: Simulator,
+        clk: ClockId,
+        early_ticks: Rc<Cell<u64>>,
+        late_ticks: Rc<Cell<u64>>,
+        latch: Rc<RefCell<DirtyLatch>>,
+        counter: Rc<RefCell<PlainCounter>>,
+    }
+
+    fn plan_fixture() -> PlanFixture {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        let early_work = Rc::new(Cell::new(1u64));
+        let early_ticks = Rc::new(Cell::new(0u64));
+        let early_tok = ActivityToken::new();
+        let late_work = Rc::new(Cell::new(0u64));
+        let late_ticks = Rc::new(Cell::new(0u64));
+        let late_tok = ActivityToken::new();
+        let latch = Rc::new(RefCell::new(DirtyLatch::default()));
+        let latch_dirty = ActivityToken::new();
+        let counter = Rc::new(RefCell::new(PlainCounter::default()));
+
+        let early = sim.add_component(
+            clk,
+            Worker {
+                name: "early".into(),
+                work: Rc::clone(&early_work),
+                ticks: Rc::clone(&early_ticks),
+            },
+        );
+        sim.set_wake_token(early, early_tok.clone());
+        sim.add_component(
+            clk,
+            Driver {
+                n: 0,
+                early_work,
+                early_tok,
+                late_work: Rc::clone(&late_work),
+                late_tok: late_tok.clone(),
+                latch: Rc::clone(&latch),
+                latch_dirty: latch_dirty.clone(),
+            },
+        );
+        let late = sim.add_component(
+            clk,
+            Worker {
+                name: "late".into(),
+                work: late_work,
+                ticks: Rc::clone(&late_ticks),
+            },
+        );
+        sim.set_wake_token(late, late_tok);
+        sim.add_sequential_gated(clk, latch.clone(), latch_dirty);
+        sim.add_sequential(clk, counter.clone());
+        PlanFixture {
+            sim,
+            clk,
+            early_ticks,
+            late_ticks,
+            latch,
+            counter,
+        }
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct FixtureOutcome {
+        cycles: u64,
+        now: Picoseconds,
+        instants: u64,
+        ticks_delivered: u64,
+        ticks_skipped: u64,
+        commits_skipped: u64,
+        early_ticks: u64,
+        late_ticks: u64,
+        latch_value: u64,
+        latch_commits: u64,
+        latch_cycles: u64,
+        counter_commits: u64,
+    }
+
+    fn fixture_outcome(f: &PlanFixture) -> FixtureOutcome {
+        FixtureOutcome {
+            cycles: f.sim.cycles(f.clk),
+            now: f.sim.now(),
+            instants: f.sim.instants(),
+            ticks_delivered: f.sim.ticks_delivered(),
+            ticks_skipped: f.sim.ticks_skipped(),
+            commits_skipped: f.sim.commits_skipped(),
+            early_ticks: f.early_ticks.get(),
+            late_ticks: f.late_ticks.get(),
+            latch_value: f.latch.borrow().value,
+            latch_commits: f.latch.borrow().commits,
+            latch_cycles: f.latch.borrow().cycles,
+            counter_commits: f.counter.borrow().commits,
+        }
+    }
+
+    /// The compiled plan reproduces the interpreted path's observable
+    /// behaviour *exactly* — cycles, tick/commit accounting, committed
+    /// state — across sleep, deferred wake, same-instant wake and
+    /// gated-commit paths.
+    #[test]
+    fn plan_matches_interpreted_exactly() {
+        let mut interp = plan_fixture();
+        interp.sim.run_cycles(interp.clk, 1000);
+        assert_eq!(interp.sim.plan_instants(), 0);
+
+        let mut compiled = plan_fixture();
+        compiled.sim.arm_plan().expect("steady-state schedule arms");
+        compiled.sim.run_cycles(compiled.clk, 1000);
+        assert!(compiled.sim.plan_armed(), "no de-opt in a steady run");
+        assert_eq!(compiled.sim.plan_instants(), 1000);
+        assert_eq!(compiled.sim.plan_deopt_count(), 0);
+
+        assert_eq!(fixture_outcome(&interp), fixture_outcome(&compiled));
+        // Gating did real work, so the identity above is meaningful.
+        assert!(interp.sim.ticks_skipped() > 0);
+        assert!(interp.sim.commits_skipped() > 0);
+    }
+
+    /// A mid-run de-opt (and later re-arm) loses nothing: the hybrid
+    /// run is indistinguishable from a fully interpreted one.
+    #[test]
+    fn plan_deopt_mid_run_preserves_state() {
+        let mut interp = plan_fixture();
+        interp.sim.run_cycles(interp.clk, 1000);
+
+        let mut hybrid = plan_fixture();
+        hybrid.sim.arm_plan().expect("arms");
+        hybrid.sim.run_cycles(hybrid.clk, 400);
+        // `set_gating` is a de-opt trigger even when the value does not
+        // change — gating itself stays on, so semantics are untouched.
+        hybrid.sim.set_gating(true);
+        assert!(!hybrid.sim.plan_armed());
+        assert_eq!(hybrid.sim.plan_deopt_count(), 1);
+        hybrid.sim.run_cycles(hybrid.clk, 300);
+        hybrid.sim.arm_plan().expect("re-arms mid-run");
+        hybrid.sim.run_cycles(hybrid.clk, 300);
+        assert!(hybrid.sim.plan_armed());
+
+        assert_eq!(fixture_outcome(&interp), fixture_outcome(&hybrid));
+        assert_eq!(hybrid.sim.plan_instants(), 700);
+    }
+
+    /// Arming is opportunistic: every irregular precondition is
+    /// rejected with a reason and leaves the interpreted path active.
+    #[test]
+    fn arm_plan_rejects_irregular_schedules() {
+        use crate::plan::PlanReject;
+
+        let mut sim = Simulator::new();
+        assert_eq!(sim.arm_plan(), Err(PlanReject::NoActiveClock));
+
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        sim.set_gating(false);
+        assert_eq!(sim.arm_plan(), Err(PlanReject::GatingDisabled));
+        sim.set_gating(true);
+
+        sim.set_tick_profiling(true);
+        assert_eq!(sim.arm_plan(), Err(PlanReject::TickProfiling));
+        sim.set_tick_profiling(false);
+
+        sim.pause_clock(clk);
+        assert_eq!(sim.arm_plan(), Err(PlanReject::NoActiveClock));
+        sim.resume_clock(clk);
+
+        // A second clock with a different period is not steady-state.
+        let mut multi = Simulator::new();
+        multi.add_clock(ClockSpec::new("a", Picoseconds(100)));
+        multi.add_clock(ClockSpec::new("b", Picoseconds(130)));
+        assert_eq!(multi.arm_plan(), Err(PlanReject::IrregularClocks));
+
+        // Two components sharing one wake token cannot be planned.
+        let mut shared = Simulator::new();
+        let sclk = shared.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        let tok = ActivityToken::new();
+        let (p1, _, _) = probe("p1");
+        let (p2, _, _) = probe("p2");
+        let id1 = shared.add_component(sclk, p1);
+        let id2 = shared.add_component(sclk, p2);
+        shared.set_wake_token(id1, tok.clone());
+        shared.set_wake_token(id2, tok.clone());
+        assert_eq!(shared.arm_plan(), Err(PlanReject::SharedWakeToken));
+        // The failed arm rolled its attachments back.
+        assert!(!tok.notify_attached());
+        shared.run_cycles(sclk, 3);
+        assert_eq!(shared.cycles(sclk), 3);
+
+        // Mid-instant arming is refused.
+        let mut open = Simulator::new();
+        let oclk = open.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        assert!(open.eval_instant());
+        assert_eq!(open.arm_plan(), Err(PlanReject::MidInstant));
+        open.commit_instant();
+        assert_eq!(open.arm_plan(), Ok(()));
+        assert_eq!(open.arm_plan(), Ok(()), "re-arming is a no-op");
+        open.run_cycles(oclk, 2);
+        assert_eq!(open.cycles(oclk), 3);
+    }
+
+    /// A clock stretch requested under the plan is applied faithfully
+    /// and de-opts; the edge sequence matches the interpreted one.
+    #[test]
+    fn plan_deopts_on_clock_stretch() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        sim.add_component(clk, Stretcher);
+        sim.arm_plan().expect("arms");
+        sim.run_cycles(clk, 4);
+        // Edges at 0, 100, 250 (stretched), 350 — same as interpreted.
+        assert_eq!(sim.now(), Picoseconds(350));
+        assert!(!sim.plan_armed(), "stretch must de-opt");
+        assert_eq!(sim.plan_deopt_count(), 1);
+        assert_eq!(sim.plan_instants(), 2, "compiled until the stretch");
+    }
+
+    /// Structural mutation and clock pausing de-opt; a paused schedule
+    /// refuses to re-arm until resumed.
+    #[test]
+    fn plan_disarms_on_structural_changes() {
+        let mut sim = Simulator::new();
+        let clk = sim.add_clock(ClockSpec::new("c", Picoseconds(100)));
+        let (p, _, _) = probe("p");
+        sim.add_component(clk, p);
+        sim.arm_plan().expect("arms");
+
+        let (q, qhits, _) = probe("q");
+        sim.add_component(clk, q);
+        assert!(!sim.plan_armed(), "add_component de-opts");
+
+        sim.arm_plan().expect("re-arms with the new component");
+        sim.run_cycles(clk, 5);
+        assert_eq!(qhits.get(), 5, "late component is in the plan");
+
+        sim.pause_clock(clk);
+        assert!(!sim.plan_armed(), "pause de-opts");
+        assert!(sim.arm_plan().is_err());
+        sim.resume_clock(clk);
+        sim.arm_plan().expect("arms again after resume");
+        sim.run_cycles(clk, 5);
+        assert_eq!(qhits.get(), 10);
+    }
+
+    /// The hang watchdog fires identically under the plan, de-opts,
+    /// and produces the same diagnosis as the interpreted path.
+    #[test]
+    fn plan_hang_trip_matches_interpreted_diagnosis() {
+        struct Idle;
+        impl Component for Idle {
+            fn name(&self) -> &str {
+                "idle"
+            }
+            fn tick(&mut self, _ctx: &mut TickCtx<'_>) {}
+            fn wait_reason(&self) -> Option<String> {
+                Some("stuck forever".into())
+            }
+        }
+        let run = |arm: bool| {
+            let mut sim = Simulator::new();
+            let clk = sim.add_clock(ClockSpec::new("core", Picoseconds(100)));
+            sim.add_component(clk, Idle);
+            sim.add_sequential(clk, Rc::new(RefCell::new(PlainCounter::default())));
+            if arm {
+                sim.arm_plan().expect("arms");
+            }
+            let err = sim
+                .run_until_checked(clk, 10_000, 64, || false)
+                .expect_err("must hang");
+            assert!(!sim.plan_armed(), "hang trip must leave us interpreted");
+            (err, sim.plan_deopt_count())
+        };
+        let (interp_err, d0) = run(false);
+        let (compiled_err, d1) = run(true);
+        assert_eq!(d0, 0);
+        assert_eq!(d1, 1, "watchdog trip counts as a de-opt");
+        let (
+            SimError::Hang {
+                clock: c0,
+                cycle: y0,
+                now: n0,
+                report: r0,
+            },
+            SimError::Hang {
+                clock: c1,
+                cycle: y1,
+                now: n1,
+                report: r1,
+            },
+        ) = (interp_err, compiled_err)
+        else {
+            panic!("expected two hangs");
+        };
+        assert_eq!((c0, y0, n0, r0.idle_cycles), (c1, y1, n1, r1.idle_cycles));
+        assert_eq!(r0.components.len(), r1.components.len());
+        assert_eq!(r0.components[0].wait, r1.components[0].wait);
+        assert_eq!(r0.components[0].asleep, r1.components[0].asleep);
+    }
+
+    /// `plan_desc` exposes the frozen schedule for introspection.
+    #[test]
+    fn plan_desc_reflects_schedule() {
+        let mut f = plan_fixture();
+        assert!(f.sim.plan_desc().is_none());
+        f.sim.arm_plan().expect("arms");
+        let desc = f.sim.plan_desc().expect("armed");
+        assert_eq!(desc.clocks, vec!["c".to_string()]);
+        let names: Vec<&str> = desc.nodes.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["early", "driver", "late"]);
+        assert!(desc.nodes[0].gated && !desc.nodes[1].gated && desc.nodes[2].gated);
+        assert_eq!(desc.gated_sequentials, 1);
+        assert_eq!(desc.always_commit_sequentials, 1);
     }
 
     /// Tick profiling attributes every delivered tick and never

@@ -10,6 +10,9 @@
 //!   (commit-phase state) traits,
 //! * pausible-clocking hooks ([`TickCtx::stretch_clock`]) used by the
 //!   GALS layer,
+//! * a compiled steady-state instant plan ([`Simulator::arm_plan`])
+//!   that runs uniform-clock schedules dispatch-lean and transparently
+//!   de-opts to the interpreted golden path on any irregular event,
 //! * typed failures ([`SimError`]) with a no-progress hang watchdog
 //!   ([`Simulator::run_until_checked`]) that diagnoses deadlocks via a
 //!   per-component / per-channel [`HangReport`],
@@ -43,12 +46,13 @@ pub mod cover;
 mod error;
 mod kernel;
 pub mod parallel;
+mod plan;
 pub mod stats;
 pub mod telemetry;
 mod time;
 mod trace;
 
-pub use activity::ActivityToken;
+pub use activity::{ActivityToken, NotifySink};
 pub use clock::{ClockId, ClockSpec};
 pub use component::{Component, Sequential, TickCtx};
 pub use error::{CompDiag, HangReport, SeqDiag, SimError};
@@ -57,6 +61,7 @@ pub use parallel::{
     publish_hang_idle, run_parallel, EpochOutcome, EpochSync, EpochVerdict, EpochWorker,
     SpinBarrier,
 };
+pub use plan::{PlanDesc, PlanNode, PlanReject};
 pub use telemetry::{Telemetry, TelemetrySnapshot, TickProfile};
 pub use time::Picoseconds;
 pub use trace::{SignalId, Trace};

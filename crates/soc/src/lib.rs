@@ -41,6 +41,7 @@ pub mod msg;
 pub mod parallel;
 pub mod pe;
 pub mod rtlplan;
+pub mod schedplan;
 pub mod soc;
 pub mod workloads;
 
@@ -48,6 +49,7 @@ pub use msg::{NocMsg, PeCommand, PeOp, HUB_NODE, N_PES};
 pub use parallel::{partition, ParallelSoc, ShardStats};
 pub use pe::{Fidelity, PeConfig, PeStats, ProcessingElement};
 pub use rtlplan::{DpEval, DpOp, EvalPlan, PlanCache, PlanStats, SignalPlan};
+pub use schedplan::{PlanOp, PlanOpKind, SchedPlanSummary};
 pub use soc::{
     ClockingMode, ConfigError, FaultPatternError, FaultReport, HubReport, NocReport, PeReport,
     RouterKind, RunResult, Soc, SocConfig, SocConfigBuilder, SocReport,

@@ -1,0 +1,183 @@
+//! SoC-level view of the kernel's compiled instant plan: the frozen
+//! steady-state schedule ([`craft_sim::PlanDesc`]) classified into
+//! architectural op kinds and rendered as a readable plan IR.
+//!
+//! The kernel speaks components and sequentials; this module maps its
+//! rank-ordered node list back onto the SoC floorplan (PEs, routers,
+//! hub, controller, AXI fabric, clock generators) so a report or a
+//! debug dump can answer "what does one compiled instant actually
+//! execute?" without reverse-engineering component names. Obtain one
+//! via [`Soc::sched_plan`](crate::Soc::sched_plan) — it returns `None`
+//! whenever no plan is armed (arming was declined, or the kernel
+//! de-opted back to the interpreted path).
+
+use craft_sim::PlanDesc;
+use std::fmt;
+
+/// Architectural classification of one scheduled node op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOpKind {
+    /// A processing element (`pe<n>`).
+    Pe,
+    /// A NoC mesh router (`r<n>`).
+    Router,
+    /// The global-memory hub or its AXI slave (`hub`, `hub.axis`).
+    Hub,
+    /// The RISC-V controller (`riscv`).
+    Controller,
+    /// AXI fabric: master, bus, staging slave (`ctl.*`, `bus`,
+    /// `staging`).
+    Bus,
+    /// A GALS local clock generator (`clkgen<n>`).
+    ClockGen,
+    /// Anything else (custom test components).
+    Other,
+}
+
+impl PlanOpKind {
+    fn classify(name: &str) -> PlanOpKind {
+        let digit_after = |pfx: &str| {
+            name.strip_prefix(pfx)
+                .is_some_and(|r| r.starts_with(|c: char| c.is_ascii_digit()))
+        };
+        if digit_after("pe") {
+            PlanOpKind::Pe
+        } else if digit_after("r") {
+            PlanOpKind::Router
+        } else if name == "hub" || name.starts_with("hub.") {
+            PlanOpKind::Hub
+        } else if name == "riscv" {
+            PlanOpKind::Controller
+        } else if name == "bus" || name == "staging" || name.starts_with("ctl.") {
+            PlanOpKind::Bus
+        } else if name.starts_with("clkgen") {
+            PlanOpKind::ClockGen
+        } else {
+            PlanOpKind::Other
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            PlanOpKind::Pe => "pe",
+            PlanOpKind::Router => "rtr",
+            PlanOpKind::Hub => "hub",
+            PlanOpKind::Controller => "ctl",
+            PlanOpKind::Bus => "bus",
+            PlanOpKind::ClockGen => "clk",
+            PlanOpKind::Other => "op",
+        }
+    }
+}
+
+/// One op of the compiled instant, in execution (rank) order.
+#[derive(Debug, Clone)]
+pub struct PlanOp {
+    /// Component name as registered with the kernel.
+    pub name: String,
+    /// Clock domain driving the op.
+    pub clock: String,
+    /// Architectural classification.
+    pub kind: PlanOpKind,
+    /// Gated ops are skipped while their owner is quiescent; ungated
+    /// ops execute every instant.
+    pub gated: bool,
+}
+
+/// The armed plan's schedule, classified and countable.
+#[derive(Debug, Clone)]
+pub struct SchedPlanSummary {
+    /// Clock domains the plan drives (all uniform in period/phase).
+    pub clocks: Vec<String>,
+    /// Node ops in execution order.
+    pub ops: Vec<PlanOp>,
+    /// Sequentials committed only when their dirty flag notified.
+    pub gated_sequentials: usize,
+    /// Sequentials committed unconditionally every instant.
+    pub always_commit_sequentials: usize,
+}
+
+impl SchedPlanSummary {
+    /// Classifies a kernel plan snapshot into the SoC-level summary.
+    pub fn from_desc(desc: &PlanDesc) -> SchedPlanSummary {
+        SchedPlanSummary {
+            clocks: desc.clocks.clone(),
+            ops: desc
+                .nodes
+                .iter()
+                .map(|n| PlanOp {
+                    name: n.name.clone(),
+                    clock: n.clock.clone(),
+                    kind: PlanOpKind::classify(&n.name),
+                    gated: n.gated,
+                })
+                .collect(),
+            gated_sequentials: desc.gated_sequentials,
+            always_commit_sequentials: desc.always_commit_sequentials,
+        }
+    }
+
+    /// Number of scheduled ops of the given kind.
+    pub fn count(&self, kind: PlanOpKind) -> usize {
+        self.ops.iter().filter(|op| op.kind == kind).count()
+    }
+
+    /// Number of ops that participate in quiescence gating.
+    pub fn gated_ops(&self) -> usize {
+        self.ops.iter().filter(|op| op.gated).count()
+    }
+}
+
+impl fmt::Display for SchedPlanSummary {
+    /// Renders the plan IR: one header line, then one line per op in
+    /// rank order (`%<rank> = <kind>.tick @<clock> <name> [gated]`),
+    /// then the commit tail.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan(clocks = [{}], ops = {}, commits = {} gated + {} always)",
+            self.clocks.join(", "),
+            self.ops.len(),
+            self.gated_sequentials,
+            self.always_commit_sequentials,
+        )?;
+        for (rank, op) in self.ops.iter().enumerate() {
+            writeln!(
+                f,
+                "  %{rank:<3} = {}.tick @{} {}{}",
+                op.kind.mnemonic(),
+                op.clock,
+                op.name,
+                if op.gated { "" } else { " [ungated]" },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_floorplan() {
+        for (name, kind) in [
+            ("pe3", PlanOpKind::Pe),
+            ("pe12", PlanOpKind::Pe),
+            ("r0", PlanOpKind::Router),
+            ("r15", PlanOpKind::Router),
+            ("hub", PlanOpKind::Hub),
+            ("hub.axis", PlanOpKind::Hub),
+            ("riscv", PlanOpKind::Controller),
+            ("bus", PlanOpKind::Bus),
+            ("staging", PlanOpKind::Bus),
+            ("ctl.axim", PlanOpKind::Bus),
+            ("clkgen7", PlanOpKind::ClockGen),
+            ("pear", PlanOpKind::Other), // "pe" needs a digit after it
+            ("ring", PlanOpKind::Other),
+            ("blinker", PlanOpKind::Other),
+        ] {
+            assert_eq!(PlanOpKind::classify(name), kind, "{name}");
+        }
+    }
+}

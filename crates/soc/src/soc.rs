@@ -101,6 +101,18 @@ pub struct SocConfig {
     /// `None` (the default) disables detection; set it well above the
     /// worst-case command latency to avoid false positives.
     pub pe_timeout: Option<u64>,
+    /// Compile the steady-state schedule into the kernel's instant
+    /// plan ([`craft_sim::Simulator::arm_plan`]): the per-clock
+    /// dispatch scan is lowered at build time into a flat worklist the
+    /// kernel executes dispatch-lean. Strictly opportunistic — arming
+    /// requires a uniform unpaused clock schedule with gating on (the
+    /// `Synchronous` default qualifies), and the kernel de-opts back
+    /// to the interpreted golden path on any irregular event (fault
+    /// injection, watchdog trips, clock pause/stretch, structural
+    /// change). Outcomes are bit- and cycle-identical either way
+    /// (asserted by the `compiled_schedule_tests`); only wall clock
+    /// changes.
+    pub compiled_schedule: bool,
 }
 
 impl Default for SocConfig {
@@ -116,6 +128,7 @@ impl Default for SocConfig {
             router: RouterKind::Wormhole,
             gating: true,
             pe_timeout: None,
+            compiled_schedule: false,
         }
     }
 }
@@ -263,6 +276,12 @@ impl SocConfigBuilder {
     /// Arms hub-side PE failure detection with the given timeout.
     pub fn pe_timeout(mut self, v: Option<u64>) -> Self {
         self.cfg.pe_timeout = v;
+        self
+    }
+
+    /// Enables or disables the compiled instant-plan schedule.
+    pub fn compiled_schedule(mut self, v: bool) -> Self {
+        self.cfg.compiled_schedule = v;
         self
     }
 
@@ -680,7 +699,12 @@ impl Soc {
         let owns = |n: usize| shard.is_none_or(|s| s.owner[n] == s.shard);
         let is_hub_worker = owns(HUB_NODE as usize);
         let mut sim = Simulator::new();
-        sim.set_gating(cfg.gating);
+        // RTL-fidelity PEs and the hub never quiesce (every gate is
+        // re-evaluated each cycle), so gating only pays its bookkeeping
+        // there without skipping anything — measured at 0.78-0.96x on
+        // the kernel baseline. Auto-disable it; results are identical
+        // either way (see `gating_tests`).
+        sim.set_gating(cfg.gating && !cfg.fidelity.is_rtl());
 
         // --- Clock domains ---
         // Every worker creates the full clock table in the same order:
@@ -1053,8 +1077,11 @@ impl Soc {
             let (m_ports, bus_up, seqs) = axi_link("ctl", 2);
             let (dn_staging, staging_slave_ports, seqs2) = axi_link("bus2stg", 2);
             let (dn_hub, hub_slave_ports, seqs3) = axi_link("bus2hub", 2);
-            for s in seqs.into_iter().chain(seqs2).chain(seqs3) {
-                sim.add_sequential(hub_clock, s);
+            // Gated registration: AXI channels are idle between
+            // transactions, so their commits elide whenever nothing was
+            // staged (and the compiled plan skips them entirely).
+            for (s, dirty) in seqs.into_iter().chain(seqs2).chain(seqs3) {
+                sim.add_sequential_gated(hub_clock, s, dirty);
             }
             let axi_handle = AxiMasterHandle::new();
             sim.add_component(
@@ -1177,7 +1204,31 @@ impl Soc {
                     plan_probe!("signal_word_ops", signal_word_ops);
                 }
             }
+            // Kernel instant-plan counters. Per-worker state: in a
+            // sharded build every shard publishes its own plan, and
+            // the merged snapshot sums them (deopt/instant totals
+            // across shards; `armed` counts how many shards hold an
+            // armed plan).
+            let (deopts, instants, armed) = (
+                sim.plan_deopt_handle(),
+                sim.plan_instants_handle(),
+                sim.plan_armed_handle(),
+            );
+            tel.probe("sim.plan.deopt_count", move || deopts.get());
+            tel.probe("sim.plan.instants", move || instants.get());
+            tel.probe("sim.plan.armed", move || armed.get());
             sim.set_tick_profiling(tel.profiling());
+        }
+
+        // --- Compiled instant plan ---
+        // Lower the steady-state schedule last, once the full component
+        // and sequential rosters exist. Opportunistic by contract:
+        // every rejection (GALS clock spreads, gating off, profiling
+        // on) just leaves the interpreted path in charge. PE-failure
+        // detection is excluded conservatively — a remap storm is
+        // exactly the irregular regime the plan is not built for.
+        if cfg.compiled_schedule && cfg.pe_timeout.is_none() {
+            let _ = sim.arm_plan();
         }
 
         Soc {
@@ -1205,11 +1256,15 @@ impl Soc {
     /// pattern names nothing — a typo'd pattern used to come back as a
     /// silently ignorable `0`.
     pub fn inject_fault(
-        &self,
+        &mut self,
         pat: &str,
         cfg: FaultConfig,
         seed: u64,
     ) -> Result<usize, FaultPatternError> {
+        // Fault injectors perturb commit behaviour mid-run — exactly
+        // the irregular regime the compiled instant plan excludes, so
+        // arming one de-opts back to the interpreted golden path.
+        self.sim.disarm_plan();
         let mut matched = 0;
         for (i, (name, h)) in self.noc_channels.iter().enumerate() {
             if name.contains(pat) {
@@ -1377,6 +1432,29 @@ impl Soc {
     /// elided) for the kernel benchmarks and the gating tests.
     pub fn sim(&self) -> &Simulator {
         &self.sim
+    }
+
+    /// Mutable kernel access for external drivers (benchmarks, the
+    /// compiled-plan harness) that step the kernel phase by phase.
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// The armed compiled instant plan, classified into SoC-level op
+    /// kinds ([`crate::schedplan`]), or `None` when no plan is armed —
+    /// either [`SocConfig::compiled_schedule`] was off, arming was
+    /// declined (GALS spreads, gating off), or the kernel has since
+    /// de-opted to the interpreted path.
+    pub fn sched_plan(&self) -> Option<crate::schedplan::SchedPlanSummary> {
+        self.sim
+            .plan_desc()
+            .map(|d| crate::schedplan::SchedPlanSummary::from_desc(&d))
+    }
+
+    /// Whether the controller has executed its halt (`ecall`) — the
+    /// completion condition [`Soc::run`] polls.
+    pub fn halted(&self) -> bool {
+        self.ctrl.borrow().halted
     }
 
     /// The hub (reference) clock of this SoC.
@@ -1806,6 +1884,243 @@ mod rtl_compiled_tests {
 }
 
 #[cfg(test)]
+mod compiled_schedule_tests {
+    use super::*;
+    use crate::schedplan::PlanOpKind;
+    use crate::workloads::{dot_product, run_workload_soc, vec_mul, Workload};
+
+    fn compiled(cfg: SocConfig) -> SocConfig {
+        SocConfig {
+            compiled_schedule: true,
+            ..cfg
+        }
+    }
+
+    /// Runs `wl` interpreted and compiled and asserts every
+    /// architecturally visible outcome is bit-identical — the plan's
+    /// golden-reference contract. Returns the compiled `Soc` for
+    /// plan-state assertions.
+    fn assert_plan_matches_interpreted(cfg: SocConfig, wl: &Workload) -> Soc {
+        let (ri, ok_i, soc_i) = run_workload_soc(cfg, wl, 8_000_000);
+        let (rc, ok_c, soc_c) = run_workload_soc(compiled(cfg), wl, 8_000_000);
+        assert!(ok_i, "{}: interpreted run failed", wl.name);
+        assert!(ok_c, "{}: compiled run failed", wl.name);
+        assert_eq!(ri.cycles, rc.cycles, "{}: cycle counts differ", wl.name);
+        assert_eq!(ri.ctrl, rc.ctrl, "{}: controller status differs", wl.name);
+        assert_eq!(
+            soc_i.report(),
+            soc_c.report(),
+            "{}: reports differ",
+            wl.name
+        );
+        assert_eq!(soc_i.total_work_units(), soc_c.total_work_units());
+        // The plan mirrors the gated kernel's tick/commit elision
+        // decisions exactly, so even the *instrumentation* counters
+        // must agree with the interpreted gated run.
+        assert_eq!(
+            soc_i.sim().ticks_delivered(),
+            soc_c.sim().ticks_delivered(),
+            "{}: tick delivery diverged",
+            wl.name
+        );
+        assert_eq!(
+            soc_i.sim().ticks_skipped(),
+            soc_c.sim().ticks_skipped(),
+            "{}: tick elision diverged",
+            wl.name
+        );
+        assert_eq!(
+            soc_i.sim().commits_skipped(),
+            soc_c.sim().commits_skipped(),
+            "{}: commit elision diverged",
+            wl.name
+        );
+        soc_c
+    }
+
+    #[test]
+    fn compiled_identical_vec_mul() {
+        let soc = assert_plan_matches_interpreted(SocConfig::default(), &vec_mul());
+        assert!(soc.sim().plan_armed(), "plan must stay armed end to end");
+        assert_eq!(soc.sim().plan_deopt_count(), 0, "clean run must not de-opt");
+        assert_eq!(
+            soc.sim().plan_instants(),
+            soc.sim().instants(),
+            "every instant must take the fast path"
+        );
+    }
+
+    #[test]
+    fn compiled_identical_dot_product() {
+        let soc = assert_plan_matches_interpreted(SocConfig::default(), &dot_product());
+        assert!(soc.sim().plan_armed());
+        assert_eq!(soc.sim().plan_deopt_count(), 0);
+    }
+
+    #[test]
+    fn compiled_identical_store_forward_router() {
+        let cfg = SocConfig {
+            router: RouterKind::StoreForward,
+            ..SocConfig::default()
+        };
+        assert_plan_matches_interpreted(cfg, &vec_mul());
+    }
+
+    #[test]
+    fn compiled_identical_rtl_fidelities() {
+        // RTL modes auto-disable gating, which also blocks arming —
+        // the flag must still be a no-op semantically.
+        for fidelity in [Fidelity::Rtl, Fidelity::RtlCompiled] {
+            let cfg = SocConfig {
+                fidelity,
+                ..SocConfig::default()
+            };
+            let soc = assert_plan_matches_interpreted(cfg, &vec_mul());
+            assert!(
+                !soc.sim().plan_armed(),
+                "{fidelity:?}: gating is off, the plan must not arm"
+            );
+            assert_eq!(soc.sim().plan_instants(), 0);
+        }
+    }
+
+    /// Satellite: RTL-fidelity runs auto-disable activity gating (it
+    /// was measured *costing* wall clock there — the RTL PEs and hub
+    /// re-evaluate every gate each cycle and never quiesce).
+    #[test]
+    fn rtl_mode_auto_disables_gating() {
+        for fidelity in [Fidelity::Rtl, Fidelity::RtlCompiled] {
+            let cfg = SocConfig {
+                fidelity,
+                gating: true,
+                ..SocConfig::default()
+            };
+            let (_, ok, soc) = run_workload_soc(cfg, &vec_mul(), 8_000_000);
+            assert!(ok);
+            assert!(
+                !soc.sim().gating(),
+                "{fidelity:?}: gating must be auto-disabled"
+            );
+        }
+        // Sim-accurate mode keeps the configured value.
+        let (_, ok, soc) = run_workload_soc(SocConfig::default(), &vec_mul(), 8_000_000);
+        assert!(ok && soc.sim().gating(), "sim_accurate keeps gating on");
+        let off = SocConfig {
+            gating: false,
+            ..SocConfig::default()
+        };
+        let (_, ok, soc) = run_workload_soc(off, &vec_mul(), 8_000_000);
+        assert!(ok && !soc.sim().gating());
+    }
+
+    /// De-opt trigger: arming is declined outright under GALS clocking
+    /// (per-node clocks break the uniform-schedule precondition) and
+    /// with PE-failure detection armed (timeouts mean remap storms).
+    #[test]
+    fn irregular_configs_never_arm() {
+        let gals = SocConfig {
+            clocking: ClockingMode::Gals { spread_ppm: 2000 },
+            ..SocConfig::default()
+        };
+        let (r, ok, soc) = run_workload_soc(compiled(gals), &vec_mul(), 8_000_000);
+        assert!(r.completed && ok, "GALS + compiled flag must still verify");
+        assert!(!soc.sim().plan_armed(), "GALS must decline to arm");
+        assert_eq!(soc.sim().plan_instants(), 0);
+
+        let timeout = SocConfig {
+            pe_timeout: Some(20_000),
+            ..SocConfig::default()
+        };
+        let (r, ok, soc) = run_workload_soc(compiled(timeout), &vec_mul(), 8_000_000);
+        assert!(r.completed && ok);
+        assert!(!soc.sim().plan_armed(), "pe_timeout must decline to arm");
+    }
+
+    /// De-opt trigger: arming a fault injector disarms the plan before
+    /// the campaign starts, and the degraded run still verifies.
+    #[test]
+    fn fault_injection_deopts_to_interpreted() {
+        let wl = vec_mul();
+        let mut soc = Soc::build(
+            compiled(SocConfig::default()),
+            &crate::workloads::orchestrator_program(),
+            &crate::workloads::table_words(&wl.entries),
+            &wl.gmem_init,
+        );
+        assert!(soc.sim().plan_armed(), "plan armed at build");
+        assert!(
+            soc.inject_fault("n5.eject", FaultConfig::bit_flip(0.01), 7)
+                .expect("channel exists")
+                > 0
+        );
+        assert!(!soc.sim().plan_armed(), "fault injection must de-opt");
+        assert_eq!(soc.sim().plan_deopt_count(), 1);
+        let r = soc.run(8_000_000);
+        assert!(r.completed, "interpreted fallback must still run");
+    }
+
+    /// The armed plan's frozen schedule is introspectable as the
+    /// instant-plan IR and covers the whole floorplan.
+    #[test]
+    fn sched_plan_ir_describes_the_floorplan() {
+        let wl = vec_mul();
+        let soc = Soc::build(
+            compiled(SocConfig::default()),
+            &crate::workloads::orchestrator_program(),
+            &crate::workloads::table_words(&wl.entries),
+            &wl.gmem_init,
+        );
+        let plan = soc.sched_plan().expect("armed plan is introspectable");
+        assert_eq!(plan.count(PlanOpKind::Pe), 15, "15 mesh PEs");
+        assert_eq!(plan.count(PlanOpKind::Router), 16, "16 mesh routers");
+        assert!(plan.count(PlanOpKind::Hub) >= 1, "hub node present");
+        assert!(plan.count(PlanOpKind::Controller) >= 1, "RISC-V controller");
+        assert!(plan.gated_sequentials > 0, "LI channels are gated");
+        let ir = plan.to_string();
+        assert!(ir.starts_with("plan(clocks = ["), "IR header: {ir}");
+        assert!(ir.contains("%0"), "IR renders ranked ops: {ir}");
+        assert!(ir.contains(".tick @"), "IR names each op's clock: {ir}");
+        // Interpreted builds expose no plan.
+        let soc_i = Soc::build(
+            SocConfig::default(),
+            &crate::workloads::orchestrator_program(),
+            &crate::workloads::table_words(&wl.entries),
+            &wl.gmem_init,
+        );
+        assert!(soc_i.sched_plan().is_none());
+    }
+
+    /// The `sim.plan.*` telemetry probes publish the armed flag, the
+    /// fast-path instant count and the de-opt counter.
+    #[test]
+    fn telemetry_reports_plan_counters() {
+        let wl = vec_mul();
+        let tel = craft_sim::Telemetry::new();
+        let mut soc = Soc::build_with_telemetry(
+            compiled(SocConfig::default()),
+            &crate::workloads::orchestrator_program(),
+            &crate::workloads::table_words(&wl.entries),
+            &wl.gmem_init,
+            Some(tel),
+        );
+        let r = soc.run(8_000_000);
+        assert!(r.completed);
+        let snap = soc.telemetry_snapshot().expect("sink attached");
+        let row = |path: &str| {
+            snap.metrics
+                .iter()
+                .find(|m| m.path == path)
+                .unwrap_or_else(|| panic!("missing probe {path}"))
+                .value
+        };
+        assert_eq!(row("sim.plan.armed"), 1, "plan armed at snapshot");
+        assert_eq!(row("sim.plan.deopt_count"), 0);
+        assert!(row("sim.plan.instants") > 0, "fast path executed instants");
+        assert_eq!(row("sim.plan.instants"), soc.sim().instants());
+    }
+}
+
+#[cfg(test)]
 mod coverage_tests {
     use super::*;
     use crate::workloads::{run_workload_soc, six_soc_tests, vec_add_scale};
@@ -2134,7 +2449,7 @@ mod api_tests {
 
     #[test]
     fn fault_pattern_mismatch_is_typed() {
-        let soc = Soc::build(SocConfig::default(), &orchestrator_program(), &[], &[]);
+        let mut soc = Soc::build(SocConfig::default(), &orchestrator_program(), &[], &[]);
         let err = soc
             .inject_fault("no.such.channel", FaultConfig::drop(1.0), 1)
             .unwrap_err();

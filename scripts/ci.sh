@@ -24,6 +24,12 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 echo "==> kernel smoke (release, vec_mul only; JSON baseline untouched)"
 cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul
 
+echo "==> compiled-schedule smoke (release, instant plan vs interpreted; cycle-identity asserted)"
+cargo run --release -p craft-bench --bin kernel_baseline -- --workload smoke --compiled-schedule
+
+echo "==> de-opt smoke (fault injection must fall back to the interpreted path)"
+cargo run --release -p craft-bench --bin kernel_baseline -- --workload smoke --deopt-smoke
+
 echo "==> parallel kernel smoke (release, vec_mul, 4 shards; cycle-identity asserted)"
 cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul --threads 4
 
