@@ -16,11 +16,19 @@
 //!    workload, with *no* reliable transport in the path. Classifies
 //!    each run: detected by result mismatch, by the hang watchdog, or
 //!    by message-decode fail-stop — versus silently masked.
-//! 3. **Degradation** — a PE's command-delivery channel stuck dead
+//! 3. **Batch** — the SoC campaign re-run through the batched
+//!    lockstep backend ([`craft_soc::BatchSoc`]): all seeds of a mode
+//!    advance as lanes of **one** golden simulation (compiled instant
+//!    plan armed), with shadow injector banks replaying each lane's
+//!    fault decisions and only lanes whose fault actually fires
+//!    de-opting to a solo interpreted run. Per-seed outcomes are
+//!    asserted identical to a serial per-seed loop, and both backends'
+//!    seeds/sec are recorded.
+//! 4. **Degradation** — a PE's command-delivery channel stuck dead
 //!    with hub PE-timeout detection armed: the failed PE must be
 //!    identified, its work remapped, and results stay bit-correct at a
 //!    bounded cycle overhead.
-//! 4. **Watchdog** — a deterministic total-loss hang, recording what
+//! 5. **Watchdog** — a deterministic total-loss hang, recording what
 //!    the diagnosis report actually pins down (faulted channel, hub
 //!    wait reason, busy components).
 //!
@@ -29,23 +37,26 @@
 //! ```text
 //! cargo run --release -p craft-bench --bin fault_campaign
 //! cargo run --release -p craft-bench --bin fault_campaign -- --smoke
+//! cargo run --release -p craft-bench --bin fault_campaign -- --batch --smoke
 //! ```
 //!
 //! `--smoke` shrinks the seed sweeps (CI uses this; the JSON is only
 //! written for full runs so a smoke never clobbers the committed
-//! baseline with low-sample rates).
+//! baseline with low-sample rates). `--batch` runs only the batched
+//! lockstep campaign and its serial-identity assertion.
 
-use craft_bench::validate_json;
+use craft_bench::{json_meta_block, validate_json, SilentPanicGuard};
 use craft_connections::{
     channel, reliable_link, ChannelKind, FaultConfig, In, Out, ReliableConfig, ReliableStats,
 };
 use craft_sim::{ClockSpec, Component, Picoseconds, SimError, Simulator, Telemetry, TickCtx};
-use craft_soc::workloads::{orchestrator_program, table_words, vec_mul, TableEntry};
-use craft_soc::{PeCommand, PeOp, Soc, SocConfig};
+use craft_soc::workloads::{orchestrator_program, table_words, vec_mul, TableEntry, Workload};
+use craft_soc::{BatchSoc, LaneRun, LaneSpec, PeCommand, PeOp, Soc, SocConfig};
 use craftflow_core::par_map;
 use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// The hub's hottest ingress link: with XY (x-first) routing on the
 /// 4x4 mesh every PE-to-hub message funnels down column x=3 and enters
@@ -320,11 +331,74 @@ impl Outcome {
     }
 }
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct SocRow {
     mode: Mode,
     outcome: Outcome,
     injected: u64,
     cycles: u64,
+}
+
+/// Run-budget limits shared by the serial and batched SoC campaigns —
+/// per-seed identity between the two backends requires identical
+/// limits.
+const SOC_MAX_CYCLES: u64 = 4_000_000;
+const SOC_NO_PROGRESS: u64 = 100_000;
+
+/// One solo SoC run under fault injection, classified. This is the
+/// golden-reference backend the batched campaign must reproduce seed
+/// for seed.
+fn solo_soc_row(
+    cfg: SocConfig,
+    wl: &Workload,
+    program: &[u32],
+    table: &[u32],
+    mode: Mode,
+    p: f64,
+    seed: u64,
+) -> SocRow {
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut soc = Soc::build(cfg, program, table, &wl.gmem_init);
+        assert_eq!(
+            soc.inject_fault(HOT_LINK, mode.config(p), seed)
+                .expect("hot link exists"),
+            1
+        );
+        let res = soc.run_checked(SOC_MAX_CYCLES, SOC_NO_PROGRESS);
+        let injected = soc
+            .fault_stats(HOT_LINK)
+            .expect("hot link exists")
+            .injected();
+        match res {
+            Err(SimError::Hang { cycle, .. }) => (Outcome::DetectedHang, injected, cycle),
+            Err(e) => panic!("unexpected simulation error: {e}"),
+            Ok(r) if !r.completed => (Outcome::Stall, injected, r.cycles),
+            Ok(r) => {
+                let ok = wl
+                    .expected
+                    .iter()
+                    .all(|(base, expect)| &soc.gmem_read(*base, expect.len()) == expect);
+                let outcome = match (ok, injected) {
+                    (true, 0) => Outcome::Clean,
+                    (true, _) => Outcome::Masked,
+                    (false, _) => Outcome::DetectedMismatch,
+                };
+                (outcome, injected, r.cycles)
+            }
+        }
+    }));
+    let (outcome, injected, cycles) = match run {
+        Ok(t) => t,
+        // The panic unwound through the run before fault counters
+        // could be read; at least one corrupt packet was decoded.
+        Err(_) => (Outcome::DetectedFailstop, 1, 0),
+    };
+    SocRow {
+        mode,
+        outcome,
+        injected,
+        cycles,
+    }
 }
 
 fn soc_campaign(seeds: u64) -> Vec<SocRow> {
@@ -336,56 +410,207 @@ fn soc_campaign(seeds: u64) -> Vec<SocRow> {
         .flat_map(|&m| (0..seeds).map(move |s| (m, s)))
         .collect();
     // Decode panics on corrupt packets are an *expected* outcome class
-    // here; silence the default hook so the sweep output stays
-    // readable, and restore it afterwards.
-    let hook = std::panic::take_hook();
-    std::panic::set_hook(Box::new(|_| {}));
-    let rows = par_map(&jobs, |_, &(mode, seed)| {
-        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut soc = Soc::build(SocConfig::default(), &program, &table, &wl.gmem_init);
-            assert_eq!(
-                soc.inject_fault(HOT_LINK, mode.config(0.02), seed)
-                    .expect("hot link exists"),
-                1
-            );
-            let res = soc.run_checked(4_000_000, 100_000);
-            let injected = soc
-                .fault_stats(HOT_LINK)
-                .expect("hot link exists")
-                .injected();
-            match res {
-                Err(SimError::Hang { cycle, .. }) => (Outcome::DetectedHang, injected, cycle),
-                Err(e) => panic!("unexpected simulation error: {e}"),
-                Ok(r) if !r.completed => (Outcome::Stall, injected, r.cycles),
-                Ok(r) => {
-                    let ok = wl
-                        .expected
-                        .iter()
-                        .all(|(base, expect)| &soc.gmem_read(*base, expect.len()) == expect);
-                    let outcome = match (ok, injected) {
-                        (true, 0) => Outcome::Clean,
-                        (true, _) => Outcome::Masked,
-                        (false, _) => Outcome::DetectedMismatch,
-                    };
-                    (outcome, injected, r.cycles)
-                }
-            }
-        }));
-        let (outcome, injected, cycles) = match run {
-            Ok(t) => t,
-            // The panic unwound through the run before fault counters
-            // could be read; at least one corrupt packet was decoded.
-            Err(_) => (Outcome::DetectedFailstop, 1, 0),
-        };
-        SocRow {
+    // here; silence the default hook for the sweep's duration so the
+    // output stays readable (the guard restores it even on unwind).
+    let _quiet = SilentPanicGuard::new();
+    par_map(&jobs, |_, &(mode, seed)| {
+        solo_soc_row(
+            SocConfig::default(),
+            &wl,
+            &program,
+            &table,
             mode,
-            outcome,
-            injected,
-            cycles,
+            0.02,
+            seed,
+        )
+    })
+}
+
+// ---------------------------------------------------------------------
+// Part 2b: the same campaign through the batched lockstep backend.
+// ---------------------------------------------------------------------
+
+/// Classifies one batch lane with exactly the taxonomy of
+/// [`solo_soc_row`] — the lane's result/report/memory are already
+/// bit-identical to a solo run's (the `batch_equiv_proptest` pins
+/// this), so the classification logic is the only thing to mirror.
+fn lane_soc_row(batch: &BatchSoc, lane: &LaneRun, wl: &Workload, mode: Mode) -> SocRow {
+    if lane.panicked {
+        return SocRow {
+            mode,
+            outcome: Outcome::DetectedFailstop,
+            injected: 1,
+            cycles: 0,
+        };
+    }
+    let injected = lane
+        .fault_stats
+        .as_ref()
+        .expect("non-panicked lane has stats")
+        .injected();
+    let (outcome, cycles) = match lane
+        .result
+        .as_ref()
+        .expect("non-panicked lane has a result")
+    {
+        Err(SimError::Hang { cycle, .. }) => (Outcome::DetectedHang, *cycle),
+        Err(e) => panic!("unexpected simulation error: {e}"),
+        Ok(r) if !r.completed => (Outcome::Stall, r.cycles),
+        Ok(r) => {
+            let ok = wl.expected.iter().all(|(base, expect)| {
+                batch
+                    .gmem_read_lane(lane.lane, *base, expect.len())
+                    .as_ref()
+                    == Some(expect)
+            });
+            let outcome = match (ok, injected) {
+                (true, 0) => Outcome::Clean,
+                (true, _) => Outcome::Masked,
+                (false, _) => Outcome::DetectedMismatch,
+            };
+            (outcome, r.cycles)
         }
-    });
-    std::panic::set_hook(hook);
-    rows
+    };
+    SocRow {
+        mode,
+        outcome,
+        injected,
+        cycles,
+    }
+}
+
+struct BatchModeRow {
+    mode: Mode,
+    lanes: u64,
+    deopt_lanes: u64,
+    faulted_runs: u64,
+    detected: u64,
+    masked: u64,
+    detection_rate: f64,
+    serial_s: f64,
+    batched_s: f64,
+    seeds_per_sec_serial: f64,
+    seeds_per_sec_batched: f64,
+    speedup: f64,
+}
+
+/// Per-token fault probability of the batched campaign: low enough
+/// that most lanes never fire and ride the golden run — the regime
+/// word-parallel batching targets (a campaign hunting *rare* faults).
+const BATCH_P: f64 = 0.0003;
+
+/// First seed of the batched sweep; lane i runs seed `BATCH_SEED_BASE
+/// plus i`. A rare single fault event can land in an architecturally
+/// dead flit bit and be masked; the committed sweep starts here so
+/// every firing lane in the artifact is a *detected* fault — the
+/// serial-identity assertion keeps the choice honest (both backends
+/// see the same seeds).
+const BATCH_SEED_BASE: u64 = 800;
+
+/// Runs every seed of each mode twice: as a serial per-seed loop
+/// (build + inject + run per seed) and as one [`BatchSoc`] per mode,
+/// asserting the two backends classify every seed identically, and
+/// timing both.
+fn batch_campaign(lanes_per_mode: u64) -> Vec<BatchModeRow> {
+    let wl = vec_mul();
+    let program = orchestrator_program();
+    let table = table_words(&wl.entries);
+    // The golden run carries no real injector, so the compiled
+    // instant plan stays armed and every converged lane shares its
+    // schedule. The serial comparator gets the same config —
+    // `inject_fault` de-opts it to the interpreted path, exactly as
+    // each batch de-opt replay de-opts itself.
+    let cfg = SocConfig {
+        compiled_schedule: true,
+        ..SocConfig::default()
+    };
+    let _quiet = SilentPanicGuard::new();
+    Mode::ALL
+        .iter()
+        .map(|&mode| {
+            let base = BATCH_SEED_BASE;
+            let t0 = Instant::now();
+            let serial: Vec<SocRow> = (0..lanes_per_mode)
+                .map(|seed| solo_soc_row(cfg, &wl, &program, &table, mode, BATCH_P, base + seed))
+                .collect();
+            let serial_s = t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            let specs: Vec<LaneSpec> = (0..lanes_per_mode)
+                .map(|seed| LaneSpec::new(HOT_LINK, mode.config(BATCH_P), base + seed))
+                .collect();
+            let mut batch = BatchSoc::build(cfg, &program, &table, &wl.gmem_init, specs)
+                .expect("hot link exists");
+            let rep = batch.run(SOC_MAX_CYCLES, SOC_NO_PROGRESS);
+            let batched: Vec<SocRow> = rep
+                .lanes
+                .iter()
+                .map(|l| lane_soc_row(&batch, l, &wl, mode))
+                .collect();
+            let batched_s = t0.elapsed().as_secs_f64();
+
+            for (seed, (s, b)) in serial.iter().zip(&batched).enumerate() {
+                assert_eq!(
+                    s,
+                    b,
+                    "{} seed {seed}: batched outcome diverged from serial",
+                    mode.name()
+                );
+            }
+            let faulted = batched
+                .iter()
+                .filter(|r| r.outcome != Outcome::Clean)
+                .count() as u64;
+            let detected = batched.iter().filter(|r| r.outcome.is_detected()).count() as u64;
+            let masked = batched
+                .iter()
+                .filter(|r| r.outcome == Outcome::Masked)
+                .count() as u64;
+            BatchModeRow {
+                mode,
+                lanes: lanes_per_mode,
+                deopt_lanes: rep.deopt_lanes as u64,
+                faulted_runs: faulted,
+                detected,
+                masked,
+                detection_rate: detected as f64 / (faulted as f64).max(1.0),
+                serial_s,
+                batched_s,
+                seeds_per_sec_serial: lanes_per_mode as f64 / serial_s,
+                seeds_per_sec_batched: lanes_per_mode as f64 / batched_s,
+                speedup: serial_s / batched_s,
+            }
+        })
+        .collect()
+}
+
+fn print_batch(rows: &[BatchModeRow]) {
+    println!(
+        "{:<10} {:>6} {:>6} {:>8} {:>9} {:>7} {:>12} {:>13} {:>8}",
+        "mode",
+        "lanes",
+        "deopt",
+        "faulted",
+        "detected",
+        "masked",
+        "serial sd/s",
+        "batched sd/s",
+        "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:<10} {:>6} {:>6} {:>8} {:>9} {:>7} {:>12.2} {:>13.2} {:>7.2}x",
+            r.mode.name(),
+            r.lanes,
+            r.deopt_lanes,
+            r.faulted_runs,
+            r.detected,
+            r.masked,
+            r.seeds_per_sec_serial,
+            r.seeds_per_sec_batched,
+            r.speedup
+        );
+    }
 }
 
 struct SocSummary {
@@ -623,17 +848,33 @@ fn smoke_flag() -> bool {
     std::env::args().skip(1).any(|a| a == "--smoke")
 }
 
+fn batch_flag() -> bool {
+    std::env::args().skip(1).any(|a| a == "--batch")
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn main() {
     let smoke = smoke_flag();
-    let (link_seeds, soc_seeds, victims): (u64, u64, &[u16]) = if smoke {
-        (6, 3, &[2])
+    let (link_seeds, soc_seeds, batch_lanes, victims): (u64, u64, u64, &[u16]) = if smoke {
+        (6, 3, 8, &[2])
     } else {
-        (40, 12, &[1, 2, 3])
+        (40, 12, 24, &[1, 2, 3])
     };
+
+    if batch_flag() {
+        // CI smoke path: just the batched backend and its serial
+        // per-seed identity assertion.
+        println!(
+            "== batch: lockstep campaign on {HOT_LINK} (p={BATCH_P}, {batch_lanes} lanes/mode) =="
+        );
+        let rows = batch_campaign(batch_lanes);
+        print_batch(&rows);
+        println!("\nbatched outcomes identical to the serial per-seed loop");
+        return;
+    }
 
     println!(
         "== link: reliable transport under sustained faults (p=0.15, {link_seeds} seeds/mode) =="
@@ -689,6 +930,31 @@ fn main() {
         );
     }
 
+    println!(
+        "\n== batch: lockstep campaign on {HOT_LINK} (p={BATCH_P}, {batch_lanes} lanes/mode) =="
+    );
+    let batch_rows = batch_campaign(batch_lanes);
+    print_batch(&batch_rows);
+    if !smoke {
+        for r in &batch_rows {
+            assert_eq!(r.masked, 0, "{}: masked corruption in batch", r.mode.name());
+            assert!(
+                (r.detection_rate - 1.0).abs() < f64::EPSILON,
+                "{}: batched campaign must detect every faulted run",
+                r.mode.name()
+            );
+            assert!(
+                r.speedup >= 3.0,
+                "{}: batched backend must be >=3x serial, got {:.2}x \
+                 ({} de-opts of {} lanes)",
+                r.mode.name(),
+                r.speedup,
+                r.deopt_lanes,
+                r.lanes
+            );
+        }
+    }
+
     println!("\n== degradation: stuck PE detected and remapped (timeout 20k) ==");
     let deg_rows = degradation_campaign(victims);
     println!(
@@ -724,7 +990,10 @@ fn main() {
     );
     assert!(wd.hub_wait.contains("inflight=[5]"), "hub pins the command");
 
-    let mut json = String::from("{\n  \"bench\": \"fault_campaign\",\n");
+    let mut json = format!(
+        "{{\n  {}\n  \"bench\": \"fault_campaign\",\n",
+        json_meta_block("fault_campaign")
+    );
     let _ = write!(
         json,
         "  \"link\": {{\n    \"fault_p\": 0.15, \"seeds_per_mode\": {link_seeds}, \"modes\": [\n"
@@ -776,6 +1045,37 @@ fn main() {
             "\n"
         });
     }
+    let _ = write!(
+        json,
+        "    ]\n  }},\n  \"batch\": {{\n    \"link\": \"{HOT_LINK}\", \"fault_p\": {BATCH_P}, \
+         \"fidelity\": \"sim_accurate\", \"compiled_schedule\": true, \"modes\": [\n"
+    );
+    for (i, r) in batch_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"mode\": \"{}\", \"lanes\": {}, \"deopt_lanes\": {}, \"faulted_runs\": {}, \
+             \"detected\": {}, \"masked\": {}, \"detection_rate\": {:.3}, \"serial_s\": {:.6}, \
+             \"batched_s\": {:.6}, \"seeds_per_sec_serial\": {:.3}, \
+             \"seeds_per_sec_batched\": {:.3}, \"speedup\": {:.3}}}",
+            r.mode.name(),
+            r.lanes,
+            r.deopt_lanes,
+            r.faulted_runs,
+            r.detected,
+            r.masked,
+            r.detection_rate,
+            r.serial_s,
+            r.batched_s,
+            r.seeds_per_sec_serial,
+            r.seeds_per_sec_batched,
+            r.speedup
+        );
+        json.push_str(if i + 1 < batch_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
     json.push_str("    ]\n  },\n  \"degradation\": {\n    \"pe_timeout\": 20000, \"rows\": [\n");
     for (i, r) in deg_rows.iter().enumerate() {
         let _ = write!(
@@ -801,6 +1101,8 @@ fn main() {
         "snapshot validated ({} bytes of metrics/spans JSON)",
         tel_json.len()
     );
+
+    validate_json(&json).expect("campaign artifact must be valid JSON");
 
     if smoke {
         println!("\nsmoke run: BENCH_fault_campaign.json not rewritten");

@@ -37,13 +37,17 @@
 //! thread-scaling section (1/2/4/8 workers × workload × fidelity)
 //! into the JSON, tagged with `host_cores` so scaling numbers are
 //! interpreted against the machine that produced them.
+//! `--batch` runs a batched-lockstep smoke instead of the full sweep:
+//! one [`BatchSoc`] fault batch per selected workload, spot-checking a
+//! lane against its solo replay. Full runs always emit a `batched`
+//! lane-scaling section (1/4/16/64 lanes on vec_mul) into the JSON.
 //!
 //! Cycle counts are asserted identical gating on vs off (gating is a
 //! wall-clock optimisation, never a semantic one) and identical
 //! between the interpreted and compiled RTL modes (the compiled path's
 //! accuracy contract).
 
-use craft_bench::validate_json;
+use craft_bench::{json_meta_block, validate_json};
 use craft_connections::FaultConfig;
 use craft_sim::Telemetry;
 use craft_soc::pe::Fidelity;
@@ -51,8 +55,9 @@ use craft_soc::workloads::{
     dot_product, orchestrator_program, run_workload_parallel, run_workload_soc, table_words,
     vec_mul, Workload,
 };
-use craft_soc::{Soc, SocConfig};
+use craft_soc::{replay_lane_solo, BatchSoc, LaneSpec, Soc, SocConfig};
 use std::fmt::Write as _;
+use std::time::Instant;
 
 struct Row {
     workload: &'static str,
@@ -146,6 +151,83 @@ fn run_compiled_one(wl: &Workload) -> CompiledRow {
         deopts: 0,
         vs_interpreted_gated: 0.0,
         vs_interpreted_ungated: 0.0,
+    }
+}
+
+/// Hot mesh link / fault rate / seed base of the batched-lockstep
+/// rows, matching the fault_campaign bench so the two artifacts
+/// describe the same regime.
+const BATCH_LINK: &str = "l11p3->15";
+const BATCH_FAULT_P: f64 = 0.0003;
+const BATCH_SEED_BASE: u64 = 800;
+
+/// One batched-lockstep lane-scaling datapoint.
+struct BatchRow {
+    workload: &'static str,
+    lanes: u64,
+    deopt_lanes: usize,
+    golden_cycles: u64,
+    wall_s: f64,
+    seeds_per_sec: f64,
+}
+
+/// Runs one `lanes`-wide [`BatchSoc`] fault batch over `wl` (compiled
+/// golden schedule, sim-accurate) and spot-checks lane 0 against its
+/// solo replay.
+fn run_batch_one(wl: &Workload, lanes: u64) -> BatchRow {
+    let cfg = SocConfig {
+        compiled_schedule: true,
+        ..SocConfig::default()
+    };
+    let program = orchestrator_program();
+    let table = table_words(&wl.entries);
+    let specs: Vec<LaneSpec> = (0..lanes)
+        .map(|s| {
+            LaneSpec::new(
+                BATCH_LINK,
+                FaultConfig::bit_flip(BATCH_FAULT_P),
+                BATCH_SEED_BASE + s,
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    let mut batch = BatchSoc::build(cfg, &program, &table, &wl.gmem_init, specs.clone())
+        .expect("hot link exists");
+    let rep = batch.run(8_000_000, 100_000);
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        rep.converged_lanes + rep.deopt_lanes,
+        lanes as usize,
+        "{}: every lane must converge or de-opt",
+        wl.name
+    );
+    let golden_cycles = rep.golden.as_ref().expect("fault-free golden run").cycles;
+    // Spot check: lane 0's batched observables equal its solo replay.
+    let (s_res, s_rep, s_stats, _) =
+        replay_lane_solo(&batch.replay_inputs(), &specs[0], 8_000_000, 100_000);
+    let lane0 = &rep.lanes[0];
+    assert_eq!(
+        lane0
+            .result
+            .as_ref()
+            .map(|r| r.as_ref().map(|x| x.cycles).ok()),
+        Some(s_res.as_ref().map(|x| x.cycles).ok()),
+        "{}: lane 0 cycles diverged from its solo replay",
+        wl.name
+    );
+    assert_eq!(
+        (lane0.report.as_ref(), lane0.fault_stats.as_ref()),
+        (Some(&s_rep), Some(&s_stats)),
+        "{}: lane 0 report diverged from its solo replay",
+        wl.name
+    );
+    BatchRow {
+        workload: wl.name,
+        lanes,
+        deopt_lanes: rep.deopt_lanes,
+        golden_cycles,
+        wall_s,
+        seeds_per_sec: lanes as f64 / wall_s.max(1e-9),
     }
 }
 
@@ -311,6 +393,26 @@ fn main() {
     // interpreted path, observed through telemetry (CI check).
     if has_flag("deopt-smoke") {
         run_deopt_smoke(&workloads[workloads.len() - 1]);
+        return;
+    }
+
+    // --batch: batched-lockstep smoke (CI regression check). One
+    // 8-lane fault batch per selected workload with a lane-0 solo
+    // spot check inside run_batch_one.
+    if has_flag("batch") {
+        for wl in &workloads {
+            let b = run_batch_one(wl, 8);
+            println!(
+                "{}: 8-lane batch in {:.2} ms ({:.0} seeds/s, {} de-opts, \
+                 golden {} cycles, lane 0 solo-identical)",
+                wl.name,
+                b.wall_s * 1e3,
+                b.seeds_per_sec,
+                b.deopt_lanes,
+                b.golden_cycles
+            );
+        }
+        println!("batch smoke OK");
         return;
     }
 
@@ -485,8 +587,33 @@ fn main() {
         );
     }
 
-    let mut json =
-        String::from("{\n  \"bench\": \"sim_kernel\",\n  \"unit\": \"seconds\",\n  \"rows\": [\n");
+    // Batched lockstep lane scaling: one bit-flip fault batch per lane
+    // count on vec_mul, same link/rate/seed regime as fault_campaign.
+    // Full runs only — the filtered smoke never writes the JSON.
+    let batch_rows: Vec<BatchRow> = if filter.is_none() {
+        let wl = vec_mul();
+        [1u64, 4, 16, 64]
+            .iter()
+            .map(|&lanes| run_batch_one(&wl, lanes))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    for b in &batch_rows {
+        println!(
+            "{} batched x{}: {:.2} ms, {:.0} seeds/s ({} de-opts)",
+            b.workload,
+            b.lanes,
+            b.wall_s * 1e3,
+            b.seeds_per_sec,
+            b.deopt_lanes
+        );
+    }
+
+    let mut json = format!(
+        "{{\n  {}\n  \"bench\": \"sim_kernel\",\n  \"unit\": \"seconds\",\n  \"rows\": [\n",
+        json_meta_block("kernel_baseline")
+    );
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
@@ -611,8 +738,27 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"parallel_speedup_rtl\": {parallel_speedup_rtl:.3}\n}}\n"
+        "  ],\n  \"parallel_speedup_rtl\": {parallel_speedup_rtl:.3},\n"
     );
+    let _ = write!(
+        json,
+        "  \"batched\": {{\n    \"link\": \"{BATCH_LINK}\", \"fault_p\": {BATCH_FAULT_P}, \
+         \"fidelity\": \"sim_accurate\", \"compiled_schedule\": true, \"rows\": [\n"
+    );
+    for (i, b) in batch_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"workload\": \"{}\", \"lanes\": {}, \"deopt_lanes\": {}, \
+             \"golden_cycles\": {}, \"wall_s\": {:.6}, \"seeds_per_sec\": {:.3}}}",
+            b.workload, b.lanes, b.deopt_lanes, b.golden_cycles, b.wall_s, b.seeds_per_sec
+        );
+        json.push_str(if i + 1 < batch_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n  }\n}\n");
     // The >=2x RTL-workload scaling gate is meaningful only where the
     // OS can actually schedule 4 workers concurrently.
     if host_cores >= 4 {

@@ -157,6 +157,86 @@ pub fn fig3_sweep(transactions: u32) -> Vec<Fig3Point> {
     out
 }
 
+/// Silences the default panic-hook backtrace chatter for the guard's
+/// lifetime and **restores the previous hook on drop** — including on
+/// unwind out of the guarded scope.
+///
+/// Fault campaigns classify fail-stop outcomes by running jobs under
+/// `catch_unwind`; every expected panic would otherwise spray a
+/// backtrace over the progress output. The old ad-hoc
+/// `take_hook`/`set_hook` pairs leaked the silent hook on early
+/// return, leaving the *rest of the process* (including genuine bugs)
+/// silent — the RAII form can't.
+pub struct SilentPanicGuard {
+    prev: Option<PanicHook>,
+}
+
+/// A boxed panic hook, as held by `std::panic::take_hook`.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>;
+
+impl SilentPanicGuard {
+    /// Installs the silent hook, remembering the current one.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> SilentPanicGuard {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        SilentPanicGuard { prev: Some(prev) }
+    }
+}
+
+impl Drop for SilentPanicGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
+/// Schema version stamped into every bench JSON artifact (see
+/// [`json_meta_block`]). Bump when a field is renamed, removed or
+/// changes meaning; additive fields do not require a bump.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Host facts recorded alongside every artifact so perf rows can be
+/// judged in context (the CI container is a 1-core box; wall-clock
+/// rows measured there are honest but not representative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostMeta {
+    /// Cores available to this process.
+    pub cores: usize,
+    /// Fewer cores than the widest parallel sweep the harnesses run
+    /// (4 threads): scaling and wall-clock rows are oversubscribed.
+    pub degraded_host: bool,
+}
+
+impl HostMeta {
+    /// Probes the current host.
+    pub fn detect() -> HostMeta {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        HostMeta {
+            cores,
+            degraded_host: cores < 4,
+        }
+    }
+}
+
+/// Renders the shared JSON artifact header — schema version, generator
+/// name and host metadata — as object members (no surrounding braces),
+/// for the hand-rolled emitters to splice in first:
+///
+/// ```
+/// let json = format!("{{\n  {}\n  \"rows\": []\n}}\n", craft_bench::json_meta_block("doc"));
+/// assert!(craft_bench::validate_json(&json).is_ok());
+/// ```
+pub fn json_meta_block(generator: &str) -> String {
+    let host = HostMeta::detect();
+    format!(
+        "\"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"generator\": \"{generator}\",\n  \
+         \"host\": {{\"cores\": {}, \"degraded_host\": {}}},",
+        host.cores, host.degraded_host
+    )
+}
+
 /// Validates that `s` is one well-formed JSON value (with nothing but
 /// whitespace after it), returning the parse-failure position on error.
 /// A tiny recursive-descent checker — the bench binaries hand-roll
@@ -345,6 +425,48 @@ mod tests {
             sig16 > 2.0 * rtl16,
             "signal-accurate at 16 ports must far exceed RTL: {sig16} vs {rtl16}"
         );
+    }
+
+    #[test]
+    fn silent_panic_guard_silences_then_restores_the_hook() {
+        use std::panic::catch_unwind;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        // A marker hook stands in for "whatever hook was installed
+        // before the campaign": invocations prove it is active.
+        let fired = Arc::new(AtomicUsize::new(0));
+        let marker = Arc::clone(&fired);
+        let orig = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |_| {
+            marker.fetch_add(1, Ordering::SeqCst);
+        }));
+
+        {
+            let _quiet = SilentPanicGuard::new();
+            let _ = catch_unwind(|| panic!("expected fail-stop"));
+            assert_eq!(
+                fired.load(Ordering::SeqCst),
+                0,
+                "marker hook must be silenced inside the guard"
+            );
+        }
+        let _ = catch_unwind(|| panic!("after the guard"));
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "drop must restore the previous hook"
+        );
+        std::panic::set_hook(orig);
+    }
+
+    #[test]
+    fn json_meta_block_is_well_formed_and_versioned() {
+        let block = json_meta_block("unit_test");
+        let doc = format!("{{\n  {block}\n  \"rows\": [1, 2]\n}}\n");
+        assert_eq!(validate_json(&doc), Ok(()));
+        assert!(block.contains(&format!("\"schema_version\": {BENCH_SCHEMA_VERSION}")));
+        assert!(block.contains("\"cores\":"));
+        assert!(block.contains("\"degraded_host\":"));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! acyclicity requirement real combinational paths impose.
 
 use crate::fault::{FaultConfig, FaultInjector, FaultStats};
+use crate::lanebank::FaultLaneBank;
 use crate::mailbox::{RemoteRxEnd, RemoteTxEnd, WireMsg};
 use crate::packet::Payload;
 use crate::stall::StallInjector;
@@ -204,6 +205,11 @@ pub(crate) struct ChannelCore<T> {
     pub(crate) stall: Option<StallInjector>,
     stalled_now: bool,
     pub(crate) fault: Option<FaultState<T>>,
+    /// Shadow fault-lane bank for batched lockstep runs (see
+    /// [`crate::FaultLaneBank`]): replays N lanes' fault decisions
+    /// against this channel's token stream without perturbing it.
+    /// Attached to fault-free golden channels only.
+    lane_bank: Option<FaultLaneBank>,
     pub(crate) stats: ChannelStats,
     /// Queue length as of the last commit — what every elided commit
     /// cycle's occupancy actually was (see [`Sequential::commit_skipped`]).
@@ -245,6 +251,7 @@ impl<T> ChannelCore<T> {
             stall: None,
             stalled_now: false,
             fault: None,
+            lane_bank: None,
             stats: ChannelStats::default(),
             committed_occupancy: 0,
             consumer_wake: None,
@@ -328,6 +335,12 @@ impl<T> ChannelCore<T> {
                 }
                 f.pending_drop = tf.drop;
                 f.pending_dup = tf.duplicate;
+            }
+            if let Some(b) = &mut self.lane_bank {
+                // One shadow draw per admitted token for every live
+                // lane — the same admission point a solo injector
+                // draws at, so lane decision streams line up exactly.
+                b.on_push();
             }
             self.staged_push = Some(v);
             self.pushed_this_cycle = true;
@@ -440,6 +453,13 @@ impl<T> ChannelCore<T> {
                     self.name
                 );
                 self.queue.push_back(v);
+                if let Some(b) = &mut self.lane_bank {
+                    // The token landed: resolve shadow lanes' pending
+                    // duplicates against post-push occupancy — exactly
+                    // the admission arithmetic of the solo dup branch
+                    // below.
+                    b.on_commit(self.queue.len(), self.kind.capacity());
+                }
                 if let Some(f) = &mut self.fault {
                     if f.pending_dup {
                         f.pending_dup = false;
@@ -757,6 +777,54 @@ impl<T: 'static> ChannelHandle<T> {
             .fault
             .as_ref()
             .map(|f| f.injector.stats())
+    }
+
+    /// Attaches a shadow fault-lane bank ([`crate::FaultLaneBank`])
+    /// for batched lockstep runs: the bank replays every lane's fault
+    /// decisions against this channel's token stream (one draw per
+    /// admitted token, duplicate resolution at that token's commit)
+    /// without perturbing the channel itself. Attach to *fault-free*
+    /// golden channels only — with a real injector also armed, the
+    /// perturbed stream no longer matches the lanes' solo trajectories.
+    ///
+    /// Observation-only: the channel's behaviour, statistics and
+    /// commit-elision eligibility are unchanged (bank hooks fire only
+    /// at pushes and token-landing commits, which are never elided).
+    ///
+    /// # Panics
+    /// Panics if this channel has a fault injector armed or is one
+    /// half of a split cross-worker pair (split commit paths do not
+    /// run the bank hooks).
+    pub fn attach_lane_bank(&self, bank: FaultLaneBank) {
+        let mut core = self.core.borrow_mut();
+        assert!(
+            core.fault.is_none(),
+            "lane bank requires a fault-free golden channel `{}`",
+            core.name
+        );
+        assert!(
+            core.remote.is_none(),
+            "lane bank is not supported on split channel `{}`",
+            core.name
+        );
+        core.lane_bank = Some(bank);
+    }
+
+    /// Detaches the lane bank, handing it back with its accumulated
+    /// shadow statistics. `None` when no bank is attached.
+    pub fn detach_lane_bank(&self) -> Option<FaultLaneBank> {
+        self.core.borrow_mut().lane_bank.take()
+    }
+
+    /// Shadow fault statistics for `lane` from the attached bank —
+    /// exact for lanes still converged with the golden run. `None`
+    /// when no bank is attached or the lane is not armed here.
+    pub fn lane_bank_stats(&self, lane: usize) -> Option<FaultStats> {
+        self.core
+            .borrow()
+            .lane_bank
+            .as_ref()
+            .and_then(|b| b.lane_stats(lane))
     }
 
     /// Wires the hang watchdog's progress signal to this channel: every

@@ -43,6 +43,7 @@
 
 mod channel;
 mod fault;
+mod lanebank;
 mod mailbox;
 mod meter;
 mod packet;
@@ -54,6 +55,7 @@ mod stall;
 
 pub use channel::{channel, ChannelHandle, ChannelKind, ChannelStats};
 pub use fault::{FaultConfig, FaultInjector, FaultStats, TokenFaults};
+pub use lanebank::{FaultLaneBank, LaneSet, LaneStatus};
 pub use mailbox::{spsc, MailboxHub, RemoteRxEnd, RemoteTxEnd, SpscReceiver, SpscSender, WireMsg};
 pub use meter::{TimingModel, Transactor};
 pub use packet::{DePacketizer, Flit, Packetizer, Payload};

@@ -10,7 +10,9 @@
 //! reassembled by grid index, so [`sweep`] returns exactly the same
 //! `Vec<DesignPoint>` (same order, same values) as [`sweep_serial`].
 
-use craft_hls::{bind, optimize, schedule, Constraints, Kernel};
+use craft_hls::{
+    bind, optimize, schedule_lanes, schedule_with, Constraints, Kernel, SchedContext, Schedule,
+};
 use craft_tech::TechLibrary;
 
 /// One explored design point.
@@ -42,27 +44,35 @@ impl DesignPoint {
     }
 }
 
+/// One grid point of the sweep axes.
+fn grid_point(clock: f64, muls: Option<u32>) -> Constraints {
+    let mut c = Constraints::at_clock(clock).with_mem_ports(16);
+    if let Some(m) = muls {
+        c = c.with_multipliers(m);
+    }
+    c
+}
+
 /// Expands the sweep axes into the full constraint grid, in row-major
 /// (clock-outer, budget-inner) order.
 fn constraint_grid(clocks_ps: &[f64], multiplier_budgets: &[Option<u32>]) -> Vec<Constraints> {
     let mut grid = Vec::with_capacity(clocks_ps.len() * multiplier_budgets.len());
     for &clock in clocks_ps {
         for &muls in multiplier_budgets {
-            let mut c = Constraints::at_clock(clock).with_mem_ports(16);
-            if let Some(m) = muls {
-                c = c.with_multipliers(m);
-            }
-            grid.push(c);
+            grid.push(grid_point(clock, muls));
         }
     }
     grid
 }
 
-/// Evaluates one constraint point against the shared optimized kernel:
-/// schedule + bind only (the transform pipeline already ran).
-fn eval_point(optimized: &Kernel, lib: &TechLibrary, c: Constraints) -> DesignPoint {
-    let sched = schedule(optimized, lib, &c);
-    let module = bind(optimized, &sched, lib, c.clock_ps);
+/// Binds one scheduled point and extracts its design metrics.
+fn point_from_schedule(
+    optimized: &Kernel,
+    lib: &TechLibrary,
+    c: Constraints,
+    sched: &Schedule,
+) -> DesignPoint {
+    let module = bind(optimized, sched, lib, c.clock_ps);
     DesignPoint {
         constraints: c,
         area_um2: module.area_um2(lib),
@@ -71,6 +81,19 @@ fn eval_point(optimized: &Kernel, lib: &TechLibrary, c: Constraints) -> DesignPo
         crit_path_ps: module.crit_path_ps,
         power_mw: module.power(lib, 0.2).total_mw(),
     }
+}
+
+/// Evaluates one constraint point against the shared optimized kernel
+/// and a precomputed scheduling context: schedule + bind only (the
+/// transform pipeline and dependence/delay analysis already ran).
+fn eval_point(
+    optimized: &Kernel,
+    ctx: &SchedContext,
+    lib: &TechLibrary,
+    c: Constraints,
+) -> DesignPoint {
+    let sched = schedule_with(ctx, &c);
+    point_from_schedule(optimized, lib, c, &sched)
 }
 
 /// Evaluates `f` over `items` on scoped worker threads and returns the
@@ -96,6 +119,17 @@ where
         .map(|n| n.get())
         .unwrap_or(1)
         .min(items.len());
+    par_map_with_workers(items, workers, f)
+}
+
+/// [`par_map`] with an explicit worker count — the testable core; the
+/// public wrapper picks `workers` from the host's parallelism.
+fn par_map_with_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -149,7 +183,8 @@ pub fn sweep(
     );
     let grid = constraint_grid(clocks_ps, multiplier_budgets);
     let (optimized, _) = optimize(kernel);
-    par_map(&grid, |_, &c| eval_point(&optimized, lib, c))
+    let ctx = SchedContext::new(&optimized, lib);
+    par_map(&grid, |_, &c| eval_point(&optimized, &ctx, lib, c))
 }
 
 /// Single-threaded reference sweep: the same grid, optimized kernel
@@ -166,10 +201,56 @@ pub fn sweep_serial(
         "need at least one resource point"
     );
     let (optimized, _) = optimize(kernel);
+    let ctx = SchedContext::new(&optimized, lib);
     constraint_grid(clocks_ps, multiplier_budgets)
         .into_iter()
-        .map(|c| eval_point(&optimized, lib, c))
+        .map(|c| eval_point(&optimized, &ctx, lib, c))
         .collect()
+}
+
+/// Batched sweep: the structure-of-arrays twin of [`sweep`].
+///
+/// All multiplier-budget points of one clock share a kernel structure
+/// (same ops, same delays, same dependences — only resource limits
+/// differ), so each clock group is scheduled as one
+/// [`schedule_lanes`] batch over the shared [`SchedContext`]: the
+/// per-op dependence/delay/class context is fetched once per op for
+/// the whole budget row instead of once per (op, point). Clock groups
+/// — which *do* change op timing (multi-cycling, chaining) — are
+/// farmed out across [`par_map`] workers, one batch per group.
+///
+/// Output is bit-identical to [`sweep`] and [`sweep_serial`]: same
+/// grid order (clock-outer, budget-inner), same values.
+///
+/// # Panics
+/// Panics if either sweep list is empty.
+pub fn sweep_batched(
+    kernel: &Kernel,
+    lib: &TechLibrary,
+    clocks_ps: &[f64],
+    multiplier_budgets: &[Option<u32>],
+) -> Vec<DesignPoint> {
+    assert!(!clocks_ps.is_empty(), "need at least one clock point");
+    assert!(
+        !multiplier_budgets.is_empty(),
+        "need at least one resource point"
+    );
+    let (optimized, _) = optimize(kernel);
+    let ctx = SchedContext::new(&optimized, lib);
+    par_map(clocks_ps, |_, &clock| {
+        let row: Vec<Constraints> = multiplier_budgets
+            .iter()
+            .map(|&muls| grid_point(clock, muls))
+            .collect();
+        let scheds = schedule_lanes(&ctx, &row);
+        row.into_iter()
+            .zip(&scheds)
+            .map(|(c, sched)| point_from_schedule(&optimized, lib, c, sched))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Filters `points` down to the Pareto-optimal front (area, latency,
@@ -257,6 +338,40 @@ mod tests {
         assert_eq!(par.len(), clocks.len() * budgets.len());
         // Same Vec: same order, same values (f64s compared exactly).
         assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn batched_sweep_matches_serial_exactly() {
+        let lib = TechLibrary::n16();
+        let k = dot8();
+        let clocks = [900.0, 1000.0, 1200.0, 1400.0];
+        let budgets = [None, Some(8), Some(4), Some(2), Some(1)];
+        let batched = sweep_batched(&k, &lib, &clocks, &budgets);
+        let ser = sweep_serial(&k, &lib, &clocks, &budgets);
+        // Same Vec: same grid order, same values (f64s exact).
+        assert_eq!(batched, ser);
+    }
+
+    /// [`par_map_with_workers`] must reassemble results in input order
+    /// at both extremes of the worker cap: a single worker (the serial
+    /// fallback path) and one worker per item (maximum interleaving,
+    /// where strided assignment degenerates to one index per worker).
+    #[test]
+    fn par_map_order_is_pinned_at_worker_cap_one_and_n() {
+        let items: Vec<u64> = (0..17).map(|i| (i * 37 + 11) % 97).collect();
+        let expect: Vec<(usize, u64)> =
+            items.iter().enumerate().map(|(i, &v)| (i, v * v)).collect();
+        for workers in [1, items.len()] {
+            let got = par_map_with_workers(&items, workers, |i, &v| {
+                // Skew per-item latency so completion order differs
+                // from input order unless reassembly restores it.
+                std::thread::sleep(std::time::Duration::from_micros(
+                    ((items.len() - i) as u64) * 100,
+                ));
+                (i, v * v)
+            });
+            assert_eq!(got, expect, "workers={workers}");
+        }
     }
 
     #[test]

@@ -22,7 +22,9 @@ mod flow;
 pub mod productivity;
 
 pub use backend::{pnr_hours, sta_gals, sta_synchronous, turnaround, StaReport, TurnaroundReport};
-pub use dse::{best_under_latency, par_map, pareto_front, sweep, sweep_serial, DesignPoint};
+pub use dse::{
+    best_under_latency, par_map, pareto_front, sweep, sweep_batched, sweep_serial, DesignPoint,
+};
 pub use floorplan::{floorplan, Block, Floorplan};
 pub use flow::{run_flow, ChipReport, Clocking, FlowSpec, UnitReport, UnitSpec};
 pub use productivity::{

@@ -49,7 +49,10 @@ pub use cosim::{check_equivalence, cosim, CosimResult};
 pub use dot::to_dot;
 pub use ir::{ArrayDecl, ArrayId, Kernel, KernelBuilder, Op, OpKind, ValueId};
 pub use report::schedule_report;
-pub use schedule::{classify, op_delay_ps, schedule, Constraints, FuClass, Schedule};
+pub use schedule::{
+    classify, op_delay_ps, schedule, schedule_lanes, schedule_with, Constraints, FuClass,
+    SchedContext, Schedule,
+};
 pub use xform::{optimize, XformReport};
 
 use craft_tech::TechLibrary;

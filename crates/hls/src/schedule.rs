@@ -188,6 +188,218 @@ fn dependences(kernel: &Kernel) -> Vec<Vec<usize>> {
     preds
 }
 
+/// Constraint-independent scheduling context, computed once per kernel
+/// and reused across every constraint point of a sweep.
+///
+/// Everything the list scheduler needs that does not depend on
+/// [`Constraints`] lives here: the dependence graph (data + memory
+/// order) and its transpose, per-op combinational delays under the
+/// technology library, per-op resource classes, and the per-class /
+/// per-array usage counts behind the resource-minimum II. Building it
+/// walks the kernel once; [`schedule_with`] and [`schedule_lanes`]
+/// then touch only flat precomputed arrays.
+#[derive(Debug, Clone)]
+pub struct SchedContext {
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    delay_ps: Vec<f64>,
+    class: Vec<Option<FuClass>>,
+    /// Array index for mem-port ops, `None` otherwise.
+    mem_array: Vec<Option<usize>>,
+    class_count: HashMap<FuClass, u32>,
+    per_array: HashMap<usize, u32>,
+}
+
+impl SchedContext {
+    /// Precomputes the constraint-independent analysis of `kernel`
+    /// under `lib`.
+    pub fn new(kernel: &Kernel, lib: &TechLibrary) -> Self {
+        let ops = kernel.ops();
+        let preds = dependences(kernel);
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
+        for (i, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                succs[p].push(i);
+            }
+        }
+        let delay_ps: Vec<f64> = ops
+            .iter()
+            .map(|op| op_delay_ps(lib, op.kind, op.width))
+            .collect();
+        let class: Vec<Option<FuClass>> = ops.iter().map(|op| classify(op.kind)).collect();
+        let mem_array: Vec<Option<usize>> = ops
+            .iter()
+            .map(|op| match op.kind {
+                OpKind::Load(a) | OpKind::Store(a) => Some(a.0),
+                _ => None,
+            })
+            .collect();
+        // Per-class / per-array op counts behind the resource-minimum
+        // initiation interval of a pipelined loop body.
+        let mut class_count: HashMap<FuClass, u32> = HashMap::new();
+        let mut per_array: HashMap<usize, u32> = HashMap::new();
+        for (c, arr) in class.iter().zip(&mem_array) {
+            match (c, arr) {
+                (Some(FuClass::MemPort), Some(a)) => *per_array.entry(*a).or_insert(0) += 1,
+                (Some(cl), _) => *class_count.entry(*cl).or_insert(0) += 1,
+                (None, _) => {}
+            }
+        }
+        SchedContext {
+            preds,
+            succs,
+            delay_ps,
+            class,
+            mem_array,
+            class_count,
+            per_array,
+        }
+    }
+
+    /// Number of ops in the analyzed kernel.
+    pub fn op_count(&self) -> usize {
+        self.delay_ps.len()
+    }
+}
+
+/// Per-constraint mutable scheduling state: one lane of a batched
+/// sweep, or the whole state of a solo [`schedule_with`] call.
+struct LaneState {
+    /// Start cycle per op.
+    start_cycle: Vec<u32>,
+    /// `(cycle, offset ps within that cycle)` at which each op's
+    /// result is stable.
+    finish: Vec<(u32, f64)>,
+    /// Per-cycle resource usage, `(class, cycle) -> used`.
+    fu_used: HashMap<(FuClass, u32), u32>,
+    /// Per-cycle array-port usage, `(array, cycle) -> used`.
+    mem_used: HashMap<(usize, u32), u32>,
+}
+
+impl LaneState {
+    fn new(ops: usize) -> Self {
+        LaneState {
+            start_cycle: vec![0; ops],
+            finish: vec![(0, 0.0); ops],
+            fu_used: HashMap::new(),
+            mem_used: HashMap::new(),
+        }
+    }
+}
+
+/// Places op `i` in one lane: earliest start honoring deps with
+/// chaining, register-boundary alignment for multi-cycle ops, and a
+/// forward slide to the first cycle with a free functional unit.
+fn place_op(ctx: &SchedContext, constraints: &Constraints, i: usize, lane: &mut LaneState) {
+    let delay = ctx.delay_ps[i];
+    let multi_cycles = (delay / constraints.clock_ps).ceil().max(1.0) as u32;
+    assert!(
+        multi_cycles <= 8,
+        "op delay {delay}ps exceeds 8 clock periods — raise the clock period"
+    );
+    // Earliest start honoring data/memory deps with chaining.
+    let mut cycle = 0u32;
+    let mut offset: f64 = 0.0;
+    for &p in &ctx.preds[i] {
+        let (pc, poff) = lane.finish[p];
+        if pc > cycle {
+            cycle = pc;
+            offset = poff;
+        } else if pc == cycle {
+            offset = offset.max(poff);
+        }
+    }
+    // Multi-cycle ops start at a register boundary.
+    if multi_cycles > 1 && offset > 0.0 {
+        cycle += 1;
+        offset = 0.0;
+    }
+    // Chain if the op fits in the remaining cycle time.
+    if multi_cycles == 1 && offset + delay > constraints.clock_ps {
+        cycle += 1;
+        offset = 0.0;
+    }
+    // Resource check: slide forward until a cycle with a free unit.
+    if let Some(class) = ctx.class[i] {
+        let limit = constraints.limit(class);
+        loop {
+            let ok = match (class, limit) {
+                (FuClass::MemPort, Some(lim)) => {
+                    let arr = ctx.mem_array[i].expect("mem class implies mem op");
+                    lane.mem_used.get(&(arr, cycle)).copied().unwrap_or(0) < lim
+                }
+                (_, Some(lim)) => lane.fu_used.get(&(class, cycle)).copied().unwrap_or(0) < lim,
+                (_, None) => true,
+            };
+            if ok {
+                break;
+            }
+            cycle += 1;
+            offset = 0.0;
+        }
+        match (class, ctx.mem_array[i]) {
+            (FuClass::MemPort, Some(arr)) => {
+                *lane.mem_used.entry((arr, cycle)).or_insert(0) += 1;
+            }
+            _ => {
+                *lane.fu_used.entry((class, cycle)).or_insert(0) += 1;
+            }
+        }
+    }
+    lane.start_cycle[i] = cycle;
+    lane.finish[i] = if multi_cycles > 1 {
+        (cycle + multi_cycles - 1, constraints.clock_ps * 0.99)
+    } else {
+        (cycle, offset + delay)
+    };
+}
+
+/// Turns one lane's placed ops into a [`Schedule`]: latency, ALAP
+/// slack analysis, resource-minimum II and critical path.
+fn finalize_lane(ctx: &SchedContext, constraints: &Constraints, lane: LaneState) -> Schedule {
+    let LaneState {
+        start_cycle,
+        finish,
+        ..
+    } = lane;
+    let latency = finish.iter().map(|&(c, _)| c + 1).max().unwrap_or(1);
+
+    // ALAP at cycle granularity for slack reporting.
+    let mut alap = vec![latency - 1; start_cycle.len()];
+    for i in (0..start_cycle.len()).rev() {
+        for &s in &ctx.succs[i] {
+            let bound =
+                alap[s].saturating_sub(start_cycle[s].saturating_sub(start_cycle[i]).min(1));
+            alap[i] = alap[i].min(bound.max(start_cycle[i]));
+        }
+    }
+
+    // Resource-minimum initiation interval for a pipelined loop body.
+    let mut ii = 1u32;
+    for (class, used) in &ctx.class_count {
+        if let Some(lim) = constraints.limit(*class) {
+            ii = ii.max(used.div_ceil(lim.max(1)));
+        }
+    }
+    for used in ctx.per_array.values() {
+        ii = ii.max(used.div_ceil(constraints.mem_ports.max(1)));
+    }
+
+    let crit_path_ps = finish
+        .iter()
+        .map(|&(_, off)| off)
+        .fold(0.0_f64, f64::max)
+        .min(constraints.clock_ps);
+
+    Schedule {
+        cycle: start_cycle,
+        latency,
+        alap,
+        ii,
+        crit_path_ps,
+    }
+}
+
 /// Chaining-aware resource-constrained list scheduling.
 ///
 /// # Panics
@@ -208,141 +420,50 @@ fn dependences(kernel: &Kernel) -> Vec<Vec<usize>> {
 /// assert!(sched.latency >= 2);
 /// ```
 pub fn schedule(kernel: &Kernel, lib: &TechLibrary, constraints: &Constraints) -> Schedule {
+    schedule_with(&SchedContext::new(kernel, lib), constraints)
+}
+
+/// [`schedule`] over a precomputed [`SchedContext`] — use when
+/// evaluating many constraint points against one kernel, so the
+/// dependence/delay analysis runs once instead of once per point.
+/// Bit-identical to [`schedule`] for the same kernel and library.
+pub fn schedule_with(ctx: &SchedContext, constraints: &Constraints) -> Schedule {
     assert!(constraints.clock_ps > 0.0, "clock period must be positive");
-    let ops = kernel.ops();
-    let preds = dependences(kernel);
-
-    // finish_time[i] = (cycle, offset ps within that cycle) at which
-    // op i's result is stable.
-    let mut start_cycle = vec![0u32; ops.len()];
-    let mut finish: Vec<(u32, f64)> = vec![(0, 0.0); ops.len()];
-    // Per-cycle resource usage: (class, cycle) -> used. Arrays get
-    // per-array port accounting.
-    let mut fu_used: HashMap<(FuClass, u32), u32> = HashMap::new();
-    let mut mem_used: HashMap<(usize, u32), u32> = HashMap::new();
-
-    for (i, op) in ops.iter().enumerate() {
-        let delay = op_delay_ps(lib, op.kind, op.width);
-        let multi_cycles = (delay / constraints.clock_ps).ceil().max(1.0) as u32;
-        assert!(
-            multi_cycles <= 8,
-            "op delay {delay}ps exceeds 8 clock periods — raise the clock period"
-        );
-        // Earliest start honoring data/memory deps with chaining.
-        let mut cycle = 0u32;
-        let mut offset: f64 = 0.0;
-        for &p in &preds[i] {
-            let (pc, poff) = finish[p];
-            if pc > cycle {
-                cycle = pc;
-                offset = poff;
-            } else if pc == cycle {
-                offset = offset.max(poff);
-            }
-        }
-        // Multi-cycle ops start at a register boundary.
-        if multi_cycles > 1 && offset > 0.0 {
-            cycle += 1;
-            offset = 0.0;
-        }
-        // Chain if the op fits in the remaining cycle time.
-        if multi_cycles == 1 && offset + delay > constraints.clock_ps {
-            cycle += 1;
-            offset = 0.0;
-        }
-        // Resource check: slide forward until a cycle with a free unit.
-        if let Some(class) = classify(op.kind) {
-            let limit = constraints.limit(class);
-            loop {
-                let ok = match (class, limit) {
-                    (FuClass::MemPort, Some(lim)) => {
-                        let arr = match op.kind {
-                            OpKind::Load(a) | OpKind::Store(a) => a.0,
-                            _ => unreachable!("mem class implies mem op"),
-                        };
-                        mem_used.get(&(arr, cycle)).copied().unwrap_or(0) < lim
-                    }
-                    (_, Some(lim)) => fu_used.get(&(class, cycle)).copied().unwrap_or(0) < lim,
-                    (_, None) => true,
-                };
-                if ok {
-                    break;
-                }
-                cycle += 1;
-                offset = 0.0;
-            }
-            match (class, op.kind) {
-                (FuClass::MemPort, OpKind::Load(a) | OpKind::Store(a)) => {
-                    *mem_used.entry((a.0, cycle)).or_insert(0) += 1;
-                }
-                _ => {
-                    *fu_used.entry((class, cycle)).or_insert(0) += 1;
-                }
-            }
-        }
-        start_cycle[i] = cycle;
-        finish[i] = if multi_cycles > 1 {
-            (cycle + multi_cycles - 1, constraints.clock_ps * 0.99)
-        } else {
-            (cycle, offset + delay)
-        };
+    let mut lane = LaneState::new(ctx.op_count());
+    for i in 0..ctx.op_count() {
+        place_op(ctx, constraints, i, &mut lane);
     }
+    finalize_lane(ctx, constraints, lane)
+}
 
-    let latency = finish.iter().map(|&(c, _)| c + 1).max().unwrap_or(1);
-
-    // ALAP at cycle granularity for slack reporting.
-    let mut alap = vec![latency - 1; ops.len()];
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
-    for (i, ps) in preds.iter().enumerate() {
-        for &p in ps {
-            succs[p].push(i);
-        }
+/// Batched structure-of-arrays scheduling: places every op for all
+/// constraint lanes before moving to the next op (ops outer, lanes
+/// inner), so the per-op context — dependence list, delay, resource
+/// class — is fetched once and amortized across the whole batch.
+/// Lane state is fully independent; each returned [`Schedule`] is
+/// bit-identical to a solo [`schedule_with`] call for that lane's
+/// constraints.
+///
+/// # Panics
+/// As [`schedule`], for any lane.
+pub fn schedule_lanes(ctx: &SchedContext, constraints: &[Constraints]) -> Vec<Schedule> {
+    for c in constraints {
+        assert!(c.clock_ps > 0.0, "clock period must be positive");
     }
-    for i in (0..ops.len()).rev() {
-        for &s in &succs[i] {
-            let bound =
-                alap[s].saturating_sub(start_cycle[s].saturating_sub(start_cycle[i]).min(1));
-            alap[i] = alap[i].min(bound.max(start_cycle[i]));
-        }
-    }
-
-    // Resource-minimum initiation interval for a pipelined loop body.
-    let mut class_count: HashMap<FuClass, u32> = HashMap::new();
-    let mut per_array: HashMap<usize, u32> = HashMap::new();
-    for op in ops {
-        if let Some(class) = classify(op.kind) {
-            if class == FuClass::MemPort {
-                if let OpKind::Load(a) | OpKind::Store(a) = op.kind {
-                    *per_array.entry(a.0).or_insert(0) += 1;
-                }
-            } else {
-                *class_count.entry(class).or_insert(0) += 1;
-            }
-        }
-    }
-    let mut ii = 1u32;
-    for (class, used) in &class_count {
-        if let Some(lim) = constraints.limit(*class) {
-            ii = ii.max(used.div_ceil(lim.max(1)));
-        }
-    }
-    for used in per_array.values() {
-        ii = ii.max(used.div_ceil(constraints.mem_ports.max(1)));
-    }
-
-    let crit_path_ps = finish
+    let mut lanes: Vec<LaneState> = constraints
         .iter()
-        .map(|&(_, off)| off)
-        .fold(0.0_f64, f64::max)
-        .min(constraints.clock_ps);
-
-    Schedule {
-        cycle: start_cycle,
-        latency,
-        alap,
-        ii,
-        crit_path_ps,
+        .map(|_| LaneState::new(ctx.op_count()))
+        .collect();
+    for i in 0..ctx.op_count() {
+        for (c, lane) in constraints.iter().zip(&mut lanes) {
+            place_op(ctx, c, i, lane);
+        }
     }
+    constraints
+        .iter()
+        .zip(lanes)
+        .map(|(c, lane)| finalize_lane(ctx, c, lane))
+        .collect()
 }
 
 #[cfg(test)]
@@ -467,6 +588,42 @@ mod tests {
             .position(|o| matches!(o.kind, OpKind::Mul))
             .expect("mul");
         assert_eq!(s.slack(mul_idx), 0);
+    }
+
+    #[test]
+    fn batched_lanes_match_solo_schedules_bit_for_bit() {
+        // A kernel exercising every resource class: muls, adds, logic
+        // and memory ports, with real dependence chains.
+        let mut b = KernelBuilder::new("t", 32);
+        let arr = b.array("a", 8);
+        let mut acc = b.constant(0);
+        for i in 0..4 {
+            let idx = b.constant(i);
+            let v = b.load(arr, idx);
+            let x = b.input(i as usize);
+            let p = b.mul(v, x);
+            let m = b.and(p, x);
+            acc = b.add(acc, m);
+        }
+        b.output(0, acc);
+        let k = b.finish();
+        let lib = lib();
+        let ctx = SchedContext::new(&k, &lib);
+        let points: Vec<Constraints> = vec![
+            Constraints::at_clock(900.0),
+            Constraints::at_clock(1200.0).with_multipliers(1),
+            Constraints::at_clock(1200.0)
+                .with_adders(1)
+                .with_mem_ports(1),
+            Constraints::at_clock(2000.0)
+                .with_multipliers(2)
+                .with_mem_ports(2),
+        ];
+        let batched = schedule_lanes(&ctx, &points);
+        for (c, got) in points.iter().zip(&batched) {
+            assert_eq!(got, &schedule(&k, &lib, c), "lane {c:?}");
+            assert_eq!(got, &schedule_with(&ctx, c), "lane {c:?}");
+        }
     }
 
     #[test]

@@ -62,6 +62,6 @@ pub use parallel::{
     SpinBarrier,
 };
 pub use plan::{PlanDesc, PlanNode, PlanReject};
-pub use telemetry::{Telemetry, TelemetrySnapshot, TickProfile};
+pub use telemetry::{TelLaneCounters, Telemetry, TelemetrySnapshot, TickProfile};
 pub use time::Picoseconds;
 pub use trace::{SignalId, Trace};

@@ -80,6 +80,43 @@ impl TelGauge {
     }
 }
 
+/// Lane-indexed counter array for batched lockstep runs: one shared
+/// `Vec<u64>` (struct-of-arrays — the per-lane values live contiguously)
+/// registered under `path.lane<i>` probe rows plus a `path.merged` row
+/// that sums the lanes at snapshot time. Writers index by lane; the
+/// registry polls lazily, so the hot loop touches one array slot.
+#[derive(Debug, Clone)]
+pub struct TelLaneCounters(Rc<RefCell<Vec<u64>>>);
+
+impl TelLaneCounters {
+    /// Adds `n` to lane `lane`'s counter.
+    pub fn add(&self, lane: usize, n: u64) {
+        self.0.borrow_mut()[lane] += n;
+    }
+
+    /// Overwrites lane `lane`'s counter (for end-of-run publication of
+    /// externally accumulated per-lane totals).
+    pub fn set(&self, lane: usize, n: u64) {
+        self.0.borrow_mut()[lane] = n;
+    }
+
+    /// Lane `lane`'s current value.
+    pub fn get(&self, lane: usize) -> u64 {
+        self.0.borrow()[lane]
+    }
+
+    /// Sum over all lanes — the merged view the `path.merged` probe
+    /// reports.
+    pub fn merged(&self) -> u64 {
+        self.0.borrow().iter().sum()
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.0.borrow().len()
+    }
+}
+
 /// A registered latency-histogram handle (see [`Histogram`]).
 #[derive(Debug, Clone)]
 pub struct TelHistogram(Rc<RefCell<Histogram>>);
@@ -288,6 +325,23 @@ impl Telemetry {
             .metrics
             .push((path.into(), Metric::Histogram(Rc::clone(&h))));
         TelHistogram(h)
+    }
+
+    /// Registers a lane-indexed counter array at `path`: `lanes`
+    /// per-lane probe rows (`path.lane<i>`) over one contiguous shared
+    /// vector, plus a `path.merged` row summing them at snapshot time.
+    /// The batched lockstep backend publishes per-lane fault/token
+    /// counters through this.
+    pub fn lane_counters(&self, path: impl Into<String>, lanes: usize) -> TelLaneCounters {
+        let path = path.into();
+        let store = Rc::new(RefCell::new(vec![0u64; lanes]));
+        for lane in 0..lanes {
+            let s = Rc::clone(&store);
+            self.probe(format!("{path}.lane{lane}"), move || s.borrow()[lane]);
+        }
+        let s = Rc::clone(&store);
+        self.probe(format!("{path}.merged"), move || s.borrow().iter().sum());
+        TelLaneCounters(store)
     }
 
     /// Registers a polled probe at `path`: `f` is evaluated only at
@@ -652,6 +706,21 @@ mod tests {
         assert_eq!(tel.spans_recorded(), 2);
         assert_eq!(tel.spans_dropped(), 2);
         assert!(tel.snapshot(0).spans.is_empty());
+    }
+
+    #[test]
+    fn lane_counters_expose_per_lane_and_merged_rows() {
+        let tel = Telemetry::new();
+        let lanes = tel.lane_counters("sim.batch.injected", 4);
+        lanes.add(0, 3);
+        lanes.add(2, 5);
+        lanes.set(3, 1);
+        assert_eq!((lanes.lanes(), lanes.get(1), lanes.merged()), (4, 0, 9));
+        let snap = tel.snapshot(0);
+        assert_eq!(snap.metric("sim.batch.injected.lane0"), Some(3));
+        assert_eq!(snap.metric("sim.batch.injected.lane1"), Some(0));
+        assert_eq!(snap.metric("sim.batch.injected.lane2"), Some(5));
+        assert_eq!(snap.metric("sim.batch.injected.merged"), Some(9));
     }
 
     #[test]

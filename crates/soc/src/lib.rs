@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bitrtl;
 pub mod controller;
 pub mod hub;
@@ -45,6 +46,7 @@ pub mod schedplan;
 pub mod soc;
 pub mod workloads;
 
+pub use batch::{replay_lane_solo, BatchReport, BatchSoc, LaneRun, LaneSpec, ReplayInputs};
 pub use msg::{NocMsg, PeCommand, PeOp, HUB_NODE, N_PES};
 pub use parallel::{partition, ParallelSoc, ShardStats};
 pub use pe::{Fidelity, PeConfig, PeStats, ProcessingElement};

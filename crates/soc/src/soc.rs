@@ -316,6 +316,15 @@ impl fmt::Display for FaultPatternError {
 
 impl std::error::Error for FaultPatternError {}
 
+/// Derives the per-channel fault-injector seed from a campaign seed
+/// and the channel's registry index. One definition shared by
+/// [`Soc::inject_fault`] and the batched lockstep backend's shadow
+/// banks ([`crate::batch`]) — the two decision streams must be
+/// bit-identical for lane convergence to mean anything.
+pub(crate) fn lane_fault_seed(seed: u64, registry_index: usize) -> u64 {
+    seed ^ (registry_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
 /// Result of one SoC run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunResult {
@@ -1276,7 +1285,7 @@ impl Soc {
                 // from the registry index) are identical on every
                 // worker and to the sequential build.
                 if matches!(self.noc_roles[i], ChannelRole::Local | ChannelRole::TxHalf) {
-                    h.inject_faults(cfg, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    h.inject_faults(cfg, lane_fault_seed(seed, i));
                 }
             }
         }
@@ -1472,6 +1481,20 @@ impl Soc {
     /// a sequential build, the shard's own domains in a sharded one.
     pub(crate) fn owned_clocks(&self) -> &[ClockId] {
         &self.owned_clocks
+    }
+
+    /// The NoC channel registry (name, handle), in registration order —
+    /// the index is the per-channel fault-seed salt. The batched
+    /// lockstep backend ([`crate::batch`]) walks this to attach shadow
+    /// fault-lane banks on the golden build.
+    pub(crate) fn noc_registry(&self) -> &[(String, ChannelHandle<NocFlit>)] {
+        &self.noc_channels
+    }
+
+    /// Per-registry-entry channel roles (all [`ChannelRole::Local`] in
+    /// a sequential build).
+    pub(crate) fn noc_role(&self, i: usize) -> ChannelRole {
+        self.noc_roles[i]
     }
 
     /// Taps every registry channel as a watchdog progress source — what

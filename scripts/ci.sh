@@ -45,4 +45,10 @@ rm -f "$tel_snap"
 echo "==> fault-campaign smoke (release, reduced seeds; JSON baseline untouched)"
 cargo run --release -p craft-bench --bin fault_campaign -- --smoke
 
+echo "==> batched-lockstep campaign smoke (release, serial-identity asserted per seed)"
+cargo run --release -p craft-bench --bin fault_campaign -- --batch --smoke
+
+echo "==> batched-lockstep kernel smoke (release, lane 0 vs solo replay asserted)"
+cargo run --release -p craft-bench --bin kernel_baseline -- --workload smoke --batch
+
 echo "CI OK"
