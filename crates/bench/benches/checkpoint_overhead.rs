@@ -1,0 +1,86 @@
+//! Checkpoint/restore overhead benchmarks: the cost of capturing a
+//! [`SimSnapshot`] (state walk + byte encoding), of restoring one
+//! (decode + rebuild + deterministic replay to the capture cycle),
+//! and the end-to-end drag periodic auto-checkpointing adds to a
+//! supervised run. Committed system-level numbers live in
+//! `BENCH_fault_campaign.json` (`checkpoint` section).
+
+use craft_soc::checkpoint::SimSnapshot;
+use craft_soc::workloads::{orchestrator_program, table_words, vec_mul};
+use craft_soc::{ParallelSoc, Soc, SocConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const MAX_CYCLES: u64 = 4_000_000;
+const NO_PROGRESS: u64 = 100_000;
+const CKPT_EVERY: u64 = 300;
+
+/// A sequential SoC advanced to a mid-run capture point, plus the
+/// encoded snapshot taken there.
+fn mid_run_soc() -> (Soc, Vec<u8>) {
+    let wl = vec_mul();
+    let cfg = SocConfig {
+        checkpoint_every: Some(CKPT_EVERY),
+        ..SocConfig::default()
+    };
+    let mut soc = Soc::build(
+        cfg,
+        &orchestrator_program(),
+        &table_words(&wl.entries),
+        &wl.gmem_init,
+    );
+    soc.run_checked(MAX_CYCLES, NO_PROGRESS).expect("clean run");
+    let bytes = soc.last_checkpoint().expect("mid-run capture").to_bytes();
+    (soc, bytes)
+}
+
+fn bench_checkpoint_overhead(c: &mut Criterion) {
+    let wl = vec_mul();
+    let program = orchestrator_program();
+    let table = table_words(&wl.entries);
+
+    let mut g = c.benchmark_group("checkpoint_overhead");
+    g.sample_size(10);
+
+    let (soc, bytes) = mid_run_soc();
+    g.bench_function("capture_encode", |b| b.iter(|| soc.checkpoint().to_bytes()));
+    g.bench_function("decode_restore_replay", |b| {
+        b.iter(|| {
+            let snap = SimSnapshot::from_bytes(&bytes).expect("codec round-trip");
+            Soc::restore(&snap).expect("restore")
+        })
+    });
+
+    // End-to-end drag: the same supervised run with and without
+    // periodic auto-checkpoints.
+    g.bench_function("run_plain", |b| {
+        b.iter(|| {
+            let mut soc = Soc::build(SocConfig::default(), &program, &table, &wl.gmem_init);
+            soc.run_checked(MAX_CYCLES, NO_PROGRESS).expect("clean run")
+        })
+    });
+    g.bench_function(format!("run_ckpt_every_{CKPT_EVERY}"), |b| {
+        let cfg = SocConfig {
+            checkpoint_every: Some(CKPT_EVERY),
+            ..SocConfig::default()
+        };
+        b.iter(|| {
+            let mut soc = Soc::build(cfg, &program, &table, &wl.gmem_init);
+            soc.run_checked(MAX_CYCLES, NO_PROGRESS).expect("clean run")
+        })
+    });
+
+    // Coordinated epoch-boundary capture on the sharded engine.
+    g.bench_function("parallel2_capture_encode", |b| {
+        let cfg = SocConfig {
+            checkpoint_every: Some(CKPT_EVERY),
+            ..SocConfig::default()
+        };
+        let mut par = ParallelSoc::build(cfg, &program, &table, &wl.gmem_init, 2);
+        par.run_checked(MAX_CYCLES, NO_PROGRESS).expect("clean run");
+        b.iter(|| par.checkpoint().to_bytes())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_checkpoint_overhead);
+criterion_main!(benches);

@@ -38,23 +38,49 @@
 //! cargo run --release -p craft-bench --bin fault_campaign
 //! cargo run --release -p craft-bench --bin fault_campaign -- --smoke
 //! cargo run --release -p craft-bench --bin fault_campaign -- --batch --smoke
+//! cargo run --release -p craft-bench --bin fault_campaign -- --checkpoint-dir DIR --out F
+//! cargo run --release -p craft-bench --bin fault_campaign -- --checkpoint-dir DIR --resume --out F
+//! cargo run --release -p craft-bench --bin fault_campaign -- --ckpt-smoke
 //! ```
 //!
 //! `--smoke` shrinks the seed sweeps (CI uses this; the JSON is only
 //! written for full runs so a smoke never clobbers the committed
 //! baseline with low-sample rates). `--batch` runs only the batched
 //! lockstep campaign and its serial-identity assertion.
+//!
+//! `--checkpoint-dir DIR` switches to the **crash-safe resumable
+//! campaign**: a deterministic per-seed sweep (link, SoC, degradation
+//! and watchdog; no wall-clock fields) whose every completed row is
+//! journaled to `DIR` atomically (tmp + fsync + rename) the moment it
+//! finishes. With `--resume`, journaled rows are reused instead of
+//! recomputed — killing the process at *any* instant (including
+//! `SIGKILL`) and rerunning with `--resume` produces a final artifact
+//! byte-identical to an uninterrupted run's, with only the missing
+//! rows recomputed. Journaling is idempotent: a second `--resume` run
+//! recomputes nothing and emits the same bytes. `--out FILE` sets the
+//! artifact path (default `fault_campaign_ckpt.json`).
+//!
+//! `--ckpt-smoke` runs an in-process checkpoint round-trip: segmented
+//! (auto-checkpointed) runs must match uninterrupted runs observable
+//! for observable, a restore from the byte codec must finish
+//! identically, and corrupted / truncated / version-bumped snapshot
+//! bytes must be rejected with typed errors.
 
 use craft_bench::{json_meta_block, validate_json, SilentPanicGuard};
 use craft_connections::{
     channel, reliable_link, ChannelKind, FaultConfig, In, Out, ReliableConfig, ReliableStats,
 };
+use craft_sim::checkpoint::CheckpointError;
 use craft_sim::{ClockSpec, Component, Picoseconds, SimError, Simulator, Telemetry, TickCtx};
-use craft_soc::workloads::{orchestrator_program, table_words, vec_mul, TableEntry, Workload};
-use craft_soc::{BatchSoc, LaneRun, LaneSpec, PeCommand, PeOp, Soc, SocConfig};
+use craft_soc::checkpoint::SimSnapshot;
+use craft_soc::workloads::{
+    dot_product, orchestrator_program, table_words, vec_mul, TableEntry, Workload,
+};
+use craft_soc::{BatchSoc, LaneRun, LaneSpec, ParallelSoc, PeCommand, PeOp, Soc, SocConfig};
 use craftflow_core::par_map;
 use std::cell::RefCell;
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -230,30 +256,35 @@ struct LinkRow {
     cycles_faulted: u64,
 }
 
+/// One seeded link experiment: bare channel, clean wrapped link and
+/// faulted wrapped link over the same value stream. Fully
+/// deterministic in `(mode, seed)`.
+fn link_row(mode: Mode, seed: u64) -> LinkRow {
+    let mut rng = seed.wrapping_mul(0x5851_f42d_4c95_7f2d);
+    let values: Vec<u32> = (0..64).map(|_| splitmix(&mut rng) as u32).collect();
+    let (bare, cycles_bare, _, _) = link_run(&values, None, false);
+    assert_eq!(bare, values, "bare channel is lossless");
+    let (clean, cycles_clean, _, _) = link_run(&values, None, true);
+    assert_eq!(clean, values, "clean wrapped link is lossless");
+    let fault = mode.config(0.15);
+    let (got, cycles_faulted, injected, stats) = link_run(&values, Some((fault, seed)), true);
+    LinkRow {
+        mode,
+        injected,
+        detections: mode.link_detections(&stats),
+        recovered: got == values,
+        cycles_bare,
+        cycles_clean,
+        cycles_faulted,
+    }
+}
+
 fn link_campaign(seeds: u64) -> Vec<LinkRow> {
     let jobs: Vec<(Mode, u64)> = Mode::ALL
         .iter()
         .flat_map(|&m| (0..seeds).map(move |s| (m, s)))
         .collect();
-    par_map(&jobs, |_, &(mode, seed)| {
-        let mut rng = seed.wrapping_mul(0x5851_f42d_4c95_7f2d);
-        let values: Vec<u32> = (0..64).map(|_| splitmix(&mut rng) as u32).collect();
-        let (bare, cycles_bare, _, _) = link_run(&values, None, false);
-        assert_eq!(bare, values, "bare channel is lossless");
-        let (clean, cycles_clean, _, _) = link_run(&values, None, true);
-        assert_eq!(clean, values, "clean wrapped link is lossless");
-        let fault = mode.config(0.15);
-        let (got, cycles_faulted, injected, stats) = link_run(&values, Some((fault, seed)), true);
-        LinkRow {
-            mode,
-            injected,
-            detections: mode.link_detections(&stats),
-            recovered: got == values,
-            cycles_bare,
-            cycles_clean,
-            cycles_faulted,
-        }
-    })
+    par_map(&jobs, |_, &(mode, seed)| link_row(mode, seed))
 }
 
 struct ModeSummary {
@@ -696,45 +727,57 @@ struct DegradationRow {
     clean_cycles: u64,
 }
 
-fn degradation_campaign(victims: &[u16]) -> Vec<DegradationRow> {
+/// One victim-PE degradation experiment, deterministic in `victim`.
+fn degradation_row(victim: u16, clean_cycles: u64) -> DegradationRow {
     let wl = vec_mul();
     let program = orchestrator_program();
     let table = table_words(&wl.entries);
-    let clean_cycles = {
-        let mut soc = Soc::build(SocConfig::default(), &program, &table, &wl.gmem_init);
-        let r = soc.run(8_000_000);
-        assert!(r.completed, "clean baseline must complete");
-        r.cycles
+    let cfg = SocConfig {
+        pe_timeout: Some(20_000),
+        ..SocConfig::default()
     };
-    par_map(victims, |_, &victim| {
-        let cfg = SocConfig {
-            pe_timeout: Some(20_000),
-            ..SocConfig::default()
-        };
-        let mut soc = Soc::build(cfg, &program, &table, &wl.gmem_init);
-        assert_eq!(
-            soc.inject_fault(&format!("n{victim}.eject"), FaultConfig::stuck_valid(0), 7)
-                .expect("ejection channel exists"),
-            1
-        );
-        let r = soc
-            .run_checked(8_000_000, 200_000)
-            .expect("degraded run must recover, not hang");
-        let verified = r.completed
-            && wl
-                .expected
-                .iter()
-                .all(|(base, expect)| &soc.gmem_read(*base, expect.len()) == expect);
-        let hub = soc.report().hub;
-        DegradationRow {
-            victim,
-            recovered: verified,
-            failed: hub.failed_pes,
-            remapped: hub.remapped,
-            cycles: r.cycles,
-            clean_cycles,
-        }
-    })
+    let mut soc = Soc::build(cfg, &program, &table, &wl.gmem_init);
+    assert_eq!(
+        soc.inject_fault(&format!("n{victim}.eject"), FaultConfig::stuck_valid(0), 7)
+            .expect("ejection channel exists"),
+        1
+    );
+    let r = soc
+        .run_checked(8_000_000, 200_000)
+        .expect("degraded run must recover, not hang");
+    let verified = r.completed
+        && wl
+            .expected
+            .iter()
+            .all(|(base, expect)| &soc.gmem_read(*base, expect.len()) == expect);
+    let hub = soc.report().hub;
+    DegradationRow {
+        victim,
+        recovered: verified,
+        failed: hub.failed_pes,
+        remapped: hub.remapped,
+        cycles: r.cycles,
+        clean_cycles,
+    }
+}
+
+/// Cycle count of the clean (fault-free) vec_mul baseline.
+fn clean_baseline_cycles() -> u64 {
+    let wl = vec_mul();
+    let mut soc = Soc::build(
+        SocConfig::default(),
+        &orchestrator_program(),
+        &table_words(&wl.entries),
+        &wl.gmem_init,
+    );
+    let r = soc.run(8_000_000);
+    assert!(r.completed, "clean baseline must complete");
+    r.cycles
+}
+
+fn degradation_campaign(victims: &[u16]) -> Vec<DegradationRow> {
+    let clean_cycles = clean_baseline_cycles();
+    par_map(victims, |_, &victim| degradation_row(victim, clean_cycles))
 }
 
 // ---------------------------------------------------------------------
@@ -843,13 +886,477 @@ fn telemetry_snapshot_json() -> String {
 }
 
 // ---------------------------------------------------------------------
+// Part 6: checkpoint overhead — snapshot size, save/restore latency.
+// ---------------------------------------------------------------------
 
-fn smoke_flag() -> bool {
-    std::env::args().skip(1).any(|a| a == "--smoke")
+/// How often the overhead sweep auto-checkpoints (cycles).
+const CKPT_EVERY: u64 = 300;
+
+struct CkptRow {
+    workload: &'static str,
+    engine: &'static str,
+    snapshot_bytes: u64,
+    capture_cycles: u64,
+    save_us: f64,
+    restore_us: f64,
+    run_cycles: u64,
+    segmented_identical: bool,
 }
 
-fn batch_flag() -> bool {
-    std::env::args().skip(1).any(|a| a == "--batch")
+/// Measures, per workload × engine: the mid-run snapshot's encoded
+/// size, capture (checkpoint + encode) and restore (decode + rebuild +
+/// replay) latency, and whether the auto-checkpointed segmented run
+/// stayed identical to the uninterrupted run.
+fn checkpoint_overhead() -> Vec<CkptRow> {
+    let program = orchestrator_program();
+    let mut rows = Vec::new();
+    for (workload, wl) in [("vec_mul", vec_mul()), ("dot_product", dot_product())] {
+        let table = table_words(&wl.entries);
+        let cfg = SocConfig::default();
+
+        let mut base = Soc::build(cfg, &program, &table, &wl.gmem_init);
+        let base_res = base
+            .run_checked(SOC_MAX_CYCLES, SOC_NO_PROGRESS)
+            .expect("clean");
+        assert!(base_res.completed);
+
+        let seg_cfg = SocConfig {
+            checkpoint_every: Some(CKPT_EVERY),
+            ..cfg
+        };
+        let mut seg = Soc::build(seg_cfg, &program, &table, &wl.gmem_init);
+        let seg_res = seg
+            .run_checked(SOC_MAX_CYCLES, SOC_NO_PROGRESS)
+            .expect("clean");
+        let segmented_identical =
+            seg_res.cycles == base_res.cycles && seg.report() == base.report();
+        let snap = seg.last_checkpoint().expect("mid-run capture").clone();
+        let bytes = snap.to_bytes();
+
+        const REPS: u32 = 10;
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            std::hint::black_box(seg.checkpoint().to_bytes());
+        }
+        let save_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(REPS);
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            let decoded = SimSnapshot::from_bytes(&bytes).expect("codec round-trip");
+            std::hint::black_box(Soc::restore(&decoded).expect("restore"));
+        }
+        let restore_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(REPS);
+
+        rows.push(CkptRow {
+            workload,
+            engine: "soc",
+            snapshot_bytes: bytes.len() as u64,
+            capture_cycles: snap.hub_cycles,
+            save_us,
+            restore_us,
+            run_cycles: base_res.cycles,
+            segmented_identical,
+        });
+    }
+
+    // The sharded engine: coordinated epoch-boundary capture.
+    {
+        let wl = vec_mul();
+        let table = table_words(&wl.entries);
+        let mut base = ParallelSoc::build(SocConfig::default(), &program, &table, &wl.gmem_init, 2);
+        let base_res = base
+            .run_checked(SOC_MAX_CYCLES, SOC_NO_PROGRESS)
+            .expect("clean");
+        let seg_cfg = SocConfig {
+            checkpoint_every: Some(CKPT_EVERY),
+            ..SocConfig::default()
+        };
+        let mut seg = ParallelSoc::build(seg_cfg, &program, &table, &wl.gmem_init, 2);
+        let seg_res = seg
+            .run_checked(SOC_MAX_CYCLES, SOC_NO_PROGRESS)
+            .expect("clean");
+        let segmented_identical =
+            seg_res.cycles == base_res.cycles && seg.report() == base.report();
+        let snap = seg.last_checkpoint().expect("mid-run capture").clone();
+        let bytes = snap.to_bytes();
+        const REPS: u32 = 5;
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            std::hint::black_box(seg.checkpoint().to_bytes());
+        }
+        let save_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(REPS);
+        let t0 = Instant::now();
+        for _ in 0..REPS {
+            let decoded = SimSnapshot::from_bytes(&bytes).expect("codec round-trip");
+            std::hint::black_box(ParallelSoc::restore(&decoded, 2).expect("restore"));
+        }
+        let restore_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(REPS);
+        rows.push(CkptRow {
+            workload: "vec_mul",
+            engine: "parallel2",
+            snapshot_bytes: bytes.len() as u64,
+            capture_cycles: snap.hub_cycles,
+            save_us,
+            restore_us,
+            run_cycles: base_res.cycles,
+            segmented_identical,
+        });
+    }
+    rows
+}
+
+fn print_ckpt(rows: &[CkptRow]) {
+    println!(
+        "{:<12} {:<10} {:>9} {:>10} {:>10} {:>11} {:>10}",
+        "workload", "engine", "bytes", "capture@", "save us", "restore us", "identical"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:<10} {:>9} {:>10} {:>10.1} {:>11.1} {:>10}",
+            r.workload,
+            r.engine,
+            r.snapshot_bytes,
+            r.capture_cycles,
+            r.save_us,
+            r.restore_us,
+            r.segmented_identical
+        );
+        assert!(
+            r.segmented_identical,
+            "{}/{}: auto-checkpointing perturbed the run",
+            r.workload, r.engine
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Part 7: crash-safe resumable campaign — per-seed journal + --resume.
+// ---------------------------------------------------------------------
+
+/// Per-row journal over a directory: one file per completed row,
+/// written atomically (tmp + fsync + rename), keyed by a stable string.
+/// A row file is either absent or a complete, valid JSON object —
+/// `SIGKILL` at any instant can only lose the row in flight.
+struct Journal {
+    dir: Option<PathBuf>,
+    resume: bool,
+    reused: std::cell::Cell<u64>,
+    computed: std::cell::Cell<u64>,
+}
+
+impl Journal {
+    fn new(dir: Option<PathBuf>, resume: bool) -> Journal {
+        if let Some(d) = &dir {
+            std::fs::create_dir_all(d).expect("create checkpoint dir");
+        }
+        Journal {
+            dir,
+            resume,
+            reused: std::cell::Cell::new(0),
+            computed: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Returns the journaled row for `key` (on `--resume`, when
+    /// present and well-formed), else computes it and journals it.
+    /// Unparseable or truncated journal entries are recomputed, never
+    /// trusted.
+    fn row(&self, key: &str, compute: impl FnOnce() -> String) -> String {
+        if self.resume {
+            if let Some(dir) = &self.dir {
+                if let Ok(s) = std::fs::read_to_string(dir.join(key)) {
+                    if validate_json(&s).is_ok() {
+                        self.reused.set(self.reused.get() + 1);
+                        return s;
+                    }
+                }
+            }
+        }
+        let s = compute();
+        self.computed.set(self.computed.get() + 1);
+        if let Some(dir) = &self.dir {
+            let tmp = dir.join(format!("{key}.tmp"));
+            {
+                use std::io::Write as _;
+                let mut f = std::fs::File::create(&tmp).expect("create journal tmp");
+                f.write_all(s.as_bytes()).expect("write journal tmp");
+                f.sync_all().expect("fsync journal tmp");
+            }
+            std::fs::rename(&tmp, dir.join(key)).expect("commit journal row");
+        }
+        s
+    }
+}
+
+fn link_row_json(mode: Mode, seed: u64) -> String {
+    let r = link_row(mode, seed);
+    format!(
+        "{{\"mode\": \"{}\", \"seed\": {seed}, \"injected\": {}, \"detections\": {}, \
+         \"recovered\": {}, \"cycles_bare\": {}, \"cycles_clean\": {}, \"cycles_faulted\": {}}}",
+        r.mode.name(),
+        r.injected,
+        r.detections,
+        r.recovered,
+        r.cycles_bare,
+        r.cycles_clean,
+        r.cycles_faulted
+    )
+}
+
+fn soc_row_json(mode: Mode, seed: u64) -> String {
+    let wl = vec_mul();
+    let program = orchestrator_program();
+    let table = table_words(&wl.entries);
+    let r = solo_soc_row(
+        SocConfig::default(),
+        &wl,
+        &program,
+        &table,
+        mode,
+        0.02,
+        seed,
+    );
+    format!(
+        "{{\"mode\": \"{}\", \"seed\": {seed}, \"outcome\": \"{}\", \"injected\": {}, \
+         \"cycles\": {}}}",
+        r.mode.name(),
+        r.outcome.name(),
+        r.injected,
+        r.cycles
+    )
+}
+
+fn degradation_row_json(victim: u16, clean_cycles: u64) -> String {
+    let r = degradation_row(victim, clean_cycles);
+    format!(
+        "{{\"victim\": {}, \"recovered\": {}, \"failed\": {:?}, \"remapped\": {}, \
+         \"cycles\": {}, \"clean_cycles\": {}}}",
+        r.victim, r.recovered, r.failed, r.remapped, r.cycles, r.clean_cycles
+    )
+}
+
+fn watchdog_row_json() -> String {
+    let wd = watchdog_demo();
+    format!(
+        "{{\"hang_cycle\": {}, \"idle_cycles\": {}, \"busy_components\": {}, \
+         \"channel_note\": \"{}\", \"hub_wait\": \"{}\"}}",
+        wd.hang_cycle,
+        wd.idle_cycles,
+        wd.busy_components,
+        json_escape(&wd.channel_note),
+        json_escape(&wd.hub_wait)
+    )
+}
+
+/// The crash-safe resumable campaign: sequential per-seed sweep with
+/// every completed row journaled, assembling a **deterministic**
+/// artifact (no wall-clock fields) so an interrupted-and-resumed run
+/// is byte-identical to an uninterrupted one.
+fn resumable_campaign(args: &Args) {
+    let (link_seeds, soc_seeds, victims): (u64, u64, &[u16]) = if args.smoke {
+        (4, 3, &[2])
+    } else {
+        (12, 10, &[1, 2, 3])
+    };
+    let journal = Journal::new(args.ckpt_dir.clone(), args.resume);
+    let _quiet = SilentPanicGuard::new();
+
+    let mut link_rows = Vec::new();
+    for &mode in &Mode::ALL {
+        for seed in 0..link_seeds {
+            let key = format!("link-{}-{seed:04}.json", mode.name());
+            link_rows.push(journal.row(&key, || link_row_json(mode, seed)));
+        }
+    }
+    let mut soc_rows = Vec::new();
+    for &mode in &Mode::ALL {
+        for seed in 0..soc_seeds {
+            let key = format!("soc-{}-{seed:04}.json", mode.name());
+            soc_rows.push(journal.row(&key, || soc_row_json(mode, seed)));
+        }
+    }
+    // The clean baseline is itself deterministic; journal it so
+    // resumed runs skip the baseline too.
+    let clean = journal.row("deg-baseline.json", || {
+        format!("{{\"clean_cycles\": {}}}", clean_baseline_cycles())
+    });
+    let clean_cycles: u64 = clean
+        .split(|c: char| !c.is_ascii_digit())
+        .find(|s| !s.is_empty())
+        .expect("baseline row holds a number")
+        .parse()
+        .expect("baseline cycles parse");
+    let mut deg_rows = Vec::new();
+    for &victim in victims {
+        let key = format!("deg-pe{victim:02}.json");
+        deg_rows.push(journal.row(&key, || degradation_row_json(victim, clean_cycles)));
+    }
+    let wd_row = journal.row("watchdog.json", watchdog_row_json);
+
+    let mut json = format!(
+        "{{\n  {}\n  \"bench\": \"fault_campaign_ckpt\",\n  \"resumable\": true,\n",
+        json_meta_block("fault_campaign")
+    );
+    let emit = |json: &mut String, name: &str, header: &str, rows: &[String]| {
+        let _ = write!(json, "  \"{name}\": {{\n    {header}\"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let _ = write!(json, "      {r}");
+            json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("    ]\n  },\n");
+    };
+    emit(
+        &mut json,
+        "link",
+        &format!("\"fault_p\": 0.15, \"seeds_per_mode\": {link_seeds}, "),
+        &link_rows,
+    );
+    emit(
+        &mut json,
+        "soc",
+        &format!("\"link\": \"{HOT_LINK}\", \"fault_p\": 0.02, \"seeds_per_mode\": {soc_seeds}, "),
+        &soc_rows,
+    );
+    emit(
+        &mut json,
+        "degradation",
+        "\"pe_timeout\": 20000, ",
+        &deg_rows,
+    );
+    let _ = write!(json, "  \"watchdog\": {wd_row}\n}}\n");
+    validate_json(&json).expect("resumable artifact must be valid JSON");
+
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("fault_campaign_ckpt.json"));
+    write_atomic(&out, json.as_bytes());
+    println!(
+        "resumable campaign: {} rows reused from journal, {} computed; wrote {}",
+        journal.reused.get(),
+        journal.computed.get(),
+        out.display()
+    );
+}
+
+/// Atomic artifact write (tmp + fsync + rename): a kill during the
+/// final write can never leave a half-written artifact behind.
+fn write_atomic(path: &Path, bytes: &[u8]) {
+    let tmp = path.with_extension("tmp");
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(&tmp).expect("create artifact tmp");
+        f.write_all(bytes).expect("write artifact");
+        f.sync_all().expect("fsync artifact");
+    }
+    std::fs::rename(&tmp, path).expect("commit artifact");
+}
+
+/// In-process checkpoint smoke for CI: round-trip identity on all
+/// three engines plus typed rejection of damaged snapshot bytes.
+fn ckpt_smoke() {
+    let wl = vec_mul();
+    let program = orchestrator_program();
+    let table = table_words(&wl.entries);
+
+    // Round-trip: segmented + restored runs match the uninterrupted
+    // run for every engine (soc / parallel measured in the overhead
+    // sweep below; batch checked here).
+    let rows = checkpoint_overhead();
+    print_ckpt(&rows);
+
+    let seg_cfg = SocConfig {
+        checkpoint_every: Some(CKPT_EVERY),
+        ..SocConfig::default()
+    };
+    let mut seg = Soc::build(seg_cfg, &program, &table, &wl.gmem_init);
+    let seg_res = seg
+        .run_checked(SOC_MAX_CYCLES, SOC_NO_PROGRESS)
+        .expect("clean");
+    let snap = seg.last_checkpoint().expect("mid-run capture").clone();
+    let bytes = snap.to_bytes();
+    let decoded = SimSnapshot::from_bytes(&bytes).expect("codec round-trip");
+    let mut rest = Soc::restore(&decoded).expect("restore");
+    let rest_res = rest.resume_checked().expect("clean resume");
+    assert_eq!(rest_res.cycles, seg_res.cycles, "restored run diverged");
+    assert_eq!(rest.report(), seg.report(), "restored report diverged");
+    for (base, expect) in &wl.expected {
+        assert_eq!(
+            &rest.gmem_read(*base, expect.len()),
+            expect,
+            "restored memory diverged"
+        );
+    }
+    println!(
+        "round-trip: restored run matches at cycle {} ({} snapshot bytes)",
+        rest_res.cycles,
+        bytes.len()
+    );
+
+    // Damaged bytes are rejected with typed errors, never UB.
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() - 20;
+    corrupt[mid] ^= 0x40;
+    match SimSnapshot::from_bytes(&corrupt) {
+        Err(CheckpointError::Corrupted { .. }) => {}
+        other => panic!("corruption must be rejected, got {other:?}"),
+    }
+    match SimSnapshot::from_bytes(&bytes[..bytes.len() / 2]) {
+        Err(CheckpointError::Truncated { .. }) => {}
+        other => panic!("truncation must be rejected, got {other:?}"),
+    }
+    let mut bumped = bytes.clone();
+    bumped[8] = bumped[8].wrapping_add(1);
+    match SimSnapshot::from_bytes(&bumped) {
+        Err(CheckpointError::UnsupportedVersion { .. }) => {}
+        other => panic!("version bump must be rejected, got {other:?}"),
+    }
+    println!("rejection: corrupted / truncated / version-bumped bytes all typed errors");
+    println!("checkpoint smoke OK");
+}
+
+// ---------------------------------------------------------------------
+
+struct Args {
+    smoke: bool,
+    batch: bool,
+    ckpt_smoke: bool,
+    resume: bool,
+    ckpt_dir: Option<PathBuf>,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        batch: false,
+        ckpt_smoke: false,
+        resume: false,
+        ckpt_dir: None,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--batch" => args.batch = true,
+            "--ckpt-smoke" => args.ckpt_smoke = true,
+            "--resume" => args.resume = true,
+            "--checkpoint-dir" => {
+                args.ckpt_dir = Some(PathBuf::from(
+                    it.next().expect("--checkpoint-dir needs a path"),
+                ));
+            }
+            "--out" => {
+                args.out = Some(PathBuf::from(it.next().expect("--out needs a path")));
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    assert!(
+        !args.resume || args.ckpt_dir.is_some(),
+        "--resume requires --checkpoint-dir"
+    );
+    args
 }
 
 fn json_escape(s: &str) -> String {
@@ -857,14 +1364,30 @@ fn json_escape(s: &str) -> String {
 }
 
 fn main() {
-    let smoke = smoke_flag();
+    let args = parse_args();
+    if args.ckpt_smoke {
+        println!("== checkpoint: round-trip + rejection smoke ==");
+        ckpt_smoke();
+        return;
+    }
+    if let Some(dir) = &args.ckpt_dir {
+        println!(
+            "== resumable campaign (journal: {}{}) ==",
+            dir.display(),
+            if args.resume { ", resuming" } else { "" }
+        );
+        resumable_campaign(&args);
+        return;
+    }
+
+    let smoke = args.smoke;
     let (link_seeds, soc_seeds, batch_lanes, victims): (u64, u64, u64, &[u16]) = if smoke {
         (6, 3, 8, &[2])
     } else {
         (40, 12, 24, &[1, 2, 3])
     };
 
-    if batch_flag() {
+    if args.batch {
         // CI smoke path: just the batched backend and its serial
         // per-seed identity assertion.
         println!(
@@ -990,6 +1513,10 @@ fn main() {
     );
     assert!(wd.hub_wait.contains("inflight=[5]"), "hub pins the command");
 
+    println!("\n== checkpoint: snapshot size and save/restore latency ==");
+    let ckpt_rows = checkpoint_overhead();
+    print_ckpt(&ckpt_rows);
+
     let mut json = format!(
         "{{\n  {}\n  \"bench\": \"fault_campaign\",\n",
         json_meta_block("fault_campaign")
@@ -1084,6 +1611,27 @@ fn main() {
             r.victim, r.recovered, r.failed, r.remapped, r.cycles, r.clean_cycles
         );
         json.push_str(if i + 1 < deg_rows.len() { ",\n" } else { "\n" });
+    }
+    let _ = write!(
+        json,
+        "    ]\n  }},\n  \"checkpoint\": {{\n    \"auto_every_cycles\": {CKPT_EVERY}, \"rows\": [\n"
+    );
+    for (i, r) in ckpt_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"workload\": \"{}\", \"engine\": \"{}\", \"snapshot_bytes\": {}, \
+             \"capture_cycles\": {}, \"save_us\": {:.1}, \"restore_us\": {:.1}, \
+             \"run_cycles\": {}, \"segmented_identical\": {}}}",
+            r.workload,
+            r.engine,
+            r.snapshot_bytes,
+            r.capture_cycles,
+            r.save_us,
+            r.restore_us,
+            r.run_cycles,
+            r.segmented_identical
+        );
+        json.push_str(if i + 1 < ckpt_rows.len() { ",\n" } else { "\n" });
     }
     let _ = write!(
         json,

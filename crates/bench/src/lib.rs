@@ -195,7 +195,11 @@ impl Drop for SilentPanicGuard {
 /// Schema version stamped into every bench JSON artifact (see
 /// [`json_meta_block`]). Bump when a field is renamed, removed or
 /// changes meaning; additive fields do not require a bump.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: `fault_campaign` gained the `checkpoint` section (snapshot
+/// size, save/restore latency) and the resumable per-seed artifact
+/// (`fault_campaign_ckpt`, deterministic row schema).
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Host facts recorded alongside every artifact so perf rows can be
 /// judged in context (the CI container is a 1-core box; wall-clock

@@ -14,6 +14,7 @@
 //! quiescence gating, or wall-clock ordering. Stuck-at faults are
 //! functions of the channel-local cycle count and draw no randoms.
 
+use craft_sim::checkpoint::{CheckpointError, Checkpointable, StateReader, StateWriter};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -166,6 +167,50 @@ impl FaultStats {
     /// (flips + drops + applied duplications).
     pub fn injected(&self) -> u64 {
         self.flips + self.drops + self.dups
+    }
+}
+
+impl Checkpointable for FaultConfig {
+    fn save(&self, w: &mut StateWriter) {
+        w.put_f64(self.bit_flip);
+        w.put_f64(self.drop);
+        w.put_f64(self.duplicate);
+        w.put_opt_u64(self.stuck_valid_from);
+        w.put_opt_u64(self.stuck_ready_from);
+    }
+
+    fn load(r: &mut StateReader<'_>) -> Result<Self, CheckpointError> {
+        Ok(FaultConfig {
+            bit_flip: r.get_f64()?,
+            drop: r.get_f64()?,
+            duplicate: r.get_f64()?,
+            stuck_valid_from: r.get_opt_u64()?,
+            stuck_ready_from: r.get_opt_u64()?,
+        })
+    }
+}
+
+impl Checkpointable for FaultStats {
+    fn save(&self, w: &mut StateWriter) {
+        w.put_u64(self.tokens);
+        w.put_u64(self.flips);
+        w.put_u64(self.drops);
+        w.put_u64(self.dups);
+        w.put_u64(self.dups_suppressed);
+        w.put_u64(self.stuck_valid_cycles);
+        w.put_u64(self.stuck_ready_cycles);
+    }
+
+    fn load(r: &mut StateReader<'_>) -> Result<Self, CheckpointError> {
+        Ok(FaultStats {
+            tokens: r.get_u64()?,
+            flips: r.get_u64()?,
+            drops: r.get_u64()?,
+            dups: r.get_u64()?,
+            dups_suppressed: r.get_u64()?,
+            stuck_valid_cycles: r.get_u64()?,
+            stuck_ready_cycles: r.get_u64()?,
+        })
     }
 }
 

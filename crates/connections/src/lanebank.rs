@@ -38,6 +38,7 @@
 //! callers pre-diverge those lanes.
 
 use crate::fault::{FaultConfig, FaultInjector, FaultStats};
+use craft_sim::checkpoint::{CheckpointError, Checkpointable, StateReader, StateWriter};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -53,6 +54,22 @@ pub enum LaneStatus {
         /// Token ordinal on the channel that observed the divergence.
         token: u64,
     },
+}
+
+impl Checkpointable for LaneStatus {
+    fn save(&self, w: &mut StateWriter) {
+        match self {
+            LaneStatus::Converged => w.put_opt_u64(None),
+            LaneStatus::Diverged { token } => w.put_opt_u64(Some(*token)),
+        }
+    }
+
+    fn load(r: &mut StateReader<'_>) -> Result<Self, CheckpointError> {
+        Ok(match r.get_opt_u64()? {
+            None => LaneStatus::Converged,
+            Some(token) => LaneStatus::Diverged { token },
+        })
+    }
 }
 
 /// Shared per-lane divergence ledger for one batch, referenced by

@@ -63,6 +63,7 @@
 //! stretch/override, gating/profiling toggles, watchdog trips.
 
 use crate::activity::{ActivityToken, NotifySink};
+use crate::checkpoint::{KernelDigest, WatchdogState};
 use crate::clock::{ClockId, ClockSpec, ClockState};
 use crate::component::{ClockRequest, Component, Sequential, TickCtx};
 use crate::error::{CompDiag, HangReport, SimError};
@@ -350,6 +351,28 @@ impl Simulator {
     /// Total evaluate/commit instants processed.
     pub fn instants(&self) -> u64 {
         self.instants
+    }
+
+    /// Exact kernel-progress digest: time, scheduler counters, and the
+    /// full clock table. Two simulations that processed the same
+    /// instant sequence produce equal digests, so a replay-based
+    /// restore verifies itself against the digest recorded at capture.
+    /// Compiled-plan *arming* state is deliberately excluded — the
+    /// compiled and interpreted paths are pinned tick- and
+    /// commit-counter-identical, so arming is unobservable here.
+    pub fn kernel_digest(&self) -> KernelDigest {
+        KernelDigest {
+            now_ps: self.now.0,
+            instants: self.instants,
+            ticks_delivered: self.ticks_delivered,
+            ticks_skipped: self.ticks_skipped,
+            commits_skipped: self.commits_skipped,
+            clocks: self
+                .clocks
+                .iter()
+                .map(|c| (c.cycles, c.next_edge.0, c.paused))
+                .collect(),
+        }
     }
 
     /// Whether quiescence gating is enabled (it is by default).
@@ -1096,8 +1119,7 @@ impl Simulator {
         let mut j = 0usize; // next wake candidate (plan.pending)
         let mut delivered = 0u64;
         loop {
-            let a = plan.active.get(i).copied();
-            let rank = match (a, plan.pending.get(j).copied()) {
+            let rank = match (plan.active.get(i).copied(), plan.pending.get(j).copied()) {
                 (None, None) => break,
                 (Some(a), Some(p)) if a == p => {
                     // The candidate's component is awake: the
@@ -1107,8 +1129,10 @@ impl Simulator {
                     j += 1;
                     continue;
                 }
-                (_, Some(p)) if a.is_none() || p < a.unwrap() => {
-                    // The candidate's scan position: wake-or-drop.
+                (Some(a), Some(p)) if a < p => a,
+                (_, Some(p)) => {
+                    // The candidate's scan position (no awake rank
+                    // ahead of it): wake-or-drop.
                     j += 1;
                     let entry = &mut self.components[plan.order[p as usize] as usize];
                     if !(entry.asleep && entry.wake.as_ref().is_some_and(ActivityToken::take)) {
@@ -1121,9 +1145,7 @@ impl Simulator {
                     plan.active.insert(i, p);
                     p
                 }
-                (Some(a), _) => a,
-                // `(None, Some(_))` is fully covered by the guard arm.
-                (None, Some(_)) => unreachable!(),
+                (Some(a), None) => a,
             };
             let entry = &mut self.components[plan.order[rank as usize] as usize];
             let mut ctx = TickCtx {
@@ -1389,6 +1411,28 @@ impl Simulator {
         clock: ClockId,
         max_cycles: u64,
         no_progress_limit: u64,
+        done: impl FnMut() -> bool,
+    ) -> Result<bool, SimError> {
+        let mut wd = WatchdogState {
+            idle: 0,
+            last_cycle: self.clocks[clock.0].cycles,
+        };
+        self.run_until_checked_with(clock, max_cycles, no_progress_limit, &mut wd, done)
+    }
+
+    /// [`run_until_checked`](Self::run_until_checked) with the
+    /// watchdog accumulators externalized in `wd`, so a supervised run
+    /// can be split into segments (e.g. around a checkpoint capture)
+    /// and still trip the watchdog on exactly the cycle an
+    /// uninterrupted call would: carry the same `wd` across segments.
+    /// The classic entry point seeds `wd` with `idle: 0, last_cycle:
+    /// <current cycle>`.
+    pub fn run_until_checked_with(
+        &mut self,
+        clock: ClockId,
+        max_cycles: u64,
+        no_progress_limit: u64,
+        wd: &mut WatchdogState,
         mut done: impl FnMut() -> bool,
     ) -> Result<bool, SimError> {
         assert!(
@@ -1396,8 +1440,6 @@ impl Simulator {
             "no_progress_limit must be at least one cycle"
         );
         let limit = self.clocks[clock.0].cycles + max_cycles;
-        let mut idle: u64 = 0;
-        let mut last_cycle = self.clocks[clock.0].cycles;
         loop {
             if self.fatal.is_some() {
                 self.flush_skipped_commits();
@@ -1418,18 +1460,18 @@ impl Simulator {
             }
             let cycle = self.clocks[clock.0].cycles;
             if self.progress.take() {
-                idle = 0;
+                wd.idle = 0;
             } else {
-                idle += cycle - last_cycle;
+                wd.idle += cycle - wd.last_cycle;
             }
-            last_cycle = cycle;
-            if idle >= no_progress_limit {
+            wd.last_cycle = cycle;
+            if wd.idle >= no_progress_limit {
                 // Watchdog trip is a de-opt trigger: diagnose from the
                 // interpreted state so the report is identical to an
                 // interpreted run's (and later runs stay interpreted).
                 self.disarm_plan();
                 self.flush_skipped_commits();
-                let report = self.diagnose(idle);
+                let report = self.diagnose(wd.idle);
                 return Err(SimError::Hang {
                     clock: self.clocks[clock.0].spec.name.clone(),
                     cycle,

@@ -16,7 +16,11 @@
 //! * typed failures ([`SimError`]) with a no-progress hang watchdog
 //!   ([`Simulator::run_until_checked`]) that diagnoses deadlocks via a
 //!   per-component / per-channel [`HangReport`],
-//! * [`Trace`] VCD-lite waveform recording and [`stats`] helpers.
+//! * [`Trace`] VCD-lite waveform recording and [`stats`] helpers,
+//! * [`checkpoint`] plumbing — a typed [`CheckpointError`], the
+//!   [`Checkpointable`] codec trait, and a length+checksum-framed
+//!   snapshot container used by the SoC layer's replay-based
+//!   checkpoint/restore.
 //!
 //! ## Example
 //!
@@ -40,6 +44,7 @@
 #![warn(missing_docs)]
 
 mod activity;
+pub mod checkpoint;
 mod clock;
 mod component;
 pub mod cover;
@@ -53,6 +58,9 @@ mod time;
 mod trace;
 
 pub use activity::{ActivityToken, NotifySink};
+pub use checkpoint::{
+    CheckpointError, Checkpointable, KernelDigest, StateReader, StateWriter, WatchdogState,
+};
 pub use clock::{ClockId, ClockSpec};
 pub use component::{Component, Sequential, TickCtx};
 pub use error::{CompDiag, HangReport, SeqDiag, SimError};

@@ -198,6 +198,20 @@ impl EpochSync {
         }
     }
 
+    /// The aggregated progress bit of instant `instants` (1-based, as
+    /// counted by [`EpochOutcome::instants`]): the OR over every
+    /// worker's bank for that instant's parity. Valid once all workers
+    /// have left [`run_parallel`] — the final instant's bit is never
+    /// consumed *inside* a run (the decider always lags one instant),
+    /// so a facade that chains runs reads it here and feeds it back as
+    /// the carried bit of the next run's first boundary.
+    pub fn aggregate_progress(&self, instants: u64) -> bool {
+        let bank = (instants % 2) as usize;
+        self.progress
+            .iter()
+            .any(|banks| banks[bank].load(Ordering::Acquire))
+    }
+
     /// The globally next instant: minimum over the published table.
     fn global_next(&self) -> u64 {
         self.clock_edges

@@ -44,21 +44,24 @@
 //! [`crate::parallel::ParallelSoc`] or a `par_map` over solo runs is
 //! the better backend — the campaign driver picks per mode.
 
+use crate::checkpoint::BatchSnapshot;
 use crate::soc::{
     lane_fault_seed, merge_fault_stats, ChannelRole, FaultPatternError, FaultReport, RunResult,
     Soc, SocConfig, SocReport,
 };
 use craft_connections::{FaultConfig, FaultLaneBank, FaultStats, LaneSet, LaneStatus};
+use craft_sim::checkpoint::{fnv64, CheckpointError};
 use craft_sim::{SimError, TelLaneCounters, Telemetry};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
+use std::time::Instant;
 
 /// One lane of a batch: a fault scenario to co-simulate against the
 /// shared golden run. Identical to the `(pat, cfg, seed)` triple a
 /// solo campaign would pass to [`Soc::inject_fault`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LaneSpec {
     /// Channel-name pattern (substring over the NoC registry).
     pub pattern: String,
@@ -183,6 +186,10 @@ pub struct BatchSoc {
     tel_tokens: Option<TelLaneCounters>,
     tel_injected: Option<TelLaneCounters>,
     ran: bool,
+    /// `(max_cycles, no_progress_limit)` of the in-flight batch run —
+    /// the settle phase replays de-opted lanes under the same limits.
+    limits: Option<(u64, u64)>,
+    last_ckpt: Option<BatchSnapshot>,
 }
 
 impl BatchSoc {
@@ -271,6 +278,8 @@ impl BatchSoc {
             tel_tokens,
             tel_injected,
             ran: false,
+            limits: None,
+            last_ckpt: None,
         })
     }
 
@@ -324,13 +333,64 @@ impl BatchSoc {
     /// replayed solo (interpreted, real injector, from t=0) under the
     /// same limits, with panics contained per lane.
     ///
+    /// With [`SocConfig::checkpoint_every`] set, the golden run is
+    /// segmented at that interval with a [`BatchSnapshot`] captured at
+    /// each boundary (see [`BatchSoc::last_checkpoint`]) — the
+    /// segmentation is observation-only, exactly as for
+    /// [`Soc::run_checked`].
+    ///
     /// # Panics
     /// Panics if called twice — the golden simulation is consumed by
     /// the first run.
     pub fn run(&mut self, max_cycles: u64, no_progress_limit: u64) -> BatchReport {
         assert!(!self.ran, "BatchSoc::run may only be called once");
         self.ran = true;
-        let golden_res = self.golden.run_checked(max_cycles, no_progress_limit);
+        self.limits = Some((max_cycles, no_progress_limit));
+        self.golden.begin_checked(max_cycles, no_progress_limit);
+        self.resume()
+    }
+
+    /// Drives the open golden session to completion (capturing
+    /// automatic [`BatchSnapshot`]s between segments), then settles
+    /// the lanes — the entry point for a batch restored mid-run by
+    /// [`BatchSoc::restore`].
+    ///
+    /// # Panics
+    /// Panics if no golden session is open.
+    pub fn resume(&mut self) -> BatchReport {
+        let (max_cycles, no_progress_limit) = self.limits.expect("no batch run to resume");
+        assert!(self.golden.session_open(), "no batch run to resume");
+        let t0 = Instant::now();
+        let auto = self.cfg.checkpoint_every;
+        let golden_res = loop {
+            match self.golden.advance_checked(auto.unwrap_or(u64::MAX)) {
+                Err(e) => break Err(e),
+                Ok(Some(completed)) => {
+                    let consumed = self.golden.close_session().expect("session open").consumed;
+                    break Ok(RunResult {
+                        cycles: consumed,
+                        wall: t0.elapsed(),
+                        ctrl: *self.golden.ctrl_handle().borrow(),
+                        completed,
+                    });
+                }
+                Ok(None) => {
+                    if auto.is_some() {
+                        self.last_ckpt = Some(self.checkpoint());
+                    }
+                }
+            }
+        };
+        self.settle(golden_res, max_cycles, no_progress_limit)
+    }
+
+    /// Finishes every lane once the golden run has ended.
+    fn settle(
+        &mut self,
+        golden_res: Result<RunResult, SimError>,
+        max_cycles: u64,
+        no_progress_limit: u64,
+    ) -> BatchReport {
         let golden_report = self.golden.report();
         let inputs = self.replay_inputs();
         let mut lanes = Vec::with_capacity(self.specs.len());
@@ -421,6 +481,85 @@ impl BatchSoc {
             return Some(self.golden.gmem_read(base, len));
         }
         None
+    }
+
+    /// Captures a [`BatchSnapshot`] at the current golden-run
+    /// boundary: the golden [`crate::SimSnapshot`] (with its open
+    /// session), every lane's spec, and each lane's divergence status
+    /// and shadow fault counters. Meaningful before the lanes settle —
+    /// a mid-golden-run capture restores to the exact same campaign
+    /// state.
+    pub fn checkpoint(&self) -> BatchSnapshot {
+        let set = self.set.borrow();
+        BatchSnapshot {
+            golden: self.golden.checkpoint(),
+            specs: self.specs.clone(),
+            lane_status: (0..self.specs.len()).map(|l| set.status(l)).collect(),
+            lane_stats: (0..self.specs.len())
+                .map(|l| self.shadow_stats(l))
+                .collect(),
+        }
+    }
+
+    /// The most recent automatic checkpoint taken by a segmented
+    /// golden run ([`SocConfig::checkpoint_every`]), if any.
+    pub fn last_checkpoint(&self) -> Option<&BatchSnapshot> {
+        self.last_ckpt.as_ref()
+    }
+
+    /// Rebuilds a batch from `snap`: re-arms every lane's shadow bank
+    /// with the same derived seeds, replays the golden run to the
+    /// capture boundary (the shadow decisions re-derive along the
+    /// regenerated token stream), and verifies each lane's divergence
+    /// status and shadow counters against the recorded ones — any
+    /// mismatch is a typed [`CheckpointError::ReplayDivergence`]. A
+    /// snapshot captured mid-golden-run reinstates the session, ready
+    /// for [`BatchSoc::resume`].
+    pub fn restore(snap: &BatchSnapshot) -> Result<BatchSoc, CheckpointError> {
+        let mut batch = BatchSoc::build(
+            snap.golden.cfg,
+            &snap.golden.program,
+            &snap.golden.staging,
+            &snap.golden.gmem_init,
+            snap.specs.clone(),
+        )
+        .map_err(|e| CheckpointError::Malformed(format!("lane spec failed to re-arm: {e}")))?;
+        batch.golden.replay_to(&snap.golden)?;
+        // The divergence token ordinal doubles as the status word:
+        // `u64::MAX` is unreachable as a token count and encodes
+        // `Converged`.
+        let status_word = |s: &LaneStatus| match s {
+            LaneStatus::Converged => u64::MAX,
+            LaneStatus::Diverged { token } => *token,
+        };
+        for (lane, (want_status, want_stats)) in snap
+            .lane_status
+            .iter()
+            .zip(snap.lane_stats.iter())
+            .enumerate()
+        {
+            let got_status = batch.set.borrow().status(lane);
+            if got_status != *want_status {
+                return Err(CheckpointError::ReplayDivergence {
+                    field: format!("lane{lane}.status"),
+                    expected: status_word(want_status),
+                    found: status_word(&got_status),
+                });
+            }
+            let got_stats = batch.shadow_stats(lane);
+            if got_stats != *want_stats {
+                return Err(CheckpointError::ReplayDivergence {
+                    field: format!("lane{lane}.stats"),
+                    expected: fnv64(format!("{want_stats:?}").as_bytes()),
+                    found: fnv64(format!("{got_stats:?}").as_bytes()),
+                });
+            }
+        }
+        if let Some(s) = &snap.golden.session {
+            batch.ran = true;
+            batch.limits = Some((s.remaining + s.consumed, s.no_progress_limit));
+        }
+        Ok(batch)
     }
 }
 
@@ -534,6 +673,92 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, FaultPatternError::NoMatch { .. }));
+    }
+
+    #[test]
+    fn segmented_batch_checkpoint_restore_matches_uninterrupted() {
+        // One firing lane (de-opts), one cold lane (rides the golden
+        // run): the uninterrupted batch and the checkpoint-restored
+        // batch must settle every lane identically.
+        let specs = vec![
+            LaneSpec::new(HOT_LINK, FaultConfig::drop(1.0), 5),
+            LaneSpec::new(HOT_LINK, FaultConfig::bit_flip(0.0), 6),
+        ];
+        let mut base = build_batch(specs.clone());
+        let base_rep = base.run(MAX_CYCLES, NO_PROGRESS);
+
+        let wl = vec_mul();
+        let program = orchestrator_program();
+        let table = table_words(&wl.entries);
+        let cfg = SocConfig::builder()
+            .checkpoint_every(Some(300))
+            .build()
+            .expect("valid config");
+        let mut seg =
+            BatchSoc::build(cfg, &program, &table, &wl.gmem_init, specs).expect("patterns match");
+        let seg_rep = seg.run(MAX_CYCLES, NO_PROGRESS);
+        let snap = seg
+            .last_checkpoint()
+            .expect("auto checkpoint taken")
+            .clone();
+        assert!(snap.golden.session.is_some(), "mid-run capture");
+
+        // Bytes round-trip, then restore and resume to completion.
+        let snap = BatchSnapshot::from_bytes(&snap.to_bytes()).expect("parses");
+        let mut back = BatchSoc::restore(&snap).expect("restores");
+        let back_rep = back.resume();
+
+        for (a, b, tag) in [
+            (&base_rep, &seg_rep, "segmented"),
+            (&base_rep, &back_rep, "restored"),
+        ] {
+            let (ga, gb) = (a.golden.as_ref().unwrap(), b.golden.as_ref().unwrap());
+            assert_eq!(
+                (ga.cycles, ga.ctrl, ga.completed),
+                (gb.cycles, gb.ctrl, gb.completed),
+                "{tag} golden result diverged"
+            );
+            assert_eq!(a.deopt_lanes, b.deopt_lanes, "{tag} de-opt count");
+            for (la, lb) in a.lanes.iter().zip(&b.lanes) {
+                assert_eq!(la.deopted, lb.deopted, "{tag} lane {}", la.lane);
+                assert_eq!(la.diverged_at_token, lb.diverged_at_token);
+                assert_eq!(la.report, lb.report, "{tag} lane {} report", la.lane);
+                assert_eq!(la.fault_stats, lb.fault_stats);
+            }
+        }
+        for (base_addr, expect) in &wl.expected {
+            assert_eq!(
+                back.gmem_read_lane(1, *base_addr, expect.len()).as_ref(),
+                Some(expect),
+                "cold lane memory diverged after restore"
+            );
+        }
+    }
+
+    #[test]
+    fn tampered_batch_lane_state_is_a_typed_divergence() {
+        let wl = vec_mul();
+        let program = orchestrator_program();
+        let table = table_words(&wl.entries);
+        let cfg = SocConfig::builder()
+            .checkpoint_every(Some(300))
+            .build()
+            .expect("valid config");
+        let specs = vec![LaneSpec::new(HOT_LINK, FaultConfig::bit_flip(0.0), 6)];
+        let mut seg =
+            BatchSoc::build(cfg, &program, &table, &wl.gmem_init, specs).expect("patterns match");
+        let _ = seg.run(MAX_CYCLES, NO_PROGRESS);
+        let mut snap = seg
+            .last_checkpoint()
+            .expect("auto checkpoint taken")
+            .clone();
+        snap.lane_stats[0].tokens += 1;
+        match BatchSoc::restore(&snap) {
+            Err(CheckpointError::ReplayDivergence { field, .. }) => {
+                assert_eq!(field, "lane0.stats");
+            }
+            other => panic!("expected ReplayDivergence, got {other:?}"),
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@
 
 pub mod batch;
 pub mod bitrtl;
+pub mod checkpoint;
 pub mod controller;
 pub mod hub;
 pub mod msg;
@@ -47,6 +48,7 @@ pub mod soc;
 pub mod workloads;
 
 pub use batch::{replay_lane_solo, BatchReport, BatchSoc, LaneRun, LaneSpec, ReplayInputs};
+pub use checkpoint::{ArchDigest, BatchSnapshot, FaultEvent, SessionState, SimSnapshot};
 pub use msg::{NocMsg, PeCommand, PeOp, HUB_NODE, N_PES};
 pub use parallel::{partition, ParallelSoc, ShardStats};
 pub use pe::{Fidelity, PeConfig, PeStats, ProcessingElement};

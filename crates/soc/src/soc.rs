@@ -4,6 +4,7 @@
 //! fine-grained GALS clocking with pausible bisynchronous FIFOs on
 //! every router-to-router link.
 
+use crate::checkpoint::{ArchDigest, FaultEvent, SessionState, SimSnapshot};
 use crate::controller::{Controller, CtrlHandle, CtrlStatus};
 use crate::hub::{Hub, HubAxiSlave, HubHandle, HubState, CTRL_PAGE};
 use crate::msg::{HUB_NODE, MESH_WIDTH, N_NODES};
@@ -18,9 +19,10 @@ use craft_matchlib::axi::{
 };
 use craft_matchlib::router::{port, xy_route, NocFlit, SfRouter, WhvcConfig, WhvcRouter};
 use craft_riscv::FlatMemory;
+use craft_sim::checkpoint::{fnv64, CheckpointError, StateWriter};
 use craft_sim::{
     run_parallel, ActivityToken, ClockId, ClockSpec, EpochOutcome, EpochVerdict, EpochWorker,
-    Picoseconds, SimError, Simulator, Telemetry, TelemetrySnapshot,
+    Picoseconds, SimError, Simulator, Telemetry, TelemetrySnapshot, WatchdogState,
 };
 use std::cell::{Cell, RefCell};
 use std::fmt;
@@ -113,6 +115,15 @@ pub struct SocConfig {
     /// (asserted by the `compiled_schedule_tests`); only wall clock
     /// changes.
     pub compiled_schedule: bool,
+    /// Periodic auto-checkpoint interval for supervised runs, in hub
+    /// cycles: `Some(k)` makes [`Soc::run_checked`] (and the parallel
+    /// facade's equivalent) capture a [`crate::SimSnapshot`] every `k`
+    /// cycles, retrievable via [`Soc::last_checkpoint`]. Captures are
+    /// observation-only — results, cycle counts, reports and the
+    /// watchdog's trip point are bit-identical with or without them
+    /// (the segmented-run equivalence the checkpoint proptests pin).
+    /// `None` (the default) disables auto-capture.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Default for SocConfig {
@@ -129,6 +140,7 @@ impl Default for SocConfig {
             gating: true,
             pe_timeout: None,
             compiled_schedule: false,
+            checkpoint_every: None,
         }
     }
 }
@@ -153,6 +165,9 @@ pub enum ConfigError {
     ZeroLinkDepth,
     /// A zero clock period is not schedulable.
     ZeroPeriod,
+    /// A zero auto-checkpoint interval would capture every cycle
+    /// forever; use `None` to disable auto-capture instead.
+    ZeroCheckpointInterval,
 }
 
 impl fmt::Display for ConfigError {
@@ -165,6 +180,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroLanes => write!(f, "lanes must be at least 1"),
             ConfigError::ZeroLinkDepth => write!(f, "link_depth must be at least 1"),
             ConfigError::ZeroPeriod => write!(f, "period must be non-zero"),
+            ConfigError::ZeroCheckpointInterval => {
+                write!(f, "checkpoint_every must be at least 1 cycle (or None)")
+            }
         }
     }
 }
@@ -200,6 +218,9 @@ impl SocConfig {
         }
         if self.period.as_ps() == 0 {
             return Err(ConfigError::ZeroPeriod);
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(ConfigError::ZeroCheckpointInterval);
         }
         Ok(())
     }
@@ -282,6 +303,12 @@ impl SocConfigBuilder {
     /// Enables or disables the compiled instant-plan schedule.
     pub fn compiled_schedule(mut self, v: bool) -> Self {
         self.cfg.compiled_schedule = v;
+        self
+    }
+
+    /// Sets the periodic auto-checkpoint interval for supervised runs.
+    pub fn checkpoint_every(mut self, v: Option<u64>) -> Self {
+        self.cfg.checkpoint_every = v;
         self
     }
 
@@ -573,6 +600,21 @@ pub(crate) struct ShardSpec {
     pub plan_cache: Option<PlanCacheHandle>,
 }
 
+/// An open supervised run, segmentable around checkpoint captures:
+/// [`Soc::run_checked`] is `begin_checked` + `resume_checked`, and a
+/// restored SoC picks the session up mid-budget with the watchdog
+/// accumulators carried across the seam.
+pub(crate) struct CheckedSession {
+    /// Hub-cycle budget left.
+    pub remaining: u64,
+    /// Watchdog no-progress limit.
+    pub no_progress_limit: u64,
+    /// Hub cycles consumed so far (becomes [`RunResult::cycles`]).
+    pub consumed: u64,
+    /// Watchdog accumulators, persisted across segments.
+    pub wd: WatchdogState,
+}
+
 /// A built prototype SoC ready to run.
 pub struct Soc {
     sim: Simulator,
@@ -587,6 +629,19 @@ pub struct Soc {
     noc_roles: Vec<ChannelRole>,
     owned_clocks: Vec<ClockId>,
     telemetry: Option<Telemetry>,
+    // Replay recipe: the deterministic build inputs plus the ordered
+    // irregular-event log — everything a checkpoint needs to rebuild
+    // and retrace this simulation (see [`crate::checkpoint`]).
+    cfg: SocConfig,
+    program: Vec<u32>,
+    staging_init: Vec<u32>,
+    gmem_init: Vec<(usize, Vec<u64>)>,
+    fault_log: Vec<FaultEvent>,
+    session: Option<CheckedSession>,
+    last_ckpt: Option<SimSnapshot>,
+    ckpt_count: Rc<Cell<u64>>,
+    ckpt_bytes: Rc<Cell<u64>>,
+    ckpt_last_ns: Rc<Cell<u64>>,
 }
 
 /// Wires one NoC registry channel according to its endpoints' shard
@@ -1148,6 +1203,9 @@ impl Soc {
         // All registry wiring happens here, once, after assembly:
         // probes close over the same shared handles the accessors read,
         // so a snapshot any cycle agrees with `Soc::report`.
+        let ckpt_count = Rc::new(Cell::new(0u64));
+        let ckpt_bytes = Rc::new(Cell::new(0u64));
+        let ckpt_last_ns = Rc::new(Cell::new(0u64));
         if let Some(tel) = &telemetry {
             // Hub and plan probes come from the hub-owning worker only;
             // publishing the shared plan cache (or the inert hub dummy)
@@ -1226,6 +1284,21 @@ impl Soc {
             tel.probe("sim.plan.deopt_count", move || deopts.get());
             tel.probe("sim.plan.instants", move || instants.get());
             tel.probe("sim.plan.armed", move || armed.get());
+            // Checkpoint counters: captures taken, last framed size,
+            // last capture latency. Observation-only by construction —
+            // probes are lazily polled and capture never mutates sim
+            // state (pinned by the checkpoint telemetry tests). Hub
+            // worker only, like the other facade-level probes.
+            if is_hub_worker {
+                let (c, b, n) = (
+                    Rc::clone(&ckpt_count),
+                    Rc::clone(&ckpt_bytes),
+                    Rc::clone(&ckpt_last_ns),
+                );
+                tel.probe("sim.ckpt.count", move || c.get());
+                tel.probe("sim.ckpt.bytes", move || b.get());
+                tel.probe("sim.ckpt.last_ns", move || n.get());
+            }
             sim.set_tick_profiling(tel.profiling());
         }
 
@@ -1253,6 +1326,16 @@ impl Soc {
             noc_roles,
             owned_clocks,
             telemetry,
+            cfg,
+            program: program.to_vec(),
+            staging_init: staging_init.to_vec(),
+            gmem_init: gmem_init.to_vec(),
+            fault_log: Vec::new(),
+            session: None,
+            last_ckpt: None,
+            ckpt_count,
+            ckpt_bytes,
+            ckpt_last_ns,
         }
     }
 
@@ -1294,6 +1377,18 @@ impl Soc {
                 pattern: pat.to_string(),
             });
         }
+        // Successful injections join the replay log: a checkpoint's
+        // restore re-arms them at the same kernel instant, reproducing
+        // the injectors' decision streams bit-for-bit (each stream is
+        // a pure function of (cfg, per-channel salted seed, token
+        // index)).
+        self.fault_log.push(FaultEvent {
+            pattern: pat.to_string(),
+            cfg,
+            seed,
+            at_instants: self.sim.instants(),
+            at_cycles: self.sim.cycles(self.hub_clock),
+        });
         Ok(matched)
     }
 
@@ -1534,7 +1629,16 @@ impl Soc {
     }
 
     /// Runs until the controller halts or `max_cycles` hub cycles.
+    ///
+    /// # Panics
+    /// Panics if a supervised session is open — finish it with
+    /// [`Soc::resume_checked`] first, or its cycle accounting would
+    /// silently drift.
     pub fn run(&mut self, max_cycles: u64) -> RunResult {
+        assert!(
+            self.session.is_none(),
+            "finish the open supervised session before Soc::run"
+        );
         let t0 = Instant::now();
         let start = self.sim.cycles(self.hub_clock);
         let ctrl = Rc::clone(&self.ctrl);
@@ -1559,30 +1663,300 @@ impl Soc {
     /// Only *data-plane* traffic counts as progress — deliberately not
     /// the AXI channels, because the controller polls `DONE_COUNT`
     /// over AXI forever and that busy-wait must not mask a wedged NoC.
+    /// With [`SocConfig::checkpoint_every`] set, the run is segmented
+    /// at that interval with a [`SimSnapshot`] captured at each
+    /// boundary (see [`Soc::last_checkpoint`]); segmentation and
+    /// capture are observation-only — outcome, cycle count and the
+    /// watchdog trip point are identical to an unsegmented run.
     pub fn run_checked(
         &mut self,
         max_cycles: u64,
         no_progress_limit: u64,
     ) -> Result<RunResult, SimError> {
-        let token = self.sim.progress_token();
-        for (_, h) in &self.noc_channels {
-            h.set_progress_token(token.clone());
-        }
-        let t0 = Instant::now();
+        self.begin_checked(max_cycles, no_progress_limit);
+        self.resume_checked()
+    }
+
+    /// Opens a supervised-run session without advancing it: arms the
+    /// progress taps and records the budget and watchdog baseline.
+    /// Drive it with [`Soc::resume_checked`].
+    ///
+    /// # Panics
+    /// Panics if a session is already open.
+    pub fn begin_checked(&mut self, max_cycles: u64, no_progress_limit: u64) {
+        assert!(
+            self.session.is_none(),
+            "a supervised run session is already open"
+        );
+        self.arm_progress_taps();
+        self.session = Some(CheckedSession {
+            remaining: max_cycles,
+            no_progress_limit,
+            consumed: 0,
+            wd: WatchdogState {
+                idle: 0,
+                last_cycle: self.sim.cycles(self.hub_clock),
+            },
+        });
+    }
+
+    /// Whether a supervised-run session is open (a checkpoint taken
+    /// now captures it, and a restore resumes it mid-budget).
+    pub fn session_open(&self) -> bool {
+        self.session.is_some()
+    }
+
+    /// Takes the open session, ending it — for drivers (the batch
+    /// backend) that segment a session themselves via
+    /// [`Soc::advance_checked`] and blend the final result.
+    pub(crate) fn close_session(&mut self) -> Option<CheckedSession> {
+        self.session.take()
+    }
+
+    /// Runs one segment of the open session, at most `budget` hub
+    /// cycles. `Ok(Some(completed))` ends the session (predicate fired
+    /// or the whole budget ran out); `Ok(None)` means the segment
+    /// boundary was reached with budget to spare. The halt predicate
+    /// is pure, so the extra boundary evaluation at each seam is
+    /// invisible — the segmented run is step-for-step identical to an
+    /// uninterrupted one.
+    pub(crate) fn advance_checked(&mut self, budget: u64) -> Result<Option<bool>, SimError> {
+        let s = self.session.as_mut().expect("session open");
+        let seg = budget.min(s.remaining);
+        let npl = s.no_progress_limit;
+        let mut wd = s.wd;
         let start = self.sim.cycles(self.hub_clock);
         let ctrl = Rc::clone(&self.ctrl);
-        let completed = self.sim.run_until_checked(
-            self.hub_clock,
-            max_cycles,
-            no_progress_limit,
-            move || ctrl.borrow().halted,
-        )?;
-        Ok(RunResult {
-            cycles: self.sim.cycles(self.hub_clock) - start,
-            wall: t0.elapsed(),
-            ctrl: *self.ctrl.borrow(),
-            completed,
-        })
+        let outcome =
+            self.sim
+                .run_until_checked_with(self.hub_clock, seg, npl, &mut wd, move || {
+                    ctrl.borrow().halted
+                });
+        let advanced = self.sim.cycles(self.hub_clock) - start;
+        let s = self.session.as_mut().expect("session open");
+        s.consumed += advanced;
+        s.remaining -= advanced.min(s.remaining);
+        s.wd = wd;
+        match outcome {
+            Err(e) => {
+                self.session = None;
+                Err(e)
+            }
+            Ok(true) => Ok(Some(true)),
+            // `Ok(false)` with budget left in the session means only
+            // this segment's limit was hit — anything else (stop
+            // request, no edges, whole budget spent) ends the session.
+            Ok(false) if s.remaining > 0 && advanced == seg => Ok(None),
+            Ok(false) => Ok(Some(false)),
+        }
+    }
+
+    /// Drives the open session to completion, capturing an automatic
+    /// checkpoint every [`SocConfig::checkpoint_every`] cycles between
+    /// segments. Returns the session's final [`RunResult`] — with
+    /// `cycles` accumulated across every segment (and, for a restored
+    /// session, the cycles consumed before the snapshot), so it equals
+    /// the uninterrupted run's.
+    ///
+    /// # Panics
+    /// Panics if no session is open.
+    pub fn resume_checked(&mut self) -> Result<RunResult, SimError> {
+        assert!(self.session.is_some(), "no supervised run session open");
+        let t0 = Instant::now();
+        let auto = self.cfg.checkpoint_every;
+        loop {
+            let budget = auto.unwrap_or(u64::MAX);
+            match self.advance_checked(budget)? {
+                Some(completed) => {
+                    let s = self.session.take().expect("session open");
+                    return Ok(RunResult {
+                        cycles: s.consumed,
+                        wall: t0.elapsed(),
+                        ctrl: *self.ctrl.borrow(),
+                        completed,
+                    });
+                }
+                None => {
+                    if auto.is_some() {
+                        self.last_ckpt = Some(self.checkpoint());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Captures a versioned [`SimSnapshot`] of this simulation at the
+    /// current boundary: the replay recipe (config, memory images,
+    /// fault log), the exact kernel-instant target, the open session
+    /// if any, and the kernel + architectural verification digests.
+    /// Observation-only: capture reads shared state and never perturbs
+    /// the simulation. Updates the `sim.ckpt.{count,bytes,last_ns}`
+    /// telemetry counters.
+    pub fn checkpoint(&self) -> SimSnapshot {
+        let t0 = Instant::now();
+        let snap = SimSnapshot {
+            cfg: self.cfg,
+            program: self.program.clone(),
+            staging: self.staging_init.clone(),
+            gmem_init: self.gmem_init.clone(),
+            faults: self.fault_log.clone(),
+            instants: Some(self.sim.instants()),
+            hub_cycles: self.sim.cycles(self.hub_clock),
+            progress_set: self.sim.progress_token().is_set(),
+            session: self.session.as_ref().map(|s| SessionState {
+                remaining: s.remaining,
+                no_progress_limit: s.no_progress_limit,
+                consumed: s.consumed,
+                wd: s.wd,
+                carried_progress: None,
+            }),
+            kernel: Some(self.sim.kernel_digest()),
+            arch: self.arch_digest(),
+        };
+        self.ckpt_count.set(self.ckpt_count.get() + 1);
+        self.ckpt_bytes.set(snap.to_bytes().len() as u64);
+        self.ckpt_last_ns
+            .set(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        snap
+    }
+
+    /// The most recent automatic checkpoint taken by a segmented
+    /// supervised run ([`SocConfig::checkpoint_every`]), if any.
+    pub fn last_checkpoint(&self) -> Option<&SimSnapshot> {
+        self.last_ckpt.as_ref()
+    }
+
+    /// Hashes the observable run state for snapshot verification.
+    pub(crate) fn arch_digest(&self) -> ArchDigest {
+        let gmem = self.gmem_read(0, self.cfg.gmem_words);
+        let mut w = StateWriter::new();
+        w.put_u64s(&gmem);
+        ArchDigest {
+            hub_cycles: self.sim.cycles(self.hub_clock),
+            report_fnv: fnv64(self.report().to_json().as_bytes()),
+            ctrl_fnv: fnv64(format!("{:?}", *self.ctrl.borrow()).as_bytes()),
+            gmem_fnv: fnv64(&w.into_bytes()),
+        }
+    }
+
+    /// Rebuilds a SoC from `snap` and deterministically replays it to
+    /// the capture boundary, verifying the kernel and architectural
+    /// digests — the restore-then-run ≡ uninterrupted-run contract the
+    /// checkpoint proptests pin. An open session in the snapshot is
+    /// reinstated, ready for [`Soc::resume_checked`].
+    pub fn restore(snap: &SimSnapshot) -> Result<Soc, CheckpointError> {
+        Self::restore_with_telemetry(snap, None)
+    }
+
+    /// [`Soc::restore`] with a telemetry sink attached to the rebuilt
+    /// SoC (restore itself is sink-agnostic; telemetry stays
+    /// observation-only either way).
+    pub fn restore_with_telemetry(
+        snap: &SimSnapshot,
+        telemetry: Option<Telemetry>,
+    ) -> Result<Soc, CheckpointError> {
+        snap.cfg
+            .validate()
+            .map_err(|e| CheckpointError::Malformed(format!("invalid config: {e}")))?;
+        let mut soc = Soc::build_with_telemetry(
+            snap.cfg,
+            &snap.program,
+            &snap.staging,
+            &snap.gmem_init,
+            telemetry,
+        );
+        soc.replay_to(snap)?;
+        Ok(soc)
+    }
+
+    /// Steps the kernel until `target` instants have been processed.
+    fn step_to_instant(&mut self, target: u64) -> Result<(), CheckpointError> {
+        if self.sim.instants() > target {
+            return Err(CheckpointError::Malformed(format!(
+                "replay target {target} is behind the current instant {}",
+                self.sim.instants()
+            )));
+        }
+        while self.sim.instants() < target {
+            if !self.sim.step() {
+                return Err(CheckpointError::ReplayDivergence {
+                    field: "kernel.instants".to_string(),
+                    expected: target,
+                    found: self.sim.instants(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Steps the kernel until the hub clock reaches `target` cycles —
+    /// the replay scheme for parallel-captured snapshots, whose
+    /// capture boundaries are always cycle-reachable.
+    fn step_to_cycle(&mut self, target: u64) -> Result<(), CheckpointError> {
+        if self.sim.cycles(self.hub_clock) > target {
+            return Err(CheckpointError::Malformed(format!(
+                "replay target cycle {target} is behind the current cycle {}",
+                self.sim.cycles(self.hub_clock)
+            )));
+        }
+        while self.sim.cycles(self.hub_clock) < target {
+            if !self.sim.step() {
+                return Err(CheckpointError::ReplayDivergence {
+                    field: "arch.hub_cycles".to_string(),
+                    expected: target,
+                    found: self.sim.cycles(self.hub_clock),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays this freshly built SoC to `snap`'s capture boundary:
+    /// re-arms each logged fault injection at its recorded instant,
+    /// steps to the progress target, restores the progress-token
+    /// state, verifies the digests, and reinstates the open session.
+    pub(crate) fn replay_to(&mut self, snap: &SimSnapshot) -> Result<(), CheckpointError> {
+        for ev in &snap.faults {
+            match snap.instants {
+                Some(_) => self.step_to_instant(ev.at_instants)?,
+                None => self.step_to_cycle(ev.at_cycles)?,
+            }
+            self.inject_fault(&ev.pattern, ev.cfg, ev.seed)
+                .map_err(|e| {
+                    CheckpointError::Malformed(format!("logged fault failed to re-arm: {e}"))
+                })?;
+        }
+        match snap.instants {
+            Some(target) => self.step_to_instant(target)?,
+            None => self.step_to_cycle(snap.hub_cycles)?,
+        }
+        // Captures happen at run boundaries, where the kernel has
+        // settled its gating statistics; a raw step loop must settle
+        // them explicitly (exact-statistics contract: flush timing is
+        // behavior-neutral, totals at a given instant are unique).
+        self.sim.flush_skipped_commits();
+        // The progress token only feeds the watchdog, never behavior —
+        // restore its flag verbatim rather than mimicking takes.
+        let token = self.sim.progress_token();
+        if snap.progress_set {
+            token.set();
+        } else {
+            let _ = token.take();
+        }
+        if let Some(kernel) = &snap.kernel {
+            kernel.verify(&self.sim.kernel_digest())?;
+        }
+        snap.arch.verify(&self.arch_digest())?;
+        if let Some(s) = &snap.session {
+            self.arm_progress_taps();
+            self.session = Some(CheckedSession {
+                remaining: s.remaining,
+                no_progress_limit: s.no_progress_limit,
+                consumed: s.consumed,
+                wd: s.wd,
+            });
+        }
+        Ok(())
     }
 
     /// Backdoor read of global memory (harness verification).

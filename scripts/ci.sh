@@ -51,4 +51,16 @@ cargo run --release -p craft-bench --bin fault_campaign -- --batch --smoke
 echo "==> batched-lockstep kernel smoke (release, lane 0 vs solo replay asserted)"
 cargo run --release -p craft-bench --bin kernel_baseline -- --workload smoke --batch
 
+echo "==> checkpoint smoke (release, round-trip identity + corruption/truncation/version rejection)"
+cargo run --release -p craft-bench --bin fault_campaign -- --ckpt-smoke
+
+echo "==> resumable-campaign smoke (release, journal + --resume; artifacts must be byte-identical)"
+ckpt_dir="$(mktemp -d)"
+ckpt_a="$(mktemp)"
+ckpt_b="$(mktemp)"
+cargo run --release -p craft-bench --bin fault_campaign -- --smoke --checkpoint-dir "$ckpt_dir" --out "$ckpt_a"
+cargo run --release -p craft-bench --bin fault_campaign -- --smoke --checkpoint-dir "$ckpt_dir" --resume --out "$ckpt_b"
+cmp "$ckpt_a" "$ckpt_b" || { echo "resumed artifact diverged from the journaling run" >&2; exit 1; }
+rm -rf "$ckpt_dir" "$ckpt_a" "$ckpt_b"
+
 echo "CI OK"
