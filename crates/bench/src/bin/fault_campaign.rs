@@ -66,21 +66,26 @@
 //! identically, and corrupted / truncated / version-bumped snapshot
 //! bytes must be rejected with typed errors.
 
-use craft_bench::{json_meta_block, validate_json, SilentPanicGuard};
+use craft_bench::{json_escape, json_meta_block, validate_json, SilentPanicGuard};
 use craft_connections::{
     channel, reliable_link, ChannelKind, FaultConfig, In, Out, ReliableConfig, ReliableStats,
 };
 use craft_sim::checkpoint::CheckpointError;
 use craft_sim::{ClockSpec, Component, Picoseconds, SimError, Simulator, Telemetry, TickCtx};
-use craft_soc::checkpoint::SimSnapshot;
+use craft_soc::checkpoint::{BatchSnapshot, SimSnapshot};
 use craft_soc::workloads::{
     dot_product, orchestrator_program, table_words, vec_mul, TableEntry, Workload,
 };
-use craft_soc::{BatchSoc, LaneRun, LaneSpec, ParallelSoc, PeCommand, PeOp, Soc, SocConfig};
+use craft_soc::{
+    build_engine, restore_engine, BatchSoc, EngineKind, LaneRun, LaneSpec, PeCommand, PeOp,
+    SegmentStatus, Soc, SocConfig,
+};
 use craftflow_core::par_map;
 use std::cell::RefCell;
+use std::fmt;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -894,7 +899,7 @@ const CKPT_EVERY: u64 = 300;
 
 struct CkptRow {
     workload: &'static str,
-    engine: &'static str,
+    engine: EngineKind,
     snapshot_bytes: u64,
     capture_cycles: u64,
     save_us: f64,
@@ -903,98 +908,83 @@ struct CkptRow {
     segmented_identical: bool,
 }
 
-/// Measures, per workload × engine: the mid-run snapshot's encoded
-/// size, capture (checkpoint + encode) and restore (decode + rebuild +
-/// replay) latency, and whether the auto-checkpointed segmented run
-/// stayed identical to the uninterrupted run.
+/// Reads the capture cycle back out of framed snapshot bytes,
+/// whichever snapshot kind the frame carries.
+fn snapshot_capture_cycles(bytes: &[u8]) -> u64 {
+    SimSnapshot::from_bytes(bytes)
+        .map(|s| s.hub_cycles)
+        .or_else(|_| BatchSnapshot::from_bytes(bytes).map(|b| b.golden.hub_cycles))
+        .expect("snapshot bytes decode")
+}
+
+/// Measures, per workload × engine — every engine driven through the
+/// unified [`craft_soc::SimEngine`] trait, no per-engine match arms:
+/// the first-boundary snapshot's encoded size, save (checkpoint +
+/// encode) and restore (decode + rebuild + replay) latency, and
+/// whether the auto-checkpointed segmented run stayed identical to
+/// the uninterrupted run.
 fn checkpoint_overhead() -> Vec<CkptRow> {
     let program = orchestrator_program();
+    // The batch engine needs at least one lane; p=0 keeps every
+    // engine's run fault-free so all rows share one trajectory.
+    let lane = [LaneSpec::new(HOT_LINK, FaultConfig::bit_flip(0.0), 7)];
+    let cases: [(&str, Workload, EngineKind, u32); 4] = [
+        ("vec_mul", vec_mul(), EngineKind::Soc, 10),
+        ("dot_product", dot_product(), EngineKind::Soc, 10),
+        ("vec_mul", vec_mul(), EngineKind::Parallel { threads: 2 }, 5),
+        ("vec_mul", vec_mul(), EngineKind::Batch, 5),
+    ];
     let mut rows = Vec::new();
-    for (workload, wl) in [("vec_mul", vec_mul()), ("dot_product", dot_product())] {
+    for (workload, wl, kind, reps) in cases {
         let table = table_words(&wl.entries);
-        let cfg = SocConfig::default();
+        let faults: &[LaneSpec] = if kind == EngineKind::Batch {
+            &lane
+        } else {
+            &[]
+        };
+        let build = |cfg: SocConfig| {
+            build_engine(kind, cfg, &program, &table, &wl.gmem_init, faults, false)
+                .expect("engine builds")
+        };
 
-        let mut base = Soc::build(cfg, &program, &table, &wl.gmem_init);
+        let mut base = build(SocConfig::default());
         let base_res = base
             .run_checked(SOC_MAX_CYCLES, SOC_NO_PROGRESS)
             .expect("clean");
         assert!(base_res.completed);
 
-        let seg_cfg = SocConfig {
+        let mut seg = build(SocConfig {
             checkpoint_every: Some(CKPT_EVERY),
-            ..cfg
-        };
-        let mut seg = Soc::build(seg_cfg, &program, &table, &wl.gmem_init);
-        let seg_res = seg
-            .run_checked(SOC_MAX_CYCLES, SOC_NO_PROGRESS)
-            .expect("clean");
+            ..SocConfig::default()
+        });
+        seg.begin(SOC_MAX_CYCLES, SOC_NO_PROGRESS);
+        assert_eq!(
+            seg.step_segment().expect("clean first segment"),
+            SegmentStatus::Boundary,
+            "{workload}/{kind}: run shorter than one checkpoint interval"
+        );
+        let bytes = seg.snapshot_bytes();
+
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(seg.snapshot_bytes());
+        }
+        let save_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(restore_engine(kind, &bytes, false).expect("restore"));
+        }
+        let restore_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+
+        let seg_res = seg.run_to_end().expect("clean");
         let segmented_identical =
             seg_res.cycles == base_res.cycles && seg.report() == base.report();
-        let snap = seg.last_checkpoint().expect("mid-run capture").clone();
-        let bytes = snap.to_bytes();
-
-        const REPS: u32 = 10;
-        let t0 = Instant::now();
-        for _ in 0..REPS {
-            std::hint::black_box(seg.checkpoint().to_bytes());
-        }
-        let save_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(REPS);
-        let t0 = Instant::now();
-        for _ in 0..REPS {
-            let decoded = SimSnapshot::from_bytes(&bytes).expect("codec round-trip");
-            std::hint::black_box(Soc::restore(&decoded).expect("restore"));
-        }
-        let restore_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(REPS);
 
         rows.push(CkptRow {
             workload,
-            engine: "soc",
+            engine: kind,
             snapshot_bytes: bytes.len() as u64,
-            capture_cycles: snap.hub_cycles,
-            save_us,
-            restore_us,
-            run_cycles: base_res.cycles,
-            segmented_identical,
-        });
-    }
-
-    // The sharded engine: coordinated epoch-boundary capture.
-    {
-        let wl = vec_mul();
-        let table = table_words(&wl.entries);
-        let mut base = ParallelSoc::build(SocConfig::default(), &program, &table, &wl.gmem_init, 2);
-        let base_res = base
-            .run_checked(SOC_MAX_CYCLES, SOC_NO_PROGRESS)
-            .expect("clean");
-        let seg_cfg = SocConfig {
-            checkpoint_every: Some(CKPT_EVERY),
-            ..SocConfig::default()
-        };
-        let mut seg = ParallelSoc::build(seg_cfg, &program, &table, &wl.gmem_init, 2);
-        let seg_res = seg
-            .run_checked(SOC_MAX_CYCLES, SOC_NO_PROGRESS)
-            .expect("clean");
-        let segmented_identical =
-            seg_res.cycles == base_res.cycles && seg.report() == base.report();
-        let snap = seg.last_checkpoint().expect("mid-run capture").clone();
-        let bytes = snap.to_bytes();
-        const REPS: u32 = 5;
-        let t0 = Instant::now();
-        for _ in 0..REPS {
-            std::hint::black_box(seg.checkpoint().to_bytes());
-        }
-        let save_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(REPS);
-        let t0 = Instant::now();
-        for _ in 0..REPS {
-            let decoded = SimSnapshot::from_bytes(&bytes).expect("codec round-trip");
-            std::hint::black_box(ParallelSoc::restore(&decoded, 2).expect("restore"));
-        }
-        let restore_us = t0.elapsed().as_secs_f64() * 1e6 / f64::from(REPS);
-        rows.push(CkptRow {
-            workload: "vec_mul",
-            engine: "parallel2",
-            snapshot_bytes: bytes.len() as u64,
-            capture_cycles: snap.hub_cycles,
+            capture_cycles: snapshot_capture_cycles(&bytes),
             save_us,
             restore_us,
             run_cycles: base_res.cycles,
@@ -1029,8 +1019,122 @@ fn print_ckpt(rows: &[CkptRow]) {
 }
 
 // ---------------------------------------------------------------------
+// Part 6b: serve throughput — jobs/s through the craft-serve pool.
+// ---------------------------------------------------------------------
+
+struct ServeRow {
+    workers: usize,
+    jobs: usize,
+    preemptions: u64,
+    segments: u64,
+    elapsed_s: f64,
+    jobs_per_sec: f64,
+}
+
+/// Pushes a mixed-engine job mix through the threaded
+/// [`craft_serve::ServePool`] and measures served jobs per second —
+/// the headline number for the simulation-as-a-service layer. Every
+/// job checkpoints at [`CKPT_EVERY`] so the pool actually preempts
+/// under contention.
+fn serve_throughput(workers: usize, jobs: usize) -> Result<ServeRow, CampaignError> {
+    use craft_serve::{JobSpec, ServePool, WorkloadId};
+    let kinds = [
+        EngineKind::Soc,
+        EngineKind::Parallel { threads: 2 },
+        EngineKind::Batch,
+    ];
+    let workloads = [
+        WorkloadId::VecMul,
+        WorkloadId::DotProduct,
+        WorkloadId::Reduction,
+        WorkloadId::VecAddScale,
+    ];
+    let pool = ServePool::new(workers);
+    let t0 = Instant::now();
+    let mut ids = Vec::with_capacity(jobs);
+    for i in 0..jobs {
+        let kind = kinds[i % kinds.len()];
+        let mut spec = JobSpec::new(workloads[i % workloads.len()], kind);
+        spec.cfg.checkpoint_every = Some(CKPT_EVERY);
+        if kind == EngineKind::Batch {
+            spec.faults = vec![LaneSpec::new(
+                HOT_LINK,
+                FaultConfig::bit_flip(0.0),
+                i as u64,
+            )];
+        }
+        ids.push(
+            pool.submit(spec)
+                .map_err(|e| CampaignError::Serve(e.to_string()))?,
+        );
+    }
+    for id in ids {
+        pool.wait(id)
+            .map_err(|e| CampaignError::Serve(e.to_string()))?
+            .map_err(|e| CampaignError::Serve(format!("job {id} failed: {e}")))?;
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let stats = pool.shutdown();
+    assert_eq!(stats.done, jobs as u64, "every job must finish cleanly");
+    Ok(ServeRow {
+        workers,
+        jobs,
+        preemptions: stats.preemptions,
+        segments: stats.segments,
+        elapsed_s,
+        jobs_per_sec: jobs as f64 / elapsed_s,
+    })
+}
+
+fn print_serve(r: &ServeRow) {
+    println!(
+        "{} mixed-engine jobs on {} workers: {:.2}s, {:.1} jobs/s \
+         ({} preemptions, {} segments)",
+        r.jobs, r.workers, r.elapsed_s, r.jobs_per_sec, r.preemptions, r.segments
+    );
+}
+
+// ---------------------------------------------------------------------
 // Part 7: crash-safe resumable campaign — per-seed journal + --resume.
 // ---------------------------------------------------------------------
+
+/// Typed failure in the campaign's submission/IO paths (journal
+/// directories, atomic artifact writes, flag parsing). The binary
+/// renders it and exits nonzero instead of panicking mid-campaign.
+#[derive(Debug)]
+enum CampaignError {
+    /// A filesystem operation failed; `op` names it, `path` locates it.
+    Io {
+        op: &'static str,
+        path: PathBuf,
+        err: std::io::Error,
+    },
+    /// A malformed command line.
+    BadArgs(String),
+    /// The serve pool rejected or failed a job submission.
+    Serve(String),
+}
+
+impl CampaignError {
+    fn io(op: &'static str, path: &Path) -> impl FnOnce(std::io::Error) -> CampaignError {
+        let path = path.to_path_buf();
+        move |err| CampaignError::Io { op, path, err }
+    }
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Io { op, path, err } => {
+                write!(f, "{op} {} failed: {err}", path.display())
+            }
+            CampaignError::BadArgs(m) => write!(f, "{m}"),
+            CampaignError::Serve(m) => write!(f, "serve: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
 
 /// Per-row journal over a directory: one file per completed row,
 /// written atomically (tmp + fsync + rename), keyed by a stable string.
@@ -1044,29 +1148,29 @@ struct Journal {
 }
 
 impl Journal {
-    fn new(dir: Option<PathBuf>, resume: bool) -> Journal {
+    fn new(dir: Option<PathBuf>, resume: bool) -> Result<Journal, CampaignError> {
         if let Some(d) = &dir {
-            std::fs::create_dir_all(d).expect("create checkpoint dir");
+            std::fs::create_dir_all(d).map_err(CampaignError::io("create checkpoint dir", d))?;
         }
-        Journal {
+        Ok(Journal {
             dir,
             resume,
             reused: std::cell::Cell::new(0),
             computed: std::cell::Cell::new(0),
-        }
+        })
     }
 
     /// Returns the journaled row for `key` (on `--resume`, when
     /// present and well-formed), else computes it and journals it.
     /// Unparseable or truncated journal entries are recomputed, never
     /// trusted.
-    fn row(&self, key: &str, compute: impl FnOnce() -> String) -> String {
+    fn row(&self, key: &str, compute: impl FnOnce() -> String) -> Result<String, CampaignError> {
         if self.resume {
             if let Some(dir) = &self.dir {
                 if let Ok(s) = std::fs::read_to_string(dir.join(key)) {
                     if validate_json(&s).is_ok() {
                         self.reused.set(self.reused.get() + 1);
-                        return s;
+                        return Ok(s);
                     }
                 }
             }
@@ -1074,16 +1178,9 @@ impl Journal {
         let s = compute();
         self.computed.set(self.computed.get() + 1);
         if let Some(dir) = &self.dir {
-            let tmp = dir.join(format!("{key}.tmp"));
-            {
-                use std::io::Write as _;
-                let mut f = std::fs::File::create(&tmp).expect("create journal tmp");
-                f.write_all(s.as_bytes()).expect("write journal tmp");
-                f.sync_all().expect("fsync journal tmp");
-            }
-            std::fs::rename(&tmp, dir.join(key)).expect("commit journal row");
+            write_atomic(&dir.join(key), s.as_bytes())?;
         }
-        s
+        Ok(s)
     }
 }
 
@@ -1151,34 +1248,34 @@ fn watchdog_row_json() -> String {
 /// every completed row journaled, assembling a **deterministic**
 /// artifact (no wall-clock fields) so an interrupted-and-resumed run
 /// is byte-identical to an uninterrupted one.
-fn resumable_campaign(args: &Args) {
+fn resumable_campaign(args: &Args) -> Result<(), CampaignError> {
     let (link_seeds, soc_seeds, victims): (u64, u64, &[u16]) = if args.smoke {
         (4, 3, &[2])
     } else {
         (12, 10, &[1, 2, 3])
     };
-    let journal = Journal::new(args.ckpt_dir.clone(), args.resume);
+    let journal = Journal::new(args.ckpt_dir.clone(), args.resume)?;
     let _quiet = SilentPanicGuard::new();
 
     let mut link_rows = Vec::new();
     for &mode in &Mode::ALL {
         for seed in 0..link_seeds {
             let key = format!("link-{}-{seed:04}.json", mode.name());
-            link_rows.push(journal.row(&key, || link_row_json(mode, seed)));
+            link_rows.push(journal.row(&key, || link_row_json(mode, seed))?);
         }
     }
     let mut soc_rows = Vec::new();
     for &mode in &Mode::ALL {
         for seed in 0..soc_seeds {
             let key = format!("soc-{}-{seed:04}.json", mode.name());
-            soc_rows.push(journal.row(&key, || soc_row_json(mode, seed)));
+            soc_rows.push(journal.row(&key, || soc_row_json(mode, seed))?);
         }
     }
     // The clean baseline is itself deterministic; journal it so
     // resumed runs skip the baseline too.
     let clean = journal.row("deg-baseline.json", || {
         format!("{{\"clean_cycles\": {}}}", clean_baseline_cycles())
-    });
+    })?;
     let clean_cycles: u64 = clean
         .split(|c: char| !c.is_ascii_digit())
         .find(|s| !s.is_empty())
@@ -1188,9 +1285,9 @@ fn resumable_campaign(args: &Args) {
     let mut deg_rows = Vec::new();
     for &victim in victims {
         let key = format!("deg-pe{victim:02}.json");
-        deg_rows.push(journal.row(&key, || degradation_row_json(victim, clean_cycles)));
+        deg_rows.push(journal.row(&key, || degradation_row_json(victim, clean_cycles))?);
     }
-    let wd_row = journal.row("watchdog.json", watchdog_row_json);
+    let wd_row = journal.row("watchdog.json", watchdog_row_json)?;
 
     let mut json = format!(
         "{{\n  {}\n  \"bench\": \"fault_campaign_ckpt\",\n  \"resumable\": true,\n",
@@ -1229,38 +1326,42 @@ fn resumable_campaign(args: &Args) {
         .out
         .clone()
         .unwrap_or_else(|| PathBuf::from("fault_campaign_ckpt.json"));
-    write_atomic(&out, json.as_bytes());
+    write_atomic(&out, json.as_bytes())?;
     println!(
         "resumable campaign: {} rows reused from journal, {} computed; wrote {}",
         journal.reused.get(),
         journal.computed.get(),
         out.display()
     );
+    Ok(())
 }
 
-/// Atomic artifact write (tmp + fsync + rename): a kill during the
-/// final write can never leave a half-written artifact behind.
-fn write_atomic(path: &Path, bytes: &[u8]) {
+/// Atomic write (tmp + fsync + rename): a kill during the write can
+/// never leave a half-written file behind. Failures are typed
+/// [`CampaignError::Io`], never panics.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), CampaignError> {
     let tmp = path.with_extension("tmp");
     {
         use std::io::Write as _;
-        let mut f = std::fs::File::create(&tmp).expect("create artifact tmp");
-        f.write_all(bytes).expect("write artifact");
-        f.sync_all().expect("fsync artifact");
+        let mut f =
+            std::fs::File::create(&tmp).map_err(CampaignError::io("create tmp for", path))?;
+        f.write_all(bytes)
+            .map_err(CampaignError::io("write tmp for", path))?;
+        f.sync_all()
+            .map_err(CampaignError::io("fsync tmp for", path))?;
     }
-    std::fs::rename(&tmp, path).expect("commit artifact");
+    std::fs::rename(&tmp, path).map_err(CampaignError::io("commit", path))
 }
 
-/// In-process checkpoint smoke for CI: round-trip identity on all
-/// three engines plus typed rejection of damaged snapshot bytes.
+/// In-process checkpoint smoke for CI: preempt-restore round-trip
+/// identity on all three engines — one loop over [`EngineKind`]
+/// through the unified trait — plus typed rejection of damaged
+/// snapshot bytes.
 fn ckpt_smoke() {
     let wl = vec_mul();
     let program = orchestrator_program();
     let table = table_words(&wl.entries);
 
-    // Round-trip: segmented + restored runs match the uninterrupted
-    // run for every engine (soc / parallel measured in the overhead
-    // sweep below; batch checked here).
     let rows = checkpoint_overhead();
     print_ckpt(&rows);
 
@@ -1268,31 +1369,75 @@ fn ckpt_smoke() {
         checkpoint_every: Some(CKPT_EVERY),
         ..SocConfig::default()
     };
-    let mut seg = Soc::build(seg_cfg, &program, &table, &wl.gmem_init);
-    let seg_res = seg
-        .run_checked(SOC_MAX_CYCLES, SOC_NO_PROGRESS)
-        .expect("clean");
-    let snap = seg.last_checkpoint().expect("mid-run capture").clone();
-    let bytes = snap.to_bytes();
-    let decoded = SimSnapshot::from_bytes(&bytes).expect("codec round-trip");
-    let mut rest = Soc::restore(&decoded).expect("restore");
-    let rest_res = rest.resume_checked().expect("clean resume");
-    assert_eq!(rest_res.cycles, seg_res.cycles, "restored run diverged");
-    assert_eq!(rest.report(), seg.report(), "restored report diverged");
-    for (base, expect) in &wl.expected {
+    let lane = [LaneSpec::new(HOT_LINK, FaultConfig::bit_flip(0.0), 7)];
+    let mut soc_bytes = Vec::new();
+    for kind in [
+        EngineKind::Soc,
+        EngineKind::Parallel { threads: 2 },
+        EngineKind::Batch,
+    ] {
+        let faults: &[LaneSpec] = if kind == EngineKind::Batch {
+            &lane
+        } else {
+            &[]
+        };
+        let build = || {
+            build_engine(
+                kind,
+                seg_cfg,
+                &program,
+                &table,
+                &wl.gmem_init,
+                faults,
+                false,
+            )
+            .expect("engine builds")
+        };
+        let mut base = build();
+        let base_res = base
+            .run_checked(SOC_MAX_CYCLES, SOC_NO_PROGRESS)
+            .expect("clean");
+
+        // Preempt at the first boundary, drop the engine, revive it
+        // from bytes alone, and run it out.
+        let mut seg = build();
+        seg.begin(SOC_MAX_CYCLES, SOC_NO_PROGRESS);
         assert_eq!(
-            &rest.gmem_read(*base, expect.len()),
-            expect,
-            "restored memory diverged"
+            seg.step_segment().expect("clean first segment"),
+            SegmentStatus::Boundary
         );
+        let bytes = seg.snapshot_bytes();
+        drop(seg);
+        let mut rest = restore_engine(kind, &bytes, false).expect("restore");
+        let rest_res = rest.run_to_end().expect("clean resume");
+        assert_eq!(
+            rest_res.cycles, base_res.cycles,
+            "{kind}: restored run diverged"
+        );
+        assert_eq!(
+            rest.report(),
+            base.report(),
+            "{kind}: restored report diverged"
+        );
+        for (addr, expect) in &wl.expected {
+            assert_eq!(
+                &rest.gmem_read(*addr, expect.len()),
+                expect,
+                "{kind}: restored memory diverged"
+            );
+        }
+        println!(
+            "round-trip[{kind}]: restored run matches at cycle {} ({} snapshot bytes)",
+            rest_res.cycles,
+            bytes.len()
+        );
+        if kind == EngineKind::Soc {
+            soc_bytes = bytes;
+        }
     }
-    println!(
-        "round-trip: restored run matches at cycle {} ({} snapshot bytes)",
-        rest_res.cycles,
-        bytes.len()
-    );
 
     // Damaged bytes are rejected with typed errors, never UB.
+    let bytes = soc_bytes;
     let mut corrupt = bytes.clone();
     let mid = corrupt.len() - 20;
     corrupt[mid] ^= 0x40;
@@ -1310,7 +1455,14 @@ fn ckpt_smoke() {
         Err(CheckpointError::UnsupportedVersion { .. }) => {}
         other => panic!("version bump must be rejected, got {other:?}"),
     }
-    println!("rejection: corrupted / truncated / version-bumped bytes all typed errors");
+    match restore_engine(EngineKind::Batch, &bytes, false) {
+        Err(CheckpointError::WrongKind { .. }) => {}
+        Err(other) => panic!("wrong-kind frame must be WrongKind, got {other:?}"),
+        Ok(_) => panic!("a soc frame must not revive a batch engine"),
+    }
+    println!(
+        "rejection: corrupted / truncated / version-bumped / wrong-kind bytes all typed errors"
+    );
     println!("checkpoint smoke OK");
 }
 
@@ -1325,7 +1477,7 @@ struct Args {
     out: Option<PathBuf>,
 }
 
-fn parse_args() -> Args {
+fn parse_args() -> Result<Args, CampaignError> {
     let mut args = Args {
         smoke: false,
         batch: false,
@@ -1342,33 +1494,43 @@ fn parse_args() -> Args {
             "--ckpt-smoke" => args.ckpt_smoke = true,
             "--resume" => args.resume = true,
             "--checkpoint-dir" => {
-                args.ckpt_dir = Some(PathBuf::from(
-                    it.next().expect("--checkpoint-dir needs a path"),
-                ));
+                args.ckpt_dir = Some(PathBuf::from(it.next().ok_or_else(|| {
+                    CampaignError::BadArgs("--checkpoint-dir needs a path".into())
+                })?));
             }
             "--out" => {
-                args.out = Some(PathBuf::from(it.next().expect("--out needs a path")));
+                args.out =
+                    Some(PathBuf::from(it.next().ok_or_else(|| {
+                        CampaignError::BadArgs("--out needs a path".into())
+                    })?));
             }
-            other => panic!("unknown flag {other:?}"),
+            other => return Err(CampaignError::BadArgs(format!("unknown flag {other:?}"))),
         }
     }
-    assert!(
-        !args.resume || args.ckpt_dir.is_some(),
-        "--resume requires --checkpoint-dir"
-    );
-    args
+    if args.resume && args.ckpt_dir.is_none() {
+        return Err(CampaignError::BadArgs(
+            "--resume requires --checkpoint-dir".into(),
+        ));
+    }
+    Ok(args)
 }
 
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fault_campaign: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
-fn main() {
-    let args = parse_args();
+fn run() -> Result<(), CampaignError> {
+    let args = parse_args()?;
     if args.ckpt_smoke {
         println!("== checkpoint: round-trip + rejection smoke ==");
         ckpt_smoke();
-        return;
+        return Ok(());
     }
     if let Some(dir) = &args.ckpt_dir {
         println!(
@@ -1376,8 +1538,7 @@ fn main() {
             dir.display(),
             if args.resume { ", resuming" } else { "" }
         );
-        resumable_campaign(&args);
-        return;
+        return resumable_campaign(&args);
     }
 
     let smoke = args.smoke;
@@ -1396,7 +1557,7 @@ fn main() {
         let rows = batch_campaign(batch_lanes);
         print_batch(&rows);
         println!("\nbatched outcomes identical to the serial per-seed loop");
-        return;
+        return Ok(());
     }
 
     println!(
@@ -1517,6 +1678,10 @@ fn main() {
     let ckpt_rows = checkpoint_overhead();
     print_ckpt(&ckpt_rows);
 
+    println!("\n== serve: jobs/s through the craft-serve worker pool ==");
+    let serve_row = serve_throughput(2, if smoke { 6 } else { 24 })?;
+    print_serve(&serve_row);
+
     let mut json = format!(
         "{{\n  {}\n  \"bench\": \"fault_campaign\",\n",
         json_meta_block("fault_campaign")
@@ -1635,7 +1800,19 @@ fn main() {
     }
     let _ = write!(
         json,
-        "    ]\n  }},\n  \"watchdog\": {{\"hang_cycle\": {}, \"idle_cycles\": {}, \"busy_components\": {}, \"channel_note\": \"{}\", \"hub_wait\": \"{}\"}}\n}}\n",
+        "    ]\n  }},\n  \"serve_throughput\": {{\"workers\": {}, \"jobs\": {}, \
+         \"preemptions\": {}, \"segments\": {}, \"elapsed_s\": {:.3}, \
+         \"jobs_per_sec\": {:.2}, \"ckpt_every\": {CKPT_EVERY}}},\n",
+        serve_row.workers,
+        serve_row.jobs,
+        serve_row.preemptions,
+        serve_row.segments,
+        serve_row.elapsed_s,
+        serve_row.jobs_per_sec
+    );
+    let _ = write!(
+        json,
+        "  \"watchdog\": {{\"hang_cycle\": {}, \"idle_cycles\": {}, \"busy_components\": {}, \"channel_note\": \"{}\", \"hub_wait\": \"{}\"}}\n}}\n",
         wd.hang_cycle,
         wd.idle_cycles,
         wd.busy_components,
@@ -1655,10 +1832,12 @@ fn main() {
     if smoke {
         println!("\nsmoke run: BENCH_fault_campaign.json not rewritten");
     } else {
-        std::fs::write("BENCH_fault_campaign.json", &json)
-            .expect("write BENCH_fault_campaign.json");
-        std::fs::write("BENCH_fault_campaign_telemetry.json", &tel_json)
-            .expect("write BENCH_fault_campaign_telemetry.json");
+        write_atomic(Path::new("BENCH_fault_campaign.json"), json.as_bytes())?;
+        write_atomic(
+            Path::new("BENCH_fault_campaign_telemetry.json"),
+            tel_json.as_bytes(),
+        )?;
         println!("\nwrote BENCH_fault_campaign.json and BENCH_fault_campaign_telemetry.json");
     }
+    Ok(())
 }

@@ -52,11 +52,11 @@ use craft_connections::FaultConfig;
 use craft_sim::Telemetry;
 use craft_soc::pe::Fidelity;
 use craft_soc::workloads::{
-    dot_product, orchestrator_program, run_workload_parallel, run_workload_soc, table_words,
-    vec_mul, Workload,
+    dot_product, orchestrator_program, run_workload_soc, table_words, vec_mul, Workload,
 };
-use craft_soc::{replay_lane_solo, BatchSoc, LaneSpec, Soc, SocConfig};
+use craft_soc::{build_engine, replay_lane_solo, BatchSoc, EngineKind, LaneSpec, Soc, SocConfig};
 use std::fmt::Write as _;
+use std::process::ExitCode;
 use std::time::Instant;
 
 struct Row {
@@ -294,20 +294,38 @@ fn run_one(wl: &Workload, fidelity: Fidelity, gating: bool) -> Row {
     }
 }
 
-/// Runs `wl` on the sharded simulator with `threads` workers and
-/// returns `(cycles, wall seconds)`, asserting the run verifies.
-fn run_parallel_one(wl: &Workload, fidelity: Fidelity, threads: usize) -> (u64, f64) {
+/// Runs `wl` through the unified [`craft_soc::SimEngine`] facade —
+/// `kind` selects the backend, no per-engine dispatch here — and
+/// returns `(cycles, wall seconds)`, asserting the run completes and
+/// every expected memory region verifies.
+fn run_engine_one(wl: &Workload, fidelity: Fidelity, kind: EngineKind) -> (u64, f64) {
     let cfg = SocConfig {
         fidelity,
         gating: true,
         ..SocConfig::default()
     };
-    let (result, ok, _soc) = run_workload_parallel(cfg, wl, 8_000_000, threads);
-    assert!(
-        ok && result.completed,
-        "{}: parallel run ({threads} threads) failed",
-        wl.name
-    );
+    let mut eng = build_engine(
+        kind,
+        cfg,
+        &orchestrator_program(),
+        &table_words(&wl.entries),
+        &wl.gmem_init,
+        &[],
+        false,
+    )
+    .unwrap_or_else(|e| panic!("{}: engine rejected: {e}", wl.name));
+    let result = eng
+        .run_checked(8_000_000, 200_000)
+        .unwrap_or_else(|e| panic!("{}: {kind} run failed: {e:?}", wl.name));
+    assert!(result.completed, "{}: {kind} run incomplete", wl.name);
+    for (base, expect) in &wl.expected {
+        assert_eq!(
+            &eng.gmem_read(*base, expect.len()),
+            expect,
+            "{}: {kind} result mismatch",
+            wl.name
+        );
+    }
     (result.cycles, result.wall.as_secs_f64())
 }
 
@@ -318,29 +336,30 @@ fn has_flag(flag: &str) -> bool {
 }
 
 /// Parses `--<flag> <value>` (or `--<flag>=<value>`) from the command
-/// line, if present.
-fn flag_value(flag: &str) -> Option<String> {
+/// line, if present. A flag with no trailing value is a typed error,
+/// not a panic.
+fn flag_value(flag: &str) -> Result<Option<String>, String> {
     let bare = format!("--{flag}");
     let eq = format!("--{flag}=");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == bare {
-            return Some(
-                args.next()
-                    .unwrap_or_else(|| panic!("{bare} needs a value")),
-            );
+            return match args.next() {
+                Some(v) => Ok(Some(v)),
+                None => Err(format!("{bare} needs a value")),
+            };
         }
         if let Some(v) = a.strip_prefix(&eq) {
-            return Some(v.to_string());
+            return Ok(Some(v.to_string()));
         }
     }
-    None
+    Ok(None)
 }
 
 /// One telemetry-instrumented pass over `wl`: attaches a profiling
 /// sink, runs to completion, validates the snapshot JSON and writes it
-/// to `path`.
-fn emit_telemetry_snapshot(wl: &Workload, path: &str) {
+/// to `path`. IO failures surface as typed errors.
+fn emit_telemetry_snapshot(wl: &Workload, path: &str) -> Result<(), String> {
     let tel = Telemetry::new();
     tel.set_profiling(true);
     let mut soc = Soc::build_with_telemetry(
@@ -356,44 +375,56 @@ fn emit_telemetry_snapshot(wl: &Workload, path: &str) {
     assert!(!snap.profile.is_empty(), "tick profiling must capture");
     let json = snap.to_json();
     validate_json(&json).expect("telemetry snapshot must be valid JSON");
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
     println!(
         "telemetry: {} metrics, {} spans, {} profiled components -> {path}",
         snap.metrics.len(),
         snap.spans.len(),
         snap.profile.len()
     );
+    Ok(())
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("kernel_baseline: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
     // dot_product is the quiescence-heavy headline: 8-PE waves with
     // barriers, then a long single-PE reduce tail during which 14 PEs
     // and most routers are idle. vec_mul (4 active PEs per wave) is
     // the second datapoint.
     // `smoke` aliases the cheapest workload so CI invocations don't
     // hard-code a workload name.
-    let filter = flag_value("workload").map(|f| {
+    let filter = flag_value("workload")?.map(|f| {
         if f == "smoke" {
             "vec_mul".to_string()
         } else {
             f
         }
     });
-    let telemetry_path = flag_value("telemetry");
+    let telemetry_path = flag_value("telemetry")?;
     let workloads: Vec<Workload> = [dot_product(), vec_mul()]
         .into_iter()
         .filter(|wl| filter.as_deref().is_none_or(|f| f == wl.name))
         .collect();
-    assert!(
-        !workloads.is_empty(),
-        "no workload matches filter {filter:?} (try dot_product or vec_mul)"
-    );
+    if workloads.is_empty() {
+        return Err(format!(
+            "no workload matches filter {filter:?} (try dot_product or vec_mul)"
+        ));
+    }
 
     // --deopt-smoke: fault injection must fall back to the
     // interpreted path, observed through telemetry (CI check).
     if has_flag("deopt-smoke") {
         run_deopt_smoke(&workloads[workloads.len() - 1]);
-        return;
+        return Ok(());
     }
 
     // --batch: batched-lockstep smoke (CI regression check). One
@@ -413,7 +444,7 @@ fn main() {
             );
         }
         println!("batch smoke OK");
-        return;
+        return Ok(());
     }
 
     // --compiled-schedule: compiled-plan smoke (CI regression check).
@@ -439,17 +470,20 @@ fn main() {
             );
         }
         println!("compiled-schedule smoke OK");
-        return;
+        return Ok(());
     }
 
     // --threads N: parallel smoke only (CI barrier-regression check).
     // Covers the degenerate single-shard partition at N=1.
-    if let Some(threads) = flag_value("threads") {
-        let threads: usize = threads.parse().expect("--threads takes 1, 2, 4 or 8");
+    if let Some(threads) = flag_value("threads")? {
+        let threads: usize = threads
+            .parse()
+            .map_err(|_| format!("--threads takes 1, 2, 4 or 8, got {threads:?}"))?;
         for wl in &workloads {
             for fidelity in [Fidelity::SimAccurate, Fidelity::Rtl] {
                 let seq = run_one(wl, fidelity, true);
-                let (par_cycles, par_wall) = run_parallel_one(wl, fidelity, threads);
+                let (par_cycles, par_wall) =
+                    run_engine_one(wl, fidelity, EngineKind::Parallel { threads });
                 assert_eq!(
                     seq.cycles, par_cycles,
                     "{} {}: {threads}-thread run diverged from sequential",
@@ -466,7 +500,7 @@ fn main() {
             }
         }
         println!("parallel smoke OK ({threads} threads)");
-        return;
+        return Ok(());
     }
     let mut rows = Vec::new();
     for wl in &workloads {
@@ -536,7 +570,8 @@ fn main() {
                 .expect("sequential row present");
             let mut base_wall = 0.0f64;
             for threads in [1usize, 2, 4, 8] {
-                let (cycles, wall_s) = run_parallel_one(wl, fidelity, threads);
+                let (cycles, wall_s) =
+                    run_engine_one(wl, fidelity, EngineKind::Parallel { threads });
                 assert_eq!(
                     cycles,
                     seq_cycles,
@@ -775,14 +810,15 @@ fn main() {
     }
 
     if let Some(path) = &telemetry_path {
-        emit_telemetry_snapshot(&workloads[0], path);
+        emit_telemetry_snapshot(&workloads[0], path)?;
     }
 
     if filter.is_none() {
         validate_json(&json).expect("scaling rows must keep the baseline well-formed");
-        std::fs::write("BENCH_sim_kernel.json", &json).expect("write BENCH_sim_kernel.json");
+        std::fs::write("BENCH_sim_kernel.json", &json)
+            .map_err(|e| format!("write BENCH_sim_kernel.json: {e}"))?;
         if telemetry_path.is_none() {
-            emit_telemetry_snapshot(&workloads[0], "BENCH_sim_kernel_telemetry.json");
+            emit_telemetry_snapshot(&workloads[0], "BENCH_sim_kernel_telemetry.json")?;
         }
         println!("\nheadline sim-accurate gating speedup: {headline:.2}x (target >= 1.5x)");
         println!(
@@ -796,4 +832,5 @@ fn main() {
     if headline < 1.5 {
         eprintln!("warning: headline speedup below 1.5x — run with --release on an idle machine");
     }
+    Ok(())
 }

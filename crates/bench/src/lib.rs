@@ -199,7 +199,12 @@ impl Drop for SilentPanicGuard {
 /// v3: `fault_campaign` gained the `checkpoint` section (snapshot
 /// size, save/restore latency) and the resumable per-seed artifact
 /// (`fault_campaign_ckpt`, deterministic row schema).
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: `fault_campaign` gained the `serve_throughput` section
+/// (served-jobs/s through the `craft-serve` worker pool) and the
+/// `checkpoint` rows now spell engines as [`craft_soc::EngineKind`]
+/// wire names (`soc`, `parallel:2`, `batch`).
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
 
 /// Host facts recorded alongside every artifact so perf rows can be
 /// judged in context (the CI container is a 1-core box; wall-clock
@@ -241,162 +246,11 @@ pub fn json_meta_block(generator: &str) -> String {
     )
 }
 
-/// Validates that `s` is one well-formed JSON value (with nothing but
-/// whitespace after it), returning the parse-failure position on error.
-/// A tiny recursive-descent checker — the bench binaries hand-roll
-/// their JSON artifacts, and this catches malformed output in CI
-/// without a serde dependency.
-pub fn validate_json(s: &str) -> Result<(), String> {
-    let b = s.as_bytes();
-    let mut i = 0usize;
-    fn skip_ws(b: &[u8], i: &mut usize) {
-        while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
-            *i += 1;
-        }
-    }
-    fn fail(b: &[u8], i: usize, what: &str) -> String {
-        let ctx: String = b[i.min(b.len())..(i + 20).min(b.len())]
-            .iter()
-            .map(|&c| c as char)
-            .collect();
-        format!("{what} at byte {i} (near {ctx:?})")
-    }
-    fn value(b: &[u8], i: &mut usize, depth: u32) -> Result<(), String> {
-        if depth > 64 {
-            return Err(fail(b, *i, "nesting too deep"));
-        }
-        skip_ws(b, i);
-        match b.get(*i) {
-            Some(b'{') => {
-                *i += 1;
-                skip_ws(b, i);
-                if b.get(*i) == Some(&b'}') {
-                    *i += 1;
-                    return Ok(());
-                }
-                loop {
-                    skip_ws(b, i);
-                    string(b, i)?;
-                    skip_ws(b, i);
-                    if b.get(*i) != Some(&b':') {
-                        return Err(fail(b, *i, "expected ':'"));
-                    }
-                    *i += 1;
-                    value(b, i, depth + 1)?;
-                    skip_ws(b, i);
-                    match b.get(*i) {
-                        Some(b',') => *i += 1,
-                        Some(b'}') => {
-                            *i += 1;
-                            return Ok(());
-                        }
-                        _ => return Err(fail(b, *i, "expected ',' or '}'")),
-                    }
-                }
-            }
-            Some(b'[') => {
-                *i += 1;
-                skip_ws(b, i);
-                if b.get(*i) == Some(&b']') {
-                    *i += 1;
-                    return Ok(());
-                }
-                loop {
-                    value(b, i, depth + 1)?;
-                    skip_ws(b, i);
-                    match b.get(*i) {
-                        Some(b',') => *i += 1,
-                        Some(b']') => {
-                            *i += 1;
-                            return Ok(());
-                        }
-                        _ => return Err(fail(b, *i, "expected ',' or ']'")),
-                    }
-                }
-            }
-            Some(b'"') => string(b, i),
-            Some(b't') => literal(b, i, "true"),
-            Some(b'f') => literal(b, i, "false"),
-            Some(b'n') => literal(b, i, "null"),
-            Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, i),
-            _ => Err(fail(b, *i, "expected a JSON value")),
-        }
-    }
-    fn literal(b: &[u8], i: &mut usize, word: &str) -> Result<(), String> {
-        if b[*i..].starts_with(word.as_bytes()) {
-            *i += word.len();
-            Ok(())
-        } else {
-            Err(fail(b, *i, "bad literal"))
-        }
-    }
-    fn string(b: &[u8], i: &mut usize) -> Result<(), String> {
-        if b.get(*i) != Some(&b'"') {
-            return Err(fail(b, *i, "expected '\"'"));
-        }
-        *i += 1;
-        while let Some(&c) = b.get(*i) {
-            match c {
-                b'"' => {
-                    *i += 1;
-                    return Ok(());
-                }
-                b'\\' => match b.get(*i + 1) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 2,
-                    Some(b'u') => {
-                        if b.len() < *i + 6 || !b[*i + 2..*i + 6].iter().all(u8::is_ascii_hexdigit)
-                        {
-                            return Err(fail(b, *i, "bad \\u escape"));
-                        }
-                        *i += 6;
-                    }
-                    _ => return Err(fail(b, *i, "bad escape")),
-                },
-                0x00..=0x1f => return Err(fail(b, *i, "raw control char in string")),
-                _ => *i += 1,
-            }
-        }
-        Err(fail(b, *i, "unterminated string"))
-    }
-    fn number(b: &[u8], i: &mut usize) -> Result<(), String> {
-        let start = *i;
-        if b.get(*i) == Some(&b'-') {
-            *i += 1;
-        }
-        let digits = |b: &[u8], i: &mut usize| {
-            let s = *i;
-            while *i < b.len() && b[*i].is_ascii_digit() {
-                *i += 1;
-            }
-            *i > s
-        };
-        if !digits(b, i) {
-            return Err(fail(b, start, "bad number"));
-        }
-        if b.get(*i) == Some(&b'.') {
-            *i += 1;
-            if !digits(b, i) {
-                return Err(fail(b, start, "bad fraction"));
-            }
-        }
-        if matches!(b.get(*i), Some(b'e' | b'E')) {
-            *i += 1;
-            if matches!(b.get(*i), Some(b'+' | b'-')) {
-                *i += 1;
-            }
-            if !digits(b, i) {
-                return Err(fail(b, start, "bad exponent"));
-            }
-        }
-        Ok(())
-    }
-    value(b, &mut i, 0)?;
-    skip_ws(b, &mut i);
-    if i != b.len() {
-        return Err(fail(b, i, "trailing garbage"));
-    }
-    Ok(())
-}
+/// The shared JSON well-formedness checker and string escaper now
+/// live in `craftflow-core` (the job server validates its wire output
+/// with the same code); re-exported here so every bench caller keeps
+/// compiling unchanged.
+pub use craftflow_core::{json_escape, validate_json};
 
 #[cfg(test)]
 mod tests {

@@ -19,6 +19,7 @@ pub mod backend;
 pub mod dse;
 pub mod floorplan;
 mod flow;
+pub mod json;
 pub mod productivity;
 
 pub use backend::{pnr_hours, sta_gals, sta_synchronous, turnaround, StaReport, TurnaroundReport};
@@ -27,6 +28,7 @@ pub use dse::{
 };
 pub use floorplan::{floorplan, Block, Floorplan};
 pub use flow::{run_flow, ChipReport, Clocking, FlowSpec, UnitReport, UnitSpec};
+pub use json::{json_escape, validate_json};
 pub use productivity::{
     ProductivityLedger, UnitEffort, MANUAL_RTL_GATES_PER_DAY, OOHLS_BAND_GATES_PER_DAY,
 };

@@ -1,0 +1,50 @@
+//! `sim_server` — the simulation-as-a-service front end.
+//!
+//! ```text
+//! sim_server [--port N] [--workers N]
+//! ```
+//!
+//! Binds `127.0.0.1:PORT` (`--port 0`, the default, picks an
+//! ephemeral port), prints `sim_server listening on ADDR` so
+//! harnesses can scrape the port, and serves line-oriented requests
+//! (see `craft_serve::wire`) until a client sends `shutdown`.
+
+use craft_serve::SimServer;
+use std::process::ExitCode;
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a numeric value")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    for a in &args {
+        if a.starts_with("--") && !matches!(a.as_str(), "--port" | "--workers") {
+            return Err(format!("unknown flag {a} (known: --port N, --workers N)"));
+        }
+    }
+    let port = flag_value(&args, "--port")?.unwrap_or(0);
+    let workers = flag_value(&args, "--workers")?.unwrap_or(2) as usize;
+    let server = SimServer::bind(&format!("127.0.0.1:{port}"), workers)
+        .map_err(|e| format!("bind failed: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    println!("sim_server listening on {addr} ({workers} workers)");
+    server.serve().map_err(|e| format!("serve failed: {e}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sim_server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

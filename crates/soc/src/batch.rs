@@ -45,6 +45,7 @@
 //! the better backend — the campaign driver picks per mode.
 
 use crate::checkpoint::BatchSnapshot;
+use crate::engine::SegmentStatus;
 use crate::soc::{
     lane_fault_seed, merge_fault_stats, ChannelRole, FaultPatternError, FaultReport, RunResult,
     Soc, SocConfig, SocReport,
@@ -190,6 +191,8 @@ pub struct BatchSoc {
     /// the settle phase replays de-opted lanes under the same limits.
     limits: Option<(u64, u64)>,
     last_ckpt: Option<BatchSnapshot>,
+    /// The settled report of a finished run ([`BatchSoc::last_report`]).
+    last_report: Option<BatchReport>,
 }
 
 impl BatchSoc {
@@ -280,6 +283,7 @@ impl BatchSoc {
             ran: false,
             limits: None,
             last_ckpt: None,
+            last_report: None,
         })
     }
 
@@ -343,11 +347,22 @@ impl BatchSoc {
     /// Panics if called twice — the golden simulation is consumed by
     /// the first run.
     pub fn run(&mut self, max_cycles: u64, no_progress_limit: u64) -> BatchReport {
+        self.begin(max_cycles, no_progress_limit);
+        self.resume()
+    }
+
+    /// Opens the golden supervised session without driving it — the
+    /// segmented entry point for schedulers that step the batch with
+    /// [`BatchSoc::step_segment`] and preempt between segments.
+    ///
+    /// # Panics
+    /// Panics if called twice — the golden simulation is consumed by
+    /// the first run.
+    pub fn begin(&mut self, max_cycles: u64, no_progress_limit: u64) {
         assert!(!self.ran, "BatchSoc::run may only be called once");
         self.ran = true;
         self.limits = Some((max_cycles, no_progress_limit));
         self.golden.begin_checked(max_cycles, no_progress_limit);
-        self.resume()
     }
 
     /// Drives the open golden session to completion (capturing
@@ -358,30 +373,79 @@ impl BatchSoc {
     /// # Panics
     /// Panics if no golden session is open.
     pub fn resume(&mut self) -> BatchReport {
+        assert!(self.golden.session_open(), "no batch run to resume");
+        let t0 = Instant::now();
+        loop {
+            match self.step_segment() {
+                Ok(SegmentStatus::Boundary) => {}
+                Ok(SegmentStatus::Done(_)) | Err(_) => {
+                    let mut rep = self
+                        .last_report
+                        .clone()
+                        .expect("final segment settles the batch");
+                    if let Ok(r) = rep.golden.as_mut() {
+                        r.wall = t0.elapsed();
+                    }
+                    return rep;
+                }
+            }
+        }
+    }
+
+    /// Runs one segment of the open golden session — at most
+    /// [`SocConfig::checkpoint_every`] cycles (the whole budget when
+    /// unset). [`SegmentStatus::Boundary`] means budget remains and
+    /// the automatic [`BatchSnapshot`] was captured: a scheduler may
+    /// preempt here and revive the batch from the serialized
+    /// snapshot. When the golden run ends — [`SegmentStatus::Done`]
+    /// or a watchdog error — the lanes settle immediately and the
+    /// full [`BatchReport`] is stored in [`BatchSoc::last_report`].
+    ///
+    /// # Panics
+    /// Panics if no golden session is open.
+    pub fn step_segment(&mut self) -> Result<SegmentStatus, SimError> {
         let (max_cycles, no_progress_limit) = self.limits.expect("no batch run to resume");
         assert!(self.golden.session_open(), "no batch run to resume");
         let t0 = Instant::now();
         let auto = self.cfg.checkpoint_every;
-        let golden_res = loop {
-            match self.golden.advance_checked(auto.unwrap_or(u64::MAX)) {
-                Err(e) => break Err(e),
-                Ok(Some(completed)) => {
-                    let consumed = self.golden.close_session().expect("session open").consumed;
-                    break Ok(RunResult {
-                        cycles: consumed,
-                        wall: t0.elapsed(),
-                        ctrl: *self.golden.ctrl_handle().borrow(),
-                        completed,
-                    });
-                }
-                Ok(None) => {
-                    if auto.is_some() {
-                        self.last_ckpt = Some(self.checkpoint());
-                    }
-                }
+        match self.golden.advance_checked(auto.unwrap_or(u64::MAX)) {
+            Err(e) => {
+                let rep = self.settle(Err(e.clone()), max_cycles, no_progress_limit);
+                self.last_report = Some(rep);
+                Err(e)
             }
-        };
-        self.settle(golden_res, max_cycles, no_progress_limit)
+            Ok(Some(completed)) => {
+                let consumed = self.golden.close_session().expect("session open").consumed;
+                let res = RunResult {
+                    cycles: consumed,
+                    wall: t0.elapsed(),
+                    ctrl: *self.golden.ctrl_handle().borrow(),
+                    completed,
+                };
+                let rep = self.settle(Ok(res), max_cycles, no_progress_limit);
+                self.last_report = Some(rep);
+                Ok(SegmentStatus::Done(res))
+            }
+            Ok(None) => {
+                if auto.is_some() {
+                    self.last_ckpt = Some(self.checkpoint());
+                }
+                Ok(SegmentStatus::Boundary)
+            }
+        }
+    }
+
+    /// The settled [`BatchReport`] of a finished batch run, if the
+    /// golden session has ended (also populated when the golden run
+    /// erred — the lanes still settle).
+    pub fn last_report(&self) -> Option<&BatchReport> {
+        self.last_report.as_ref()
+    }
+
+    /// The configuration the golden SoC (and every lane replay) was
+    /// built from.
+    pub fn config(&self) -> &SocConfig {
+        &self.cfg
     }
 
     /// Finishes every lane once the golden run has ended.

@@ -1,0 +1,605 @@
+//! # Unified engine surface — one trait over all three facades
+//!
+//! [`Soc`] (sequential), [`ParallelSoc`] (GALS-sharded) and
+//! [`BatchSoc`] (lockstep fault lanes) grew three divergent
+//! run/checkpoint/report surfaces, so every caller — the fault
+//! campaign, the kernel baseline, the job server — re-implemented
+//! engine selection with hand-rolled match arms. [`SimEngine`] is the
+//! object-safe seam that replaces them: `build` ([`build_engine`]) /
+//! `run_checked` / `checkpoint` ([`SimEngine::snapshot_bytes`]) /
+//! `restore` ([`restore_engine`]) / `report` / `telemetry`, plus the
+//! segmented-run primitives ([`SimEngine::begin`],
+//! [`SimEngine::step_segment`]) that a scheduler needs to preempt a
+//! run at a [`SocConfig::checkpoint_every`] boundary and resume it —
+//! possibly in a different simulation instance — from the snapshot
+//! bytes.
+//!
+//! Engines are deliberately **not** [`Send`] (they are `Rc`-based
+//! simulations), so a job can only migrate between worker threads as
+//! serialized snapshot bytes; [`restore_engine`] rebuilds and
+//! deterministically replays on the receiving side, preserving the
+//! PR 8 golden contract: restore-then-run ≡ uninterrupted run,
+//! bit-identical.
+
+use crate::batch::{BatchReport, BatchSoc, LaneSpec};
+use crate::checkpoint::{BatchSnapshot, SimSnapshot};
+use crate::parallel::ParallelSoc;
+use crate::soc::{ConfigError, FaultPatternError, RunResult, Soc, SocConfig, SocReport};
+use craft_connections::FaultStats;
+use craft_sim::checkpoint::CheckpointError;
+use craft_sim::{SimError, Telemetry, TelemetrySnapshot};
+use std::fmt;
+
+/// Which simulation engine services a run — the typed replacement for
+/// string/flag dispatch in benches and the job-server submission
+/// format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Sequential [`Soc`].
+    Soc,
+    /// GALS-sharded [`ParallelSoc`] with this worker-thread count.
+    Parallel {
+        /// Shard worker threads (1, 2, 4 or 8).
+        threads: usize,
+    },
+    /// Batched lockstep [`BatchSoc`] — one lane per fault vector.
+    Batch,
+}
+
+impl EngineKind {
+    /// Stable lowercase name (`soc`, `parallel`, `batch`) — the wire
+    /// spelling used by the job server and bench JSON sections.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Soc => "soc",
+            EngineKind::Parallel { .. } => "parallel",
+            EngineKind::Batch => "batch",
+        }
+    }
+
+    /// Parses the job-server wire spelling: `soc`, `batch`,
+    /// `parallel` (2 threads) or `parallel:<threads>`.
+    pub fn parse(s: &str) -> Result<EngineKind, EngineError> {
+        match s {
+            "soc" => Ok(EngineKind::Soc),
+            "batch" => Ok(EngineKind::Batch),
+            "parallel" => Ok(EngineKind::Parallel { threads: 2 }),
+            _ => match s.strip_prefix("parallel:").and_then(|t| t.parse().ok()) {
+                Some(threads) => Ok(EngineKind::Parallel { threads }),
+                None => Err(EngineError::UnknownEngine(s.to_string())),
+            },
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineKind::Parallel { threads } => write!(f, "parallel:{threads}"),
+            k => f.write_str(k.name()),
+        }
+    }
+}
+
+/// Outcome of one supervised segment ([`SimEngine::step_segment`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentStatus {
+    /// A [`SocConfig::checkpoint_every`] boundary was reached with
+    /// budget to spare; the session stays open and the automatic
+    /// checkpoint was captured. A scheduler may preempt here.
+    Boundary,
+    /// The session ended — predicate fired or the budget ran out —
+    /// with the blended whole-run result.
+    Done(RunResult),
+}
+
+/// Typed rejection from [`build_engine`] / the engine-selection
+/// layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The submitted [`SocConfig`] failed validation.
+    Config(ConfigError),
+    /// A fault vector's pattern matched no NoC channel.
+    Fault(FaultPatternError),
+    /// Unsupported shard-thread count for [`EngineKind::Parallel`].
+    BadThreads(usize),
+    /// [`EngineKind::Batch`] with an empty lane list.
+    EmptyBatch,
+    /// Unrecognized engine spelling on the wire.
+    UnknownEngine(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Config(e) => write!(f, "invalid config: {e}"),
+            EngineError::Fault(e) => write!(f, "fault rejected: {e}"),
+            EngineError::BadThreads(t) => {
+                write!(f, "unsupported shard thread count {t} (want 1, 2, 4 or 8)")
+            }
+            EngineError::EmptyBatch => f.write_str("batch engine needs at least one fault lane"),
+            EngineError::UnknownEngine(s) => write!(f, "unknown engine {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> Self {
+        EngineError::Config(e)
+    }
+}
+
+impl From<FaultPatternError> for EngineError {
+    fn from(e: FaultPatternError) -> Self {
+        EngineError::Fault(e)
+    }
+}
+
+/// The unified, object-safe engine surface. One `dyn SimEngine`
+/// behaves identically whichever facade backs it: begin a supervised
+/// session, step it segment by segment (preempting at boundaries via
+/// snapshot bytes), and read the blended [`SocReport`] /
+/// [`TelemetrySnapshot`] at the end.
+///
+/// Obtain one with [`build_engine`] (fresh) or [`restore_engine`]
+/// (from snapshot bytes); both inject the submission's fault vectors
+/// before any cycle runs, so a snapshot taken at any boundary carries
+/// the full replay recipe.
+pub trait SimEngine {
+    /// The engine's [`EngineKind`].
+    fn kind(&self) -> EngineKind;
+
+    /// The configuration this engine was built from.
+    fn config(&self) -> &SocConfig;
+
+    /// Opens a supervised-run session: `max_cycles` total budget,
+    /// watchdog `no_progress_limit`. Mirrors `begin_checked` on the
+    /// facades.
+    ///
+    /// # Panics
+    /// Panics if a session is already open (or, for the batch
+    /// engine, if its one-shot golden run was already consumed).
+    fn begin(&mut self, max_cycles: u64, no_progress_limit: u64);
+
+    /// Whether a supervised session is open (a snapshot taken now
+    /// resumes mid-budget).
+    fn session_open(&self) -> bool;
+
+    /// Runs one segment of the open session — at most
+    /// [`SocConfig::checkpoint_every`] cycles (the whole budget when
+    /// unset). At a [`SegmentStatus::Boundary`] the automatic
+    /// checkpoint has been captured and the engine may be dropped and
+    /// later revived with [`restore_engine`] from
+    /// [`SimEngine::snapshot_bytes`]. Errors (watchdog hang
+    /// diagnoses) close the session.
+    ///
+    /// # Panics
+    /// Panics if no session is open.
+    fn step_segment(&mut self) -> Result<SegmentStatus, SimError>;
+
+    /// Drives the open session to completion (the non-preempting
+    /// path): loops [`SimEngine::step_segment`] until it yields
+    /// [`SegmentStatus::Done`].
+    fn run_to_end(&mut self) -> Result<RunResult, SimError> {
+        loop {
+            if let SegmentStatus::Done(r) = self.step_segment()? {
+                return Ok(r);
+            }
+        }
+    }
+
+    /// [`SimEngine::begin`] + [`SimEngine::run_to_end`] — the
+    /// uninterrupted supervised run, equivalent to the facades'
+    /// `run_checked`.
+    fn run_checked(
+        &mut self,
+        max_cycles: u64,
+        no_progress_limit: u64,
+    ) -> Result<RunResult, SimError> {
+        self.begin(max_cycles, no_progress_limit);
+        self.run_to_end()
+    }
+
+    /// Serializes a snapshot of the current boundary into the framed
+    /// PR 8 wire format ([`SimSnapshot`] for the sequential/parallel
+    /// engines, [`BatchSnapshot`] for the batch engine). Feed it back
+    /// through [`restore_engine`] with the same [`EngineKind`].
+    fn snapshot_bytes(&self) -> Vec<u8>;
+
+    /// The blended observable report (for the batch engine: the
+    /// golden run's report; per-lane reports live in
+    /// [`SimEngine::batch_report`]).
+    fn report(&self) -> SocReport;
+
+    /// Telemetry snapshot, if the engine was built with a sink.
+    fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot>;
+
+    /// Reads `len` words of global memory at `base` (golden image for
+    /// the batch engine).
+    fn gmem_read(&self, base: usize, len: usize) -> Vec<u64>;
+
+    /// Blended fault statistics over channels matching `pat` (the
+    /// injected vector's pattern for the sequential/parallel engines).
+    fn fault_stats(&self, pat: &str) -> Result<FaultStats, FaultPatternError>;
+
+    /// The per-lane batch report once the batch engine has settled;
+    /// `None` for non-batch engines or before completion.
+    fn batch_report(&self) -> Option<&BatchReport> {
+        None
+    }
+}
+
+impl SimEngine for Soc {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Soc
+    }
+
+    fn config(&self) -> &SocConfig {
+        self.config()
+    }
+
+    fn begin(&mut self, max_cycles: u64, no_progress_limit: u64) {
+        self.begin_checked(max_cycles, no_progress_limit);
+    }
+
+    fn session_open(&self) -> bool {
+        Soc::session_open(self)
+    }
+
+    fn step_segment(&mut self) -> Result<SegmentStatus, SimError> {
+        Soc::step_segment(self)
+    }
+
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        self.checkpoint().to_bytes()
+    }
+
+    fn report(&self) -> SocReport {
+        Soc::report(self)
+    }
+
+    fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        Soc::telemetry_snapshot(self)
+    }
+
+    fn gmem_read(&self, base: usize, len: usize) -> Vec<u64> {
+        Soc::gmem_read(self, base, len)
+    }
+
+    fn fault_stats(&self, pat: &str) -> Result<FaultStats, FaultPatternError> {
+        Soc::fault_stats(self, pat)
+    }
+}
+
+impl SimEngine for ParallelSoc {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Parallel {
+            threads: self.threads(),
+        }
+    }
+
+    fn config(&self) -> &SocConfig {
+        self.config()
+    }
+
+    fn begin(&mut self, max_cycles: u64, no_progress_limit: u64) {
+        self.begin_checked(max_cycles, no_progress_limit);
+    }
+
+    fn session_open(&self) -> bool {
+        ParallelSoc::session_open(self)
+    }
+
+    fn step_segment(&mut self) -> Result<SegmentStatus, SimError> {
+        ParallelSoc::step_segment(self)
+    }
+
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        self.checkpoint().to_bytes()
+    }
+
+    fn report(&self) -> SocReport {
+        ParallelSoc::report(self)
+    }
+
+    fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        ParallelSoc::telemetry_snapshot(self)
+    }
+
+    fn gmem_read(&self, base: usize, len: usize) -> Vec<u64> {
+        ParallelSoc::gmem_read(self, base, len)
+    }
+
+    fn fault_stats(&self, pat: &str) -> Result<FaultStats, FaultPatternError> {
+        ParallelSoc::fault_stats(self, pat)
+    }
+}
+
+impl SimEngine for BatchSoc {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Batch
+    }
+
+    fn config(&self) -> &SocConfig {
+        self.config()
+    }
+
+    fn begin(&mut self, max_cycles: u64, no_progress_limit: u64) {
+        BatchSoc::begin(self, max_cycles, no_progress_limit);
+    }
+
+    fn session_open(&self) -> bool {
+        self.golden().session_open()
+    }
+
+    fn step_segment(&mut self) -> Result<SegmentStatus, SimError> {
+        BatchSoc::step_segment(self)
+    }
+
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        self.checkpoint().to_bytes()
+    }
+
+    fn report(&self) -> SocReport {
+        self.golden().report()
+    }
+
+    fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        self.golden().telemetry_snapshot()
+    }
+
+    fn gmem_read(&self, base: usize, len: usize) -> Vec<u64> {
+        self.golden().gmem_read(base, len)
+    }
+
+    fn fault_stats(&self, pat: &str) -> Result<FaultStats, FaultPatternError> {
+        // The golden run carries shadow banks, not real injectors;
+        // per-lane statistics come from the settled batch report.
+        self.golden().fault_stats(pat)
+    }
+
+    fn batch_report(&self) -> Option<&BatchReport> {
+        self.last_report()
+    }
+}
+
+/// Builds a fresh engine of `kind` with every fault vector in
+/// `faults` injected before the first cycle. For the sequential and
+/// parallel engines each [`LaneSpec`] arms a real injector on the one
+/// simulation; for the batch engine the specs *are* the lockstep
+/// lanes. `telemetry` attaches a sink (per-worker sinks on the
+/// parallel engine).
+pub fn build_engine(
+    kind: EngineKind,
+    cfg: SocConfig,
+    program: &[u32],
+    staging_init: &[u32],
+    gmem_init: &[(usize, Vec<u64>)],
+    faults: &[LaneSpec],
+    telemetry: bool,
+) -> Result<Box<dyn SimEngine>, EngineError> {
+    cfg.validate()?;
+    match kind {
+        EngineKind::Soc => {
+            let tel = telemetry.then(Telemetry::new);
+            let mut soc = Soc::build_with_telemetry(cfg, program, staging_init, gmem_init, tel);
+            for f in faults {
+                soc.inject_fault(&f.pattern, f.cfg, f.seed)?;
+            }
+            Ok(Box::new(soc))
+        }
+        EngineKind::Parallel { threads } => {
+            if !matches!(threads, 1 | 2 | 4 | 8) {
+                return Err(EngineError::BadThreads(threads));
+            }
+            let mut soc = ParallelSoc::build_with_telemetry(
+                cfg,
+                program,
+                staging_init,
+                gmem_init,
+                threads,
+                telemetry,
+            );
+            for f in faults {
+                soc.inject_fault(&f.pattern, f.cfg, f.seed)?;
+            }
+            Ok(Box::new(soc))
+        }
+        EngineKind::Batch => {
+            if faults.is_empty() {
+                return Err(EngineError::EmptyBatch);
+            }
+            let tel = telemetry.then(Telemetry::new);
+            let batch = BatchSoc::build_with_telemetry(
+                cfg,
+                program,
+                staging_init,
+                gmem_init,
+                faults.to_vec(),
+                tel,
+            )?;
+            Ok(Box::new(batch))
+        }
+    }
+}
+
+/// Revives an engine of `kind` from [`SimEngine::snapshot_bytes`]:
+/// decodes the framed snapshot, rebuilds, deterministically replays
+/// to the capture boundary and verifies the architectural digest. An
+/// open session resumes exactly where the capture left it. Feeding
+/// bytes of the wrong snapshot kind (a batch frame to a non-batch
+/// engine, or vice versa) is a typed [`CheckpointError::WrongKind`].
+pub fn restore_engine(
+    kind: EngineKind,
+    bytes: &[u8],
+    telemetry: bool,
+) -> Result<Box<dyn SimEngine>, CheckpointError> {
+    match kind {
+        EngineKind::Soc => {
+            let snap = SimSnapshot::from_bytes(bytes)?;
+            let tel = telemetry.then(Telemetry::new);
+            Ok(Box::new(Soc::restore_with_telemetry(&snap, tel)?))
+        }
+        EngineKind::Parallel { threads } => {
+            let snap = SimSnapshot::from_bytes(bytes)?;
+            Ok(Box::new(ParallelSoc::restore_with_telemetry(
+                &snap, threads, telemetry,
+            )?))
+        }
+        EngineKind::Batch => {
+            let snap = BatchSnapshot::from_bytes(bytes)?;
+            Ok(Box::new(BatchSoc::restore(&snap)?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{orchestrator_program, table_words, vec_mul};
+
+    #[allow(clippy::type_complexity)]
+    fn build_inputs() -> (Vec<u32>, Vec<u32>, Vec<(usize, Vec<u64>)>) {
+        let wl = vec_mul();
+        (
+            orchestrator_program(),
+            table_words(&wl.entries),
+            wl.gmem_init.clone(),
+        )
+    }
+
+    #[test]
+    fn engine_kind_wire_spellings_round_trip() {
+        for kind in [
+            EngineKind::Soc,
+            EngineKind::Batch,
+            EngineKind::Parallel { threads: 4 },
+        ] {
+            assert_eq!(EngineKind::parse(&kind.to_string()).unwrap(), kind);
+        }
+        assert_eq!(
+            EngineKind::parse("parallel").unwrap(),
+            EngineKind::Parallel { threads: 2 }
+        );
+        assert!(matches!(
+            EngineKind::parse("fpga"),
+            Err(EngineError::UnknownEngine(_))
+        ));
+    }
+
+    #[test]
+    fn all_three_engines_agree_through_the_trait() {
+        let (program, staging, gmem) = build_inputs();
+        let wl = vec_mul();
+        let mut reports = Vec::new();
+        for kind in [
+            EngineKind::Soc,
+            EngineKind::Parallel { threads: 2 },
+            EngineKind::Batch,
+        ] {
+            let faults = [LaneSpec::new(
+                "l11p3->15",
+                craft_connections::FaultConfig::bit_flip(0.0),
+                7,
+            )];
+            let mut eng = build_engine(
+                kind,
+                SocConfig::default(),
+                &program,
+                &staging,
+                &gmem,
+                &faults,
+                false,
+            )
+            .expect("engine builds");
+            assert_eq!(eng.kind(), kind);
+            let res = eng.run_checked(8_000_000, 50_000).expect("clean run");
+            assert!(res.completed, "{kind}: run completed");
+            reports.push((kind, res.cycles, eng.report()));
+            for (base, expect) in &wl.expected {
+                assert_eq!(&eng.gmem_read(*base, expect.len()), expect, "{kind}: gmem");
+            }
+            if kind == EngineKind::Batch {
+                let br = eng.batch_report().expect("batch settled");
+                assert_eq!(br.lanes.len(), 1);
+            } else {
+                assert!(eng.batch_report().is_none());
+            }
+        }
+        let (_, cycles0, report0) = &reports[0];
+        for (kind, cycles, report) in &reports[1..] {
+            assert_eq!(cycles, cycles0, "{kind}: cycle-identical to Soc");
+            assert_eq!(
+                report.hub.dispatched, report0.hub.dispatched,
+                "{kind}: hub dispatch count matches"
+            );
+        }
+    }
+
+    #[test]
+    fn preempt_restore_round_trip_matches_uninterrupted() {
+        let (program, staging, gmem) = build_inputs();
+        let cfg = SocConfig {
+            checkpoint_every: Some(400),
+            ..SocConfig::default()
+        };
+        for kind in [
+            EngineKind::Soc,
+            EngineKind::Parallel { threads: 2 },
+            EngineKind::Batch,
+        ] {
+            let faults = [LaneSpec::new(
+                "l11p3->15",
+                craft_connections::FaultConfig::bit_flip(0.01),
+                11,
+            )];
+            let mut base =
+                build_engine(kind, cfg, &program, &staging, &gmem, &faults, false).unwrap();
+            let base_res = base.run_checked(8_000_000, 50_000).expect("clean run");
+
+            let mut eng =
+                build_engine(kind, cfg, &program, &staging, &gmem, &faults, false).unwrap();
+            eng.begin(8_000_000, 50_000);
+            assert!(matches!(
+                eng.step_segment().expect("first segment"),
+                SegmentStatus::Boundary
+            ));
+            // Preempt: serialize, drop the engine, revive elsewhere.
+            let bytes = eng.snapshot_bytes();
+            drop(eng);
+            let mut revived = restore_engine(kind, &bytes, false).expect("snapshot restores");
+            assert!(revived.session_open(), "{kind}: session survives");
+            let res = revived.run_to_end().expect("resumed run");
+            assert_eq!(res.cycles, base_res.cycles, "{kind}: cycle-identical");
+            assert_eq!(res.completed, base_res.completed);
+            assert_eq!(
+                revived.report().to_json(),
+                base.report().to_json(),
+                "{kind}: bit-identical report"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_kind_snapshot_bytes_are_rejected() {
+        let (program, staging, gmem) = build_inputs();
+        let mut eng = build_engine(
+            EngineKind::Soc,
+            SocConfig::default(),
+            &program,
+            &staging,
+            &gmem,
+            &[],
+            false,
+        )
+        .unwrap();
+        eng.begin(8_000_000, 50_000);
+        let bytes = eng.snapshot_bytes();
+        assert!(matches!(
+            restore_engine(EngineKind::Batch, &bytes, false),
+            Err(CheckpointError::WrongKind { .. })
+        ));
+    }
+}

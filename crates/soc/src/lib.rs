@@ -38,6 +38,7 @@ pub mod batch;
 pub mod bitrtl;
 pub mod checkpoint;
 pub mod controller;
+pub mod engine;
 pub mod hub;
 pub mod msg;
 pub mod parallel;
@@ -49,6 +50,7 @@ pub mod workloads;
 
 pub use batch::{replay_lane_solo, BatchReport, BatchSoc, LaneRun, LaneSpec, ReplayInputs};
 pub use checkpoint::{ArchDigest, BatchSnapshot, FaultEvent, SessionState, SimSnapshot};
+pub use engine::{build_engine, restore_engine, EngineError, EngineKind, SegmentStatus, SimEngine};
 pub use msg::{NocMsg, PeCommand, PeOp, HUB_NODE, N_PES};
 pub use parallel::{partition, ParallelSoc, ShardStats};
 pub use pe::{Fidelity, PeConfig, PeStats, ProcessingElement};

@@ -24,6 +24,7 @@
 
 use crate::checkpoint::{ArchDigest, FaultEvent, SessionState, SimSnapshot};
 use crate::controller::CtrlStatus;
+use crate::engine::SegmentStatus;
 use crate::msg::{HUB_NODE, N_NODES};
 use crate::pe::Fidelity;
 use crate::soc::{
@@ -415,42 +416,68 @@ impl ParallelSoc {
     pub fn resume_checked(&mut self) -> Result<RunResult, SimError> {
         assert!(self.session.is_some(), "no supervised run session open");
         let t0 = Instant::now();
-        let auto = self.cfg.checkpoint_every;
         loop {
-            let s = self.session.as_ref().expect("session open");
-            let seg = auto.unwrap_or(u64::MAX).min(s.remaining);
-            let (npl, idle, carried) = (s.no_progress_limit, s.idle, s.carried);
-            let (res, end) = match self.run_inner(seg, Some(npl), idle, carried) {
-                Ok(out) => out,
-                Err(e) => {
-                    self.session = None;
-                    return Err(e);
-                }
-            };
-            let s = self.session.as_mut().expect("session open");
-            s.consumed += res.cycles;
-            s.remaining -= res.cycles.min(s.remaining);
-            s.idle = end.idle;
-            s.carried = Some(end.last_progress);
-            match end.verdict {
-                // Segment boundary: budget left, only the segment's
-                // own limit was hit. Anything else ends the session.
-                Some(EpochVerdict::MaxCycles) if s.remaining > 0 => {
-                    if auto.is_some() {
-                        self.last_ckpt = Some(self.checkpoint());
-                    }
-                }
-                v => {
-                    let s = self.session.take().expect("session open");
-                    return Ok(RunResult {
-                        cycles: s.consumed,
-                        wall: t0.elapsed(),
-                        ctrl: res.ctrl,
-                        completed: v == Some(EpochVerdict::Predicate),
-                    });
-                }
+            if let SegmentStatus::Done(mut r) = self.step_segment()? {
+                r.wall = t0.elapsed();
+                return Ok(r);
             }
         }
+    }
+
+    /// Runs one segment of the open session — at most
+    /// [`SocConfig::checkpoint_every`] hub cycles (the whole budget
+    /// when unset). [`SegmentStatus::Boundary`] means budget remains
+    /// and the automatic epoch-boundary checkpoint was captured: a
+    /// scheduler may preempt here and revive the run from the
+    /// serialized snapshot. [`SegmentStatus::Done`] carries the
+    /// whole-run blended result (its `wall` covers only the final
+    /// segment).
+    ///
+    /// # Panics
+    /// Panics if no session is open.
+    pub fn step_segment(&mut self) -> Result<SegmentStatus, SimError> {
+        assert!(self.session.is_some(), "no supervised run session open");
+        let t0 = Instant::now();
+        let auto = self.cfg.checkpoint_every;
+        let s = self.session.as_ref().expect("session open");
+        let seg = auto.unwrap_or(u64::MAX).min(s.remaining);
+        let (npl, idle, carried) = (s.no_progress_limit, s.idle, s.carried);
+        let (res, end) = match self.run_inner(seg, Some(npl), idle, carried) {
+            Ok(out) => out,
+            Err(e) => {
+                self.session = None;
+                return Err(e);
+            }
+        };
+        let s = self.session.as_mut().expect("session open");
+        s.consumed += res.cycles;
+        s.remaining -= res.cycles.min(s.remaining);
+        s.idle = end.idle;
+        s.carried = Some(end.last_progress);
+        match end.verdict {
+            // Segment boundary: budget left, only the segment's
+            // own limit was hit. Anything else ends the session.
+            Some(EpochVerdict::MaxCycles) if s.remaining > 0 => {
+                if auto.is_some() {
+                    self.last_ckpt = Some(self.checkpoint());
+                }
+                Ok(SegmentStatus::Boundary)
+            }
+            v => {
+                let s = self.session.take().expect("session open");
+                Ok(SegmentStatus::Done(RunResult {
+                    cycles: s.consumed,
+                    wall: t0.elapsed(),
+                    ctrl: res.ctrl,
+                    completed: v == Some(EpochVerdict::Predicate),
+                }))
+            }
+        }
+    }
+
+    /// The configuration this sharded SoC was built from.
+    pub fn config(&self) -> &SocConfig {
+        &self.cfg
     }
 
     fn run_inner(

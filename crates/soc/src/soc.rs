@@ -6,6 +6,7 @@
 
 use crate::checkpoint::{ArchDigest, FaultEvent, SessionState, SimSnapshot};
 use crate::controller::{Controller, CtrlHandle, CtrlStatus};
+use crate::engine::SegmentStatus;
 use crate::hub::{Hub, HubAxiSlave, HubHandle, HubState, CTRL_PAGE};
 use crate::msg::{HUB_NODE, MESH_WIDTH, N_NODES};
 use crate::pe::{Fidelity, PeConfig, ProcessingElement};
@@ -430,8 +431,9 @@ pub struct FaultReport {
 }
 
 /// Typed report of everything observable about a SoC run — the one
-/// structured answer that replaces the old grab-bag of tuple-returning
-/// accessors ([`Soc::hub_counters`], [`Soc::degradation`], ...).
+/// structured answer that replaced the old grab-bag of tuple-returning
+/// accessors (`hub_counters()`, `degradation()`, ... — removed; see
+/// [`Soc::report`] for the compile-fail pins).
 ///
 /// The shapes are plain nested data (serde-ready); [`SocReport::to_json`]
 /// renders them without a serde dependency.
@@ -1415,20 +1417,39 @@ impl Soc {
         Ok(total)
     }
 
-    /// The hub's graceful-degradation counters:
-    /// `(failed PE nodes, commands remapped)`.
-    #[deprecated(note = "use `Soc::report().hub` (failed_pes / remapped) instead")]
-    pub fn degradation(&self) -> (Vec<u16>, u64) {
-        let st = self.hub.borrow();
-        (st.failed_pes(), st.remapped)
-    }
-
     /// Builds the typed run report: hub command flow, per-PE stats,
     /// aggregated NoC and fault counters, plan statistics and the
     /// charged-gate / work-unit totals — one structured snapshot
-    /// replacing the deprecated tuple accessors. Cheap enough to call
+    /// replacing the retired tuple accessors. Cheap enough to call
     /// mid-run; every field reads the same shared state the simulation
     /// writes, so a report taken after [`Soc::run`] is final.
+    ///
+    /// The PR 4 tuple shims are gone — `report().hub` is the only
+    /// surface for hub command flow and degradation counters:
+    ///
+    /// ```compile_fail
+    /// # use craft_soc::{Soc, SocConfig};
+    /// fn old_caller(soc: &Soc) -> (u64, u64) {
+    ///     soc.hub_counters() // removed: use soc.report().hub
+    /// }
+    /// ```
+    ///
+    /// ```compile_fail
+    /// # use craft_soc::Soc;
+    /// fn old_degradation_caller(soc: &Soc) -> (Vec<u16>, u64) {
+    ///     soc.degradation() // removed: use soc.report().hub
+    /// }
+    /// ```
+    ///
+    /// ```no_run
+    /// # use craft_soc::workloads::{run_workload_soc, vec_mul};
+    /// # use craft_soc::SocConfig;
+    /// let (_, _, soc) = run_workload_soc(SocConfig::default(), &vec_mul(), 8_000_000);
+    /// let hub = soc.report().hub;
+    /// let (dispatched, retired) = (hub.dispatched, hub.retired);
+    /// let (failed, remapped) = (hub.failed_pes, hub.remapped);
+    /// # let _ = (dispatched, retired, failed, remapped);
+    /// ```
     pub fn report(&self) -> SocReport {
         let hub = {
             let st = self.hub.borrow();
@@ -1529,6 +1550,11 @@ impl Soc {
     /// bins are pre-declared; see [`craft_sim::cover::Coverage`]).
     pub fn coverage(&self) -> &craft_sim::cover::Coverage {
         &self.coverage
+    }
+
+    /// The configuration this SoC was built from.
+    pub fn config(&self) -> &SocConfig {
+        &self.cfg
     }
 
     /// Read-only view of the underlying kernel, exposing scheduling
@@ -1763,24 +1789,43 @@ impl Soc {
     pub fn resume_checked(&mut self) -> Result<RunResult, SimError> {
         assert!(self.session.is_some(), "no supervised run session open");
         let t0 = Instant::now();
-        let auto = self.cfg.checkpoint_every;
         loop {
-            let budget = auto.unwrap_or(u64::MAX);
-            match self.advance_checked(budget)? {
-                Some(completed) => {
-                    let s = self.session.take().expect("session open");
-                    return Ok(RunResult {
-                        cycles: s.consumed,
-                        wall: t0.elapsed(),
-                        ctrl: *self.ctrl.borrow(),
-                        completed,
-                    });
+            if let SegmentStatus::Done(mut r) = self.step_segment()? {
+                r.wall = t0.elapsed();
+                return Ok(r);
+            }
+        }
+    }
+
+    /// Runs one segment of the open session — at most
+    /// [`SocConfig::checkpoint_every`] cycles (the whole budget when
+    /// unset). [`SegmentStatus::Boundary`] means budget remains and
+    /// the automatic checkpoint was captured: a scheduler may preempt
+    /// here, serialize [`Soc::last_checkpoint`], and revive the run
+    /// elsewhere. [`SegmentStatus::Done`] carries the whole-run
+    /// blended result (its `wall` covers only the final segment).
+    ///
+    /// # Panics
+    /// Panics if no session is open.
+    pub fn step_segment(&mut self) -> Result<SegmentStatus, SimError> {
+        assert!(self.session.is_some(), "no supervised run session open");
+        let t0 = Instant::now();
+        let auto = self.cfg.checkpoint_every;
+        match self.advance_checked(auto.unwrap_or(u64::MAX))? {
+            Some(completed) => {
+                let s = self.session.take().expect("session open");
+                Ok(SegmentStatus::Done(RunResult {
+                    cycles: s.consumed,
+                    wall: t0.elapsed(),
+                    ctrl: *self.ctrl.borrow(),
+                    completed,
+                }))
+            }
+            None => {
+                if auto.is_some() {
+                    self.last_ckpt = Some(self.checkpoint());
                 }
-                None => {
-                    if auto.is_some() {
-                        self.last_ckpt = Some(self.checkpoint());
-                    }
-                }
+                Ok(SegmentStatus::Boundary)
             }
         }
     }
@@ -1963,13 +2008,6 @@ impl Soc {
     pub fn gmem_read(&self, base: usize, len: usize) -> Vec<u64> {
         let st = self.hub.borrow();
         (0..len).map(|i| st.gmem.read(base + i)).collect()
-    }
-
-    /// Hub status: (issued, done) command counters.
-    #[deprecated(note = "use `Soc::report().hub` (dispatched / retired) instead")]
-    pub fn hub_counters(&self) -> (u64, u64) {
-        let st = self.hub.borrow();
-        (st.issued, st.done_count)
     }
 
     /// Sum of PE work units executed (datapath utilization probe).
@@ -2900,19 +2938,21 @@ mod api_tests {
         }
     }
 
-    /// The deprecated tuple accessors stay callable and agree with the
-    /// typed report (the one sanctioned call site).
+    /// The PR 4 tuple-shim replacements stay pinned: the typed
+    /// [`HubReport`] accessors cover everything `hub_counters()` /
+    /// `degradation()` used to return, with internally consistent
+    /// command flow.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_report() {
+    fn report_pins_retired_tuple_accessors() {
         let (_, ok, soc) = run_workload_soc(SocConfig::default(), &vec_mul(), 8_000_000);
         assert!(ok);
         let rep = soc.report();
-        assert_eq!(soc.hub_counters(), (rep.hub.dispatched, rep.hub.retired));
-        assert_eq!(
-            soc.degradation(),
-            (rep.hub.failed_pes.clone(), rep.hub.remapped)
-        );
+        // hub_counters().0/.1 → dispatched/retired.
+        assert!(rep.hub.dispatched > 0);
+        assert_eq!(rep.hub.dispatched, rep.hub.retired);
+        // degradation().0/.1 → failed_pes/remapped (clean run: none).
+        assert!(rep.hub.failed_pes.is_empty());
+        assert_eq!(rep.hub.remapped, 0);
     }
 }
 

@@ -63,4 +63,21 @@ cargo run --release -p craft-bench --bin fault_campaign -- --smoke --checkpoint-
 cmp "$ckpt_a" "$ckpt_b" || { echo "resumed artifact diverged from the journaling run" >&2; exit 1; }
 rm -rf "$ckpt_dir" "$ckpt_a" "$ckpt_b"
 
+echo "==> serve smoke (release: start sim_server, submit concurrent jobs, preempt + resume, validate streamed JSON)"
+cargo build --release -p craft-serve --bin sim_server --example serve_client
+serve_log="$(mktemp)"
+target/release/sim_server --port 0 --workers 1 > "$serve_log" &
+serve_pid=$!
+serve_port=""
+for _ in $(seq 1 50); do
+    serve_port="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$serve_log")"
+    [ -n "$serve_port" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { echo "sim_server died:" >&2; cat "$serve_log" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$serve_port" ] || { echo "sim_server never reported its port" >&2; cat "$serve_log" >&2; exit 1; }
+target/release/examples/serve_client --port "$serve_port" --preempt-demo --shutdown
+wait "$serve_pid"
+rm -f "$serve_log"
+
 echo "CI OK"
