@@ -1,0 +1,69 @@
+//! Cost of the profile-guided partitioner itself: LPT seeding plus
+//! move/swap refinement over a 16-node cost vector.
+//!
+//! The search runs on the repartition hot path (every checkpoint
+//! boundary when adaptive sharding is on), so it must stay far below
+//! the cost of the worker-set rebuild it gates. Three cost shapes are
+//! priced — uniform (refinement converges immediately), skewed (the
+//! vec_mul-like corner where four nodes carry the load), and
+//! calibrated (costs derived from a real sequential run's report) —
+//! at 2, 4 and 8 shards. The uniform/strip identity is asserted so
+//! the benchmark doubles as a determinism check under measurement
+//! load.
+
+use craft_soc::workloads::{run_workload_soc, vec_mul};
+use craft_soc::{partition_search, NodeCosts, PartitionSpec, SocConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn uniform() -> NodeCosts {
+    NodeCosts { cost: [1_000; 16] }
+}
+
+fn skewed() -> NodeCosts {
+    let mut cost = [10u64; 16];
+    for c in cost.iter_mut().take(4) {
+        *c = 5_000;
+    }
+    cost[15] = 20_000;
+    NodeCosts { cost }
+}
+
+fn calibrated() -> NodeCosts {
+    let (r, ok, soc) = run_workload_soc(SocConfig::default(), &vec_mul(), 8_000_000);
+    assert!(ok && r.completed, "calibration run failed");
+    NodeCosts::from_report(&soc.report())
+}
+
+fn bench_partition_search(c: &mut Criterion) {
+    let shapes: [(&str, NodeCosts); 3] = [
+        ("uniform", uniform()),
+        ("skewed", skewed()),
+        ("calibrated", calibrated()),
+    ];
+    let mut g = c.benchmark_group("partition_search");
+    for (name, costs) in &shapes {
+        let pen = costs.default_cut_penalty();
+        for shards in [2usize, 4, 8] {
+            // Determinism check outside the timed loop: same inputs,
+            // same cut, and the searched cut never models worse than
+            // the fixed strip.
+            let spec = partition_search(costs, shards, pen);
+            assert_eq!(spec, partition_search(costs, shards, pen));
+            assert!(
+                costs.makespan(&spec, pen)
+                    <= costs.makespan(&PartitionSpec::vertical_strips(shards), pen),
+                "{name} x{shards}: searched cut models worse than the strip"
+            );
+            g.bench_function(format!("{name}_x{shards}"), |b| {
+                b.iter(|| {
+                    let s = partition_search(costs, shards, pen);
+                    assert_eq!(s.shards(), shards);
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partition_search);
+criterion_main!(benches);

@@ -41,6 +41,20 @@
 //! one [`BatchSoc`] fault batch per selected workload, spot-checking a
 //! lane against its solo replay. Full runs always emit a `batched`
 //! lane-scaling section (1/4/16/64 lanes on vec_mul) into the JSON.
+//! `--partition` runs a profile-guided partition smoke instead of the
+//! full sweep: per selected workload, calibrate per-node costs from a
+//! sequential run, model the fixed vertical strip against the
+//! searched cut, then execute both (possibly asymmetric) cuts end to
+//! end asserting cycle counts identical to the sequential kernel.
+//! `--repartition-smoke` forces a repartition-at-checkpoint resume: a
+//! 2-strip run is stopped at its first checkpoint boundary, rebuilt
+//! under an asymmetric 3-shard cut, resumed, and the blended result
+//! is asserted bit-identical to the uninterrupted run. Full runs
+//! always emit a `partition` section (strip vs searched modeled
+//! makespan, the adopted engine wire spelling, measured per-shard
+//! `barrier_wait` p50/p95/max) into the JSON; on hosts with fewer
+//! than 4 cores the wall-clock columns there measure OS time-slicing
+//! and the modeled makespan is the load-bearing comparison.
 //!
 //! Cycle counts are asserted identical gating on vs off (gating is a
 //! wall-clock optimisation, never a semantic one) and identical
@@ -54,7 +68,10 @@ use craft_soc::pe::Fidelity;
 use craft_soc::workloads::{
     dot_product, orchestrator_program, run_workload_soc, table_words, vec_mul, Workload,
 };
-use craft_soc::{build_engine, replay_lane_solo, BatchSoc, EngineKind, LaneSpec, Soc, SocConfig};
+use craft_soc::{
+    build_engine, partition_search, replay_lane_solo, BatchSoc, EngineKind, LaneSpec, NodeCosts,
+    ParallelSoc, PartitionSpec, SegmentStatus, Soc, SocConfig,
+};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -229,6 +246,228 @@ fn run_batch_one(wl: &Workload, lanes: u64) -> BatchRow {
         wall_s,
         seeds_per_sec: lanes as f64 / wall_s.max(1e-9),
     }
+}
+
+/// One measured cut of the partition analysis: the modeled makespan
+/// plus the executed run's wall clock and per-shard barrier-wait
+/// quantiles (predicted vs measured for the same cut).
+struct CutMeasure {
+    role: &'static str,
+    spec: PartitionSpec,
+    makespan_model: u64,
+    cycles: u64,
+    wall_s: f64,
+    /// Per shard: `(p50_ns, p95_ns, max_ns)` of the epoch barrier
+    /// wait, from the `sim.shard.<i>.barrier_wait.*` probes.
+    barrier: Vec<(u64, u64, u64)>,
+}
+
+/// One workload × shard-count row of the `partition` section: the
+/// fixed vertical strip against the profile-guided searched cut.
+struct PartitionRow {
+    workload: &'static str,
+    shards: usize,
+    seq_cycles: u64,
+    seq_wall_s: f64,
+    /// Wire spelling of the cut a scheduler should adopt.
+    adopted: String,
+    /// Strip makespan / searched makespan under the calibrated model.
+    model_gain: f64,
+    improved: bool,
+    cuts: Vec<CutMeasure>,
+}
+
+/// Executes `wl` under `spec` with telemetry attached and returns the
+/// measured cut row. Cycle counts are asserted identical to the
+/// sequential calibration run — the golden contract for any valid
+/// LI-boundary cut.
+fn measure_cut(
+    wl: &Workload,
+    cfg: SocConfig,
+    spec: PartitionSpec,
+    role: &'static str,
+    makespan_model: u64,
+    seq_cycles: u64,
+) -> CutMeasure {
+    let mut par = ParallelSoc::build_partitioned(
+        cfg,
+        &orchestrator_program(),
+        &table_words(&wl.entries),
+        &wl.gmem_init,
+        spec,
+        true,
+    );
+    let t0 = Instant::now();
+    let r = par.run(8_000_000);
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert!(r.completed, "{}: {role} cut run incomplete", wl.name);
+    assert_eq!(
+        r.cycles, seq_cycles,
+        "{}: {role} cut diverged from sequential",
+        wl.name
+    );
+    let snap = par.telemetry_snapshot().expect("telemetry attached");
+    let probe = |path: String| {
+        snap.metrics
+            .iter()
+            .find(|m| m.path == path)
+            .unwrap_or_else(|| panic!("missing probe {path}"))
+            .value
+    };
+    let barrier = (0..spec.shards())
+        .map(|i| {
+            (
+                probe(format!("sim.shard.{i}.barrier_wait.p50_ns")),
+                probe(format!("sim.shard.{i}.barrier_wait.p95_ns")),
+                probe(format!("sim.shard.{i}.barrier_wait.max_ns")),
+            )
+        })
+        .collect();
+    CutMeasure {
+        role,
+        spec,
+        makespan_model,
+        cycles: r.cycles,
+        wall_s,
+        barrier,
+    }
+}
+
+/// Profile-guided partition analysis for one workload × shard count:
+/// calibrate per-node costs from a sequential run, model strip vs
+/// searched makespan, then execute both cuts (the searched cut only
+/// when it differs from the strip).
+fn run_partition_one(wl: &Workload, shards: usize) -> PartitionRow {
+    let cfg = SocConfig {
+        fidelity: Fidelity::SimAccurate,
+        gating: true,
+        ..SocConfig::default()
+    };
+    let (seq, ok, soc) = run_workload_soc(cfg, wl, 8_000_000);
+    assert!(ok && seq.completed, "{}: calibration run failed", wl.name);
+    let costs = NodeCosts::from_report(&soc.report());
+    let pen = costs.default_cut_penalty();
+    let strip = PartitionSpec::vertical_strips(shards);
+    let searched = partition_search(&costs, shards, pen);
+    let strip_mk = costs.makespan(&strip, pen);
+    let searched_mk = costs.makespan(&searched, pen);
+    let improved = searched_mk < strip_mk;
+    let adopted = if improved {
+        format!("parallel:spec:{searched}")
+    } else {
+        format!("parallel:{shards}")
+    };
+    let mut cuts = vec![measure_cut(wl, cfg, strip, "strip", strip_mk, seq.cycles)];
+    if searched != strip {
+        cuts.push(measure_cut(
+            wl,
+            cfg,
+            searched,
+            "searched",
+            searched_mk,
+            seq.cycles,
+        ));
+    }
+    PartitionRow {
+        workload: wl.name,
+        shards,
+        seq_cycles: seq.cycles,
+        seq_wall_s: seq.wall.as_secs_f64(),
+        adopted,
+        model_gain: strip_mk as f64 / searched_mk.max(1) as f64,
+        improved,
+        cuts,
+    }
+}
+
+fn print_partition_row(row: &PartitionRow) {
+    for c in &row.cuts {
+        let worst = c.barrier.iter().map(|b| b.2).max().unwrap_or(0);
+        println!(
+            "{} x{} {:<8}: modeled makespan {:>9}, {:>8.2} ms, worst shard barrier max {} ns ({})",
+            row.workload,
+            row.shards,
+            c.role,
+            c.makespan_model,
+            c.wall_s * 1e3,
+            worst,
+            c.spec
+        );
+    }
+    println!(
+        "{} x{}: adopt {} (model gain {:.2}x{})",
+        row.workload,
+        row.shards,
+        row.adopted,
+        row.model_gain,
+        if row.improved { "" } else { ", strip kept" }
+    );
+}
+
+/// Forced repartition-at-checkpoint resume: stop a 2-strip run at its
+/// first automatic checkpoint boundary, rebuild the worker set under
+/// an asymmetric 3-shard cut, resume, and require the blended result
+/// to be bit-identical to the uninterrupted 2-strip run.
+fn run_repartition_smoke(wl: &Workload) {
+    let cfg = SocConfig {
+        checkpoint_every: Some(250),
+        ..SocConfig::default()
+    };
+    let program = orchestrator_program();
+    let table = table_words(&wl.entries);
+    let strip = PartitionSpec::vertical_strips(2);
+    let next = PartitionSpec::parse("0001011101220222").expect("valid 3-shard cut");
+
+    let mut base =
+        ParallelSoc::build_partitioned(cfg, &program, &table, &wl.gmem_init, strip, false);
+    let base_res = base
+        .run_checked(8_000_000, 200_000)
+        .expect("uninterrupted run healthy");
+    let base_report = base.report();
+
+    let mut soc =
+        ParallelSoc::build_partitioned(cfg, &program, &table, &wl.gmem_init, strip, false);
+    soc.begin_checked(8_000_000, 200_000);
+    let mut swapped = false;
+    let res = loop {
+        match soc.step_segment().expect("supervised segment healthy") {
+            SegmentStatus::Boundary => {
+                if !swapped {
+                    soc.repartition(next).expect("repartition at boundary");
+                    swapped = true;
+                    assert_eq!(soc.partition_spec(), next, "new cut must be live");
+                    assert_eq!(soc.threads(), 3, "worker set must match the new cut");
+                }
+            }
+            SegmentStatus::Done(r) => break r,
+        }
+    };
+    assert!(
+        swapped,
+        "checkpoint grain must produce at least one boundary"
+    );
+    assert_eq!(soc.repartitions(), 1, "exactly one rebuild");
+    assert!(
+        res.completed,
+        "{}: repartitioned resume incomplete",
+        wl.name
+    );
+    assert_eq!(
+        res.cycles, base_res.cycles,
+        "{}: repartitioned resume diverged from the uninterrupted run",
+        wl.name
+    );
+    assert_eq!(
+        soc.report(),
+        base_report,
+        "{}: repartitioned report diverged",
+        wl.name
+    );
+    println!(
+        "repartition smoke OK: {} stopped at a checkpoint boundary, rebuilt 2 strips -> \
+         3-shard cut {next}, finished bit-identical in {} cycles",
+        wl.name, res.cycles
+    );
 }
 
 /// De-opt smoke: inject a fault into an armed SoC and observe the
@@ -502,6 +741,27 @@ fn run() -> Result<(), String> {
         println!("parallel smoke OK ({threads} threads)");
         return Ok(());
     }
+
+    // --partition: profile-guided partition smoke (CI asymmetric-cut
+    // check). Models strip vs searched makespan from calibrated
+    // per-node costs and executes both cuts, asserting sequential
+    // identity.
+    if has_flag("partition") {
+        for wl in &workloads {
+            for shards in [2usize, 4] {
+                print_partition_row(&run_partition_one(wl, shards));
+            }
+        }
+        println!("partition smoke OK");
+        return Ok(());
+    }
+
+    // --repartition-smoke: forced repartition-at-checkpoint resume
+    // (CI bit-identity check across a mid-run worker-set rebuild).
+    if has_flag("repartition-smoke") {
+        run_repartition_smoke(&workloads[0]);
+        return Ok(());
+    }
     let mut rows = Vec::new();
     for wl in &workloads {
         for fidelity in [Fidelity::SimAccurate, Fidelity::Rtl, Fidelity::RtlCompiled] {
@@ -642,6 +902,40 @@ fn run() -> Result<(), String> {
             b.wall_s * 1e3,
             b.seeds_per_sec,
             b.deopt_lanes
+        );
+    }
+
+    // Profile-guided partition analysis: strip vs searched cut under
+    // the calibrated makespan model, both executed end to end. On a
+    // host with fewer than 4 cores the wall-clock columns measure OS
+    // time-slicing, not the cut (`degraded_host` in the JSON); the
+    // modeled makespan is the load-bearing comparison there.
+    let partition_rows: Vec<PartitionRow> = if filter.is_none() {
+        workloads
+            .iter()
+            .flat_map(|wl| [2usize, 4].map(|shards| run_partition_one(wl, shards)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    for row in &partition_rows {
+        print_partition_row(row);
+    }
+    if filter.is_none() {
+        // The adaptive-sharding headline: the searched cut must model
+        // strictly better than the fixed strip on >= 2 workloads.
+        let improved_workloads = workloads
+            .iter()
+            .filter(|wl| {
+                partition_rows
+                    .iter()
+                    .any(|r| r.workload == wl.name && r.improved)
+            })
+            .count();
+        assert!(
+            improved_workloads >= 2,
+            "profile-guided cut must model better than the strip on >= 2 workloads, \
+             got {improved_workloads}"
         );
     }
 
@@ -788,6 +1082,53 @@ fn run() -> Result<(), String> {
             b.workload, b.lanes, b.deopt_lanes, b.golden_cycles, b.wall_s, b.seeds_per_sec
         );
         json.push_str(if i + 1 < batch_rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]\n  },\n");
+    let _ = writeln!(
+        json,
+        "  \"partition\": {{\n    \"fidelity\": \"sim_accurate\", \"gating\": true, \
+         \"cut_penalty\": \"cost_total/256\", \"degraded_host\": {},\n    \"rows\": [",
+        host_cores < 4
+    );
+    for (i, row) in partition_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"workload\": \"{}\", \"shards\": {}, \"seq_cycles\": {}, \
+             \"seq_wall_s\": {:.6}, \"adopted_engine\": \"{}\", \"model_gain\": {:.3}, \
+             \"improved\": {}, \"cuts\": [",
+            row.workload,
+            row.shards,
+            row.seq_cycles,
+            row.seq_wall_s,
+            row.adopted,
+            row.model_gain,
+            row.improved
+        );
+        for (j, c) in row.cuts.iter().enumerate() {
+            let _ = write!(
+                json,
+                "        {{\"role\": \"{}\", \"spec\": \"{}\", \"makespan_model\": {}, \
+                 \"cycles\": {}, \"wall_s\": {:.6}, \"barrier_wait_ns\": [",
+                c.role, c.spec, c.makespan_model, c.cycles, c.wall_s
+            );
+            for (k, (p50, p95, max)) in c.barrier.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "{{\"shard\": {k}, \"p50\": {p50}, \"p95\": {p95}, \"max\": {max}}}"
+                );
+                if k + 1 < c.barrier.len() {
+                    json.push_str(", ");
+                }
+            }
+            json.push_str("]}");
+            json.push_str(if j + 1 < row.cuts.len() { ",\n" } else { "\n" });
+        }
+        json.push_str("      ]}");
+        json.push_str(if i + 1 < partition_rows.len() {
             ",\n"
         } else {
             "\n"

@@ -204,7 +204,14 @@ impl Drop for SilentPanicGuard {
 /// (served-jobs/s through the `craft-serve` worker pool) and the
 /// `checkpoint` rows now spell engines as [`craft_soc::EngineKind`]
 /// wire names (`soc`, `parallel:2`, `batch`).
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+///
+/// v5: `sim_kernel` gained the `partition` section (per-workload
+/// modeled makespan of the fixed vertical strip vs the profile-guided
+/// cut, the adopted cut's wire spelling, measured per-shard
+/// `barrier_wait` p50/p95/max) and the `parallel` engine wire names
+/// extended with `parallel:<threads>:auto` and
+/// `parallel:spec:<16 hex>`.
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// Host facts recorded alongside every artifact so perf rows can be
 /// judged in context (the CI container is a 1-core box; wall-clock

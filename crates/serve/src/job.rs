@@ -138,10 +138,23 @@ impl JobSpec {
         self.cfg
             .validate()
             .map_err(|e| JobError::Rejected(EngineError::Config(e)))?;
-        if let EngineKind::Parallel { threads } = self.engine {
-            if !matches!(threads, 1 | 2 | 4 | 8) {
+        match self.engine {
+            EngineKind::Parallel { threads } if !matches!(threads, 1 | 2 | 4 | 8) => {
                 return Err(JobError::Rejected(EngineError::BadThreads(threads)));
             }
+            EngineKind::ParallelAuto { threads }
+                if !(1..=craft_soc::MAX_SHARDS).contains(&threads) =>
+            {
+                return Err(JobError::Rejected(EngineError::BadThreads(threads)));
+            }
+            EngineKind::ParallelSpec { spec } => {
+                // Structural validity is guaranteed by construction;
+                // the LI-boundary property depends on the submitted
+                // config.
+                spec.validate_for(&self.cfg)
+                    .map_err(|e| JobError::Rejected(EngineError::BadPartition(e)))?;
+            }
+            _ => {}
         }
         if self.engine == EngineKind::Batch && self.faults.is_empty() {
             return Err(JobError::Rejected(EngineError::EmptyBatch));

@@ -14,7 +14,7 @@
 //! | key | value | default |
 //! |-----|-------|---------|
 //! | `workload` | `vec_mul`, `dot_product`, ... | required |
-//! | `engine` | `soc`, `parallel[:threads]`, `batch` | `soc` |
+//! | `engine` | `soc`, `parallel[:threads]`, `parallel:<threads>:auto`, `parallel:spec:<16 hex>`, `batch` | `soc` |
 //! | `max_cycles` | u64 | 8,000,000 |
 //! | `no_progress_limit` | u64 | 50,000 |
 //! | `checkpoint_every` | u64 (also the preemption grain) | unset |
@@ -198,6 +198,37 @@ mod tests {
         assert_eq!(spec.cfg.clocking, ClockingMode::Gals { spread_ppm: 500 });
         assert_eq!(spec.faults.len(), 2);
         assert_eq!(spec.faults[0].pattern, "l11p3->15");
+    }
+
+    #[test]
+    fn adaptive_and_explicit_cut_engines_parse_on_the_wire() {
+        let auto = parse_submit("workload=vec_mul engine=parallel:3:auto").expect("parses");
+        assert_eq!(auto.engine, EngineKind::ParallelAuto { threads: 3 });
+        auto.validate().expect("valid submission");
+
+        let spec =
+            parse_submit("workload=vec_mul engine=parallel:spec:0000111122223333").expect("parses");
+        assert_eq!(
+            spec.engine,
+            EngineKind::ParallelSpec {
+                spec: craft_soc::PartitionSpec::parse("0000111122223333").unwrap()
+            }
+        );
+        spec.validate().expect("valid submission");
+
+        for bad_line in [
+            "workload=vec_mul engine=parallel:0:auto",   // range
+            "workload=vec_mul engine=parallel:17:auto",  // range
+            "workload=vec_mul engine=parallel:4:bogus",  // suffix
+            "workload=vec_mul engine=parallel:spec:000", // short spec
+            "workload=vec_mul engine=parallel:spec:000011112222333z", // digit
+            "workload=vec_mul engine=parallel:spec:0000000000000002", // gap
+        ] {
+            assert!(
+                matches!(parse_submit(bad_line), Err(ServeError::BadRequest(_))),
+                "{bad_line:?} should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use craft_connections::FaultConfig;
 use craft_serve::{DeterministicScheduler, JobSpec, WorkloadId};
-use craft_soc::{EngineKind, Fidelity, LaneSpec, SocConfig};
+use craft_soc::{EngineKind, Fidelity, LaneSpec, PartitionSpec, SocConfig};
 use proptest::prelude::*;
 
 const MAX_CYCLES: u64 = 2_000_000;
@@ -39,6 +39,15 @@ proptest! {
         engine in prop::sample::select(vec![
             EngineKind::Soc,
             EngineKind::Parallel { threads: 2 },
+            // Adaptive sharding: every preemption resumes on the
+            // balanced seed cut and re-observes — the
+            // resume-under-new-partition path.
+            EngineKind::ParallelAuto { threads: 2 },
+            // An asymmetric non-strip cut held across preemptions.
+            EngineKind::ParallelSpec {
+                spec: PartitionSpec::parse("0000000100110111")
+                    .expect("valid asymmetric cut"),
+            },
             EngineKind::Batch,
         ]),
         workload in prop::sample::select(vec![

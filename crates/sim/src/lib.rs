@@ -67,7 +67,7 @@ pub use error::{CompDiag, HangReport, SeqDiag, SimError};
 pub use kernel::{ComponentId, Simulator};
 pub use parallel::{
     publish_hang_idle, run_parallel, EpochOutcome, EpochSync, EpochVerdict, EpochWorker,
-    SpinBarrier,
+    SpinBarrier, WaitHist, WAIT_HIST_BUCKETS,
 };
 pub use plan::{PlanDesc, PlanNode, PlanReject};
 pub use telemetry::{TelLaneCounters, Telemetry, TelemetrySnapshot, TickProfile};

@@ -102,6 +102,101 @@ impl SpinBarrier {
 /// overflowed): sorts after every real time.
 const NO_EDGE: u64 = u64::MAX;
 
+/// Log2 bucket count of a [`WaitHist`]: bucket `i` covers waits in
+/// `[2^i, 2^(i+1))` nanoseconds (bucket 0 also takes zero), so the top
+/// bucket starts at ~4.3 s — far beyond any epoch barrier wait.
+pub const WAIT_HIST_BUCKETS: usize = 32;
+
+/// A fixed-size log2-bucketed histogram of per-epoch barrier waits.
+///
+/// One sample is recorded per traversed instant: the summed wall time
+/// this worker spent at that instant's two barriers. Log2 buckets keep
+/// the struct `Copy` (no allocation) while preserving the shape of the
+/// distribution — enough to expose p50/p95/max imbalance per phase
+/// where the old accumulated sum could only show the aggregate.
+/// Quantiles are upper bounds: the reported value is the smallest
+/// bucket boundary at or above the requested rank (exact for `max`).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitHist {
+    buckets: [u64; WAIT_HIST_BUCKETS],
+    count: u64,
+    max_ns: u64,
+}
+
+impl Default for WaitHist {
+    fn default() -> Self {
+        WaitHist {
+            buckets: [0; WAIT_HIST_BUCKETS],
+            count: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl PartialEq for WaitHist {
+    fn eq(&self, other: &Self) -> bool {
+        self.buckets == other.buckets && self.count == other.count && self.max_ns == other.max_ns
+    }
+}
+
+impl Eq for WaitHist {}
+
+impl WaitHist {
+    /// Index of the bucket holding `ns`.
+    fn bucket(ns: u64) -> usize {
+        (63 - u64::leading_zeros(ns.max(1)) as usize).min(WAIT_HIST_BUCKETS - 1)
+    }
+
+    /// Records one per-instant wait sample.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::bucket(ns)] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds `other`'s samples into this histogram.
+    pub fn merge(&mut self, other: &WaitHist) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The largest wait observed, exact.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Upper bound of the quantile `q` in `[0, 1]`: the upper boundary
+    /// of the bucket containing the ranked sample, clamped to the
+    /// observed maximum. Zero when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let upper = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
 /// How a parallel run ended. Mirrors the sequential `run_until_checked`
 /// outcomes one-for-one so facades can reproduce its exact result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -245,8 +340,13 @@ pub struct EpochOutcome {
     pub instants: u64,
     /// Instants at which this worker had local edges to process.
     pub fired_instants: u64,
-    /// Wall nanoseconds this worker spent waiting at epoch barriers.
+    /// Wall nanoseconds this worker spent waiting at epoch barriers
+    /// (the sum over every barrier, startup round included — kept for
+    /// compatibility with the pre-histogram probe).
     pub barrier_wait_ns: u64,
+    /// Per-instant barrier-wait distribution: one sample per traversed
+    /// instant (that instant's eval + commit barrier waits summed).
+    pub barrier_hist: WaitHist,
     /// Tokens absorbed by this worker's `drain` hook.
     pub drained_tokens: u64,
     /// The arithmetic fault recorded by *this* worker, if any.
@@ -345,7 +445,8 @@ pub fn run_parallel(
         if fired {
             sim.eval_instant();
         }
-        barrier_timed(&sync.eval_done, &mut out.barrier_wait_ns);
+        let mut instant_wait = 0u64;
+        barrier_timed(&sync.eval_done, &mut instant_wait);
 
         // Commit, then publish: owned clock schedules, the progress
         // bit for this instant (into the bank the previous instant is
@@ -383,7 +484,9 @@ pub fn run_parallel(
                 sync.publish_verdict(v);
             }
         }
-        barrier_timed(&sync.commit_done, &mut out.barrier_wait_ns);
+        barrier_timed(&sync.commit_done, &mut instant_wait);
+        out.barrier_wait_ns += instant_wait;
+        out.barrier_hist.record(instant_wait);
     }
 
     sim.flush_skipped_commits();
@@ -686,6 +789,46 @@ mod tests {
         assert_eq!(out.instants, par.instants());
         assert_eq!(par.instants(), seq_instants);
         assert_eq!(out.fired_instants, out.instants, "sole worker fires all");
+    }
+
+    /// The barrier-wait histogram counts one sample per traversed
+    /// instant and its quantile upper bounds bracket the exact max.
+    #[test]
+    fn wait_hist_buckets_and_quantiles() {
+        let mut h = WaitHist::default();
+        assert_eq!(h.quantile_ns(0.5), 0, "empty histogram reads zero");
+        for ns in [0u64, 1, 2, 3, 100, 1000, 1_000_000] {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max_ns(), 1_000_000);
+        // p50 falls in the bucket of the 4th-ranked sample (3 ns →
+        // bucket 1, upper bound 4).
+        assert_eq!(h.quantile_ns(0.5), 4);
+        assert_eq!(h.quantile_ns(1.0), 1_000_000, "p100 clamps to max");
+        assert!(h.quantile_ns(0.95) >= 1000);
+
+        let mut other = WaitHist::default();
+        other.record(5_000_000);
+        h.merge(&other);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max_ns(), 5_000_000);
+
+        // The epoch loop feeds the histogram one sample per instant.
+        let (mut sim, _log) = worker_sim(&[100], &[0], None);
+        let sync = EpochSync::new(1, 1);
+        let worker = EpochWorker {
+            sync: &sync,
+            index: 0,
+            owned_clocks: &[ClockId::from_index(0)],
+            decider: true,
+        };
+        let clk = ClockId::from_index(0);
+        let out = run_parallel(&mut sim, &worker, &mut |_| 0, &mut |sim, _| {
+            (sim.cycles(clk) >= 10).then_some(EpochVerdict::MaxCycles)
+        });
+        assert_eq!(out.barrier_hist.count(), out.instants);
+        assert!(out.barrier_hist.max_ns() <= out.barrier_wait_ns);
     }
 
     #[test]

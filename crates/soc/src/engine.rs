@@ -24,6 +24,7 @@
 use crate::batch::{BatchReport, BatchSoc, LaneSpec};
 use crate::checkpoint::{BatchSnapshot, SimSnapshot};
 use crate::parallel::ParallelSoc;
+use crate::partition::{PartitionError, PartitionSpec, MAX_SHARDS};
 use crate::soc::{ConfigError, FaultPatternError, RunResult, Soc, SocConfig, SocReport};
 use craft_connections::FaultStats;
 use craft_sim::checkpoint::CheckpointError;
@@ -37,10 +38,25 @@ use std::fmt;
 pub enum EngineKind {
     /// Sequential [`Soc`].
     Soc,
-    /// GALS-sharded [`ParallelSoc`] with this worker-thread count.
+    /// GALS-sharded [`ParallelSoc`] with this worker-thread count on
+    /// the fixed vertical-strip cut.
     Parallel {
         /// Shard worker threads (1, 2, 4 or 8).
         threads: usize,
+    },
+    /// Adaptive [`ParallelSoc`]: starts on the
+    /// [`PartitionSpec::balanced`] seed cut and repartitions itself at
+    /// checkpoint boundaries from its own profile (wire spelling
+    /// `parallel:<threads>:auto`).
+    ParallelAuto {
+        /// Shard worker threads (any count in `1..=MAX_SHARDS`).
+        threads: usize,
+    },
+    /// [`ParallelSoc`] on an explicit LI-boundary cut (wire spelling
+    /// `parallel:spec:<16 hex digits>`, one shard index per node).
+    ParallelSpec {
+        /// The node→shard map.
+        spec: PartitionSpec,
     },
     /// Batched lockstep [`BatchSoc`] — one lane per fault vector.
     Batch,
@@ -52,22 +68,49 @@ impl EngineKind {
     pub fn name(&self) -> &'static str {
         match self {
             EngineKind::Soc => "soc",
-            EngineKind::Parallel { .. } => "parallel",
+            EngineKind::Parallel { .. }
+            | EngineKind::ParallelAuto { .. }
+            | EngineKind::ParallelSpec { .. } => "parallel",
             EngineKind::Batch => "batch",
         }
     }
 
     /// Parses the job-server wire spelling: `soc`, `batch`,
-    /// `parallel` (2 threads) or `parallel:<threads>`.
+    /// `parallel` (2 threads), `parallel:<threads>`,
+    /// `parallel:<threads>:auto` (adaptive sharding) or
+    /// `parallel:spec:<16 hex digits>` (explicit cut, one shard index
+    /// per node). Every malformed form is a typed rejection:
+    /// out-of-range auto thread counts are
+    /// [`EngineError::BadThreads`], malformed explicit cuts are
+    /// [`EngineError::BadPartition`], anything else is
+    /// [`EngineError::UnknownEngine`].
     pub fn parse(s: &str) -> Result<EngineKind, EngineError> {
+        let unknown = || EngineError::UnknownEngine(s.to_string());
         match s {
             "soc" => Ok(EngineKind::Soc),
             "batch" => Ok(EngineKind::Batch),
             "parallel" => Ok(EngineKind::Parallel { threads: 2 }),
-            _ => match s.strip_prefix("parallel:").and_then(|t| t.parse().ok()) {
-                Some(threads) => Ok(EngineKind::Parallel { threads }),
-                None => Err(EngineError::UnknownEngine(s.to_string())),
-            },
+            _ => {
+                let rest = s.strip_prefix("parallel:").ok_or_else(unknown)?;
+                if let Some(spec) = rest.strip_prefix("spec:") {
+                    let spec = PartitionSpec::parse(spec).map_err(EngineError::BadPartition)?;
+                    return Ok(EngineKind::ParallelSpec { spec });
+                }
+                match rest.split_once(':') {
+                    None => {
+                        let threads = rest.parse().map_err(|_| unknown())?;
+                        Ok(EngineKind::Parallel { threads })
+                    }
+                    Some((t, "auto")) => {
+                        let threads: usize = t.parse().map_err(|_| unknown())?;
+                        if !(1..=MAX_SHARDS).contains(&threads) {
+                            return Err(EngineError::BadThreads(threads));
+                        }
+                        Ok(EngineKind::ParallelAuto { threads })
+                    }
+                    Some(_) => Err(unknown()),
+                }
+            }
         }
     }
 }
@@ -76,6 +119,8 @@ impl fmt::Display for EngineKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineKind::Parallel { threads } => write!(f, "parallel:{threads}"),
+            EngineKind::ParallelAuto { threads } => write!(f, "parallel:{threads}:auto"),
+            EngineKind::ParallelSpec { spec } => write!(f, "parallel:spec:{spec}"),
             k => f.write_str(k.name()),
         }
     }
@@ -101,8 +146,12 @@ pub enum EngineError {
     Config(ConfigError),
     /// A fault vector's pattern matched no NoC channel.
     Fault(FaultPatternError),
-    /// Unsupported shard-thread count for [`EngineKind::Parallel`].
+    /// Unsupported shard-thread count for [`EngineKind::Parallel`] /
+    /// [`EngineKind::ParallelAuto`].
     BadThreads(usize),
+    /// Malformed or invalid partition for
+    /// [`EngineKind::ParallelSpec`].
+    BadPartition(PartitionError),
     /// [`EngineKind::Batch`] with an empty lane list.
     EmptyBatch,
     /// Unrecognized engine spelling on the wire.
@@ -115,8 +164,13 @@ impl fmt::Display for EngineError {
             EngineError::Config(e) => write!(f, "invalid config: {e}"),
             EngineError::Fault(e) => write!(f, "fault rejected: {e}"),
             EngineError::BadThreads(t) => {
-                write!(f, "unsupported shard thread count {t} (want 1, 2, 4 or 8)")
+                write!(
+                    f,
+                    "unsupported shard thread count {t} (strips want 1, 2, 4 or 8; \
+                     auto wants 1..={MAX_SHARDS})"
+                )
             }
+            EngineError::BadPartition(e) => write!(f, "invalid partition: {e}"),
             EngineError::EmptyBatch => f.write_str("batch engine needs at least one fault lane"),
             EngineError::UnknownEngine(s) => write!(f, "unknown engine {s:?}"),
         }
@@ -134,6 +188,12 @@ impl From<ConfigError> for EngineError {
 impl From<FaultPatternError> for EngineError {
     fn from(e: FaultPatternError) -> Self {
         EngineError::Fault(e)
+    }
+}
+
+impl From<PartitionError> for EngineError {
+    fn from(e: PartitionError) -> Self {
+        EngineError::BadPartition(e)
     }
 }
 
@@ -275,8 +335,21 @@ impl SimEngine for Soc {
 
 impl SimEngine for ParallelSoc {
     fn kind(&self) -> EngineKind {
-        EngineKind::Parallel {
-            threads: self.threads(),
+        // Honest kind recovery: adaptive facades are `:auto` whatever
+        // cut they currently sit on; a non-strip static cut is the
+        // explicit-spec kind; only the historical strips are plain
+        // `parallel:N`.
+        let spec = self.partition_spec();
+        if self.auto_repartition() {
+            EngineKind::ParallelAuto {
+                threads: self.threads(),
+            }
+        } else if PartitionSpec::vertical_strips_checked(self.threads()) == Some(spec) {
+            EngineKind::Parallel {
+                threads: self.threads(),
+            }
+        } else {
+            EngineKind::ParallelSpec { spec }
         }
     }
 
@@ -407,6 +480,41 @@ pub fn build_engine(
             }
             Ok(Box::new(soc))
         }
+        EngineKind::ParallelAuto { threads } => {
+            if !(1..=MAX_SHARDS).contains(&threads) {
+                return Err(EngineError::BadThreads(threads));
+            }
+            let spec = PartitionSpec::balanced(threads);
+            spec.validate_for(&cfg)?;
+            let mut soc = ParallelSoc::build_partitioned(
+                cfg,
+                program,
+                staging_init,
+                gmem_init,
+                spec,
+                telemetry,
+            );
+            soc.set_auto_repartition(true);
+            for f in faults {
+                soc.inject_fault(&f.pattern, f.cfg, f.seed)?;
+            }
+            Ok(Box::new(soc))
+        }
+        EngineKind::ParallelSpec { spec } => {
+            spec.validate_for(&cfg)?;
+            let mut soc = ParallelSoc::build_partitioned(
+                cfg,
+                program,
+                staging_init,
+                gmem_init,
+                spec,
+                telemetry,
+            );
+            for f in faults {
+                soc.inject_fault(&f.pattern, f.cfg, f.seed)?;
+            }
+            Ok(Box::new(soc))
+        }
         EngineKind::Batch => {
             if faults.is_empty() {
                 return Err(EngineError::EmptyBatch);
@@ -448,6 +556,27 @@ pub fn restore_engine(
                 &snap, threads, telemetry,
             )?))
         }
+        EngineKind::ParallelAuto { threads } => {
+            if !(1..=MAX_SHARDS).contains(&threads) {
+                return Err(CheckpointError::Malformed(format!(
+                    "auto engine thread count {threads} outside 1..={MAX_SHARDS}"
+                )));
+            }
+            let snap = SimSnapshot::from_bytes(bytes)?;
+            let mut soc = ParallelSoc::restore_partitioned(
+                &snap,
+                PartitionSpec::balanced(threads),
+                telemetry,
+            )?;
+            soc.set_auto_repartition(true);
+            Ok(Box::new(soc))
+        }
+        EngineKind::ParallelSpec { spec } => {
+            let snap = SimSnapshot::from_bytes(bytes)?;
+            Ok(Box::new(ParallelSoc::restore_partitioned(
+                &snap, spec, telemetry,
+            )?))
+        }
         EngineKind::Batch => {
             let snap = BatchSnapshot::from_bytes(bytes)?;
             Ok(Box::new(BatchSoc::restore(&snap)?))
@@ -476,6 +605,14 @@ mod tests {
             EngineKind::Soc,
             EngineKind::Batch,
             EngineKind::Parallel { threads: 4 },
+            EngineKind::ParallelAuto { threads: 3 },
+            EngineKind::ParallelAuto { threads: 16 },
+            EngineKind::ParallelSpec {
+                spec: PartitionSpec::parse("0000111122223333").unwrap(),
+            },
+            EngineKind::ParallelSpec {
+                spec: PartitionSpec::balanced(5),
+            },
         ] {
             assert_eq!(EngineKind::parse(&kind.to_string()).unwrap(), kind);
         }
@@ -483,10 +620,86 @@ mod tests {
             EngineKind::parse("parallel").unwrap(),
             EngineKind::Parallel { threads: 2 }
         );
+        assert_eq!(
+            EngineKind::parse("parallel:4:auto").unwrap(),
+            EngineKind::ParallelAuto { threads: 4 }
+        );
         assert!(matches!(
             EngineKind::parse("fpga"),
             Err(EngineError::UnknownEngine(_))
         ));
+    }
+
+    #[test]
+    fn every_malformed_wire_form_is_a_typed_rejection() {
+        // Unknown spellings and truncated/garbled thread counts.
+        for s in [
+            "parallel:",
+            "parallel:x",
+            "parallel:2.5",
+            "parallel:-2",
+            "parallel:4:bogus",
+            "parallel:4:auto:extra",
+            "parallel:auto",
+            "parallel::auto",
+            "Parallel:4",
+            "soc:2",
+        ] {
+            assert!(
+                matches!(EngineKind::parse(s), Err(EngineError::UnknownEngine(_))),
+                "{s:?} should be UnknownEngine, got {:?}",
+                EngineKind::parse(s)
+            );
+        }
+        // Auto thread counts outside 1..=16 are typed range errors.
+        for s in ["parallel:0:auto", "parallel:17:auto"] {
+            assert!(
+                matches!(EngineKind::parse(s), Err(EngineError::BadThreads(_))),
+                "{s:?} should be BadThreads"
+            );
+        }
+        // Explicit-spec forms surface the partition grammar's own
+        // typed errors.
+        assert_eq!(
+            EngineKind::parse("parallel:spec:"),
+            Err(EngineError::BadPartition(PartitionError::WrongLength {
+                got: 0
+            }))
+        );
+        assert_eq!(
+            EngineKind::parse("parallel:spec:0000"),
+            Err(EngineError::BadPartition(PartitionError::WrongLength {
+                got: 4
+            }))
+        );
+        assert_eq!(
+            EngineKind::parse("parallel:spec:00001111222233334"),
+            Err(EngineError::BadPartition(PartitionError::WrongLength {
+                got: 17
+            }))
+        );
+        assert_eq!(
+            EngineKind::parse("parallel:spec:000011112222333z"),
+            Err(EngineError::BadPartition(PartitionError::BadDigit {
+                pos: 15,
+                ch: 'z'
+            }))
+        );
+        // Non-dense shard numbering (shard 1 empty while 2 is named).
+        assert_eq!(
+            EngineKind::parse("parallel:spec:0000000000000002"),
+            Err(EngineError::BadPartition(PartitionError::EmptyShard {
+                shard: 1
+            }))
+        );
+        // Every rejection renders a human-readable message.
+        for e in [
+            EngineError::BadThreads(17),
+            EngineError::BadPartition(PartitionError::WrongLength { got: 4 }),
+            EngineError::UnknownEngine("parallel:x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]
@@ -601,5 +814,73 @@ mod tests {
             restore_engine(EngineKind::Batch, &bytes, false),
             Err(CheckpointError::WrongKind { .. })
         ));
+
+        // The new parallel spellings reject a batch frame the same
+        // way the plain one does.
+        let faults = [LaneSpec::new(
+            "l11p3->15",
+            craft_connections::FaultConfig::bit_flip(0.0),
+            7,
+        )];
+        let mut batch = build_engine(
+            EngineKind::Batch,
+            SocConfig::default(),
+            &program,
+            &staging,
+            &gmem,
+            &faults,
+            false,
+        )
+        .unwrap();
+        batch.begin(8_000_000, 50_000);
+        let batch_bytes = batch.snapshot_bytes();
+        for kind in [
+            EngineKind::ParallelAuto { threads: 2 },
+            EngineKind::ParallelSpec {
+                spec: PartitionSpec::balanced(3),
+            },
+        ] {
+            assert!(
+                matches!(
+                    restore_engine(kind, &batch_bytes, false),
+                    Err(CheckpointError::WrongKind { .. })
+                ),
+                "{kind}: batch frame must be WrongKind"
+            );
+        }
+        // Out-of-range auto restore is a typed malformed error, not a
+        // panic.
+        assert!(matches!(
+            restore_engine(EngineKind::ParallelAuto { threads: 0 }, &bytes, false),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn spec_and_auto_engines_run_and_recover_their_kind() {
+        let (program, staging, gmem) = build_inputs();
+        let wl = vec_mul();
+        // A deliberately asymmetric (non-strip) 3-shard cut: row 0 on
+        // shard 1, node 5 on shard 2, the rest (hub included) on 0.
+        let spec = PartitionSpec::parse("1111020000000000").unwrap();
+        let auto = EngineKind::ParallelAuto { threads: 2 };
+        for kind in [EngineKind::ParallelSpec { spec }, auto] {
+            let mut eng = build_engine(
+                kind,
+                SocConfig::default(),
+                &program,
+                &staging,
+                &gmem,
+                &[],
+                false,
+            )
+            .expect("engine builds");
+            assert_eq!(eng.kind(), kind, "kind survives the trait");
+            let res = eng.run_checked(8_000_000, 50_000).expect("clean run");
+            assert!(res.completed);
+            for (base, expect) in &wl.expected {
+                assert_eq!(&eng.gmem_read(*base, expect.len()), expect, "{kind}: gmem");
+            }
+        }
     }
 }

@@ -42,6 +42,7 @@ pub mod engine;
 pub mod hub;
 pub mod msg;
 pub mod parallel;
+pub mod partition;
 pub mod pe;
 pub mod rtlplan;
 pub mod schedplan;
@@ -53,6 +54,7 @@ pub use checkpoint::{ArchDigest, BatchSnapshot, FaultEvent, SessionState, SimSna
 pub use engine::{build_engine, restore_engine, EngineError, EngineKind, SegmentStatus, SimEngine};
 pub use msg::{NocMsg, PeCommand, PeOp, HUB_NODE, N_PES};
 pub use parallel::{partition, ParallelSoc, ShardStats};
+pub use partition::{partition_search, NodeCosts, PartitionError, PartitionSpec, MAX_SHARDS};
 pub use pe::{Fidelity, PeConfig, PeStats, ProcessingElement};
 pub use rtlplan::{DpEval, DpOp, EvalPlan, PlanCache, PlanStats, SignalPlan};
 pub use schedplan::{PlanOp, PlanOpKind, SchedPlanSummary};

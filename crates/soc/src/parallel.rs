@@ -1,8 +1,9 @@
 //! GALS-sharded parallel simulation of the prototype SoC.
 //!
-//! [`ParallelSoc`] partitions the 4x4 mesh into vertical strips at
-//! latency-insensitive channel boundaries and simulates each strip on
-//! its own worker thread with a private event wheel, synchronized by
+//! [`ParallelSoc`] partitions the 4x4 mesh at latency-insensitive
+//! channel boundaries — by default into vertical strips, or into any
+//! validated [`PartitionSpec`] cut — and simulates each shard on its
+//! own worker thread with a private event wheel, synchronized by
 //! the conservative epoch protocol in [`craft_sim::run_parallel`]. The
 //! lookahead that makes one-instant epochs safe comes from the LI
 //! discipline itself: every cross-shard link is a buffered channel
@@ -20,12 +21,25 @@
 //! semantics match the local channel exactly (see
 //! [`craft_connections::MailboxHub`]). Equivalence over workloads,
 //! fidelities, clockings and fault campaigns is asserted by
-//! `tests/parallel_equiv_proptest.rs`.
+//! `tests/parallel_equiv_proptest.rs`; equivalence over *arbitrary*
+//! LI cuts (and repartition-at-checkpoint) by
+//! `tests/partition_proptest.rs`.
+//!
+//! Profile-guided adaptive sharding closes the loop ROADMAP item 5
+//! opened: [`ParallelSoc::repartition`] captures a coordinated
+//! epoch-boundary snapshot, rebuilds the worker set under a new
+//! [`PartitionSpec`] and deterministically replays — and with
+//! [`ParallelSoc::set_auto_repartition`] a segmented supervised run
+//! re-costs itself from its own merged report at every checkpoint
+//! boundary ([`NodeCosts::from_report`] +
+//! [`crate::partition::partition_search`]) and rebalances whenever the
+//! modeled makespan strictly improves.
 
 use crate::checkpoint::{ArchDigest, FaultEvent, SessionState, SimSnapshot};
 use crate::controller::CtrlStatus;
 use crate::engine::SegmentStatus;
 use crate::msg::{HUB_NODE, N_NODES};
+use crate::partition::{partition_search, NodeCosts, PartitionSpec};
 use crate::pe::Fidelity;
 use crate::soc::{
     merge_fault_stats, FaultPatternError, FaultReport, NocReport, RunResult, ShardSpec, Soc,
@@ -38,7 +52,7 @@ use craft_sim::cover::Coverage;
 use craft_sim::telemetry::{MetricKind, MetricRow};
 use craft_sim::{
     publish_hang_idle, ClockId, EpochSync, EpochVerdict, EpochWorker, HangReport, Picoseconds,
-    SimError, Simulator, Telemetry, TelemetrySnapshot,
+    SimError, Simulator, Telemetry, TelemetrySnapshot, WaitHist,
 };
 use std::cell::Cell;
 use std::sync::{mpsc, Arc};
@@ -92,6 +106,11 @@ pub struct ShardStats {
     pub drained_tokens: u64,
     /// Wall-clock nanoseconds spent waiting at epoch barriers.
     pub barrier_wait_ns: u64,
+    /// Per-instant barrier-wait histogram (one sample per traversed
+    /// instant) — the per-phase imbalance view behind the
+    /// `sim.shard.<i>.barrier_wait.{p50,p95,max}_ns` probes. The flat
+    /// `barrier_wait_ns` sum stays as the compatibility probe.
+    pub barrier_hist: WaitHist,
 }
 
 /// One run's outcome as reported by a worker thread.
@@ -108,6 +127,7 @@ struct RunOut {
     instants: u64,
     fired_instants: u64,
     barrier_wait_ns: u64,
+    barrier_hist: WaitHist,
     drained_tokens: u64,
     fatal: Option<SimError>,
     hang: Option<HangReport>,
@@ -173,6 +193,11 @@ pub struct ParallelSoc {
     workers: Vec<Worker>,
     hub_worker: usize,
     threads: usize,
+    spec: PartitionSpec,
+    /// Re-cost and rebalance at segment boundaries when set.
+    auto_repartition: bool,
+    /// Completed repartition-at-checkpoint rebuilds so far.
+    repartitions: u64,
     sync: Arc<EpochSync>,
     has_telemetry: bool,
     shard_stats: Vec<ShardStats>,
@@ -248,10 +273,43 @@ impl ParallelSoc {
         threads: usize,
         telemetry: bool,
     ) -> ParallelSoc {
+        Self::build_partitioned(
+            cfg,
+            program,
+            staging_init,
+            gmem_init,
+            PartitionSpec::vertical_strips(threads),
+            telemetry,
+        )
+    }
+
+    /// Builds the SoC sharded under an arbitrary validated
+    /// [`PartitionSpec`]: one worker per shard, each node's components
+    /// living on `spec.owner_of(node)`, the hub's shard deciding the
+    /// epoch protocol. Any LI-boundary cut is bit- and cycle-identical
+    /// to the sequential [`Soc`] — every worker still builds the full
+    /// clock table and channel registry, so clock indices and fault
+    /// seeds are partition-independent.
+    ///
+    /// # Panics
+    /// Panics if `cfg` fails validation or `spec` fails
+    /// [`PartitionSpec::validate_for`] against it.
+    pub fn build_partitioned(
+        cfg: SocConfig,
+        program: &[u32],
+        staging_init: &[u32],
+        gmem_init: &[(usize, Vec<u64>)],
+        spec: PartitionSpec,
+        telemetry: bool,
+    ) -> ParallelSoc {
         if let Err(e) = cfg.validate() {
             panic!("invalid SocConfig: {e}");
         }
-        let owner = partition(threads);
+        if let Err(e) = spec.validate_for(&cfg) {
+            panic!("invalid PartitionSpec: {e}");
+        }
+        let threads = spec.shards();
+        let owner = spec.owner_vec();
         let hub_worker = owner[HUB_NODE as usize];
         // One clock slot per domain, identical on every worker: just
         // the hub clock when synchronous, hub + 15 node domains under
@@ -297,6 +355,9 @@ impl ParallelSoc {
             workers,
             hub_worker,
             threads,
+            spec,
+            auto_repartition: false,
+            repartitions: 0,
             sync,
             has_telemetry: telemetry,
             shard_stats: vec![ShardStats::default(); threads],
@@ -318,6 +379,32 @@ impl ParallelSoc {
     /// Worker-thread count of this build.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The node→shard cut this worker set was built under.
+    pub fn partition_spec(&self) -> PartitionSpec {
+        self.spec
+    }
+
+    /// Enables (or disables) profile-guided rebalancing: at each
+    /// segment boundary of a supervised run the facade derives
+    /// [`NodeCosts`] from its own merged report, searches for a better
+    /// cut with the same shard count, and
+    /// [`repartition`](Self::repartition)s whenever the modeled
+    /// makespan strictly improves.
+    pub fn set_auto_repartition(&mut self, on: bool) {
+        self.auto_repartition = on;
+    }
+
+    /// Whether profile-guided rebalancing is enabled.
+    pub fn auto_repartition(&self) -> bool {
+        self.auto_repartition
+    }
+
+    /// Completed repartition-at-checkpoint rebuilds over this facade's
+    /// lifetime (manual and automatic).
+    pub fn repartitions(&self) -> u64 {
+        self.repartitions
     }
 
     /// Per-shard epoch-loop statistics accumulated over every run so
@@ -461,6 +548,9 @@ impl ParallelSoc {
                 if auto.is_some() {
                     self.last_ckpt = Some(self.checkpoint());
                 }
+                if self.auto_repartition {
+                    self.maybe_repartition();
+                }
                 Ok(SegmentStatus::Boundary)
             }
             v => {
@@ -512,6 +602,7 @@ impl ParallelSoc {
             acc.fired_instants += o.fired_instants;
             acc.drained_tokens += o.drained_tokens;
             acc.barrier_wait_ns += o.barrier_wait_ns;
+            acc.barrier_hist.merge(&o.barrier_hist);
         }
         let hub = &outs[self.hub_worker];
         self.hub_cycles = hub.abs_cycles;
@@ -736,19 +827,78 @@ impl ParallelSoc {
         threads: usize,
         telemetry: bool,
     ) -> Result<ParallelSoc, CheckpointError> {
+        Self::restore_partitioned(snap, PartitionSpec::vertical_strips(threads), telemetry)
+    }
+
+    /// [`ParallelSoc::restore`] under an arbitrary cut: the worker set
+    /// need not match the capturing build's partition at all — a
+    /// snapshot taken on vertical strips (or by the sequential `Soc`)
+    /// revives on any valid [`PartitionSpec`], because replay is pure
+    /// recipe + fault log + cycle target and the architectural digest
+    /// is partition-independent.
+    pub fn restore_partitioned(
+        snap: &SimSnapshot,
+        spec: PartitionSpec,
+        telemetry: bool,
+    ) -> Result<ParallelSoc, CheckpointError> {
         snap.cfg
             .validate()
             .map_err(|e| CheckpointError::Malformed(format!("invalid config: {e}")))?;
-        let mut soc = Self::build_with_telemetry(
+        spec.validate_for(&snap.cfg)
+            .map_err(|e| CheckpointError::Malformed(format!("invalid partition: {e}")))?;
+        let mut soc = Self::build_partitioned(
             snap.cfg,
             &snap.program,
             &snap.staging,
             &snap.gmem_init,
-            threads,
+            spec,
             telemetry,
         );
         soc.replay_to(snap)?;
         Ok(soc)
+    }
+
+    /// Repartition-at-checkpoint: captures a coordinated
+    /// epoch-boundary snapshot, rebuilds the worker set under `spec`
+    /// and deterministically replays to the same boundary — the open
+    /// session (if any) crosses the rebuild intact, so a supervised
+    /// run resumed afterwards is identical to one that never
+    /// repartitioned. The replay re-runs the snapshot's history from
+    /// cycle zero, so the rebuild costs one full replay — cheap at
+    /// checkpoint cadence, not per instant.
+    ///
+    /// Checkpoint/repartition odometers carry over; the per-shard
+    /// [`ShardStats`] accumulators restart for the new worker layout
+    /// (they describe workers, and the workers are new).
+    pub fn repartition(&mut self, spec: PartitionSpec) -> Result<(), CheckpointError> {
+        if spec == self.spec {
+            return Ok(());
+        }
+        let snap = self.checkpoint();
+        let mut next = Self::restore_partitioned(&snap, spec, self.has_telemetry)?;
+        next.auto_repartition = self.auto_repartition;
+        next.repartitions = self.repartitions + 1;
+        next.ckpt_count.set(self.ckpt_count.get());
+        next.ckpt_bytes.set(self.ckpt_bytes.get());
+        next.ckpt_last_ns.set(self.ckpt_last_ns.get());
+        next.last_ckpt = Some(snap);
+        *self = next;
+        Ok(())
+    }
+
+    /// The auto-repartition step at a segment boundary: re-cost from
+    /// the merged report, search at the same shard count, rebuild only
+    /// on strict modeled-makespan improvement. Replay of a snapshot we
+    /// just captured cannot diverge unless determinism itself is
+    /// broken, so a failure here is a bug, not an input error.
+    fn maybe_repartition(&mut self) {
+        let costs = NodeCosts::from_report(&self.report());
+        let pen = costs.default_cut_penalty();
+        let cand = partition_search(&costs, self.threads, pen);
+        if costs.makespan(&cand, pen) < costs.makespan(&self.spec, pen) {
+            self.repartition(cand)
+                .expect("auto repartition replay diverged");
+        }
     }
 
     /// Runs exactly `delta` hub cycles of replay, mapping any early
@@ -899,7 +1049,30 @@ impl ParallelSoc {
                     p99: None,
                 });
             }
+            // Per-instant wait distribution: imbalance per phase, not
+            // just in aggregate (the flat sum above stays for
+            // compatibility).
+            for (field, value) in [
+                ("barrier_wait.p50_ns", st.barrier_hist.quantile_ns(0.50)),
+                ("barrier_wait.p95_ns", st.barrier_hist.quantile_ns(0.95)),
+                ("barrier_wait.max_ns", st.barrier_hist.max_ns()),
+            ] {
+                base.metrics.push(MetricRow {
+                    path: format!("sim.shard.{i}.{field}"),
+                    kind: MetricKind::Probe,
+                    value,
+                    p50: None,
+                    p99: None,
+                });
+            }
         }
+        base.metrics.push(MetricRow {
+            path: "sim.repartitions".to_string(),
+            kind: MetricKind::Counter,
+            value: self.repartitions,
+            p50: None,
+            p99: None,
+        });
         // Checkpoint counters live on the facade (workers never
         // capture); fold them into the hub worker's zero-valued probe
         // rows so the merged snapshot matches the sequential layout.
@@ -1095,6 +1268,7 @@ fn run_one(
         instants: out.instants,
         fired_instants: out.fired_instants,
         barrier_wait_ns: out.barrier_wait_ns,
+        barrier_hist: out.barrier_hist,
         drained_tokens: out.drained_tokens,
         fatal: out.fatal,
         hang: out.hang,

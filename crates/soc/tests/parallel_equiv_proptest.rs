@@ -493,13 +493,37 @@ fn parallel_telemetry_merges_and_stays_invisible() {
 
     let snap = tel.telemetry_snapshot().expect("sink attached");
     for shard in 0..2 {
-        for field in ["ticks", "mailbox_tokens", "barrier_wait_ns"] {
+        for field in [
+            "ticks",
+            "mailbox_tokens",
+            "barrier_wait_ns",
+            "barrier_wait.p50_ns",
+            "barrier_wait.p95_ns",
+            "barrier_wait.max_ns",
+        ] {
             let path = format!("sim.shard.{shard}.{field}");
             assert!(
                 snap.metrics.iter().any(|m| m.path == path),
                 "missing epoch probe {path}"
             );
         }
+    }
+    assert!(
+        snap.metrics.iter().any(|m| m.path == "sim.repartitions"),
+        "missing repartition odometer probe"
+    );
+    // The histogram probes are consistent with the compat sum: the
+    // per-instant max cannot exceed the accumulated total.
+    for shard in 0..2 {
+        let get = |field: &str| {
+            snap.metrics
+                .iter()
+                .find(|m| m.path == format!("sim.shard.{shard}.{field}"))
+                .expect("probe present")
+                .value
+        };
+        assert!(get("barrier_wait.max_ns") <= get("barrier_wait_ns"));
+        assert!(get("barrier_wait.p50_ns") <= get("barrier_wait.p95_ns"));
     }
     let row = |path: &str| {
         snap.metrics

@@ -36,6 +36,12 @@ cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul -
 echo "==> degenerate-partition smoke (epoch machinery on, single shard)"
 cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul --threads 1
 
+echo "==> adaptive-partition smoke (release, asymmetric profile-guided cuts; sequential identity asserted)"
+cargo run --release -p craft-bench --bin kernel_baseline -- --workload smoke --partition
+
+echo "==> repartition-at-checkpoint smoke (release, 2 strips -> 3-shard cut mid-run; bit-identity asserted)"
+cargo run --release -p craft-bench --bin kernel_baseline -- --workload smoke --repartition-smoke
+
 echo "==> telemetry smoke (release, instrumented run + validated snapshot JSON)"
 tel_snap="$(mktemp)"
 cargo run --release -p craft-bench --bin kernel_baseline -- --workload vec_mul --telemetry "$tel_snap"
